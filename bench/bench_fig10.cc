@@ -1,0 +1,40 @@
+// Reproduces Fig. 10: evaluation of the heuristic approaches over various
+// numbers of traces (real-like workload, all 11 events). Series as in
+// Fig. 9.
+
+#include <iostream>
+
+#include "baselines/iterative_matcher.h"
+#include "baselines/vertex_edge_matcher.h"
+#include "baselines/vertex_matcher.h"
+#include "bench_util.h"
+#include "core/astar_matcher.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/heuristic_simple_matcher.h"
+#include "gen/bus_process.h"
+
+int main() {
+  using namespace hematch;
+  const MatchingTask full = MakeBusManufacturerTask({});
+
+  const AStarMatcher exact;
+  const HeuristicSimpleMatcher heuristic_simple;
+  const HeuristicAdvancedMatcher heuristic_advanced;
+  const VertexMatcher vertex;
+  const VertexEdgeMatcher vertex_edge;
+  const IterativeMatcher iterative;
+  const std::vector<const Matcher*> matchers = {
+      &exact,  &heuristic_simple, &heuristic_advanced,
+      &vertex, &vertex_edge,      &iterative};
+
+  std::cout << "Fig. 10: heuristic approaches over # of traces ("
+            << full.log1.num_events() << " events)\n";
+  bench::FigureTables tables(bench::MakeHeader("# traces", matchers));
+  for (std::size_t traces = 500; traces <= full.log1.num_traces();
+       traces += 500) {
+    tables.AddRows(std::to_string(traces), matchers,
+                   SelectTaskTraces(full, traces));
+  }
+  tables.Print("Fig. 10", "# traces");
+  return 0;
+}

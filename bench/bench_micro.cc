@@ -1,0 +1,159 @@
+// Google-benchmark microbenchmarks for the library's hot primitives:
+// dependency-graph construction, pattern frequency evaluation, the
+// window-membership test, the tight bound, Kuhn-Munkres, and subgraph
+// isomorphism. These are the per-operation costs behind the figure
+// harnesses' end-to-end times.
+
+#include <benchmark/benchmark.h>
+
+#include "assignment/hungarian.h"
+#include "common/rng.h"
+#include "core/bounding.h"
+#include "freq/frequency_evaluator.h"
+#include "freq/trace_matcher.h"
+#include "pattern/pattern_language.h"
+#include "gen/bus_process.h"
+#include "gen/synthetic_process.h"
+#include "graph/dependency_graph.h"
+#include "graph/subgraph_isomorphism.h"
+#include "pattern/pattern_graph.h"
+
+namespace {
+
+using namespace hematch;
+
+const MatchingTask& BusTask() {
+  static const MatchingTask* task = [] {
+    BusProcessOptions options;
+    return new MatchingTask(MakeBusManufacturerTask(options));
+  }();
+  return *task;
+}
+
+const MatchingTask& SyntheticTask() {
+  static const MatchingTask* task = [] {
+    SyntheticProcessOptions options;
+    options.num_units = 5;
+    options.num_traces = 5000;
+    return new MatchingTask(MakeSyntheticTask(options));
+  }();
+  return *task;
+}
+
+void BM_DependencyGraphBuild(benchmark::State& state) {
+  const EventLog& log = BusTask().log1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DependencyGraph::Build(log));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.TotalLength()));
+}
+BENCHMARK(BM_DependencyGraphBuild);
+
+void BM_TraceIndexBuild(benchmark::State& state) {
+  const EventLog& log = SyntheticTask().log1;
+  for (auto _ : state) {
+    TraceIndex index(log);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_TraceIndexBuild);
+
+void BM_WindowMembership(benchmark::State& state) {
+  // SEQ(A, AND(B,C), D)-shaped pattern over a matching window.
+  const Pattern& p = BusTask().complex_patterns[0];
+  std::vector<EventId> window = p.events();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WindowMatchesPattern(p, window));
+  }
+}
+BENCHMARK(BM_WindowMembership);
+
+void BM_TraceMatch(benchmark::State& state) {
+  const MatchingTask& task = BusTask();
+  const Pattern& p = task.complex_patterns[0];
+  const Trace& trace = task.log1.traces()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TraceMatchesPattern(trace, p));
+  }
+}
+BENCHMARK(BM_TraceMatch);
+
+void BM_PatternFrequencyCold(benchmark::State& state) {
+  const MatchingTask& task = BusTask();
+  const Pattern& p = task.complex_patterns[0];
+  for (auto _ : state) {
+    state.PauseTiming();
+    FrequencyEvaluatorOptions options;
+    options.use_cache = false;
+    FrequencyEvaluator eval(task.log1, options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(eval.Frequency(p));
+  }
+}
+BENCHMARK(BM_PatternFrequencyCold);
+
+void BM_PatternFrequencyCached(benchmark::State& state) {
+  const MatchingTask& task = BusTask();
+  const Pattern& p = task.complex_patterns[0];
+  FrequencyEvaluator eval(task.log1);
+  eval.Frequency(p);  // Warm the memo table.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Frequency(p));
+  }
+}
+BENCHMARK(BM_PatternFrequencyCached);
+
+void BM_PatternGraphTranslation(benchmark::State& state) {
+  const Pattern& p = BusTask().complex_patterns[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TranslatePatternToGraph(p));
+  }
+}
+BENCHMARK(BM_PatternGraphTranslation);
+
+void BM_TightBound(benchmark::State& state) {
+  const MatchingTask& task = BusTask();
+  const DependencyGraph g2 = DependencyGraph::Build(task.log2);
+  const Pattern& p = task.complex_patterns[0];
+  std::vector<EventId> targets;
+  for (EventId v = 0; v < task.log2.num_events(); ++v) {
+    targets.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternUpperBound(p, 0.9, targets, g2));
+  }
+}
+BENCHMARK(BM_TightBound);
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<std::vector<double>> weights(n, std::vector<double>(n));
+  for (auto& row : weights) {
+    for (double& cell : row) cell = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMaxWeightAssignment(weights));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_SubgraphIsomorphism(benchmark::State& state) {
+  // Embed the Example 4 pattern graph into the bus dependency graph.
+  const MatchingTask& task = BusTask();
+  const PatternGraph pg = TranslatePatternToGraph(task.complex_patterns[0]);
+  const DependencyGraph g2 = DependencyGraph::Build(task.log2);
+  Digraph target(task.log2.num_events());
+  for (const auto& [u, v] : g2.edges()) {
+    target.AddEdge(u, v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSubgraphIsomorphic(pg.graph, target));
+  }
+}
+BENCHMARK(BM_SubgraphIsomorphism);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Theorem 2 scaling check: with vertex patterns only, the optimal event
+// matching is solvable in polynomial time (O(n^4 |L| |P|)), and the
+// advanced heuristic attains the optimum (Proposition 6). This harness
+// sweeps the event count on vertex-pattern instances and prints, per n:
+//
+//  * the advanced heuristic's time and objective,
+//  * the Kuhn-Munkres reference (O(n^3)) time and optimum,
+//  * their agreement (Proposition 6 requires equality under the
+//    absolute theta form),
+//  * the exact A* time on the same instance — exponential, for contrast
+//    (budget-capped).
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "assignment/hungarian.h"
+#include "common/rng.h"
+#include "core/astar_matcher.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/pattern_set.h"
+#include "core/theta_score.h"
+#include "eval/table.h"
+#include "graph/dependency_graph.h"
+
+namespace {
+
+using namespace hematch;
+
+void FillRandomLog(EventLog& log, std::size_t n, std::size_t traces,
+                   Rng& rng) {
+  for (std::size_t v = 0; v < n; ++v) {
+    log.InternEvent("e" + std::to_string(v));
+  }
+  for (std::size_t t = 0; t < traces; ++t) {
+    Trace trace(1 + rng.NextBounded(8));
+    for (EventId& e : trace) {
+      e = static_cast<EventId>(rng.NextBounded(n));
+    }
+    log.AddTrace(std::move(trace));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Theorem 2 / Proposition 6: vertex-pattern instances are "
+               "polynomial\n\n";
+  TextTable table({"# events", "KM optimum", "KM ms", "Heuristic-Adv ms",
+                   "agrees", "Exact ms", "Exact mappings"});
+  Rng rng(2024);
+  for (std::size_t n : {5, 10, 15, 20, 30, 40, 60}) {
+    EventLog log1;
+    EventLog log2;
+    Rng r1 = rng.Fork();
+    Rng r2 = rng.Fork();
+    FillRandomLog(log1, n, 400, r1);
+    FillRandomLog(log2, n, 400, r2);
+    PatternSetOptions vertex_only;
+    vertex_only.include_edges = false;
+    const DependencyGraph g1 = DependencyGraph::Build(log1);
+    MatchingContext ctx(log1, log2,
+                        BuildPatternSet(g1, {}, vertex_only));
+
+    // Kuhn-Munkres reference on theta (vertex similarities).
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto theta = ComputeThetaScores(ctx, ThetaForm::kAbsolute);
+    const AssignmentResult km = SolveMaxWeightAssignment(theta);
+    const double km_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+    HeuristicAdvancedOptions options;
+    options.theta_form = ThetaForm::kAbsolute;
+    const Result<MatchResult> advanced =
+        HeuristicAdvancedMatcher(options).Match(ctx);
+
+    AStarOptions exact_options;
+    exact_options.max_expansions = 300'000;
+    const Result<MatchResult> exact =
+        AStarMatcher(exact_options).Match(ctx);
+
+    const bool agrees =
+        advanced.ok() &&
+        std::abs(advanced->objective - km.total_weight) < 1e-6;
+    table.AddRow(
+        {std::to_string(n), TextTable::Num(km.total_weight),
+         TextTable::Num(km_ms, 2),
+         advanced.ok() ? TextTable::Num(advanced->elapsed_ms, 2) : "-",
+         agrees ? "yes" : "NO",
+         exact.ok() ? TextTable::Num(exact->elapsed_ms, 2) : "-",
+         exact.ok() ? std::to_string(exact->mappings_processed)
+                    : "budget exhausted"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: 'agrees' = yes everywhere (Proposition 6); the\n"
+               "heuristic's time grows polynomially while Exact exhausts\n"
+               "its budget once the vertex frequencies stop separating\n"
+               "events.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+#ifndef HEMATCH_BENCH_BENCH_UTIL_H_
+#define HEMATCH_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure/table reproduction harnesses. Each
+// harness prints the same rows/series as the corresponding figure or
+// table of the paper (F-measure, wall-clock, and processed-mapping
+// counts per method); see EXPERIMENTS.md for the paper-vs-measured
+// record.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "gen/matching_task.h"
+
+namespace hematch::bench {
+
+/// Runs every matcher on `task` and appends one row per metric table.
+/// A method that fails (budget exhausted) renders as "-", matching the
+/// paper's "cannot return results".
+struct FigureTables {
+  explicit FigureTables(std::vector<std::string> header)
+      : f_measure(header), time_ms(header), mappings(header) {}
+
+  TextTable f_measure;
+  TextTable time_ms;
+  TextTable mappings;
+
+  void AddRows(const std::string& x_value,
+               const std::vector<const Matcher*>& matchers,
+               const MatchingTask& task) {
+    std::vector<std::string> f_row = {x_value};
+    std::vector<std::string> t_row = {x_value};
+    std::vector<std::string> m_row = {x_value};
+    for (const Matcher* matcher : matchers) {
+      const RunRecord record = RunMatcherOnTask(*matcher, task);
+      if (!record.completed) {
+        f_row.push_back("-");
+        t_row.push_back("-");
+        m_row.push_back("-");
+        continue;
+      }
+      f_row.push_back(TextTable::Num(record.f_measure));
+      t_row.push_back(TextTable::Num(record.elapsed_ms, 2));
+      m_row.push_back(std::to_string(record.mappings_processed));
+    }
+    f_measure.AddRow(std::move(f_row));
+    time_ms.AddRow(std::move(t_row));
+    mappings.AddRow(std::move(m_row));
+  }
+
+  void Print(const std::string& figure, const std::string& x_name) const {
+    std::cout << "\n== " << figure << "a: F-measure vs " << x_name
+              << " ==\n";
+    f_measure.Print(std::cout);
+    std::cout << "\n== " << figure << "b: time (ms) vs " << x_name
+              << " ==\n";
+    time_ms.Print(std::cout);
+    std::cout << "\n== " << figure << "c: # processed mappings vs " << x_name
+              << " ==\n";
+    mappings.Print(std::cout);
+  }
+};
+
+/// Header row: the x-axis label followed by method names.
+inline std::vector<std::string> MakeHeader(
+    const std::string& x_name, const std::vector<const Matcher*>& matchers) {
+  std::vector<std::string> header = {x_name};
+  for (const Matcher* matcher : matchers) {
+    header.push_back(matcher->name());
+  }
+  return header;
+}
+
+}  // namespace hematch::bench
+
+#endif  // HEMATCH_BENCH_BENCH_UTIL_H_

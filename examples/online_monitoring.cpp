@@ -1,0 +1,74 @@
+// Online monitoring scenario: the source system's schema is known, the
+// target system streams traces in. The incremental dependency graph
+// ingests each arriving trace in O(length); every K traces we snapshot
+// it, rebuild the (cheap, schema-sized) matching instance, and watch the
+// proposed mapping converge to the ground truth as evidence accumulates
+// — the complex-event-processing setting the paper's introduction
+// motivates.
+//
+//   ./build/examples/online_monitoring
+
+#include <iostream>
+
+#include "core/heuristic_advanced_matcher.h"
+#include "core/pattern_set.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "gen/bus_process.h"
+#include "graph/incremental_dependency_graph.h"
+#include "log/projection.h"
+
+int main() {
+  using namespace hematch;
+
+  BusProcessOptions options;
+  options.num_traces = 2000;
+  const MatchingTask task = MakeBusManufacturerTask(options);
+
+  // The "stream": log2's traces arrive one at a time.
+  IncrementalDependencyGraph stream;
+  stream.EnsureEvents(task.log2.num_events());
+
+  const HeuristicAdvancedMatcher matcher;
+  TextTable table({"traces seen", "F-measure", "match time (ms)"});
+
+  std::size_t ingested = 0;
+  for (std::size_t checkpoint : {25u, 50u, 100u, 250u, 500u, 1000u, 2000u}) {
+    while (ingested < checkpoint && ingested < task.log2.num_traces()) {
+      stream.AddTrace(task.log2.traces()[ingested]);
+      ++ingested;
+    }
+    // Snapshot-driven rematch. (The matchers consume an EventLog-backed
+    // context; at schema scale rebuilding one from the streamed prefix
+    // is cheap, and the incremental graph gives the monitoring layer
+    // O(1) frequency reads between rematches.)
+    const EventLog window = SelectFirstTraces(task.log2, ingested);
+    const DependencyGraph g1 = DependencyGraph::Build(task.log1);
+    MatchingContext context(task.log1, window,
+                            BuildPatternSet(g1, task.complex_patterns));
+    Result<MatchResult> result = matcher.Match(context);
+    if (!result.ok()) {
+      std::cerr << "matching failed: " << result.status() << "\n";
+      return 1;
+    }
+    // Sanity: the incremental graph agrees with the batch snapshot.
+    const DependencyGraph snapshot = stream.Snapshot();
+    for (EventId v = 0; v < window.num_events(); ++v) {
+      if (std::abs(snapshot.VertexFrequency(v) -
+                   context.graph2().VertexFrequency(v)) > 1e-12) {
+        std::cerr << "incremental/batch mismatch at event " << v << "\n";
+        return 1;
+      }
+    }
+    const MatchQuality quality =
+        EvaluateMapping(result->mapping, task.ground_truth);
+    table.AddRow({std::to_string(ingested),
+                  TextTable::Num(quality.f_measure),
+                  TextTable::Num(result->elapsed_ms, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe mapping stabilizes once the streamed frequencies\n"
+               "separate the confusable events; before that, the matcher\n"
+               "honestly reflects the ambiguity in the data.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Pattern-discovery pipeline: the paper assumes interesting patterns are
+// "available in business process analyzing systems" or "discovered from
+// data". This example runs the full pipeline with *no* hand-curated
+// patterns: mine discriminative composite patterns from the source log,
+// feed them to the matcher, and compare against matching with the
+// curated patterns and with no complex patterns at all (= Vertex+Edge).
+//
+//   ./build/examples/pattern_mining_pipeline
+
+#include <iostream>
+
+#include "core/astar_matcher.h"
+#include "core/pattern_set.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "gen/bus_process.h"
+#include "gen/pattern_miner.h"
+#include "graph/dependency_graph.h"
+
+int main() {
+  using namespace hematch;
+
+  BusProcessOptions options;
+  options.num_traces = 2000;
+  const MatchingTask task = MakeBusManufacturerTask(options);
+  const DependencyGraph g1 = DependencyGraph::Build(task.log1);
+
+  // --- Mine composite patterns from log1. --------------------------------
+  PatternMinerOptions miner_options;
+  miner_options.min_support = 0.25;
+  miner_options.max_events = 4;
+  miner_options.max_patterns = 6;
+  const std::vector<Pattern> mined =
+      MineDiscriminativePatterns(task.log1, miner_options);
+  std::cout << "mined " << mined.size() << " composite patterns:\n";
+  for (const Pattern& p : mined) {
+    std::cout << "  " << p.ToString(&task.log1.dictionary()) << "\n";
+  }
+
+  // --- Match under three pattern sources. ---------------------------------
+  struct Variant {
+    const char* name;
+    std::vector<Pattern> complex;
+  };
+  const Variant variants[] = {
+      {"no complex patterns (Vertex+Edge)", {}},
+      {"curated patterns (paper setup)", task.complex_patterns},
+      {"mined patterns (this pipeline)", mined},
+  };
+
+  TextTable table({"pattern source", "# complex", "F-measure", "time(ms)"});
+  const AStarMatcher matcher;
+  for (const Variant& variant : variants) {
+    MatchingContext context(task.log1, task.log2,
+                            BuildPatternSet(g1, variant.complex));
+    const RunRecord record =
+        RunMatcher(matcher, context, &task.ground_truth);
+    table.AddRow({variant.name, std::to_string(variant.complex.size()),
+                  record.completed ? TextTable::Num(record.f_measure) : "-",
+                  record.completed ? TextTable::Num(record.elapsed_ms, 1)
+                                   : record.failure});
+  }
+  table.Print(std::cout);
+  std::cout << "\nMined patterns stand in for curated ones when no domain\n"
+               "expert is available — the matcher only needs SEQ/AND trees\n"
+               "with discriminative frequencies.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Scale-up scenario: matching logs of a process built from repeated,
+// near-identical structural units (the paper's Fig. 11 situation) —
+// where exhaustive matching stops being an option and the heuristics
+// earn their keep. This example sweeps the event-set size and shows the
+// exact matcher hitting its search budget while the heuristics keep
+// returning mappings.
+//
+//   ./build/examples/synthetic_scaleup [max_units] [traces]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/vertex_matcher.h"
+#include "core/astar_matcher.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/heuristic_simple_matcher.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "gen/synthetic_process.h"
+
+int main(int argc, char** argv) {
+  using namespace hematch;
+  const std::size_t max_units =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const std::size_t traces =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4000;
+
+  // A small budget makes the exact matcher give up quickly once the
+  // factorial search space outgrows it — the behaviour the paper reports
+  // as "cannot return results over 20 events".
+  AStarOptions exact_options;
+  exact_options.max_expansions = 200'000;
+  const AStarMatcher exact(exact_options);
+  const HeuristicSimpleMatcher heuristic_simple;
+  const HeuristicAdvancedMatcher heuristic_advanced;
+  const VertexMatcher vertex;
+  const Matcher* matchers[] = {&exact, &heuristic_simple,
+                               &heuristic_advanced, &vertex};
+
+  std::cout << "Repeated-structure scale-up (" << traces
+            << " traces per log; exact budget "
+            << exact_options.max_expansions << " expansions)\n\n";
+  TextTable table({"# events", "method", "F-measure", "time(ms)",
+                   "# mappings processed"});
+  for (std::size_t units = 1; units <= max_units; ++units) {
+    SyntheticProcessOptions options;
+    options.num_units = units;
+    options.num_traces = traces;
+    const MatchingTask task = MakeSyntheticTask(options);
+    for (const Matcher* matcher : matchers) {
+      const RunRecord record = RunMatcherOnTask(*matcher, task);
+      if (!record.completed) {
+        table.AddRow({std::to_string(10 * units), matcher->name(),
+                      "(budget exhausted)", "-", "-"});
+        continue;
+      }
+      table.AddRow({std::to_string(10 * units), matcher->name(),
+                    TextTable::Num(record.f_measure),
+                    TextTable::Num(record.elapsed_ms, 1),
+                    std::to_string(record.mappings_processed)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: beyond a couple of repeated units the exact\n"
+               "search exhausts any practical budget; Heuristic-Advanced\n"
+               "keeps recovering most of the mapping at a tiny fraction of\n"
+               "the processed-mapping count.\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// libFuzzer entry point for the pattern parser: no input may crash,
+// hang, or violate the parse -> print -> parse fixpoint.
+// Build with -DHEMATCH_BUILD_FUZZERS=ON (requires clang's libFuzzer).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "log/event_dictionary.h"
+#include "pattern/pattern_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace hematch;
+  static EventDictionary* dict = [] {
+    auto* d = new EventDictionary();
+    for (const char* n : {"A", "B", "C", "D", "E", "x", "y1", "z.2"}) {
+      d->Intern(n);
+    }
+    return d;
+  }();
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  Result<Pattern> parsed = ParsePattern(text, *dict);
+  if (parsed.ok()) {
+    // Printing and reparsing must reproduce the same structure.
+    const std::string printed = parsed->ToString(dict);
+    Result<Pattern> reparsed = ParsePattern(printed, *dict);
+    if (!reparsed.ok() || !(parsed.value() == reparsed.value())) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// libFuzzer entry point for the XML/XES readers: arbitrary bytes must
+// produce either a log or a ParseError — never a crash or hang.
+// Build with -DHEMATCH_BUILD_FUZZERS=ON (requires clang's libFuzzer).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "log/xes_io.h"
+#include "log/xml_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace hematch;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  {
+    XmlParser parser(text);
+    for (int i = 0; i < 100000; ++i) {
+      Result<XmlParser::Token> token = parser.Next();
+      if (!token.ok() || token->kind == XmlParser::TokenKind::kEnd) {
+        break;
+      }
+    }
+  }
+  {
+    std::istringstream in(text);
+    (void)ReadXesLog(in);
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced table/figure (and the ablations) into
+# results/, one file per harness. Build first:
+#   cmake -B build -G Ninja && cmake --build build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-results}"
+mkdir -p "$OUT_DIR"
+
+benches=(bench_table3 bench_fig7 bench_fig8 bench_fig9 bench_fig10
+         bench_fig12 bench_table4 bench_theorem2 bench_ablation)
+
+for bench in "${benches[@]}"; do
+  echo "== $bench"
+  "$BUILD_DIR/bench/$bench" | tee "$OUT_DIR/$bench.txt"
+done
+
+echo "== bench_micro"
+"$BUILD_DIR/bench/bench_micro" --benchmark_min_time=0.05s \
+  | tee "$OUT_DIR/bench_micro.txt"
+
+echo
+echo "All outputs written to $OUT_DIR/; compare against EXPERIMENTS.md."

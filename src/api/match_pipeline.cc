@@ -1,0 +1,102 @@
+#include "api/match_pipeline.h"
+
+#include <memory>
+
+#include "baselines/entropy_matcher.h"
+#include "baselines/iterative_matcher.h"
+#include "baselines/vertex_edge_matcher.h"
+#include "baselines/vertex_matcher.h"
+#include "core/astar_matcher.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/heuristic_simple_matcher.h"
+#include "core/matching_context.h"
+#include "core/pattern_set.h"
+#include "gen/pattern_miner.h"
+#include "graph/dependency_graph.h"
+#include "pattern/pattern_parser.h"
+
+namespace hematch {
+
+namespace {
+
+std::unique_ptr<Matcher> MakeMatcher(const MatchPipelineOptions& options) {
+  switch (options.method) {
+    case MatchMethod::kPatternTight: {
+      AStarOptions astar;
+      astar.scorer = options.scorer;
+      astar.scorer.bound = BoundKind::kTight;
+      astar.max_expansions = options.max_expansions;
+      return std::make_unique<AStarMatcher>(astar);
+    }
+    case MatchMethod::kPatternSimple: {
+      AStarOptions astar;
+      astar.scorer = options.scorer;
+      astar.scorer.bound = BoundKind::kSimple;
+      astar.max_expansions = options.max_expansions;
+      return std::make_unique<AStarMatcher>(astar);
+    }
+    case MatchMethod::kHeuristicSimple: {
+      HeuristicSimpleOptions heuristic;
+      heuristic.scorer = options.scorer;
+      return std::make_unique<HeuristicSimpleMatcher>(heuristic);
+    }
+    case MatchMethod::kHeuristicAdvanced: {
+      HeuristicAdvancedOptions heuristic;
+      heuristic.scorer = options.scorer;
+      return std::make_unique<HeuristicAdvancedMatcher>(heuristic);
+    }
+    case MatchMethod::kVertex:
+      return std::make_unique<VertexMatcher>();
+    case MatchMethod::kVertexEdge: {
+      VertexEdgeOptions ve;
+      ve.max_expansions = options.max_expansions;
+      return std::make_unique<VertexEdgeMatcher>(ve);
+    }
+    case MatchMethod::kIterative:
+      return std::make_unique<IterativeMatcher>();
+    case MatchMethod::kEntropy:
+      return std::make_unique<EntropyMatcher>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
+                                       const EventLog& log2,
+                                       const MatchPipelineOptions& options) {
+  MatchPipelineOutcome outcome;
+  // Orientation: the mapping is injective source -> target, so the
+  // smaller vocabulary is the source.
+  const bool swapped = log1.num_events() > log2.num_events();
+  outcome.swapped = swapped;
+  const EventLog& source = swapped ? log2 : log1;
+  const EventLog& target = swapped ? log1 : log2;
+
+  std::vector<Pattern> complex;
+  for (const std::string& text : options.patterns) {
+    HEMATCH_ASSIGN_OR_RETURN(Pattern p,
+                             ParsePattern(text, source.dictionary()));
+    outcome.used_patterns.push_back(p.ToString(&source.dictionary()));
+    complex.push_back(std::move(p));
+  }
+  if (options.mine_patterns) {
+    PatternMinerOptions miner;
+    miner.min_support = options.mine_min_support;
+    for (Pattern& p : MineDiscriminativePatterns(source, miner)) {
+      outcome.used_patterns.push_back(p.ToString(&source.dictionary()));
+      complex.push_back(std::move(p));
+    }
+  }
+
+  const DependencyGraph g1 = DependencyGraph::Build(source);
+  MatchingContext context(source, target, BuildPatternSet(g1, complex));
+  std::unique_ptr<Matcher> matcher = MakeMatcher(options);
+  if (matcher == nullptr) {
+    return Status::InvalidArgument("unknown match method");
+  }
+  HEMATCH_ASSIGN_OR_RETURN(outcome.result, matcher->Match(context));
+  return outcome;
+}
+
+}  // namespace hematch

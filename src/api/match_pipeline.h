@@ -1,0 +1,68 @@
+#ifndef HEMATCH_API_MATCH_PIPELINE_H_
+#define HEMATCH_API_MATCH_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_result.h"
+#include "core/mapping_scorer.h"
+#include "log/event_log.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Which matching algorithm the one-call facade runs.
+enum class MatchMethod : std::uint8_t {
+  kPatternTight,        ///< Exact A*, tight bound (default).
+  kPatternSimple,       ///< Exact A*, simple bound.
+  kHeuristicSimple,     ///< Greedy expansion.
+  kHeuristicAdvanced,   ///< Algorithms 3 & 4.
+  kVertex,              ///< Kang & Naughton, vertex form.
+  kVertexEdge,          ///< Kang & Naughton, vertex+edge form.
+  kIterative,           ///< Nejati et al., similarity propagation.
+  kEntropy,             ///< Entropy-only features.
+};
+
+/// Options for `MatchLogs`.
+struct MatchPipelineOptions {
+  MatchMethod method = MatchMethod::kPatternTight;
+  /// Complex patterns over the *source* log (the smaller-vocabulary side
+  /// after the pipeline's orientation step). Textual forms are parsed
+  /// against that log's dictionary.
+  std::vector<std::string> patterns;
+  /// Additionally mine discriminative patterns from the source log.
+  bool mine_patterns = false;
+  double mine_min_support = 0.10;
+  /// Expansion budget for the exact methods.
+  std::uint64_t max_expansions = 50'000'000;
+  /// Bound / existence-check configuration.
+  ScorerOptions scorer;
+};
+
+/// Outcome of the facade: the mapping plus the information callers
+/// invariably want next.
+struct MatchPipelineOutcome {
+  MatchResult result;
+  /// True when the pipeline swapped the logs so that |V1| <= |V2|; the
+  /// returned mapping is then from `log2`'s events to `log1`'s.
+  bool swapped = false;
+  /// The patterns actually used (textual, over the source vocabulary) —
+  /// provided plus mined.
+  std::vector<std::string> used_patterns;
+};
+
+/// One-call convenience API: orient the logs (injective mappings need
+/// |V1| <= |V2|), assemble the pattern set (vertices + edges + provided
+/// + optionally mined patterns), build the context, and run the selected
+/// matcher. Library users composing several runs should use
+/// `MatchingContext` + a `Matcher` directly to share caches; this facade
+/// is for the "just match these two logs" case.
+Result<MatchPipelineOutcome> MatchLogs(
+    const EventLog& log1, const EventLog& log2,
+    const MatchPipelineOptions& options = {});
+
+}  // namespace hematch
+
+#endif  // HEMATCH_API_MATCH_PIPELINE_H_

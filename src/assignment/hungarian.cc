@@ -1,0 +1,84 @@
+#include "assignment/hungarian.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace hematch {
+
+AssignmentResult SolveMaxWeightAssignment(
+    const std::vector<std::vector<double>>& weights) {
+  const std::size_t n = weights.size();
+  AssignmentResult result;
+  if (n == 0) {
+    return result;
+  }
+  for (const auto& row : weights) {
+    HEMATCH_CHECK(row.size() == n, "weight matrix must be square");
+  }
+
+  // Classic O(n^3) shortest-augmenting-path formulation with potentials,
+  // on the *minimization* of negated weights. Indices are 1-based with a
+  // virtual row/column 0, the standard trick that keeps the inner loop
+  // branch-free.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto cost = [&](std::size_t i, std::size_t j) { return -weights[i][j]; };
+
+  std::vector<double> u(n + 1, 0.0);   // Row potentials.
+  std::vector<double> v(n + 1, 0.0);   // Column potentials.
+  std::vector<std::size_t> match(n + 1, 0);  // match[j] = row matched to j.
+  std::vector<std::size_t> way(n + 1, 0);    // Back-pointers on columns.
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) {
+          continue;
+        }
+        const double reduced = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (reduced < minv[j]) {
+          minv[j] = reduced;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Unwind the augmenting path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.assignment[match[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.total_weight += weights[i][result.assignment[i]];
+  }
+  return result;
+}
+
+}  // namespace hematch

@@ -1,0 +1,35 @@
+#ifndef HEMATCH_ASSIGNMENT_HUNGARIAN_H_
+#define HEMATCH_ASSIGNMENT_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hematch {
+
+/// Result of a maximum-weight perfect assignment.
+struct AssignmentResult {
+  /// `assignment[row]` = the column matched to `row`.
+  std::vector<std::size_t> assignment;
+  /// Sum of the selected weights.
+  double total_weight = 0.0;
+};
+
+/// Solves the maximum-weight perfect assignment problem on a square weight
+/// matrix in O(n^3) using the Kuhn-Munkres (Hungarian) algorithm with
+/// potentials [Kuhn 1955; the paper's reference 12].
+///
+/// `weights[i][j]` is the gain of assigning row `i` to column `j`; the
+/// matrix must be square (rectangular problems are handled by the caller
+/// padding with zero-weight dummy rows/columns, exactly as the paper adds
+/// "artificial events" to equalize |V1| and |V2|).
+///
+/// Used by the Vertex, Iterative, and Entropy baselines, as the reference
+/// implementation in tests for Proposition 6 (the advanced heuristic is
+/// optimal for vertex patterns), and by anything needing a one-shot
+/// bipartite assignment.
+AssignmentResult SolveMaxWeightAssignment(
+    const std::vector<std::vector<double>>& weights);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_ASSIGNMENT_HUNGARIAN_H_

@@ -1,0 +1,27 @@
+#ifndef HEMATCH_BASELINES_ENTROPY_MATCHER_H_
+#define HEMATCH_BASELINES_ENTROPY_MATCHER_H_
+
+#include <string>
+
+#include "core/matcher.h"
+
+namespace hematch {
+
+/// The **Entropy-only** baseline from Kang & Naughton [7], used by the
+/// paper as the non-graph-based comparator (Section 6.3.1).
+///
+/// Each event is summarized by the binary entropy of its per-trace
+/// occurrence indicator — "the uncertainty of whether the events appear in
+/// a trace, without exploiting the structural information among events" —
+/// and the mapping minimizes the total entropy difference via a bipartite
+/// assignment (weights `-|H1(u) - H2(v)|`). Very fast, structure-blind,
+/// and accordingly less accurate: the trade-off Fig. 12 illustrates.
+class EntropyMatcher : public Matcher {
+ public:
+  std::string name() const override { return "Entropy-only"; }
+  Result<MatchResult> Match(MatchingContext& context) const override;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_BASELINES_ENTROPY_MATCHER_H_

@@ -1,0 +1,29 @@
+#include "baselines/vertex_edge_matcher.h"
+
+#include "core/astar_matcher.h"
+#include "core/pattern_set.h"
+
+namespace hematch {
+
+VertexEdgeMatcher::VertexEdgeMatcher(VertexEdgeOptions options)
+    : options_(options) {}
+
+Result<MatchResult> VertexEdgeMatcher::Match(MatchingContext& context) const {
+  // Restricted instance: vertices + edges of G1 as the pattern set.
+  PatternSetOptions set_options;
+  set_options.include_vertices = true;
+  set_options.include_edges = true;
+  MatchingContext restricted(
+      context.log1(), context.log2(),
+      BuildPatternSet(context.graph1(), /*complex_patterns=*/{},
+                      set_options));
+
+  AStarOptions astar_options;
+  astar_options.scorer.bound = BoundKind::kTight;
+  astar_options.max_expansions = options_.max_expansions;
+  astar_options.name_override = name();
+  const AStarMatcher astar(astar_options);
+  return astar.Match(restricted);
+}
+
+}  // namespace hematch

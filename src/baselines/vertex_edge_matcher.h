@@ -1,0 +1,41 @@
+#ifndef HEMATCH_BASELINES_VERTEX_EDGE_MATCHER_H_
+#define HEMATCH_BASELINES_VERTEX_EDGE_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/matcher.h"
+
+namespace hematch {
+
+/// Options for the Vertex+Edge baseline.
+struct VertexEdgeOptions {
+  /// Expansion budget; like the exact pattern matcher, Vertex+Edge is a
+  /// full search and "cannot return results" beyond ~20 events (Fig. 12).
+  std::uint64_t max_expansions = 50'000'000;
+};
+
+/// The **Vertex+Edge** baseline of Kang & Naughton [7]: maximize the
+/// vertex+edge-form normal distance (Definition 2).
+///
+/// Vertices and edges are special patterns, so this is the pattern
+/// framework instantiated with the vertex+edge pattern set and no complex
+/// patterns (Section 2.2: "pattern based matching can be interpreted as a
+/// generalization of the existing vertex/edge based matching"). The
+/// matcher builds that restricted instance internally and runs the A*
+/// search with the tight bound on it; unlike Vertex, the edge terms
+/// couple pairs, so no polynomial shortcut exists (Theorem 1).
+class VertexEdgeMatcher : public Matcher {
+ public:
+  explicit VertexEdgeMatcher(VertexEdgeOptions options = {});
+
+  std::string name() const override { return "Vertex+Edge"; }
+  Result<MatchResult> Match(MatchingContext& context) const override;
+
+ private:
+  VertexEdgeOptions options_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_BASELINES_VERTEX_EDGE_MATCHER_H_

@@ -1,0 +1,49 @@
+#include "baselines/vertex_matcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "assignment/hungarian.h"
+#include "core/normal_distance.h"
+
+namespace hematch {
+
+Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  const std::size_t n1 = context.num_sources();
+  const std::size_t n2 = context.num_targets();
+  if (n1 > n2) {
+    return Status::InvalidArgument(
+        "Vertex matcher requires |V1| <= |V2|; swap the logs");
+  }
+  const std::size_t n = std::max(n1, n2);
+
+  // Pairwise vertex-frequency similarities, zero-padded to square.
+  std::vector<std::vector<double>> weights(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = 0; j < n2; ++j) {
+      weights[i][j] = FrequencySimilarity(
+          context.graph1().VertexFrequency(static_cast<EventId>(i)),
+          context.graph2().VertexFrequency(static_cast<EventId>(j)));
+    }
+  }
+  const AssignmentResult assignment = SolveMaxWeightAssignment(weights);
+
+  MatchResult result;
+  result.mapping = Mapping(n1, n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    const std::size_t j = assignment.assignment[i];
+    if (j < n2) {
+      result.mapping.Set(static_cast<EventId>(i), static_cast<EventId>(j));
+    }
+  }
+  result.objective = VertexNormalDistance(context.graph1(), context.graph2(),
+                                          result.mapping);
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_time)
+                          .count();
+  return result;
+}
+
+}  // namespace hematch

@@ -1,0 +1,26 @@
+#ifndef HEMATCH_BASELINES_VERTEX_MATCHER_H_
+#define HEMATCH_BASELINES_VERTEX_MATCHER_H_
+
+#include <string>
+
+#include "core/matcher.h"
+
+namespace hematch {
+
+/// The **Vertex** baseline of Kang & Naughton [7]: find the mapping that
+/// maximizes the vertex-form normal distance (Definition 2 with v1 = v2),
+/// i.e., the sum of vertex-frequency similarities.
+///
+/// Because the vertex objective decomposes over pairs, the optimum is a
+/// maximum-weight bipartite assignment; this matcher computes it exactly
+/// in O(n^3) with the Hungarian algorithm (Theorem 2's polynomial special
+/// case — vertex patterns only). Dummy events pad rectangular instances.
+class VertexMatcher : public Matcher {
+ public:
+  std::string name() const override { return "Vertex"; }
+  Result<MatchResult> Match(MatchingContext& context) const override;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_BASELINES_VERTEX_MATCHER_H_

@@ -1,0 +1,40 @@
+#ifndef HEMATCH_COMMON_CHECK_H_
+#define HEMATCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hematch::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "HEMATCH_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] != '\0' ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace hematch::internal
+
+/// Aborts the process with a diagnostic when `cond` is false. Used for
+/// internal invariants and API contracts whose violation indicates a bug in
+/// the calling code (recoverable conditions return Status instead).
+/// Always on, including in release builds: violated invariants in a search
+/// algorithm silently produce wrong mappings otherwise.
+#define HEMATCH_CHECK(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::hematch::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                   \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define HEMATCH_DCHECK(cond, msg) HEMATCH_CHECK(cond, msg)
+#else
+#define HEMATCH_DCHECK(cond, msg) \
+  do {                            \
+  } while (false)
+#endif
+
+#endif  // HEMATCH_COMMON_CHECK_H_

@@ -1,0 +1,80 @@
+#ifndef HEMATCH_COMMON_RESULT_H_
+#define HEMATCH_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hematch {
+
+/// Either a value of type `T` or a non-OK `Status` describing why the value
+/// could not be produced. The minimal StatusOr-style vocabulary type used
+/// by every fallible factory in this library.
+///
+/// Invariant: exactly one of {value, non-OK status} is held. Constructing a
+/// `Result` from an OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit so functions can `return Status::...;`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    HEMATCH_CHECK(!status_.ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires `ok()`.
+  const T& value() const& {
+    HEMATCH_CHECK(ok(), "Result::value() called on error Result");
+    return *value_;
+  }
+  T& value() & {
+    HEMATCH_CHECK(ok(), "Result::value() called on error Result");
+    return *value_;
+  }
+  T&& value() && {
+    HEMATCH_CHECK(ok(), "Result::value() called on error Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns the
+/// error status from the enclosing function.
+#define HEMATCH_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  HEMATCH_ASSIGN_OR_RETURN_IMPL_(                     \
+      HEMATCH_CONCAT_(hematch_result_, __LINE__), lhs, rexpr)
+
+#define HEMATCH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+
+#define HEMATCH_CONCAT_INNER_(a, b) a##b
+#define HEMATCH_CONCAT_(a, b) HEMATCH_CONCAT_INNER_(a, b)
+
+}  // namespace hematch
+
+#endif  // HEMATCH_COMMON_RESULT_H_

@@ -1,0 +1,96 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hematch {
+
+namespace {
+
+// SplitMix64, used to expand the single seed word into the 256-bit
+// xoshiro state (the construction recommended by the xoshiro authors).
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed ^ 0x6a09e667f3bcc908ULL;  // Remaps seed 0 too.
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  HEMATCH_CHECK(bound > 0, "NextBounded requires a positive bound");
+  // Rejection sampling over the largest multiple of `bound`.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  HEMATCH_CHECK(lo <= hi, "NextInRange requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  HEMATCH_CHECK(!weights.empty(), "NextWeighted requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    HEMATCH_CHECK(w >= 0.0 && std::isfinite(w),
+                  "NextWeighted requires non-negative finite weights");
+    total += w;
+  }
+  HEMATCH_CHECK(total > 0.0, "NextWeighted requires a positive weight sum");
+  double point = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point edge: last positive weight.
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace hematch

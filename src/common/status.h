@@ -1,0 +1,105 @@
+#ifndef HEMATCH_COMMON_STATUS_H_
+#define HEMATCH_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hematch {
+
+/// Error categories used across the library. Modeled on the small closed
+/// set of codes used by Status-style database libraries: the code is the
+/// machine-readable part, the message is for humans.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument violates the documented contract
+  /// (e.g., an event name that is not in the dictionary).
+  kInvalidArgument,
+  /// Textual input (pattern string, CSV log, ...) could not be parsed.
+  kParseError,
+  /// A lookup failed (e.g., no mapping returned, unknown event id).
+  kNotFound,
+  /// A configured budget (search nodes, wall-clock) was exhausted before
+  /// the algorithm could finish; partial results may be available.
+  kResourceExhausted,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+  /// The requested combination of options is not implemented.
+  kUnimplemented,
+};
+
+/// Returns the canonical name of a status code ("Ok", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// The library does not throw exceptions across public API boundaries
+/// (following the style rules adopted for this project); fallible
+/// operations return `Status` or `Result<T>` instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define HEMATCH_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::hematch::Status hematch_status_tmp_ = (expr);    \
+    if (!hematch_status_tmp_.ok()) {                   \
+      return hematch_status_tmp_;                      \
+    }                                                  \
+  } while (false)
+
+}  // namespace hematch
+
+#endif  // HEMATCH_COMMON_STATUS_H_

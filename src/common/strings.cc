@@ -1,0 +1,44 @@
+#include "common/strings.h"
+
+namespace hematch {
+
+std::vector<std::string> SplitString(std::string_view input, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delimiter) {
+      fields.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  const char* kWhitespace = " \t\r\n\v\f";
+  const std::size_t begin = input.find_first_not_of(kWhitespace);
+  if (begin == std::string_view::npos) {
+    return std::string_view();
+  }
+  const std::size_t end = input.find_last_not_of(kWhitespace);
+  return input.substr(begin, end - begin + 1);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += separator;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace hematch

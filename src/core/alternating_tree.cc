@@ -1,0 +1,126 @@
+#include "core/alternating_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hematch {
+
+namespace {
+
+// Tolerance for tight-edge tests under floating-point label arithmetic.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+AlternatingTree BuildAlternatingTree(
+    const std::vector<std::vector<double>>& theta,
+    const std::vector<double>& label1, const std::vector<double>& label2,
+    const std::vector<std::int32_t>& match1,
+    const std::vector<std::int32_t>& match2, std::int32_t root) {
+  const std::size_t n = theta.size();
+  HEMATCH_CHECK(root >= 0 && static_cast<std::size_t>(root) < n,
+                "alternating-tree root out of range");
+  HEMATCH_CHECK(match1[root] == kUnmatchedVertex,
+                "alternating-tree root must be unmatched");
+
+  AlternatingTree tree;
+  tree.label1 = label1;
+  tree.label2 = label2;
+  tree.parent_source.assign(n, kUnmatchedVertex);
+
+  std::vector<bool> in_s(n, false);  // Sources in the tree (T1).
+  std::vector<bool> in_t(n, false);  // Targets in the tree (T2).
+  // slack[j] = min over i in S of l1[i] + l2[j] - theta[i][j];
+  // slack_src[j] attains it.
+  std::vector<double> slack(n, std::numeric_limits<double>::infinity());
+  std::vector<std::int32_t> slack_src(n, root);
+
+  auto add_source = [&](std::int32_t i) {
+    in_s[i] = true;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_t[j]) {
+        continue;
+      }
+      const double gap =
+          tree.label1[i] + tree.label2[j] - theta[i][j];
+      if (gap < slack[j]) {
+        slack[j] = gap;
+        slack_src[j] = i;
+      }
+    }
+  };
+  add_source(root);
+
+  std::size_t targets_in_tree = 0;
+  while (targets_in_tree < n) {
+    // Find the target outside T with minimum slack. The scan order is
+    // rotated by the root so that exact theta ties — common between
+    // always-occurring events — resolve differently from different
+    // roots, diversifying the candidate augmenting paths Algorithm 3
+    // scores (the paper leaves tie-breaking unspecified).
+    double alpha = std::numeric_limits<double>::infinity();
+    std::int32_t next = kUnmatchedVertex;
+    for (std::size_t scan = 0; scan < n; ++scan) {
+      const std::size_t j = (scan + static_cast<std::size_t>(root)) % n;
+      if (!in_t[j] && slack[j] < alpha - kEps) {
+        alpha = slack[j];
+        next = static_cast<std::int32_t>(j);
+      }
+    }
+    HEMATCH_CHECK(next != kUnmatchedVertex, "no target left to expand to");
+
+    if (alpha > kEps) {
+      // Formula (4): lower tree-source labels and raise tree-target labels
+      // by alpha; slacks of outside targets shrink accordingly.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_s[i]) {
+          tree.label1[i] -= alpha;
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (in_t[j]) {
+          tree.label2[j] += alpha;
+        } else {
+          slack[j] -= alpha;
+        }
+      }
+    }
+
+    // `next` is now tight; add it to the tree.
+    in_t[next] = true;
+    ++targets_in_tree;
+    tree.parent_source[next] = slack_src[next];
+    const std::int32_t partner = match2[next];
+    if (partner == kUnmatchedVertex) {
+      tree.unmatched_targets.push_back(next);
+    } else if (!in_s[partner]) {
+      // Extend the alternating structure through the matched edge.
+      add_source(partner);
+    }
+  }
+  return tree;
+}
+
+void AugmentAlongPath(const AlternatingTree& tree, std::int32_t root,
+                      std::int32_t endpoint,
+                      std::vector<std::int32_t>& match1,
+                      std::vector<std::int32_t>& match2) {
+  std::int32_t j = endpoint;
+  for (;;) {
+    const std::int32_t i = tree.parent_source[j];
+    HEMATCH_CHECK(i != kUnmatchedVertex, "broken augmenting path");
+    const std::int32_t previous = match1[i];
+    match1[i] = j;
+    match2[j] = i;
+    if (i == root) {
+      break;
+    }
+    HEMATCH_CHECK(previous != kUnmatchedVertex,
+                  "non-root path source must have been matched");
+    j = previous;
+  }
+}
+
+}  // namespace hematch

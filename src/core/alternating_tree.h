@@ -1,0 +1,56 @@
+#ifndef HEMATCH_CORE_ALTERNATING_TREE_H_
+#define HEMATCH_CORE_ALTERNATING_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hematch {
+
+/// Sentinel for "unmatched" in the dense matching arrays below.
+inline constexpr std::int32_t kUnmatchedVertex = -1;
+
+/// The maximal alternating tree of Algorithm 4, built on a padded square
+/// instance of the estimated-score matrix theta.
+///
+/// Given a feasible labeling (l1, l2) — `l1[i] + l2[j] >= theta[i][j]` for
+/// all i, j — and a partial matching, the builder grows a Hungarian
+/// alternating tree from an unmatched root source along tight edges
+/// (`l1[i] + l2[j] = theta[i][j]`), lowering labels by the alpha of
+/// Formula (3)/(4) whenever the tree can no longer grow, until every
+/// target is in the tree (`|T2| = |V2|`, the "maximal" part). Proposition 4
+/// guarantees each update keeps the labeling feasible and keeps tree and
+/// matched edges tight.
+struct AlternatingTree {
+  /// Labels after the tree's updates (Formula 4), feasible.
+  std::vector<double> label1;
+  std::vector<double> label2;
+  /// For each target j: the tree source it was reached from via a tight
+  /// edge (its parent), or kUnmatchedVertex if j never entered the tree
+  /// (cannot happen after a full build).
+  std::vector<std::int32_t> parent_source;
+  /// Targets in the tree that are unmatched — the endpoints of the tree's
+  /// augmenting paths (root ~ endpoint), Proposition 5 guarantees at
+  /// least one exists while the matching is imperfect.
+  std::vector<std::int32_t> unmatched_targets;
+};
+
+/// Builds the maximal alternating tree rooted at the unmatched source
+/// `root`. `theta` must be square (n x n); `match1[i]` / `match2[j]` give
+/// the current partner or kUnmatchedVertex. O(n^2).
+AlternatingTree BuildAlternatingTree(
+    const std::vector<std::vector<double>>& theta,
+    const std::vector<double>& label1, const std::vector<double>& label2,
+    const std::vector<std::int32_t>& match1,
+    const std::vector<std::int32_t>& match2, std::int32_t root);
+
+/// Flips the augmenting path root ~ `endpoint` recorded in `tree`,
+/// growing the matching by one pair (Section 5.1.1's augmentation).
+/// `endpoint` must be one of `tree.unmatched_targets`.
+void AugmentAlongPath(const AlternatingTree& tree, std::int32_t root,
+                      std::int32_t endpoint,
+                      std::vector<std::int32_t>& match1,
+                      std::vector<std::int32_t>& match2);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_ALTERNATING_TREE_H_

@@ -1,0 +1,137 @@
+#include "core/astar_matcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <vector>
+
+namespace hematch {
+
+namespace {
+
+struct Node {
+  Mapping mapping;
+  double g = 0.0;
+  double h = 0.0;
+  std::uint64_t sequence = 0;  // Creation order, for deterministic ties.
+
+  double f() const { return g + h; }
+};
+
+// Max-heap on f; ties prefer deeper (closer-to-complete) nodes, then
+// earlier creation. Deterministic across runs.
+struct NodeLess {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.f() != b.f()) return a.f() < b.f();
+    if (a.mapping.size() != b.mapping.size()) {
+      return a.mapping.size() < b.mapping.size();
+    }
+    return a.sequence > b.sequence;
+  }
+};
+
+}  // namespace
+
+AStarMatcher::AStarMatcher(AStarOptions options)
+    : options_(std::move(options)) {}
+
+std::string AStarMatcher::name() const {
+  if (!options_.name_override.empty()) {
+    return options_.name_override;
+  }
+  return options_.scorer.bound == BoundKind::kTight ? "Pattern-Tight"
+                                                    : "Pattern-Simple";
+}
+
+Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  const std::size_t n1 = context.num_sources();
+  const std::size_t n2 = context.num_targets();
+  if (n1 > n2) {
+    return Status::InvalidArgument(
+        "A* matcher requires |V1| <= |V2|; swap the logs");
+  }
+
+  MappingScorer scorer(context, options_.scorer);
+
+  // Fixed expansion order: source events by decreasing number of
+  // involving patterns (Ip list length), then by id for determinism.
+  std::vector<EventId> order(n1);
+  for (EventId v = 0; v < n1; ++v) {
+    order[v] = v;
+  }
+  const PatternIndex& ip = context.pattern_index();
+  std::stable_sort(order.begin(), order.end(), [&](EventId a, EventId b) {
+    return ip.PatternCount(a) > ip.PatternCount(b);
+  });
+  std::vector<std::size_t> position(n1);
+  for (std::size_t d = 0; d < n1; ++d) {
+    position[order[d]] = d;
+  }
+
+  // completed_at[d]: patterns whose last event (in expansion order) is
+  // mapped at depth d; remaining_after[d]: patterns still incomplete
+  // after depth d (contribute to h).
+  std::vector<std::vector<std::uint32_t>> completed_at(n1 + 1);
+  std::vector<std::vector<std::uint32_t>> remaining_after(n1 + 1);
+  for (std::uint32_t pid = 0; pid < context.num_patterns(); ++pid) {
+    std::size_t last = 0;
+    for (EventId v : context.patterns()[pid].events()) {
+      last = std::max(last, position[v] + 1);
+    }
+    completed_at[last].push_back(pid);
+    for (std::size_t d = 0; d < last; ++d) {
+      remaining_after[d].push_back(pid);
+    }
+  }
+
+  MatchResult result;
+  std::uint64_t sequence = 0;
+
+  std::priority_queue<Node, std::vector<Node>, NodeLess> queue;
+  Node root{Mapping(n1, n2), 0.0, 0.0, sequence++};
+  root.h = scorer.ComputeHForRemaining(root.mapping, remaining_after[0]);
+  queue.push(std::move(root));
+
+  while (!queue.empty()) {
+    Node node = queue.top();
+    queue.pop();
+    ++result.nodes_visited;
+    const std::size_t depth = node.mapping.size();
+    if (depth == n1) {
+      // First complete pop: optimal, since h is an upper bound.
+      result.mapping = std::move(node.mapping);
+      result.objective = node.g;
+      result.elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start_time)
+              .count();
+      return result;
+    }
+
+    const EventId source = order[depth];
+    for (EventId target = 0; target < n2; ++target) {
+      if (node.mapping.IsTargetUsed(target)) {
+        continue;
+      }
+      if (result.mappings_processed >= options_.max_expansions) {
+        return Status::ResourceExhausted(
+            name() + " exceeded the expansion budget of " +
+            std::to_string(options_.max_expansions) + " mappings");
+      }
+      ++result.mappings_processed;
+
+      Node child{node.mapping, node.g, 0.0, sequence++};
+      child.mapping.Set(source, target);
+      for (std::uint32_t pid : completed_at[depth + 1]) {
+        child.g += scorer.CompletedContribution(pid, child.mapping);
+      }
+      child.h = scorer.ComputeHForRemaining(child.mapping,
+                                            remaining_after[depth + 1]);
+      queue.push(std::move(child));
+    }
+  }
+  return Status::Internal("A* queue exhausted without a complete mapping");
+}
+
+}  // namespace hematch

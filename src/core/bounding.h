@@ -1,0 +1,64 @@
+#ifndef HEMATCH_CORE_BOUNDING_H_
+#define HEMATCH_CORE_BOUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Which upper bound `Δ(p, U2)` the search uses for the `h` function.
+enum class BoundKind : std::uint8_t {
+  /// Section 3.3: each remaining pattern may contribute up to 1.0
+  /// (`h = |P \ P_M'|`). Cheap and very loose — the paper's
+  /// "Pattern-Simple".
+  kSimple,
+  /// Section 4 / Algorithm 2 / Table 2: bound the reachable frequency by
+  /// the maximum vertex frequency `fn` and `w(p)` times the maximum edge
+  /// frequency `fe` among the events the pattern can still be mapped to —
+  /// the paper's "Pattern-Tight".
+  kTight,
+};
+
+/// Frequency ceilings over a set of candidate target events: the largest
+/// vertex frequency and the largest edge frequency of the induced
+/// subgraph. These cap the frequency of any pattern mapped into the set.
+struct FrequencyCeilings {
+  double max_vertex = 0.0;
+  double max_edge = 0.0;
+};
+
+/// Computes ceilings for the target set `targets` in `g2`
+/// (O(|targets| + induced edges)).
+FrequencyCeilings ComputeCeilings(const DependencyGraph& g2,
+                                  const std::vector<EventId>& targets);
+
+/// The tight upper bound of Algorithm 2 given precomputed ceilings:
+///
+///   f_min = min(fn, w(p) * fe)   for patterns with >= 2 events
+///   f_min = fn                    for vertex patterns (no edges involved)
+///   Δ     = 1 - (f1 - f_min)/(f1 + f_min)   when f_min < f1, else 1.0
+///
+/// `f1` is the pattern's source-log frequency. When `f1` is 0 the bound is
+/// 0 (the contribution convention gives d(p) = 0 whenever f1 = 0).
+///
+/// Note: the journal text's Algorithm 2 lines 9-12 print the comparison
+/// the wrong way around (as printed it would return a value above 1.0);
+/// this implements the evidently intended direction, which is also the
+/// direction that makes the bound admissible. See DESIGN.md.
+double TightUpperBound(const Pattern& pattern, double f1,
+                       const FrequencyCeilings& ceilings);
+
+/// Full `Δ(p, U2)` (Problem 2): 0 when `|V(p)| > |targets|` (the pattern
+/// no longer fits), otherwise `TightUpperBound` over the ceilings of
+/// `targets`. This is the self-contained form used in tests; the matchers
+/// use the two-step form to share ceilings across patterns.
+double PatternUpperBound(const Pattern& pattern, double f1,
+                         const std::vector<EventId>& targets,
+                         const DependencyGraph& g2);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_BOUNDING_H_

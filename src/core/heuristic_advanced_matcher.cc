@@ -1,0 +1,117 @@
+#include "core/heuristic_advanced_matcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "core/alternating_tree.h"
+#include "core/theta_score.h"
+
+namespace hematch {
+
+namespace {
+
+// Converts padded match arrays into a Mapping over the real vocabularies,
+// dropping pairs that involve padding rows/columns.
+Mapping ToMapping(const std::vector<std::int32_t>& match1, std::size_t n1,
+                  std::size_t n2) {
+  Mapping mapping(n1, n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    const std::int32_t j = match1[i];
+    if (j != kUnmatchedVertex && static_cast<std::size_t>(j) < n2) {
+      mapping.Set(static_cast<EventId>(i), static_cast<EventId>(j));
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+HeuristicAdvancedMatcher::HeuristicAdvancedMatcher(
+    HeuristicAdvancedOptions options)
+    : options_(std::move(options)) {}
+
+Result<MatchResult> HeuristicAdvancedMatcher::Match(
+    MatchingContext& context) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  const std::size_t n1 = context.num_sources();
+  const std::size_t n2 = context.num_targets();
+  if (n1 > n2) {
+    return Status::InvalidArgument(
+        "heuristic matcher requires |V1| <= |V2|; swap the logs");
+  }
+  const std::size_t n = std::max(n1, n2);
+
+  MappingScorer scorer(context, options_.scorer);
+
+  // Padded theta: dummy sources (i >= n1) score 0 against every target,
+  // the "artificial events" that equalize |V1| and |V2|.
+  std::vector<std::vector<double>> theta(n, std::vector<double>(n, 0.0));
+  {
+    const std::vector<std::vector<double>> real =
+        ComputeThetaScores(context, options_.theta_form);
+    for (std::size_t i = 0; i < n1; ++i) {
+      std::copy(real[i].begin(), real[i].end(), theta[i].begin());
+    }
+  }
+
+  // Initial feasible labeling: l1[i] = max_j theta(i, j), l2[j] = 0.
+  std::vector<double> label1(n, 0.0);
+  std::vector<double> label2(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    label1[i] = *std::max_element(theta[i].begin(), theta[i].end());
+  }
+
+  std::vector<std::int32_t> match1(n, kUnmatchedVertex);
+  std::vector<std::int32_t> match2(n, kUnmatchedVertex);
+
+  MatchResult result;
+  for (std::size_t iteration = 0; iteration < n; ++iteration) {
+    // Candidate generation: a maximal alternating tree per unmatched
+    // source, scored per augmenting path (Lines 3-7 of Algorithm 3).
+    double best_score = -1.0;
+    AlternatingTree best_tree;
+    std::int32_t best_root = kUnmatchedVertex;
+    std::int32_t best_endpoint = kUnmatchedVertex;
+
+    for (std::size_t u = 0; u < n; ++u) {
+      if (match1[u] != kUnmatchedVertex) {
+        continue;
+      }
+      AlternatingTree tree = BuildAlternatingTree(
+          theta, label1, label2, match1, match2, static_cast<std::int32_t>(u));
+      for (std::int32_t endpoint : tree.unmatched_targets) {
+        ++result.mappings_processed;
+        std::vector<std::int32_t> candidate1 = match1;
+        std::vector<std::int32_t> candidate2 = match2;
+        AugmentAlongPath(tree, static_cast<std::int32_t>(u), endpoint,
+                         candidate1, candidate2);
+        const Mapping candidate = ToMapping(candidate1, n1, n2);
+        const double score = scorer.ComputeScore(candidate).total();
+        if (score > best_score) {
+          best_score = score;
+          best_tree = tree;  // Copy; the winning labels are committed below.
+          best_root = static_cast<std::int32_t>(u);
+          best_endpoint = endpoint;
+        }
+      }
+    }
+    HEMATCH_CHECK(best_root != kUnmatchedVertex,
+                  "no augmenting path found (violates Proposition 5)");
+
+    AugmentAlongPath(best_tree, best_root, best_endpoint, match1, match2);
+    label1 = std::move(best_tree.label1);
+    label2 = std::move(best_tree.label2);
+  }
+
+  Mapping mapping = ToMapping(match1, n1, n2);
+  HEMATCH_CHECK(mapping.IsComplete(), "advanced heuristic left V1 unmapped");
+  result.objective = scorer.ComputeG(mapping);
+  result.mapping = std::move(mapping);
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_time)
+                          .count();
+  return result;
+}
+
+}  // namespace hematch

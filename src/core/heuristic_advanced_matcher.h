@@ -1,0 +1,55 @@
+#ifndef HEMATCH_CORE_HEURISTIC_ADVANCED_MATCHER_H_
+#define HEMATCH_CORE_HEURISTIC_ADVANCED_MATCHER_H_
+
+#include <string>
+
+#include "core/mapping_scorer.h"
+#include "core/matcher.h"
+#include "core/theta_score.h"
+
+namespace hematch {
+
+/// Options for the advanced heuristic.
+struct HeuristicAdvancedOptions {
+  ScorerOptions scorer;
+  /// Which reading of Formula (2) drives the labeling (see ThetaForm).
+  ThetaForm theta_form = ThetaForm::kOptimistic;
+};
+
+/// The advanced heuristic of Section 5 (Algorithms 3 and 4).
+///
+/// Fixes the two deficiencies of the greedy heuristic by (1) steering with
+/// the global estimated scores `theta(v1, v2)` of Formula (2) through a
+/// Kuhn-Munkres-style labeling, and (2) allowing already-made pairs to be
+/// *re-matched*: each iteration builds, for every unmatched source, the
+/// maximal alternating tree of Algorithm 4, considers every augmenting
+/// path it contains (each re-routes earlier pairs along the path), scores
+/// the resulting candidate mapping with the same `g + h` bound the exact
+/// search uses, and commits the best candidate together with that tree's
+/// updated labels.
+///
+/// Guarantees:
+///  * terminates with a complete mapping (Proposition 5: every maximal
+///    tree contains an augmenting path while the matching is imperfect);
+///  * O(n^4 * |L| * |P|) (Section 5.3.2);
+///  * returns the optimal mapping when all patterns are vertex patterns
+///    (Proposition 6) — the labels certify a maximum-weight matching of
+///    theta, which then equals the pattern normal distance.
+///
+/// When |V1| < |V2| the instance is padded with dummy sources of
+/// all-zero theta (the paper's "artificial events"); dummy pairs are
+/// dropped from the returned mapping.
+class HeuristicAdvancedMatcher : public Matcher {
+ public:
+  explicit HeuristicAdvancedMatcher(HeuristicAdvancedOptions options = {});
+
+  std::string name() const override { return "Heuristic-Advanced"; }
+  Result<MatchResult> Match(MatchingContext& context) const override;
+
+ private:
+  HeuristicAdvancedOptions options_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_HEURISTIC_ADVANCED_MATCHER_H_

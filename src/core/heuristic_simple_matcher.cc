@@ -1,0 +1,66 @@
+#include "core/heuristic_simple_matcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace hematch {
+
+HeuristicSimpleMatcher::HeuristicSimpleMatcher(HeuristicSimpleOptions options)
+    : options_(std::move(options)) {}
+
+Result<MatchResult> HeuristicSimpleMatcher::Match(
+    MatchingContext& context) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  const std::size_t n1 = context.num_sources();
+  const std::size_t n2 = context.num_targets();
+  if (n1 > n2) {
+    return Status::InvalidArgument(
+        "heuristic matcher requires |V1| <= |V2|; swap the logs");
+  }
+
+  MappingScorer scorer(context, options_.scorer);
+
+  // Same expansion order as the exact matcher.
+  std::vector<EventId> order(n1);
+  for (EventId v = 0; v < n1; ++v) {
+    order[v] = v;
+  }
+  const PatternIndex& ip = context.pattern_index();
+  std::stable_sort(order.begin(), order.end(), [&](EventId a, EventId b) {
+    return ip.PatternCount(a) > ip.PatternCount(b);
+  });
+
+  MatchResult result;
+  Mapping mapping(n1, n2);
+  for (std::size_t depth = 0; depth < n1; ++depth) {
+    const EventId source = order[depth];
+    double best_score = -1.0;
+    EventId best_target = kInvalidEventId;
+    for (EventId target = 0; target < n2; ++target) {
+      if (mapping.IsTargetUsed(target)) {
+        continue;
+      }
+      ++result.mappings_processed;
+      mapping.Set(source, target);
+      const double score = scorer.ComputeScore(mapping).total();
+      mapping.Erase(source);
+      if (score > best_score) {
+        best_score = score;
+        best_target = target;
+      }
+    }
+    HEMATCH_CHECK(best_target != kInvalidEventId,
+                  "no unused target available");
+    mapping.Set(source, best_target);
+  }
+
+  result.objective = scorer.ComputeG(mapping);
+  result.mapping = std::move(mapping);
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_time)
+                          .count();
+  return result;
+}
+
+}  // namespace hematch

@@ -1,0 +1,38 @@
+#ifndef HEMATCH_CORE_HEURISTIC_SIMPLE_MATCHER_H_
+#define HEMATCH_CORE_HEURISTIC_SIMPLE_MATCHER_H_
+
+#include <string>
+
+#include "core/mapping_scorer.h"
+#include "core/matcher.h"
+
+namespace hematch {
+
+/// Options for the simple (greedy) heuristic.
+struct HeuristicSimpleOptions {
+  ScorerOptions scorer;
+};
+
+/// The straightforward heuristic sketched at the start of Section 5:
+/// follow Algorithm 1's expansion order, but at each step keep only the
+/// single child `a -> b` with the maximum `g + h` instead of enqueueing
+/// all of them.
+///
+/// Runs in O(n^2) scorings. Suffers the two deficiencies the paper calls
+/// out — each step is local, and an early wrong pair is never revisited —
+/// which is exactly what Heuristic-Advanced exists to fix; both are kept
+/// so the comparison of Figs. 9/10 can be reproduced.
+class HeuristicSimpleMatcher : public Matcher {
+ public:
+  explicit HeuristicSimpleMatcher(HeuristicSimpleOptions options = {});
+
+  std::string name() const override { return "Heuristic-Simple"; }
+  Result<MatchResult> Match(MatchingContext& context) const override;
+
+ private:
+  HeuristicSimpleOptions options_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_HEURISTIC_SIMPLE_MATCHER_H_

@@ -1,0 +1,81 @@
+#ifndef HEMATCH_CORE_MAPPING_H_
+#define HEMATCH_CORE_MAPPING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "log/event_dictionary.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// A (possibly partial) injective mapping of events `M : V1 -> V2`
+/// (Section 2.1). Sources and targets are dense ids in the respective
+/// logs' vocabularies.
+class Mapping {
+ public:
+  /// An empty mapping between vocabularies of the given sizes.
+  Mapping(std::size_t num_sources, std::size_t num_targets);
+
+  Mapping(const Mapping&) = default;
+  Mapping& operator=(const Mapping&) = default;
+  Mapping(Mapping&&) = default;
+  Mapping& operator=(Mapping&&) = default;
+
+  /// Adds the pair `source -> target`. Requires both ends currently
+  /// unmapped (injectivity).
+  void Set(EventId source, EventId target);
+
+  /// Removes the pair for `source`. Requires `source` mapped.
+  void Erase(EventId source);
+
+  /// Target of `source`, or `kInvalidEventId` when unmapped.
+  EventId TargetOf(EventId source) const { return forward_[source]; }
+
+  /// Source mapped to `target`, or `kInvalidEventId` when unused.
+  EventId SourceOf(EventId target) const { return backward_[target]; }
+
+  bool IsSourceMapped(EventId source) const {
+    return forward_[source] != kInvalidEventId;
+  }
+  bool IsTargetUsed(EventId target) const {
+    return backward_[target] != kInvalidEventId;
+  }
+
+  std::size_t num_sources() const { return forward_.size(); }
+  std::size_t num_targets() const { return backward_.size(); }
+
+  /// Number of mapped pairs.
+  std::size_t size() const { return size_; }
+
+  /// True when every source is mapped (the notion of "complete" used by
+  /// the matchers; requires num_sources() <= num_targets()).
+  bool IsComplete() const { return size_ == forward_.size(); }
+
+  /// Unmapped sources (`U1`), ascending.
+  std::vector<EventId> UnmappedSources() const;
+  /// Unused targets (`U2`), ascending.
+  std::vector<EventId> UnusedTargets() const;
+
+  /// Translates a pattern over `V1` into the corresponding pattern `M(p)`
+  /// over `V2`. Returns nullopt when any event of `p` is unmapped.
+  std::optional<Pattern> TranslatePattern(const Pattern& pattern) const;
+
+  /// Renders as "A->3, B->4, ..." using the dictionaries when provided.
+  std::string ToString(const EventDictionary* source_dict = nullptr,
+                       const EventDictionary* target_dict = nullptr) const;
+
+  friend bool operator==(const Mapping& a, const Mapping& b) {
+    return a.forward_ == b.forward_;
+  }
+
+ private:
+  std::vector<EventId> forward_;
+  std::vector<EventId> backward_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MAPPING_H_

@@ -1,0 +1,82 @@
+#include "core/mapping_io.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/strings.h"
+
+namespace hematch {
+
+Status WriteMapping(const Mapping& mapping, const EventDictionary& source,
+                    const EventDictionary& target, std::ostream& output) {
+  output << "# hematch mapping: " << mapping.size() << " pairs\n";
+  for (EventId v = 0; v < mapping.num_sources(); ++v) {
+    const EventId t = mapping.TargetOf(v);
+    if (t == kInvalidEventId) {
+      continue;
+    }
+    if (v >= source.size() || t >= target.size()) {
+      return Status::InvalidArgument(
+          "mapping references events outside the dictionaries");
+    }
+    output << source.Name(v) << '\t' << target.Name(t) << '\n';
+  }
+  if (!output) {
+    return Status::Internal("I/O failure while writing mapping");
+  }
+  return Status::OK();
+}
+
+Result<Mapping> ReadMapping(std::istream& input,
+                            const EventDictionary& source,
+                            const EventDictionary& target) {
+  Mapping mapping(source.size(), target.size());
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    const std::size_t tab = stripped.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                " has no tab separator: " + line);
+    }
+    const std::string_view source_name =
+        StripWhitespace(stripped.substr(0, tab));
+    const std::string_view target_name =
+        StripWhitespace(stripped.substr(tab + 1));
+    Result<EventId> v = source.Lookup(source_name);
+    if (!v.ok()) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                ": unknown source event '" +
+                                std::string(source_name) + "'");
+    }
+    Result<EventId> t = target.Lookup(target_name);
+    if (!t.ok()) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                ": unknown target event '" +
+                                std::string(target_name) + "'");
+    }
+    if (mapping.IsSourceMapped(v.value())) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                ": source '" + std::string(source_name) +
+                                "' mapped twice");
+    }
+    if (mapping.IsTargetUsed(t.value())) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                ": target '" + std::string(target_name) +
+                                "' used twice (mapping must be injective)");
+    }
+    mapping.Set(v.value(), t.value());
+  }
+  if (input.bad()) {
+    return Status::ParseError("I/O failure while reading mapping");
+  }
+  return mapping;
+}
+
+}  // namespace hematch

@@ -1,0 +1,36 @@
+#ifndef HEMATCH_CORE_MAPPING_IO_H_
+#define HEMATCH_CORE_MAPPING_IO_H_
+
+#include <iosfwd>
+
+#include "common/result.h"
+#include "core/mapping.h"
+#include "log/event_dictionary.h"
+
+namespace hematch {
+
+/// Mapping (de)serialization in a line-oriented text format:
+///
+///   # optional comments
+///   <source-event-name> \t <target-event-name>
+///
+/// one pair per line, names exactly as in the logs' dictionaries. This is
+/// the natural interchange for reviewed correspondences: a matcher
+/// proposes a mapping, an analyst audits/edits the file, downstream
+/// integration consumes it (and the test harness reads curated ground
+/// truths from the same format).
+
+/// Writes `mapping` (pairs in source-id order).
+Status WriteMapping(const Mapping& mapping, const EventDictionary& source,
+                    const EventDictionary& target, std::ostream& output);
+
+/// Parses a mapping over the given dictionaries. Unknown event names,
+/// duplicate sources, and non-injective pairs are errors. The result may
+/// be partial (not every source needs a line).
+Result<Mapping> ReadMapping(std::istream& input,
+                            const EventDictionary& source,
+                            const EventDictionary& target);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MAPPING_IO_H_

@@ -1,0 +1,179 @@
+#include "core/mapping_scorer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hematch {
+
+MappingScorer::MappingScorer(MatchingContext& context,
+                             const ScorerOptions& options)
+    : context_(&context), options_(options) {}
+
+std::size_t MappingScorer::MappedEventCount(std::size_t pid,
+                                            const Mapping& m) const {
+  const Pattern& p = context_->patterns()[pid];
+  std::size_t mapped = 0;
+  for (EventId v : p.events()) {
+    if (m.IsSourceMapped(v)) {
+      ++mapped;
+    }
+  }
+  return mapped;
+}
+
+double MappingScorer::CompletedContribution(std::size_t pid,
+                                            const Mapping& m) {
+  const Pattern& p = context_->patterns()[pid];
+  const double f1 = context_->PatternFrequency1(pid);
+  // Vertex and edge patterns dominate the pattern set; their translated
+  // frequencies are dependency-graph labels, so skip building the
+  // translated pattern object entirely.
+  if (p.IsVertexPattern()) {
+    const EventId t = m.TargetOf(p.event());
+    HEMATCH_DCHECK(t != kInvalidEventId, "pattern event unmapped");
+    return FrequencySimilarity(f1, context_->graph2().VertexFrequency(t));
+  }
+  if (p.IsEdgePattern()) {
+    const EventId tu = m.TargetOf(p.events()[0]);
+    const EventId tv = m.TargetOf(p.events()[1]);
+    HEMATCH_DCHECK(tu != kInvalidEventId && tv != kInvalidEventId,
+                   "pattern event unmapped");
+    return FrequencySimilarity(f1, context_->graph2().EdgeFrequency(tu, tv));
+  }
+  std::optional<Pattern> translated = m.TranslatePattern(p);
+  HEMATCH_CHECK(translated.has_value(),
+                "CompletedContribution on a pattern with unmapped events");
+  const double f2 =
+      context_->PatternFrequency2(*translated, options_.existence);
+  return FrequencySimilarity(f1, f2);
+}
+
+double MappingScorer::ComputeG(const Mapping& m) {
+  double g = 0.0;
+  for (std::size_t pid = 0; pid < context_->num_patterns(); ++pid) {
+    const Pattern& p = context_->patterns()[pid];
+    if (MappedEventCount(pid, m) == p.size()) {
+      g += CompletedContribution(pid, m);
+    }
+  }
+  return g;
+}
+
+double MappingScorer::IncompleteBound(std::size_t pid, const Mapping& m,
+                                      const FrequencyCeilings& u2_ceilings,
+                                      std::size_t num_unused,
+                                      std::vector<char>& in_union) {
+  const Pattern& p = context_->patterns()[pid];
+  const double f1 = context_->PatternFrequency1(pid);
+  if (options_.bound == BoundKind::kSimple) {
+    return 1.0;  // Section 3.3: each remaining pattern contributes <= 1.
+  }
+
+  // Collect the targets already fixed for this pattern's mapped events.
+  std::vector<EventId> fixed;
+  for (EventId v : p.events()) {
+    const EventId t = m.TargetOf(v);
+    if (t != kInvalidEventId) {
+      fixed.push_back(t);
+    }
+  }
+  // Δ = 0 when the pattern no longer fits into M(V(p) \ U1) ∪ U2.
+  if (p.size() > num_unused + fixed.size()) {
+    return 0.0;
+  }
+
+  // Extend the U2 ceilings with the fixed targets: vertices directly,
+  // edges by scanning each fixed target's incident dependency edges whose
+  // other endpoint lies in the union (U2 ∪ fixed). This yields exactly the
+  // induced-subgraph ceilings of Algorithm 2 for the set
+  // M(V(p) \ U1) ∪ U2 in O(|p| * degree) instead of O(|U2| + E).
+  FrequencyCeilings ceilings = u2_ceilings;
+  const DependencyGraph& g2 = context_->graph2();
+  for (EventId t : fixed) {
+    in_union[t] = 1;
+  }
+  for (EventId t : fixed) {
+    ceilings.max_vertex = std::max(ceilings.max_vertex, g2.VertexFrequency(t));
+    for (EventId w : g2.OutNeighbors(t)) {
+      if (in_union[w] != 0) {
+        ceilings.max_edge = std::max(ceilings.max_edge, g2.EdgeFrequency(t, w));
+      }
+    }
+    for (EventId w : g2.InNeighbors(t)) {
+      if (in_union[w] != 0) {
+        ceilings.max_edge = std::max(ceilings.max_edge, g2.EdgeFrequency(w, t));
+      }
+    }
+  }
+  for (EventId t : fixed) {
+    in_union[t] = 0;  // Restore scratch state.
+  }
+  return TightUpperBound(p, f1, ceilings);
+}
+
+double MappingScorer::ComputeH(const Mapping& m) {
+  double h = 0.0;
+  const std::vector<EventId> unused = m.UnusedTargets();
+  FrequencyCeilings u2_ceilings;
+  std::vector<char> in_union;
+  if (options_.bound == BoundKind::kTight) {
+    u2_ceilings = ComputeCeilings(context_->graph2(), unused);
+    in_union.assign(context_->num_targets(), 0);
+    for (EventId t : unused) {
+      in_union[t] = 1;
+    }
+  }
+  for (std::size_t pid = 0; pid < context_->num_patterns(); ++pid) {
+    const Pattern& p = context_->patterns()[pid];
+    if (MappedEventCount(pid, m) == p.size()) {
+      continue;  // Contributes to g, not h.
+    }
+    h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
+  }
+  return h;
+}
+
+double MappingScorer::ComputeHForRemaining(
+    const Mapping& m, const std::vector<std::uint32_t>& remaining) {
+  double h = 0.0;
+  const std::vector<EventId> unused = m.UnusedTargets();
+  FrequencyCeilings u2_ceilings;
+  std::vector<char> in_union;
+  if (options_.bound == BoundKind::kTight) {
+    u2_ceilings = ComputeCeilings(context_->graph2(), unused);
+    in_union.assign(context_->num_targets(), 0);
+    for (EventId t : unused) {
+      in_union[t] = 1;
+    }
+  }
+  for (std::uint32_t pid : remaining) {
+    h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
+  }
+  return h;
+}
+
+MappingScorer::Score MappingScorer::ComputeScore(const Mapping& m) {
+  Score score;
+  const std::vector<EventId> unused = m.UnusedTargets();
+  FrequencyCeilings u2_ceilings;
+  std::vector<char> in_union;
+  if (options_.bound == BoundKind::kTight) {
+    u2_ceilings = ComputeCeilings(context_->graph2(), unused);
+    in_union.assign(context_->num_targets(), 0);
+    for (EventId t : unused) {
+      in_union[t] = 1;
+    }
+  }
+  for (std::size_t pid = 0; pid < context_->num_patterns(); ++pid) {
+    const Pattern& p = context_->patterns()[pid];
+    if (MappedEventCount(pid, m) == p.size()) {
+      score.g += CompletedContribution(pid, m);
+    } else {
+      score.h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
+    }
+  }
+  return score;
+}
+
+}  // namespace hematch

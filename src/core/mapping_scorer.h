@@ -1,0 +1,81 @@
+#ifndef HEMATCH_CORE_MAPPING_SCORER_H_
+#define HEMATCH_CORE_MAPPING_SCORER_H_
+
+#include <vector>
+
+#include "core/bounding.h"
+#include "core/mapping.h"
+#include "core/matching_context.h"
+#include "core/normal_distance.h"
+
+namespace hematch {
+
+/// Options shared by every pattern-framework matcher.
+struct ScorerOptions {
+  /// Which `Δ(p, U2)` powers the `h` estimate.
+  BoundKind bound = BoundKind::kTight;
+  /// How Proposition 3 pruning is applied before frequency evaluation.
+  ExistenceCheckMode existence = ExistenceCheckMode::kLinearization;
+};
+
+/// Evaluates the two A* node values of Section 3 for arbitrary partial
+/// mappings:
+///
+///  * `g(M)` — the pattern normal distance restricted to patterns whose
+///    events are all mapped (Section 3.2);
+///  * `h(M)` — an upper bound on what the remaining patterns can still
+///    contribute (Section 3.3 simple bound, or Section 4 tight bound).
+///
+/// `g(M) + h(M)` is an upper bound on the pattern normal distance of any
+/// completion of `M`; for a complete mapping `h = 0` and `g` is the exact
+/// objective. One scorer instance is shared across a matcher run (and may
+/// be shared across matchers) so that the context's frequency cache pays
+/// off.
+class MappingScorer {
+ public:
+  MappingScorer(MatchingContext& context, const ScorerOptions& options);
+
+  /// Number of `patterns()[pid]`'s events mapped under `m`.
+  std::size_t MappedEventCount(std::size_t pid, const Mapping& m) const;
+
+  /// `d(p)` for a pattern all of whose events are mapped under `m`.
+  double CompletedContribution(std::size_t pid, const Mapping& m);
+
+  /// `g(M)`: sum of `d(p)` over fully-mapped patterns.
+  double ComputeG(const Mapping& m);
+
+  /// `h(M)`: sum of `Δ(p, M(V(p) \ U1) ∪ U2)` over the other patterns.
+  double ComputeH(const Mapping& m);
+
+  /// `h(M)` restricted to an explicit list of pattern ids known by the
+  /// caller to be incomplete under `m` (the A* search tracks these per
+  /// depth and skips the completeness rescans).
+  double ComputeHForRemaining(const Mapping& m,
+                              const std::vector<std::uint32_t>& remaining);
+
+  /// `g + h` in one pass (shares the completeness scan).
+  struct Score {
+    double g = 0.0;
+    double h = 0.0;
+    double total() const { return g + h; }
+  };
+  Score ComputeScore(const Mapping& m);
+
+  MatchingContext& context() { return *context_; }
+  const ScorerOptions& options() const { return options_; }
+
+ private:
+  // Δ for one incomplete pattern given the precomputed ceilings of U2 and
+  // a scratch membership bitmap of (U2 ∪ mapped targets of the pattern).
+  double IncompleteBound(std::size_t pid, const Mapping& m,
+                         const FrequencyCeilings& u2_ceilings,
+                         std::size_t num_unused,
+                         std::vector<char>& in_union);
+
+  MatchingContext* context_;
+  ScorerOptions options_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MAPPING_SCORER_H_

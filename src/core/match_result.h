@@ -1,0 +1,36 @@
+#ifndef HEMATCH_CORE_MATCH_RESULT_H_
+#define HEMATCH_CORE_MATCH_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/mapping.h"
+
+namespace hematch {
+
+/// Outcome of one matcher run.
+struct MatchResult {
+  /// The returned event mapping (complete on V1 unless the run failed).
+  Mapping mapping{0, 0};
+
+  /// The objective value the method maximized (pattern normal distance
+  /// for the framework methods; method-specific surrogate objectives for
+  /// the Iterative/Entropy baselines — see each matcher's docs).
+  double objective = 0.0;
+
+  /// Number of candidate mappings processed: child expansions `M'` in the
+  /// A* search (Line 7 of Algorithm 1) or augmentations `M^ij` considered
+  /// by the heuristics (Line 6 of Algorithm 3). This is the x-axis of the
+  /// paper's Figs. 7c/8c/9c/10c.
+  std::uint64_t mappings_processed = 0;
+
+  /// Search-tree nodes popped from the A* queue (exact matcher only).
+  std::uint64_t nodes_visited = 0;
+
+  /// Wall-clock spent inside Match(), in milliseconds.
+  double elapsed_ms = 0.0;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MATCH_RESULT_H_

@@ -1,0 +1,35 @@
+#ifndef HEMATCH_CORE_MATCHER_H_
+#define HEMATCH_CORE_MATCHER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/match_result.h"
+#include "core/matching_context.h"
+
+namespace hematch {
+
+/// Common interface of all event-matching algorithms: the exact A* matcher
+/// (Algorithm 1), the two heuristics (Section 5), and the baselines
+/// adapted from prior work (Vertex, Vertex+Edge, Iterative, Entropy-only).
+///
+/// A matcher is a stateless strategy object; the problem instance lives in
+/// the `MatchingContext`. `Match` returns `ResourceExhausted` when a
+/// configured budget ran out before an answer was found — the condition
+/// the paper reports as "cannot return results" for Exact and Vertex+Edge
+/// beyond 20 events.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Human-readable method name as used in the paper's figures
+  /// (e.g. "Pattern-Tight", "Heuristic-Advanced", "Vertex+Edge").
+  virtual std::string name() const = 0;
+
+  /// Computes an event mapping for the instance in `context`.
+  virtual Result<MatchResult> Match(MatchingContext& context) const = 0;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MATCHER_H_

@@ -1,0 +1,56 @@
+#include "core/matching_context.h"
+
+namespace hematch {
+
+namespace {
+
+std::vector<std::vector<EventId>> PatternEventSets(
+    const std::vector<Pattern>& patterns) {
+  std::vector<std::vector<EventId>> sets;
+  sets.reserve(patterns.size());
+  for (const Pattern& p : patterns) {
+    sets.push_back(p.events());
+  }
+  return sets;
+}
+
+}  // namespace
+
+MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
+                                 std::vector<Pattern> patterns)
+    : log1_(&log1),
+      log2_(&log2),
+      graph1_(DependencyGraph::Build(log1)),
+      graph2_(DependencyGraph::Build(log2)),
+      patterns_(std::move(patterns)),
+      pattern_index_(log1.num_events(), PatternEventSets(patterns_)),
+      eval1_(std::make_unique<FrequencyEvaluator>(log1)),
+      eval2_(std::make_unique<FrequencyEvaluator>(log2)) {
+  f1_.reserve(patterns_.size());
+  for (const Pattern& p : patterns_) {
+    if (p.IsVertexPattern()) {
+      f1_.push_back(graph1_.VertexFrequency(p.event()));
+    } else if (p.IsEdgePattern()) {
+      f1_.push_back(graph1_.EdgeFrequency(p.events()[0], p.events()[1]));
+    } else {
+      f1_.push_back(eval1_->Frequency(p));
+    }
+  }
+}
+
+double MatchingContext::PatternFrequency2(const Pattern& translated,
+                                          ExistenceCheckMode mode) {
+  if (translated.IsVertexPattern()) {
+    return graph2_.VertexFrequency(translated.event());
+  }
+  if (translated.IsEdgePattern()) {
+    return graph2_.EdgeFrequency(translated.events()[0],
+                                 translated.events()[1]);
+  }
+  if (!PatternMayExist(translated, graph2_, mode)) {
+    return 0.0;  // Proposition 3: no trace can match.
+  }
+  return eval2_->Frequency(translated);
+}
+
+}  // namespace hematch

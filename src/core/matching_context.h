@@ -1,0 +1,78 @@
+#ifndef HEMATCH_CORE_MATCHING_CONTEXT_H_
+#define HEMATCH_CORE_MATCHING_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "freq/existence_pruner.h"
+#include "freq/frequency_evaluator.h"
+#include "freq/inverted_index.h"
+#include "graph/dependency_graph.h"
+#include "log/event_log.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Everything the matching algorithms need about one (L1, L2, P) problem
+/// instance, computed once and shared: dependency graphs, frequency
+/// evaluators with their inverted indices (`It`), the pattern inverted
+/// index (`Ip`), and the source-side pattern frequencies `f1(p)`.
+///
+/// The logs must outlive the context. The context is stateful only through
+/// the target-side evaluator's memo cache; all matchers of one experiment
+/// can (and should) share a context so the cache amortizes across them.
+class MatchingContext {
+ public:
+  /// `patterns` are over `log1`'s vocabulary. The convention |V1| <= |V2|
+  /// is NOT required here; matchers that need it handle padding.
+  MatchingContext(const EventLog& log1, const EventLog& log2,
+                  std::vector<Pattern> patterns);
+
+  MatchingContext(const MatchingContext&) = delete;
+  MatchingContext& operator=(const MatchingContext&) = delete;
+
+  const EventLog& log1() const { return *log1_; }
+  const EventLog& log2() const { return *log2_; }
+  const DependencyGraph& graph1() const { return graph1_; }
+  const DependencyGraph& graph2() const { return graph2_; }
+
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  std::size_t num_patterns() const { return patterns_.size(); }
+
+  /// The pattern inverted index `Ip` over `log1`'s events.
+  const PatternIndex& pattern_index() const { return pattern_index_; }
+
+  std::size_t num_sources() const { return log1_->num_events(); }
+  std::size_t num_targets() const { return log2_->num_events(); }
+
+  /// Precomputed `f1(patterns()[pid])`.
+  double PatternFrequency1(std::size_t pid) const { return f1_[pid]; }
+
+  /// `f2(q)` for a pattern `q` over `log2`'s vocabulary (typically a
+  /// translated pattern `M(p)`). Applies `mode`'s existence pruning
+  /// first, then a constant-time fast path for vertex and edge patterns
+  /// (their frequencies are dependency-graph labels), then the memoized
+  /// evaluator.
+  double PatternFrequency2(const Pattern& translated,
+                           ExistenceCheckMode mode);
+
+  /// Cumulative work counters of the target-side evaluator.
+  const FrequencyEvaluator::Stats& evaluator2_stats() const {
+    return eval2_->stats();
+  }
+
+ private:
+  const EventLog* log1_;
+  const EventLog* log2_;
+  DependencyGraph graph1_;
+  DependencyGraph graph2_;
+  std::vector<Pattern> patterns_;
+  PatternIndex pattern_index_;
+  std::unique_ptr<FrequencyEvaluator> eval1_;
+  std::unique_ptr<FrequencyEvaluator> eval2_;
+  std::vector<double> f1_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MATCHING_CONTEXT_H_

@@ -1,0 +1,40 @@
+#include "core/normal_distance.h"
+
+namespace hematch {
+
+double VertexNormalDistance(const DependencyGraph& g1,
+                            const DependencyGraph& g2,
+                            const Mapping& mapping) {
+  double total = 0.0;
+  for (EventId v = 0; v < mapping.num_sources(); ++v) {
+    const EventId target = mapping.TargetOf(v);
+    if (target == kInvalidEventId) {
+      continue;
+    }
+    total +=
+        FrequencySimilarity(g1.VertexFrequency(v), g2.VertexFrequency(target));
+  }
+  return total;
+}
+
+double VertexEdgeNormalDistance(const DependencyGraph& g1,
+                                const DependencyGraph& g2,
+                                const Mapping& mapping) {
+  double total = VertexNormalDistance(g1, g2, mapping);
+  // Only pairs that are an edge in at least one graph contribute; iterate
+  // over both edge sets instead of all n^2 pairs, guarding double counting.
+  for (const auto& [u, v] : g1.edges()) {
+    const EventId mu = mapping.TargetOf(u);
+    const EventId mv = mapping.TargetOf(v);
+    if (mu == kInvalidEventId || mv == kInvalidEventId) {
+      continue;
+    }
+    total +=
+        FrequencySimilarity(g1.EdgeFrequency(u, v), g2.EdgeFrequency(mu, mv));
+  }
+  // Edges of G2 whose preimage pair is not an edge of G1 contribute
+  // FrequencySimilarity(0, f2) = 0, so no second loop is needed.
+  return total;
+}
+
+}  // namespace hematch

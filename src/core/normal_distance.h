@@ -1,0 +1,44 @@
+#ifndef HEMATCH_CORE_NORMAL_DISTANCE_H_
+#define HEMATCH_CORE_NORMAL_DISTANCE_H_
+
+#include <cmath>
+
+#include "core/mapping.h"
+#include "graph/dependency_graph.h"
+
+namespace hematch {
+
+/// The per-term frequency similarity of Definitions 2 and 5:
+/// `1 - |f1 - f2| / (f1 + f2)`, in [0, 1].
+///
+/// Convention: a term whose frequencies are both zero contributes 0, not
+/// 1; this is what makes Definition 2's sum over all event pairs finite
+/// and matches the paper's worked Example 3 (D^N_v = 5.89 for six mapped
+/// vertex pairs, D^N_{v+e} = 13.91 rather than a value inflated by the
+/// ~25 pairs that are edges in neither graph). Terms where exactly one
+/// side is zero are 0 by the formula itself.
+inline double FrequencySimilarity(double f1, double f2) {
+  const double denom = f1 + f2;
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - std::fabs(f1 - f2) / denom;
+}
+
+/// Normal distance of `mapping` in *vertex form* (Definition 2 with
+/// v1 = v2): the sum of vertex-frequency similarities over mapped pairs.
+/// Despite the name — kept from the paper — this is a similarity; higher
+/// is better.
+double VertexNormalDistance(const DependencyGraph& g1,
+                            const DependencyGraph& g2,
+                            const Mapping& mapping);
+
+/// Normal distance in *vertex+edge form* (Definition 2): the vertex form
+/// plus edge-frequency similarities over all mapped ordered pairs.
+double VertexEdgeNormalDistance(const DependencyGraph& g1,
+                                const DependencyGraph& g2,
+                                const Mapping& mapping);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_NORMAL_DISTANCE_H_

@@ -1,0 +1,87 @@
+#ifndef HEMATCH_CORE_ONE_TO_N_H_
+#define HEMATCH_CORE_ONE_TO_N_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping.h"
+#include "core/mapping_scorer.h"
+#include "log/event_log.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Options for the 1-to-n extension.
+struct OneToNOptions {
+  ScorerOptions scorer;
+  /// A merge must improve the pattern normal distance by at least this
+  /// much to be accepted.
+  double min_gain = 1e-9;
+  /// Upper bound on accepted merges (default: until no merge helps).
+  std::size_t max_merges = ~std::size_t{0};
+};
+
+/// The result of extending a 1-1 mapping to 1-to-n groups.
+struct GroupMapping {
+  /// `groups[v1]` = the target events corresponding to source `v1`
+  /// (singleton for un-extended pairs). Indexed by source id.
+  std::vector<std::vector<EventId>> groups;
+  /// The target log after merging each accepted group into its
+  /// representative event (adjacent duplicates collapsed).
+  EventLog merged_log2;
+  /// Pattern normal distance of the base mapping measured against
+  /// `merged_log2`.
+  double objective = 0.0;
+  /// Objective before any merge (for reporting the gain).
+  double base_objective = 0.0;
+  /// Number of accepted merges.
+  std::size_t merges = 0;
+};
+
+/// Extends a complete 1-1 mapping to 1-to-n matching — the direction the
+/// paper names as future work ("an event is mapped to multiple events").
+///
+/// Model: the target system splits some source steps into several events
+/// (e.g. L1's `ship` is L2's `pack` + `dispatch`). Merging a split
+/// group back into one event should make the two logs correspond 1-1,
+/// *raising* the pattern normal distance; attaching an unrelated event
+/// lowers it. The algorithm exploits exactly that:
+///
+///   repeat
+///     for every currently unmatched target u and every pair v1 -> t:
+///       build L2' where u is renamed to t (adjacent duplicates
+///       collapsed — a split step logs several consecutive records);
+///       score = D^N of the base mapping against L2'
+///     accept the merge with the largest score if it gains >= min_gain
+///   until no merge gains
+///
+/// Greedy and quadratic per round, which is fine at schema scale
+/// (tens of events). Requires `base` complete on `log1`'s events.
+/// The returned groups always cover each source's original target.
+Result<GroupMapping> ExtendToOneToN(const EventLog& log1,
+                                    const EventLog& log2,
+                                    const std::vector<Pattern>& patterns,
+                                    const Mapping& base,
+                                    const OneToNOptions& options = {});
+
+/// Renders groups as "ship -> {pack, dispatch}, ..." using the logs'
+/// dictionaries (only non-singleton groups unless `include_singletons`).
+std::string GroupsToString(const GroupMapping& result, const EventLog& log1,
+                           const EventLog& log2,
+                           bool include_singletons = false);
+
+/// Note on the symmetric direction (n-to-1, several *source* events per
+/// target): an injective base mapping that is complete on V1 leaves no
+/// free source events, so there is nothing to merge on that side by
+/// construction. The n-to-1 case is therefore handled by orientation,
+/// not by a separate routine: treat the splitting system as the *target*
+/// — call `ExtendToOneToN(log2, log1, patterns_over_log2, inverse_base)`
+/// with the arguments swapped and the base mapping inverted, and read
+/// the returned groups as target-per-source-group. `one_to_n_test.cc`
+/// exercises this orientation.
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_ONE_TO_N_H_

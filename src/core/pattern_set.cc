@@ -1,0 +1,28 @@
+#include "core/pattern_set.h"
+
+namespace hematch {
+
+std::vector<Pattern> BuildPatternSet(
+    const DependencyGraph& g1, const std::vector<Pattern>& complex_patterns,
+    const PatternSetOptions& options) {
+  std::vector<Pattern> patterns;
+  if (options.include_vertices) {
+    for (EventId v = 0; v < g1.num_vertices(); ++v) {
+      patterns.push_back(Pattern::Event(v));
+    }
+  }
+  if (options.include_edges) {
+    for (const auto& [u, v] : g1.edges()) {
+      if (u == v) {
+        continue;  // A repeated event violates pattern distinctness;
+                   // self-loop pairs cannot be SEQ patterns.
+      }
+      patterns.push_back(Pattern::Edge(u, v));
+    }
+  }
+  patterns.insert(patterns.end(), complex_patterns.begin(),
+                  complex_patterns.end());
+  return patterns;
+}
+
+}  // namespace hematch

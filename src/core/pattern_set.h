@@ -1,0 +1,35 @@
+#ifndef HEMATCH_CORE_PATTERN_SET_H_
+#define HEMATCH_CORE_PATTERN_SET_H_
+
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Which special patterns to add alongside user/complex patterns.
+///
+/// Vertices and edges of the dependency graph are special patterns
+/// (Section 2.2), so the classic Vertex and Vertex+Edge matching of Kang &
+/// Naughton are instances of the pattern framework:
+///  * Vertex        = {vertices}
+///  * Vertex+Edge   = {vertices} + {edges}
+///  * Pattern       = {vertices} + {edges} + {complex patterns}
+struct PatternSetOptions {
+  bool include_vertices = true;
+  /// Adds SEQ(u,v) for every edge of G1 ("all the edges appearing in the
+  /// dependency graph are employed", Section 6).
+  bool include_edges = true;
+};
+
+/// Assembles the working pattern set over `g1` (the source log's
+/// dependency graph): vertex patterns in event order, then edge patterns
+/// in `g1.edges()` order, then `complex_patterns` in the given order.
+std::vector<Pattern> BuildPatternSet(
+    const DependencyGraph& g1, const std::vector<Pattern>& complex_patterns,
+    const PatternSetOptions& options = {});
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_PATTERN_SET_H_

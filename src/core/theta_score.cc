@@ -1,0 +1,34 @@
+#include "core/theta_score.h"
+
+#include "core/normal_distance.h"
+
+namespace hematch {
+
+std::vector<std::vector<double>> ComputeThetaScores(
+    const MatchingContext& context, ThetaForm form) {
+  const std::size_t n1 = context.num_sources();
+  const std::size_t n2 = context.num_targets();
+  std::vector<std::vector<double>> theta(n1, std::vector<double>(n2, 0.0));
+  for (EventId v1 = 0; v1 < n1; ++v1) {
+    for (std::uint32_t pid : context.pattern_index().PatternsInvolving(v1)) {
+      const double f1 = context.PatternFrequency1(pid);
+      const double weight =
+          1.0 / static_cast<double>(context.patterns()[pid].size());
+      for (EventId v2 = 0; v2 < n2; ++v2) {
+        const double f2 = context.graph2().VertexFrequency(v2);
+        if (form == ThetaForm::kAbsolute) {
+          theta[v1][v2] += weight * FrequencySimilarity(f1, f2);
+        } else if (f2 >= f1) {
+          // The target's frequency can support the pattern: the bound on
+          // d(p) is 1.0 (Algorithm 2's clamp).
+          theta[v1][v2] += weight;
+        } else if (f1 + f2 > 0.0) {
+          theta[v1][v2] += weight * (1.0 - (f1 - f2) / (f1 + f2));
+        }
+      }
+    }
+  }
+  return theta;
+}
+
+}  // namespace hematch

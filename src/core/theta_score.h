@@ -1,0 +1,61 @@
+#ifndef HEMATCH_CORE_THETA_SCORE_H_
+#define HEMATCH_CORE_THETA_SCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching_context.h"
+
+namespace hematch {
+
+/// Which reading of Formula (2) the estimated scores use. The journal
+/// text prints the per-pattern term as
+///
+///     1 - (f1(p) - f2(v2)) / (f1(p) + f2(v2))        [no absolute value]
+///
+/// while the surrounding properties (1)/(2) — "theta equals the normal
+/// distance when the estimate is perfect / for vertex patterns" — only
+/// hold for the absolute-value variant. Both readings are implemented;
+/// see DESIGN.md for the analysis and the ablation bench for the
+/// measured difference.
+enum class ThetaForm : std::uint8_t {
+  /// The formula as printed, clamped at 1 per pattern exactly like
+  /// Algorithm 2's bounds: a target whose frequency can support the
+  /// pattern (`f2 >= f1(p)`) contributes the full 1/|p|, a weaker target
+  /// is penalized by `1 - (f1 - f2)/(f1 + f2)`. Since an event's
+  /// frequency upper-bounds the frequency of every pattern containing
+  /// it, this reads as an *optimistic-bound* estimate: events carrying
+  /// high-frequency patterns demand high-frequency targets, everything
+  /// else ties — and the `g + h` candidate scoring resolves the ties.
+  /// (Unclamped, the printed term `2 f2/(f1+f2)` is strictly increasing
+  /// in f2 and provably shifts every event one frequency rank up; the
+  /// clamp is what Algorithm 2 itself does when `f_min >= f(p)`.)
+  /// Default.
+  kOptimistic,
+  /// With |f1 - f2|: a symmetric similarity, maximal when the target
+  /// event's frequency equals the *pattern's* frequency. Makes
+  /// Proposition 6 exact for vertex patterns, but systematically prefers
+  /// low-frequency targets for events involved in low-frequency patterns.
+  kAbsolute,
+};
+
+/// The estimated score matrix of Formula (2), Section 5.1.1:
+///
+///   theta(v1, v2) = sum over patterns p containing v1 of
+///                   (1/|p|) * (1 - (f1(p) - f2(v2)) / (f1(p) + f2(v2)))
+///
+/// `f2(v2)` is the *vertex* frequency of the candidate target: the
+/// pattern's eventual target-side frequency is unknown before the rest of
+/// the mapping exists, so the event's own frequency stands in for it.
+/// The (1/|p|) factor spreads each pattern's potential contribution over
+/// its events, so summing theta over a complete mapping estimates the
+/// pattern normal distance.
+///
+/// Returns an n1 x n2 matrix indexed [source][target]. Terms with
+/// f1(p) + f2(v2) = 0 contribute 0 (same convention as d(p)).
+std::vector<std::vector<double>> ComputeThetaScores(
+    const MatchingContext& context, ThetaForm form = ThetaForm::kOptimistic);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_THETA_SCORE_H_

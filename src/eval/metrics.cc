@@ -1,0 +1,37 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hematch {
+
+MatchQuality EvaluateMapping(const Mapping& found, const Mapping& truth) {
+  HEMATCH_CHECK(found.num_sources() == truth.num_sources() &&
+                    found.num_targets() == truth.num_targets(),
+                "found/truth mappings cover different vocabularies");
+  MatchQuality quality;
+  quality.found_pairs = found.size();
+  quality.truth_pairs = truth.size();
+  for (EventId v = 0; v < found.num_sources(); ++v) {
+    const EventId target = found.TargetOf(v);
+    if (target != kInvalidEventId && truth.TargetOf(v) == target) {
+      ++quality.correct_pairs;
+    }
+  }
+  if (quality.found_pairs > 0) {
+    quality.precision = static_cast<double>(quality.correct_pairs) /
+                        static_cast<double>(quality.found_pairs);
+  }
+  if (quality.truth_pairs > 0) {
+    quality.recall = static_cast<double>(quality.correct_pairs) /
+                     static_cast<double>(quality.truth_pairs);
+  }
+  if (quality.precision + quality.recall > 0.0) {
+    quality.f_measure = 2.0 * quality.precision * quality.recall /
+                        (quality.precision + quality.recall);
+  }
+  return quality;
+}
+
+}  // namespace hematch

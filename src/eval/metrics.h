@@ -1,0 +1,31 @@
+#ifndef HEMATCH_EVAL_METRICS_H_
+#define HEMATCH_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "core/mapping.h"
+
+namespace hematch {
+
+/// Matching quality against a ground truth (Section 6, "Criteria"):
+///   precision = |found ∩ truth| / |found|
+///   recall    = |found ∩ truth| / |truth|
+///   F-measure = 2 * precision * recall / (precision + recall)
+/// A pair counts as correct only if both endpoints agree. Empty `found`
+/// or `truth` yields 0 for the affected ratio (and F = 0).
+struct MatchQuality {
+  std::size_t correct_pairs = 0;
+  std::size_t found_pairs = 0;
+  std::size_t truth_pairs = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+};
+
+/// Scores `found` against `truth`. The mappings must be over the same
+/// vocabularies (same source/target sizes).
+MatchQuality EvaluateMapping(const Mapping& found, const Mapping& truth);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_EVAL_METRICS_H_

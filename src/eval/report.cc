@@ -1,0 +1,100 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+#include "core/normal_distance.h"
+#include "eval/table.h"
+
+namespace hematch {
+
+MatchReport ExplainMapping(MatchingContext& context, const Mapping& mapping,
+                           const ScorerOptions& options) {
+  HEMATCH_CHECK(mapping.IsComplete(),
+                "ExplainMapping requires a complete mapping");
+  MatchReport report;
+  const EventDictionary& dict1 = context.log1().dictionary();
+  const EventDictionary& dict2 = context.log2().dictionary();
+
+  // Per-pattern evidence.
+  std::vector<double> contributions(context.num_patterns(), 0.0);
+  for (std::size_t pid = 0; pid < context.num_patterns(); ++pid) {
+    const Pattern& p = context.patterns()[pid];
+    std::optional<Pattern> translated = mapping.TranslatePattern(p);
+    HEMATCH_CHECK(translated.has_value(), "complete mapping covers pattern");
+    PatternEvidence evidence;
+    evidence.pattern = p.ToString(&dict1);
+    evidence.translated_pattern = translated->ToString(&dict2);
+    evidence.f1 = context.PatternFrequency1(pid);
+    evidence.f2 = context.PatternFrequency2(*translated, options.existence);
+    evidence.contribution = FrequencySimilarity(evidence.f1, evidence.f2);
+    contributions[pid] = evidence.contribution;
+    report.objective += evidence.contribution;
+    report.patterns.push_back(std::move(evidence));
+  }
+
+  // Per-pair evidence, aggregated through the pattern inverted index.
+  for (EventId v = 0; v < context.num_sources(); ++v) {
+    const EventId t = mapping.TargetOf(v);
+    PairEvidence pair;
+    pair.source = v;
+    pair.target = t;
+    pair.source_name = dict1.Name(v);
+    pair.target_name = t < dict2.size() ? dict2.Name(t) : "?";
+    double total = 0.0;
+    for (std::uint32_t pid : context.pattern_index().PatternsInvolving(v)) {
+      ++pair.num_patterns;
+      total += contributions[pid];
+      pair.worst_contribution =
+          std::min(pair.worst_contribution, contributions[pid]);
+    }
+    if (pair.num_patterns > 0) {
+      pair.mean_contribution = total / static_cast<double>(pair.num_patterns);
+    } else {
+      pair.worst_contribution = 0.0;  // No evidence at all.
+    }
+    report.pairs.push_back(std::move(pair));
+  }
+
+  // Weakest evidence first.
+  std::stable_sort(report.patterns.begin(), report.patterns.end(),
+                   [](const PatternEvidence& a, const PatternEvidence& b) {
+                     return a.contribution < b.contribution;
+                   });
+  std::stable_sort(report.pairs.begin(), report.pairs.end(),
+                   [](const PairEvidence& a, const PairEvidence& b) {
+                     return a.mean_contribution < b.mean_contribution;
+                   });
+  return report;
+}
+
+void PrintMatchReport(const MatchReport& report, std::ostream& os,
+                      std::size_t max_rows) {
+  os << "pattern normal distance: " << TextTable::Num(report.objective)
+     << " over " << report.patterns.size() << " patterns\n\n";
+
+  os << "weakest event pairs (low mean pattern agreement first):\n";
+  TextTable pairs({"pair", "# patterns", "mean d", "worst d"});
+  for (std::size_t i = 0; i < report.pairs.size() && i < max_rows; ++i) {
+    const PairEvidence& pair = report.pairs[i];
+    pairs.AddRow({pair.source_name + " -> " + pair.target_name,
+                  std::to_string(pair.num_patterns),
+                  TextTable::Num(pair.mean_contribution),
+                  TextTable::Num(pair.worst_contribution)});
+  }
+  pairs.Print(os);
+
+  os << "\nweakest pattern evidence:\n";
+  TextTable patterns({"pattern", "image", "f1", "f2", "d"});
+  for (std::size_t i = 0; i < report.patterns.size() && i < max_rows; ++i) {
+    const PatternEvidence& evidence = report.patterns[i];
+    patterns.AddRow({evidence.pattern, evidence.translated_pattern,
+                     TextTable::Num(evidence.f1),
+                     TextTable::Num(evidence.f2),
+                     TextTable::Num(evidence.contribution)});
+  }
+  patterns.Print(os);
+}
+
+}  // namespace hematch

@@ -1,0 +1,60 @@
+#ifndef HEMATCH_EVAL_REPORT_H_
+#define HEMATCH_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/mapping_scorer.h"
+#include "core/matching_context.h"
+
+namespace hematch {
+
+/// A per-pattern line of evidence for (or against) a mapping: the
+/// pattern, its frequencies on both sides under the mapping, and the
+/// contribution d(p) to the pattern normal distance.
+struct PatternEvidence {
+  std::string pattern;             ///< Textual form over L1 names.
+  std::string translated_pattern;  ///< Image under the mapping, L2 names.
+  double f1 = 0.0;
+  double f2 = 0.0;
+  double contribution = 0.0;       ///< d(p) in [0, 1].
+};
+
+/// Diagnostics for one mapped event pair: how much pattern evidence
+/// involves it and how well that evidence agrees.
+struct PairEvidence {
+  EventId source = kInvalidEventId;
+  EventId target = kInvalidEventId;
+  std::string source_name;
+  std::string target_name;
+  std::size_t num_patterns = 0;       ///< Patterns involving the source.
+  double mean_contribution = 0.0;     ///< Average d(p) over them.
+  double worst_contribution = 1.0;    ///< Smallest d(p) over them.
+};
+
+/// A human-auditable explanation of a matching result. The paper's
+/// output is just a mapping; in practice an analyst confirming
+/// correspondences wants to see *why* each pair was chosen and which
+/// pairs are weakly supported — this report provides exactly that.
+struct MatchReport {
+  double objective = 0.0;                 ///< D^N of the mapping.
+  std::vector<PatternEvidence> patterns;  ///< Sorted: weakest first.
+  std::vector<PairEvidence> pairs;        ///< Sorted: weakest first.
+};
+
+/// Builds the report for a complete `mapping` over `context`'s instance.
+/// `options` selects the existence-check mode used when evaluating
+/// translated patterns (same semantics as the matchers).
+MatchReport ExplainMapping(MatchingContext& context, const Mapping& mapping,
+                           const ScorerOptions& options = {});
+
+/// Renders the report as text tables (weakest evidence first, so the
+/// reader's attention lands on the doubtful pairs).
+void PrintMatchReport(const MatchReport& report, std::ostream& os,
+                      std::size_t max_rows = 20);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_EVAL_REPORT_H_

@@ -1,0 +1,41 @@
+#include "eval/runner.h"
+
+#include "core/pattern_set.h"
+#include "graph/dependency_graph.h"
+
+namespace hematch {
+
+RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
+                     const Mapping* truth) {
+  RunRecord record;
+  record.method = matcher.name();
+  Result<MatchResult> outcome = matcher.Match(context);
+  if (!outcome.ok()) {
+    record.failure = outcome.status().ToString();
+    return record;
+  }
+  MatchResult& result = outcome.value();
+  record.completed = true;
+  record.objective = result.objective;
+  record.elapsed_ms = result.elapsed_ms;
+  record.mappings_processed = result.mappings_processed;
+  if (truth != nullptr && truth->num_sources() > 0) {
+    const MatchQuality quality = EvaluateMapping(result.mapping, *truth);
+    record.f_measure = quality.f_measure;
+    record.precision = quality.precision;
+    record.recall = quality.recall;
+  }
+  record.mapping = std::move(result.mapping);
+  return record;
+}
+
+RunRecord RunMatcherOnTask(const Matcher& matcher, const MatchingTask& task) {
+  const DependencyGraph g1 = DependencyGraph::Build(task.log1);
+  MatchingContext context(task.log1, task.log2,
+                          BuildPatternSet(g1, task.complex_patterns));
+  const Mapping* truth =
+      task.ground_truth.num_sources() > 0 ? &task.ground_truth : nullptr;
+  return RunMatcher(matcher, context, truth);
+}
+
+}  // namespace hematch

@@ -1,0 +1,38 @@
+#ifndef HEMATCH_EVAL_RUNNER_H_
+#define HEMATCH_EVAL_RUNNER_H_
+
+#include <string>
+
+#include "core/matcher.h"
+#include "eval/metrics.h"
+#include "gen/matching_task.h"
+
+namespace hematch {
+
+/// One matcher's outcome on one task, flattened for reporting.
+struct RunRecord {
+  std::string method;
+  bool completed = false;
+  std::string failure;  // Status string when !completed.
+  double f_measure = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double objective = 0.0;
+  double elapsed_ms = 0.0;
+  std::uint64_t mappings_processed = 0;
+  Mapping mapping{0, 0};
+};
+
+/// Runs `matcher` on `context`, scoring against `truth` when provided.
+/// Budget exhaustion is reported (completed = false), not fatal.
+RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
+                     const Mapping* truth);
+
+/// Convenience: builds a context for `task` — vertex + edge patterns plus
+/// the task's complex patterns — and runs `matcher` on it. Each call
+/// builds a fresh context; share a context manually to amortize caches.
+RunRecord RunMatcherOnTask(const Matcher& matcher, const MatchingTask& task);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_EVAL_RUNNER_H_

@@ -1,0 +1,35 @@
+#ifndef HEMATCH_EVAL_TABLE_H_
+#define HEMATCH_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hematch {
+
+/// Minimal fixed-width text-table formatter for the benchmark harnesses
+/// (each harness prints the same rows/series as the corresponding paper
+/// figure or table).
+class TextTable {
+ public:
+  /// Column headers; fixes the column count.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must match the column count (short rows are padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with columns sized to their widest cell.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `digits` fractional digits ("-" for NaN,
+  /// which the harnesses use for "no result").
+  static std::string Num(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_EVAL_TABLE_H_

@@ -1,0 +1,71 @@
+#include "freq/existence_pruner.h"
+
+#include "pattern/pattern_graph.h"
+#include "pattern/pattern_language.h"
+
+namespace hematch {
+
+namespace {
+
+// Every pattern event must occur at all for any order to occur.
+bool AllVerticesPresent(const Pattern& pattern, const DependencyGraph& g) {
+  for (EventId v : pattern.events()) {
+    if (g.VertexFrequency(v) <= 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EdgeSetCheck(const Pattern& pattern, const DependencyGraph& g) {
+  const PatternGraph pg = TranslatePatternToGraph(pattern);
+  for (const auto& [u, v] : pg.event_edges) {
+    if (!g.HasEdge(u, v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LinearizationCheck(const Pattern& pattern, const DependencyGraph& g) {
+  if (pattern.NumLinearizations() > kLinearizationCap) {
+    return true;  // Too many orders to enumerate; do not prune.
+  }
+  bool found = false;
+  EnumerateLinearizations(pattern, [&](const std::vector<EventId>& order) {
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      if (!g.HasEdge(order[i], order[i + 1])) {
+        return true;  // This order is impossible; keep enumerating.
+      }
+    }
+    found = true;
+    return false;  // A feasible order exists; stop.
+  });
+  return found;
+}
+
+}  // namespace
+
+bool PatternMayExist(const Pattern& pattern, const DependencyGraph& graph,
+                     ExistenceCheckMode mode) {
+  if (mode == ExistenceCheckMode::kNone) {
+    return true;
+  }
+  if (!AllVerticesPresent(pattern, graph)) {
+    return false;
+  }
+  if (pattern.size() == 1) {
+    return true;  // Vertex pattern: presence is existence.
+  }
+  switch (mode) {
+    case ExistenceCheckMode::kEdgeSet:
+      return EdgeSetCheck(pattern, graph);
+    case ExistenceCheckMode::kLinearization:
+      return LinearizationCheck(pattern, graph);
+    case ExistenceCheckMode::kNone:
+      break;
+  }
+  return true;
+}
+
+}  // namespace hematch

@@ -1,0 +1,43 @@
+#ifndef HEMATCH_FREQ_EXISTENCE_PRUNER_H_
+#define HEMATCH_FREQ_EXISTENCE_PRUNER_H_
+
+#include <cstdint>
+
+#include "graph/dependency_graph.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// How Proposition 3 ("if p is not a subgraph of G then f(p) = 0") is
+/// applied before paying for a frequency evaluation.
+enum class ExistenceCheckMode : std::uint8_t {
+  /// No pruning; every pattern is evaluated against the log.
+  kNone,
+  /// Paper-faithful: require every edge of the translated pattern graph to
+  /// be present in the dependency graph (this is how the paper's Example 6
+  /// checks both `b4 b5` and `b5 b4` for `AND(a4, a5)`). Fast, but can
+  /// prune a pattern whose frequency is non-zero when only a strict subset
+  /// of its allowed orders occurs in the log — e.g. AND(B,C) over a log
+  /// where B always precedes C.
+  kEdgeSet,
+  /// Sound: require at least one allowed order of the pattern to form a
+  /// path of dependency edges. Never prunes a pattern with f(p) > 0
+  /// (every match contributes such a path), at the cost of enumerating
+  /// linearizations with early exit (bounded by `kLinearizationCap`; above
+  /// the cap the check conservatively reports "may exist").
+  kLinearization,
+};
+
+/// Linearization-enumeration budget for `kLinearization` mode.
+inline constexpr std::uint64_t kLinearizationCap = 1u << 20;
+
+/// Returns false only when `f(pattern) = 0` is certain under the selected
+/// mode's reasoning (see the mode comments for the soundness caveat of
+/// `kEdgeSet`). `graph` must be the dependency graph of the log the
+/// pattern's frequency would be evaluated on.
+bool PatternMayExist(const Pattern& pattern, const DependencyGraph& graph,
+                     ExistenceCheckMode mode);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_FREQ_EXISTENCE_PRUNER_H_

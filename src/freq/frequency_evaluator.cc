@@ -1,0 +1,56 @@
+#include "freq/frequency_evaluator.h"
+
+namespace hematch {
+
+FrequencyEvaluator::FrequencyEvaluator(const EventLog& log,
+                                       FrequencyEvaluatorOptions options)
+    : log_(&log), options_(options), trace_index_(log) {}
+
+std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
+  ++stats_.evaluations;
+  std::string key;
+  if (options_.use_cache) {
+    key = pattern.ToString();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  std::size_t support = 0;
+  TraceMatchStats match_stats;
+  if (options_.use_trace_index) {
+    const std::vector<std::uint32_t> candidates =
+        trace_index_.CandidateTraces(pattern.events());
+    stats_.traces_scanned += candidates.size();
+    for (std::uint32_t t : candidates) {
+      if (TraceMatchesPattern(log_->traces()[t], pattern, &match_stats)) {
+        ++support;
+      }
+    }
+  } else {
+    stats_.traces_scanned += log_->num_traces();
+    for (const Trace& trace : log_->traces()) {
+      if (TraceMatchesPattern(trace, pattern, &match_stats)) {
+        ++support;
+      }
+    }
+  }
+  stats_.windows_tested += match_stats.windows_tested;
+
+  if (options_.use_cache) {
+    cache_.emplace(std::move(key), support);
+  }
+  return support;
+}
+
+double FrequencyEvaluator::Frequency(const Pattern& pattern) {
+  if (log_->num_traces() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(Support(pattern)) /
+         static_cast<double>(log_->num_traces());
+}
+
+}  // namespace hematch

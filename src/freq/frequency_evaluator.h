@@ -1,0 +1,72 @@
+#ifndef HEMATCH_FREQ_FREQUENCY_EVALUATOR_H_
+#define HEMATCH_FREQ_FREQUENCY_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "freq/inverted_index.h"
+#include "freq/trace_matcher.h"
+#include "log/event_log.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Options controlling `FrequencyEvaluator`; the defaults are what the
+/// paper's algorithms use, the off switches exist for the ablation bench.
+struct FrequencyEvaluatorOptions {
+  /// Use the trace inverted index `It` to restrict the scan to traces
+  /// containing every pattern event (Section 3.2.3). When false, every
+  /// trace is scanned.
+  bool use_trace_index = true;
+  /// Memoize frequencies per structurally-distinct pattern. The A* search
+  /// re-evaluates the same mapped pattern across many branches; caching
+  /// makes those lookups O(1).
+  bool use_cache = true;
+};
+
+/// Computes normalized pattern frequencies `f(p)` over one event log
+/// (Definition 4 and Section 3.2.3).
+///
+/// The evaluator owns a `TraceIndex` of the log and an optional cache
+/// keyed by the pattern's canonical string form (structure + event ids,
+/// which uniquely identifies the language since pattern events are
+/// distinct).
+class FrequencyEvaluator {
+ public:
+  /// `log` must outlive the evaluator.
+  explicit FrequencyEvaluator(const EventLog& log,
+                              FrequencyEvaluatorOptions options = {});
+
+  FrequencyEvaluator(const FrequencyEvaluator&) = delete;
+  FrequencyEvaluator& operator=(const FrequencyEvaluator&) = delete;
+
+  /// Fraction of traces matching `pattern` (in [0, 1]).
+  double Frequency(const Pattern& pattern);
+
+  /// Absolute number of traces matching `pattern`.
+  std::size_t Support(const Pattern& pattern);
+
+  const EventLog& log() const { return *log_; }
+  const TraceIndex& trace_index() const { return trace_index_; }
+
+  /// Work counters (cumulative since construction).
+  struct Stats {
+    std::uint64_t evaluations = 0;      ///< Frequency() calls.
+    std::uint64_t cache_hits = 0;       ///< Served from the memo table.
+    std::uint64_t traces_scanned = 0;   ///< Traces handed to the matcher.
+    std::uint64_t windows_tested = 0;   ///< Full membership tests.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const EventLog* log_;
+  FrequencyEvaluatorOptions options_;
+  TraceIndex trace_index_;
+  std::unordered_map<std::string, std::size_t> cache_;
+  Stats stats_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_FREQ_FREQUENCY_EVALUATOR_H_

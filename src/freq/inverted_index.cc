@@ -1,0 +1,78 @@
+#include "freq/inverted_index.h"
+
+#include <algorithm>
+
+namespace hematch {
+
+TraceIndex::TraceIndex(const EventLog& log) : num_traces_(log.num_traces()) {
+  postings_.assign(log.num_events(), {});
+  for (std::uint32_t t = 0; t < log.num_traces(); ++t) {
+    for (EventId v : log.traces()[t]) {
+      std::vector<std::uint32_t>& list = postings_[v];
+      if (list.empty() || list.back() != t) {
+        list.push_back(t);  // Trace ids arrive in order; dedup adjacents.
+      }
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& TraceIndex::Postings(EventId v) const {
+  if (v >= postings_.size()) {
+    return empty_;
+  }
+  return postings_[v];
+}
+
+std::vector<std::uint32_t> TraceIndex::CandidateTraces(
+    std::span<const EventId> events) const {
+  if (events.empty()) {
+    std::vector<std::uint32_t> all(num_traces_);
+    for (std::uint32_t t = 0; t < num_traces_; ++t) {
+      all[t] = t;
+    }
+    return all;
+  }
+  // Intersect starting from the shortest posting list.
+  std::size_t shortest = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (Postings(events[i]).size() < Postings(events[shortest]).size()) {
+      shortest = i;
+    }
+  }
+  std::vector<std::uint32_t> result = Postings(events[shortest]);
+  for (std::size_t i = 0; i < events.size() && !result.empty(); ++i) {
+    if (i == shortest) {
+      continue;
+    }
+    const std::vector<std::uint32_t>& other = Postings(events[i]);
+    std::vector<std::uint32_t> next;
+    next.reserve(std::min(result.size(), other.size()));
+    std::set_intersection(result.begin(), result.end(), other.begin(),
+                          other.end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+PatternIndex::PatternIndex(
+    std::size_t num_events,
+    const std::vector<std::vector<EventId>>& pattern_events) {
+  by_event_.assign(num_events, {});
+  for (std::uint32_t p = 0; p < pattern_events.size(); ++p) {
+    for (EventId v : pattern_events[p]) {
+      if (v < num_events) {
+        by_event_[v].push_back(p);
+      }
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& PatternIndex::PatternsInvolving(
+    EventId v) const {
+  if (v >= by_event_.size()) {
+    return empty_;
+  }
+  return by_event_[v];
+}
+
+}  // namespace hematch

@@ -1,0 +1,63 @@
+#ifndef HEMATCH_FREQ_INVERTED_INDEX_H_
+#define HEMATCH_FREQ_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace hematch {
+
+/// The trace inverted index `It` of Section 3.2.3: for each event `v`, the
+/// sorted list of trace ids containing `v`. Pattern frequency evaluation
+/// scans only the intersection of the posting lists of the pattern's
+/// events instead of the whole log.
+class TraceIndex {
+ public:
+  /// Builds the index in one pass over `log`.
+  explicit TraceIndex(const EventLog& log);
+
+  /// Posting list of `v` (sorted, deduplicated trace ids). Out-of-range
+  /// events have an empty list.
+  const std::vector<std::uint32_t>& Postings(EventId v) const;
+
+  /// Trace ids containing *all* of `events` (sorted). An empty event set
+  /// yields all trace ids.
+  std::vector<std::uint32_t> CandidateTraces(
+      std::span<const EventId> events) const;
+
+  std::size_t num_traces() const { return num_traces_; }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> postings_;
+  std::vector<std::uint32_t> empty_;
+  std::size_t num_traces_ = 0;
+};
+
+/// The pattern inverted index `Ip` of Section 3.2.1: for each event `v`,
+/// the list of pattern ids (indices into the caller's pattern vector) that
+/// involve `v`.
+class PatternIndex {
+ public:
+  /// `pattern_events[i]` must be the event set of pattern `i`.
+  PatternIndex(std::size_t num_events,
+               const std::vector<std::vector<EventId>>& pattern_events);
+
+  /// Ids of patterns involving `v` (ascending).
+  const std::vector<std::uint32_t>& PatternsInvolving(EventId v) const;
+
+  /// Number of patterns involving `v` — the A* expansion order key
+  /// ("select a vertex which is included by most of the patterns").
+  std::size_t PatternCount(EventId v) const {
+    return PatternsInvolving(v).size();
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> by_event_;
+  std::vector<std::uint32_t> empty_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_FREQ_INVERTED_INDEX_H_

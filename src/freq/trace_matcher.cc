@@ -1,0 +1,79 @@
+#include "freq/trace_matcher.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/pattern_language.h"
+
+namespace hematch {
+
+bool TraceMatchesPattern(const Trace& trace, const Pattern& pattern,
+                         TraceMatchStats* stats) {
+  const std::size_t k = pattern.size();
+  if (k == 0 || trace.size() < k) {
+    return false;
+  }
+
+  // Map pattern events to small indices for O(1) membership tests.
+  std::unordered_map<EventId, std::size_t> pattern_index;
+  pattern_index.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    pattern_index.emplace(pattern.events()[i], i);
+  }
+
+  // Sliding-window state: counts[i] = occurrences of pattern event i in
+  // the current window; `matched` = number of pattern events with count
+  // exactly 1; `foreign` = number of non-pattern events in the window.
+  // The window is a permutation of V(p) iff matched == k and foreign == 0.
+  std::vector<std::size_t> counts(k, 0);
+  std::size_t matched = 0;
+  std::size_t foreign = 0;
+
+  auto add = [&](EventId e) {
+    auto it = pattern_index.find(e);
+    if (it == pattern_index.end()) {
+      ++foreign;
+      return;
+    }
+    std::size_t& c = counts[it->second];
+    if (c == 0) {
+      ++matched;
+    } else if (c == 1) {
+      --matched;
+    }
+    ++c;
+  };
+  auto remove = [&](EventId e) {
+    auto it = pattern_index.find(e);
+    if (it == pattern_index.end()) {
+      --foreign;
+      return;
+    }
+    std::size_t& c = counts[it->second];
+    if (c == 1) {
+      --matched;
+    } else if (c == 2) {
+      ++matched;
+    }
+    --c;
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    add(trace[i]);
+    if (i >= k) {
+      remove(trace[i - k]);
+    }
+    if (i + 1 >= k && matched == k && foreign == 0) {
+      if (stats != nullptr) {
+        ++stats->windows_tested;
+      }
+      const std::span<const EventId> window(trace.data() + (i + 1 - k), k);
+      if (WindowMatchesPattern(pattern, window)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace hematch

@@ -1,0 +1,32 @@
+#ifndef HEMATCH_FREQ_TRACE_MATCHER_H_
+#define HEMATCH_FREQ_TRACE_MATCHER_H_
+
+#include <cstdint>
+
+#include "log/trace.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Counters describing how much work a trace-matching call performed;
+/// aggregated by `FrequencyEvaluator` and reported by the benchmarks.
+struct TraceMatchStats {
+  /// Windows that passed the cheap permutation filter and were handed to
+  /// the full language-membership test.
+  std::uint64_t windows_tested = 0;
+};
+
+/// True when `trace` matches `pattern` (Definition 4): some contiguous
+/// substring of the trace is one of the pattern's allowed orders.
+///
+/// Implementation: slide a window of length `|p|` over the trace while
+/// maintaining multiset counts of pattern events; only windows that are a
+/// permutation of `V(p)` (a necessary condition, O(1) amortized to check)
+/// are tested for language membership. This makes the common case — a
+/// window that cannot possibly match — cost O(1) per position.
+bool TraceMatchesPattern(const Trace& trace, const Pattern& pattern,
+                         TraceMatchStats* stats = nullptr);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_FREQ_TRACE_MATCHER_H_

@@ -1,0 +1,135 @@
+#include "gen/bus_process.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gen/process_model.h"
+
+namespace hematch {
+
+namespace {
+
+// The 11-step order-processing workflow. `n` carries the site's opaque
+// names for steps 0..10, whose real-world meanings are:
+//   0 receive order, 1 payment, 2 check inventory, 3 schedule production,
+//   4 quality audit (optional), 5 assemble body, 6 install engine,
+//   7 ship goods, 8 local pickup, 9 invoice, 10 collect feedback (opt.).
+//
+// `jitter` perturbs every branch probability by an independent uniform
+// offset in [-magnitude, +magnitude]: the second department runs the
+// "same" process with slightly different per-step behaviour (the paper's
+// heterogeneity), rather than a uniform drift that would re-rank every
+// frequency systematically.
+ProcessModel BuildOrderProcess(const std::vector<std::string>& n, Rng* jitter,
+                               double magnitude) {
+  HEMATCH_CHECK(n.size() == 11, "order process needs 11 step names");
+  auto jit = [&](double p) {
+    if (jitter == nullptr || magnitude <= 0.0) {
+      return p;
+    }
+    return std::clamp(p + (jitter->NextDouble() * 2.0 - 1.0) * magnitude,
+                      0.01, 0.999);
+  };
+  auto act = [&](std::size_t i) { return ProcessBlock::Activity(n[i]); };
+  // A step whose completion is occasionally missing from the extracted
+  // log (abandoned orders, logging glitches) — step-specific rates give
+  // events the near-but-not-exactly-tied frequency fingerprints real ERP
+  // logs show, while leaving several events exactly tied at 1.0.
+  auto recorded = [&](std::size_t i, double p) {
+    return ProcessBlock::Optional(act(i), jit(p));
+  };
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence({
+      act(0),
+      // Payment and inventory check run concurrently; payment tends to be
+      // entered first (biased interleaving -> asymmetric edge frequencies).
+      ProcessBlock::Parallel({recorded(1, 0.98), recorded(2, 0.95)},
+                             {jit(0.65), jit(0.35)}),
+      act(3),
+      ProcessBlock::Optional(act(4), jit(0.60)),
+      ProcessBlock::Parallel({act(5), act(6)},
+                             {jit(0.80), jit(0.20)}),
+      ProcessBlock::Choice({act(7), act(8)}, {jit(0.75), jit(0.25)}),
+      recorded(9, 0.90),
+      ProcessBlock::Optional(act(10), jit(0.45)),
+  });
+  return model;
+}
+
+}  // namespace
+
+MatchingTask MakeBusManufacturerTask(const BusProcessOptions& options) {
+  Rng rng(options.seed);
+
+  std::vector<std::string> names1 = {"A", "B", "C", "D", "E", "F",
+                                     "G", "H", "I", "J", "K"};
+  std::vector<std::string> names2;
+  for (int i = 1; i <= 11; ++i) {
+    names2.push_back(std::to_string(i));
+  }
+
+  // L2's vocabulary is interned in a shuffled order so that the ground
+  // truth is not the identity id mapping.
+  std::vector<std::string> vocab2 = names2;
+  if (options.shuffle_target_vocabulary) {
+    rng.Shuffle(vocab2);
+  }
+
+  Rng jitter = rng.Fork();
+  ProcessModel process1 = BuildOrderProcess(names1, /*jitter=*/nullptr, 0.0);
+  ProcessModel process2 = BuildOrderProcess(
+      names2, &jitter, options.site2_probability_jitter);
+
+  MatchingTask task;
+  task.name = "bus-manufacturer";
+  Rng rng1 = rng.Fork();
+  Rng rng2 = rng.Fork();
+  task.log1 = process1.Generate(options.num_traces, rng1,
+                                /*probability_perturbation=*/0.0, names1);
+  task.log2 = process2.Generate(options.num_traces, rng2,
+                                /*probability_perturbation=*/0.0, vocab2);
+
+  // Ground truth: step i of site 1 corresponds to step i of site 2.
+  task.ground_truth =
+      Mapping(task.log1.num_events(), task.log2.num_events());
+  for (std::size_t i = 0; i < names1.size(); ++i) {
+    const EventId v1 = task.log1.dictionary().Lookup(names1[i]).value();
+    const EventId v2 = task.log2.dictionary().Lookup(names2[i]).value();
+    task.ground_truth.Set(v1, v2);
+  }
+
+  // The three curated complex patterns (Table 3: 3 patterns), expressed
+  // over L1 ids. Step names map to ids through the dictionary.
+  auto id = [&](std::size_t i) {
+    return task.log1.dictionary().Lookup(names1[i]).value();
+  };
+  auto seq = [](std::vector<Pattern> children) {
+    return Pattern::Seq(std::move(children)).value();
+  };
+  auto both = [](EventId u, EventId v) {
+    return Pattern::AndOfEvents({u, v});
+  };
+  // Example 4's pattern: order received, then payment & inventory check
+  // in either order, then production scheduled.
+  std::vector<Pattern> p1;
+  p1.push_back(Pattern::Event(id(0)));
+  p1.push_back(both(id(1), id(2)));
+  p1.push_back(Pattern::Event(id(3)));
+  task.complex_patterns.push_back(seq(std::move(p1)));
+  // Assembly & engine installation back-to-back, then shipping.
+  std::vector<Pattern> p2;
+  p2.push_back(both(id(5), id(6)));
+  p2.push_back(Pattern::Event(id(7)));
+  task.complex_patterns.push_back(seq(std::move(p2)));
+  // Quality audit immediately before the final assembly block.
+  std::vector<Pattern> p3;
+  p3.push_back(Pattern::Event(id(4)));
+  p3.push_back(both(id(5), id(6)));
+  task.complex_patterns.push_back(seq(std::move(p3)));
+  return task;
+}
+
+}  // namespace hematch

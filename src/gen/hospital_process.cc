@@ -1,0 +1,135 @@
+#include "gen/hospital_process.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gen/process_model.h"
+
+namespace hematch {
+
+namespace {
+
+// Step indices into the 13-name vocabulary:
+//   0 triage, 1 vitals, 2 bloods, 3 imaging, 4 specialist, 5 diagnosis,
+//   6 bed allocation, 7 med reconciliation, 8 ward handover,
+//   9 treatment, 10 prescription, 11 discharge letter, 12 billing.
+ProcessModel BuildPathway(const std::vector<std::string>& n, Rng* jitter,
+                          double magnitude) {
+  HEMATCH_CHECK(n.size() == 13, "pathway needs 13 step names");
+  auto jit = [&](double p) {
+    if (jitter == nullptr || magnitude <= 0.0) {
+      return p;
+    }
+    return std::clamp(p + (jitter->NextDouble() * 2.0 - 1.0) * magnitude,
+                      0.01, 0.999);
+  };
+  auto act = [&](std::size_t i) { return ProcessBlock::Activity(n[i]); };
+
+  // Extra diagnostics happen for ~80% of episodes; when they do, imaging
+  // is somewhat more common than a specialist consult
+  // (0.8 * 0.5625 = 0.45 imaging, 0.8 * 0.4375 = 0.35 specialist).
+  ProcessBlock::Ptr diagnostics = ProcessBlock::Optional(
+      ProcessBlock::Choice({act(3), act(4)}, {jit(0.5625), jit(0.4375)}),
+      jit(0.80));
+
+  // Admission branch: concurrent bed allocation & medication
+  // reconciliation, then the ward handover.
+  ProcessBlock::Ptr admit = ProcessBlock::Sequence({
+      ProcessBlock::Parallel({act(6), act(7)}, {jit(0.55), jit(0.45)}),
+      act(8),
+  });
+  // Outpatient branch: treatment, usually a prescription, then the
+  // discharge letter.
+  ProcessBlock::Ptr treat = ProcessBlock::Sequence({
+      act(9),
+      ProcessBlock::Optional(act(10), jit(0.80)),
+      act(11),
+  });
+
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence({
+      act(0),
+      ProcessBlock::Parallel({act(1), act(2)}, {jit(0.70), jit(0.30)}),
+      diagnostics,
+      act(5),
+      ProcessBlock::Choice({admit, treat}, {jit(0.30), jit(0.70)}),
+      ProcessBlock::Optional(act(12), jit(0.90)),
+  });
+  model.truncate_probability = 0.06;  // Abandoned / transferred episodes.
+  return model;
+}
+
+std::vector<std::string> SiteNames(const std::string& prefix) {
+  std::vector<std::string> names;
+  for (int i = 1; i <= 13; ++i) {
+    names.push_back(prefix + (i < 10 ? "0" : "") + std::to_string(i));
+  }
+  return names;
+}
+
+}  // namespace
+
+MatchingTask MakeHospitalTask(const HospitalProcessOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<std::string> names1 = SiteNames("T");
+  const std::vector<std::string> names2 = SiteNames("z");
+  std::vector<std::string> vocab2 = names2;
+  if (options.shuffle_target_vocabulary) {
+    rng.Shuffle(vocab2);
+  }
+
+  Rng jitter = rng.Fork();
+  ProcessModel site1 = BuildPathway(names1, /*jitter=*/nullptr, 0.0);
+  ProcessModel site2 =
+      BuildPathway(names2, &jitter, options.site2_probability_jitter);
+  site2.truncate_probability = std::clamp(
+      site1.truncate_probability +
+          (jitter.NextDouble() * 2.0 - 1.0) *
+              options.site2_probability_jitter,
+      0.0, 1.0);
+
+  MatchingTask task;
+  task.name = "hospital-pathway";
+  Rng rng1 = rng.Fork();
+  Rng rng2 = rng.Fork();
+  task.log1 = site1.Generate(options.num_traces, rng1,
+                             /*probability_perturbation=*/0.0, names1);
+  task.log2 = site2.Generate(options.num_traces, rng2,
+                             /*probability_perturbation=*/0.0, vocab2);
+
+  task.ground_truth =
+      Mapping(task.log1.num_events(), task.log2.num_events());
+  for (std::size_t i = 0; i < names1.size(); ++i) {
+    task.ground_truth.Set(task.log1.dictionary().Lookup(names1[i]).value(),
+                          task.log2.dictionary().Lookup(names2[i]).value());
+  }
+
+  auto id = [&](std::size_t i) {
+    return task.log1.dictionary().Lookup(names1[i]).value();
+  };
+  auto seq = [](std::vector<Pattern> children) {
+    return Pattern::Seq(std::move(children)).value();
+  };
+  // Intake: triage, then vitals & bloods in either order, then whatever
+  // diagnostics — anchor the concurrent block right after triage.
+  {
+    std::vector<Pattern> children;
+    children.push_back(Pattern::Event(id(0)));
+    children.push_back(Pattern::AndOfEvents({id(1), id(2)}));
+    task.complex_patterns.push_back(seq(std::move(children)));
+  }
+  // Admission block in context: bed allocation & med reconciliation in
+  // either order, directly before the ward handover.
+  {
+    std::vector<Pattern> children;
+    children.push_back(Pattern::AndOfEvents({id(6), id(7)}));
+    children.push_back(Pattern::Event(id(8)));
+    task.complex_patterns.push_back(seq(std::move(children)));
+  }
+  return task;
+}
+
+}  // namespace hematch

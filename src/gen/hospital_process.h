@@ -1,0 +1,40 @@
+#ifndef HEMATCH_GEN_HOSPITAL_PROCESS_H_
+#define HEMATCH_GEN_HOSPITAL_PROCESS_H_
+
+#include <cstdint>
+
+#include "gen/matching_task.h"
+
+namespace hematch {
+
+/// Options for the hospital-pathway workload.
+struct HospitalProcessOptions {
+  /// Traces (patient episodes) per log.
+  std::size_t num_traces = 2000;
+  std::uint64_t seed = 1234;
+  /// Relative per-step probability jitter for the second hospital.
+  double site2_probability_jitter = 0.02;
+  bool shuffle_target_vocabulary = true;
+};
+
+/// A second "realistic" domain preset: an emergency-department patient
+/// pathway logged by two hospitals with different information systems.
+/// Included to show the workload machinery is not specific to the bus
+/// manufacturer scenario — same simulator, different process:
+///
+///   triage
+///   ; AND(vitals, bloods)              concurrent intake diagnostics
+///   ; XOR(imaging 45% | specialist 35% | none 20%)
+///   ; diagnosis
+///   ; XOR(admit 30% | treat-and-discharge 70%)
+///   ;   admit    -> AND(bed-allocation, med-reconciliation) ; ward-handover
+///   ;   treated  -> prescription? (80%) ; discharge-letter
+///
+/// 13 steps per site; opaque codes ("T01".."T13" vs "z1".."z13"),
+/// episode-abandonment truncation, and two curated complex patterns
+/// (the intake AND-block and the admission AND-block in context).
+MatchingTask MakeHospitalTask(const HospitalProcessOptions& options = {});
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GEN_HOSPITAL_PROCESS_H_

@@ -1,0 +1,77 @@
+#include "gen/matching_task.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "log/projection.h"
+
+namespace hematch {
+
+MatchingTask ProjectTaskEvents(const MatchingTask& task,
+                               std::size_t num_events) {
+  const std::size_t n1 = task.log1.num_events();
+  const std::size_t kept1 = std::min(num_events, n1);
+
+  // Keep the id-prefix of log1 and the ground-truth images in log2.
+  std::vector<bool> keep1(n1, false);
+  std::vector<bool> keep2(task.log2.num_events(), false);
+  for (EventId v = 0; v < kept1; ++v) {
+    keep1[v] = true;
+    if (task.ground_truth.num_sources() > v) {
+      const EventId image = task.ground_truth.TargetOf(v);
+      if (image != kInvalidEventId) {
+        keep2[image] = true;
+      }
+    }
+  }
+
+  MatchingTask out;
+  out.name = task.name + "/events=" + std::to_string(kept1);
+  std::vector<EventId> map1;
+  std::vector<EventId> map2;
+  out.log1 = ProjectEventSubset(task.log1, keep1, &map1);
+  out.log2 = ProjectEventSubset(task.log2, keep2, &map2);
+
+  // Patterns survive iff every event survives; log1 keeps a prefix so the
+  // surviving ids are unchanged, but rebuild defensively through map1.
+  for (const Pattern& p : task.complex_patterns) {
+    bool survives = true;
+    for (EventId v : p.events()) {
+      if (map1[v] == kInvalidEventId) {
+        survives = false;
+        break;
+      }
+    }
+    if (survives) {
+      // Prefix projection keeps ids stable.
+      for (EventId v : p.events()) {
+        HEMATCH_CHECK(map1[v] == v, "prefix projection must keep ids stable");
+      }
+      out.complex_patterns.push_back(p);
+    }
+  }
+
+  out.ground_truth = Mapping(out.log1.num_events(), out.log2.num_events());
+  for (EventId v = 0; v < task.ground_truth.num_sources(); ++v) {
+    const EventId image = task.ground_truth.TargetOf(v);
+    if (image == kInvalidEventId || map1.size() <= v ||
+        map1[v] == kInvalidEventId || map2[image] == kInvalidEventId) {
+      continue;
+    }
+    out.ground_truth.Set(map1[v], map2[image]);
+  }
+  return out;
+}
+
+MatchingTask SelectTaskTraces(const MatchingTask& task,
+                              std::size_t num_traces) {
+  MatchingTask out;
+  out.name = task.name + "/traces=" + std::to_string(num_traces);
+  out.log1 = SelectFirstTraces(task.log1, num_traces);
+  out.log2 = SelectFirstTraces(task.log2, num_traces);
+  out.complex_patterns = task.complex_patterns;
+  out.ground_truth = task.ground_truth;
+  return out;
+}
+
+}  // namespace hematch

@@ -1,0 +1,43 @@
+#ifndef HEMATCH_GEN_MATCHING_TASK_H_
+#define HEMATCH_GEN_MATCHING_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mapping.h"
+#include "log/event_log.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// One benchmark problem: two heterogeneous logs, the complex patterns
+/// declared over the first, and the ground-truth correspondence the
+/// generators know by construction (standing in for the paper's "ground
+/// truth of event mapping discovered manually").
+struct MatchingTask {
+  std::string name;
+  EventLog log1;
+  EventLog log2;
+  /// Complex patterns over `log1`'s vocabulary (vertex/edge patterns are
+  /// added by the matchers via `BuildPatternSet`).
+  std::vector<Pattern> complex_patterns;
+  /// True correspondence; may be partial when `log2` has events with no
+  /// counterpart. Empty (0x0) for tasks without a truth (random logs).
+  Mapping ground_truth{0, 0};
+};
+
+/// The paper's event-size scaling knob: projects `task` onto the first
+/// `num_events` events of `log1` and, to keep the truth meaningful, onto
+/// their ground-truth images in `log2`. Complex patterns that lose an
+/// event are dropped; the ground truth is re-indexed.
+MatchingTask ProjectTaskEvents(const MatchingTask& task,
+                               std::size_t num_events);
+
+/// The trace scaling knob: keeps the first `num_traces` traces of both
+/// logs (vocabulary, patterns, and truth unchanged).
+MatchingTask SelectTaskTraces(const MatchingTask& task,
+                              std::size_t num_traces);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GEN_MATCHING_TASK_H_

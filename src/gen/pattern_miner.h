@@ -1,0 +1,44 @@
+#ifndef HEMATCH_GEN_PATTERN_MINER_H_
+#define HEMATCH_GEN_PATTERN_MINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "log/event_log.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Options for the frequent-pattern miner.
+struct PatternMinerOptions {
+  /// Minimum normalized frequency for a pattern to be kept.
+  double min_support = 0.10;
+  /// Largest pattern size (number of events).
+  std::size_t max_events = 4;
+  /// How many patterns to return after ranking.
+  std::size_t max_patterns = 10;
+};
+
+/// Discovers complex patterns from an event log, standing in for the
+/// paper's external sources of patterns ("available in business process
+/// analyzing systems" or "discovered from data [8], [9], [10]").
+///
+/// Candidate generation is Apriori-style over the dependency graph —
+/// pattern frequency is anti-monotone under both SEQ extension and AND
+/// composition, so infrequent prefixes prune their extensions:
+///  * SEQ chains grown one edge at a time from frequent dependency edges;
+///  * AND pairs/triples from mutually bidirectional frequent edges.
+///
+/// Ranking follows the paper's Section 2 guideline — "an event pattern is
+/// probably discriminative if ... its frequency is different from other
+/// patterns with the same structure": each pattern scores the minimum
+/// frequency gap to any other candidate with the same shape (higher is
+/// better; unique shapes score highest), with larger patterns preferred
+/// on ties. Vertex- and edge-sized candidates are excluded (the matcher
+/// adds those itself).
+std::vector<Pattern> MineDiscriminativePatterns(
+    const EventLog& log, const PatternMinerOptions& options = {});
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GEN_PATTERN_MINER_H_

@@ -1,0 +1,178 @@
+#include "gen/process_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hematch {
+
+namespace {
+
+double ClampProbability(double p) {
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+ProcessBlock::Ptr ProcessBlock::Activity(std::string name) {
+  auto block = std::shared_ptr<ProcessBlock>(new ProcessBlock(Kind::kActivity));
+  block->name_ = std::move(name);
+  return block;
+}
+
+ProcessBlock::Ptr ProcessBlock::Sequence(std::vector<Ptr> children) {
+  HEMATCH_CHECK(!children.empty(), "Sequence needs children");
+  auto block = std::shared_ptr<ProcessBlock>(new ProcessBlock(Kind::kSequence));
+  block->children_ = std::move(children);
+  return block;
+}
+
+ProcessBlock::Ptr ProcessBlock::Parallel(std::vector<Ptr> children,
+                                         std::vector<double> order_weights) {
+  HEMATCH_CHECK(!children.empty(), "Parallel needs children");
+  if (order_weights.empty()) {
+    order_weights.assign(children.size(), 1.0);
+  }
+  HEMATCH_CHECK(order_weights.size() == children.size(),
+                "Parallel weight/children size mismatch");
+  auto block = std::shared_ptr<ProcessBlock>(new ProcessBlock(Kind::kParallel));
+  block->children_ = std::move(children);
+  block->weights_ = std::move(order_weights);
+  return block;
+}
+
+ProcessBlock::Ptr ProcessBlock::Choice(std::vector<Ptr> children,
+                                       std::vector<double> probabilities) {
+  HEMATCH_CHECK(!children.empty(), "Choice needs children");
+  HEMATCH_CHECK(probabilities.size() == children.size(),
+                "Choice probability/children size mismatch");
+  auto block = std::shared_ptr<ProcessBlock>(new ProcessBlock(Kind::kChoice));
+  block->children_ = std::move(children);
+  block->weights_ = std::move(probabilities);
+  return block;
+}
+
+ProcessBlock::Ptr ProcessBlock::Loop(Ptr child, double repeat_probability,
+                                     std::size_t max_repeats) {
+  HEMATCH_CHECK(child != nullptr, "Loop needs a child");
+  HEMATCH_CHECK(repeat_probability >= 0.0 && repeat_probability <= 1.0,
+                "Loop probability out of range");
+  auto block = std::shared_ptr<ProcessBlock>(new ProcessBlock(Kind::kLoop));
+  block->children_ = {std::move(child)};
+  block->weights_ = {repeat_probability, static_cast<double>(max_repeats)};
+  return block;
+}
+
+ProcessBlock::Ptr ProcessBlock::Optional(Ptr child, double p) {
+  HEMATCH_CHECK(child != nullptr, "Optional needs a child");
+  HEMATCH_CHECK(p >= 0.0 && p <= 1.0, "Optional probability out of range");
+  auto block = std::shared_ptr<ProcessBlock>(new ProcessBlock(Kind::kOptional));
+  block->children_ = {std::move(child)};
+  block->weights_ = {p};
+  return block;
+}
+
+void ProcessBlock::Simulate(Rng& rng, double probability_perturbation,
+                            std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::kActivity:
+      out.push_back(name_);
+      return;
+    case Kind::kSequence:
+      for (const Ptr& child : children_) {
+        child->Simulate(rng, probability_perturbation, out);
+      }
+      return;
+    case Kind::kParallel: {
+      // Draw an order by weighted sampling without replacement; children
+      // with larger weights tend to come first, biasing the distribution
+      // over permutations without forbidding any.
+      std::vector<double> weights = weights_;
+      std::vector<std::size_t> remaining(children_.size());
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        remaining[i] = i;
+      }
+      while (!remaining.empty()) {
+        const std::size_t pick = rng.NextWeighted(weights);
+        children_[remaining[pick]]->Simulate(rng, probability_perturbation,
+                                             out);
+        weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(pick));
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      return;
+    }
+    case Kind::kChoice: {
+      // Choice weights are *relative* (NextWeighted normalizes), so only
+      // non-negativity must be preserved under perturbation.
+      std::vector<double> probs = weights_;
+      for (double& p : probs) {
+        p = std::max(0.0, p + probability_perturbation);
+      }
+      const std::size_t pick = rng.NextWeighted(probs);
+      children_[pick]->Simulate(rng, probability_perturbation, out);
+      return;
+    }
+    case Kind::kOptional: {
+      const double p =
+          ClampProbability(weights_[0] + probability_perturbation);
+      if (rng.NextBool(p)) {
+        children_[0]->Simulate(rng, probability_perturbation, out);
+      }
+      return;
+    }
+    case Kind::kLoop: {
+      const double p =
+          ClampProbability(weights_[0] + probability_perturbation);
+      const std::size_t max_repeats = static_cast<std::size_t>(weights_[1]);
+      children_[0]->Simulate(rng, probability_perturbation, out);
+      for (std::size_t repeat = 0;
+           repeat < max_repeats && rng.NextBool(p); ++repeat) {
+        children_[0]->Simulate(rng, probability_perturbation, out);
+      }
+      return;
+    }
+  }
+}
+
+void ProcessBlock::CollectActivities(std::vector<std::string>& out) const {
+  if (kind_ == Kind::kActivity) {
+    out.push_back(name_);
+    return;
+  }
+  for (const Ptr& child : children_) {
+    child->CollectActivities(out);
+  }
+}
+
+EventLog ProcessModel::Generate(
+    std::size_t num_traces, Rng& rng, double probability_perturbation,
+    const std::vector<std::string>& vocabulary_order) const {
+  HEMATCH_CHECK(root != nullptr, "ProcessModel has no root");
+  EventLog log;
+  if (vocabulary_order.empty()) {
+    std::vector<std::string> canonical;
+    root->CollectActivities(canonical);
+    for (const std::string& name : canonical) {
+      log.InternEvent(name);
+    }
+  } else {
+    for (const std::string& name : vocabulary_order) {
+      log.InternEvent(name);
+    }
+  }
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < num_traces; ++i) {
+    names.clear();
+    root->Simulate(rng, probability_perturbation, names);
+    if (truncate_probability > 0.0 && names.size() > 1 &&
+        rng.NextBool(truncate_probability)) {
+      const std::size_t keep = static_cast<std::size_t>(rng.NextInRange(
+          1, static_cast<std::int64_t>(names.size())));
+      names.resize(keep);
+    }
+    log.AddTraceByNames(names);
+  }
+  return log;
+}
+
+}  // namespace hematch

@@ -1,0 +1,111 @@
+#ifndef HEMATCH_GEN_PROCESS_MODEL_H_
+#define HEMATCH_GEN_PROCESS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "log/event_log.h"
+
+namespace hematch {
+
+/// A block-structured business-process model used to *simulate* the
+/// paper's proprietary ERP logs (see DESIGN.md §4). Mirrors the standard
+/// workflow constructs:
+///
+///  * `Activity`  — emits one event;
+///  * `Sequence`  — children in order;
+///  * `Parallel`  — children in an interleaving-free random order (an
+///                  AND-split whose branches are atomic blocks, matching
+///                  the paper's AND pattern semantics); per-child weights
+///                  bias which orders are common, which is what gives the
+///                  AND members distinguishable *edge* frequencies while
+///                  their vertex frequencies stay identical;
+///  * `Choice`    — exactly one child, by probability (XOR-split);
+///  * `Optional`  — the child with probability `p`, else nothing.
+///
+/// Blocks are immutable and shared via `std::shared_ptr`, so two logs can
+/// be generated from one model (with different RNG streams and, via
+/// `ProcessModel::probability_scale`, perturbed branch probabilities — the
+/// heterogeneity between two departments running "the same" process).
+class ProcessBlock {
+ public:
+  using Ptr = std::shared_ptr<const ProcessBlock>;
+
+  /// Leaf: emits `name`.
+  static Ptr Activity(std::string name);
+  /// Children in the given order.
+  static Ptr Sequence(std::vector<Ptr> children);
+  /// Children in a random order; `order_weights` (same length as
+  /// `children`, default uniform) bias which child tends to come first:
+  /// the order is drawn by weighted sampling without replacement.
+  static Ptr Parallel(std::vector<Ptr> children,
+                      std::vector<double> order_weights = {});
+  /// One child at random, by `probabilities` (same length as `children`,
+  /// normalized internally).
+  static Ptr Choice(std::vector<Ptr> children,
+                    std::vector<double> probabilities);
+  /// The child with probability `p`, nothing otherwise.
+  static Ptr Optional(Ptr child, double p);
+  /// The child once, then again with probability `repeat_probability`
+  /// after each execution, up to `max_repeats` extra times — the
+  /// rework/retry loop of real workflows (e.g. failed quality checks).
+  static Ptr Loop(Ptr child, double repeat_probability,
+                  std::size_t max_repeats = 3);
+
+  /// Appends one simulated execution of this block to `out`.
+  /// `probability_perturbation` is added to every Choice/Optional
+  /// probability (clamped to [0, 1]) to model a uniform behaviour drift
+  /// between sites; generators that want *per-step* drift instead build
+  /// each site's model with jittered probabilities and pass 0 here.
+  void Simulate(Rng& rng, double probability_perturbation,
+                std::vector<std::string>& out) const;
+
+  /// All activity names in canonical (model) order, depth-first.
+  void CollectActivities(std::vector<std::string>& out) const;
+
+ private:
+  enum class Kind {
+    kActivity,
+    kSequence,
+    kParallel,
+    kChoice,
+    kOptional,
+    kLoop,
+  };
+
+  explicit ProcessBlock(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;                  // kActivity
+  std::vector<Ptr> children_;         // composites
+  std::vector<double> weights_;       // kParallel order weights /
+                                      // kChoice probabilities /
+                                      // kOptional {p} /
+                                      // kLoop {repeat_p, max_repeats}
+};
+
+/// A process model plus generation parameters.
+struct ProcessModel {
+  ProcessBlock::Ptr root;
+
+  /// Probability that a generated trace is truncated at a uniform cut
+  /// point (>= 1 event kept): orders abandoned mid-process / extraction
+  /// windows that end early. Gives later process steps strictly lower
+  /// occurrence frequencies — the monotone position fingerprint real
+  /// logs show.
+  double truncate_probability = 0.0;
+
+  /// Generates `num_traces` executions. Every activity of the model is
+  /// interned into the log's dictionary (in `vocabulary_order` if given,
+  /// else canonical model order) *before* any trace, so event ids are
+  /// deterministic and independent of branch sampling.
+  EventLog Generate(std::size_t num_traces, Rng& rng,
+                    double probability_perturbation = 0.0,
+                    const std::vector<std::string>& vocabulary_order = {}) const;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GEN_PROCESS_MODEL_H_

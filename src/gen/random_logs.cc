@@ -1,0 +1,53 @@
+#include "gen/random_logs.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hematch {
+
+namespace {
+
+EventLog GenerateRandomLog(const RandomLogsOptions& options,
+                           const std::string& name_prefix, Rng& rng) {
+  EventLog log;
+  for (std::size_t v = 0; v < options.num_events; ++v) {
+    log.InternEvent(name_prefix + std::to_string(v));
+  }
+  for (std::size_t t = 0; t < options.num_traces; ++t) {
+    const std::size_t length = static_cast<std::size_t>(rng.NextInRange(
+        static_cast<std::int64_t>(options.min_trace_length),
+        static_cast<std::int64_t>(options.max_trace_length)));
+    Trace trace;
+    trace.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      trace.push_back(static_cast<EventId>(
+          rng.NextBounded(options.num_events)));
+    }
+    log.AddTrace(std::move(trace));
+  }
+  return log;
+}
+
+}  // namespace
+
+MatchingTask MakeRandomTask(const RandomLogsOptions& options) {
+  HEMATCH_CHECK(options.min_trace_length >= 1 &&
+                    options.min_trace_length <= options.max_trace_length,
+                "invalid trace length range");
+  HEMATCH_CHECK(options.num_events >= 1, "need at least one event");
+  Rng rng(options.seed);
+  Rng rng1 = rng.Fork();
+  Rng rng2 = rng.Fork();
+
+  MatchingTask task;
+  task.name = "random/seed=" + std::to_string(options.seed);
+  task.log1 = GenerateRandomLog(options, "A", rng1);
+  task.log2 = GenerateRandomLog(options, "X", rng2);
+  // Independent random logs: no ground truth, no complex patterns.
+  task.ground_truth = Mapping(task.log1.num_events(), task.log2.num_events());
+  return task;
+}
+
+}  // namespace hematch

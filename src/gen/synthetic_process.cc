@@ -1,0 +1,167 @@
+#include "gen/synthetic_process.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/process_model.h"
+
+namespace hematch {
+
+namespace {
+
+// Per-unit parameter schedule, shared between the two sites so the ground
+// truth stays recoverable: nearby units get near-identical selection
+// weights (the cross-unit confusability) while the internal order
+// preferences rotate (the within-unit signal).
+std::vector<double> OrderWeights(std::size_t unit) {
+  const std::vector<double> base = {1.0, 1.9, 3.1, 4.6};
+  std::vector<double> weights(4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    weights[k] = base[(k + unit) % 4];
+  }
+  return weights;
+}
+
+std::vector<double> XorProbabilities(std::size_t unit) {
+  const std::vector<double> base = {0.4, 0.3, 0.2, 0.1};
+  std::vector<double> probs(4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    probs[k] = base[(k + unit) % 4];
+  }
+  return probs;
+}
+
+// Step names of unit `u` for a site prefix ("a" or "b"):
+//   <prefix><u>.0   entry
+//   <prefix><u>.1-4 concurrent block members
+//   <prefix><u>.5-8 exclusive alternatives
+//   <prefix><u>.9   exit
+std::vector<std::string> UnitNames(const std::string& prefix,
+                                   std::size_t unit) {
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < 10; ++k) {
+    names.push_back(prefix + std::to_string(unit) + "." + std::to_string(k));
+  }
+  return names;
+}
+
+// `jitter` perturbs every branch probability/weight by an independent
+// relative offset in [-magnitude, +magnitude] — the second site's
+// behaviour drift, per-step rather than systematic.
+ProcessModel BuildSyntheticProcess(const std::string& prefix,
+                                   std::size_t num_units, Rng* jitter,
+                                   double magnitude) {
+  auto jit = [&](double p) {
+    if (jitter == nullptr || magnitude <= 0.0) {
+      return p;
+    }
+    return std::max(0.01,
+                    p * (1.0 + (jitter->NextDouble() * 2.0 - 1.0) * magnitude));
+  };
+  std::vector<ProcessBlock::Ptr> units;
+  std::vector<double> unit_weights;
+  for (std::size_t u = 0; u < num_units; ++u) {
+    const std::vector<std::string> n = UnitNames(prefix, u);
+    auto act = [&](std::size_t k) { return ProcessBlock::Activity(n[k]); };
+    std::vector<double> order = OrderWeights(u);
+    std::vector<double> xor_probs = XorProbabilities(u);
+    for (double& w : order) w = jit(w);
+    for (double& q : xor_probs) q = jit(q);
+    units.push_back(ProcessBlock::Sequence({
+        act(0),
+        ProcessBlock::Parallel({act(1), act(2), act(3), act(4)}, order),
+        ProcessBlock::Choice({act(5), act(6), act(7), act(8)}, xor_probs),
+        act(9),
+    }));
+    unit_weights.push_back(jit(1.0 + 0.25 * static_cast<double>(u)));
+  }
+  ProcessModel model;
+  model.root = ProcessBlock::Choice(std::move(units), unit_weights);
+  return model;
+}
+
+// Indices (1-based within the unit's names) of the two most likely first
+// block members under the unit's order weights.
+std::pair<std::size_t, std::size_t> TopTwoBlockMembers(std::size_t unit) {
+  const std::vector<double> weights = OrderWeights(unit);
+  std::size_t first = 0;
+  for (std::size_t k = 1; k < 4; ++k) {
+    if (weights[k] > weights[first]) {
+      first = k;
+    }
+  }
+  std::size_t second = first == 0 ? 1 : 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    if (k != first && weights[k] > weights[second]) {
+      second = k;
+    }
+  }
+  return {first + 1, second + 1};
+}
+
+}  // namespace
+
+MatchingTask MakeSyntheticTask(const SyntheticProcessOptions& options) {
+  Rng rng(options.seed);
+
+  std::vector<std::string> names1;
+  std::vector<std::string> names2;
+  for (std::size_t u = 0; u < options.num_units; ++u) {
+    for (const std::string& name : UnitNames("a", u)) {
+      names1.push_back(name);
+    }
+    for (const std::string& name : UnitNames("b", u)) {
+      names2.push_back(name);
+    }
+  }
+  std::vector<std::string> vocab2 = names2;
+  if (options.shuffle_target_vocabulary) {
+    rng.Shuffle(vocab2);
+  }
+
+  Rng jitter = rng.Fork();
+  const ProcessModel process1 =
+      BuildSyntheticProcess("a", options.num_units, nullptr, 0.0);
+  const ProcessModel process2 = BuildSyntheticProcess(
+      "b", options.num_units, &jitter, options.site2_probability_jitter);
+
+  MatchingTask task;
+  task.name = "synthetic/units=" + std::to_string(options.num_units);
+  Rng rng1 = rng.Fork();
+  Rng rng2 = rng.Fork();
+  task.log1 = process1.Generate(options.num_traces, rng1,
+                                /*probability_perturbation=*/0.0, names1);
+  task.log2 = process2.Generate(options.num_traces, rng2,
+                                /*probability_perturbation=*/0.0, vocab2);
+
+  task.ground_truth =
+      Mapping(task.log1.num_events(), task.log2.num_events());
+  for (std::size_t i = 0; i < names1.size(); ++i) {
+    task.ground_truth.Set(task.log1.dictionary().Lookup(names1[i]).value(),
+                          task.log2.dictionary().Lookup(names2[i]).value());
+  }
+
+  auto id = [&](std::size_t unit, std::size_t k) {
+    return task.log1.dictionary()
+        .Lookup(UnitNames("a", unit)[k])
+        .value();
+  };
+  for (std::size_t u = 0; u < options.num_units; ++u) {
+    // The unit's concurrency pattern AND(m1..m4).
+    task.complex_patterns.push_back(
+        Pattern::AndOfEvents({id(u, 1), id(u, 2), id(u, 3), id(u, 4)}));
+    if (u % 2 == 0) {
+      // Orientation pattern: entry followed by the most likely block
+      // prefix — its frequency is a unit-specific *fraction* of the unit
+      // frequency, separating block members that share vertex frequency.
+      const auto [first, second] = TopTwoBlockMembers(u);
+      task.complex_patterns.push_back(
+          Pattern::SeqOfEvents({id(u, 0), id(u, first), id(u, second)}));
+    }
+  }
+  return task;
+}
+
+}  // namespace hematch

@@ -1,0 +1,45 @@
+#ifndef HEMATCH_GEN_SYNTHETIC_PROCESS_H_
+#define HEMATCH_GEN_SYNTHETIC_PROCESS_H_
+
+#include <cstdint>
+
+#include "gen/matching_task.h"
+
+namespace hematch {
+
+/// Options for the repeated-structure synthetic workload of Section 6.3.1
+/// (Fig. 11).
+struct SyntheticProcessOptions {
+  /// Number of repeated structural units; each unit contributes 10 events
+  /// (Fig. 12's x-axis is `10 * num_units`, up to 100).
+  std::size_t num_units = 10;
+  /// Traces per log (Table 3: 10,000).
+  std::size_t num_traces = 10000;
+  std::uint64_t seed = 7;
+  /// Relative per-step probability jitter for the second site's process.
+  double site2_probability_jitter = 0.04;
+  bool shuffle_target_vocabulary = true;
+};
+
+/// Builds the larger synthetic data of Section 6.3.1 by repeating one
+/// structure with different event names (Fig. 11): unit `u` is
+///
+///   entry(u) ; AND( m1(u), m2(u), m3(u), m4(u) ) ; XOR( x1..x4(u) ) ; exit(u)
+///
+/// Each trace executes exactly one unit, drawn with *nearly equal* unit
+/// probabilities, so corresponding events of different units have
+/// near-identical vertex frequencies and identical local structure — the
+/// "very similar dependency graphs" that defeat vertex/edge matching.
+/// The AND-block order preferences and XOR probabilities are unit-specific
+/// and shared (up to the probability shift) between the two logs, so a
+/// correct mapping is recoverable in principle.
+///
+/// Complex patterns (over L1): per unit, the concurrency pattern
+/// `AND(m1..m4)`, plus — for every second unit — an orientation pattern
+/// `SEQ(entry, mi, mj)` fixing the unit's most likely block prefix
+/// (~1.5 patterns per 10 events; Table 3 lists 16 at 100 events).
+MatchingTask MakeSyntheticTask(const SyntheticProcessOptions& options = {});
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GEN_SYNTHETIC_PROCESS_H_

@@ -1,0 +1,126 @@
+#include "graph/dependency_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace hematch {
+
+DependencyGraph DependencyGraph::Build(const EventLog& log) {
+  const std::size_t n = log.num_events();
+  std::vector<std::size_t> vertex_support(n, 0);
+  std::unordered_map<std::uint64_t, std::size_t> edge_support;
+  std::vector<bool> seen(n, false);
+  std::unordered_set<std::uint64_t> seen_pairs;
+
+  for (const Trace& trace : log.traces()) {
+    std::fill(seen.begin(), seen.end(), false);
+    seen_pairs.clear();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const EventId v = trace[i];
+      if (!seen[v]) {
+        seen[v] = true;
+        ++vertex_support[v];
+      }
+      if (i + 1 < trace.size()) {
+        // Count each distinct consecutive pair once per trace: frequencies
+        // are "the number of traces where u v occur consecutively at least
+        // once" (Definition 1).
+        const std::uint64_t key = PairKey(v, trace[i + 1]);
+        if (seen_pairs.insert(key).second) {
+          ++edge_support[key];
+        }
+      }
+    }
+  }
+  return FromSupports(log.num_traces(), vertex_support, edge_support);
+}
+
+DependencyGraph DependencyGraph::FromSupports(
+    std::size_t num_traces, const std::vector<std::size_t>& vertex_support,
+    const std::unordered_map<std::uint64_t, std::size_t>& edge_support) {
+  DependencyGraph g;
+  const std::size_t n = vertex_support.size();
+  g.vertex_freq_.assign(n, 0.0);
+  g.out_.assign(n, {});
+  g.in_.assign(n, {});
+  if (num_traces == 0) {
+    return g;
+  }
+  const double inv = 1.0 / static_cast<double>(num_traces);
+  for (EventId v = 0; v < n; ++v) {
+    g.vertex_freq_[v] = vertex_support[v] * inv;
+  }
+  for (const auto& [key, support] : edge_support) {
+    if (support == 0) {
+      continue;  // Zero-frequency pairs are not edges.
+    }
+    const EventId u = static_cast<EventId>(key >> 32);
+    const EventId v = static_cast<EventId>(key & 0xffffffffULL);
+    HEMATCH_CHECK(u < n && v < n, "edge support references unknown events");
+    g.edge_freq_.emplace(key, support * inv);
+    g.out_[u].push_back(v);
+    g.in_[v].push_back(u);
+    g.edge_list_.emplace_back(u, v);
+  }
+  // Hash iteration order is nondeterministic; sort for reproducible output.
+  std::sort(g.edge_list_.begin(), g.edge_list_.end());
+  for (auto& neighbors : g.out_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  for (auto& neighbors : g.in_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  return g;
+}
+
+double DependencyGraph::VertexFrequency(EventId v) const {
+  if (v >= vertex_freq_.size()) {
+    return 0.0;
+  }
+  return vertex_freq_[v];
+}
+
+double DependencyGraph::EdgeFrequency(EventId u, EventId v) const {
+  auto it = edge_freq_.find(PairKey(u, v));
+  return it == edge_freq_.end() ? 0.0 : it->second;
+}
+
+const std::vector<EventId>& DependencyGraph::OutNeighbors(EventId u) const {
+  HEMATCH_CHECK(u < out_.size(),
+                "DependencyGraph::OutNeighbors vertex out of range");
+  return out_[u];
+}
+
+const std::vector<EventId>& DependencyGraph::InNeighbors(EventId u) const {
+  HEMATCH_CHECK(u < in_.size(),
+                "DependencyGraph::InNeighbors vertex out of range");
+  return in_[u];
+}
+
+double DependencyGraph::MaxVertexFrequency(
+    const std::vector<EventId>& vertices) const {
+  double best = 0.0;
+  for (EventId v : vertices) {
+    best = std::max(best, VertexFrequency(v));
+  }
+  return best;
+}
+
+double DependencyGraph::MaxInducedEdgeFrequency(
+    const std::vector<EventId>& vertices) const {
+  std::unordered_set<EventId> in_set(vertices.begin(), vertices.end());
+  double best = 0.0;
+  for (EventId u : vertices) {
+    if (u >= out_.size()) continue;
+    for (EventId v : out_[u]) {
+      if (in_set.count(v) > 0) {
+        best = std::max(best, EdgeFrequency(u, v));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hematch

@@ -1,0 +1,40 @@
+#include "graph/digraph.h"
+
+#include "common/check.h"
+
+namespace hematch {
+
+Digraph::Digraph(std::size_t num_vertices)
+    : out_(num_vertices), in_(num_vertices) {}
+
+void Digraph::AddEdge(std::uint32_t u, std::uint32_t v) {
+  HEMATCH_CHECK(u < out_.size() && v < out_.size(),
+                "Digraph::AddEdge endpoint out of range");
+  if (!edge_set_.insert(EdgeKey(u, v)).second) {
+    return;  // Parallel edge; collapse.
+  }
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  edge_list_.emplace_back(u, v);
+  ++num_edges_;
+}
+
+bool Digraph::HasEdge(std::uint32_t u, std::uint32_t v) const {
+  if (u >= out_.size() || v >= out_.size()) {
+    return false;
+  }
+  return edge_set_.count(EdgeKey(u, v)) > 0;
+}
+
+const std::vector<std::uint32_t>& Digraph::OutNeighbors(
+    std::uint32_t u) const {
+  HEMATCH_CHECK(u < out_.size(), "Digraph::OutNeighbors vertex out of range");
+  return out_[u];
+}
+
+const std::vector<std::uint32_t>& Digraph::InNeighbors(std::uint32_t u) const {
+  HEMATCH_CHECK(u < in_.size(), "Digraph::InNeighbors vertex out of range");
+  return in_[u];
+}
+
+}  // namespace hematch

@@ -1,0 +1,57 @@
+#ifndef HEMATCH_GRAPH_DIGRAPH_H_
+#define HEMATCH_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace hematch {
+
+/// A plain unweighted directed graph on vertices `0..n-1`.
+///
+/// Used by the subgraph-isomorphism routine, by the translated pattern
+/// graphs, and by the NP-hardness reduction test. Self-loops are allowed;
+/// parallel edges collapse.
+class Digraph {
+ public:
+  /// Creates a graph with `num_vertices` isolated vertices.
+  explicit Digraph(std::size_t num_vertices);
+
+  /// Adds edge `u -> v` (idempotent). Requires both endpoints in range.
+  void AddEdge(std::uint32_t u, std::uint32_t v);
+
+  bool HasEdge(std::uint32_t u, std::uint32_t v) const;
+
+  std::size_t num_vertices() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Successors of `u` in insertion order.
+  const std::vector<std::uint32_t>& OutNeighbors(std::uint32_t u) const;
+  /// Predecessors of `u` in insertion order.
+  const std::vector<std::uint32_t>& InNeighbors(std::uint32_t u) const;
+
+  std::size_t OutDegree(std::uint32_t u) const { return OutNeighbors(u).size(); }
+  std::size_t InDegree(std::uint32_t u) const { return InNeighbors(u).size(); }
+
+  /// All edges as (source, target) pairs, in insertion order.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges() const {
+    return edge_list_;
+  }
+
+ private:
+  std::uint64_t EdgeKey(std::uint32_t u, std::uint32_t v) const {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_list_;
+  std::unordered_set<std::uint64_t> edge_set_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GRAPH_DIGRAPH_H_

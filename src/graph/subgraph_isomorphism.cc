@@ -1,0 +1,155 @@
+#include "graph/subgraph_isomorphism.h"
+
+#include <algorithm>
+
+namespace hematch {
+
+namespace {
+
+constexpr std::uint32_t kUnmapped = ~std::uint32_t{0};
+
+class Vf2Searcher {
+ public:
+  Vf2Searcher(const Digraph& pattern, const Digraph& target,
+              const SubgraphIsomorphismOptions& options,
+              SubgraphIsomorphismStats* stats)
+      : pattern_(pattern),
+        target_(target),
+        options_(options),
+        stats_(stats),
+        mapping_(pattern.num_vertices(), kUnmapped),
+        used_(target.num_vertices(), false) {
+    BuildOrder();
+  }
+
+  std::optional<std::vector<std::uint32_t>> Run() {
+    if (pattern_.num_vertices() > target_.num_vertices()) {
+      return std::nullopt;
+    }
+    if (Search(0)) {
+      return mapping_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // Orders pattern vertices so each (after the first in its component) is
+  // adjacent to an already-placed vertex; ties broken by higher degree.
+  void BuildOrder() {
+    const std::size_t n = pattern_.num_vertices();
+    std::vector<bool> placed(n, false);
+    order_.reserve(n);
+    auto degree = [&](std::uint32_t v) {
+      return pattern_.OutDegree(v) + pattern_.InDegree(v);
+    };
+    for (std::size_t step = 0; step < n; ++step) {
+      std::uint32_t best = kUnmapped;
+      bool best_connected = false;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (placed[v]) continue;
+        bool connected = false;
+        for (std::uint32_t u : pattern_.OutNeighbors(v)) {
+          if (placed[u]) connected = true;
+        }
+        for (std::uint32_t u : pattern_.InNeighbors(v)) {
+          if (placed[u]) connected = true;
+        }
+        if (best == kUnmapped || (connected && !best_connected) ||
+            (connected == best_connected && degree(v) > degree(best))) {
+          best = v;
+          best_connected = connected;
+        }
+      }
+      placed[best] = true;
+      order_.push_back(best);
+    }
+  }
+
+  bool Feasible(std::uint32_t pv, std::uint32_t tv) const {
+    if (pattern_.OutDegree(pv) > target_.OutDegree(tv) ||
+        pattern_.InDegree(pv) > target_.InDegree(tv)) {
+      return false;
+    }
+    // Check consistency against all already-mapped neighbors.
+    for (std::uint32_t pu : pattern_.OutNeighbors(pv)) {
+      const std::uint32_t tu = mapping_[pu];
+      if (pu == pv) {
+        if (!target_.HasEdge(tv, tv)) return false;
+      } else if (tu != kUnmapped && !target_.HasEdge(tv, tu)) {
+        return false;
+      }
+    }
+    for (std::uint32_t pu : pattern_.InNeighbors(pv)) {
+      const std::uint32_t tu = mapping_[pu];
+      if (pu != pv && tu != kUnmapped && !target_.HasEdge(tu, tv)) {
+        return false;
+      }
+    }
+    if (options_.induced) {
+      // Mapped pattern non-edges must stay non-edges.
+      for (std::uint32_t pu = 0; pu < pattern_.num_vertices(); ++pu) {
+        const std::uint32_t tu = mapping_[pu];
+        if (tu == kUnmapped || pu == pv) continue;
+        if (!pattern_.HasEdge(pv, pu) && target_.HasEdge(tv, tu)) return false;
+        if (!pattern_.HasEdge(pu, pv) && target_.HasEdge(tu, tv)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Search(std::size_t depth) {
+    if (depth == order_.size()) {
+      return true;
+    }
+    const std::uint32_t pv = order_[depth];
+    for (std::uint32_t tv = 0; tv < target_.num_vertices(); ++tv) {
+      if (nodes_ >= options_.max_nodes) {
+        if (stats_ != nullptr) {
+          stats_->budget_exhausted = true;
+        }
+        return false;
+      }
+      if (used_[tv] || !Feasible(pv, tv)) {
+        continue;
+      }
+      ++nodes_;
+      if (stats_ != nullptr) {
+        ++stats_->nodes_expanded;
+      }
+      mapping_[pv] = tv;
+      used_[tv] = true;
+      if (Search(depth + 1)) {
+        return true;
+      }
+      mapping_[pv] = kUnmapped;
+      used_[tv] = false;
+    }
+    return false;
+  }
+
+  const Digraph& pattern_;
+  const Digraph& target_;
+  const SubgraphIsomorphismOptions& options_;
+  SubgraphIsomorphismStats* stats_;
+  std::vector<std::uint32_t> mapping_;
+  std::vector<bool> used_;
+  std::vector<std::uint32_t> order_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::uint32_t>> FindSubgraphIsomorphism(
+    const Digraph& pattern, const Digraph& target,
+    const SubgraphIsomorphismOptions& options,
+    SubgraphIsomorphismStats* stats) {
+  Vf2Searcher searcher(pattern, target, options, stats);
+  return searcher.Run();
+}
+
+bool IsSubgraphIsomorphic(const Digraph& pattern, const Digraph& target,
+                          const SubgraphIsomorphismOptions& options) {
+  return FindSubgraphIsomorphism(pattern, target, options).has_value();
+}
+
+}  // namespace hematch

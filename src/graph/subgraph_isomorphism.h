@@ -1,0 +1,51 @@
+#ifndef HEMATCH_GRAPH_SUBGRAPH_ISOMORPHISM_H_
+#define HEMATCH_GRAPH_SUBGRAPH_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace hematch {
+
+/// Options for `FindSubgraphIsomorphism`.
+struct SubgraphIsomorphismOptions {
+  /// When true, non-edges of the pattern must map to non-edges of the
+  /// target (induced subgraph isomorphism); when false, only pattern edges
+  /// constrain the embedding (subgraph monomorphism — what Theorem 1's
+  /// reduction and Proposition 3 use).
+  bool induced = false;
+
+  /// Upper bound on search-tree nodes before giving up (returns nullopt as
+  /// "not found"; the caller can distinguish via `nodes_expanded`).
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+/// Statistics from a `FindSubgraphIsomorphism` run.
+struct SubgraphIsomorphismStats {
+  std::uint64_t nodes_expanded = 0;
+  bool budget_exhausted = false;
+};
+
+/// Searches for an injective mapping `m` from `pattern` vertices to
+/// `target` vertices with `(u,v) in E(pattern) => (m(u),m(v)) in E(target)`
+/// (and the converse too when `options.induced`). Returns the mapping
+/// (indexed by pattern vertex) or nullopt when none exists.
+///
+/// This is a VF2-style backtracking search with connectivity-guided vertex
+/// ordering and degree-based pruning. It is exponential in the worst case
+/// — Theorem 1 reduces this very problem to event matching — but fast on
+/// the small pattern graphs (< 10 vertices) the matcher feeds it.
+std::optional<std::vector<std::uint32_t>> FindSubgraphIsomorphism(
+    const Digraph& pattern, const Digraph& target,
+    const SubgraphIsomorphismOptions& options = {},
+    SubgraphIsomorphismStats* stats = nullptr);
+
+/// Convenience wrapper: true when an embedding exists.
+bool IsSubgraphIsomorphic(const Digraph& pattern, const Digraph& target,
+                          const SubgraphIsomorphismOptions& options = {});
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GRAPH_SUBGRAPH_ISOMORPHISM_H_

@@ -1,0 +1,39 @@
+#ifndef HEMATCH_HEMATCH_H_
+#define HEMATCH_HEMATCH_H_
+
+/// \file
+/// Umbrella header for the hematch library — matching heterogeneous
+/// event logs with SEQ/AND patterns (Zhu et al., ICDE 2014 / Song et
+/// al., TKDE 2017).
+///
+/// Typical entry points:
+///  * one call:    `MatchLogs(log1, log2, options)`   (api/match_pipeline.h)
+///  * full control: build a `MatchingContext` and run an `AStarMatcher`,
+///    `HeuristicAdvancedMatcher`, or a baseline — see README "Quickstart".
+///
+/// Prefer including the specific headers in production code; this header
+/// exists for exploratory use and examples.
+
+#include "api/match_pipeline.h"
+#include "baselines/entropy_matcher.h"
+#include "baselines/iterative_matcher.h"
+#include "baselines/vertex_edge_matcher.h"
+#include "baselines/vertex_matcher.h"
+#include "core/astar_matcher.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/heuristic_simple_matcher.h"
+#include "core/mapping_io.h"
+#include "core/one_to_n.h"
+#include "core/pattern_set.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "gen/pattern_miner.h"
+#include "graph/dependency_graph.h"
+#include "graph/incremental_dependency_graph.h"
+#include "log/event_log.h"
+#include "log/log_io.h"
+#include "log/xes_io.h"
+#include "pattern/pattern_parser.h"
+
+#endif  // HEMATCH_HEMATCH_H_

@@ -1,0 +1,42 @@
+#include "log/event_log.h"
+
+#include "common/check.h"
+
+namespace hematch {
+
+void EventLog::AddTrace(Trace trace) {
+  for (EventId id : trace) {
+    HEMATCH_CHECK(id < dict_.size(), "trace references an unknown event id");
+  }
+  traces_.push_back(std::move(trace));
+}
+
+void EventLog::AddTraceByNames(const std::vector<std::string>& names) {
+  Trace trace;
+  trace.reserve(names.size());
+  for (const std::string& name : names) {
+    trace.push_back(dict_.Intern(name));
+  }
+  traces_.push_back(std::move(trace));
+}
+
+std::size_t EventLog::TotalLength() const {
+  std::size_t total = 0;
+  for (const Trace& trace : traces_) {
+    total += trace.size();
+  }
+  return total;
+}
+
+std::string EventLog::TraceToString(const Trace& trace) const {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += dict_.Name(trace[i]);
+  }
+  return out;
+}
+
+}  // namespace hematch

@@ -1,0 +1,202 @@
+#include "log/log_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace hematch {
+
+namespace {
+
+// One parsed CSV row, before grouping into traces.
+struct CsvRow {
+  std::string case_id;
+  std::string event;
+  std::string timestamp;  // Empty when the file has no timestamp column.
+  std::size_t file_order = 0;
+};
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+// Orders timestamps: numerically when both sides are integers, otherwise
+// lexicographically (correct for ISO-8601).
+bool TimestampLess(const std::string& a, const std::string& b) {
+  if (IsAllDigits(a) && IsAllDigits(b)) {
+    if (a.size() != b.size()) return a.size() < b.size();
+  }
+  return a < b;
+}
+
+std::string LowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+Result<EventLog> ReadTraceLog(std::istream& input) {
+  EventLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    std::vector<std::string> names;
+    std::istringstream fields{std::string(stripped)};
+    std::string name;
+    while (fields >> name) {
+      names.push_back(name);
+    }
+    log.AddTraceByNames(names);
+  }
+  if (input.bad()) {
+    return Status::ParseError("I/O failure while reading trace log");
+  }
+  return log;
+}
+
+Result<EventLog> ReadTraceLogFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open trace log file: " + path);
+  }
+  return ReadTraceLog(file);
+}
+
+Status WriteTraceLog(const EventLog& log, std::ostream& output) {
+  output << "# hematch trace log: " << log.num_traces() << " traces, "
+         << log.num_events() << " events\n";
+  for (const Trace& trace : log.traces()) {
+    output << log.TraceToString(trace) << '\n';
+  }
+  if (!output) {
+    return Status::Internal("I/O failure while writing trace log");
+  }
+  return Status::OK();
+}
+
+Result<EventLog> ReadCsvLog(std::istream& input) {
+  std::string line;
+  if (!std::getline(input, line)) {
+    return Status::ParseError("CSV log is empty (missing header)");
+  }
+  const std::vector<std::string> header = SplitString(line, ',');
+  int case_col = -1;
+  int event_col = -1;
+  int time_col = -1;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    const std::string name = LowerAscii(StripWhitespace(header[i]));
+    if (name == "case" || name == "case_id" || name == "trace" ||
+        name == "trace_id") {
+      case_col = static_cast<int>(i);
+    } else if (name == "event" || name == "activity" || name == "event_name") {
+      event_col = static_cast<int>(i);
+    } else if (name == "timestamp" || name == "time" || name == "ts") {
+      time_col = static_cast<int>(i);
+    }
+  }
+  if (case_col < 0 || event_col < 0) {
+    return Status::ParseError(
+        "CSV header must contain 'case' and 'event' columns; got: " + line);
+  }
+
+  std::vector<CsvRow> rows;
+  std::size_t line_no = 1;
+  while (std::getline(input, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = SplitString(line, ',');
+    const std::size_t needed = static_cast<std::size_t>(
+        std::max({case_col, event_col, time_col}) + 1);
+    if (fields.size() < needed) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                " has too few fields: " + line);
+    }
+    CsvRow row;
+    row.case_id = std::string(StripWhitespace(fields[case_col]));
+    row.event = std::string(StripWhitespace(fields[event_col]));
+    if (time_col >= 0) {
+      row.timestamp = std::string(StripWhitespace(fields[time_col]));
+    }
+    row.file_order = rows.size();
+    if (row.case_id.empty() || row.event.empty()) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                " has an empty case or event field");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (input.bad()) {
+    return Status::ParseError("I/O failure while reading CSV log");
+  }
+
+  // Group rows by case, preserving first-appearance order of cases so the
+  // resulting trace order (and thus event first-seen order) is stable.
+  std::map<std::string, std::size_t> case_index;
+  std::vector<std::vector<CsvRow>> grouped;
+  for (CsvRow& row : rows) {
+    auto [it, inserted] = case_index.emplace(row.case_id, grouped.size());
+    if (inserted) {
+      grouped.emplace_back();
+    }
+    grouped[it->second].push_back(std::move(row));
+  }
+
+  EventLog log;
+  for (std::vector<CsvRow>& group : grouped) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const CsvRow& a, const CsvRow& b) {
+                       return TimestampLess(a.timestamp, b.timestamp);
+                     });
+    std::vector<std::string> names;
+    names.reserve(group.size());
+    for (const CsvRow& row : group) {
+      names.push_back(row.event);
+    }
+    log.AddTraceByNames(names);
+  }
+  return log;
+}
+
+Result<EventLog> ReadCsvLogFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open CSV log file: " + path);
+  }
+  return ReadCsvLog(file);
+}
+
+Status WriteCsvLog(const EventLog& log, std::ostream& output) {
+  output << "case,event,timestamp\n";
+  std::size_t ts = 0;
+  for (std::size_t i = 0; i < log.num_traces(); ++i) {
+    for (EventId id : log.traces()[i]) {
+      output << "t" << i << ',' << log.dictionary().Name(id) << ',' << ts++
+             << '\n';
+    }
+  }
+  if (!output) {
+    return Status::Internal("I/O failure while writing CSV log");
+  }
+  return Status::OK();
+}
+
+}  // namespace hematch

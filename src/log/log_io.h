@@ -1,0 +1,50 @@
+#ifndef HEMATCH_LOG_LOG_IO_H_
+#define HEMATCH_LOG_LOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "log/event_log.h"
+
+namespace hematch {
+
+/// Event-log (de)serialization. Two formats are supported:
+///
+/// 1. **Trace-per-line** (`.tr`): each line is one trace, events separated
+///    by whitespace; `#`-prefixed lines are comments. This is the library's
+///    native interchange format.
+///
+/// 2. **Event-per-row CSV** (`.csv`): a header line naming at least the
+///    columns `case` and `event` (a `timestamp` column is honored if
+///    present), then one row per event occurrence. Rows are grouped by
+///    case id; within a case, rows are ordered by timestamp when a
+///    timestamp column exists (stable sort, so ties keep file order) and
+///    by file order otherwise. This mirrors how logs come out of ERP/OA
+///    systems, the paper's data source.
+///
+/// Timestamps are parsed as ordered opaque strings (ISO-8601 sorts
+/// correctly as text) or integers; mixing the two within one case is
+/// rejected.
+
+/// Parses a trace-per-line log from `input`.
+Result<EventLog> ReadTraceLog(std::istream& input);
+
+/// Parses a trace-per-line log from the file at `path`.
+Result<EventLog> ReadTraceLogFile(const std::string& path);
+
+/// Writes `log` in trace-per-line format.
+Status WriteTraceLog(const EventLog& log, std::ostream& output);
+
+/// Parses an event-per-row CSV log from `input`.
+Result<EventLog> ReadCsvLog(std::istream& input);
+
+/// Parses an event-per-row CSV log from the file at `path`.
+Result<EventLog> ReadCsvLogFile(const std::string& path);
+
+/// Writes `log` as event-per-row CSV with synthetic increasing timestamps.
+Status WriteCsvLog(const EventLog& log, std::ostream& output);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_LOG_LOG_IO_H_

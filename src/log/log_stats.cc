@@ -1,0 +1,58 @@
+#include "log/log_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hematch {
+
+namespace {
+
+// Binary entropy in bits; H(0) = H(1) = 0.
+double BinaryEntropy(double q) {
+  if (q <= 0.0 || q >= 1.0) {
+    return 0.0;
+  }
+  return -q * std::log2(q) - (1.0 - q) * std::log2(1.0 - q);
+}
+
+}  // namespace
+
+LogStats ComputeLogStats(const EventLog& log) {
+  LogStats stats;
+  stats.num_traces = log.num_traces();
+  stats.num_events = log.num_events();
+  stats.support.assign(log.num_events(), 0);
+  stats.frequency.assign(log.num_events(), 0.0);
+  stats.occurrence_entropy.assign(log.num_events(), 0.0);
+
+  stats.min_trace_length = std::numeric_limits<std::size_t>::max();
+  std::vector<bool> seen(log.num_events(), false);
+  for (const Trace& trace : log.traces()) {
+    stats.total_length += trace.size();
+    stats.min_trace_length = std::min(stats.min_trace_length, trace.size());
+    stats.max_trace_length = std::max(stats.max_trace_length, trace.size());
+    std::fill(seen.begin(), seen.end(), false);
+    for (EventId id : trace) {
+      if (!seen[id]) {
+        seen[id] = true;
+        ++stats.support[id];
+      }
+    }
+  }
+  if (log.num_traces() == 0) {
+    stats.min_trace_length = 0;
+    return stats;
+  }
+  stats.mean_trace_length =
+      static_cast<double>(stats.total_length) / log.num_traces();
+  for (EventId v = 0; v < log.num_events(); ++v) {
+    const double q =
+        static_cast<double>(stats.support[v]) / log.num_traces();
+    stats.frequency[v] = q;
+    stats.occurrence_entropy[v] = BinaryEntropy(q);
+  }
+  return stats;
+}
+
+}  // namespace hematch

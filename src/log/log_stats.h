@@ -1,0 +1,36 @@
+#ifndef HEMATCH_LOG_LOG_STATS_H_
+#define HEMATCH_LOG_LOG_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace hematch {
+
+/// Per-log summary statistics used by Table 3 and by the Entropy-only
+/// baseline.
+struct LogStats {
+  std::size_t num_traces = 0;
+  std::size_t num_events = 0;
+  std::size_t total_length = 0;
+  std::size_t min_trace_length = 0;
+  std::size_t max_trace_length = 0;
+  double mean_trace_length = 0.0;
+
+  /// `support[v]` = number of traces containing event v at least once.
+  std::vector<std::size_t> support;
+  /// `frequency[v]` = support[v] / num_traces (0 when the log is empty).
+  std::vector<double> frequency;
+  /// `occurrence_entropy[v]` = binary entropy (in bits) of the indicator
+  /// "trace contains v": the uninterpreted per-event feature used by the
+  /// Entropy-only matcher of Kang & Naughton (paper Section 6.3.1).
+  std::vector<double> occurrence_entropy;
+};
+
+/// Computes `LogStats` in one pass over the log.
+LogStats ComputeLogStats(const EventLog& log);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_LOG_LOG_STATS_H_

@@ -1,0 +1,35 @@
+#ifndef HEMATCH_LOG_PROJECTION_H_
+#define HEMATCH_LOG_PROJECTION_H_
+
+#include <cstddef>
+
+#include "log/event_log.h"
+
+namespace hematch {
+
+/// Projects `log` onto its first `num_events` events (by id order, i.e.,
+/// first-seen order): every trace keeps only occurrences of those events,
+/// in their original relative order. Traces that become empty are dropped
+/// but the trace count used for frequency normalization downstream is the
+/// projected log's trace count, matching the paper's experiment setup
+/// ("an event set with size x is determined by projecting the first x
+/// events appearing in the dataset").
+EventLog ProjectFirstEvents(const EventLog& log, std::size_t num_events);
+
+/// Projects `log` onto an arbitrary event subset: `keep[v]` selects event
+/// `v`. Kept events are re-interned in ascending old-id order; traces keep
+/// only occurrences of kept events; empty traces are dropped. When
+/// `old_to_new` is non-null it receives the id translation
+/// (kInvalidEventId for dropped events).
+EventLog ProjectEventSubset(const EventLog& log, const std::vector<bool>& keep,
+                            std::vector<EventId>* old_to_new = nullptr);
+
+/// Keeps the first `num_traces` traces of `log` (the paper's "a number of
+/// y traces are determined by selecting the first y traces"). The
+/// vocabulary is kept intact: an event that no longer occurs simply has
+/// frequency 0, exactly as in a real log extraction window.
+EventLog SelectFirstTraces(const EventLog& log, std::size_t num_traces);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_LOG_PROJECTION_H_

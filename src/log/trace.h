@@ -1,0 +1,17 @@
+#ifndef HEMATCH_LOG_TRACE_H_
+#define HEMATCH_LOG_TRACE_H_
+
+#include <vector>
+
+#include "log/event_dictionary.h"
+
+namespace hematch {
+
+/// A trace is a finite sequence of events ordered by occurrence timestamp
+/// (the timestamps themselves are not needed by any algorithm in the paper;
+/// only the induced order matters, so we store just the sequence).
+using Trace = std::vector<EventId>;
+
+}  // namespace hematch
+
+#endif  // HEMATCH_LOG_TRACE_H_

@@ -1,0 +1,179 @@
+#include "log/xes_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "log/xml_parser.h"
+
+namespace hematch {
+
+namespace {
+
+struct XesEvent {
+  std::string name;       // concept:name
+  std::string timestamp;  // time:timestamp (optional)
+};
+
+std::string EscapeXml(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<EventLog> ReadXesLog(std::istream& input) {
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  if (input.bad()) {
+    return Status::ParseError("I/O failure while reading XES log");
+  }
+  const std::string document = buffer.str();
+  XmlParser parser(document);
+
+  EventLog log;
+  bool saw_log = false;
+  bool in_trace = false;
+  bool in_event = false;
+  std::vector<XesEvent> trace_events;
+  XesEvent current_event;
+  // Depth of nested container attributes inside an <event> (lists etc.);
+  // attribute elements nested deeper than the event level are ignored.
+  int event_attr_depth = 0;
+
+  for (;;) {
+    HEMATCH_ASSIGN_OR_RETURN(XmlParser::Token token, parser.Next());
+    if (token.kind == XmlParser::TokenKind::kEnd) {
+      break;
+    }
+    if (token.kind == XmlParser::TokenKind::kText) {
+      continue;  // XES carries data in attributes, not text nodes.
+    }
+    if (token.kind == XmlParser::TokenKind::kStartElement) {
+      if (token.name == "log") {
+        saw_log = true;
+      } else if (token.name == "trace") {
+        if (in_trace) {
+          return Status::ParseError("nested <trace> elements");
+        }
+        in_trace = true;
+        trace_events.clear();
+      } else if (token.name == "event") {
+        if (!in_trace) {
+          return Status::ParseError("<event> outside a <trace>");
+        }
+        if (in_event) {
+          return Status::ParseError("nested <event> elements");
+        }
+        in_event = true;
+        current_event = XesEvent{};
+        event_attr_depth = 0;
+      } else if (in_event) {
+        ++event_attr_depth;
+        if (event_attr_depth == 1) {
+          const std::string_view key = token.Attribute("key");
+          if (token.name == "string" && key == "concept:name") {
+            current_event.name = std::string(token.Attribute("value"));
+          } else if (token.name == "date" && key == "time:timestamp") {
+            current_event.timestamp = std::string(token.Attribute("value"));
+          }
+        }
+      }
+      continue;
+    }
+    // End element.
+    if (token.name == "event") {
+      in_event = false;
+      if (!current_event.name.empty()) {
+        trace_events.push_back(std::move(current_event));
+      }
+    } else if (token.name == "trace") {
+      in_trace = false;
+      if (!trace_events.empty()) {
+        // Re-sort by timestamp only when every event carries one
+        // (stable: XES document order breaks ties).
+        const bool all_timestamped = std::all_of(
+            trace_events.begin(), trace_events.end(),
+            [](const XesEvent& e) { return !e.timestamp.empty(); });
+        if (all_timestamped) {
+          std::stable_sort(trace_events.begin(), trace_events.end(),
+                           [](const XesEvent& a, const XesEvent& b) {
+                             return a.timestamp < b.timestamp;
+                           });
+        }
+        std::vector<std::string> names;
+        names.reserve(trace_events.size());
+        for (const XesEvent& e : trace_events) {
+          names.push_back(e.name);
+        }
+        log.AddTraceByNames(names);
+      }
+    } else if (in_event && token.name != "log") {
+      if (event_attr_depth > 0) {
+        --event_attr_depth;
+      }
+    }
+  }
+  if (!saw_log) {
+    return Status::ParseError("no <log> element found (not an XES file?)");
+  }
+  return log;
+}
+
+Result<EventLog> ReadXesLogFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open XES file: " + path);
+  }
+  return ReadXesLog(file);
+}
+
+Status WriteXesLog(const EventLog& log, std::ostream& output) {
+  output << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+         << "<log xes.version=\"1.0\" xes.features=\"\">\n"
+         << "  <extension name=\"Concept\" prefix=\"concept\" "
+            "uri=\"http://www.xes-standard.org/concept.xesext\"/>\n";
+  for (std::size_t t = 0; t < log.num_traces(); ++t) {
+    output << "  <trace>\n"
+           << "    <string key=\"concept:name\" value=\"t" << t << "\"/>\n";
+    for (EventId id : log.traces()[t]) {
+      output << "    <event>\n"
+             << "      <string key=\"concept:name\" value=\""
+             << EscapeXml(log.dictionary().Name(id)) << "\"/>\n"
+             << "    </event>\n";
+    }
+    output << "  </trace>\n";
+  }
+  output << "</log>\n";
+  if (!output) {
+    return Status::Internal("I/O failure while writing XES log");
+  }
+  return Status::OK();
+}
+
+}  // namespace hematch

@@ -1,0 +1,38 @@
+#ifndef HEMATCH_LOG_XES_IO_H_
+#define HEMATCH_LOG_XES_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "log/event_log.h"
+
+namespace hematch {
+
+/// XES (IEEE 1849, the standard process-mining event-log interchange
+/// format) support — the practical route by which real ERP/BPM logs
+/// would reach this library.
+///
+/// Reading extracts, per `<trace>`, the sequence of `<event>` elements
+/// ordered as they appear (XES events are stored in order; an explicit
+/// `time:timestamp` attribute, when present on every event of a trace,
+/// re-sorts that trace). The event name is the `concept:name` string
+/// attribute; events without one are skipped. Traces with no named
+/// events are dropped. All other attributes, extensions, classifiers,
+/// and globals are ignored.
+///
+/// Writing produces a minimal valid XES document with `concept:name`
+/// trace and event attributes.
+
+/// Parses an XES document from `input`.
+Result<EventLog> ReadXesLog(std::istream& input);
+
+/// Parses the XES file at `path`.
+Result<EventLog> ReadXesLogFile(const std::string& path);
+
+/// Writes `log` as minimal XES.
+Status WriteXesLog(const EventLog& log, std::ostream& output);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_LOG_XES_IO_H_

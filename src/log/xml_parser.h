@@ -1,0 +1,68 @@
+#ifndef HEMATCH_LOG_XML_PARSER_H_
+#define HEMATCH_LOG_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hematch {
+
+/// A minimal, dependency-free XML pull parser — just enough for XES
+/// event logs (elements, attributes, the five predefined entities,
+/// comments, processing instructions, and self-closing tags). Not a
+/// general-purpose XML implementation: DTDs, CDATA, namespaces-as-URIs,
+/// and mixed-content subtleties are out of scope and rejected or
+/// ignored as documented per token kind.
+class XmlParser {
+ public:
+  enum class TokenKind {
+    /// `<name attr="v" ...>`
+    kStartElement,
+    /// `</name>` — also synthesized right after a self-closing element.
+    kEndElement,
+    /// Non-whitespace character data between tags (entity-decoded).
+    kText,
+    /// End of input.
+    kEnd,
+  };
+
+  struct Token {
+    TokenKind kind = TokenKind::kEnd;
+    /// Element name (start/end) or decoded text content.
+    std::string name;
+    /// Attributes of a start element, in document order.
+    std::vector<std::pair<std::string, std::string>> attributes;
+
+    /// First value of attribute `key`, or an empty string.
+    std::string_view Attribute(std::string_view key) const;
+  };
+
+  /// Parses from an in-memory document; `document` must outlive the
+  /// parser.
+  explicit XmlParser(std::string_view document);
+
+  /// Returns the next token, or a ParseError with the byte offset.
+  Result<Token> Next();
+
+  /// Byte offset of the parse cursor (for error reporting / tests).
+  std::size_t offset() const { return pos_; }
+
+ private:
+  Status Error(const std::string& message) const;
+  void SkipWhitespace();
+  bool SkipMisc();  // Comments, processing instructions, declarations.
+  Result<std::string> ReadName();
+  Result<std::string> DecodeEntities(std::string_view raw) const;
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+  /// Pending synthesized end-element (from `<x/>`).
+  std::string pending_end_;
+};
+
+}  // namespace hematch
+
+#endif  // HEMATCH_LOG_XML_PARSER_H_

@@ -1,0 +1,108 @@
+#include "pattern/pattern_graph.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hematch {
+
+namespace {
+
+// Recursive edge/first/last computation over local vertex indices.
+struct Block {
+  std::vector<std::uint32_t> first;  // Vertices that can start the block.
+  std::vector<std::uint32_t> last;   // Vertices that can end the block.
+};
+
+class Translator {
+ public:
+  explicit Translator(const Pattern& root,
+                      const std::unordered_map<EventId, std::uint32_t>& index)
+      : index_(index), graph_(root.size()) {}
+
+  Block Visit(const Pattern& p) {
+    switch (p.kind()) {
+      case Pattern::Kind::kEvent: {
+        const std::uint32_t v = index_.at(p.event());
+        return Block{{v}, {v}};
+      }
+      case Pattern::Kind::kSeq: {
+        std::vector<Block> blocks;
+        blocks.reserve(p.children().size());
+        for (const Pattern& child : p.children()) {
+          blocks.push_back(Visit(child));
+        }
+        for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+          Connect(blocks[i], blocks[i + 1]);
+        }
+        return Block{blocks.front().first, blocks.back().last};
+      }
+      case Pattern::Kind::kAnd: {
+        std::vector<Block> blocks;
+        blocks.reserve(p.children().size());
+        for (const Pattern& child : p.children()) {
+          blocks.push_back(Visit(child));
+        }
+        Block merged;
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          for (std::size_t j = 0; j < blocks.size(); ++j) {
+            if (i != j) {
+              Connect(blocks[i], blocks[j]);
+            }
+          }
+          merged.first.insert(merged.first.end(), blocks[i].first.begin(),
+                              blocks[i].first.end());
+          merged.last.insert(merged.last.end(), blocks[i].last.begin(),
+                             blocks[i].last.end());
+        }
+        return merged;
+      }
+    }
+    return Block{};
+  }
+
+  Digraph TakeGraph() { return std::move(graph_); }
+
+ private:
+  // Adds edges last(a) x first(b): in some allowed order, block `a` ends
+  // immediately before block `b` begins.
+  void Connect(const Block& a, const Block& b) {
+    for (std::uint32_t u : a.last) {
+      for (std::uint32_t v : b.first) {
+        graph_.AddEdge(u, v);
+      }
+    }
+  }
+
+  const std::unordered_map<EventId, std::uint32_t>& index_;
+  Digraph graph_;
+};
+
+}  // namespace
+
+PatternGraph TranslatePatternToGraph(const Pattern& pattern) {
+  PatternGraph out;
+  out.vertex_events = pattern.events();
+  std::unordered_map<EventId, std::uint32_t> index;
+  for (std::uint32_t i = 0; i < out.vertex_events.size(); ++i) {
+    index.emplace(out.vertex_events[i], i);
+  }
+  Translator translator(pattern, index);
+  const Block root = translator.Visit(pattern);
+  out.graph = translator.TakeGraph();
+  for (const auto& [u, v] : out.graph.edges()) {
+    out.event_edges.emplace_back(out.vertex_events[u], out.vertex_events[v]);
+  }
+  std::unordered_set<std::uint32_t> dedup_first(root.first.begin(),
+                                                root.first.end());
+  std::unordered_set<std::uint32_t> dedup_last(root.last.begin(),
+                                               root.last.end());
+  for (std::uint32_t v : dedup_first) {
+    out.first_events.push_back(out.vertex_events[v]);
+  }
+  for (std::uint32_t v : dedup_last) {
+    out.last_events.push_back(out.vertex_events[v]);
+  }
+  return out;
+}
+
+}  // namespace hematch

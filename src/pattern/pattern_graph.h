@@ -1,0 +1,40 @@
+#ifndef HEMATCH_PATTERN_PATTERN_GRAPH_H_
+#define HEMATCH_PATTERN_PATTERN_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// The directed-graph form of an event pattern (Section 2.2, Example 4).
+///
+/// Vertices are the pattern's events. Edges are exactly the consecutive
+/// event pairs that can occur in *some* allowed order of the pattern:
+///  * `SEQ` contributes edges from every possible last event of `p_i` to
+///    every possible first event of `p_{i+1}`;
+///  * `AND` contributes those edges for every ordered pair of children.
+///
+/// For `SEQ(A, AND(B,C), D)` this yields {AB, AC, BC, CB, BD, CD} — the
+/// subgraph highlighted in Fig. 1e of the paper.
+struct PatternGraph {
+  /// Graph over local vertex indices `0..size-1`.
+  Digraph graph{0};
+  /// `vertex_events[i]` is the event of local vertex `i`.
+  std::vector<EventId> vertex_events;
+  /// Edges expressed directly as (event, event) pairs, deduplicated.
+  std::vector<std::pair<EventId, EventId>> event_edges;
+  /// Events that can begin / end an allowed order (first/last sets of the
+  /// root; exposed because the tight-bound machinery and tests use them).
+  std::vector<EventId> first_events;
+  std::vector<EventId> last_events;
+};
+
+/// Translates `pattern` into its graph form.
+PatternGraph TranslatePatternToGraph(const Pattern& pattern);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_PATTERN_PATTERN_GRAPH_H_

@@ -1,0 +1,154 @@
+#include "pattern/pattern_language.h"
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace hematch {
+
+namespace {
+
+bool Matches(const Pattern& p, std::span<const EventId> w);
+
+// Matches `w` against the still-unused children (bitmask `remaining`) of
+// an AND node, trying each as the next contiguous block.
+bool MatchAndSubset(const std::vector<Pattern>& children,
+                    std::span<const EventId> w, std::uint64_t remaining) {
+  if (remaining == 0) {
+    return w.empty();
+  }
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const std::uint64_t bit = 1ULL << i;
+    if ((remaining & bit) == 0) {
+      continue;
+    }
+    const std::size_t len = children[i].size();
+    if (len > w.size()) {
+      continue;
+    }
+    if (Matches(children[i], w.first(len)) &&
+        MatchAndSubset(children, w.subspan(len), remaining & ~bit)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Matches(const Pattern& p, std::span<const EventId> w) {
+  if (w.size() != p.size()) {
+    return false;
+  }
+  switch (p.kind()) {
+    case Pattern::Kind::kEvent:
+      return w[0] == p.event();
+    case Pattern::Kind::kSeq: {
+      std::size_t offset = 0;
+      for (const Pattern& child : p.children()) {
+        if (!Matches(child, w.subspan(offset, child.size()))) {
+          return false;
+        }
+        offset += child.size();
+      }
+      return true;
+    }
+    case Pattern::Kind::kAnd: {
+      HEMATCH_CHECK(p.children().size() <= 64,
+                    "AND fan-out above 64 is not supported");
+      const std::uint64_t all =
+          p.children().size() == 64 ? ~std::uint64_t{0}
+                                    : (1ULL << p.children().size()) - 1;
+      return MatchAndSubset(p.children(), w, all);
+    }
+  }
+  return false;
+}
+
+// Continuation-passing enumeration: appends every allowed order of `p` to
+// `buffer` in turn and invokes `cont` for each; restores the buffer before
+// returning. Returns false as soon as any continuation returns false.
+bool Enumerate(const Pattern& p, std::vector<EventId>& buffer,
+               const std::function<bool()>& cont);
+
+bool EnumerateSeqFrom(const std::vector<Pattern>& children, std::size_t index,
+                      std::vector<EventId>& buffer,
+                      const std::function<bool()>& cont) {
+  if (index == children.size()) {
+    return cont();
+  }
+  return Enumerate(children[index], buffer, [&]() {
+    return EnumerateSeqFrom(children, index + 1, buffer, cont);
+  });
+}
+
+bool EnumerateAndSubset(const std::vector<Pattern>& children,
+                        std::uint64_t remaining, std::vector<EventId>& buffer,
+                        const std::function<bool()>& cont) {
+  if (remaining == 0) {
+    return cont();
+  }
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const std::uint64_t bit = 1ULL << i;
+    if ((remaining & bit) == 0) {
+      continue;
+    }
+    const bool keep_going = Enumerate(children[i], buffer, [&]() {
+      return EnumerateAndSubset(children, remaining & ~bit, buffer, cont);
+    });
+    if (!keep_going) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Enumerate(const Pattern& p, std::vector<EventId>& buffer,
+               const std::function<bool()>& cont) {
+  switch (p.kind()) {
+    case Pattern::Kind::kEvent: {
+      buffer.push_back(p.event());
+      const bool keep_going = cont();
+      buffer.pop_back();
+      return keep_going;
+    }
+    case Pattern::Kind::kSeq:
+      return EnumerateSeqFrom(p.children(), 0, buffer, cont);
+    case Pattern::Kind::kAnd: {
+      HEMATCH_CHECK(p.children().size() <= 64,
+                    "AND fan-out above 64 is not supported");
+      const std::uint64_t all =
+          p.children().size() == 64 ? ~std::uint64_t{0}
+                                    : (1ULL << p.children().size()) - 1;
+      return EnumerateAndSubset(p.children(), all, buffer, cont);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WindowMatchesPattern(const Pattern& pattern,
+                          std::span<const EventId> window) {
+  return Matches(pattern, window);
+}
+
+bool EnumerateLinearizations(
+    const Pattern& pattern,
+    const std::function<bool(const std::vector<EventId>&)>& visitor) {
+  std::vector<EventId> buffer;
+  buffer.reserve(pattern.size());
+  return Enumerate(pattern, buffer, [&]() { return visitor(buffer); });
+}
+
+std::vector<std::vector<EventId>> AllLinearizations(const Pattern& pattern,
+                                                    std::size_t max_count) {
+  std::vector<std::vector<EventId>> out;
+  EnumerateLinearizations(pattern, [&](const std::vector<EventId>& order) {
+    HEMATCH_CHECK(out.size() < max_count,
+                  "AllLinearizations exceeded max_count");
+    out.push_back(order);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace hematch

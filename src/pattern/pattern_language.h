@@ -1,0 +1,45 @@
+#ifndef HEMATCH_PATTERN_PATTERN_LANGUAGE_H_
+#define HEMATCH_PATTERN_PATTERN_LANGUAGE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Operations on the allowed-order language `I(p)` of a pattern
+/// (Definition 3 and the trace-matching test of Definition 4).
+
+/// True when `window` (a contiguous slice of a trace) is exactly one of
+/// the allowed orders in `I(p)`. The window length must equal `p.size()`
+/// for a match (checked internally; mismatched lengths simply return
+/// false).
+///
+/// Runs in time O(|p| * 2^a) in the worst case where `a` is the maximum
+/// AND fan-out, via backtracking over AND-child orders; patterns used for
+/// matching are small (a handful of events), so this is effectively
+/// constant per window.
+bool WindowMatchesPattern(const Pattern& pattern,
+                          std::span<const EventId> window);
+
+/// Enumerates the strings of `I(p)` in a deterministic order, invoking
+/// `visitor` on each. Enumeration stops early when the visitor returns
+/// false. Returns true when enumeration ran to completion (i.e., was not
+/// stopped by the visitor).
+///
+/// `I(p)` can be factorially large (`w(p)` strings); callers must either
+/// bound the pattern size or stop early via the visitor.
+bool EnumerateLinearizations(
+    const Pattern& pattern,
+    const std::function<bool(const std::vector<EventId>&)>& visitor);
+
+/// Convenience: materializes all of `I(p)` (test-sized patterns only);
+/// aborts if `w(p)` exceeds `max_count`.
+std::vector<std::vector<EventId>> AllLinearizations(
+    const Pattern& pattern, std::size_t max_count = 100000);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_PATTERN_PATTERN_LANGUAGE_H_

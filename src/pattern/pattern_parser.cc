@@ -1,0 +1,130 @@
+#include "pattern/pattern_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace hematch {
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, const EventDictionary& dict)
+      : text_(text), dict_(dict) {}
+
+  Result<Pattern> Parse() {
+    HEMATCH_ASSIGN_OR_RETURN(Pattern p, ParsePattern());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after pattern at offset " +
+                                std::to_string(pos_) + " in: " +
+                                std::string(text_));
+    }
+    return p;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  char Peek() const { return text_[pos_]; }
+
+  // Reads a token: a maximal run of characters excluding delimiters.
+  std::string_view ReadToken() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '(' || c == ')' || c == ',' ||
+          std::isspace(static_cast<unsigned char>(c)) != 0) {
+        break;
+      }
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  static bool TokenIsOperator(std::string_view token, std::string_view op) {
+    if (token.size() != op.size()) return false;
+    for (std::size_t i = 0; i < op.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(token[i])) != op[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<Pattern> ParsePattern() {
+    SkipWhitespace();
+    if (AtEnd()) {
+      return Status::ParseError("unexpected end of pattern text");
+    }
+    const std::size_t token_start = pos_;
+    std::string_view token = ReadToken();
+    if (token.empty()) {
+      return Status::ParseError("expected an event or operator at offset " +
+                                std::to_string(pos_));
+    }
+    SkipWhitespace();
+    const bool has_args = !AtEnd() && Peek() == '(';
+    if (has_args &&
+        (TokenIsOperator(token, "SEQ") || TokenIsOperator(token, "AND"))) {
+      const bool is_seq = TokenIsOperator(token, "SEQ");
+      ++pos_;  // consume '('
+      std::vector<Pattern> children;
+      for (;;) {
+        HEMATCH_ASSIGN_OR_RETURN(Pattern child, ParsePattern());
+        children.push_back(std::move(child));
+        SkipWhitespace();
+        if (AtEnd()) {
+          return Status::ParseError("missing ')' in pattern");
+        }
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        if (Peek() == ')') {
+          ++pos_;
+          break;
+        }
+        return Status::ParseError("expected ',' or ')' at offset " +
+                                  std::to_string(pos_));
+      }
+      return is_seq ? Pattern::Seq(std::move(children))
+                    : Pattern::And(std::move(children));
+    }
+    if (has_args) {
+      return Status::ParseError("unknown operator '" + std::string(token) +
+                                "' at offset " + std::to_string(token_start));
+    }
+    // A bare event name.
+    Result<EventId> id = dict_.Lookup(token);
+    if (!id.ok()) {
+      return Status::ParseError("unknown event '" + std::string(token) +
+                                "' in pattern");
+    }
+    return Pattern::Event(id.value());
+  }
+
+  std::string_view text_;
+  const EventDictionary& dict_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(std::string_view text,
+                             const EventDictionary& dict) {
+  return Parser(text, dict).Parse();
+}
+
+}  // namespace hematch

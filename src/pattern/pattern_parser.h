@@ -1,0 +1,31 @@
+#ifndef HEMATCH_PATTERN_PATTERN_PARSER_H_
+#define HEMATCH_PATTERN_PATTERN_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "log/event_dictionary.h"
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// Parses the textual pattern syntax of the paper, e.g.
+///
+///   "SEQ(A, AND(B, C), D)"       — Example 4's pattern p1
+///   "AND(SEQ(A,B), C)"           — nesting is arbitrary
+///   "A"                          — a vertex pattern
+///
+/// Grammar (whitespace insignificant outside names):
+///   pattern  := event | op '(' pattern (',' pattern)* ')'
+///   op       := "SEQ" | "AND"           (case-insensitive)
+///   event    := any run of characters except '(', ')', ',' and whitespace
+///
+/// Event names must already exist in `dict` (patterns are defined over a
+/// log's vocabulary); unknown names, malformed syntax, and duplicate
+/// events yield ParseError / InvalidArgument.
+Result<Pattern> ParsePattern(std::string_view text,
+                             const EventDictionary& dict);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_PATTERN_PATTERN_PARSER_H_

@@ -1,0 +1,159 @@
+// Tests for the maximal alternating tree of Algorithm 4: feasibility of
+// updated labelings (Proposition 4), existence of augmenting paths
+// (Proposition 5), and the augmentation itself.
+
+#include "core/alternating_tree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hematch {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::vector<std::vector<double>> RandomTheta(Rng& rng, std::size_t n) {
+  std::vector<std::vector<double>> theta(n, std::vector<double>(n));
+  for (auto& row : theta) {
+    for (double& cell : row) {
+      cell = rng.NextDouble() * 3.0;
+    }
+  }
+  return theta;
+}
+
+std::vector<double> InitialLabels(const std::vector<std::vector<double>>& t) {
+  std::vector<double> l1(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    l1[i] = *std::max_element(t[i].begin(), t[i].end());
+  }
+  return l1;
+}
+
+bool IsFeasible(const std::vector<std::vector<double>>& theta,
+                const std::vector<double>& l1,
+                const std::vector<double>& l2) {
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      if (l1[i] + l2[j] < theta[i][j] - kEps) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(AlternatingTreeTest, TreeCoversAllTargetsAndFindsUnmatched) {
+  Rng rng(7);
+  const std::size_t n = 6;
+  const auto theta = RandomTheta(rng, n);
+  const std::vector<double> l1 = InitialLabels(theta);
+  const std::vector<double> l2(n, 0.0);
+  std::vector<std::int32_t> match1(n, kUnmatchedVertex);
+  std::vector<std::int32_t> match2(n, kUnmatchedVertex);
+
+  const AlternatingTree tree =
+      BuildAlternatingTree(theta, l1, l2, match1, match2, 0);
+  // Every target has a parent (maximal tree) and, with nothing matched,
+  // every target is an augmenting-path endpoint.
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NE(tree.parent_source[j], kUnmatchedVertex);
+  }
+  EXPECT_EQ(tree.unmatched_targets.size(), n);
+}
+
+TEST(AlternatingTreeTest, UpdatedLabelsStayFeasible) {
+  Rng rng(11);
+  const std::size_t n = 7;
+  const auto theta = RandomTheta(rng, n);
+  std::vector<double> l1 = InitialLabels(theta);
+  std::vector<double> l2(n, 0.0);
+  std::vector<std::int32_t> match1(n, kUnmatchedVertex);
+  std::vector<std::int32_t> match2(n, kUnmatchedVertex);
+
+  // Grow the matching to completion, checking Proposition 4 throughout.
+  for (std::size_t round = 0; round < n; ++round) {
+    std::int32_t root = kUnmatchedVertex;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (match1[i] == kUnmatchedVertex) {
+        root = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    ASSERT_NE(root, kUnmatchedVertex);
+    AlternatingTree tree =
+        BuildAlternatingTree(theta, l1, l2, match1, match2, root);
+    ASSERT_TRUE(IsFeasible(theta, tree.label1, tree.label2));
+    // Proposition 5: an augmenting endpoint exists while imperfect.
+    ASSERT_FALSE(tree.unmatched_targets.empty());
+
+    const std::int32_t endpoint = tree.unmatched_targets.front();
+    const std::size_t before =
+        static_cast<std::size_t>(std::count_if(
+            match1.begin(), match1.end(),
+            [](std::int32_t x) { return x != kUnmatchedVertex; }));
+    AugmentAlongPath(tree, root, endpoint, match1, match2);
+    const std::size_t after =
+        static_cast<std::size_t>(std::count_if(
+            match1.begin(), match1.end(),
+            [](std::int32_t x) { return x != kUnmatchedVertex; }));
+    EXPECT_EQ(after, before + 1);
+    // Matched edges are tight under the committed labels (the invariant
+    // that makes the final matching theta-optimal).
+    l1 = std::move(tree.label1);
+    l2 = std::move(tree.label2);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (match1[i] != kUnmatchedVertex) {
+        const std::size_t j = static_cast<std::size_t>(match1[i]);
+        EXPECT_NEAR(l1[i] + l2[j], theta[i][j], 1e-7);
+        EXPECT_EQ(match2[j], static_cast<std::int32_t>(i));
+      }
+    }
+  }
+  // Perfect matching on tight edges + feasible labels -> optimal; the
+  // total equals the label sum.
+  double matched_total = 0.0;
+  double label_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    matched_total += theta[i][static_cast<std::size_t>(match1[i])];
+    label_total += l1[i] + l2[i];
+  }
+  EXPECT_NEAR(matched_total, label_total, 1e-7);
+}
+
+TEST(AlternatingTreeTest, AugmentPathReroutesExistingPairs) {
+  // theta forces: both sources prefer target 0 strongly, but only one can
+  // have it; the alternating tree from the later root must reroute.
+  const std::vector<std::vector<double>> theta = {{10.0, 1.0}, {10.0, 0.0}};
+  std::vector<double> l1 = InitialLabels(theta);
+  std::vector<double> l2(2, 0.0);
+  std::vector<std::int32_t> match1 = {0, kUnmatchedVertex};
+  std::vector<std::int32_t> match2 = {0, kUnmatchedVertex};
+
+  AlternatingTree tree = BuildAlternatingTree(theta, l1, l2, match1, match2,
+                                              /*root=*/1);
+  ASSERT_EQ(tree.unmatched_targets.size(), 1u);
+  const std::int32_t endpoint = tree.unmatched_targets[0];
+  EXPECT_EQ(endpoint, 1);
+  AugmentAlongPath(tree, 1, endpoint, match1, match2);
+  // Source 1 wanted target 0; the augmenting path either gave source 1
+  // target 0 and rerouted source 0 to target 1, or connected source 1 to
+  // target 1 directly — both must leave a perfect matching.
+  EXPECT_NE(match1[0], kUnmatchedVertex);
+  EXPECT_NE(match1[1], kUnmatchedVertex);
+  EXPECT_NE(match1[0], match1[1]);
+}
+
+TEST(AlternatingTreeDeathTest, RootMustBeUnmatched) {
+  const std::vector<std::vector<double>> theta = {{1.0}};
+  std::vector<std::int32_t> match1 = {0};
+  std::vector<std::int32_t> match2 = {0};
+  EXPECT_DEATH(BuildAlternatingTree(theta, {1.0}, {0.0}, match1, match2, 0),
+               "unmatched");
+}
+
+}  // namespace
+}  // namespace hematch

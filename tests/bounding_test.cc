@@ -1,0 +1,141 @@
+// Tests for the tight upper bounds of Algorithm 2 / Table 2, including
+// the admissibility property the A* search depends on.
+
+#include "core/bounding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/mapping.h"
+#include "core/normal_distance.h"
+#include "freq/frequency_evaluator.h"
+
+namespace hematch {
+namespace {
+
+TEST(BoundingTest, CeilingsOverTargets) {
+  EventLog log;
+  log.AddTraceByNames({"X", "Y"});
+  log.AddTraceByNames({"X", "Z"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  const FrequencyCeilings all = ComputeCeilings(g, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(all.max_vertex, 1.0);   // X.
+  EXPECT_DOUBLE_EQ(all.max_edge, 0.5);     // XY or XZ.
+  const FrequencyCeilings yz = ComputeCeilings(g, {1, 2});
+  EXPECT_DOUBLE_EQ(yz.max_vertex, 0.5);
+  EXPECT_DOUBLE_EQ(yz.max_edge, 0.0);      // No Y-Z edge.
+}
+
+TEST(BoundingTest, Table2Case1GeneralPatternVertexBound) {
+  // f1 = 0.8, fn = 0.4 -> 1 - 0.4/1.2 = 2/3.
+  FrequencyCeilings c{0.4, 1.0};
+  EXPECT_NEAR(TightUpperBound(Pattern::Event(0), 0.8, c), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BoundingTest, Table2Case2SeqUsesEdgeCeiling) {
+  // SEQ(u,v): w = 1 -> f_min = min(fn, fe).
+  FrequencyCeilings c{1.0, 0.2};
+  EXPECT_NEAR(TightUpperBound(Pattern::Edge(0, 1), 0.6, c),
+              1.0 - (0.6 - 0.2) / (0.6 + 0.2), 1e-12);
+}
+
+TEST(BoundingTest, Table2Case3AndUsesFactorialTimesEdge) {
+  // AND(u,v): w = 2 -> f_min = min(fn, 2 * fe).
+  FrequencyCeilings c{1.0, 0.2};
+  EXPECT_NEAR(TightUpperBound(Pattern::AndOfEvents({0, 1}), 0.9, c),
+              1.0 - (0.9 - 0.4) / (0.9 + 0.4), 1e-12);
+  // With 3 members: w = 6, 6 * 0.2 > fn -> vertex ceiling binds.
+  EXPECT_NEAR(TightUpperBound(Pattern::AndOfEvents({0, 1, 2}), 0.9, c),
+              1.0, 1e-12);
+}
+
+TEST(BoundingTest, ClampsAtOneWhenCeilingsSuffice) {
+  FrequencyCeilings c{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(TightUpperBound(Pattern::Edge(0, 1), 0.5, c), 1.0);
+}
+
+TEST(BoundingTest, ZeroSourceFrequencyBoundsToZero) {
+  FrequencyCeilings c{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(TightUpperBound(Pattern::Edge(0, 1), 0.0, c), 0.0);
+}
+
+TEST(BoundingTest, ZeroCeilingsBoundToZero) {
+  FrequencyCeilings c{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(TightUpperBound(Pattern::Edge(0, 1), 0.7, c), 0.0);
+}
+
+TEST(BoundingTest, PatternLargerThanTargetSetIsZero) {
+  EventLog log;
+  log.AddTraceByNames({"X", "Y"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  EXPECT_DOUBLE_EQ(
+      PatternUpperBound(Pattern::SeqOfEvents({0, 1, 2}), 1.0, {0}, g), 0.0);
+}
+
+// Admissibility: for every pattern and every injective mapping into the
+// target set, Delta(p, U2) >= d(p). This is the invariant that makes the
+// A* search exact (Problem 2).
+class BoundAdmissibilityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundAdmissibilityTest, UpperBoundsDominateContributions) {
+  Rng rng(GetParam());
+  // Random target log over 5 events.
+  EventLog log2;
+  for (const char* n : {"v", "w", "x", "y", "z"}) log2.InternEvent(n);
+  for (int t = 0; t < 40; ++t) {
+    Trace trace(1 + rng.NextBounded(6));
+    for (EventId& e : trace) e = static_cast<EventId>(rng.NextBounded(5));
+    log2.AddTrace(std::move(trace));
+  }
+  const DependencyGraph g2 = DependencyGraph::Build(log2);
+  FrequencyEvaluator eval2(log2);
+
+  // Source-side patterns over 3 events with assorted frequencies.
+  const Pattern patterns[] = {
+      Pattern::Event(0),
+      Pattern::Edge(0, 1),
+      Pattern::AndOfEvents({0, 1}),
+      Pattern::SeqOfEvents({0, 1, 2}),
+      Pattern::AndOfEvents({0, 1, 2}),
+  };
+  const double f1_values[] = {0.1, 0.4, 0.75, 1.0};
+
+  // Try several target subsets U2 and mappings into them.
+  for (int round = 0; round < 30; ++round) {
+    std::vector<EventId> u2;
+    for (EventId v = 0; v < 5; ++v) {
+      if (rng.NextBool(0.7)) u2.push_back(v);
+    }
+    for (const Pattern& p : patterns) {
+      if (p.size() > u2.size()) {
+        for (double f1 : f1_values) {
+          EXPECT_DOUBLE_EQ(PatternUpperBound(p, f1, u2, g2), 0.0);
+        }
+        continue;
+      }
+      // Random injective mapping of the pattern's events into U2.
+      std::vector<EventId> targets = u2;
+      rng.Shuffle(targets);
+      Mapping m(3, 5);
+      for (std::size_t i = 0; i < p.events().size(); ++i) {
+        m.Set(p.events()[i], targets[i]);
+      }
+      std::optional<Pattern> image = m.TranslatePattern(p);
+      ASSERT_TRUE(image.has_value());
+      const double f2 = eval2.Frequency(*image);
+      for (double f1 : f1_values) {
+        const double d = FrequencySimilarity(f1, f2);
+        const double bound = PatternUpperBound(p, f1, u2, g2);
+        EXPECT_GE(bound + 1e-12, d)
+            << p.ToString() << " f1=" << f1 << " f2=" << f2;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundAdmissibilityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hematch

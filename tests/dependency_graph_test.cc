@@ -1,0 +1,85 @@
+// Tests for the event dependency graph (Definition 1): normalized vertex
+// and consecutive-pair frequencies.
+
+#include "graph/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+EventLog ExampleLog() {
+  // 4 traces over {A=0, B=1, C=2}.
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "C"});
+  log.AddTraceByNames({"A", "C", "B"});
+  log.AddTraceByNames({"A", "B", "A", "B"});  // AB twice in one trace.
+  log.AddTraceByNames({"C"});
+  return log;
+}
+
+TEST(DependencyGraphTest, VertexFrequenciesArePerTrace) {
+  const DependencyGraph g = DependencyGraph::Build(ExampleLog());
+  EXPECT_DOUBLE_EQ(g.VertexFrequency(0), 0.75);  // A in 3/4 traces.
+  EXPECT_DOUBLE_EQ(g.VertexFrequency(1), 0.75);  // B.
+  EXPECT_DOUBLE_EQ(g.VertexFrequency(2), 0.75);  // C.
+}
+
+TEST(DependencyGraphTest, EdgeFrequencyCountsTracesOnce) {
+  const DependencyGraph g = DependencyGraph::Build(ExampleLog());
+  // AB occurs consecutively in traces 1 and 3 (twice in 3, counted once).
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(1, 2), 0.25);  // BC in trace 1.
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(0, 2), 0.25);  // AC in trace 2.
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(2, 1), 0.25);  // CB in trace 2.
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(1, 0), 0.25);  // BA in trace 3.
+}
+
+TEST(DependencyGraphTest, ZeroFrequencyPairsAreNotEdges) {
+  const DependencyGraph g = DependencyGraph::Build(ExampleLog());
+  EXPECT_FALSE(g.HasEdge(2, 0));  // CA never consecutive.
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(2, 0), 0.0);
+  EXPECT_EQ(g.num_edges(), 5u);
+}
+
+TEST(DependencyGraphTest, NeighborsAreSortedAndConsistent) {
+  const DependencyGraph g = DependencyGraph::Build(ExampleLog());
+  EXPECT_EQ(g.OutNeighbors(0), (std::vector<EventId>{1, 2}));
+  EXPECT_EQ(g.InNeighbors(1), (std::vector<EventId>{0, 2}));
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+}
+
+TEST(DependencyGraphTest, SelfLoopFromRepeatedEvent) {
+  EventLog log;
+  log.AddTraceByNames({"A", "A", "B"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  EXPECT_DOUBLE_EQ(g.EdgeFrequency(0, 0), 1.0);
+}
+
+TEST(DependencyGraphTest, EmptyLog) {
+  const DependencyGraph g = DependencyGraph::Build(EventLog());
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.VertexFrequency(0), 0.0);  // Out of range -> 0.
+}
+
+TEST(DependencyGraphTest, MaxVertexFrequencyOverSubset) {
+  const DependencyGraph g = DependencyGraph::Build(ExampleLog());
+  EXPECT_DOUBLE_EQ(g.MaxVertexFrequency({0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(g.MaxVertexFrequency({}), 0.0);
+}
+
+TEST(DependencyGraphTest, MaxInducedEdgeFrequencyRespectsSubset) {
+  const DependencyGraph g = DependencyGraph::Build(ExampleLog());
+  // Induced on {A, B}: edges AB (0.5) and BA (0.25).
+  EXPECT_DOUBLE_EQ(g.MaxInducedEdgeFrequency({0, 1}), 0.5);
+  // Induced on {B, C}: BC (0.25) and CB (0.25).
+  EXPECT_DOUBLE_EQ(g.MaxInducedEdgeFrequency({1, 2}), 0.25);
+  // Singleton has no edges.
+  EXPECT_DOUBLE_EQ(g.MaxInducedEdgeFrequency({0}), 0.0);
+}
+
+}  // namespace
+}  // namespace hematch

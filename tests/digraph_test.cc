@@ -1,0 +1,68 @@
+// Tests for the plain directed-graph container.
+
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(DigraphTest, StartsEmpty) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(DigraphTest, AddEdgeIsDirected) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DigraphTest, ParallelEdgesCollapse) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutNeighbors(0).size(), 1u);
+}
+
+TEST(DigraphTest, SelfLoopsAllowed) {
+  Digraph g(2);
+  g.AddEdge(1, 1);
+  EXPECT_TRUE(g.HasEdge(1, 1));
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(DigraphTest, NeighborListsTrackEdges) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 0);
+  EXPECT_EQ(g.OutNeighbors(0), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(g.InNeighbors(0), (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(DigraphTest, EdgeListInInsertionOrder) {
+  Digraph g(3);
+  g.AddEdge(2, 1);
+  g.AddEdge(0, 2);
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[0], std::make_pair(2u, 1u));
+  EXPECT_EQ(g.edges()[1], std::make_pair(0u, 2u));
+}
+
+TEST(DigraphTest, HasEdgeOutOfRangeIsFalse) {
+  Digraph g(2);
+  EXPECT_FALSE(g.HasEdge(5, 0));
+  EXPECT_FALSE(g.HasEdge(0, 5));
+}
+
+}  // namespace
+}  // namespace hematch

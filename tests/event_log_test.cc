@@ -1,0 +1,79 @@
+// Tests for the event dictionary and event log containers.
+
+#include "log/event_dictionary.h"
+#include "log/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(EventDictionaryTest, InternAssignsDenseIdsInFirstSeenOrder) {
+  EventDictionary dict;
+  EXPECT_EQ(dict.Intern("A"), 0u);
+  EXPECT_EQ(dict.Intern("B"), 1u);
+  EXPECT_EQ(dict.Intern("A"), 0u);  // Idempotent.
+  EXPECT_EQ(dict.Intern("C"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(EventDictionaryTest, LookupAndContains) {
+  EventDictionary dict;
+  dict.Intern("ship goods");
+  ASSERT_TRUE(dict.Lookup("ship goods").ok());
+  EXPECT_EQ(dict.Lookup("ship goods").value(), 0u);
+  EXPECT_TRUE(dict.Contains("ship goods"));
+  EXPECT_FALSE(dict.Contains("FH"));
+  EXPECT_EQ(dict.Lookup("FH").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EventDictionaryTest, NameRoundTrips) {
+  EventDictionary dict;
+  const EventId id = dict.Intern("Check Inventory");
+  EXPECT_EQ(dict.Name(id), "Check Inventory");
+}
+
+TEST(EventLogTest, AddTraceByNamesInternsInOrder) {
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "A"});
+  log.AddTraceByNames({"C", "B"});
+  EXPECT_EQ(log.num_traces(), 2u);
+  EXPECT_EQ(log.num_events(), 3u);
+  EXPECT_EQ(log.traces()[0], (Trace{0, 1, 0}));
+  EXPECT_EQ(log.traces()[1], (Trace{2, 1}));
+}
+
+TEST(EventLogTest, AddTraceAcceptsInternedIds) {
+  EventLog log;
+  const EventId a = log.InternEvent("A");
+  const EventId b = log.InternEvent("B");
+  log.AddTrace({a, b, a});
+  EXPECT_EQ(log.num_traces(), 1u);
+  EXPECT_EQ(log.TotalLength(), 3u);
+}
+
+TEST(EventLogTest, TraceToStringUsesNames) {
+  EventLog log;
+  log.AddTraceByNames({"receive", "pay"});
+  EXPECT_EQ(log.TraceToString(log.traces()[0]), "receive pay");
+}
+
+TEST(EventLogTest, EmptyLog) {
+  EventLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.num_traces(), 0u);
+  EXPECT_EQ(log.TotalLength(), 0u);
+}
+
+TEST(EventLogTest, VocabularyCanBeDeclaredUpFront) {
+  EventLog log;
+  log.InternEvent("Z");
+  log.InternEvent("Y");
+  log.AddTraceByNames({"Y", "Z"});
+  // Declared order wins over trace appearance order.
+  EXPECT_EQ(log.dictionary().Lookup("Z").value(), 0u);
+  EXPECT_EQ(log.dictionary().Lookup("Y").value(), 1u);
+}
+
+}  // namespace
+}  // namespace hematch

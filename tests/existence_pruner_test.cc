@@ -1,0 +1,115 @@
+// Tests for Proposition 3 pruning, including the soundness difference
+// between the paper-faithful edge-set check and the linearization check.
+
+#include "freq/existence_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "freq/frequency_evaluator.h"
+
+namespace hematch {
+namespace {
+
+TEST(ExistencePrunerTest, MissingVertexPrunesInEveryMode) {
+  EventLog log;
+  log.InternEvent("A");
+  log.InternEvent("B");
+  log.AddTraceByNames({"A"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  const Pattern p = Pattern::Edge(0, 1);  // B never occurs.
+  EXPECT_TRUE(PatternMayExist(p, g, ExistenceCheckMode::kNone));
+  EXPECT_FALSE(PatternMayExist(p, g, ExistenceCheckMode::kEdgeSet));
+  EXPECT_FALSE(PatternMayExist(p, g, ExistenceCheckMode::kLinearization));
+}
+
+TEST(ExistencePrunerTest, VertexPatternOnlyNeedsPresence) {
+  EventLog log;
+  log.AddTraceByNames({"A"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  EXPECT_TRUE(PatternMayExist(Pattern::Event(0), g,
+                              ExistenceCheckMode::kLinearization));
+}
+
+TEST(ExistencePrunerTest, EdgeSetCanPruneNonZeroFrequencyPattern) {
+  // The documented unsoundness of kEdgeSet: AND(B, C) over a log where B
+  // always directly precedes C. The pattern matches every trace
+  // (f = 1.0), but its graph has both BC and CB while the dependency
+  // graph only has BC.
+  EventLog log;
+  log.AddTraceByNames({"B", "C"});
+  log.AddTraceByNames({"B", "C"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  const Pattern p = Pattern::AndOfEvents({0, 1});
+
+  FrequencyEvaluator eval(log);
+  ASSERT_DOUBLE_EQ(eval.Frequency(p), 1.0);
+
+  EXPECT_FALSE(PatternMayExist(p, g, ExistenceCheckMode::kEdgeSet));
+  EXPECT_TRUE(PatternMayExist(p, g, ExistenceCheckMode::kLinearization));
+}
+
+TEST(ExistencePrunerTest, LinearizationPrunesWhenNoOrderIsAPath) {
+  // SEQ(A, B): trace only has B before A.
+  EventLog log;
+  log.AddTraceByNames({"B", "A"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  const Pattern p = Pattern::Edge(0, 1);  // Trace interned B=0? No:
+  // AddTraceByNames interns B first -> B=0, A=1; Edge(0,1) = SEQ(B,A),
+  // which exists. Use the reverse:
+  const Pattern q = Pattern::Edge(1, 0);  // SEQ(A, B), never consecutive.
+  EXPECT_TRUE(PatternMayExist(p, g, ExistenceCheckMode::kLinearization));
+  EXPECT_FALSE(PatternMayExist(q, g, ExistenceCheckMode::kLinearization));
+}
+
+TEST(ExistencePrunerTest, LinearizationAcceptsAnyFeasibleOrder) {
+  // AND(A, B, C) with only the cyclic order A B C present.
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "C"});
+  const DependencyGraph g = DependencyGraph::Build(log);
+  EXPECT_TRUE(PatternMayExist(Pattern::AndOfEvents({0, 1, 2}), g,
+                              ExistenceCheckMode::kLinearization));
+}
+
+// Soundness property: on random logs and patterns, a pattern with
+// non-zero frequency is NEVER pruned by the linearization mode (the
+// guarantee Proposition 3 needs for A* optimality).
+class PrunerSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PrunerSoundnessTest, LinearizationNeverPrunesOccurringPatterns) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    EventLog log;
+    for (const char* n : {"a", "b", "c", "d", "e"}) log.InternEvent(n);
+    for (int t = 0; t < 30; ++t) {
+      Trace trace(1 + rng.NextBounded(7));
+      for (EventId& e : trace) e = static_cast<EventId>(rng.NextBounded(5));
+      log.AddTrace(std::move(trace));
+    }
+    const DependencyGraph g = DependencyGraph::Build(log);
+    FrequencyEvaluator eval(log);
+
+    const Pattern patterns[] = {
+        Pattern::Edge(0, 1),
+        Pattern::AndOfEvents({0, 1}),
+        Pattern::SeqOfEvents({0, 1, 2}),
+        Pattern::AndOfEvents({2, 3, 4}),
+    };
+    for (const Pattern& p : patterns) {
+      if (eval.Frequency(p) > 0.0) {
+        EXPECT_TRUE(
+            PatternMayExist(p, g, ExistenceCheckMode::kLinearization))
+            << p.ToString();
+        // The edge-set check on the *vertex* level must also pass.
+        EXPECT_TRUE(PatternMayExist(p, g, ExistenceCheckMode::kNone));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunerSoundnessTest,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+}  // namespace
+}  // namespace hematch

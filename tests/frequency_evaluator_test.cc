@@ -1,0 +1,124 @@
+// Tests for normalized pattern frequency evaluation (Definition 4 plus
+// the index and cache of Section 3.2.3).
+
+#include "freq/frequency_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pattern/pattern_parser.h"
+
+namespace hematch {
+namespace {
+
+EventLog Fig1StyleLog() {
+  // All traces contain A, (B|C in some order), D; the pattern
+  // SEQ(A,AND(B,C),D) matches every trace (Example 2: f = 1.0).
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "C", "D", "E"});
+  log.AddTraceByNames({"A", "C", "B", "D", "F"});
+  log.AddTraceByNames({"A", "B", "C", "D", "F"});
+  log.AddTraceByNames({"A", "C", "B", "D", "E"});
+  return log;
+}
+
+Pattern Parse(const EventLog& log, const char* text) {
+  Result<Pattern> p = ParsePattern(text, log.dictionary());
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(p).value();
+}
+
+TEST(FrequencyEvaluatorTest, Example2PatternHasFullSupport) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluator eval(log);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Parse(log, "SEQ(A,AND(B,C),D)")), 1.0);
+}
+
+TEST(FrequencyEvaluatorTest, VertexAndEdgeFrequencies) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluator eval(log);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Parse(log, "E")), 0.5);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Parse(log, "SEQ(A,B)")), 0.5);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Parse(log, "SEQ(B,C)")), 0.5);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Parse(log, "SEQ(D,E)")), 0.5);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Parse(log, "SEQ(E,A)")), 0.0);
+}
+
+TEST(FrequencyEvaluatorTest, SupportCountsTraces) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluator eval(log);
+  EXPECT_EQ(eval.Support(Parse(log, "AND(B,C)")), 4u);
+  EXPECT_EQ(eval.Support(Parse(log, "F")), 2u);
+}
+
+TEST(FrequencyEvaluatorTest, EmptyLogYieldsZero) {
+  EventLog log;
+  log.InternEvent("A");
+  FrequencyEvaluator eval(log);
+  EXPECT_DOUBLE_EQ(eval.Frequency(Pattern::Event(0)), 0.0);
+}
+
+TEST(FrequencyEvaluatorTest, CacheHitsOnRepeatedQueries) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluator eval(log);
+  const Pattern p = Parse(log, "SEQ(A,AND(B,C),D)");
+  eval.Frequency(p);
+  const std::uint64_t scanned_after_first = eval.stats().traces_scanned;
+  eval.Frequency(p);
+  EXPECT_EQ(eval.stats().cache_hits, 1u);
+  EXPECT_EQ(eval.stats().traces_scanned, scanned_after_first);
+}
+
+TEST(FrequencyEvaluatorTest, IndexRestrictsScans) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluator indexed(log);
+  FrequencyEvaluatorOptions no_index;
+  no_index.use_trace_index = false;
+  FrequencyEvaluator full(log, no_index);
+  const Pattern p = Parse(log, "SEQ(D,E)");  // E appears in 2/4 traces.
+  EXPECT_DOUBLE_EQ(indexed.Frequency(p), full.Frequency(p));
+  EXPECT_LT(indexed.stats().traces_scanned, full.stats().traces_scanned);
+}
+
+// Property: index on/off and cache on/off never change the result.
+class EvaluatorEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluatorEquivalenceTest, ConfigurationsAgree) {
+  Rng rng(GetParam());
+  EventLog log;
+  for (const char* n : {"a", "b", "c", "d"}) log.InternEvent(n);
+  for (int t = 0; t < 60; ++t) {
+    Trace trace(1 + rng.NextBounded(8));
+    for (EventId& e : trace) e = static_cast<EventId>(rng.NextBounded(4));
+    log.AddTrace(std::move(trace));
+  }
+  FrequencyEvaluator a(log);  // index + cache
+  FrequencyEvaluatorOptions b_opts;
+  b_opts.use_trace_index = false;
+  FrequencyEvaluator b(log, b_opts);
+  FrequencyEvaluatorOptions c_opts;
+  c_opts.use_cache = false;
+  FrequencyEvaluator c(log, c_opts);
+
+  const Pattern patterns[] = {
+      Pattern::Event(0),
+      Pattern::Edge(0, 1),
+      Pattern::AndOfEvents({1, 2}),
+      Pattern::SeqOfEvents({0, 1, 2}),
+      Pattern::AndOfEvents({0, 1, 2}),
+  };
+  for (const Pattern& p : patterns) {
+    const double fa = a.Frequency(p);
+    EXPECT_DOUBLE_EQ(fa, b.Frequency(p)) << p.ToString();
+    EXPECT_DOUBLE_EQ(fa, c.Frequency(p)) << p.ToString();
+    EXPECT_GE(fa, 0.0);
+    EXPECT_LE(fa, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,183 @@
+// Tests for the three benchmark workload generators (Table 3).
+
+#include "gen/bus_process.h"
+#include "gen/random_logs.h"
+#include "gen/synthetic_process.h"
+
+#include <gtest/gtest.h>
+
+#include "freq/frequency_evaluator.h"
+#include "graph/dependency_graph.h"
+
+namespace hematch {
+namespace {
+
+void ExpectWellFormed(const MatchingTask& task) {
+  EXPECT_FALSE(task.log1.empty());
+  EXPECT_FALSE(task.log2.empty());
+  // Ground truth (when present) is injective over the vocabularies.
+  if (task.ground_truth.num_sources() > 0) {
+    EXPECT_EQ(task.ground_truth.num_sources(), task.log1.num_events());
+    EXPECT_EQ(task.ground_truth.num_targets(), task.log2.num_events());
+  }
+  // Complex patterns reference valid source events.
+  for (const Pattern& p : task.complex_patterns) {
+    for (EventId v : p.events()) {
+      EXPECT_LT(v, task.log1.num_events());
+    }
+  }
+}
+
+TEST(BusProcessTest, MatchesTable3Characteristics) {
+  const MatchingTask task = MakeBusManufacturerTask({});
+  ExpectWellFormed(task);
+  EXPECT_EQ(task.log1.num_traces(), 3000u);
+  EXPECT_EQ(task.log2.num_traces(), 3000u);
+  EXPECT_EQ(task.log1.num_events(), 11u);
+  EXPECT_EQ(task.log2.num_events(), 11u);
+  EXPECT_EQ(task.complex_patterns.size(), 3u);
+  EXPECT_EQ(task.ground_truth.size(), 11u);
+}
+
+TEST(BusProcessTest, DeterministicInSeed) {
+  BusProcessOptions options;
+  options.num_traces = 100;
+  const MatchingTask a = MakeBusManufacturerTask(options);
+  const MatchingTask b = MakeBusManufacturerTask(options);
+  ASSERT_EQ(a.log1.num_traces(), b.log1.num_traces());
+  for (std::size_t i = 0; i < a.log1.num_traces(); ++i) {
+    EXPECT_EQ(a.log1.traces()[i], b.log1.traces()[i]);
+  }
+  EXPECT_TRUE(a.ground_truth == b.ground_truth);
+}
+
+TEST(BusProcessTest, SeedsChangeTheLogs) {
+  BusProcessOptions a_options;
+  a_options.num_traces = 200;
+  BusProcessOptions b_options = a_options;
+  b_options.seed = a_options.seed + 1;
+  const MatchingTask a = MakeBusManufacturerTask(a_options);
+  const MatchingTask b = MakeBusManufacturerTask(b_options);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.log1.num_traces(); ++i) {
+    any_difference = any_difference || a.log1.traces()[i] != b.log1.traces()[i];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BusProcessTest, ShuffledVocabularyIsNotIdentity) {
+  const MatchingTask task = MakeBusManufacturerTask({});
+  bool identity = true;
+  for (EventId v = 0; v < task.ground_truth.num_sources(); ++v) {
+    identity = identity && task.ground_truth.TargetOf(v) == v;
+  }
+  EXPECT_FALSE(identity);
+}
+
+TEST(BusProcessTest, Example4PatternMatchesMostTraces) {
+  BusProcessOptions options;
+  options.num_traces = 500;
+  const MatchingTask task = MakeBusManufacturerTask(options);
+  FrequencyEvaluator eval(task.log1);
+  // SEQ(A, AND(B,C), D): holds unless B or C went unrecorded or the
+  // trace was truncated; well above half the traces.
+  EXPECT_GT(eval.Frequency(task.complex_patterns[0]), 0.5);
+}
+
+TEST(BusProcessTest, TruePatternImagesHaveSimilarFrequencies) {
+  BusProcessOptions options;
+  options.num_traces = 1000;
+  const MatchingTask task = MakeBusManufacturerTask(options);
+  FrequencyEvaluator eval1(task.log1);
+  FrequencyEvaluator eval2(task.log2);
+  for (const Pattern& p : task.complex_patterns) {
+    std::optional<Pattern> image = task.ground_truth.TranslatePattern(p);
+    ASSERT_TRUE(image.has_value());
+    EXPECT_NEAR(eval1.Frequency(p), eval2.Frequency(*image), 0.15);
+  }
+}
+
+TEST(SyntheticProcessTest, ScalesWithUnits) {
+  SyntheticProcessOptions options;
+  options.num_units = 3;
+  options.num_traces = 500;
+  const MatchingTask task = MakeSyntheticTask(options);
+  ExpectWellFormed(task);
+  EXPECT_EQ(task.log1.num_events(), 30u);
+  EXPECT_EQ(task.log2.num_events(), 30u);
+  EXPECT_EQ(task.ground_truth.size(), 30u);
+  // 3 AND patterns + orientation patterns for units 0 and 2.
+  EXPECT_EQ(task.complex_patterns.size(), 5u);
+}
+
+TEST(SyntheticProcessTest, EachTraceExecutesOneUnit) {
+  SyntheticProcessOptions options;
+  options.num_units = 4;
+  options.num_traces = 200;
+  const MatchingTask task = MakeSyntheticTask(options);
+  for (const Trace& trace : task.log1.traces()) {
+    // entry + 4 members + 1 alternative + exit = 7 events.
+    ASSERT_EQ(trace.size(), 7u);
+    // All events of one trace belong to the same unit: names share the
+    // "a<unit>." prefix.
+    const std::string first = task.log1.dictionary().Name(trace[0]);
+    const std::string prefix = first.substr(0, first.find('.') + 1);
+    for (EventId e : trace) {
+      EXPECT_EQ(task.log1.dictionary().Name(e).rfind(prefix, 0), 0u);
+    }
+  }
+}
+
+TEST(SyntheticProcessTest, AndPatternFrequencyEqualsUnitFrequency) {
+  SyntheticProcessOptions options;
+  options.num_units = 2;
+  options.num_traces = 600;
+  const MatchingTask task = MakeSyntheticTask(options);
+  FrequencyEvaluator eval(task.log1);
+  const DependencyGraph g1 = DependencyGraph::Build(task.log1);
+  // AND(m1..m4) of unit 0 matches exactly the traces executing unit 0,
+  // whose frequency equals the entry event's frequency.
+  const double and_freq = eval.Frequency(task.complex_patterns[0]);
+  const double entry_freq = g1.VertexFrequency(
+      task.log1.dictionary().Lookup("a0.0").value());
+  EXPECT_NEAR(and_freq, entry_freq, 1e-9);
+}
+
+TEST(RandomLogsTest, MatchesTable3Characteristics) {
+  const MatchingTask task = MakeRandomTask({});
+  ExpectWellFormed(task);
+  EXPECT_EQ(task.log1.num_events(), 4u);
+  EXPECT_EQ(task.log2.num_events(), 4u);
+  EXPECT_EQ(task.log1.num_traces(), 1000u);
+  EXPECT_TRUE(task.complex_patterns.empty());
+  EXPECT_EQ(task.ground_truth.size(), 0u);  // No true mapping exists.
+}
+
+TEST(RandomLogsTest, TraceLengthsWithinRange) {
+  RandomLogsOptions options;
+  options.min_trace_length = 3;
+  options.max_trace_length = 5;
+  options.num_traces = 300;
+  const MatchingTask task = MakeRandomTask(options);
+  for (const Trace& trace : task.log1.traces()) {
+    EXPECT_GE(trace.size(), 3u);
+    EXPECT_LE(trace.size(), 5u);
+  }
+}
+
+TEST(RandomLogsTest, DifferentSeedsDifferentLogs) {
+  RandomLogsOptions a_options;
+  a_options.num_traces = 50;
+  RandomLogsOptions b_options = a_options;
+  b_options.seed = 999;
+  const MatchingTask a = MakeRandomTask(a_options);
+  const MatchingTask b = MakeRandomTask(b_options);
+  bool differs = a.log1.num_traces() != b.log1.num_traces();
+  for (std::size_t i = 0; !differs && i < a.log1.num_traces(); ++i) {
+    differs = a.log1.traces()[i] != b.log1.traces()[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,107 @@
+// Tests for the Kuhn-Munkres maximum-weight assignment, including a
+// brute-force cross-check on random matrices.
+
+#include "assignment/hungarian.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hematch {
+namespace {
+
+double BruteForceBest(const std::vector<std::vector<double>>& w) {
+  const std::size_t n = w.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1e300;
+  do {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += w[i][perm[i]];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  const AssignmentResult r = SolveMaxWeightAssignment({});
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+}
+
+TEST(HungarianTest, SingleCell) {
+  const AssignmentResult r = SolveMaxWeightAssignment({{3.5}});
+  EXPECT_EQ(r.assignment, (std::vector<std::size_t>{0}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 3.5);
+}
+
+TEST(HungarianTest, PicksOffDiagonalWhenBetter) {
+  const AssignmentResult r =
+      SolveMaxWeightAssignment({{1.0, 10.0}, {10.0, 1.0}});
+  EXPECT_EQ(r.assignment, (std::vector<std::size_t>{1, 0}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 20.0);
+}
+
+TEST(HungarianTest, IdentityWhenDiagonalDominates) {
+  const AssignmentResult r = SolveMaxWeightAssignment(
+      {{5.0, 1.0, 1.0}, {1.0, 5.0, 1.0}, {1.0, 1.0, 5.0}});
+  EXPECT_EQ(r.assignment, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 15.0);
+}
+
+TEST(HungarianTest, HandlesNegativeWeights) {
+  const AssignmentResult r =
+      SolveMaxWeightAssignment({{-1.0, -10.0}, {-10.0, -2.0}});
+  EXPECT_EQ(r.assignment, (std::vector<std::size_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(r.total_weight, -3.0);
+}
+
+TEST(HungarianTest, AssignmentIsAPermutation) {
+  Rng rng(99);
+  std::vector<std::vector<double>> w(8, std::vector<double>(8));
+  for (auto& row : w) {
+    for (double& cell : row) cell = rng.NextDouble();
+  }
+  const AssignmentResult r = SolveMaxWeightAssignment(w);
+  std::vector<bool> used(8, false);
+  for (std::size_t col : r.assignment) {
+    ASSERT_LT(col, 8u);
+    EXPECT_FALSE(used[col]);
+    used[col] = true;
+  }
+}
+
+class HungarianPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HungarianPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng.NextBounded(6);  // up to 6x6 (720 perms).
+    std::vector<std::vector<double>> w(n, std::vector<double>(n));
+    for (auto& row : w) {
+      for (double& cell : row) {
+        cell = rng.NextDouble() * 2.0 - 0.5;  // Mixed signs.
+      }
+    }
+    const AssignmentResult r = SolveMaxWeightAssignment(w);
+    EXPECT_NEAR(r.total_weight, BruteForceBest(w), 1e-9);
+    // Reported total matches the reported assignment.
+    double recomputed = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      recomputed += w[i][r.assignment[i]];
+    }
+    EXPECT_NEAR(r.total_weight, recomputed, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace hematch

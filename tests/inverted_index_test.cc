@@ -1,0 +1,61 @@
+// Tests for the trace (It) and pattern (Ip) inverted indices.
+
+#include "freq/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+EventLog MakeLog() {
+  EventLog log;
+  log.AddTraceByNames({"A", "B"});       // 0
+  log.AddTraceByNames({"B", "C", "B"});  // 1 (B twice -> posting once)
+  log.AddTraceByNames({"A", "C"});       // 2
+  log.AddTraceByNames({"A"});            // 3
+  return log;
+}
+
+TEST(TraceIndexTest, PostingsAreSortedAndDeduplicated) {
+  const TraceIndex index(MakeLog());
+  EXPECT_EQ(index.Postings(0), (std::vector<std::uint32_t>{0, 2, 3}));  // A
+  EXPECT_EQ(index.Postings(1), (std::vector<std::uint32_t>{0, 1}));     // B
+  EXPECT_EQ(index.Postings(2), (std::vector<std::uint32_t>{1, 2}));     // C
+  EXPECT_TRUE(index.Postings(99).empty());
+}
+
+TEST(TraceIndexTest, CandidateTracesIntersects) {
+  const TraceIndex index(MakeLog());
+  const std::vector<EventId> ab = {0, 1};
+  EXPECT_EQ(index.CandidateTraces(ab), (std::vector<std::uint32_t>{0}));
+  const std::vector<EventId> bc = {1, 2};
+  EXPECT_EQ(index.CandidateTraces(bc), (std::vector<std::uint32_t>{1}));
+  const std::vector<EventId> abc = {0, 1, 2};
+  EXPECT_TRUE(index.CandidateTraces(abc).empty());
+}
+
+TEST(TraceIndexTest, EmptyEventSetYieldsAllTraces) {
+  const TraceIndex index(MakeLog());
+  EXPECT_EQ(index.CandidateTraces({}),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(TraceIndexTest, SingleEvent) {
+  const TraceIndex index(MakeLog());
+  const std::vector<EventId> c = {2};
+  EXPECT_EQ(index.CandidateTraces(c), index.Postings(2));
+}
+
+TEST(PatternIndexTest, MapsEventsToPatterns) {
+  // Patterns: 0 -> {A}, 1 -> {A, B}, 2 -> {B, C}.
+  const PatternIndex index(3, {{0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(index.PatternsInvolving(0), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(index.PatternsInvolving(1), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(index.PatternsInvolving(2), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(index.PatternCount(0), 2u);
+  EXPECT_EQ(index.PatternCount(2), 1u);
+  EXPECT_TRUE(index.PatternsInvolving(99).empty());
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,133 @@
+// Tests for event-log serialization: trace-per-line and CSV formats.
+
+#include "log/log_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(TraceLogTest, ParsesTracesAndComments) {
+  std::istringstream in(
+      "# a comment\n"
+      "A B C\n"
+      "\n"
+      "  A C B  \n");
+  Result<EventLog> log = ReadTraceLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_traces(), 2u);
+  EXPECT_EQ(log->num_events(), 3u);
+  EXPECT_EQ(log->TraceToString(log->traces()[1]), "A C B");
+}
+
+TEST(TraceLogTest, RoundTrips) {
+  EventLog original;
+  original.AddTraceByNames({"receive", "pay", "ship"});
+  original.AddTraceByNames({"receive", "ship"});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTraceLog(original, out).ok());
+  std::istringstream in(out.str());
+  Result<EventLog> parsed = ReadTraceLog(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_traces(), original.num_traces());
+  for (std::size_t i = 0; i < original.num_traces(); ++i) {
+    EXPECT_EQ(parsed->TraceToString(parsed->traces()[i]),
+              original.TraceToString(original.traces()[i]));
+  }
+}
+
+TEST(TraceLogTest, MissingFileIsNotFound) {
+  Result<EventLog> log = ReadTraceLogFile("/nonexistent/path/log.tr");
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvLogTest, GroupsByCaseAndSortsByTimestamp) {
+  std::istringstream in(
+      "case,event,timestamp\n"
+      "t1,A,3\n"
+      "t2,X,1\n"
+      "t1,B,10\n"   // Numeric ordering: 10 after 3.
+      "t1,C,7\n"
+      "t2,Y,2\n");
+  Result<EventLog> log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->num_traces(), 2u);
+  EXPECT_EQ(log->TraceToString(log->traces()[0]), "A C B");
+  EXPECT_EQ(log->TraceToString(log->traces()[1]), "X Y");
+}
+
+TEST(CsvLogTest, IsoTimestampsSortLexicographically) {
+  std::istringstream in(
+      "case,event,timestamp\n"
+      "o1,ship,2014-02-01T10:00:00\n"
+      "o1,receive,2014-01-31T09:00:00\n");
+  Result<EventLog> log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->TraceToString(log->traces()[0]), "receive ship");
+}
+
+TEST(CsvLogTest, WithoutTimestampKeepsFileOrder) {
+  std::istringstream in(
+      "case,event\n"
+      "o1,B\n"
+      "o1,A\n");
+  Result<EventLog> log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->TraceToString(log->traces()[0]), "B A");
+}
+
+TEST(CsvLogTest, AcceptsHeaderAliases) {
+  std::istringstream in(
+      "trace_id,activity,ts\n"
+      "o1,A,1\n");
+  Result<EventLog> log = ReadCsvLog(in);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_events(), 1u);
+}
+
+TEST(CsvLogTest, RejectsMissingColumns) {
+  std::istringstream in("foo,bar\nx,y\n");
+  Result<EventLog> log = ReadCsvLog(in);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvLogTest, RejectsShortRows) {
+  std::istringstream in(
+      "case,event,timestamp\n"
+      "t1\n");
+  Result<EventLog> log = ReadCsvLog(in);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvLogTest, RejectsEmptyFields) {
+  std::istringstream in(
+      "case,event\n"
+      "t1,\n");
+  ASSERT_FALSE(ReadCsvLog(in).ok());
+}
+
+TEST(CsvLogTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  ASSERT_FALSE(ReadCsvLog(in).ok());
+}
+
+TEST(CsvLogTest, WriteThenReadRoundTrips) {
+  EventLog original;
+  original.AddTraceByNames({"A", "B"});
+  original.AddTraceByNames({"B", "A", "A"});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsvLog(original, out).ok());
+  std::istringstream in(out.str());
+  Result<EventLog> parsed = ReadCsvLog(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_traces(), 2u);
+  EXPECT_EQ(parsed->TraceToString(parsed->traces()[1]), "B A A");
+}
+
+}  // namespace
+}  // namespace hematch

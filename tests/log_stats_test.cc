@@ -1,0 +1,67 @@
+// Tests for per-log statistics (supports, frequencies, entropies).
+
+#include "log/log_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+EventLog MakeLog() {
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "A"});  // A twice in one trace.
+  log.AddTraceByNames({"A", "C"});
+  log.AddTraceByNames({"B"});
+  log.AddTraceByNames({"A", "B", "C"});
+  return log;
+}
+
+TEST(LogStatsTest, CountsAndLengths) {
+  const LogStats stats = ComputeLogStats(MakeLog());
+  EXPECT_EQ(stats.num_traces, 4u);
+  EXPECT_EQ(stats.num_events, 3u);
+  EXPECT_EQ(stats.total_length, 9u);
+  EXPECT_EQ(stats.min_trace_length, 1u);
+  EXPECT_EQ(stats.max_trace_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_trace_length, 2.25);
+}
+
+TEST(LogStatsTest, SupportCountsTracesNotOccurrences) {
+  const LogStats stats = ComputeLogStats(MakeLog());
+  EXPECT_EQ(stats.support[0], 3u);  // A appears in 3 traces (twice in one).
+  EXPECT_EQ(stats.support[1], 3u);  // B.
+  EXPECT_EQ(stats.support[2], 2u);  // C.
+  EXPECT_DOUBLE_EQ(stats.frequency[0], 0.75);
+  EXPECT_DOUBLE_EQ(stats.frequency[2], 0.5);
+}
+
+TEST(LogStatsTest, OccurrenceEntropyMatchesBinaryEntropy) {
+  const LogStats stats = ComputeLogStats(MakeLog());
+  // A: q = 0.75 -> H = -(0.75 log2 0.75 + 0.25 log2 0.25).
+  const double expected =
+      -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25));
+  EXPECT_NEAR(stats.occurrence_entropy[0], expected, 1e-12);
+  // C: q = 0.5 -> H = 1 bit, the maximum.
+  EXPECT_NEAR(stats.occurrence_entropy[2], 1.0, 1e-12);
+}
+
+TEST(LogStatsTest, CertainEventsHaveZeroEntropy) {
+  EventLog log;
+  log.AddTraceByNames({"A"});
+  log.AddTraceByNames({"A"});
+  const LogStats stats = ComputeLogStats(log);
+  EXPECT_DOUBLE_EQ(stats.frequency[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.occurrence_entropy[0], 0.0);
+}
+
+TEST(LogStatsTest, EmptyLog) {
+  const LogStats stats = ComputeLogStats(EventLog());
+  EXPECT_EQ(stats.num_traces, 0u);
+  EXPECT_EQ(stats.min_trace_length, 0u);
+  EXPECT_EQ(stats.max_trace_length, 0u);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,85 @@
+// Tests for mapping serialization.
+
+#include "core/mapping_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+class MappingIoTest : public ::testing::Test {
+ protected:
+  MappingIoTest() {
+    for (const char* n : {"receive", "pay", "ship"}) {
+      source_.Intern(n);
+    }
+    for (const char* n : {"rcv", "pmt", "shp", "extra"}) {
+      target_.Intern(n);
+    }
+  }
+  EventDictionary source_;
+  EventDictionary target_;
+};
+
+TEST_F(MappingIoTest, RoundTrips) {
+  Mapping mapping(3, 4);
+  mapping.Set(0, 2);
+  mapping.Set(2, 0);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMapping(mapping, source_, target_, out).ok());
+  std::istringstream in(out.str());
+  Result<Mapping> parsed = ReadMapping(in, source_, target_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed.value() == mapping);
+}
+
+TEST_F(MappingIoTest, ParsesCommentsAndWhitespace) {
+  std::istringstream in(
+      "# curated by analyst\n"
+      "\n"
+      "  receive \t rcv  \n"
+      "ship\tshp\n");
+  Result<Mapping> parsed = ReadMapping(in, source_, target_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->TargetOf(0), 0u);
+  EXPECT_EQ(parsed->TargetOf(2), 2u);
+  EXPECT_FALSE(parsed->IsSourceMapped(1));  // Partial is allowed.
+}
+
+TEST_F(MappingIoTest, RejectsUnknownNames) {
+  std::istringstream in("nonsense\trcv\n");
+  EXPECT_EQ(ReadMapping(in, source_, target_).status().code(),
+            StatusCode::kParseError);
+  std::istringstream in2("receive\tnonsense\n");
+  EXPECT_EQ(ReadMapping(in2, source_, target_).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(MappingIoTest, RejectsMissingTab) {
+  std::istringstream in("receive rcv\n");
+  EXPECT_EQ(ReadMapping(in, source_, target_).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(MappingIoTest, RejectsDuplicateSource) {
+  std::istringstream in("receive\trcv\nreceive\tpmt\n");
+  EXPECT_FALSE(ReadMapping(in, source_, target_).ok());
+}
+
+TEST_F(MappingIoTest, RejectsNonInjectivePairs) {
+  std::istringstream in("receive\trcv\npay\trcv\n");
+  EXPECT_FALSE(ReadMapping(in, source_, target_).ok());
+}
+
+TEST_F(MappingIoTest, EmptyInputYieldsEmptyMapping) {
+  std::istringstream in("");
+  Result<Mapping> parsed = ReadMapping(in, source_, target_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 0u);
+}
+
+}  // namespace
+}  // namespace hematch

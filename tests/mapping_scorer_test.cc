@@ -1,0 +1,139 @@
+// Tests for the g/h scoring machinery shared by all framework matchers.
+
+#include "core/mapping_scorer.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pattern_set.h"
+
+namespace hematch {
+namespace {
+
+// Two tiny logs where the true mapping is A->X, B->Y, C->Z.
+class MappingScorerTest : public ::testing::Test {
+ protected:
+  MappingScorerTest() {
+    log1_.AddTraceByNames({"A", "B", "C"});
+    log1_.AddTraceByNames({"A", "B"});
+    log2_.AddTraceByNames({"X", "Y", "Z"});
+    log2_.AddTraceByNames({"X", "Y"});
+    std::vector<Pattern> patterns;
+    patterns.push_back(Pattern::Event(0));         // A, f1 = 1.
+    patterns.push_back(Pattern::Event(2));         // C, f1 = 0.5.
+    patterns.push_back(Pattern::Edge(0, 1));       // AB, f1 = 1.
+    patterns.push_back(Pattern::SeqOfEvents({0, 1, 2}));  // ABC, f1 = 0.5.
+    ctx_ = std::make_unique<MatchingContext>(log1_, log2_,
+                                             std::move(patterns));
+  }
+
+  EventLog log1_;
+  EventLog log2_;
+  std::unique_ptr<MatchingContext> ctx_;
+};
+
+TEST_F(MappingScorerTest, MappedEventCount) {
+  MappingScorer scorer(*ctx_, {});
+  Mapping m(3, 3);
+  EXPECT_EQ(scorer.MappedEventCount(3, m), 0u);
+  m.Set(0, 0);
+  EXPECT_EQ(scorer.MappedEventCount(3, m), 1u);
+  m.Set(2, 2);
+  EXPECT_EQ(scorer.MappedEventCount(3, m), 2u);
+  EXPECT_EQ(scorer.MappedEventCount(0, m), 1u);
+}
+
+TEST_F(MappingScorerTest, GOfTrueMappingCountsAllPatterns) {
+  MappingScorer scorer(*ctx_, {});
+  Mapping truth(3, 3);
+  truth.Set(0, 0);
+  truth.Set(1, 1);
+  truth.Set(2, 2);
+  // Every pattern maps to its mirror with identical frequency -> d = 1.
+  EXPECT_NEAR(scorer.ComputeG(truth), 4.0, 1e-12);
+  EXPECT_NEAR(scorer.ComputeH(truth), 0.0, 1e-12);
+}
+
+TEST_F(MappingScorerTest, GOfPartialMappingCountsCompletedOnly) {
+  MappingScorer scorer(*ctx_, {});
+  Mapping m(3, 3);
+  m.Set(0, 0);
+  // Completed: vertex A only.
+  EXPECT_NEAR(scorer.ComputeG(m), 1.0, 1e-12);
+  m.Set(1, 1);
+  // Now also edge AB.
+  EXPECT_NEAR(scorer.ComputeG(m), 2.0, 1e-12);
+}
+
+TEST_F(MappingScorerTest, ScoreSplitsGAndH) {
+  MappingScorer scorer(*ctx_, {});
+  Mapping m(3, 3);
+  m.Set(0, 0);
+  const MappingScorer::Score score = scorer.ComputeScore(m);
+  EXPECT_NEAR(score.g, scorer.ComputeG(m), 1e-12);
+  EXPECT_NEAR(score.h, scorer.ComputeH(m), 1e-12);
+  EXPECT_NEAR(score.total(), score.g + score.h, 1e-12);
+}
+
+TEST_F(MappingScorerTest, SimpleBoundCountsRemainingPatterns) {
+  ScorerOptions options;
+  options.bound = BoundKind::kSimple;
+  MappingScorer scorer(*ctx_, options);
+  Mapping empty(3, 3);
+  EXPECT_NEAR(scorer.ComputeH(empty), 4.0, 1e-12);
+  Mapping m(3, 3);
+  m.Set(0, 0);
+  EXPECT_NEAR(scorer.ComputeH(m), 3.0, 1e-12);  // Vertex A completed.
+}
+
+TEST_F(MappingScorerTest, TightBoundNeverExceedsSimpleBound) {
+  MappingScorer tight(*ctx_, {});
+  ScorerOptions simple_options;
+  simple_options.bound = BoundKind::kSimple;
+  MappingScorer simple(*ctx_, simple_options);
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    Mapping m(3, 3);
+    std::vector<EventId> targets = {0, 1, 2};
+    rng.Shuffle(targets);
+    const std::size_t pairs = rng.NextBounded(4);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      m.Set(static_cast<EventId>(i), targets[i]);
+    }
+    EXPECT_LE(tight.ComputeH(m), simple.ComputeH(m) + 1e-12);
+  }
+}
+
+TEST_F(MappingScorerTest, ComputeHForRemainingMatchesFullScan) {
+  MappingScorer scorer(*ctx_, {});
+  Mapping m(3, 3);
+  m.Set(0, 1);
+  // Remaining (incomplete) patterns under m: vertex C (1), edge AB (2),
+  // SEQ ABC (3). Vertex A (0) is complete.
+  const double full = scorer.ComputeH(m);
+  const double listed = scorer.ComputeHForRemaining(m, {1, 2, 3});
+  EXPECT_NEAR(full, listed, 1e-12);
+}
+
+TEST_F(MappingScorerTest, GPlusHBoundsTheBestCompletion) {
+  // Core A* invariant: g + h of a partial mapping upper-bounds the
+  // objective of every completion.
+  MappingScorer scorer(*ctx_, {});
+  Mapping partial(3, 3);
+  partial.Set(0, 0);
+  const double upper = scorer.ComputeScore(partial).total();
+  // Enumerate all completions.
+  const EventId rest1[] = {1, 2};
+  const EventId choices[2][2] = {{1, 2}, {2, 1}};
+  for (const auto& choice : choices) {
+    Mapping complete = partial;
+    complete.Set(rest1[0], choice[0]);
+    complete.Set(rest1[1], choice[1]);
+    EXPECT_GE(upper + 1e-12, scorer.ComputeG(complete));
+  }
+}
+
+}  // namespace
+}  // namespace hematch

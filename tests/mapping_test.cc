@@ -1,0 +1,91 @@
+// Tests for the injective event mapping container.
+
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(MappingTest, StartsEmpty) {
+  Mapping m(3, 4);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.IsComplete());
+  EXPECT_EQ(m.TargetOf(0), kInvalidEventId);
+  EXPECT_EQ(m.SourceOf(0), kInvalidEventId);
+  EXPECT_EQ(m.UnmappedSources(), (std::vector<EventId>{0, 1, 2}));
+  EXPECT_EQ(m.UnusedTargets(), (std::vector<EventId>{0, 1, 2, 3}));
+}
+
+TEST(MappingTest, SetAndErase) {
+  Mapping m(3, 3);
+  m.Set(0, 2);
+  EXPECT_TRUE(m.IsSourceMapped(0));
+  EXPECT_TRUE(m.IsTargetUsed(2));
+  EXPECT_EQ(m.TargetOf(0), 2u);
+  EXPECT_EQ(m.SourceOf(2), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  m.Erase(0);
+  EXPECT_FALSE(m.IsSourceMapped(0));
+  EXPECT_FALSE(m.IsTargetUsed(2));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MappingTest, CompleteWhenAllSourcesMapped) {
+  Mapping m(2, 3);
+  m.Set(0, 1);
+  m.Set(1, 0);
+  EXPECT_TRUE(m.IsComplete());
+  EXPECT_EQ(m.UnusedTargets(), (std::vector<EventId>{2}));
+}
+
+TEST(MappingDeathTest, RejectsNonInjectiveAndDoubleMapping) {
+  Mapping m(3, 3);
+  m.Set(0, 1);
+  EXPECT_DEATH(m.Set(1, 1), "injective");
+  EXPECT_DEATH(m.Set(0, 2), "already mapped");
+  EXPECT_DEATH(m.Erase(2), "not mapped");
+}
+
+TEST(MappingTest, TranslatePattern) {
+  Mapping m(4, 4);
+  m.Set(0, 3);
+  m.Set(1, 2);
+  m.Set(2, 1);
+  std::vector<Pattern> children;
+  children.push_back(Pattern::Event(0));
+  children.push_back(Pattern::AndOfEvents({1, 2}));
+  const Pattern p = Pattern::Seq(std::move(children)).value();
+  std::optional<Pattern> translated = m.TranslatePattern(p);
+  ASSERT_TRUE(translated.has_value());
+  EXPECT_EQ(translated->ToString(), "SEQ(#3,AND(#2,#1))");
+  EXPECT_EQ(translated->kind(), Pattern::Kind::kSeq);
+}
+
+TEST(MappingTest, TranslatePatternFailsWhenEventUnmapped) {
+  Mapping m(3, 3);
+  m.Set(0, 0);
+  EXPECT_FALSE(m.TranslatePattern(Pattern::Edge(0, 1)).has_value());
+  EXPECT_TRUE(m.TranslatePattern(Pattern::Event(0)).has_value());
+}
+
+TEST(MappingTest, ToStringListsPairsBySource) {
+  Mapping m(3, 3);
+  m.Set(2, 0);
+  m.Set(0, 1);
+  EXPECT_EQ(m.ToString(), "#0->#1, #2->#0");
+}
+
+TEST(MappingTest, EqualityComparesPairs) {
+  Mapping a(2, 2);
+  Mapping b(2, 2);
+  a.Set(0, 1);
+  b.Set(0, 1);
+  EXPECT_TRUE(a == b);
+  b.Erase(0);
+  b.Set(0, 0);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,95 @@
+// Tests for the one-call MatchLogs facade.
+
+#include "api/match_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "gen/bus_process.h"
+
+namespace hematch {
+namespace {
+
+MatchingTask SmallTask() {
+  BusProcessOptions options;
+  options.num_traces = 400;
+  return MakeBusManufacturerTask(options);
+}
+
+TEST(MatchPipelineTest, DefaultMethodRecoversTruth) {
+  const MatchingTask task = SmallTask();
+  MatchPipelineOptions options;
+  for (const Pattern& p : task.complex_patterns) {
+    options.patterns.push_back(p.ToString(&task.log1.dictionary()));
+  }
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->swapped);
+  EXPECT_EQ(outcome->used_patterns.size(), 3u);
+  const MatchQuality quality =
+      EvaluateMapping(outcome->result.mapping, task.ground_truth);
+  EXPECT_DOUBLE_EQ(quality.f_measure, 1.0);
+}
+
+TEST(MatchPipelineTest, EveryMethodProducesACompleteMapping) {
+  const MatchingTask task = SmallTask();
+  for (MatchMethod method :
+       {MatchMethod::kPatternTight, MatchMethod::kPatternSimple,
+        MatchMethod::kHeuristicSimple, MatchMethod::kHeuristicAdvanced,
+        MatchMethod::kVertex, MatchMethod::kVertexEdge,
+        MatchMethod::kIterative, MatchMethod::kEntropy}) {
+    MatchPipelineOptions options;
+    options.method = method;
+    Result<MatchPipelineOutcome> outcome =
+        MatchLogs(task.log1, task.log2, options);
+    ASSERT_TRUE(outcome.ok()) << static_cast<int>(method);
+    EXPECT_TRUE(outcome->result.mapping.IsComplete());
+  }
+}
+
+TEST(MatchPipelineTest, SwapsWhenSourceIsLarger) {
+  EventLog small;
+  small.AddTraceByNames({"x", "y"});
+  EventLog large;
+  large.AddTraceByNames({"a", "b", "c"});
+  Result<MatchPipelineOutcome> outcome = MatchLogs(large, small);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->swapped);
+  EXPECT_EQ(outcome->result.mapping.num_sources(), 2u);
+  EXPECT_EQ(outcome->result.mapping.num_targets(), 3u);
+}
+
+TEST(MatchPipelineTest, MinedPatternsAreReported) {
+  const MatchingTask task = SmallTask();
+  MatchPipelineOptions options;
+  options.mine_patterns = true;
+  options.mine_min_support = 0.3;
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->used_patterns.empty());
+}
+
+TEST(MatchPipelineTest, BadPatternTextFails) {
+  const MatchingTask task = SmallTask();
+  MatchPipelineOptions options;
+  options.patterns.push_back("SEQ(A, NOPE)");
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kParseError);
+}
+
+TEST(MatchPipelineTest, BudgetPropagates) {
+  const MatchingTask task = SmallTask();
+  MatchPipelineOptions options;
+  options.max_expansions = 1;
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace hematch

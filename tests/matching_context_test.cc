@@ -1,0 +1,91 @@
+// Tests for the shared matching context: precomputed f1, frequency fast
+// paths, and pruning integration.
+
+#include "core/matching_context.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_set.h"
+#include "freq/frequency_evaluator.h"
+
+namespace hematch {
+namespace {
+
+class MatchingContextTest : public ::testing::Test {
+ protected:
+  MatchingContextTest() {
+    log1_.AddTraceByNames({"A", "B", "C"});
+    log1_.AddTraceByNames({"A", "C", "B"});
+    log1_.AddTraceByNames({"A", "B"});
+    log2_.AddTraceByNames({"X", "Y", "Z"});
+    log2_.AddTraceByNames({"X", "Z", "Y"});
+    log2_.AddTraceByNames({"X", "Y"});
+  }
+  EventLog log1_;
+  EventLog log2_;
+};
+
+TEST_F(MatchingContextTest, PrecomputesSourceFrequencies) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::Event(0));            // A: 1.0
+  patterns.push_back(Pattern::Event(2));            // C: 2/3
+  patterns.push_back(Pattern::Edge(0, 1));          // AB: 2/3
+  patterns.push_back(Pattern::AndOfEvents({1, 2})); // BC|CB: 2/3
+  MatchingContext ctx(log1_, log2_, std::move(patterns));
+  EXPECT_DOUBLE_EQ(ctx.PatternFrequency1(0), 1.0);
+  EXPECT_NEAR(ctx.PatternFrequency1(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ctx.PatternFrequency1(2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ctx.PatternFrequency1(3), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(MatchingContextTest, TargetFrequencyFastPathsAgreeWithEvaluator) {
+  MatchingContext ctx(log1_, log2_, {Pattern::Event(0)});
+  FrequencyEvaluator reference(log2_);
+  // Vertex, edge, and complex patterns over log2's vocabulary.
+  const Pattern vertex = Pattern::Event(1);            // Y
+  const Pattern edge = Pattern::Edge(0, 1);            // XY
+  const Pattern complex = Pattern::AndOfEvents({1, 2});
+  for (const Pattern* p : {&vertex, &edge, &complex}) {
+    EXPECT_DOUBLE_EQ(
+        ctx.PatternFrequency2(*p, ExistenceCheckMode::kLinearization),
+        reference.Frequency(*p))
+        << p->ToString();
+  }
+}
+
+TEST_F(MatchingContextTest, PruningShortCircuitsEvaluation) {
+  MatchingContext ctx(log1_, log2_, {Pattern::Event(0)});
+  // Z -> X never occur consecutively... actually craft an impossible
+  // complex pattern: SEQ(Y, X) has frequency 0 and no Y->X edge.
+  const Pattern impossible = Pattern::SeqOfEvents({1, 0, 2});
+  const auto before = ctx.evaluator2_stats().evaluations;
+  EXPECT_DOUBLE_EQ(ctx.PatternFrequency2(
+                       impossible, ExistenceCheckMode::kLinearization),
+                   0.0);
+  // Pruned before reaching the evaluator (edges are a fast path, and the
+  // 3-event pattern was rejected by Proposition 3).
+  EXPECT_EQ(ctx.evaluator2_stats().evaluations, before);
+}
+
+TEST_F(MatchingContextTest, PatternIndexCoversAllPatterns) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::Event(0));
+  patterns.push_back(Pattern::Edge(0, 1));
+  patterns.push_back(Pattern::SeqOfEvents({0, 1, 2}));
+  MatchingContext ctx(log1_, log2_, std::move(patterns));
+  EXPECT_EQ(ctx.pattern_index().PatternCount(0), 3u);
+  EXPECT_EQ(ctx.pattern_index().PatternCount(1), 2u);
+  EXPECT_EQ(ctx.pattern_index().PatternCount(2), 1u);
+}
+
+TEST_F(MatchingContextTest, SizesReflectVocabularies) {
+  MatchingContext ctx(log1_, log2_, {});
+  EXPECT_EQ(ctx.num_sources(), 3u);
+  EXPECT_EQ(ctx.num_targets(), 3u);
+  EXPECT_EQ(ctx.num_patterns(), 0u);
+  EXPECT_EQ(ctx.graph1().num_vertices(), 3u);
+  EXPECT_EQ(ctx.graph2().num_vertices(), 3u);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,84 @@
+// Tests for the task-level projection helpers driving the experiment
+// sweeps.
+
+#include "gen/matching_task.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/bus_process.h"
+
+namespace hematch {
+namespace {
+
+MatchingTask SmallBusTask() {
+  BusProcessOptions options;
+  options.num_traces = 300;
+  return MakeBusManufacturerTask(options);
+}
+
+TEST(ProjectTaskEventsTest, ShrinksBothSidesConsistently) {
+  const MatchingTask full = SmallBusTask();
+  const MatchingTask projected = ProjectTaskEvents(full, 5);
+  EXPECT_EQ(projected.log1.num_events(), 5u);
+  EXPECT_EQ(projected.log2.num_events(), 5u);
+  EXPECT_EQ(projected.ground_truth.size(), 5u);
+  // Source ids are a stable prefix; names agree.
+  for (EventId v = 0; v < 5; ++v) {
+    EXPECT_EQ(projected.log1.dictionary().Name(v),
+              full.log1.dictionary().Name(v));
+  }
+}
+
+TEST(ProjectTaskEventsTest, GroundTruthSurvivesReindexing) {
+  const MatchingTask full = SmallBusTask();
+  const MatchingTask projected = ProjectTaskEvents(full, 6);
+  // Each projected truth pair must connect events with corresponding
+  // names ("A" <-> "1", ..., "F" <-> "6").
+  for (EventId v = 0; v < projected.ground_truth.num_sources(); ++v) {
+    const EventId t = projected.ground_truth.TargetOf(v);
+    ASSERT_NE(t, kInvalidEventId);
+    const std::string& name1 = projected.log1.dictionary().Name(v);
+    const std::string& name2 = projected.log2.dictionary().Name(t);
+    // Source names A..K map to 1..11 in order.
+    const int index1 = name1[0] - 'A' + 1;
+    EXPECT_EQ(std::to_string(index1), name2);
+  }
+}
+
+TEST(ProjectTaskEventsTest, DropsPatternsWithRemovedEvents) {
+  const MatchingTask full = SmallBusTask();
+  // All three complex patterns involve events up to H (id 7); projecting
+  // to 4 events keeps only SEQ(A,AND(B,C),D).
+  const MatchingTask projected = ProjectTaskEvents(full, 4);
+  EXPECT_EQ(projected.complex_patterns.size(), 1u);
+  const MatchingTask tiny = ProjectTaskEvents(full, 3);
+  EXPECT_EQ(tiny.complex_patterns.size(), 0u);
+  const MatchingTask most = ProjectTaskEvents(full, 8);
+  EXPECT_EQ(most.complex_patterns.size(), 3u);
+}
+
+TEST(ProjectTaskEventsTest, NameRecordsTheProjection) {
+  const MatchingTask projected = ProjectTaskEvents(SmallBusTask(), 4);
+  EXPECT_NE(projected.name.find("events=4"), std::string::npos);
+}
+
+TEST(SelectTaskTracesTest, TruncatesBothLogs) {
+  const MatchingTask full = SmallBusTask();
+  const MatchingTask selected = SelectTaskTraces(full, 100);
+  EXPECT_EQ(selected.log1.num_traces(), 100u);
+  EXPECT_EQ(selected.log2.num_traces(), 100u);
+  EXPECT_EQ(selected.log1.num_events(), full.log1.num_events());
+  EXPECT_EQ(selected.complex_patterns.size(),
+            full.complex_patterns.size());
+  EXPECT_TRUE(selected.ground_truth == full.ground_truth);
+}
+
+TEST(SelectTaskTracesTest, ComposesWithEventProjection) {
+  const MatchingTask task =
+      ProjectTaskEvents(SelectTaskTraces(SmallBusTask(), 150), 6);
+  EXPECT_EQ(task.log1.num_events(), 6u);
+  EXPECT_LE(task.log1.num_traces(), 150u);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,72 @@
+// Tests for precision / recall / F-measure (Section 6, "Criteria").
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+Mapping MakeMapping(std::initializer_list<std::pair<EventId, EventId>> pairs,
+                    std::size_t n1 = 4, std::size_t n2 = 4) {
+  Mapping m(n1, n2);
+  for (const auto& [s, t] : pairs) {
+    m.Set(s, t);
+  }
+  return m;
+}
+
+TEST(MetricsTest, PerfectMatch) {
+  const Mapping truth = MakeMapping({{0, 1}, {1, 2}, {2, 3}});
+  const MatchQuality q = EvaluateMapping(truth, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f_measure, 1.0);
+  EXPECT_EQ(q.correct_pairs, 3u);
+}
+
+TEST(MetricsTest, CompletelyWrong) {
+  const Mapping truth = MakeMapping({{0, 1}, {1, 2}});
+  const Mapping found = MakeMapping({{0, 2}, {1, 1}});
+  const MatchQuality q = EvaluateMapping(found, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f_measure, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlapWithDifferentSizes) {
+  // truth has 3 pairs; found has 2, one of them correct.
+  const Mapping truth = MakeMapping({{0, 0}, {1, 1}, {2, 2}});
+  const Mapping found = MakeMapping({{0, 0}, {1, 3}});
+  const MatchQuality q = EvaluateMapping(found, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_NEAR(q.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.f_measure, 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0),
+              1e-12);
+}
+
+TEST(MetricsTest, EmptyFoundMapping) {
+  const Mapping truth = MakeMapping({{0, 0}});
+  const Mapping found = MakeMapping({});
+  const MatchQuality q = EvaluateMapping(found, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f_measure, 0.0);
+}
+
+TEST(MetricsTest, EmptyTruthYieldsZeroRecall) {
+  const Mapping truth = MakeMapping({});
+  const Mapping found = MakeMapping({{0, 0}});
+  const MatchQuality q = EvaluateMapping(found, truth);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f_measure, 0.0);
+}
+
+TEST(MetricsDeathTest, MismatchedVocabulariesRejected) {
+  const Mapping truth(3, 3);
+  const Mapping found(4, 3);
+  EXPECT_DEATH(EvaluateMapping(found, truth), "different vocabularies");
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,103 @@
+// Tests for the normal distance (Definition 2) and its per-term
+// frequency similarity, including an Example-3-style hand computation.
+
+#include "core/normal_distance.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(FrequencySimilarityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(FrequencySimilarity(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FrequencySimilarity(0.5, 0.5), 1.0);
+  // The paper's Example 3: 1 - |1 - 0.9| / (1 + 0.9) = 0.947...
+  EXPECT_NEAR(FrequencySimilarity(1.0, 0.9), 0.9473684, 1e-6);
+  EXPECT_DOUBLE_EQ(FrequencySimilarity(0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FrequencySimilarity(0.0, 0.7), 0.0);
+}
+
+TEST(FrequencySimilarityTest, BothZeroContributesNothing) {
+  EXPECT_DOUBLE_EQ(FrequencySimilarity(0.0, 0.0), 0.0);
+}
+
+TEST(FrequencySimilarityTest, SymmetricAndBounded) {
+  for (double f1 : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (double f2 : {0.0, 0.2, 0.6, 1.0}) {
+      const double s = FrequencySimilarity(f1, f2);
+      EXPECT_DOUBLE_EQ(s, FrequencySimilarity(f2, f1));
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+class NormalDistanceTest : public ::testing::Test {
+ protected:
+  NormalDistanceTest() {
+    // L1: traces over {A, B}; L2: traces over {X, Y, Z}.
+    log1_.AddTraceByNames({"A", "B"});
+    log1_.AddTraceByNames({"A", "B"});
+    log1_.AddTraceByNames({"A"});
+    log2_.AddTraceByNames({"X", "Y"});
+    log2_.AddTraceByNames({"X", "Y"});
+    log2_.AddTraceByNames({"X", "Z"});
+    g1_ = std::make_unique<DependencyGraph>(DependencyGraph::Build(log1_));
+    g2_ = std::make_unique<DependencyGraph>(DependencyGraph::Build(log2_));
+  }
+  EventLog log1_;
+  EventLog log2_;
+  std::unique_ptr<DependencyGraph> g1_;
+  std::unique_ptr<DependencyGraph> g2_;
+};
+
+TEST_F(NormalDistanceTest, VertexForm) {
+  // f1(A)=1, f1(B)=2/3; f2(X)=1, f2(Y)=2/3, f2(Z)=1/3.
+  Mapping m(2, 3);
+  m.Set(0, 0);  // A -> X: sim(1, 1) = 1.
+  m.Set(1, 1);  // B -> Y: sim(2/3, 2/3) = 1.
+  EXPECT_NEAR(VertexNormalDistance(*g1_, *g2_, m), 2.0, 1e-12);
+
+  Mapping worse(2, 3);
+  worse.Set(0, 0);
+  worse.Set(1, 2);  // B -> Z: sim(2/3, 1/3) = 1 - (1/3)/(1) = 2/3.
+  EXPECT_NEAR(VertexNormalDistance(*g1_, *g2_, worse), 1.0 + 2.0 / 3.0,
+              1e-12);
+}
+
+TEST_F(NormalDistanceTest, VertexEdgeFormAddsEdgeTerms) {
+  Mapping m(2, 3);
+  m.Set(0, 0);
+  m.Set(1, 1);
+  // Edge AB (f=2/3) -> XY (f=2/3): sim 1. Total = 2 + 1.
+  EXPECT_NEAR(VertexEdgeNormalDistance(*g1_, *g2_, m), 3.0, 1e-12);
+
+  Mapping worse(2, 3);
+  worse.Set(0, 0);
+  worse.Set(1, 2);
+  // AB (2/3) -> XZ (1/3): sim = 2/3. Plus vertices 1 + 2/3.
+  EXPECT_NEAR(VertexEdgeNormalDistance(*g1_, *g2_, worse), 1.0 + 4.0 / 3.0,
+              1e-12);
+}
+
+TEST_F(NormalDistanceTest, PartialMappingCountsOnlyMappedPairs) {
+  Mapping m(2, 3);
+  m.Set(0, 0);
+  EXPECT_NEAR(VertexNormalDistance(*g1_, *g2_, m), 1.0, 1e-12);
+  EXPECT_NEAR(VertexEdgeNormalDistance(*g1_, *g2_, m), 1.0, 1e-12);
+}
+
+TEST_F(NormalDistanceTest, EdgesAbsentOnBothSidesContributeNothing) {
+  // Map A->Z, B->X: pair (A,B) -> (Z,X); ZX is not an edge of G2, AB is
+  // an edge of G1 with f=2/3 -> sim(2/3, 0) = 0; vertices:
+  // sim(1, 1/3) = 1 - (2/3)/(4/3) = 0.5; sim(2/3, 1) = 1 - (1/3)/(5/3) = 0.8.
+  Mapping m(2, 3);
+  m.Set(0, 2);
+  m.Set(1, 0);
+  EXPECT_NEAR(VertexEdgeNormalDistance(*g1_, *g2_, m), 0.5 + 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,105 @@
+// Tests for the pattern -> directed graph translation (Example 4).
+
+#include "pattern/pattern_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_language.h"
+#include "pattern/pattern_parser.h"
+
+namespace hematch {
+namespace {
+
+std::set<std::pair<EventId, EventId>> EdgeSet(const PatternGraph& pg) {
+  return {pg.event_edges.begin(), pg.event_edges.end()};
+}
+
+std::set<EventId> AsSet(const std::vector<EventId>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(PatternGraphTest, Example4Translation) {
+  // SEQ(A=0, AND(B=1, C=2), D=3) -> {AB, AC, BC, CB, BD, CD}.
+  std::vector<Pattern> children;
+  children.push_back(Pattern::Event(0));
+  children.push_back(Pattern::AndOfEvents({1, 2}));
+  children.push_back(Pattern::Event(3));
+  const Pattern p = Pattern::Seq(std::move(children)).value();
+  const PatternGraph pg = TranslatePatternToGraph(p);
+
+  EXPECT_EQ(EdgeSet(pg), (std::set<std::pair<EventId, EventId>>{
+                             {0, 1}, {0, 2}, {1, 2}, {2, 1}, {1, 3}, {2, 3}}));
+  EXPECT_EQ(AsSet(pg.first_events), (std::set<EventId>{0}));
+  EXPECT_EQ(AsSet(pg.last_events), (std::set<EventId>{3}));
+}
+
+TEST(PatternGraphTest, SeqOfEventsIsAPath) {
+  const PatternGraph pg =
+      TranslatePatternToGraph(Pattern::SeqOfEvents({4, 7, 2}));
+  EXPECT_EQ(EdgeSet(pg),
+            (std::set<std::pair<EventId, EventId>>{{4, 7}, {7, 2}}));
+  EXPECT_EQ(AsSet(pg.first_events), (std::set<EventId>{4}));
+  EXPECT_EQ(AsSet(pg.last_events), (std::set<EventId>{2}));
+}
+
+TEST(PatternGraphTest, FlatAndIsACompleteDigraph) {
+  const PatternGraph pg =
+      TranslatePatternToGraph(Pattern::AndOfEvents({0, 1, 2}));
+  EXPECT_EQ(pg.event_edges.size(), 6u);  // All ordered pairs.
+  EXPECT_EQ(AsSet(pg.first_events), (std::set<EventId>{0, 1, 2}));
+  EXPECT_EQ(AsSet(pg.last_events), (std::set<EventId>{0, 1, 2}));
+}
+
+TEST(PatternGraphTest, AndOfSeqBlocks) {
+  // AND(SEQ(a,b), c): edges ab (inside), bc (block before c),
+  // ca (c before block). NOT ac or cb.
+  std::vector<Pattern> children;
+  children.push_back(Pattern::SeqOfEvents({0, 1}));
+  children.push_back(Pattern::Event(2));
+  const Pattern p = Pattern::And(std::move(children)).value();
+  const PatternGraph pg = TranslatePatternToGraph(p);
+  EXPECT_EQ(EdgeSet(pg),
+            (std::set<std::pair<EventId, EventId>>{{0, 1}, {1, 2}, {2, 0}}));
+}
+
+TEST(PatternGraphTest, SingleEventHasNoEdges) {
+  const PatternGraph pg = TranslatePatternToGraph(Pattern::Event(5));
+  EXPECT_TRUE(pg.event_edges.empty());
+  EXPECT_EQ(pg.vertex_events, (std::vector<EventId>{5}));
+  EXPECT_EQ(pg.first_events, (std::vector<EventId>{5}));
+  EXPECT_EQ(pg.last_events, (std::vector<EventId>{5}));
+}
+
+// Property: the translated edge set is exactly the union of consecutive
+// pairs over all allowed orders of the pattern.
+class PatternGraphPropertyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PatternGraphPropertyTest, EdgesEqualConsecutivePairsOfLanguage) {
+  EventDictionary dict;
+  for (const char* n : {"a", "b", "c", "d", "e"}) dict.Intern(n);
+  Result<Pattern> parsed = ParsePattern(GetParam(), dict);
+  ASSERT_TRUE(parsed.ok());
+  const Pattern& p = parsed.value();
+
+  std::set<std::pair<EventId, EventId>> expected;
+  for (const std::vector<EventId>& order : AllLinearizations(p)) {
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      expected.emplace(order[i], order[i + 1]);
+    }
+  }
+  EXPECT_EQ(EdgeSet(TranslatePatternToGraph(p)), expected) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PatternGraphPropertyTest,
+    ::testing::Values("a", "SEQ(a,b)", "AND(a,b)", "SEQ(a,AND(b,c),d)",
+                      "AND(SEQ(a,b),c)", "AND(SEQ(a,b),SEQ(c,d))",
+                      "SEQ(AND(a,b),AND(c,d))", "AND(a,b,c,d)",
+                      "SEQ(a,AND(b,SEQ(c,d)),e)", "AND(AND(a,b),c)"));
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,117 @@
+// Tests for the allowed-order language I(p): membership and enumeration.
+
+#include "pattern/pattern_language.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_parser.h"
+
+namespace hematch {
+namespace {
+
+Pattern Parse(const char* text) {
+  EventDictionary dict;
+  for (const char* n : {"a", "b", "c", "d", "e", "f"}) dict.Intern(n);
+  Result<Pattern> p = ParsePattern(text, dict);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(p).value();
+}
+
+TEST(PatternLanguageTest, SeqAdmitsExactlyItsOrder) {
+  const Pattern p = Parse("SEQ(a,b,c)");  // ids 0,1,2
+  EXPECT_TRUE(WindowMatchesPattern(p, std::vector<EventId>{0, 1, 2}));
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{0, 2, 1}));
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{1, 0, 2}));
+}
+
+TEST(PatternLanguageTest, AndAdmitsAllPermutations) {
+  const Pattern p = Parse("AND(a,b,c)");
+  int matched = 0;
+  std::vector<EventId> window = {0, 1, 2};
+  std::sort(window.begin(), window.end());
+  do {
+    matched += WindowMatchesPattern(p, window) ? 1 : 0;
+  } while (std::next_permutation(window.begin(), window.end()));
+  EXPECT_EQ(matched, 6);
+}
+
+TEST(PatternLanguageTest, AndBlocksStayContiguous) {
+  // AND(SEQ(a,b), SEQ(c,d)): abcd and cdab only — no interleaving.
+  const Pattern p = Parse("AND(SEQ(a,b),SEQ(c,d))");
+  EXPECT_TRUE(WindowMatchesPattern(p, std::vector<EventId>{0, 1, 2, 3}));
+  EXPECT_TRUE(WindowMatchesPattern(p, std::vector<EventId>{2, 3, 0, 1}));
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{0, 2, 1, 3}));
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{0, 2, 3, 1}));
+  EXPECT_EQ(p.NumLinearizations(), 2u);
+}
+
+TEST(PatternLanguageTest, WrongLengthNeverMatches) {
+  const Pattern p = Parse("SEQ(a,b)");
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{0}));
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{0, 1, 2}));
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{}));
+}
+
+TEST(PatternLanguageTest, ForeignEventNeverMatches) {
+  const Pattern p = Parse("AND(a,b)");
+  EXPECT_FALSE(WindowMatchesPattern(p, std::vector<EventId>{0, 5}));
+}
+
+TEST(PatternLanguageTest, EnumerationIsDeduplicatedAndComplete) {
+  const Pattern p = Parse("SEQ(a,AND(b,c),d)");
+  const std::vector<std::vector<EventId>> all = AllLinearizations(p);
+  EXPECT_EQ(all.size(), p.NumLinearizations());
+  const std::set<std::vector<EventId>> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+  EXPECT_TRUE(unique.count({0, 1, 2, 3}) > 0);
+  EXPECT_TRUE(unique.count({0, 2, 1, 3}) > 0);
+}
+
+TEST(PatternLanguageTest, EnumerationStopsEarly) {
+  const Pattern p = Parse("AND(a,b,c,d)");
+  int seen = 0;
+  const bool completed =
+      EnumerateLinearizations(p, [&](const std::vector<EventId>&) {
+        ++seen;
+        return seen < 5;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 5);
+}
+
+// Property: membership agrees with explicit enumeration for every
+// permutation of the pattern's events, across diverse shapes.
+class LanguagePropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LanguagePropertyTest, MembershipEqualsEnumeration) {
+  const Pattern p = Parse(GetParam());
+  const std::vector<std::vector<EventId>> all = AllLinearizations(p);
+  const std::set<std::vector<EventId>> language(all.begin(), all.end());
+  EXPECT_EQ(language.size(), p.NumLinearizations()) << GetParam();
+
+  std::vector<EventId> window = p.events();
+  std::sort(window.begin(), window.end());
+  do {
+    EXPECT_EQ(WindowMatchesPattern(p, window), language.count(window) > 0)
+        << GetParam();
+  } while (std::next_permutation(window.begin(), window.end()));
+
+  // Every enumerated order must itself match.
+  for (const std::vector<EventId>& order : all) {
+    EXPECT_TRUE(WindowMatchesPattern(p, order)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LanguagePropertyTest,
+    ::testing::Values("a", "SEQ(a,b)", "AND(a,b)", "SEQ(a,b,c,d)",
+                      "AND(a,b,c)", "SEQ(a,AND(b,c),d)", "AND(SEQ(a,b),c)",
+                      "AND(SEQ(a,b),SEQ(c,d))", "SEQ(AND(a,b),AND(c,d))",
+                      "AND(a,SEQ(b,AND(c,d)))", "AND(AND(a,b),SEQ(c,d),e)",
+                      "SEQ(a,AND(b,SEQ(c,d),e),f)"));
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,122 @@
+// Tests for the frequent/discriminative pattern miner.
+
+#include "gen/pattern_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "freq/frequency_evaluator.h"
+#include "gen/bus_process.h"
+
+namespace hematch {
+namespace {
+
+EventLog StructuredLog() {
+  // Frequent structure: a (b‖c) d, then an alternative tail.
+  EventLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.AddTraceByNames({"a", "b", "c", "d", "e"});
+    log.AddTraceByNames({"a", "c", "b", "d", "f"});
+  }
+  log.AddTraceByNames({"f", "e"});
+  return log;
+}
+
+TEST(PatternMinerTest, MinedPatternsMeetSupport) {
+  const EventLog log = StructuredLog();
+  PatternMinerOptions options;
+  options.min_support = 0.3;
+  options.max_patterns = 50;
+  const std::vector<Pattern> mined = MineDiscriminativePatterns(log, options);
+  ASSERT_FALSE(mined.empty());
+  FrequencyEvaluator eval(log);
+  for (const Pattern& p : mined) {
+    EXPECT_GE(eval.Frequency(p), options.min_support) << p.ToString();
+  }
+}
+
+TEST(PatternMinerTest, ExcludesVertexAndEdgeSizedSeqPatterns) {
+  const std::vector<Pattern> mined =
+      MineDiscriminativePatterns(StructuredLog(), {});
+  for (const Pattern& p : mined) {
+    EXPECT_FALSE(p.IsVertexPattern()) << p.ToString();
+    EXPECT_FALSE(p.IsEdgePattern()) << p.ToString();
+  }
+}
+
+TEST(PatternMinerTest, FindsTheConcurrencyPair) {
+  // b and c occur in both orders back to back -> AND(b, c) is frequent.
+  const std::vector<Pattern> mined =
+      MineDiscriminativePatterns(StructuredLog(), {});
+  bool found_and = false;
+  for (const Pattern& p : mined) {
+    found_and = found_and || (p.kind() == Pattern::Kind::kAnd &&
+                              p.size() == 2);
+  }
+  EXPECT_TRUE(found_and);
+}
+
+TEST(PatternMinerTest, FindsFrequentSeqChains) {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.AddTraceByNames({"x", "y", "z"});
+  }
+  PatternMinerOptions options;
+  options.min_support = 0.9;
+  const std::vector<Pattern> mined = MineDiscriminativePatterns(log, options);
+  bool found_chain = false;
+  for (const Pattern& p : mined) {
+    found_chain =
+        found_chain || p.ToString(&log.dictionary()) == "SEQ(x,y,z)";
+  }
+  EXPECT_TRUE(found_chain);
+}
+
+TEST(PatternMinerTest, RespectsMaxPatterns) {
+  PatternMinerOptions options;
+  options.min_support = 0.05;
+  options.max_patterns = 2;
+  const std::vector<Pattern> mined =
+      MineDiscriminativePatterns(StructuredLog(), options);
+  EXPECT_LE(mined.size(), 2u);
+}
+
+TEST(PatternMinerTest, RespectsMaxEvents) {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.AddTraceByNames({"a", "b", "c", "d", "e", "f"});
+  }
+  PatternMinerOptions options;
+  options.min_support = 0.5;
+  options.max_events = 3;
+  options.max_patterns = 100;
+  const std::vector<Pattern> mined = MineDiscriminativePatterns(log, options);
+  for (const Pattern& p : mined) {
+    EXPECT_LE(p.size(), 3u);
+  }
+}
+
+TEST(PatternMinerTest, EmptyLogMinesNothing) {
+  EXPECT_TRUE(MineDiscriminativePatterns(EventLog(), {}).empty());
+}
+
+TEST(PatternMinerTest, MinedPatternsHelpOnTheBusWorkload) {
+  // End-to-end sanity: mining the simulated ERP log rediscovers frequent
+  // composite structure (at least one pattern of size >= 3).
+  BusProcessOptions options;
+  options.num_traces = 400;
+  const MatchingTask task = MakeBusManufacturerTask(options);
+  PatternMinerOptions miner_options;
+  miner_options.min_support = 0.3;
+  miner_options.max_patterns = 8;
+  const std::vector<Pattern> mined =
+      MineDiscriminativePatterns(task.log1, miner_options);
+  ASSERT_FALSE(mined.empty());
+  bool has_composite = false;
+  for (const Pattern& p : mined) {
+    has_composite = has_composite || p.size() >= 3;
+  }
+  EXPECT_TRUE(has_composite);
+}
+
+}  // namespace
+}  // namespace hematch

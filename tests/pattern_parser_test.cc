@@ -1,0 +1,113 @@
+// Tests for the textual pattern syntax.
+
+#include "pattern/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+class PatternParserTest : public ::testing::Test {
+ protected:
+  PatternParserTest() {
+    for (const char* name : {"A", "B", "C", "D", "FH", "x.1"}) {
+      dict_.Intern(name);
+    }
+  }
+  EventDictionary dict_;
+};
+
+TEST_F(PatternParserTest, SingleEvent) {
+  Result<Pattern> p = ParsePattern("A", dict_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->is_event());
+  EXPECT_EQ(p->event(), 0u);
+}
+
+TEST_F(PatternParserTest, Example4Pattern) {
+  Result<Pattern> p = ParsePattern("SEQ(A, AND(B, C), D)", dict_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(&dict_), "SEQ(A,AND(B,C),D)");
+  EXPECT_EQ(p->size(), 4u);
+  EXPECT_EQ(p->NumLinearizations(), 2u);
+}
+
+TEST_F(PatternParserTest, WhitespaceInsensitive) {
+  Result<Pattern> p = ParsePattern("  SEQ ( A ,AND( B,C ) , D )  ", dict_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(&dict_), "SEQ(A,AND(B,C),D)");
+}
+
+TEST_F(PatternParserTest, OperatorsCaseInsensitive) {
+  ASSERT_TRUE(ParsePattern("seq(A,B)", dict_).ok());
+  ASSERT_TRUE(ParsePattern("And(A,B)", dict_).ok());
+}
+
+TEST_F(PatternParserTest, EventNamesWithDotsAndDigits) {
+  Result<Pattern> p = ParsePattern("SEQ(FH, x.1)", dict_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->events(), (std::vector<EventId>{4, 5}));
+}
+
+TEST_F(PatternParserTest, DeepNesting) {
+  Result<Pattern> p = ParsePattern("AND(SEQ(A,AND(B,C)),D)", dict_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 4u);
+  // Orders: the SEQ block (A then {BC|CB}) and D in either relative order:
+  // 2 * 2 = 4.
+  EXPECT_EQ(p->NumLinearizations(), 4u);
+}
+
+TEST_F(PatternParserTest, UnknownEventRejected) {
+  Result<Pattern> p = ParsePattern("SEQ(A, Z)", dict_);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(PatternParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParsePattern("", dict_).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(", dict_).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(A", dict_).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(A,)", dict_).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(A))", dict_).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(A) B", dict_).ok());
+  EXPECT_FALSE(ParsePattern("FOO(A,B)", dict_).ok());
+  EXPECT_FALSE(ParsePattern("(A,B)", dict_).ok());
+}
+
+TEST_F(PatternParserTest, DuplicateEventsRejected) {
+  Result<Pattern> p = ParsePattern("SEQ(A, A)", dict_);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternParserTest, OperatorNameAsEventWhenNoParens) {
+  // "SEQ" without parentheses is treated as an event name (and rejected
+  // here because it is not in the dictionary).
+  Result<Pattern> p = ParsePattern("SEQ", dict_);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+
+  EventDictionary dict2;
+  dict2.Intern("SEQ");
+  Result<Pattern> q = ParsePattern("SEQ", dict2);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->is_event());
+}
+
+TEST_F(PatternParserTest, ParsePrintRoundTrip) {
+  for (const char* text :
+       {"A", "SEQ(A,B)", "AND(A,B,C)", "SEQ(A,AND(B,C),D)",
+        "AND(SEQ(A,B),SEQ(C,D))"}) {
+    Result<Pattern> p = ParsePattern(text, dict_);
+    ASSERT_TRUE(p.ok()) << text;
+    EXPECT_EQ(p->ToString(&dict_), text);
+    // Printing and re-parsing yields an equal pattern.
+    Result<Pattern> q = ParsePattern(p->ToString(&dict_), dict_);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(p.value(), q.value());
+  }
+}
+
+}  // namespace
+}  // namespace hematch

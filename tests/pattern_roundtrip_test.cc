@@ -1,0 +1,85 @@
+// Property test: random pattern ASTs survive print -> parse round trips,
+// and their derived artifacts (graph translation, linearization counts,
+// language membership) stay consistent across the round trip.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pattern/pattern.h"
+#include "pattern/pattern_graph.h"
+#include "pattern/pattern_language.h"
+#include "pattern/pattern_parser.h"
+
+namespace hematch {
+namespace {
+
+// Builds a random pattern AST over distinct events drawn from `pool`.
+// `budget` bounds the number of leaves.
+Pattern RandomPattern(Rng& rng, std::vector<EventId>& pool,
+                      std::size_t budget, int depth) {
+  if (budget <= 1 || depth >= 3 || rng.NextBool(0.3)) {
+    const EventId event = pool.back();
+    pool.pop_back();
+    return Pattern::Event(event);
+  }
+  const std::size_t arity =
+      2 + rng.NextBounded(std::min<std::size_t>(budget - 1, 2));
+  std::vector<Pattern> children;
+  std::size_t remaining = budget;
+  for (std::size_t i = 0; i < arity && !pool.empty(); ++i) {
+    const std::size_t share =
+        std::max<std::size_t>(1, remaining / (arity - i));
+    children.push_back(RandomPattern(rng, pool, share, depth + 1));
+    remaining -= std::min(remaining, share);
+  }
+  Result<Pattern> composite = rng.NextBool(0.5)
+                                  ? Pattern::Seq(std::move(children))
+                                  : Pattern::And(std::move(children));
+  EXPECT_TRUE(composite.ok());
+  return std::move(composite).value();
+}
+
+class PatternRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PatternRoundTripTest, PrintParseRoundTripPreservesEverything) {
+  Rng rng(GetParam());
+  EventDictionary dict;
+  for (int i = 0; i < 8; ++i) {
+    dict.Intern("ev" + std::to_string(i));
+  }
+  for (int round = 0; round < 25; ++round) {
+    std::vector<EventId> pool = {0, 1, 2, 3, 4, 5, 6, 7};
+    rng.Shuffle(pool);
+    const std::size_t budget = 2 + rng.NextBounded(5);
+    const Pattern original = RandomPattern(rng, pool, budget, 0);
+
+    const std::string text = original.ToString(&dict);
+    Result<Pattern> reparsed = ParsePattern(text, dict);
+    ASSERT_TRUE(reparsed.ok()) << text;
+
+    // Structural equality.
+    EXPECT_EQ(original, reparsed.value()) << text;
+    // Derived artifacts agree.
+    EXPECT_EQ(original.NumLinearizations(),
+              reparsed->NumLinearizations());
+    EXPECT_EQ(original.events(), reparsed->events());
+    const PatternGraph g1 = TranslatePatternToGraph(original);
+    const PatternGraph g2 = TranslatePatternToGraph(reparsed.value());
+    EXPECT_EQ(g1.event_edges, g2.event_edges);
+    // Every linearization of the original matches the reparsed pattern.
+    EnumerateLinearizations(original,
+                            [&](const std::vector<EventId>& order) {
+                              EXPECT_TRUE(WindowMatchesPattern(
+                                  reparsed.value(), order))
+                                  << text;
+                              return true;
+                            });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternRoundTripTest,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56));
+
+}  // namespace
+}  // namespace hematch

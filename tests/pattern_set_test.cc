@@ -1,0 +1,80 @@
+// Tests for the working-pattern-set assembly (vertices + edges + complex).
+
+#include "core/pattern_set.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+DependencyGraph MakeGraph() {
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "C"});
+  log.AddTraceByNames({"A", "A", "B"});  // Self-loop edge A->A.
+  return DependencyGraph::Build(log);
+}
+
+TEST(PatternSetTest, DefaultIncludesVerticesAndEdges) {
+  const DependencyGraph g = MakeGraph();
+  const std::vector<Pattern> patterns = BuildPatternSet(g, {});
+  // 3 vertices + edges {AB, BC, AA}; the self-loop is skipped (patterns
+  // need distinct events), so 3 + 2.
+  EXPECT_EQ(patterns.size(), 5u);
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  for (const Pattern& p : patterns) {
+    vertices += p.IsVertexPattern() ? 1 : 0;
+    edges += p.IsEdgePattern() ? 1 : 0;
+  }
+  EXPECT_EQ(vertices, 3u);
+  EXPECT_EQ(edges, 2u);
+}
+
+TEST(PatternSetTest, VertexOnlyConfiguration) {
+  PatternSetOptions options;
+  options.include_edges = false;
+  const std::vector<Pattern> patterns =
+      BuildPatternSet(MakeGraph(), {}, options);
+  EXPECT_EQ(patterns.size(), 3u);
+  for (const Pattern& p : patterns) {
+    EXPECT_TRUE(p.IsVertexPattern());
+  }
+}
+
+TEST(PatternSetTest, EdgesOnlyConfiguration) {
+  PatternSetOptions options;
+  options.include_vertices = false;
+  const std::vector<Pattern> patterns =
+      BuildPatternSet(MakeGraph(), {}, options);
+  EXPECT_EQ(patterns.size(), 2u);
+  for (const Pattern& p : patterns) {
+    EXPECT_TRUE(p.IsEdgePattern());
+  }
+}
+
+TEST(PatternSetTest, ComplexPatternsAppendInOrder) {
+  std::vector<Pattern> complex;
+  complex.push_back(Pattern::SeqOfEvents({0, 1, 2}));
+  complex.push_back(Pattern::AndOfEvents({0, 2}));
+  const std::vector<Pattern> patterns =
+      BuildPatternSet(MakeGraph(), complex);
+  ASSERT_GE(patterns.size(), 2u);
+  EXPECT_EQ(patterns[patterns.size() - 2], complex[0]);
+  EXPECT_EQ(patterns[patterns.size() - 1], complex[1]);
+}
+
+TEST(PatternSetTest, VertexOrderFollowsEventIds) {
+  const std::vector<Pattern> patterns = BuildPatternSet(MakeGraph(), {});
+  for (EventId v = 0; v < 3; ++v) {
+    EXPECT_TRUE(patterns[v].IsVertexPattern());
+    EXPECT_EQ(patterns[v].event(), v);
+  }
+}
+
+TEST(PatternSetTest, EmptyGraph) {
+  const DependencyGraph g = DependencyGraph::Build(EventLog());
+  EXPECT_TRUE(BuildPatternSet(g, {}).empty());
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,121 @@
+// Tests for the pattern AST (Definition 3): construction rules,
+// linearization counts, and rendering.
+
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(PatternTest, EventPattern) {
+  const Pattern p = Pattern::Event(3);
+  EXPECT_TRUE(p.is_event());
+  EXPECT_TRUE(p.IsVertexPattern());
+  EXPECT_EQ(p.event(), 3u);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.NumLinearizations(), 1u);
+}
+
+TEST(PatternTest, SeqCollectsEventsInOrder) {
+  const Pattern p = Pattern::SeqOfEvents({2, 0, 5});
+  EXPECT_EQ(p.kind(), Pattern::Kind::kSeq);
+  EXPECT_EQ(p.events(), (std::vector<EventId>{2, 0, 5}));
+  EXPECT_EQ(p.NumLinearizations(), 1u);  // SEQ admits exactly one order.
+}
+
+TEST(PatternTest, FlatAndHasFactorialLinearizations) {
+  EXPECT_EQ(Pattern::AndOfEvents({0, 1}).NumLinearizations(), 2u);
+  EXPECT_EQ(Pattern::AndOfEvents({0, 1, 2}).NumLinearizations(), 6u);
+  EXPECT_EQ(Pattern::AndOfEvents({0, 1, 2, 3}).NumLinearizations(), 24u);
+}
+
+TEST(PatternTest, NestedLinearizationCounts) {
+  // SEQ(A, AND(B, C), D): only the AND block varies -> 2 orders.
+  std::vector<Pattern> children;
+  children.push_back(Pattern::Event(0));
+  children.push_back(Pattern::AndOfEvents({1, 2}));
+  children.push_back(Pattern::Event(3));
+  const Pattern p = Pattern::Seq(std::move(children)).value();
+  EXPECT_EQ(p.NumLinearizations(), 2u);
+  EXPECT_EQ(p.size(), 4u);
+
+  // AND(SEQ(a,b), c): blocks stay contiguous -> 2 orders, not 3.
+  std::vector<Pattern> children2;
+  children2.push_back(Pattern::SeqOfEvents({0, 1}));
+  children2.push_back(Pattern::Event(2));
+  const Pattern q = Pattern::And(std::move(children2)).value();
+  EXPECT_EQ(q.NumLinearizations(), 2u);
+
+  // AND(AND(a,b), AND(c,d)): 2 * 2! * 2! = 8.
+  std::vector<Pattern> children3;
+  children3.push_back(Pattern::AndOfEvents({0, 1}));
+  children3.push_back(Pattern::AndOfEvents({2, 3}));
+  const Pattern r = Pattern::And(std::move(children3)).value();
+  EXPECT_EQ(r.NumLinearizations(), 8u);
+}
+
+TEST(PatternTest, LinearizationCountSaturates) {
+  // AND of 40 events: 40! overflows; must saturate at the cap.
+  std::vector<EventId> events;
+  for (EventId i = 0; i < 40; ++i) events.push_back(i);
+  const Pattern p = Pattern::AndOfEvents(events);
+  EXPECT_EQ(p.NumLinearizations(), Pattern::kMaxLinearizations);
+}
+
+TEST(PatternTest, DuplicateEventsRejected) {
+  std::vector<Pattern> children;
+  children.push_back(Pattern::Event(1));
+  children.push_back(Pattern::Event(1));
+  Result<Pattern> dup = Pattern::Seq(std::move(children));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  // Nested duplicates too: AND(SEQ(0,1), 1).
+  std::vector<Pattern> nested;
+  nested.push_back(Pattern::SeqOfEvents({0, 1}));
+  nested.push_back(Pattern::Event(1));
+  EXPECT_FALSE(Pattern::And(std::move(nested)).ok());
+}
+
+TEST(PatternTest, EmptyCompositeRejected) {
+  EXPECT_FALSE(Pattern::Seq({}).ok());
+  EXPECT_FALSE(Pattern::And({}).ok());
+}
+
+TEST(PatternTest, EdgePatternPredicate) {
+  EXPECT_TRUE(Pattern::Edge(0, 1).IsEdgePattern());
+  EXPECT_FALSE(Pattern::Event(0).IsEdgePattern());
+  EXPECT_FALSE(Pattern::SeqOfEvents({0, 1, 2}).IsEdgePattern());
+  EXPECT_FALSE(Pattern::AndOfEvents({0, 1}).IsEdgePattern());
+  // SEQ(AND(..), e) is not an edge pattern even with two children.
+  std::vector<Pattern> children;
+  children.push_back(Pattern::AndOfEvents({0, 1}));
+  children.push_back(Pattern::Event(2));
+  EXPECT_FALSE(Pattern::Seq(std::move(children)).value().IsEdgePattern());
+}
+
+TEST(PatternTest, ToStringWithAndWithoutDictionary) {
+  EventDictionary dict;
+  dict.Intern("A");
+  dict.Intern("B");
+  dict.Intern("C");
+  dict.Intern("D");
+  std::vector<Pattern> children;
+  children.push_back(Pattern::Event(0));
+  children.push_back(Pattern::AndOfEvents({1, 2}));
+  children.push_back(Pattern::Event(3));
+  const Pattern p = Pattern::Seq(std::move(children)).value();
+  EXPECT_EQ(p.ToString(&dict), "SEQ(A,AND(B,C),D)");
+  EXPECT_EQ(p.ToString(), "SEQ(#0,AND(#1,#2),#3)");
+}
+
+TEST(PatternTest, StructuralEquality) {
+  EXPECT_EQ(Pattern::SeqOfEvents({0, 1}), Pattern::SeqOfEvents({0, 1}));
+  EXPECT_FALSE(Pattern::SeqOfEvents({0, 1}) == Pattern::SeqOfEvents({1, 0}));
+  EXPECT_FALSE(Pattern::SeqOfEvents({0, 1}) == Pattern::AndOfEvents({0, 1}));
+  EXPECT_FALSE(Pattern::Event(0) == Pattern::Event(1));
+}
+
+}  // namespace
+}  // namespace hematch

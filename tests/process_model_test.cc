@@ -1,0 +1,182 @@
+// Tests for the process-model simulator that generates the workloads.
+
+#include "gen/process_model.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+ProcessBlock::Ptr Act(const char* name) {
+  return ProcessBlock::Activity(name);
+}
+
+TEST(ProcessModelTest, SequenceEmitsInOrder) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence({Act("a"), Act("b"), Act("c")});
+  Rng rng(1);
+  EventLog log = model.Generate(5, rng);
+  for (const Trace& trace : log.traces()) {
+    EXPECT_EQ(log.TraceToString(trace), "a b c");
+  }
+}
+
+TEST(ProcessModelTest, ParallelEmitsAllChildrenInSomeOrder) {
+  ProcessModel model;
+  model.root = ProcessBlock::Parallel({Act("a"), Act("b"), Act("c")});
+  Rng rng(2);
+  EventLog log = model.Generate(200, rng);
+  std::set<std::string> orders;
+  for (const Trace& trace : log.traces()) {
+    ASSERT_EQ(trace.size(), 3u);
+    std::set<EventId> distinct(trace.begin(), trace.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    orders.insert(log.TraceToString(trace));
+  }
+  // With uniform weights, all 6 orders appear in 200 draws w.h.p.
+  EXPECT_EQ(orders.size(), 6u);
+}
+
+TEST(ProcessModelTest, ParallelWeightsBiasFirstPosition) {
+  ProcessModel model;
+  model.root = ProcessBlock::Parallel({Act("heavy"), Act("light")},
+                                      {9.0, 1.0});
+  Rng rng(3);
+  EventLog log = model.Generate(2000, rng);
+  const EventId heavy = log.dictionary().Lookup("heavy").value();
+  int heavy_first = 0;
+  for (const Trace& trace : log.traces()) {
+    heavy_first += trace[0] == heavy ? 1 : 0;
+  }
+  EXPECT_NEAR(heavy_first / 2000.0, 0.9, 0.03);
+}
+
+TEST(ProcessModelTest, ChoicePicksExactlyOne) {
+  ProcessModel model;
+  model.root = ProcessBlock::Choice({Act("x"), Act("y")}, {0.7, 0.3});
+  Rng rng(4);
+  EventLog log = model.Generate(2000, rng);
+  int x_count = 0;
+  for (const Trace& trace : log.traces()) {
+    ASSERT_EQ(trace.size(), 1u);
+    x_count += log.dictionary().Name(trace[0]) == "x" ? 1 : 0;
+  }
+  EXPECT_NEAR(x_count / 2000.0, 0.7, 0.03);
+}
+
+TEST(ProcessModelTest, OptionalSkipsWithComplementProbability) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence(
+      {Act("always"), ProcessBlock::Optional(Act("maybe"), 0.25)});
+  Rng rng(5);
+  EventLog log = model.Generate(2000, rng);
+  int maybe_count = 0;
+  for (const Trace& trace : log.traces()) {
+    maybe_count += trace.size() == 2 ? 1 : 0;
+  }
+  EXPECT_NEAR(maybe_count / 2000.0, 0.25, 0.03);
+}
+
+TEST(ProcessModelTest, PerturbationShiftsProbabilities) {
+  ProcessModel model;
+  model.root = ProcessBlock::Optional(Act("a"), 0.5);
+  Rng rng(6);
+  EventLog log = model.Generate(2000, rng, /*probability_perturbation=*/0.3);
+  int present = 0;
+  for (const Trace& trace : log.traces()) {
+    present += trace.empty() ? 0 : 1;
+  }
+  EXPECT_NEAR(present / 2000.0, 0.8, 0.03);
+}
+
+TEST(ProcessModelTest, TruncationShortensTraces) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence({Act("a"), Act("b"), Act("c")});
+  model.truncate_probability = 0.5;
+  Rng rng(7);
+  EventLog log = model.Generate(2000, rng);
+  std::size_t shorter = 0;
+  for (const Trace& trace : log.traces()) {
+    ASSERT_GE(trace.size(), 1u);
+    ASSERT_LE(trace.size(), 3u);
+    // A truncated trace is still a prefix.
+    EXPECT_EQ(log.dictionary().Name(trace[0]), "a");
+    shorter += trace.size() < 3 ? 1 : 0;
+  }
+  // Truncation cut point is uniform over {1,2,3}; size < 3 w.p. 1/2 * 2/3.
+  EXPECT_NEAR(shorter / 2000.0, 0.5 * 2.0 / 3.0, 0.04);
+}
+
+TEST(ProcessModelTest, LoopRepeatsWithGeometricTail) {
+  ProcessModel model;
+  model.root = ProcessBlock::Loop(Act("retry"), 0.5, /*max_repeats=*/3);
+  Rng rng(9);
+  EventLog log = model.Generate(4000, rng);
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  for (const Trace& trace : log.traces()) {
+    ASSERT_GE(trace.size(), 1u);
+    ASSERT_LE(trace.size(), 4u);  // 1 + at most 3 repeats.
+    ++counts[trace.size()];
+  }
+  // P(len=1) = 0.5, P(2) = 0.25, P(3) = 0.125, P(4) = 0.125 (cap).
+  EXPECT_NEAR(counts[1] / 4000.0, 0.5, 0.03);
+  EXPECT_NEAR(counts[2] / 4000.0, 0.25, 0.03);
+  EXPECT_NEAR(counts[3] / 4000.0, 0.125, 0.02);
+  EXPECT_NEAR(counts[4] / 4000.0, 0.125, 0.02);
+}
+
+TEST(ProcessModelTest, LoopOfCompositeBlockStaysContiguous) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence(
+      {Act("start"),
+       ProcessBlock::Loop(ProcessBlock::Sequence({Act("fix"), Act("test")}),
+                          0.7, 2),
+       Act("done")});
+  Rng rng(10);
+  EventLog log = model.Generate(200, rng);
+  for (const Trace& trace : log.traces()) {
+    const std::string text = log.TraceToString(trace);
+    EXPECT_EQ(text.rfind("start", 0), 0u);
+    EXPECT_NE(text.find("fix test"), std::string::npos);
+    EXPECT_EQ(text.substr(text.size() - 4), "done");
+  }
+}
+
+TEST(ProcessModelTest, GenerationIsDeterministicInSeed) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence(
+      {Act("a"), ProcessBlock::Parallel({Act("b"), Act("c")}),
+       ProcessBlock::Choice({Act("d"), Act("e")}, {0.5, 0.5})});
+  Rng rng1(42);
+  Rng rng2(42);
+  EventLog a = model.Generate(50, rng1);
+  EventLog b = model.Generate(50, rng2);
+  ASSERT_EQ(a.num_traces(), b.num_traces());
+  for (std::size_t i = 0; i < a.num_traces(); ++i) {
+    EXPECT_EQ(a.traces()[i], b.traces()[i]);
+  }
+}
+
+TEST(ProcessModelTest, VocabularyOrderControlsIds) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence({Act("a"), Act("b")});
+  Rng rng(8);
+  EventLog log = model.Generate(3, rng, 0.0, {"b", "a"});
+  EXPECT_EQ(log.dictionary().Lookup("b").value(), 0u);
+  EXPECT_EQ(log.dictionary().Lookup("a").value(), 1u);
+}
+
+TEST(ProcessModelTest, CollectActivitiesIsDepthFirst) {
+  ProcessModel model;
+  model.root = ProcessBlock::Sequence(
+      {Act("a"), ProcessBlock::Parallel({Act("b"), Act("c")}), Act("d")});
+  std::vector<std::string> names;
+  model.root->CollectActivities(names);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,85 @@
+// Tests for log projection: the paper's experiment knobs ("first x
+// events", "first y traces") and the general event-subset projection.
+
+#include "log/projection.h"
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+EventLog MakeLog() {
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "C", "D"});
+  log.AddTraceByNames({"B", "D"});
+  log.AddTraceByNames({"C", "A", "C"});
+  return log;
+}
+
+TEST(ProjectFirstEventsTest, KeepsPrefixVocabularyAndFiltersTraces) {
+  const EventLog projected = ProjectFirstEvents(MakeLog(), 2);  // {A, B}.
+  EXPECT_EQ(projected.num_events(), 2u);
+  ASSERT_EQ(projected.num_traces(), 3u);
+  EXPECT_EQ(projected.TraceToString(projected.traces()[0]), "A B");
+  EXPECT_EQ(projected.TraceToString(projected.traces()[1]), "B");
+  EXPECT_EQ(projected.TraceToString(projected.traces()[2]), "A");
+}
+
+TEST(ProjectFirstEventsTest, IdsStayStable) {
+  const EventLog log = MakeLog();
+  const EventLog projected = ProjectFirstEvents(log, 3);
+  for (EventId v = 0; v < 3; ++v) {
+    EXPECT_EQ(projected.dictionary().Name(v), log.dictionary().Name(v));
+  }
+}
+
+TEST(ProjectFirstEventsTest, DropsEmptyTraces) {
+  EventLog log;
+  log.AddTraceByNames({"A"});
+  log.AddTraceByNames({"B"});  // Entirely removed when projecting to {A}.
+  const EventLog projected = ProjectFirstEvents(log, 1);
+  EXPECT_EQ(projected.num_traces(), 1u);
+}
+
+TEST(ProjectFirstEventsTest, OversizedRequestIsIdentity) {
+  const EventLog log = MakeLog();
+  const EventLog projected = ProjectFirstEvents(log, 99);
+  EXPECT_EQ(projected.num_events(), log.num_events());
+  EXPECT_EQ(projected.num_traces(), log.num_traces());
+}
+
+TEST(ProjectEventSubsetTest, ReindexesKeptEvents) {
+  std::vector<EventId> old_to_new;
+  const EventLog projected = ProjectEventSubset(
+      MakeLog(), {false, true, false, true}, &old_to_new);  // Keep B, D.
+  EXPECT_EQ(projected.num_events(), 2u);
+  EXPECT_EQ(projected.dictionary().Name(0), "B");
+  EXPECT_EQ(projected.dictionary().Name(1), "D");
+  EXPECT_EQ(old_to_new[0], kInvalidEventId);
+  EXPECT_EQ(old_to_new[1], 0u);
+  EXPECT_EQ(old_to_new[3], 1u);
+  // Trace "A B C D" -> "B D"; trace "C A C" disappears.
+  EXPECT_EQ(projected.num_traces(), 2u);
+  EXPECT_EQ(projected.TraceToString(projected.traces()[0]), "B D");
+}
+
+TEST(ProjectEventSubsetTest, ShortKeepVectorDropsTail) {
+  const EventLog projected = ProjectEventSubset(MakeLog(), {true});
+  EXPECT_EQ(projected.num_events(), 1u);
+  EXPECT_EQ(projected.dictionary().Name(0), "A");
+}
+
+TEST(SelectFirstTracesTest, KeepsPrefixAndFullVocabulary) {
+  const EventLog selected = SelectFirstTraces(MakeLog(), 2);
+  EXPECT_EQ(selected.num_traces(), 2u);
+  EXPECT_EQ(selected.num_events(), 4u);  // Vocabulary intact.
+  EXPECT_EQ(selected.TraceToString(selected.traces()[1]), "B D");
+}
+
+TEST(SelectFirstTracesTest, OversizedRequestIsIdentity) {
+  const EventLog selected = SelectFirstTraces(MakeLog(), 10);
+  EXPECT_EQ(selected.num_traces(), 3u);
+}
+
+}  // namespace
+}  // namespace hematch

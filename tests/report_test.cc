@@ -1,0 +1,109 @@
+// Tests for the match-explanation report.
+
+#include "eval/report.h"
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_set.h"
+#include "graph/dependency_graph.h"
+
+namespace hematch {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() {
+    log1_.AddTraceByNames({"A", "B", "C"});
+    log1_.AddTraceByNames({"A", "B"});
+    log2_.AddTraceByNames({"X", "Y", "Z"});
+    log2_.AddTraceByNames({"X", "Y"});
+    const DependencyGraph g1 = DependencyGraph::Build(log1_);
+    ctx_ = std::make_unique<MatchingContext>(log1_, log2_,
+                                             BuildPatternSet(g1, {}));
+  }
+
+  Mapping Identity() {
+    Mapping m(3, 3);
+    m.Set(0, 0);
+    m.Set(1, 1);
+    m.Set(2, 2);
+    return m;
+  }
+
+  Mapping Swapped() {
+    Mapping m(3, 3);
+    m.Set(0, 0);
+    m.Set(1, 2);  // B -> Z (wrong).
+    m.Set(2, 1);  // C -> Y (wrong).
+    return m;
+  }
+
+  EventLog log1_;
+  EventLog log2_;
+  std::unique_ptr<MatchingContext> ctx_;
+};
+
+TEST_F(ReportTest, ObjectiveMatchesScorer) {
+  const Mapping m = Identity();
+  const MatchReport report = ExplainMapping(*ctx_, m);
+  MappingScorer scorer(*ctx_, {});
+  EXPECT_NEAR(report.objective, scorer.ComputeG(m), 1e-9);
+  EXPECT_EQ(report.patterns.size(), ctx_->num_patterns());
+  EXPECT_EQ(report.pairs.size(), 3u);
+}
+
+TEST_F(ReportTest, PerfectMappingHasUnitContributions) {
+  const MatchReport report = ExplainMapping(*ctx_, Identity());
+  for (const PatternEvidence& evidence : report.patterns) {
+    EXPECT_NEAR(evidence.contribution, 1.0, 1e-9) << evidence.pattern;
+    EXPECT_NEAR(evidence.f1, evidence.f2, 1e-9);
+  }
+}
+
+TEST_F(ReportTest, WeakPairsSortFirst) {
+  const MatchReport report = ExplainMapping(*ctx_, Swapped());
+  // The wrong pairs (B, C) must precede the correct pair (A).
+  EXPECT_NE(report.pairs[0].source_name, "A");
+  for (std::size_t i = 1; i < report.pairs.size(); ++i) {
+    EXPECT_LE(report.pairs[i - 1].mean_contribution,
+              report.pairs[i].mean_contribution + 1e-12);
+  }
+  for (std::size_t i = 1; i < report.patterns.size(); ++i) {
+    EXPECT_LE(report.patterns[i - 1].contribution,
+              report.patterns[i].contribution + 1e-12);
+  }
+}
+
+TEST_F(ReportTest, TranslatedPatternsUseTargetNames) {
+  const MatchReport report = ExplainMapping(*ctx_, Identity());
+  bool saw_edge = false;
+  for (const PatternEvidence& evidence : report.patterns) {
+    if (evidence.pattern == "SEQ(A,B)") {
+      saw_edge = true;
+      EXPECT_EQ(evidence.translated_pattern, "SEQ(X,Y)");
+    }
+  }
+  EXPECT_TRUE(saw_edge);
+}
+
+TEST_F(ReportTest, PrintRendersBothTables) {
+  const MatchReport report = ExplainMapping(*ctx_, Swapped());
+  std::ostringstream out;
+  PrintMatchReport(report, out, /*max_rows=*/5);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pattern normal distance"), std::string::npos);
+  EXPECT_NE(text.find("weakest event pairs"), std::string::npos);
+  EXPECT_NE(text.find("weakest pattern evidence"), std::string::npos);
+}
+
+TEST_F(ReportTest, RequiresCompleteMapping) {
+  Mapping partial(3, 3);
+  partial.Set(0, 0);
+  EXPECT_DEATH(ExplainMapping(*ctx_, partial), "complete");
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,140 @@
+// Tests for the deterministic RNG: reproducibility, bounds, and the
+// statistical sanity of the weighted/uniform draws the generators rely on.
+
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.NextUint64() == b.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SeedZeroIsUsable) {
+  Rng rng(0);
+  std::uint64_t x = rng.NextUint64();
+  std::uint64_t y = rng.NextUint64();
+  EXPECT_TRUE(x != 0 || y != 0);  // All-zero state would be a fixed point.
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  const std::uint64_t kBound = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBound)];
+  }
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    // Each bucket expects 10000; allow 5 sigma (~sqrt(9000) ~ 95 -> 500).
+    EXPECT_NEAR(counts[v], kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(RngTest, NextInRangeCoversInclusiveEndpoints) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.NextInRange(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo = saw_lo || x == -2;
+    saw_hi = saw_hi || x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, NextWeightedFollowsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(weights.size(), 0);
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);  // Zero weight never drawn.
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.6, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_FALSE(std::equal(items.begin(), items.end(), shuffled.begin()))
+      << "50 elements staying in place is astronomically unlikely";
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += parent.NextUint64() == child.NextUint64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,72 @@
+// Tests against the sample data files shipped in data/ — what a new user
+// runs the CLI on first. HEMATCH_DATA_DIR is injected by CMake.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/astar_matcher.h"
+#include "core/pattern_set.h"
+#include "graph/dependency_graph.h"
+#include "log/log_io.h"
+#include "log/xes_io.h"
+
+namespace hematch {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(HEMATCH_DATA_DIR) + "/" + name;
+}
+
+TEST(SampleDataTest, DeptATraceLogLoads) {
+  Result<EventLog> log = ReadTraceLogFile(DataPath("dept_a.tr"));
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 8u);
+  EXPECT_EQ(log->num_events(), 11u);
+  EXPECT_TRUE(log->dictionary().Contains("receive"));
+  EXPECT_TRUE(log->dictionary().Contains("pickup"));
+}
+
+TEST(SampleDataTest, DeptBCsvLoads) {
+  Result<EventLog> log = ReadCsvLogFile(DataPath("dept_b.csv"));
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 8u);
+  EXPECT_EQ(log->num_events(), 11u);
+  // Timestamps put r01 first in every case.
+  for (const Trace& trace : log->traces()) {
+    EXPECT_EQ(log->dictionary().Name(trace[0]), "r01");
+  }
+}
+
+TEST(SampleDataTest, PathwayXesLoads) {
+  Result<EventLog> log = ReadXesLogFile(DataPath("pathway.xes"));
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 2u);
+  EXPECT_EQ(log->num_events(), 7u);
+  EXPECT_EQ(log->TraceToString(log->traces()[0]),
+            "triage vitals bloods diagnosis treatment discharge");
+}
+
+TEST(SampleDataTest, DeptLogsMatchAsDocumented) {
+  // The README/CLI walkthrough result: receive->r01, pay->r02, ... —
+  // the correspondence the sample pair was built around.
+  Result<EventLog> log1 = ReadTraceLogFile(DataPath("dept_a.tr"));
+  Result<EventLog> log2 = ReadCsvLogFile(DataPath("dept_b.csv"));
+  ASSERT_TRUE(log1.ok() && log2.ok());
+  const DependencyGraph g1 = DependencyGraph::Build(*log1);
+  MatchingContext ctx(*log1, *log2, BuildPatternSet(g1, {}));
+  Result<MatchResult> result = AStarMatcher().Match(ctx);
+  ASSERT_TRUE(result.ok());
+  auto target_of = [&](const char* source) {
+    const EventId v = log1->dictionary().Lookup(source).value();
+    return log2->dictionary().Name(result->mapping.TargetOf(v));
+  };
+  EXPECT_EQ(target_of("receive"), "r01");
+  EXPECT_EQ(target_of("pay"), "r02");
+  EXPECT_EQ(target_of("check"), "r03");
+  EXPECT_EQ(target_of("schedule"), "r04");
+  EXPECT_EQ(target_of("invoice"), "r09");
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,172 @@
+// Tests for the VF2-style subgraph isomorphism search, including a
+// brute-force cross-check on random instances (the reduction target of
+// Theorem 1).
+
+#include "graph/subgraph_isomorphism.h"
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hematch {
+namespace {
+
+Digraph Path(std::size_t n) {
+  Digraph g(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(i, i + 1);
+  }
+  return g;
+}
+
+Digraph Cycle(std::size_t n) {
+  Digraph g = Path(n);
+  g.AddEdge(static_cast<std::uint32_t>(n - 1), 0);
+  return g;
+}
+
+TEST(SubgraphIsomorphismTest, PathEmbedsInLongerPath) {
+  EXPECT_TRUE(IsSubgraphIsomorphic(Path(3), Path(5)));
+}
+
+TEST(SubgraphIsomorphismTest, LongerPathDoesNotEmbedInShorter) {
+  EXPECT_FALSE(IsSubgraphIsomorphic(Path(5), Path(3)));
+}
+
+TEST(SubgraphIsomorphismTest, CycleDoesNotEmbedInPath) {
+  EXPECT_FALSE(IsSubgraphIsomorphic(Cycle(3), Path(6)));
+}
+
+TEST(SubgraphIsomorphismTest, PathEmbedsInCycle) {
+  EXPECT_TRUE(IsSubgraphIsomorphic(Path(3), Cycle(3)));
+}
+
+TEST(SubgraphIsomorphismTest, DirectionMatters) {
+  Digraph pattern(2);
+  pattern.AddEdge(0, 1);
+  Digraph target(2);
+  target.AddEdge(1, 0);
+  // Monomorphism exists by swapping vertices.
+  EXPECT_TRUE(IsSubgraphIsomorphic(pattern, target));
+
+  Digraph bidirectional_pattern(2);
+  bidirectional_pattern.AddEdge(0, 1);
+  bidirectional_pattern.AddEdge(1, 0);
+  EXPECT_FALSE(IsSubgraphIsomorphic(bidirectional_pattern, target));
+}
+
+TEST(SubgraphIsomorphismTest, ReturnedMappingIsValid) {
+  Digraph pattern(3);
+  pattern.AddEdge(0, 1);
+  pattern.AddEdge(1, 2);
+  Digraph target = Cycle(5);
+  auto mapping = FindSubgraphIsomorphism(pattern, target);
+  ASSERT_TRUE(mapping.has_value());
+  for (const auto& [u, v] : pattern.edges()) {
+    EXPECT_TRUE(target.HasEdge((*mapping)[u], (*mapping)[v]));
+  }
+}
+
+TEST(SubgraphIsomorphismTest, InducedModeForbidsExtraEdges) {
+  Digraph pattern(2);  // Two vertices, no edge.
+  Digraph target(2);
+  target.AddEdge(0, 1);
+  target.AddEdge(1, 0);
+  SubgraphIsomorphismOptions induced;
+  induced.induced = true;
+  EXPECT_TRUE(IsSubgraphIsomorphic(pattern, target));  // Monomorphism: fine.
+  EXPECT_FALSE(IsSubgraphIsomorphic(pattern, target, induced));
+}
+
+TEST(SubgraphIsomorphismTest, SelfLoopRequiresSelfLoop) {
+  Digraph pattern(1);
+  pattern.AddEdge(0, 0);
+  Digraph no_loop(3);
+  no_loop.AddEdge(0, 1);
+  EXPECT_FALSE(IsSubgraphIsomorphic(pattern, no_loop));
+  Digraph with_loop(2);
+  with_loop.AddEdge(1, 1);
+  EXPECT_TRUE(IsSubgraphIsomorphic(pattern, with_loop));
+}
+
+TEST(SubgraphIsomorphismTest, BudgetExhaustionIsReported) {
+  // A hard-ish instance with a tiny budget.
+  Digraph pattern(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i != j) pattern.AddEdge(i, j);
+    }
+  }
+  Digraph target(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      if (i != j && (i + j) % 3 != 0) target.AddEdge(i, j);
+    }
+  }
+  SubgraphIsomorphismOptions options;
+  options.max_nodes = 1;
+  SubgraphIsomorphismStats stats;
+  FindSubgraphIsomorphism(pattern, target, options, &stats);
+  EXPECT_LE(stats.nodes_expanded, 2u);
+}
+
+// Brute-force reference: try all injective vertex mappings.
+bool BruteForceEmbeds(const Digraph& pattern, const Digraph& target) {
+  std::vector<std::uint32_t> perm(target.num_vertices());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  const std::size_t k = pattern.num_vertices();
+  if (k > perm.size()) return false;
+  std::vector<std::uint32_t> chosen(k);
+  std::vector<bool> used(perm.size(), false);
+  std::function<bool(std::size_t)> rec = [&](std::size_t depth) {
+    if (depth == k) {
+      for (const auto& [u, v] : pattern.edges()) {
+        if (!target.HasEdge(chosen[u], chosen[v])) return false;
+      }
+      return true;
+    }
+    for (std::uint32_t t = 0; t < perm.size(); ++t) {
+      if (used[t]) continue;
+      used[t] = true;
+      chosen[depth] = t;
+      if (rec(depth + 1)) return true;
+      used[t] = false;
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+class SubgraphIsomorphismPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubgraphIsomorphismPropertyTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t pn = 2 + rng.NextBounded(3);   // 2..4 pattern vertices.
+    const std::size_t tn = pn + rng.NextBounded(3);  // up to +2 target.
+    Digraph pattern(pn);
+    Digraph target(tn);
+    for (std::uint32_t i = 0; i < pn; ++i) {
+      for (std::uint32_t j = 0; j < pn; ++j) {
+        if (i != j && rng.NextBool(0.4)) pattern.AddEdge(i, j);
+      }
+    }
+    for (std::uint32_t i = 0; i < tn; ++i) {
+      for (std::uint32_t j = 0; j < tn; ++j) {
+        if (i != j && rng.NextBool(0.5)) target.AddEdge(i, j);
+      }
+    }
+    EXPECT_EQ(IsSubgraphIsomorphic(pattern, target),
+              BruteForceEmbeds(pattern, target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubgraphIsomorphismPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hematch

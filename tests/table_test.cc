@@ -1,0 +1,43 @@
+// Tests for the text-table formatter used by the bench harnesses.
+
+#include "eval/table.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hematch {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"method", "F"});
+  table.AddRow({"Pattern-Tight", "1.000"});
+  table.AddRow({"Vertex", "0.5"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| method        | F     |"), std::string::npos);
+  EXPECT_NE(text.find("| Vertex        | 0.5   |"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| x | "), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsFixedDigits) {
+  EXPECT_EQ(TextTable::Num(0.5), "0.500");
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(12.0, 0), "12");
+}
+
+TEST(TextTableTest, NumRendersNanAsDash) {
+  EXPECT_EQ(TextTable::Num(std::nan("")), "-");
+}
+
+}  // namespace
+}  // namespace hematch

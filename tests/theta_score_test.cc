@@ -1,0 +1,94 @@
+// Tests for the estimated scores of Formula (2), both readings.
+
+#include "core/theta_score.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/normal_distance.h"
+#include "core/pattern_set.h"
+#include "graph/dependency_graph.h"
+
+namespace hematch {
+namespace {
+
+class ThetaScoreTest : public ::testing::Test {
+ protected:
+  ThetaScoreTest() {
+    log1_.AddTraceByNames({"A", "B"});
+    log1_.AddTraceByNames({"A"});
+    log2_.AddTraceByNames({"X", "Y"});
+    log2_.AddTraceByNames({"X"});
+  }
+  EventLog log1_;
+  EventLog log2_;
+};
+
+TEST_F(ThetaScoreTest, AbsoluteFormForVertexPatternsIsVertexSimilarity) {
+  // Property (2) of Section 5.1.1: with only vertex patterns and |p| = 1,
+  // theta(v1, v2) = sim(f1(v1), f2(v2)).
+  const DependencyGraph g1 = DependencyGraph::Build(log1_);
+  PatternSetOptions vertex_only;
+  vertex_only.include_edges = false;
+  MatchingContext ctx(log1_, log2_, BuildPatternSet(g1, {}, vertex_only));
+  const auto theta = ComputeThetaScores(ctx, ThetaForm::kAbsolute);
+  const DependencyGraph& g2 = ctx.graph2();
+  for (EventId v1 = 0; v1 < 2; ++v1) {
+    for (EventId v2 = 0; v2 < 2; ++v2) {
+      EXPECT_NEAR(theta[v1][v2],
+                  FrequencySimilarity(ctx.graph1().VertexFrequency(v1),
+                                      g2.VertexFrequency(v2)),
+                  1e-12);
+    }
+  }
+}
+
+TEST_F(ThetaScoreTest, OptimisticFormSaturatesAtSupportingTargets) {
+  // B has f1 = 0.5; X has f2 = 1.0 >= 0.5 -> the vertex-pattern term
+  // contributes its full weight 1.0; Y has f2 = 0.5 = f1 -> also 1.0.
+  const DependencyGraph g1 = DependencyGraph::Build(log1_);
+  PatternSetOptions vertex_only;
+  vertex_only.include_edges = false;
+  MatchingContext ctx(log1_, log2_, BuildPatternSet(g1, {}, vertex_only));
+  const auto theta = ComputeThetaScores(ctx, ThetaForm::kOptimistic);
+  EXPECT_NEAR(theta[1][0], 1.0, 1e-12);  // B -> X (over-supporting).
+  EXPECT_NEAR(theta[1][1], 1.0, 1e-12);  // B -> Y (exact).
+  // A (f1 = 1.0) against Y (f2 = 0.5): penalized below 1.
+  EXPECT_NEAR(theta[0][1], 1.0 - 0.5 / 1.5, 1e-12);
+}
+
+TEST_F(ThetaScoreTest, WeightsSpreadOverPatternSize) {
+  // One 2-event pattern: each event's theta gets 1/2 of the term.
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::Edge(0, 1));  // AB, f1 = 0.5.
+  MatchingContext ctx(log1_, log2_, std::move(patterns));
+  const auto theta = ComputeThetaScores(ctx, ThetaForm::kAbsolute);
+  // theta(A, Y): 0.5 * sim(0.5, 0.5) = 0.5.
+  EXPECT_NEAR(theta[0][1], 0.5, 1e-12);
+  // theta(B, Y) identical (same pattern, same weight).
+  EXPECT_NEAR(theta[1][1], 0.5, 1e-12);
+}
+
+TEST_F(ThetaScoreTest, EventsWithoutPatternsScoreZero) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::Event(0));  // Only A.
+  MatchingContext ctx(log1_, log2_, std::move(patterns));
+  const auto theta = ComputeThetaScores(ctx, ThetaForm::kAbsolute);
+  EXPECT_DOUBLE_EQ(theta[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(theta[1][1], 0.0);
+}
+
+TEST_F(ThetaScoreTest, MatrixDimensions) {
+  EventLog log2;
+  log2.AddTraceByNames({"X", "Y", "Z"});
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::Event(0));
+  MatchingContext ctx(log1_, log2, std::move(patterns));
+  const auto theta = ComputeThetaScores(ctx);
+  ASSERT_EQ(theta.size(), 2u);
+  ASSERT_EQ(theta[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace hematch

@@ -1,0 +1,110 @@
+// Tests for the trace-matches-pattern predicate (Definition 4).
+
+#include "freq/trace_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pattern/pattern_language.h"
+#include "pattern/pattern_parser.h"
+
+namespace hematch {
+namespace {
+
+Pattern Parse(const char* text) {
+  EventDictionary dict;
+  for (const char* n : {"a", "b", "c", "d", "e"}) dict.Intern(n);
+  Result<Pattern> p = ParsePattern(text, dict);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(p).value();
+}
+
+TEST(TraceMatcherTest, MatchAtStartMiddleEnd) {
+  const Pattern p = Parse("SEQ(a,b)");  // 0 1
+  EXPECT_TRUE(TraceMatchesPattern({0, 1, 4, 4}, p));
+  EXPECT_TRUE(TraceMatchesPattern({4, 0, 1, 4}, p));
+  EXPECT_TRUE(TraceMatchesPattern({4, 4, 0, 1}, p));
+}
+
+TEST(TraceMatcherTest, SubstringMustBeContiguous) {
+  const Pattern p = Parse("SEQ(a,b)");
+  EXPECT_FALSE(TraceMatchesPattern({0, 4, 1}, p));  // a..b not consecutive.
+  EXPECT_FALSE(TraceMatchesPattern({1, 0}, p));     // Wrong order.
+}
+
+TEST(TraceMatcherTest, TraceShorterThanPatternNeverMatches) {
+  const Pattern p = Parse("SEQ(a,b,c)");
+  EXPECT_FALSE(TraceMatchesPattern({0, 1}, p));
+  EXPECT_FALSE(TraceMatchesPattern({}, p));
+}
+
+TEST(TraceMatcherTest, AndMatchesEitherOrder) {
+  const Pattern p = Parse("AND(b,c)");  // 1, 2
+  EXPECT_TRUE(TraceMatchesPattern({0, 1, 2, 3}, p));
+  EXPECT_TRUE(TraceMatchesPattern({0, 2, 1, 3}, p));
+  EXPECT_FALSE(TraceMatchesPattern({1, 0, 2}, p));  // Separated.
+}
+
+TEST(TraceMatcherTest, Example4TraceMatching) {
+  // Trace 1 of Fig. 1: <ABCD...> matches SEQ(A,AND(B,C),D).
+  const Pattern p = Parse("SEQ(a,AND(b,c),d)");
+  EXPECT_TRUE(TraceMatchesPattern({0, 1, 2, 3, 4}, p));
+  EXPECT_TRUE(TraceMatchesPattern({0, 2, 1, 3}, p));
+  EXPECT_FALSE(TraceMatchesPattern({0, 1, 3, 2}, p));
+  EXPECT_FALSE(TraceMatchesPattern({1, 0, 2, 3}, p));
+}
+
+TEST(TraceMatcherTest, RepeatedEventsInTraceHandled) {
+  const Pattern p = Parse("SEQ(a,b)");
+  // Window "a a" is not a permutation of {a, b}; "a b" later is.
+  EXPECT_TRUE(TraceMatchesPattern({0, 0, 1}, p));
+  EXPECT_FALSE(TraceMatchesPattern({0, 0, 0}, p));
+  // Duplicates inside the candidate window disqualify it.
+  EXPECT_FALSE(TraceMatchesPattern({0, 0}, Parse("AND(a,b)")));
+}
+
+TEST(TraceMatcherTest, StatsCountOnlyPermutationWindows) {
+  const Pattern p = Parse("SEQ(a,b)");
+  TraceMatchStats stats;
+  // Windows: (4,0) no, (0,1) yes -> membership test runs once.
+  TraceMatchesPattern({4, 0, 1}, p, &stats);
+  EXPECT_EQ(stats.windows_tested, 1u);
+}
+
+// Property: the sliding-window matcher agrees with a naive reference that
+// checks every window against the enumerated language.
+class TraceMatcherPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceMatcherPropertyTest, AgreesWithNaiveReference) {
+  Rng rng(GetParam());
+  const Pattern patterns[] = {
+      Parse("SEQ(a,b)"),         Parse("AND(a,b)"),
+      Parse("SEQ(a,AND(b,c))"),  Parse("AND(SEQ(a,b),c)"),
+      Parse("SEQ(a,AND(b,c),d)")};
+  for (int round = 0; round < 50; ++round) {
+    // Random trace over events 0..4 of length 0..12.
+    Trace trace(rng.NextBounded(13));
+    for (EventId& e : trace) {
+      e = static_cast<EventId>(rng.NextBounded(5));
+    }
+    for (const Pattern& p : patterns) {
+      bool naive = false;
+      const std::size_t k = p.size();
+      if (trace.size() >= k) {
+        for (std::size_t i = 0; i + k <= trace.size() && !naive; ++i) {
+          naive = WindowMatchesPattern(
+              p, std::span<const EventId>(trace.data() + i, k));
+        }
+      }
+      EXPECT_EQ(TraceMatchesPattern(trace, p), naive)
+          << "pattern=" << p.ToString() << " trace size=" << trace.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceMatcherPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace hematch

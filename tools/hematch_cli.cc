@@ -1,0 +1,298 @@
+// hematch_cli — match two heterogeneous event logs end to end.
+//
+// Usage:
+//   hematch_cli [options] <log1> <log2>
+//
+// Logs are CSV (case,event[,timestamp]), XES (IEEE 1849), or
+// trace-per-line files; the format is chosen by extension (.csv / .xes /
+// anything else). Patterns
+// over log1's vocabulary can be given explicitly (repeatable
+// --pattern 'SEQ(A,AND(B,C),D)') and/or mined from log1 (--mine).
+//
+// Options:
+//   --method NAME     pattern-tight (default) | pattern-simple |
+//                     heuristic-simple | heuristic-advanced | vertex |
+//                     vertex-edge | iterative | entropy | all
+//   --pattern EXPR    add a complex pattern (repeatable)
+//   --mine            mine discriminative patterns from log1
+//   --mine-support F  miner support threshold (default 0.1)
+//   --budget N        search budget for the exact methods (expansions)
+//   --explain         print per-pattern / per-pair evidence for the result
+//   --extend          extend the best 1-1 mapping to 1-to-n groups
+//   --output FILE     write the best mapping as tab-separated pairs
+//   --help            this text
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/entropy_matcher.h"
+#include "baselines/iterative_matcher.h"
+#include "baselines/vertex_edge_matcher.h"
+#include "baselines/vertex_matcher.h"
+#include "common/strings.h"
+#include "core/astar_matcher.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/heuristic_simple_matcher.h"
+#include "core/mapping_io.h"
+#include "core/one_to_n.h"
+#include "core/pattern_set.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "gen/pattern_miner.h"
+#include "graph/dependency_graph.h"
+#include "log/log_io.h"
+#include "log/xes_io.h"
+#include "pattern/pattern_parser.h"
+
+namespace {
+
+using namespace hematch;
+
+void PrintUsageAndExit(int code) {
+  std::cerr <<
+      "usage: hematch_cli [options] <log1> <log2>\n"
+      "  --method NAME     pattern-tight | pattern-simple | "
+      "heuristic-simple |\n"
+      "                    heuristic-advanced | vertex | vertex-edge | "
+      "iterative |\n"
+      "                    entropy | all        (default: pattern-tight)\n"
+      "  --pattern EXPR    add a complex pattern over log1, e.g. "
+      "'SEQ(A,AND(B,C),D)'\n"
+      "  --mine            mine discriminative patterns from log1\n"
+      "  --mine-support F  miner support threshold (default 0.1)\n"
+      "  --budget N        expansion budget for exact methods\n"
+      "  --explain         print per-pattern / per-pair evidence\n"
+      "  --extend          extend the best 1-1 mapping to 1-to-n groups\n"
+      "  --output FILE     write the best mapping as tab-separated pairs\n";
+  std::exit(code);
+}
+
+Result<EventLog> LoadLog(const std::string& path) {
+  auto has_suffix = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  if (has_suffix(".csv")) {
+    return ReadCsvLogFile(path);
+  }
+  if (has_suffix(".xes")) {
+    return ReadXesLogFile(path);
+  }
+  return ReadTraceLogFile(path);
+}
+
+std::vector<std::unique_ptr<Matcher>> MakeMatchers(const std::string& method,
+                                                   std::uint64_t budget) {
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  AStarOptions tight;
+  tight.max_expansions = budget;
+  AStarOptions simple = tight;
+  simple.scorer.bound = BoundKind::kSimple;
+  VertexEdgeOptions ve;
+  ve.max_expansions = budget;
+
+  auto want = [&](const char* name) {
+    return method == "all" || method == name;
+  };
+  if (want("pattern-tight")) {
+    matchers.push_back(std::make_unique<AStarMatcher>(tight));
+  }
+  if (want("pattern-simple")) {
+    matchers.push_back(std::make_unique<AStarMatcher>(simple));
+  }
+  if (want("heuristic-simple")) {
+    matchers.push_back(std::make_unique<HeuristicSimpleMatcher>());
+  }
+  if (want("heuristic-advanced")) {
+    matchers.push_back(std::make_unique<HeuristicAdvancedMatcher>());
+  }
+  if (want("vertex")) {
+    matchers.push_back(std::make_unique<VertexMatcher>());
+  }
+  if (want("vertex-edge")) {
+    matchers.push_back(std::make_unique<VertexEdgeMatcher>(ve));
+  }
+  if (want("iterative")) {
+    matchers.push_back(std::make_unique<IterativeMatcher>());
+  }
+  if (want("entropy")) {
+    matchers.push_back(std::make_unique<EntropyMatcher>());
+  }
+  return matchers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string method = "pattern-tight";
+  std::vector<std::string> pattern_texts;
+  bool mine = false;
+  bool explain = false;
+  bool extend = false;
+  std::string output_path;
+  double mine_support = 0.1;
+  std::uint64_t budget = 50'000'000;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        PrintUsageAndExit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsageAndExit(0);
+    } else if (arg == "--method") {
+      method = next("--method");
+    } else if (arg == "--pattern") {
+      pattern_texts.push_back(next("--pattern"));
+    } else if (arg == "--mine") {
+      mine = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--extend") {
+      extend = true;
+    } else if (arg == "--output") {
+      output_path = next("--output");
+    } else if (arg == "--mine-support") {
+      mine_support = std::stod(next("--mine-support"));
+    } else if (arg == "--budget") {
+      budget = std::stoull(next("--budget"));
+    } else if (StartsWith(arg, "--")) {
+      std::cerr << "unknown option: " << arg << "\n";
+      PrintUsageAndExit(2);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    PrintUsageAndExit(2);
+  }
+
+  Result<EventLog> log1 = LoadLog(positional[0]);
+  if (!log1.ok()) {
+    std::cerr << "cannot load " << positional[0] << ": " << log1.status()
+              << "\n";
+    return 1;
+  }
+  Result<EventLog> log2 = LoadLog(positional[1]);
+  if (!log2.ok()) {
+    std::cerr << "cannot load " << positional[1] << ": " << log2.status()
+              << "\n";
+    return 1;
+  }
+  if (log1->num_events() > log2->num_events()) {
+    std::cerr << "note: log1 has more events than log2; swapping sides so "
+                 "the mapping stays injective\n";
+    std::swap(*log1, *log2);
+  }
+
+  std::cout << "log1: " << log1->num_traces() << " traces over "
+            << log1->num_events() << " events\n"
+            << "log2: " << log2->num_traces() << " traces over "
+            << log2->num_events() << " events\n";
+
+  std::vector<Pattern> complex;
+  for (const std::string& text : pattern_texts) {
+    Result<Pattern> p = ParsePattern(text, log1->dictionary());
+    if (!p.ok()) {
+      std::cerr << "bad --pattern '" << text << "': " << p.status() << "\n";
+      return 1;
+    }
+    complex.push_back(std::move(p).value());
+  }
+  if (mine) {
+    PatternMinerOptions miner_options;
+    miner_options.min_support = mine_support;
+    for (Pattern& p : MineDiscriminativePatterns(*log1, miner_options)) {
+      std::cout << "mined pattern: " << p.ToString(&log1->dictionary())
+                << "\n";
+      complex.push_back(std::move(p));
+    }
+  }
+
+  const DependencyGraph g1 = DependencyGraph::Build(*log1);
+  MatchingContext context(*log1, *log2,
+                          BuildPatternSet(g1, complex));
+  const auto matchers = MakeMatchers(method, budget);
+  if (matchers.empty()) {
+    std::cerr << "unknown --method '" << method << "'\n";
+    PrintUsageAndExit(2);
+  }
+
+  TextTable table({"method", "objective", "time(ms)", "mapping"});
+  const Mapping* best_mapping = nullptr;
+  double best_objective = -1.0;
+  std::vector<RunRecord> records;
+  records.reserve(matchers.size());
+  for (const auto& matcher : matchers) {
+    records.push_back(RunMatcher(*matcher, context, nullptr));
+    const RunRecord& record = records.back();
+    if (!record.completed) {
+      table.AddRow({matcher->name(), "-", "-", record.failure});
+      continue;
+    }
+    table.AddRow({matcher->name(), TextTable::Num(record.objective),
+                  TextTable::Num(record.elapsed_ms, 1),
+                  record.mapping.ToString(&log1->dictionary(),
+                                          &log2->dictionary())});
+  }
+  table.Print(std::cout);
+  for (const RunRecord& record : records) {
+    if (record.completed && record.objective > best_objective &&
+        record.mapping.IsComplete()) {
+      best_objective = record.objective;
+      best_mapping = &record.mapping;
+    }
+  }
+
+  if (!output_path.empty() && best_mapping != nullptr) {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::cerr << "cannot open --output file " << output_path << "\n";
+      return 1;
+    }
+    const Status written = WriteMapping(*best_mapping, log1->dictionary(),
+                                        log2->dictionary(), out);
+    if (!written.ok()) {
+      std::cerr << "writing mapping failed: " << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote mapping to " << output_path << "\n";
+  }
+
+  if (explain && best_mapping != nullptr) {
+    std::cout << "\n--- evidence for the best mapping ---\n";
+    PrintMatchReport(ExplainMapping(context, *best_mapping), std::cout);
+  }
+  if (extend && best_mapping != nullptr) {
+    const std::vector<Pattern> pattern_set =
+        BuildPatternSet(g1, complex);
+    Result<GroupMapping> groups =
+        ExtendToOneToN(*log1, *log2, pattern_set, *best_mapping);
+    if (!groups.ok()) {
+      std::cerr << "1-to-n extension failed: " << groups.status() << "\n";
+      return 1;
+    }
+    std::cout << "\n--- 1-to-n extension ---\n"
+              << "merges: " << groups->merges << ", objective "
+              << TextTable::Num(groups->base_objective) << " -> "
+              << TextTable::Num(groups->objective) << "\n";
+    const std::string extended =
+        GroupsToString(*groups, *log1, *log2);
+    std::cout << (extended.empty() ? std::string("no groups extended")
+                                   : extended)
+              << "\n";
+  }
+  return 0;
+}
