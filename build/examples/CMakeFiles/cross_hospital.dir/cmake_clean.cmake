@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_hospital.dir/cross_hospital.cpp.o"
+  "CMakeFiles/cross_hospital.dir/cross_hospital.cpp.o.d"
+  "cross_hospital"
+  "cross_hospital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_hospital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cross_hospital.
+# This may be replaced when dependencies are built.

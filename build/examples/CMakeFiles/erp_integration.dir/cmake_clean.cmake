@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erp_integration.dir/erp_integration.cpp.o"
+  "CMakeFiles/erp_integration.dir/erp_integration.cpp.o.d"
+  "erp_integration"
+  "erp_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erp_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

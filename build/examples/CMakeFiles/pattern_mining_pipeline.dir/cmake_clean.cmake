@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_mining_pipeline.dir/pattern_mining_pipeline.cpp.o"
+  "CMakeFiles/pattern_mining_pipeline.dir/pattern_mining_pipeline.cpp.o.d"
+  "pattern_mining_pipeline"
+  "pattern_mining_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_mining_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

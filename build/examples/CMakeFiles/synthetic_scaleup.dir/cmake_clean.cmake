@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_scaleup.dir/synthetic_scaleup.cpp.o"
+  "CMakeFiles/synthetic_scaleup.dir/synthetic_scaleup.cpp.o.d"
+  "synthetic_scaleup"
+  "synthetic_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_api.dir/match_pipeline.cc.o"
+  "CMakeFiles/hematch_api.dir/match_pipeline.cc.o.d"
+  "libhematch_api.a"
+  "libhematch_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

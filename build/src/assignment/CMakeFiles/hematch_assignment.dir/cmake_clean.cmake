@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_assignment.dir/hungarian.cc.o"
+  "CMakeFiles/hematch_assignment.dir/hungarian.cc.o.d"
+  "libhematch_assignment.a"
+  "libhematch_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

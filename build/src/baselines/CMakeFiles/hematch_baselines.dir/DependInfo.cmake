@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/entropy_matcher.cc" "src/baselines/CMakeFiles/hematch_baselines.dir/entropy_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/hematch_baselines.dir/entropy_matcher.cc.o.d"
+  "/root/repo/src/baselines/iterative_matcher.cc" "src/baselines/CMakeFiles/hematch_baselines.dir/iterative_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/hematch_baselines.dir/iterative_matcher.cc.o.d"
+  "/root/repo/src/baselines/vertex_edge_matcher.cc" "src/baselines/CMakeFiles/hematch_baselines.dir/vertex_edge_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/hematch_baselines.dir/vertex_edge_matcher.cc.o.d"
+  "/root/repo/src/baselines/vertex_matcher.cc" "src/baselines/CMakeFiles/hematch_baselines.dir/vertex_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/hematch_baselines.dir/vertex_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hematch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/hematch_assignment.dir/DependInfo.cmake"
+  "/root/repo/build/src/freq/CMakeFiles/hematch_freq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/hematch_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hematch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_baselines.dir/entropy_matcher.cc.o"
+  "CMakeFiles/hematch_baselines.dir/entropy_matcher.cc.o.d"
+  "CMakeFiles/hematch_baselines.dir/iterative_matcher.cc.o"
+  "CMakeFiles/hematch_baselines.dir/iterative_matcher.cc.o.d"
+  "CMakeFiles/hematch_baselines.dir/vertex_edge_matcher.cc.o"
+  "CMakeFiles/hematch_baselines.dir/vertex_edge_matcher.cc.o.d"
+  "CMakeFiles/hematch_baselines.dir/vertex_matcher.cc.o"
+  "CMakeFiles/hematch_baselines.dir/vertex_matcher.cc.o.d"
+  "libhematch_baselines.a"
+  "libhematch_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhematch_baselines.a"
+)

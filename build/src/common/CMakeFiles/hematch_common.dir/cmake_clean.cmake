@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_common.dir/rng.cc.o"
+  "CMakeFiles/hematch_common.dir/rng.cc.o.d"
+  "CMakeFiles/hematch_common.dir/status.cc.o"
+  "CMakeFiles/hematch_common.dir/status.cc.o.d"
+  "CMakeFiles/hematch_common.dir/strings.cc.o"
+  "CMakeFiles/hematch_common.dir/strings.cc.o.d"
+  "libhematch_common.a"
+  "libhematch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

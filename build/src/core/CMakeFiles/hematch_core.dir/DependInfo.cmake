@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alternating_tree.cc" "src/core/CMakeFiles/hematch_core.dir/alternating_tree.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/alternating_tree.cc.o.d"
+  "/root/repo/src/core/astar_matcher.cc" "src/core/CMakeFiles/hematch_core.dir/astar_matcher.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/astar_matcher.cc.o.d"
+  "/root/repo/src/core/bounding.cc" "src/core/CMakeFiles/hematch_core.dir/bounding.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/bounding.cc.o.d"
+  "/root/repo/src/core/heuristic_advanced_matcher.cc" "src/core/CMakeFiles/hematch_core.dir/heuristic_advanced_matcher.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/heuristic_advanced_matcher.cc.o.d"
+  "/root/repo/src/core/heuristic_simple_matcher.cc" "src/core/CMakeFiles/hematch_core.dir/heuristic_simple_matcher.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/heuristic_simple_matcher.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/core/CMakeFiles/hematch_core.dir/mapping.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/mapping.cc.o.d"
+  "/root/repo/src/core/mapping_io.cc" "src/core/CMakeFiles/hematch_core.dir/mapping_io.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/mapping_io.cc.o.d"
+  "/root/repo/src/core/mapping_scorer.cc" "src/core/CMakeFiles/hematch_core.dir/mapping_scorer.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/mapping_scorer.cc.o.d"
+  "/root/repo/src/core/matching_context.cc" "src/core/CMakeFiles/hematch_core.dir/matching_context.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/matching_context.cc.o.d"
+  "/root/repo/src/core/normal_distance.cc" "src/core/CMakeFiles/hematch_core.dir/normal_distance.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/normal_distance.cc.o.d"
+  "/root/repo/src/core/one_to_n.cc" "src/core/CMakeFiles/hematch_core.dir/one_to_n.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/one_to_n.cc.o.d"
+  "/root/repo/src/core/pattern_set.cc" "src/core/CMakeFiles/hematch_core.dir/pattern_set.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/pattern_set.cc.o.d"
+  "/root/repo/src/core/theta_score.cc" "src/core/CMakeFiles/hematch_core.dir/theta_score.cc.o" "gcc" "src/core/CMakeFiles/hematch_core.dir/theta_score.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hematch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/hematch_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/freq/CMakeFiles/hematch_freq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

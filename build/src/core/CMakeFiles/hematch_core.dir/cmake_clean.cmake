@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_core.dir/alternating_tree.cc.o"
+  "CMakeFiles/hematch_core.dir/alternating_tree.cc.o.d"
+  "CMakeFiles/hematch_core.dir/astar_matcher.cc.o"
+  "CMakeFiles/hematch_core.dir/astar_matcher.cc.o.d"
+  "CMakeFiles/hematch_core.dir/bounding.cc.o"
+  "CMakeFiles/hematch_core.dir/bounding.cc.o.d"
+  "CMakeFiles/hematch_core.dir/heuristic_advanced_matcher.cc.o"
+  "CMakeFiles/hematch_core.dir/heuristic_advanced_matcher.cc.o.d"
+  "CMakeFiles/hematch_core.dir/heuristic_simple_matcher.cc.o"
+  "CMakeFiles/hematch_core.dir/heuristic_simple_matcher.cc.o.d"
+  "CMakeFiles/hematch_core.dir/mapping.cc.o"
+  "CMakeFiles/hematch_core.dir/mapping.cc.o.d"
+  "CMakeFiles/hematch_core.dir/mapping_io.cc.o"
+  "CMakeFiles/hematch_core.dir/mapping_io.cc.o.d"
+  "CMakeFiles/hematch_core.dir/mapping_scorer.cc.o"
+  "CMakeFiles/hematch_core.dir/mapping_scorer.cc.o.d"
+  "CMakeFiles/hematch_core.dir/matching_context.cc.o"
+  "CMakeFiles/hematch_core.dir/matching_context.cc.o.d"
+  "CMakeFiles/hematch_core.dir/normal_distance.cc.o"
+  "CMakeFiles/hematch_core.dir/normal_distance.cc.o.d"
+  "CMakeFiles/hematch_core.dir/one_to_n.cc.o"
+  "CMakeFiles/hematch_core.dir/one_to_n.cc.o.d"
+  "CMakeFiles/hematch_core.dir/pattern_set.cc.o"
+  "CMakeFiles/hematch_core.dir/pattern_set.cc.o.d"
+  "CMakeFiles/hematch_core.dir/theta_score.cc.o"
+  "CMakeFiles/hematch_core.dir/theta_score.cc.o.d"
+  "libhematch_core.a"
+  "libhematch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

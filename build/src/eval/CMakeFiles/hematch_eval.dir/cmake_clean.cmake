@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_eval.dir/metrics.cc.o"
+  "CMakeFiles/hematch_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/hematch_eval.dir/report.cc.o"
+  "CMakeFiles/hematch_eval.dir/report.cc.o.d"
+  "CMakeFiles/hematch_eval.dir/runner.cc.o"
+  "CMakeFiles/hematch_eval.dir/runner.cc.o.d"
+  "CMakeFiles/hematch_eval.dir/table.cc.o"
+  "CMakeFiles/hematch_eval.dir/table.cc.o.d"
+  "libhematch_eval.a"
+  "libhematch_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

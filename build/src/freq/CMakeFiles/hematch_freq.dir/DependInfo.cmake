@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/freq/existence_pruner.cc" "src/freq/CMakeFiles/hematch_freq.dir/existence_pruner.cc.o" "gcc" "src/freq/CMakeFiles/hematch_freq.dir/existence_pruner.cc.o.d"
+  "/root/repo/src/freq/frequency_evaluator.cc" "src/freq/CMakeFiles/hematch_freq.dir/frequency_evaluator.cc.o" "gcc" "src/freq/CMakeFiles/hematch_freq.dir/frequency_evaluator.cc.o.d"
+  "/root/repo/src/freq/inverted_index.cc" "src/freq/CMakeFiles/hematch_freq.dir/inverted_index.cc.o" "gcc" "src/freq/CMakeFiles/hematch_freq.dir/inverted_index.cc.o.d"
+  "/root/repo/src/freq/trace_matcher.cc" "src/freq/CMakeFiles/hematch_freq.dir/trace_matcher.cc.o" "gcc" "src/freq/CMakeFiles/hematch_freq.dir/trace_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hematch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/hematch_pattern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_freq.dir/existence_pruner.cc.o"
+  "CMakeFiles/hematch_freq.dir/existence_pruner.cc.o.d"
+  "CMakeFiles/hematch_freq.dir/frequency_evaluator.cc.o"
+  "CMakeFiles/hematch_freq.dir/frequency_evaluator.cc.o.d"
+  "CMakeFiles/hematch_freq.dir/inverted_index.cc.o"
+  "CMakeFiles/hematch_freq.dir/inverted_index.cc.o.d"
+  "CMakeFiles/hematch_freq.dir/trace_matcher.cc.o"
+  "CMakeFiles/hematch_freq.dir/trace_matcher.cc.o.d"
+  "libhematch_freq.a"
+  "libhematch_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/bus_process.cc" "src/gen/CMakeFiles/hematch_gen.dir/bus_process.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/bus_process.cc.o.d"
+  "/root/repo/src/gen/hospital_process.cc" "src/gen/CMakeFiles/hematch_gen.dir/hospital_process.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/hospital_process.cc.o.d"
+  "/root/repo/src/gen/matching_task.cc" "src/gen/CMakeFiles/hematch_gen.dir/matching_task.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/matching_task.cc.o.d"
+  "/root/repo/src/gen/pattern_miner.cc" "src/gen/CMakeFiles/hematch_gen.dir/pattern_miner.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/pattern_miner.cc.o.d"
+  "/root/repo/src/gen/process_model.cc" "src/gen/CMakeFiles/hematch_gen.dir/process_model.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/process_model.cc.o.d"
+  "/root/repo/src/gen/random_logs.cc" "src/gen/CMakeFiles/hematch_gen.dir/random_logs.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/random_logs.cc.o.d"
+  "/root/repo/src/gen/synthetic_process.cc" "src/gen/CMakeFiles/hematch_gen.dir/synthetic_process.cc.o" "gcc" "src/gen/CMakeFiles/hematch_gen.dir/synthetic_process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hematch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/freq/CMakeFiles/hematch_freq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/hematch_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hematch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_gen.dir/bus_process.cc.o"
+  "CMakeFiles/hematch_gen.dir/bus_process.cc.o.d"
+  "CMakeFiles/hematch_gen.dir/hospital_process.cc.o"
+  "CMakeFiles/hematch_gen.dir/hospital_process.cc.o.d"
+  "CMakeFiles/hematch_gen.dir/matching_task.cc.o"
+  "CMakeFiles/hematch_gen.dir/matching_task.cc.o.d"
+  "CMakeFiles/hematch_gen.dir/pattern_miner.cc.o"
+  "CMakeFiles/hematch_gen.dir/pattern_miner.cc.o.d"
+  "CMakeFiles/hematch_gen.dir/process_model.cc.o"
+  "CMakeFiles/hematch_gen.dir/process_model.cc.o.d"
+  "CMakeFiles/hematch_gen.dir/random_logs.cc.o"
+  "CMakeFiles/hematch_gen.dir/random_logs.cc.o.d"
+  "CMakeFiles/hematch_gen.dir/synthetic_process.cc.o"
+  "CMakeFiles/hematch_gen.dir/synthetic_process.cc.o.d"
+  "libhematch_gen.a"
+  "libhematch_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dependency_graph.cc" "src/graph/CMakeFiles/hematch_graph.dir/dependency_graph.cc.o" "gcc" "src/graph/CMakeFiles/hematch_graph.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/hematch_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/hematch_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/incremental_dependency_graph.cc" "src/graph/CMakeFiles/hematch_graph.dir/incremental_dependency_graph.cc.o" "gcc" "src/graph/CMakeFiles/hematch_graph.dir/incremental_dependency_graph.cc.o.d"
+  "/root/repo/src/graph/subgraph_isomorphism.cc" "src/graph/CMakeFiles/hematch_graph.dir/subgraph_isomorphism.cc.o" "gcc" "src/graph/CMakeFiles/hematch_graph.dir/subgraph_isomorphism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

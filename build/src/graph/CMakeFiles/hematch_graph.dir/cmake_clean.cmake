@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_graph.dir/dependency_graph.cc.o"
+  "CMakeFiles/hematch_graph.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/hematch_graph.dir/digraph.cc.o"
+  "CMakeFiles/hematch_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/hematch_graph.dir/incremental_dependency_graph.cc.o"
+  "CMakeFiles/hematch_graph.dir/incremental_dependency_graph.cc.o.d"
+  "CMakeFiles/hematch_graph.dir/subgraph_isomorphism.cc.o"
+  "CMakeFiles/hematch_graph.dir/subgraph_isomorphism.cc.o.d"
+  "libhematch_graph.a"
+  "libhematch_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/event_dictionary.cc" "src/log/CMakeFiles/hematch_log.dir/event_dictionary.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/event_dictionary.cc.o.d"
+  "/root/repo/src/log/event_log.cc" "src/log/CMakeFiles/hematch_log.dir/event_log.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/event_log.cc.o.d"
+  "/root/repo/src/log/log_io.cc" "src/log/CMakeFiles/hematch_log.dir/log_io.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/log_io.cc.o.d"
+  "/root/repo/src/log/log_stats.cc" "src/log/CMakeFiles/hematch_log.dir/log_stats.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/log_stats.cc.o.d"
+  "/root/repo/src/log/projection.cc" "src/log/CMakeFiles/hematch_log.dir/projection.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/projection.cc.o.d"
+  "/root/repo/src/log/xes_io.cc" "src/log/CMakeFiles/hematch_log.dir/xes_io.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/xes_io.cc.o.d"
+  "/root/repo/src/log/xml_parser.cc" "src/log/CMakeFiles/hematch_log.dir/xml_parser.cc.o" "gcc" "src/log/CMakeFiles/hematch_log.dir/xml_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

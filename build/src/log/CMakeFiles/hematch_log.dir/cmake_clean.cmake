@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_log.dir/event_dictionary.cc.o"
+  "CMakeFiles/hematch_log.dir/event_dictionary.cc.o.d"
+  "CMakeFiles/hematch_log.dir/event_log.cc.o"
+  "CMakeFiles/hematch_log.dir/event_log.cc.o.d"
+  "CMakeFiles/hematch_log.dir/log_io.cc.o"
+  "CMakeFiles/hematch_log.dir/log_io.cc.o.d"
+  "CMakeFiles/hematch_log.dir/log_stats.cc.o"
+  "CMakeFiles/hematch_log.dir/log_stats.cc.o.d"
+  "CMakeFiles/hematch_log.dir/projection.cc.o"
+  "CMakeFiles/hematch_log.dir/projection.cc.o.d"
+  "CMakeFiles/hematch_log.dir/xes_io.cc.o"
+  "CMakeFiles/hematch_log.dir/xes_io.cc.o.d"
+  "CMakeFiles/hematch_log.dir/xml_parser.cc.o"
+  "CMakeFiles/hematch_log.dir/xml_parser.cc.o.d"
+  "libhematch_log.a"
+  "libhematch_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/pattern.cc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern.cc.o" "gcc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern.cc.o.d"
+  "/root/repo/src/pattern/pattern_graph.cc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern_graph.cc.o" "gcc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern_graph.cc.o.d"
+  "/root/repo/src/pattern/pattern_language.cc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern_language.cc.o" "gcc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern_language.cc.o.d"
+  "/root/repo/src/pattern/pattern_parser.cc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern_parser.cc.o" "gcc" "src/pattern/CMakeFiles/hematch_pattern.dir/pattern_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hematch_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

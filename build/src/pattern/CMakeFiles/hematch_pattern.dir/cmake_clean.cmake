@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_pattern.dir/pattern.cc.o"
+  "CMakeFiles/hematch_pattern.dir/pattern.cc.o.d"
+  "CMakeFiles/hematch_pattern.dir/pattern_graph.cc.o"
+  "CMakeFiles/hematch_pattern.dir/pattern_graph.cc.o.d"
+  "CMakeFiles/hematch_pattern.dir/pattern_language.cc.o"
+  "CMakeFiles/hematch_pattern.dir/pattern_language.cc.o.d"
+  "CMakeFiles/hematch_pattern.dir/pattern_parser.cc.o"
+  "CMakeFiles/hematch_pattern.dir/pattern_parser.cc.o.d"
+  "libhematch_pattern.a"
+  "libhematch_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

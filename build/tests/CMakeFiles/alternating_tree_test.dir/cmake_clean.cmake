@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternating_tree_test.dir/alternating_tree_test.cc.o"
+  "CMakeFiles/alternating_tree_test.dir/alternating_tree_test.cc.o.d"
+  "alternating_tree_test"
+  "alternating_tree_test.pdb"
+  "alternating_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternating_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

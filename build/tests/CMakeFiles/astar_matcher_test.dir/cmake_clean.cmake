@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astar_matcher_test.dir/astar_matcher_test.cc.o"
+  "CMakeFiles/astar_matcher_test.dir/astar_matcher_test.cc.o.d"
+  "astar_matcher_test"
+  "astar_matcher_test.pdb"
+  "astar_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astar_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

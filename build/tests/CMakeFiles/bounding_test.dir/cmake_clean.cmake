@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounding_test.dir/bounding_test.cc.o"
+  "CMakeFiles/bounding_test.dir/bounding_test.cc.o.d"
+  "bounding_test"
+  "bounding_test.pdb"
+  "bounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/existence_pruner_test.dir/existence_pruner_test.cc.o"
+  "CMakeFiles/existence_pruner_test.dir/existence_pruner_test.cc.o.d"
+  "existence_pruner_test"
+  "existence_pruner_test.pdb"
+  "existence_pruner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/existence_pruner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_matchers_test.dir/heuristic_matchers_test.cc.o"
+  "CMakeFiles/heuristic_matchers_test.dir/heuristic_matchers_test.cc.o.d"
+  "heuristic_matchers_test"
+  "heuristic_matchers_test.pdb"
+  "heuristic_matchers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_matchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_process_test.dir/hospital_process_test.cc.o"
+  "CMakeFiles/hospital_process_test.dir/hospital_process_test.cc.o.d"
+  "hospital_process_test"
+  "hospital_process_test.pdb"
+  "hospital_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

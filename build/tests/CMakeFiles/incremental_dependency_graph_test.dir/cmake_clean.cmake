@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_dependency_graph_test.dir/incremental_dependency_graph_test.cc.o"
+  "CMakeFiles/incremental_dependency_graph_test.dir/incremental_dependency_graph_test.cc.o.d"
+  "incremental_dependency_graph_test"
+  "incremental_dependency_graph_test.pdb"
+  "incremental_dependency_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_dependency_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_pipeline_test.dir/match_pipeline_test.cc.o"
+  "CMakeFiles/match_pipeline_test.dir/match_pipeline_test.cc.o.d"
+  "match_pipeline_test"
+  "match_pipeline_test.pdb"
+  "match_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_context_test.dir/matching_context_test.cc.o"
+  "CMakeFiles/matching_context_test.dir/matching_context_test.cc.o.d"
+  "matching_context_test"
+  "matching_context_test.pdb"
+  "matching_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_task_test.dir/matching_task_test.cc.o"
+  "CMakeFiles/matching_task_test.dir/matching_task_test.cc.o.d"
+  "matching_task_test"
+  "matching_task_test.pdb"
+  "matching_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_distance_test.dir/normal_distance_test.cc.o"
+  "CMakeFiles/normal_distance_test.dir/normal_distance_test.cc.o.d"
+  "normal_distance_test"
+  "normal_distance_test.pdb"
+  "normal_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_to_n_test.dir/one_to_n_test.cc.o"
+  "CMakeFiles/one_to_n_test.dir/one_to_n_test.cc.o.d"
+  "one_to_n_test"
+  "one_to_n_test.pdb"
+  "one_to_n_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_to_n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_language_test.dir/pattern_language_test.cc.o"
+  "CMakeFiles/pattern_language_test.dir/pattern_language_test.cc.o.d"
+  "pattern_language_test"
+  "pattern_language_test.pdb"
+  "pattern_language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

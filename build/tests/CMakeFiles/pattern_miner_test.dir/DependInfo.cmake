@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pattern_miner_test.cc" "tests/CMakeFiles/pattern_miner_test.dir/pattern_miner_test.cc.o" "gcc" "tests/CMakeFiles/pattern_miner_test.dir/pattern_miner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/hematch_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hematch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hematch_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hematch_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hematch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/hematch_assignment.dir/DependInfo.cmake"
+  "/root/repo/build/src/freq/CMakeFiles/hematch_freq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/hematch_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hematch_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hematch_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hematch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_roundtrip_test.dir/pattern_roundtrip_test.cc.o"
+  "CMakeFiles/pattern_roundtrip_test.dir/pattern_roundtrip_test.cc.o.d"
+  "pattern_roundtrip_test"
+  "pattern_roundtrip_test.pdb"
+  "pattern_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_model_test.dir/process_model_test.cc.o"
+  "CMakeFiles/process_model_test.dir/process_model_test.cc.o.d"
+  "process_model_test"
+  "process_model_test.pdb"
+  "process_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_data_test.dir/sample_data_test.cc.o"
+  "CMakeFiles/sample_data_test.dir/sample_data_test.cc.o.d"
+  "sample_data_test"
+  "sample_data_test.pdb"
+  "sample_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_isomorphism_test.dir/subgraph_isomorphism_test.cc.o"
+  "CMakeFiles/subgraph_isomorphism_test.dir/subgraph_isomorphism_test.cc.o.d"
+  "subgraph_isomorphism_test"
+  "subgraph_isomorphism_test.pdb"
+  "subgraph_isomorphism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_isomorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

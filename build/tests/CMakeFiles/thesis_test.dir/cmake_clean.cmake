@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thesis_test.dir/thesis_test.cc.o"
+  "CMakeFiles/thesis_test.dir/thesis_test.cc.o.d"
+  "thesis_test"
+  "thesis_test.pdb"
+  "thesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

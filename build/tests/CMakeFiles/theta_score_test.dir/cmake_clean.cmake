@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_score_test.dir/theta_score_test.cc.o"
+  "CMakeFiles/theta_score_test.dir/theta_score_test.cc.o.d"
+  "theta_score_test"
+  "theta_score_test.pdb"
+  "theta_score_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_matcher_test.dir/trace_matcher_test.cc.o"
+  "CMakeFiles/trace_matcher_test.dir/trace_matcher_test.cc.o.d"
+  "trace_matcher_test"
+  "trace_matcher_test.pdb"
+  "trace_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

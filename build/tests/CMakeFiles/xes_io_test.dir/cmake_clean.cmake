@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xes_io_test.dir/xes_io_test.cc.o"
+  "CMakeFiles/xes_io_test.dir/xes_io_test.cc.o.d"
+  "xes_io_test"
+  "xes_io_test.pdb"
+  "xes_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xes_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

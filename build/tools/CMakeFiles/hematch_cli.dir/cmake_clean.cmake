@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_cli.dir/hematch_cli.cc.o"
+  "CMakeFiles/hematch_cli.dir/hematch_cli.cc.o.d"
+  "hematch_cli"
+  "hematch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hematch_inspect.dir/hematch_inspect.cc.o"
+  "CMakeFiles/hematch_inspect.dir/hematch_inspect.cc.o.d"
+  "hematch_inspect"
+  "hematch_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hematch_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
