@@ -8,7 +8,9 @@
 
 #include "assignment/hungarian.h"
 #include "common/rng.h"
+#include "core/astar_matcher.h"
 #include "core/bounding.h"
+#include "core/pattern_set.h"
 #include "freq/frequency_evaluator.h"
 #include "freq/trace_matcher.h"
 #include "pattern/pattern_language.h"
@@ -125,6 +127,29 @@ void BM_TightBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TightBound);
+
+// Full A* match with telemetry on vs. off: the pair bounds the metric
+// subsystem's overhead on the search hot path (budget: <2 %).
+void BM_AStarMatch(benchmark::State& state) {
+  const MatchingTask& task = BusTask();
+  const DependencyGraph g1 = DependencyGraph::Build(task.log1);
+  const std::vector<Pattern> patterns =
+      BuildPatternSet(g1, task.complex_patterns);
+  ContextTelemetryOptions telemetry;
+  telemetry.enabled = state.range(0) != 0;
+  const AStarMatcher matcher;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MatchingContext context(task.log1, task.log2, patterns, telemetry);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(matcher.Match(context));
+  }
+}
+BENCHMARK(BM_AStarMatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("telemetry")
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_Hungarian(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

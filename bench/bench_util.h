@@ -6,7 +6,14 @@
 // table of the paper (F-measure, wall-clock, and processed-mapping
 // counts per method); see EXPERIMENTS.md for the paper-vs-measured
 // record.
+//
+// When HEMATCH_BENCH_METRICS_DIR is set in the environment, Print()
+// additionally writes BENCH_<figure>.json into that directory: one
+// entry per (x_value, method) run with the headline numbers and the
+// run's full telemetry snapshot (schema in docs/OBSERVABILITY.md).
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +22,7 @@
 #include "eval/runner.h"
 #include "eval/table.h"
 #include "gen/matching_task.h"
+#include "obs/metrics_json.h"
 
 namespace hematch::bench {
 
@@ -29,6 +37,13 @@ struct FigureTables {
   TextTable time_ms;
   TextTable mappings;
 
+  /// One benchmark run kept for the optional JSON export.
+  struct RunSummary {
+    std::string x_value;
+    RunRecord record;
+  };
+  std::vector<RunSummary> runs;
+
   void AddRows(const std::string& x_value,
                const std::vector<const Matcher*>& matchers,
                const MatchingTask& task) {
@@ -36,16 +51,18 @@ struct FigureTables {
     std::vector<std::string> t_row = {x_value};
     std::vector<std::string> m_row = {x_value};
     for (const Matcher* matcher : matchers) {
-      const RunRecord record = RunMatcherOnTask(*matcher, task);
-      if (!record.completed) {
+      RunRecord record = RunMatcherOnTask(*matcher, task);
+      const bool completed = record.completed;
+      if (completed) {
+        f_row.push_back(TextTable::Num(record.f_measure));
+        t_row.push_back(TextTable::Num(record.elapsed_ms, 2));
+        m_row.push_back(std::to_string(record.mappings_processed));
+      } else {
         f_row.push_back("-");
         t_row.push_back("-");
         m_row.push_back("-");
-        continue;
       }
-      f_row.push_back(TextTable::Num(record.f_measure));
-      t_row.push_back(TextTable::Num(record.elapsed_ms, 2));
-      m_row.push_back(std::to_string(record.mappings_processed));
+      runs.push_back({x_value, std::move(record)});
     }
     f_measure.AddRow(std::move(f_row));
     time_ms.AddRow(std::move(t_row));
@@ -62,6 +79,58 @@ struct FigureTables {
     std::cout << "\n== " << figure << "c: # processed mappings vs " << x_name
               << " ==\n";
     mappings.Print(std::cout);
+    MaybeWriteMetrics(figure, x_name);
+  }
+
+ private:
+  void MaybeWriteMetrics(const std::string& figure,
+                         const std::string& x_name) const {
+    const char* dir = std::getenv("HEMATCH_BENCH_METRICS_DIR");
+    if (dir == nullptr || *dir == '\0') {
+      return;
+    }
+    std::string slug;
+    for (char c : figure) {
+      if (c == ' ' || c == '/' || c == '.') {
+        slug += '_';
+      } else {
+        slug += c;
+      }
+    }
+    const std::string path =
+        std::string(dir) + "/BENCH_" + slug + ".json";
+    std::string json;
+    json += "{\n  \"schema\": \"hematch.bench_metrics.v1\",\n";
+    json += "  \"figure\": \"" + obs::JsonEscape(figure) + "\",\n";
+    json += "  \"x_name\": \"" + obs::JsonEscape(x_name) + "\",\n";
+    json += "  \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const RunRecord& r = runs[i].record;
+      json += i == 0 ? "\n" : ",\n";
+      json += "    {\n";
+      json += "      \"x\": \"" + obs::JsonEscape(runs[i].x_value) + "\",\n";
+      json += "      \"method\": \"" + obs::JsonEscape(r.method) + "\",\n";
+      json += std::string("      \"completed\": ") +
+              (r.completed ? "true" : "false") + ",\n";
+      json += "      \"f_measure\": " + obs::JsonNumber(r.f_measure) + ",\n";
+      json += "      \"objective\": " + obs::JsonNumber(r.objective) + ",\n";
+      json += "      \"elapsed_ms\": " + obs::JsonNumber(r.elapsed_ms) + ",\n";
+      json += "      \"mappings_processed\": " +
+              std::to_string(r.mappings_processed) + ",\n";
+      json += "      \"nodes_visited\": " + std::to_string(r.nodes_visited) +
+              ",\n";
+      json +=
+          "      \"telemetry\": " + obs::TelemetryToJson(r.telemetry, 2, 3);
+      json += "\n    }";
+    }
+    json += runs.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return;
+    }
+    out << json;
+    std::cout << "wrote per-run metrics to " << path << "\n";
   }
 };
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# smoke-test the telemetry surface end to end (CLI --metrics-out JSON
+# with the invariants docs/OBSERVABILITY.md promises). CI runs this;
+# run it locally before sending a change.
+#
+#   scripts/check.sh [--skip-build]
+#
+# BUILD_DIR (default: build) selects the tree; extra cmake options go
+# through CMAKE_OPTS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_OPTS="${CMAKE_OPTS:-}"
+SKIP_BUILD=0
+[[ "${1:-}" == "--skip-build" ]] && SKIP_BUILD=1
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  echo "== configure + build"
+  # shellcheck disable=SC2086  # CMAKE_OPTS is intentionally word-split.
+  cmake -B "$BUILD_DIR" -S . $CMAKE_OPTS
+  cmake --build "$BUILD_DIR" -j
+fi
+
+echo "== tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== telemetry smoke"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$BUILD_DIR/tools/hematch_cli" --method=all \
+  --metrics-out="$tmp/metrics.json" data/dept_a.tr data/dept_b.csv \
+  > "$tmp/cli.out"
+
+python3 - "$tmp/metrics.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hematch.run_metrics.v1", doc.get("schema")
+assert doc["runs"], "no runs in metrics document"
+for run in doc["runs"]:
+    slug = "".join(c.lower() if c.isalnum() else "_" for c in run["method"])
+    slug = "_".join(p for p in slug.split("_") if p)
+    counters = run["telemetry"]["counters"]
+    for field in ("mappings_processed", "nodes_visited"):
+        name = f"{slug}.{field}"
+        assert counters.get(name) == run[field], (
+            f"{run['method']}: {name}={counters.get(name)} "
+            f"but MatchResult says {run[field]}")
+    assert run["elapsed_ms"] >= 0.0
+print(f"ok: {len(doc['runs'])} runs, per-run counters match MatchResult")
+EOF
+
+echo "all checks passed"

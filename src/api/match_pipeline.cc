@@ -90,12 +90,17 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
   }
 
   const DependencyGraph g1 = DependencyGraph::Build(source);
-  MatchingContext context(source, target, BuildPatternSet(g1, complex));
+  ContextTelemetryOptions telemetry;
+  telemetry.enabled = options.telemetry;
+  telemetry.tracer = options.tracer;
+  MatchingContext context(source, target, BuildPatternSet(g1, complex),
+                          telemetry);
   std::unique_ptr<Matcher> matcher = MakeMatcher(options);
   if (matcher == nullptr) {
     return Status::InvalidArgument("unknown match method");
   }
   HEMATCH_ASSIGN_OR_RETURN(outcome.result, matcher->Match(context));
+  outcome.telemetry = context.SnapshotTelemetry();
   return outcome;
 }
 

@@ -9,6 +9,8 @@
 #include "core/match_result.h"
 #include "core/mapping_scorer.h"
 #include "log/event_log.h"
+#include "obs/search_tracer.h"
+#include "obs/telemetry.h"
 #include "pattern/pattern.h"
 
 namespace hematch {
@@ -39,6 +41,13 @@ struct MatchPipelineOptions {
   std::uint64_t max_expansions = 50'000'000;
   /// Bound / existence-check configuration.
   ScorerOptions scorer;
+  /// Collect structured metrics for this run (`MatchPipelineOutcome::
+  /// telemetry`). When false the run pays no metric bookkeeping and the
+  /// outcome's snapshot is empty.
+  bool telemetry = true;
+  /// Optional live progress receiver (see obs/search_tracer.h); must
+  /// outlive the call. Null = no tracing.
+  obs::SearchTracer* tracer = nullptr;
 };
 
 /// Outcome of the facade: the mapping plus the information callers
@@ -51,6 +60,12 @@ struct MatchPipelineOutcome {
   /// The patterns actually used (textual, over the source vocabulary) —
   /// provided plus mined.
   std::vector<std::string> used_patterns;
+  /// Structured metrics of the run: the matcher's counters under its
+  /// method slug (e.g. `pattern_tight.mappings_processed`), frequency
+  /// cache/index counters under `freq1.`/`freq2.`, existence-pruning
+  /// counters under `existence.`. Empty when `options.telemetry` was
+  /// false. See docs/OBSERVABILITY.md for the taxonomy.
+  obs::TelemetrySnapshot telemetry;
 };
 
 /// One-call convenience API: orient the logs (injective mappings need

@@ -1,17 +1,18 @@
 #include "baselines/entropy_matcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <vector>
 
 #include "assignment/hungarian.h"
+#include "core/match_telemetry.h"
 #include "log/log_stats.h"
+#include "obs/stopwatch.h"
 
 namespace hematch {
 
 Result<MatchResult> EntropyMatcher::Match(MatchingContext& context) const {
-  const auto start_time = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {
@@ -48,9 +49,9 @@ Result<MatchResult> EntropyMatcher::Match(MatchingContext& context) const {
       result.objective += weights[i][j];
     }
   }
-  result.elapsed_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start_time)
-                          .count();
+  // One assignment solve over the full entropy-difference matrix.
+  result.mappings_processed = static_cast<std::uint64_t>(n1) * n2;
+  FinalizeMatchTelemetry(context, name(), watch, result);
   return result;
 }
 

@@ -1,11 +1,12 @@
 #include "baselines/iterative_matcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "assignment/hungarian.h"
+#include "core/match_telemetry.h"
 #include "core/normal_distance.h"
+#include "obs/stopwatch.h"
 
 namespace hematch {
 
@@ -58,7 +59,10 @@ std::vector<std::vector<double>> IterativeMatcher::ConvergedSimilarities(
     return total / static_cast<double>(nu.size());
   };
 
+  obs::Counter* iterations =
+      context.metrics().GetCounter("iterative.propagation_iterations");
   for (std::uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    iterations->Increment();
     double delta = 0.0;
     for (EventId u = 0; u < n1; ++u) {
       for (EventId v = 0; v < n2; ++v) {
@@ -79,7 +83,7 @@ std::vector<std::vector<double>> IterativeMatcher::ConvergedSimilarities(
 }
 
 Result<MatchResult> IterativeMatcher::Match(MatchingContext& context) const {
-  const auto start_time = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {
@@ -113,9 +117,9 @@ Result<MatchResult> IterativeMatcher::Match(MatchingContext& context) const {
       result.objective += sim[i][j];
     }
   }
-  result.elapsed_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start_time)
-                          .count();
+  // Every (source, target) similarity feeds the final assignment solve.
+  result.mappings_processed = static_cast<std::uint64_t>(n1) * n2;
+  FinalizeMatchTelemetry(context, name(), watch, result);
   return result;
 }
 

@@ -9,14 +9,20 @@ VertexEdgeMatcher::VertexEdgeMatcher(VertexEdgeOptions options)
     : options_(options) {}
 
 Result<MatchResult> VertexEdgeMatcher::Match(MatchingContext& context) const {
-  // Restricted instance: vertices + edges of G1 as the pattern set.
+  // Restricted instance: vertices + edges of G1 as the pattern set. The
+  // sub-context borrows the caller's registry and tracer so the inner A*
+  // run's telemetry (under the "vertex_edge." slug) lands in the same
+  // place as every other method's.
   PatternSetOptions set_options;
   set_options.include_vertices = true;
   set_options.include_edges = true;
+  ContextTelemetryOptions telemetry;
+  telemetry.shared_registry = &context.metrics();
+  telemetry.tracer = context.tracer();
   MatchingContext restricted(
       context.log1(), context.log2(),
-      BuildPatternSet(context.graph1(), /*complex_patterns=*/{},
-                      set_options));
+      BuildPatternSet(context.graph1(), /*complex_patterns=*/{}, set_options),
+      telemetry);
 
   AStarOptions astar_options;
   astar_options.scorer.bound = BoundKind::kTight;

@@ -1,16 +1,17 @@
 #include "baselines/vertex_matcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <vector>
 
 #include "assignment/hungarian.h"
+#include "core/match_telemetry.h"
 #include "core/normal_distance.h"
+#include "obs/stopwatch.h"
 
 namespace hematch {
 
 Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
-  const auto start_time = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {
@@ -38,11 +39,11 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
       result.mapping.Set(static_cast<EventId>(i), static_cast<EventId>(j));
     }
   }
+  // One assignment solve over the full weight matrix.
+  result.mappings_processed = static_cast<std::uint64_t>(n1) * n2;
   result.objective = VertexNormalDistance(context.graph1(), context.graph2(),
                                           result.mapping);
-  result.elapsed_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start_time)
-                          .count();
+  FinalizeMatchTelemetry(context, name(), watch, result);
   return result;
 }
 

@@ -1,9 +1,11 @@
 #include "core/astar_matcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <queue>
 #include <vector>
+
+#include "core/match_telemetry.h"
+#include "obs/stopwatch.h"
 
 namespace hematch {
 
@@ -44,7 +46,7 @@ std::string AStarMatcher::name() const {
 }
 
 Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
-  const auto start_time = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {
@@ -53,6 +55,20 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
   }
 
   MappingScorer scorer(context, options_.scorer);
+  const std::string method = name();
+  const std::string slug = obs::MetricSlug(method);
+  obs::MetricsRegistry& metrics = context.metrics();
+  obs::Gauge* open_list_peak = metrics.GetGauge(slug + ".open_list_peak");
+  obs::Gauge* best_f_gauge = metrics.GetGauge(slug + ".best_f");
+  obs::Gauge* bound_gap_gauge = metrics.GetGauge(slug + ".bound_gap");
+  obs::Histogram* depth_hist = metrics.GetHistogram(
+      slug + ".expansion_depth", {1, 2, 4, 8, 16, 32, 64, 128});
+
+  obs::SearchTracer* tracer = context.tracer();
+  const std::uint64_t interval =
+      options_.progress_interval == 0 ? 8192 : options_.progress_interval;
+  std::uint64_t next_report = interval;
+  const std::uint64_t prune_hits_at_start = context.existence_prune_hits();
 
   // Fixed expansion order: source events by decreasing number of
   // involving patterns (Ip list length), then by id for determinism.
@@ -87,6 +103,27 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
 
   MatchResult result;
   std::uint64_t sequence = 0;
+  std::uint64_t epoch = 0;
+  double best_g_seen = 0.0;
+
+  // Fills a progress sample from the search's current frontier node.
+  auto sample = [&](const Node& node, std::size_t open_size) {
+    obs::SearchProgress p;
+    p.method = method;
+    p.epoch = epoch;
+    p.nodes_visited = result.nodes_visited;
+    p.mappings_processed = result.mappings_processed;
+    p.open_list_size = open_size;
+    p.depth = node.mapping.size();
+    p.max_depth = n1;
+    p.best_f = node.f();
+    p.best_g = best_g_seen;
+    p.bound_gap = node.f() - best_g_seen;
+    p.existence_prune_hits =
+        context.existence_prune_hits() - prune_hits_at_start;
+    p.elapsed_ms = watch.ElapsedMs();
+    return p;
+  };
 
   std::priority_queue<Node, std::vector<Node>, NodeLess> queue;
   Node root{Mapping(n1, n2), 0.0, 0.0, sequence++};
@@ -97,17 +134,43 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     Node node = queue.top();
     queue.pop();
     ++result.nodes_visited;
+    best_g_seen = std::max(best_g_seen, node.g);
+    depth_hist->Observe(static_cast<double>(node.mapping.size()));
+    if (tracer != nullptr && result.nodes_visited >= next_report) {
+      tracer->OnProgress(sample(node, queue.size() + 1));
+      ++epoch;
+      next_report += interval;
+    }
     const std::size_t depth = node.mapping.size();
     if (depth == n1) {
       // First complete pop: optimal, since h is an upper bound.
       result.mapping = std::move(node.mapping);
       result.objective = node.g;
-      result.elapsed_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start_time)
-              .count();
+      best_f_gauge->Set(node.g);
+      bound_gap_gauge->Set(0.0);
+      open_list_peak->SetMax(static_cast<double>(queue.size()));
+      FinalizeMatchTelemetry(context, method, watch, result);
+      if (tracer != nullptr) {
+        obs::SearchProgress done;
+        done.method = method;
+        done.epoch = epoch;
+        done.nodes_visited = result.nodes_visited;
+        done.mappings_processed = result.mappings_processed;
+        done.open_list_size = queue.size();
+        done.depth = n1;
+        done.max_depth = n1;
+        done.best_f = result.objective;
+        done.best_g = result.objective;
+        done.bound_gap = 0.0;
+        done.existence_prune_hits =
+            context.existence_prune_hits() - prune_hits_at_start;
+        done.elapsed_ms = result.elapsed_ms;
+        tracer->OnComplete(done);
+      }
       return result;
     }
+    best_f_gauge->Set(node.f());
+    bound_gap_gauge->Set(node.f() - best_g_seen);
 
     const EventId source = order[depth];
     for (EventId target = 0; target < n2; ++target) {
@@ -115,6 +178,10 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
         continue;
       }
       if (result.mappings_processed >= options_.max_expansions) {
+        PublishAbortedMatchTelemetry(context, method, watch, result);
+        if (tracer != nullptr) {
+          tracer->OnComplete(sample(node, queue.size() + 1));
+        }
         return Status::ResourceExhausted(
             name() + " exceeded the expansion budget of " +
             std::to_string(options_.max_expansions) + " mappings");
@@ -130,6 +197,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
                                             remaining_after[depth + 1]);
       queue.push(std::move(child));
     }
+    open_list_peak->SetMax(static_cast<double>(queue.size()));
   }
   return Status::Internal("A* queue exhausted without a complete mapping");
 }

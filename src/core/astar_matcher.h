@@ -19,6 +19,11 @@ struct AStarOptions {
   /// paper reports as the exact method "cannot return results".
   std::uint64_t max_expansions = 50'000'000;
 
+  /// Emit one `SearchProgress` sample to the context's tracer every this
+  /// many node pops (an "expansion epoch"). Ignored when no tracer is
+  /// installed; the per-pop cost is then a single pointer compare.
+  std::uint64_t progress_interval = 8192;
+
   /// Optional display-name override (defaults to "Pattern-Simple" or
   /// "Pattern-Tight" by bound kind; the Vertex / Vertex+Edge baselines
   /// set it when instantiating the framework with special pattern sets).

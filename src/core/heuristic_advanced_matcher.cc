@@ -1,11 +1,12 @@
 #include "core/heuristic_advanced_matcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <vector>
 
 #include "core/alternating_tree.h"
+#include "core/match_telemetry.h"
 #include "core/theta_score.h"
+#include "obs/stopwatch.h"
 
 namespace hematch {
 
@@ -33,7 +34,7 @@ HeuristicAdvancedMatcher::HeuristicAdvancedMatcher(
 
 Result<MatchResult> HeuristicAdvancedMatcher::Match(
     MatchingContext& context) const {
-  const auto start_time = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {
@@ -43,6 +44,12 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
   const std::size_t n = std::max(n1, n2);
 
   MappingScorer scorer(context, options_.scorer);
+  const std::string method = name();
+  const std::string slug = obs::MetricSlug(method);
+  obs::Counter* augmentations =
+      context.metrics().GetCounter(slug + ".augmentations");
+  obs::Counter* trees_built = context.metrics().GetCounter(slug + ".trees_built");
+  obs::SearchTracer* tracer = context.tracer();
 
   // Padded theta: dummy sources (i >= n1) score 0 against every target,
   // the "artificial events" that equalize |V1| and |V2|.
@@ -80,6 +87,7 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
       }
       AlternatingTree tree = BuildAlternatingTree(
           theta, label1, label2, match1, match2, static_cast<std::int32_t>(u));
+      trees_built->Increment();
       for (std::int32_t endpoint : tree.unmatched_targets) {
         ++result.mappings_processed;
         std::vector<std::int32_t> candidate1 = match1;
@@ -102,15 +110,45 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
     AugmentAlongPath(best_tree, best_root, best_endpoint, match1, match2);
     label1 = std::move(best_tree.label1);
     label2 = std::move(best_tree.label2);
+    augmentations->Increment();
+    ++result.nodes_visited;
+    if (tracer != nullptr) {
+      // One epoch per committed augmentation: `best_score` is the g + h
+      // of the mapping just committed — the objective trajectory.
+      obs::SearchProgress p;
+      p.method = method;
+      p.epoch = iteration;
+      p.nodes_visited = result.nodes_visited;
+      p.mappings_processed = result.mappings_processed;
+      p.depth = iteration + 1;
+      p.max_depth = n;
+      p.best_f = best_score;
+      p.best_g = best_score;
+      p.existence_prune_hits = context.existence_prune_hits();
+      p.elapsed_ms = watch.ElapsedMs();
+      tracer->OnProgress(p);
+    }
   }
 
   Mapping mapping = ToMapping(match1, n1, n2);
   HEMATCH_CHECK(mapping.IsComplete(), "advanced heuristic left V1 unmapped");
   result.objective = scorer.ComputeG(mapping);
   result.mapping = std::move(mapping);
-  result.elapsed_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start_time)
-                          .count();
+  FinalizeMatchTelemetry(context, method, watch, result);
+  if (tracer != nullptr) {
+    obs::SearchProgress done;
+    done.method = method;
+    done.epoch = n;
+    done.nodes_visited = result.nodes_visited;
+    done.mappings_processed = result.mappings_processed;
+    done.depth = n;
+    done.max_depth = n;
+    done.best_f = result.objective;
+    done.best_g = result.objective;
+    done.existence_prune_hits = context.existence_prune_hits();
+    done.elapsed_ms = result.elapsed_ms;
+    tracer->OnComplete(done);
+  }
   return result;
 }
 

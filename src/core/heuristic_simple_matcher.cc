@@ -1,8 +1,10 @@
 #include "core/heuristic_simple_matcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <vector>
+
+#include "core/match_telemetry.h"
+#include "obs/stopwatch.h"
 
 namespace hematch {
 
@@ -11,7 +13,7 @@ HeuristicSimpleMatcher::HeuristicSimpleMatcher(HeuristicSimpleOptions options)
 
 Result<MatchResult> HeuristicSimpleMatcher::Match(
     MatchingContext& context) const {
-  const auto start_time = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {
@@ -20,6 +22,10 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
   }
 
   MappingScorer scorer(context, options_.scorer);
+  const std::string method = name();
+  obs::Counter* steps =
+      context.metrics().GetCounter(obs::MetricSlug(method) + ".steps");
+  obs::SearchTracer* tracer = context.tracer();
 
   // Same expansion order as the exact matcher.
   std::vector<EventId> order(n1);
@@ -53,13 +59,45 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
     HEMATCH_CHECK(best_target != kInvalidEventId,
                   "no unused target available");
     mapping.Set(source, best_target);
+    steps->Increment();
+    ++result.nodes_visited;
+    if (tracer != nullptr) {
+      // One epoch per greedy step: the committed g + h is the objective
+      // trajectory the paper plots for the heuristics.
+      const MappingScorer::Score score = scorer.ComputeScore(mapping);
+      obs::SearchProgress p;
+      p.method = method;
+      p.epoch = depth;
+      p.nodes_visited = result.nodes_visited;
+      p.mappings_processed = result.mappings_processed;
+      p.depth = depth + 1;
+      p.max_depth = n1;
+      p.best_f = score.total();
+      p.best_g = score.g;
+      p.bound_gap = score.h;
+      p.existence_prune_hits = context.existence_prune_hits();
+      p.elapsed_ms = watch.ElapsedMs();
+      tracer->OnProgress(p);
+    }
   }
 
   result.objective = scorer.ComputeG(mapping);
   result.mapping = std::move(mapping);
-  result.elapsed_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start_time)
-                          .count();
+  FinalizeMatchTelemetry(context, method, watch, result);
+  if (tracer != nullptr) {
+    obs::SearchProgress done;
+    done.method = method;
+    done.epoch = n1;
+    done.nodes_visited = result.nodes_visited;
+    done.mappings_processed = result.mappings_processed;
+    done.depth = n1;
+    done.max_depth = n1;
+    done.best_f = result.objective;
+    done.best_g = result.objective;
+    done.existence_prune_hits = context.existence_prune_hits();
+    done.elapsed_ms = result.elapsed_ms;
+    tracer->OnComplete(done);
+  }
   return result;
 }
 

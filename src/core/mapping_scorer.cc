@@ -8,7 +8,12 @@ namespace hematch {
 
 MappingScorer::MappingScorer(MatchingContext& context,
                              const ScorerOptions& options)
-    : context_(&context), options_(options) {}
+    : context_(&context),
+      options_(options),
+      g_evals_(context.metrics().GetCounter("scorer.g_evaluations")),
+      h_evals_(context.metrics().GetCounter("scorer.h_evaluations")),
+      completed_contributions_(
+          context.metrics().GetCounter("scorer.completed_contributions")) {}
 
 std::size_t MappingScorer::MappedEventCount(std::size_t pid,
                                             const Mapping& m) const {
@@ -24,6 +29,7 @@ std::size_t MappingScorer::MappedEventCount(std::size_t pid,
 
 double MappingScorer::CompletedContribution(std::size_t pid,
                                             const Mapping& m) {
+  completed_contributions_->Increment();
   const Pattern& p = context_->patterns()[pid];
   const double f1 = context_->PatternFrequency1(pid);
   // Vertex and edge patterns dominate the pattern set; their translated
@@ -50,6 +56,7 @@ double MappingScorer::CompletedContribution(std::size_t pid,
 }
 
 double MappingScorer::ComputeG(const Mapping& m) {
+  g_evals_->Increment();
   double g = 0.0;
   for (std::size_t pid = 0; pid < context_->num_patterns(); ++pid) {
     const Pattern& p = context_->patterns()[pid];
@@ -113,6 +120,7 @@ double MappingScorer::IncompleteBound(std::size_t pid, const Mapping& m,
 }
 
 double MappingScorer::ComputeH(const Mapping& m) {
+  h_evals_->Increment();
   double h = 0.0;
   const std::vector<EventId> unused = m.UnusedTargets();
   FrequencyCeilings u2_ceilings;
@@ -136,6 +144,7 @@ double MappingScorer::ComputeH(const Mapping& m) {
 
 double MappingScorer::ComputeHForRemaining(
     const Mapping& m, const std::vector<std::uint32_t>& remaining) {
+  h_evals_->Increment();
   double h = 0.0;
   const std::vector<EventId> unused = m.UnusedTargets();
   FrequencyCeilings u2_ceilings;
@@ -154,6 +163,8 @@ double MappingScorer::ComputeHForRemaining(
 }
 
 MappingScorer::Score MappingScorer::ComputeScore(const Mapping& m) {
+  g_evals_->Increment();
+  h_evals_->Increment();
   Score score;
   const std::vector<EventId> unused = m.UnusedTargets();
   FrequencyCeilings u2_ceilings;

@@ -64,6 +64,11 @@ class MappingScorer {
   MatchingContext& context() { return *context_; }
   const ScorerOptions& options() const { return options_; }
 
+  /// Cumulative evaluation counters, shared with the context's registry
+  /// (`scorer.g_evaluations` / `scorer.h_evaluations`).
+  std::uint64_t g_evaluations() const { return g_evals_->value(); }
+  std::uint64_t h_evaluations() const { return h_evals_->value(); }
+
  private:
   // Δ for one incomplete pattern given the precomputed ceilings of U2 and
   // a scratch membership bitmap of (U2 ∪ mapped targets of the pattern).
@@ -74,6 +79,9 @@ class MappingScorer {
 
   MatchingContext* context_;
   ScorerOptions options_;
+  obs::Counter* g_evals_;
+  obs::Counter* h_evals_;
+  obs::Counter* completed_contributions_;
 };
 
 }  // namespace hematch

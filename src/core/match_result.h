@@ -24,10 +24,13 @@ struct MatchResult {
   /// paper's Figs. 7c/8c/9c/10c.
   std::uint64_t mappings_processed = 0;
 
-  /// Search-tree nodes popped from the A* queue (exact matcher only).
+  /// Search-tree nodes popped from the A* queue; the heuristics report
+  /// committed steps/augmentations, the assignment baselines report 0.
   std::uint64_t nodes_visited = 0;
 
-  /// Wall-clock spent inside Match(), in milliseconds.
+  /// Wall-clock spent inside Match(), in milliseconds. Populated
+  /// uniformly by every matcher via `FinalizeMatchTelemetry` (the same
+  /// stopwatch the registry's `<method>.elapsed_ms` gauge records).
   double elapsed_ms = 0.0;
 };
 

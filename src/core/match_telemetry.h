@@ -1,0 +1,56 @@
+#ifndef HEMATCH_CORE_MATCH_TELEMETRY_H_
+#define HEMATCH_CORE_MATCH_TELEMETRY_H_
+
+// The one place every matcher finishes through, so `elapsed_ms` and the
+// per-method registry counters are populated the same way for all eight
+// `MatchMethod`s: CLI tables, bench harnesses, and JSON exports all read
+// the same numbers.
+
+#include <string>
+
+#include "core/match_result.h"
+#include "core/matching_context.h"
+#include "obs/metrics.h"
+#include "obs/search_tracer.h"
+#include "obs/stopwatch.h"
+
+namespace hematch {
+
+/// Stamps `result.elapsed_ms` from `watch` and publishes the result's
+/// universal tallies under `<MetricSlug(method)>.` in the context's
+/// registry. Call exactly once per successful `Match`.
+inline void FinalizeMatchTelemetry(MatchingContext& context,
+                                   const std::string& method,
+                                   const obs::Stopwatch& watch,
+                                   MatchResult& result) {
+  result.elapsed_ms = watch.ElapsedMs();
+  obs::MetricsRegistry& metrics = context.metrics();
+  const std::string slug = obs::MetricSlug(method);
+  metrics.GetCounter(slug + ".runs")->Increment();
+  metrics.GetCounter(slug + ".mappings_processed")
+      ->Increment(result.mappings_processed);
+  metrics.GetCounter(slug + ".nodes_visited")->Increment(result.nodes_visited);
+  metrics.GetGauge(slug + ".elapsed_ms")->Set(result.elapsed_ms);
+  metrics.GetGauge(slug + ".objective")->Set(result.objective);
+}
+
+/// Failure-path sibling: records the partial tallies of a run that ran
+/// out of budget, plus a `.budget_exhausted` event.
+inline void PublishAbortedMatchTelemetry(MatchingContext& context,
+                                         const std::string& method,
+                                         const obs::Stopwatch& watch,
+                                         const MatchResult& partial) {
+  obs::MetricsRegistry& metrics = context.metrics();
+  const std::string slug = obs::MetricSlug(method);
+  metrics.GetCounter(slug + ".runs")->Increment();
+  metrics.GetCounter(slug + ".budget_exhausted")->Increment();
+  metrics.GetCounter(slug + ".mappings_processed")
+      ->Increment(partial.mappings_processed);
+  metrics.GetCounter(slug + ".nodes_visited")
+      ->Increment(partial.nodes_visited);
+  metrics.GetGauge(slug + ".elapsed_ms")->Set(watch.ElapsedMs());
+}
+
+}  // namespace hematch
+
+#endif  // HEMATCH_CORE_MATCH_TELEMETRY_H_

@@ -17,7 +17,8 @@ std::vector<std::vector<EventId>> PatternEventSets(
 }  // namespace
 
 MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
-                                 std::vector<Pattern> patterns)
+                                 std::vector<Pattern> patterns,
+                                 ContextTelemetryOptions telemetry)
     : log1_(&log1),
       log2_(&log2),
       graph1_(DependencyGraph::Build(log1)),
@@ -25,7 +26,16 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
       patterns_(std::move(patterns)),
       pattern_index_(log1.num_events(), PatternEventSets(patterns_)),
       eval1_(std::make_unique<FrequencyEvaluator>(log1)),
-      eval2_(std::make_unique<FrequencyEvaluator>(log2)) {
+      eval2_(std::make_unique<FrequencyEvaluator>(log2)),
+      owned_metrics_(telemetry.shared_registry != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>(
+                               telemetry.enabled)),
+      metrics_(telemetry.shared_registry != nullptr ? telemetry.shared_registry
+                                                    : owned_metrics_.get()),
+      tracer_(telemetry.tracer),
+      existence_checks_(metrics_->GetCounter("existence.checks")),
+      existence_pruned_(metrics_->GetCounter("existence.pruned")) {
   f1_.reserve(patterns_.size());
   for (const Pattern& p : patterns_) {
     if (p.IsVertexPattern()) {
@@ -47,10 +57,43 @@ double MatchingContext::PatternFrequency2(const Pattern& translated,
     return graph2_.EdgeFrequency(translated.events()[0],
                                  translated.events()[1]);
   }
+  existence_checks_->Increment();
   if (!PatternMayExist(translated, graph2_, mode)) {
+    existence_pruned_->Increment();
     return 0.0;  // Proposition 3: no trace can match.
   }
   return eval2_->Frequency(translated);
+}
+
+namespace {
+
+void ExportEvaluatorStats(const FrequencyEvaluator& eval,
+                          const std::string& prefix,
+                          obs::TelemetrySnapshot& snapshot) {
+  const FrequencyEvaluator::Stats& s = eval.stats();
+  snapshot.counters[prefix + "evaluations"] = s.evaluations;
+  snapshot.counters[prefix + "cache_hits"] = s.cache_hits;
+  snapshot.counters[prefix + "cache_misses"] = s.cache_misses;
+  snapshot.counters[prefix + "cache_evictions"] = s.cache_evictions;
+  snapshot.counters[prefix + "traces_scanned"] = s.traces_scanned;
+  snapshot.counters[prefix + "windows_tested"] = s.windows_tested;
+  const TraceIndex::Stats& ix = eval.trace_index().stats();
+  snapshot.counters[prefix + "index.candidate_queries"] = ix.candidate_queries;
+  snapshot.counters[prefix + "index.postings_scanned"] = ix.postings_scanned;
+  snapshot.counters[prefix + "index.candidates_yielded"] =
+      ix.candidates_yielded;
+}
+
+}  // namespace
+
+obs::TelemetrySnapshot MatchingContext::SnapshotTelemetry() const {
+  obs::TelemetrySnapshot snapshot = obs::CaptureSnapshot(*metrics_);
+  if (!metrics_->enabled()) {
+    return snapshot;  // Disabled: stay empty, allocate nothing downstream.
+  }
+  ExportEvaluatorStats(*eval1_, "freq1.", snapshot);
+  ExportEvaluatorStats(*eval2_, "freq2.", snapshot);
+  return snapshot;
 }
 
 }  // namespace hematch

@@ -9,9 +9,27 @@
 #include "freq/inverted_index.h"
 #include "graph/dependency_graph.h"
 #include "log/event_log.h"
+#include "obs/metrics.h"
+#include "obs/search_tracer.h"
+#include "obs/telemetry.h"
 #include "pattern/pattern.h"
 
 namespace hematch {
+
+/// How a `MatchingContext` wires into the telemetry subsystem.
+struct ContextTelemetryOptions {
+  /// When false the context creates a disabled registry: every metric
+  /// handle is a shared sink, nothing is registered or exported, and
+  /// `SnapshotTelemetry()` returns an empty snapshot.
+  bool enabled = true;
+  /// Borrow an external registry instead of owning one (used by matchers
+  /// that build restricted sub-contexts, e.g. Vertex+Edge, so their work
+  /// lands in the caller's metrics). Must outlive the context.
+  obs::MetricsRegistry* shared_registry = nullptr;
+  /// Optional live progress receiver; may also be set later via
+  /// `set_tracer`. Must outlive the context.
+  obs::SearchTracer* tracer = nullptr;
+};
 
 /// Everything the matching algorithms need about one (L1, L2, P) problem
 /// instance, computed once and shared: dependency graphs, frequency
@@ -26,7 +44,8 @@ class MatchingContext {
   /// `patterns` are over `log1`'s vocabulary. The convention |V1| <= |V2|
   /// is NOT required here; matchers that need it handle padding.
   MatchingContext(const EventLog& log1, const EventLog& log2,
-                  std::vector<Pattern> patterns);
+                  std::vector<Pattern> patterns,
+                  ContextTelemetryOptions telemetry = {});
 
   MatchingContext(const MatchingContext&) = delete;
   MatchingContext& operator=(const MatchingContext&) = delete;
@@ -61,6 +80,27 @@ class MatchingContext {
     return eval2_->stats();
   }
 
+  /// The context's metric registry. Matchers resolve their counters here;
+  /// when telemetry is disabled this hands out shared sinks.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Live progress receiver shared by every matcher run on this context
+  /// (null = no tracing).
+  obs::SearchTracer* tracer() const { return tracer_; }
+  void set_tracer(obs::SearchTracer* tracer) { tracer_ = tracer; }
+
+  /// Cumulative Proposition-3 pruning hits (patterns whose frequency
+  /// evaluation was skipped because they cannot occur in log2).
+  std::uint64_t existence_prune_hits() const {
+    return existence_pruned_->value();
+  }
+
+  /// Everything the context knows, frozen: the registry's metrics plus
+  /// the frequency evaluators' and trace indices' work counters under
+  /// `freq1.` / `freq2.`. Empty when telemetry is disabled.
+  obs::TelemetrySnapshot SnapshotTelemetry() const;
+
  private:
   const EventLog* log1_;
   const EventLog* log2_;
@@ -71,6 +111,11 @@ class MatchingContext {
   std::unique_ptr<FrequencyEvaluator> eval1_;
   std::unique_ptr<FrequencyEvaluator> eval2_;
   std::vector<double> f1_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::SearchTracer* tracer_;
+  obs::Counter* existence_checks_;
+  obs::Counter* existence_pruned_;
 };
 
 }  // namespace hematch

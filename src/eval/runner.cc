@@ -9,7 +9,9 @@ RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
                      const Mapping* truth) {
   RunRecord record;
   record.method = matcher.name();
+  const obs::TelemetrySnapshot before = context.SnapshotTelemetry();
   Result<MatchResult> outcome = matcher.Match(context);
+  record.telemetry = obs::DiffSnapshots(before, context.SnapshotTelemetry());
   if (!outcome.ok()) {
     record.failure = outcome.status().ToString();
     return record;
@@ -19,6 +21,7 @@ RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
   record.objective = result.objective;
   record.elapsed_ms = result.elapsed_ms;
   record.mappings_processed = result.mappings_processed;
+  record.nodes_visited = result.nodes_visited;
   if (truth != nullptr && truth->num_sources() > 0) {
     const MatchQuality quality = EvaluateMapping(result.mapping, *truth);
     record.f_measure = quality.f_measure;

@@ -6,6 +6,7 @@
 #include "core/matcher.h"
 #include "eval/metrics.h"
 #include "gen/matching_task.h"
+#include "obs/telemetry.h"
 
 namespace hematch {
 
@@ -20,7 +21,12 @@ struct RunRecord {
   double objective = 0.0;
   double elapsed_ms = 0.0;
   std::uint64_t mappings_processed = 0;
+  std::uint64_t nodes_visited = 0;
   Mapping mapping{0, 0};
+  /// What this run added to the context's telemetry (snapshot delta, so
+  /// runs sharing a context for cache amortization still get per-run
+  /// numbers). Empty when the context's telemetry is disabled.
+  obs::TelemetrySnapshot telemetry;
 };
 
 /// Runs `matcher` on `context`, scoring against `truth` when provided.

@@ -16,6 +16,7 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
       ++stats_.cache_hits;
       return it->second;
     }
+    ++stats_.cache_misses;
   }
 
   std::size_t support = 0;
@@ -40,6 +41,11 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   stats_.windows_tested += match_stats.windows_tested;
 
   if (options_.use_cache) {
+    if (options_.max_cache_entries > 0 &&
+        cache_.size() >= options_.max_cache_entries) {
+      stats_.cache_evictions += cache_.size();
+      cache_.clear();
+    }
     cache_.emplace(std::move(key), support);
   }
   return support;

@@ -23,6 +23,12 @@ struct FrequencyEvaluatorOptions {
   /// re-evaluates the same mapped pattern across many branches; caching
   /// makes those lookups O(1).
   bool use_cache = true;
+  /// Upper bound on memo-table entries; 0 = unbounded. When an insert
+  /// would exceed the cap the whole table is dropped (the access pattern
+  /// is bursts of re-evaluations of a working set, so wholesale reset
+  /// beats per-entry LRU bookkeeping) and `stats().cache_evictions`
+  /// records how many entries were discarded.
+  std::size_t max_cache_entries = 0;
 };
 
 /// Computes normalized pattern frequencies `f(p)` over one event log
@@ -50,10 +56,13 @@ class FrequencyEvaluator {
   const EventLog& log() const { return *log_; }
   const TraceIndex& trace_index() const { return trace_index_; }
 
-  /// Work counters (cumulative since construction).
+  /// Work counters (cumulative since construction). `MatchingContext`
+  /// promotes these into its telemetry snapshot under `freq1.` / `freq2.`.
   struct Stats {
-    std::uint64_t evaluations = 0;      ///< Frequency() calls.
+    std::uint64_t evaluations = 0;      ///< Support()/Frequency() calls.
     std::uint64_t cache_hits = 0;       ///< Served from the memo table.
+    std::uint64_t cache_misses = 0;     ///< Memo lookups that missed.
+    std::uint64_t cache_evictions = 0;  ///< Entries dropped by the cap.
     std::uint64_t traces_scanned = 0;   ///< Traces handed to the matcher.
     std::uint64_t windows_tested = 0;   ///< Full membership tests.
   };

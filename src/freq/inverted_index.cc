@@ -25,11 +25,13 @@ const std::vector<std::uint32_t>& TraceIndex::Postings(EventId v) const {
 
 std::vector<std::uint32_t> TraceIndex::CandidateTraces(
     std::span<const EventId> events) const {
+  ++stats_.candidate_queries;
   if (events.empty()) {
     std::vector<std::uint32_t> all(num_traces_);
     for (std::uint32_t t = 0; t < num_traces_; ++t) {
       all[t] = t;
     }
+    stats_.candidates_yielded += all.size();
     return all;
   }
   // Intersect starting from the shortest posting list.
@@ -40,17 +42,20 @@ std::vector<std::uint32_t> TraceIndex::CandidateTraces(
     }
   }
   std::vector<std::uint32_t> result = Postings(events[shortest]);
+  stats_.postings_scanned += result.size();
   for (std::size_t i = 0; i < events.size() && !result.empty(); ++i) {
     if (i == shortest) {
       continue;
     }
     const std::vector<std::uint32_t>& other = Postings(events[i]);
+    stats_.postings_scanned += other.size();
     std::vector<std::uint32_t> next;
     next.reserve(std::min(result.size(), other.size()));
     std::set_intersection(result.begin(), result.end(), other.begin(),
                           other.end(), std::back_inserter(next));
     result = std::move(next);
   }
+  stats_.candidates_yielded += result.size();
   return result;
 }
 

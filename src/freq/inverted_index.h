@@ -29,10 +29,22 @@ class TraceIndex {
 
   std::size_t num_traces() const { return num_traces_; }
 
+  /// Cumulative lookup-side work counters (`CandidateTraces` only; the
+  /// one-off build cost is not counted). Mutable because lookups are
+  /// logically const; promoted into telemetry snapshots under
+  /// `freq{1,2}.index.`.
+  struct Stats {
+    std::uint64_t candidate_queries = 0;   ///< CandidateTraces() calls.
+    std::uint64_t postings_scanned = 0;    ///< Posting entries touched.
+    std::uint64_t candidates_yielded = 0;  ///< Trace ids returned.
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   std::vector<std::vector<std::uint32_t>> postings_;
   std::vector<std::uint32_t> empty_;
   std::size_t num_traces_ = 0;
+  mutable Stats stats_;
 };
 
 /// The pattern inverted index `Ip` of Section 3.2.1: for each event `v`,

@@ -1,0 +1,182 @@
+#ifndef HEMATCH_OBS_METRICS_H_
+#define HEMATCH_OBS_METRICS_H_
+
+// Header-only metric primitives. The hot path is "resolve a handle once,
+// bump a 64-bit cell per event": matchers and evaluators obtain
+// Counter*/Gauge*/Histogram* from a `MetricsRegistry` at setup time and
+// touch only plain members afterwards — no locks, no lookups, no
+// allocation. A disabled registry hands out shared sink cells and
+// registers nothing, so instrumented code needs no `if (enabled)` guards
+// and a disabled run allocates no metric storage at all.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hematch::obs {
+
+/// A monotonically increasing 64-bit event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) { value_ += n; }
+  /// Overwrites the count (used when promoting an externally maintained
+  /// tally, e.g. `MatchResult::mappings_processed`, into the registry).
+  void Set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A last-written-wins scalar (objective values, sizes, milliseconds).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void SetMax(double v) { value_ = std::max(value_, v); }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first `bounds.size()` buckets; one overflow bucket catches the rest.
+/// Bucket layout is fixed at registration, so `Observe` is a short linear
+/// scan (bucket counts are small by design) with no allocation.
+class Histogram {
+ public:
+  Histogram() : counts_(1, 0) {}  // No bounds: a single catch-all bucket.
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void Observe(double v) {
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) {
+      ++b;
+    }
+    ++counts_[b];
+    sum_ += v;
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total_count() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts_) {
+      total += c;
+    }
+    return total;
+  }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  double sum_ = 0.0;
+};
+
+/// Owns all metrics of one matching context (or one tool run). Metric
+/// names are dot-separated paths, conventionally `<subsystem>.<metric>`
+/// or `<method-slug>.<metric>` — see docs/OBSERVABILITY.md for the
+/// taxonomy. Lookup is by sorted map so exports are deterministic;
+/// pointers returned by the accessors stay valid for the registry's
+/// lifetime (node-based map storage).
+///
+/// Not thread-safe; one registry per worker, merge snapshots to combine.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Finds or registers the named metric. On a disabled registry these
+  /// return shared sink cells and register nothing.
+  Counter* GetCounter(std::string_view name) {
+    if (!enabled_) {
+      return &sink_counter_;
+    }
+    return &counters_.try_emplace(std::string(name)).first->second;
+  }
+  Gauge* GetGauge(std::string_view name) {
+    if (!enabled_) {
+      return &sink_gauge_;
+    }
+    return &gauges_.try_emplace(std::string(name)).first->second;
+  }
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {}) {
+    if (!enabled_) {
+      return &sink_histogram_;
+    }
+    auto [it, inserted] =
+        histograms_.try_emplace(std::string(name), std::move(bounds));
+    return &it->second;
+  }
+
+  std::size_t num_metrics() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every registered value, keeping registrations (and therefore
+  /// previously handed-out pointers) intact.
+  void Reset() {
+    for (auto& [name, c] : counters_) {
+      c.Set(0);
+    }
+    for (auto& [name, g] : gauges_) {
+      g.Set(0.0);
+    }
+    for (auto& [name, h] : histograms_) {
+      h = Histogram(h.bounds());
+    }
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  bool enabled_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  // Shared write targets for the disabled mode.
+  Counter sink_counter_;
+  Gauge sink_gauge_;
+  Histogram sink_histogram_;
+};
+
+/// Canonical metric-name prefix for a human-readable method name:
+/// lowercase, every non-alphanumeric run collapsed to one '_'
+/// ("Pattern-Tight" -> "pattern_tight", "Vertex+Edge" -> "vertex_edge").
+inline std::string MetricSlug(std::string_view name) {
+  std::string slug;
+  slug.reserve(name.size());
+  for (char ch : name) {
+    const bool alnum = (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9');
+    const bool upper = ch >= 'A' && ch <= 'Z';
+    if (upper) {
+      slug.push_back(static_cast<char>(ch - 'A' + 'a'));
+    } else if (alnum) {
+      slug.push_back(ch);
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') {
+    slug.pop_back();
+  }
+  return slug;
+}
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_METRICS_H_

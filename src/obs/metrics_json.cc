@@ -1,0 +1,482 @@
+#include "obs/metrics_json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+namespace hematch::obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) {
+    return "0";
+  }
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+class JsonBuilder {
+ public:
+  JsonBuilder(int indent, int depth) : indent_(indent), depth_(depth) {}
+
+  void OpenObject() {
+    out_ += '{';
+    ++depth_;
+  }
+  void CloseObject(bool had_entries) {
+    --depth_;
+    if (had_entries) {
+      NewLine();
+    }
+    out_ += '}';
+  }
+  void Key(std::string_view name, bool first) {
+    if (!first) {
+      out_ += ',';
+    }
+    NewLine();
+    out_ += '"';
+    out_ += JsonEscape(name);
+    out_ += "\": ";
+  }
+  void Raw(std::string_view text) { out_ += text; }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void NewLine() {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ * depth_), ' ');
+  }
+
+  std::string out_;
+  int indent_;
+  int depth_;
+};
+
+template <typename Range, typename Fn>
+void EmitArray(JsonBuilder& b, const Range& range, Fn&& fn) {
+  b.Raw("[");
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) {
+      b.Raw(", ");
+    }
+    first = false;
+    b.Raw(fn(item));
+  }
+  b.Raw("]");
+}
+
+}  // namespace
+
+std::string TelemetryToJson(const TelemetrySnapshot& snapshot, int indent,
+                            int depth) {
+  JsonBuilder b(indent, depth);
+  b.OpenObject();
+  b.Key("schema", /*first=*/true);
+  b.Raw("\"hematch.telemetry.v1\"");
+
+  b.Key("counters", /*first=*/false);
+  b.OpenObject();
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    b.Key(name, first);
+    first = false;
+    b.Raw(std::to_string(value));
+  }
+  b.CloseObject(!snapshot.counters.empty());
+
+  b.Key("gauges", /*first=*/false);
+  b.OpenObject();
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    b.Key(name, first);
+    first = false;
+    b.Raw(JsonNumber(value));
+  }
+  b.CloseObject(!snapshot.gauges.empty());
+
+  b.Key("histograms", /*first=*/false);
+  b.OpenObject();
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    b.Key(name, first);
+    first = false;
+    b.OpenObject();
+    b.Key("bounds", /*first=*/true);
+    EmitArray(b, h.bounds, [](double v) { return JsonNumber(v); });
+    b.Key("counts", /*first=*/false);
+    EmitArray(b, h.counts,
+              [](std::uint64_t v) { return std::to_string(v); });
+    b.Key("sum", /*first=*/false);
+    b.Raw(JsonNumber(h.sum));
+    b.CloseObject(/*had_entries=*/true);
+  }
+  b.CloseObject(!snapshot.histograms.empty());
+
+  b.CloseObject(/*had_entries=*/true);
+  return b.Take();
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the exporter's dialect of JSON:
+// objects, arrays, strings (with the escapes JsonEscape emits), numbers,
+// and the three literals. Depth-limited; no trailing commas.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Parse(TelemetrySnapshot* out) {
+    HEMATCH_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipWhitespace();
+      if (TryConsume('}')) {
+        break;
+      }
+      if (!first) {
+        HEMATCH_RETURN_IF_ERROR(Expect(','));
+      }
+      first = false;
+      std::string key;
+      HEMATCH_RETURN_IF_ERROR(ParseString(&key));
+      HEMATCH_RETURN_IF_ERROR(Expect(':'));
+      if (key == "counters") {
+        HEMATCH_RETURN_IF_ERROR(ParseCounterMap(&out->counters));
+      } else if (key == "gauges") {
+        HEMATCH_RETURN_IF_ERROR(ParseGaugeMap(&out->gauges));
+      } else if (key == "histograms") {
+        HEMATCH_RETURN_IF_ERROR(ParseHistogramMap(&out->histograms));
+      } else {
+        HEMATCH_RETURN_IF_ERROR(SkipValue(0));
+      }
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after telemetry object");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("telemetry JSON, offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(char ch) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char ch) {
+    if (!TryConsume(ch)) {
+      return Error(std::string("expected '") + ch + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    HEMATCH_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') {
+        return Status::OK();
+      }
+      if (ch != '\\') {
+        out->push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [ptr, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
+            return Error("bad \\u escape");
+          }
+          pos_ += 4;
+          if (code > 0x7f) {
+            return Error("non-ASCII \\u escape unsupported");
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseDouble(double* out) {
+    SkipWhitespace();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) {
+      return Error("expected a number");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return Status::OK();
+  }
+
+  Status ParseUint(std::uint64_t* out) {
+    SkipWhitespace();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) {
+      return Error("expected a non-negative integer");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return Status::OK();
+  }
+
+  Status ParseCounterMap(std::map<std::string, std::uint64_t>* out) {
+    return ParseFlatMap([this, out](std::string key) {
+      std::uint64_t value = 0;
+      HEMATCH_RETURN_IF_ERROR(ParseUint(&value));
+      (*out)[std::move(key)] = value;
+      return Status::OK();
+    });
+  }
+
+  Status ParseGaugeMap(std::map<std::string, double>* out) {
+    return ParseFlatMap([this, out](std::string key) {
+      double value = 0.0;
+      HEMATCH_RETURN_IF_ERROR(ParseDouble(&value));
+      (*out)[std::move(key)] = value;
+      return Status::OK();
+    });
+  }
+
+  Status ParseHistogramMap(std::map<std::string, HistogramSnapshot>* out) {
+    return ParseFlatMap([this, out](std::string key) {
+      HistogramSnapshot h;
+      HEMATCH_RETURN_IF_ERROR(Expect('{'));
+      bool first = true;
+      while (true) {
+        SkipWhitespace();
+        if (TryConsume('}')) {
+          break;
+        }
+        if (!first) {
+          HEMATCH_RETURN_IF_ERROR(Expect(','));
+        }
+        first = false;
+        std::string field;
+        HEMATCH_RETURN_IF_ERROR(ParseString(&field));
+        HEMATCH_RETURN_IF_ERROR(Expect(':'));
+        if (field == "bounds") {
+          HEMATCH_RETURN_IF_ERROR(ParseArray([this, &h] {
+            double v = 0.0;
+            HEMATCH_RETURN_IF_ERROR(ParseDouble(&v));
+            h.bounds.push_back(v);
+            return Status::OK();
+          }));
+        } else if (field == "counts") {
+          HEMATCH_RETURN_IF_ERROR(ParseArray([this, &h] {
+            std::uint64_t v = 0;
+            HEMATCH_RETURN_IF_ERROR(ParseUint(&v));
+            h.counts.push_back(v);
+            return Status::OK();
+          }));
+        } else if (field == "sum") {
+          HEMATCH_RETURN_IF_ERROR(ParseDouble(&h.sum));
+        } else {
+          HEMATCH_RETURN_IF_ERROR(SkipValue(0));
+        }
+      }
+      if (h.counts.size() != h.bounds.size() + 1) {
+        return Error("histogram '" + key + "' needs bounds.size()+1 counts");
+      }
+      (*out)[std::move(key)] = std::move(h);
+      return Status::OK();
+    });
+  }
+
+  template <typename EntryFn>
+  Status ParseFlatMap(EntryFn&& entry) {
+    HEMATCH_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipWhitespace();
+      if (TryConsume('}')) {
+        return Status::OK();
+      }
+      if (!first) {
+        HEMATCH_RETURN_IF_ERROR(Expect(','));
+      }
+      first = false;
+      std::string key;
+      HEMATCH_RETURN_IF_ERROR(ParseString(&key));
+      HEMATCH_RETURN_IF_ERROR(Expect(':'));
+      HEMATCH_RETURN_IF_ERROR(entry(std::move(key)));
+    }
+  }
+
+  template <typename ElementFn>
+  Status ParseArray(ElementFn&& element) {
+    HEMATCH_RETURN_IF_ERROR(Expect('['));
+    bool first = true;
+    while (true) {
+      SkipWhitespace();
+      if (TryConsume(']')) {
+        return Status::OK();
+      }
+      if (!first) {
+        HEMATCH_RETURN_IF_ERROR(Expect(','));
+      }
+      first = false;
+      HEMATCH_RETURN_IF_ERROR(element());
+    }
+  }
+
+  // Skips any well-formed value (used for ignored keys).
+  Status SkipValue(int depth) {
+    if (depth > 32) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char ch = text_[pos_];
+    if (ch == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (ch == '{') {
+      return ParseFlatMap(
+          [this, depth](std::string) { return SkipValue(depth + 1); });
+    }
+    if (ch == '[') {
+      return ParseArray([this, depth] { return SkipValue(depth + 1); });
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Status::OK();
+    }
+    double ignored = 0.0;
+    return ParseDouble(&ignored);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TelemetrySnapshot> TelemetryFromJson(std::string_view json) {
+  TelemetrySnapshot snapshot;
+  JsonParser parser(json);
+  HEMATCH_RETURN_IF_ERROR(parser.Parse(&snapshot));
+  return snapshot;
+}
+
+Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open metrics file: " + path);
+  }
+  out << TelemetryToJson(snapshot) << "\n";
+  if (!out) {
+    return Status::Internal("failed writing metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hematch::obs

@@ -1,0 +1,53 @@
+#ifndef HEMATCH_OBS_METRICS_JSON_H_
+#define HEMATCH_OBS_METRICS_JSON_H_
+
+// JSON (de)serialization of telemetry snapshots. The schema is documented
+// in docs/OBSERVABILITY.md:
+//
+//   {
+//     "schema": "hematch.telemetry.v1",
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "bounds": [..], "counts": [..],
+//                                 "sum": <double> }, ... }
+//   }
+//
+// `TelemetryFromJson` parses exactly what `TelemetryToJson` emits, so
+// snapshots round-trip; it is deliberately strict about the schema but
+// tolerant of whitespace and key order.
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/telemetry.h"
+
+namespace hematch::obs {
+
+/// Serializes `snapshot` as a pretty-printed JSON object. `depth` shifts
+/// the whole object right by `depth * indent` spaces (for embedding into
+/// a larger document); the first line is not indented so the object can
+/// follow a key on the same line.
+std::string TelemetryToJson(const TelemetrySnapshot& snapshot, int indent = 2,
+                            int depth = 0);
+
+/// Parses a snapshot serialized by `TelemetryToJson`. Unknown top-level
+/// keys are ignored; malformed JSON or mistyped values are a ParseError.
+Result<TelemetrySnapshot> TelemetryFromJson(std::string_view json);
+
+/// Writes `TelemetryToJson(snapshot)` to `path` (with a trailing
+/// newline), creating or truncating the file.
+Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,
+                          const std::string& path);
+
+/// JSON string escaping for the small exporter surface (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// Round-trippable JSON representation of a double (shortest form that
+/// parses back exactly; non-finite values render as 0).
+std::string JsonNumber(double value);
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_METRICS_JSON_H_

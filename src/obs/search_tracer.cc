@@ -1,0 +1,59 @@
+#include "obs/search_tracer.h"
+
+#include <iomanip>
+
+namespace hematch::obs {
+
+void SearchTracer::OnComplete(const SearchProgress& /*progress*/) {}
+
+CallbackTracer::CallbackTracer(ProgressCallback callback, std::uint64_t every)
+    : callback_(std::move(callback)), every_(every == 0 ? 1 : every) {}
+
+void CallbackTracer::OnProgress(const SearchProgress& progress) {
+  if (callback_ && progress.epoch % every_ == 0) {
+    callback_(progress);
+  }
+}
+
+void CallbackTracer::OnComplete(const SearchProgress& progress) {
+  if (callback_) {
+    callback_(progress);
+  }
+}
+
+StreamProgressTracer::StreamProgressTracer(std::ostream& out) : out_(&out) {}
+
+namespace {
+
+void PrintLine(std::ostream& out, const SearchProgress& p, bool final) {
+  out << (final ? "[done]     " : "[progress] ") << p.method << " epoch "
+      << p.epoch << ": depth " << p.depth << "/" << p.max_depth << ", nodes "
+      << p.nodes_visited << ", mappings " << p.mappings_processed;
+  if (p.open_list_size > 0) {
+    out << ", open " << p.open_list_size;
+  }
+  out << std::fixed << std::setprecision(3) << ", f " << p.best_f << ", gap "
+      << p.bound_gap << ", pruned " << p.existence_prune_hits << ", "
+      << std::setprecision(1) << p.elapsed_ms << " ms\n";
+  out.unsetf(std::ios_base::floatfield);
+}
+
+}  // namespace
+
+void StreamProgressTracer::OnProgress(const SearchProgress& progress) {
+  PrintLine(*out_, progress, /*final=*/false);
+}
+
+void StreamProgressTracer::OnComplete(const SearchProgress& progress) {
+  PrintLine(*out_, progress, /*final=*/true);
+}
+
+void RecordingTracer::OnProgress(const SearchProgress& progress) {
+  samples_.push_back(progress);
+}
+
+void RecordingTracer::OnComplete(const SearchProgress& progress) {
+  completions_.push_back(progress);
+}
+
+}  // namespace hematch::obs

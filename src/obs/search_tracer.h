@@ -1,0 +1,111 @@
+#ifndef HEMATCH_OBS_SEARCH_TRACER_H_
+#define HEMATCH_OBS_SEARCH_TRACER_H_
+
+// Live search tracing: matchers emit a `SearchProgress` sample every
+// "epoch" (a fixed number of expansions for the A* search, one iteration
+// for the heuristics) to an optional `SearchTracer` installed on the
+// `MatchingContext`. A null tracer costs one pointer compare per epoch
+// check; the structured counters in obs/metrics.h remain the durable
+// record, the tracer is for progress bars, trajectory logging, and
+// debugging long searches.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hematch::obs {
+
+/// One progress sample of a running matcher.
+struct SearchProgress {
+  /// Method name as reported by `Matcher::name()`.
+  std::string method;
+  /// Ordinal of this sample within the run (0, 1, 2, ...).
+  std::uint64_t epoch = 0;
+  /// Search-tree nodes popped so far (A*; heuristics report iterations).
+  std::uint64_t nodes_visited = 0;
+  /// Candidate mappings processed so far (the paper's Fig. 7c x-axis).
+  std::uint64_t mappings_processed = 0;
+  /// Current size of the A* open list (0 for non-A* methods).
+  std::size_t open_list_size = 0;
+  /// Depth of the node driving this sample / heuristic iteration.
+  std::size_t depth = 0;
+  /// Full depth of a complete mapping (|V1|).
+  std::size_t max_depth = 0;
+  /// Best upper bound f = g + h currently at the top of the search.
+  double best_f = 0.0;
+  /// Best completed objective component seen so far (g of the deepest
+  /// frontier for A*; current mapping objective for the heuristics).
+  double best_g = 0.0;
+  /// `best_f - best_g`: how much the bound still promises beyond what is
+  /// already banked; shrinks toward 0 as the search converges.
+  double bound_gap = 0.0;
+  /// Existence-pruning (Proposition 3) hits so far, context-wide.
+  std::uint64_t existence_prune_hits = 0;
+  /// Wall-clock since the run started.
+  double elapsed_ms = 0.0;
+};
+
+/// Receiver interface for progress samples.
+class SearchTracer {
+ public:
+  virtual ~SearchTracer() = default;
+
+  /// Called once per epoch while the search runs.
+  virtual void OnProgress(const SearchProgress& progress) = 0;
+
+  /// Called once when the run finishes (also after budget exhaustion,
+  /// with the final partial tallies).
+  virtual void OnComplete(const SearchProgress& progress);
+};
+
+/// Convenience alias for callback-style consumers.
+using ProgressCallback = std::function<void(const SearchProgress&)>;
+
+/// Adapts a `ProgressCallback` to the tracer interface, invoking it every
+/// `every` samples (1 = every sample).
+class CallbackTracer : public SearchTracer {
+ public:
+  explicit CallbackTracer(ProgressCallback callback, std::uint64_t every = 1);
+
+  void OnProgress(const SearchProgress& progress) override;
+  void OnComplete(const SearchProgress& progress) override;
+
+ private:
+  ProgressCallback callback_;
+  std::uint64_t every_;
+};
+
+/// Prints one compact line per sample to a stream — the engine behind
+/// `hematch_cli --progress`.
+class StreamProgressTracer : public SearchTracer {
+ public:
+  explicit StreamProgressTracer(std::ostream& out);
+
+  void OnProgress(const SearchProgress& progress) override;
+  void OnComplete(const SearchProgress& progress) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Buffers every sample; used by tests and trajectory analysis.
+class RecordingTracer : public SearchTracer {
+ public:
+  void OnProgress(const SearchProgress& progress) override;
+  void OnComplete(const SearchProgress& progress) override;
+
+  const std::vector<SearchProgress>& samples() const { return samples_; }
+  const std::vector<SearchProgress>& completions() const {
+    return completions_;
+  }
+
+ private:
+  std::vector<SearchProgress> samples_;
+  std::vector<SearchProgress> completions_;
+};
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_SEARCH_TRACER_H_

@@ -1,0 +1,67 @@
+#ifndef HEMATCH_OBS_STOPWATCH_H_
+#define HEMATCH_OBS_STOPWATCH_H_
+
+// Wall-clock helpers backing every `MatchResult::elapsed_ms` in the
+// library, so the CLI, the benches, and the pipeline all measure the same
+// way (steady clock, milliseconds as double).
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace hematch::obs {
+
+/// Millisecond wall-clock stopwatch on the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes the elapsed milliseconds into a double and/or metric cells when
+/// the scope exits. The output pointers must outlive the timer; any of
+/// them may be null.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* out, Gauge* gauge = nullptr,
+                         Histogram* histogram = nullptr)
+      : out_(out), gauge_(gauge), histogram_(histogram) {}
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+  ~ScopedTimerMs() {
+    const double ms = watch_.ElapsedMs();
+    if (out_ != nullptr) {
+      *out_ = ms;
+    }
+    if (gauge_ != nullptr) {
+      gauge_->Set(ms);
+    }
+    if (histogram_ != nullptr) {
+      histogram_->Observe(ms);
+    }
+  }
+
+  double ElapsedMs() const { return watch_.ElapsedMs(); }
+
+ private:
+  Stopwatch watch_;
+  double* out_;
+  Gauge* gauge_;
+  Histogram* histogram_;
+};
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_STOPWATCH_H_

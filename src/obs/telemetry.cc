@@ -1,0 +1,95 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+namespace hematch::obs {
+
+bool operator==(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  return a.bounds == b.bounds && a.counts == b.counts && a.sum == b.sum;
+}
+
+std::uint64_t TelemetrySnapshot::counter(const std::string& name,
+                                         std::uint64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double TelemetrySnapshot::gauge(const std::string& name,
+                                double fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+void TelemetrySnapshot::Merge(const TelemetrySnapshot& other,
+                              const std::string& prefix) {
+  for (const auto& [name, value] : other.counters) {
+    counters[prefix + name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[prefix + name] = value;
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(prefix + name, h);
+    if (inserted) {
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    if (mine.bounds != h.bounds || mine.counts.size() != h.counts.size()) {
+      mine = h;  // Incompatible layouts: last writer wins.
+      continue;
+    }
+    for (std::size_t b = 0; b < mine.counts.size(); ++b) {
+      mine.counts[b] += h.counts[b];
+    }
+    mine.sum += h.sum;
+  }
+}
+
+bool operator==(const TelemetrySnapshot& a, const TelemetrySnapshot& b) {
+  return a.counters == b.counters && a.gauges == b.gauges &&
+         a.histograms == b.histograms;
+}
+
+TelemetrySnapshot CaptureSnapshot(const MetricsRegistry& registry) {
+  TelemetrySnapshot snapshot;
+  for (const auto& [name, counter] : registry.counters()) {
+    snapshot.counters.emplace(name, counter.value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    snapshot.gauges.emplace(name, gauge.value());
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    HistogramSnapshot h;
+    h.bounds = histogram.bounds();
+    h.counts = histogram.counts();
+    h.sum = histogram.sum();
+    snapshot.histograms.emplace(name, std::move(h));
+  }
+  return snapshot;
+}
+
+TelemetrySnapshot DiffSnapshots(const TelemetrySnapshot& before,
+                                const TelemetrySnapshot& after) {
+  TelemetrySnapshot diff;
+  for (const auto& [name, value] : after.counters) {
+    const std::uint64_t base = before.counter(name);
+    diff.counters.emplace(name, value >= base ? value - base : 0);
+  }
+  diff.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    HistogramSnapshot d = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end() && it->second.bounds == h.bounds &&
+        it->second.counts.size() == h.counts.size()) {
+      for (std::size_t b = 0; b < d.counts.size(); ++b) {
+        const std::uint64_t base = it->second.counts[b];
+        d.counts[b] = d.counts[b] >= base ? d.counts[b] - base : 0;
+      }
+      d.sum = std::max(0.0, d.sum - it->second.sum);
+    }
+    diff.histograms.emplace(name, std::move(d));
+  }
+  return diff;
+}
+
+}  // namespace hematch::obs

@@ -1,0 +1,72 @@
+#ifndef HEMATCH_OBS_TELEMETRY_H_
+#define HEMATCH_OBS_TELEMETRY_H_
+
+// Passive, value-type view of a `MetricsRegistry` at one instant.
+// Snapshots are what crosses API boundaries (`MatchPipelineOutcome`,
+// `RunRecord`) and what the JSON exporter serializes; registries stay
+// private to the context that owns them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hematch::obs {
+
+/// Frozen histogram state.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< Inclusive upper bucket edges.
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 buckets.
+  double sum = 0.0;
+  std::uint64_t total_count() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts) {
+      total += c;
+    }
+    return total;
+  }
+};
+
+bool operator==(const HistogramSnapshot& a, const HistogramSnapshot& b);
+
+/// All metric values at one instant, keyed by metric name.
+struct TelemetrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter value, or `fallback` when the counter is absent.
+  std::uint64_t counter(const std::string& name,
+                        std::uint64_t fallback = 0) const;
+
+  /// Gauge value, or `fallback` when the gauge is absent.
+  double gauge(const std::string& name, double fallback = 0.0) const;
+
+  /// Folds `other` into this snapshot: counters and histogram buckets
+  /// add, gauges take `other`'s value. Every key from `other` is inserted
+  /// with `prefix` prepended.
+  void Merge(const TelemetrySnapshot& other, const std::string& prefix = "");
+};
+
+bool operator==(const TelemetrySnapshot& a, const TelemetrySnapshot& b);
+
+/// Captures the current values of every registered metric. A disabled
+/// registry yields an empty snapshot.
+TelemetrySnapshot CaptureSnapshot(const MetricsRegistry& registry);
+
+/// What happened between two snapshots of the same registry: counters and
+/// histogram buckets subtract (clamped at zero), gauges take `after`'s
+/// value. Keys only present in `after` are kept as-is — this is how the
+/// evaluation runner attributes shared-context metrics to a single run.
+TelemetrySnapshot DiffSnapshots(const TelemetrySnapshot& before,
+                                const TelemetrySnapshot& after);
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_TELEMETRY_H_

@@ -81,6 +81,61 @@ TEST(MatchPipelineTest, BadPatternTextFails) {
   EXPECT_EQ(outcome.status().code(), StatusCode::kParseError);
 }
 
+TEST(MatchPipelineTest, TelemetrySnapshotMatchesResult) {
+  const MatchingTask task = SmallTask();
+  MatchPipelineOptions pipeline_options;
+  for (const Pattern& p : task.complex_patterns) {
+    pipeline_options.patterns.push_back(
+        p.ToString(&task.log1.dictionary()));
+  }
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, pipeline_options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  const obs::TelemetrySnapshot& t = outcome->telemetry;
+  ASSERT_FALSE(t.empty());
+  // The registry counter is the same number the MatchResult reports.
+  EXPECT_EQ(t.counter("pattern_tight.mappings_processed"),
+            outcome->result.mappings_processed);
+  EXPECT_EQ(t.counter("pattern_tight.nodes_visited"),
+            outcome->result.nodes_visited);
+  EXPECT_EQ(t.counter("pattern_tight.runs"), 1u);
+  EXPECT_GT(t.gauge("pattern_tight.elapsed_ms", -1.0), 0.0);
+  // With complex patterns in play, frequency evaluation on the target
+  // side must have happened; A* scores incrementally, so the per-pattern
+  // contribution and h-bound counters are the ones that move.
+  EXPECT_GT(t.counter("freq2.evaluations"), 0u);
+  EXPECT_GT(t.counter("scorer.h_evaluations"), 0u);
+  EXPECT_GT(t.counter("scorer.completed_contributions"), 0u);
+}
+
+TEST(MatchPipelineTest, TelemetryCanBeDisabled) {
+  const MatchingTask task = SmallTask();
+  MatchPipelineOptions options;
+  options.telemetry = false;
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->telemetry.empty());
+  // The result's own tallies are unaffected by disabling the registry.
+  EXPECT_GT(outcome->result.mappings_processed, 0u);
+  EXPECT_GT(outcome->result.elapsed_ms, 0.0);
+}
+
+TEST(MatchPipelineTest, TracerReceivesCompletion) {
+  const MatchingTask task = SmallTask();
+  obs::RecordingTracer tracer;
+  MatchPipelineOptions options;
+  options.tracer = &tracer;
+  Result<MatchPipelineOutcome> outcome =
+      MatchLogs(task.log1, task.log2, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(tracer.completions().size(), 1u);
+  const obs::SearchProgress& done = tracer.completions()[0];
+  EXPECT_EQ(done.method, "Pattern-Tight");
+  EXPECT_EQ(done.mappings_processed, outcome->result.mappings_processed);
+  EXPECT_EQ(done.max_depth, task.log1.num_events());
+}
+
 TEST(MatchPipelineTest, BudgetPropagates) {
   const MatchingTask task = SmallTask();
   MatchPipelineOptions options;

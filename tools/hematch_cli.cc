@@ -20,7 +20,12 @@
 //   --explain         print per-pattern / per-pair evidence for the result
 //   --extend          extend the best 1-1 mapping to 1-to-n groups
 //   --output FILE     write the best mapping as tab-separated pairs
+//   --metrics-out F   write per-run telemetry as JSON (see
+//                     docs/OBSERVABILITY.md for the schema)
+//   --progress        print live search progress lines to stderr
 //   --help            this text
+//
+// Every option also accepts the --flag=value spelling.
 
 #include <cstdint>
 #include <cstdlib>
@@ -48,6 +53,8 @@
 #include "graph/dependency_graph.h"
 #include "log/log_io.h"
 #include "log/xes_io.h"
+#include "obs/metrics_json.h"
+#include "obs/search_tracer.h"
 #include "pattern/pattern_parser.h"
 
 namespace {
@@ -69,8 +76,46 @@ void PrintUsageAndExit(int code) {
       "  --budget N        expansion budget for exact methods\n"
       "  --explain         print per-pattern / per-pair evidence\n"
       "  --extend          extend the best 1-1 mapping to 1-to-n groups\n"
-      "  --output FILE     write the best mapping as tab-separated pairs\n";
+      "  --output FILE     write the best mapping as tab-separated pairs\n"
+      "  --metrics-out F   write per-run telemetry as JSON\n"
+      "  --progress        print live search progress lines to stderr\n"
+      "options also accept the --flag=value spelling\n";
   std::exit(code);
+}
+
+/// Writes the per-run metrics document: one entry per matcher run with the
+/// headline `MatchResult` numbers plus the run's full telemetry snapshot
+/// (schema in docs/OBSERVABILITY.md).
+bool WriteRunMetrics(const std::string& path,
+                     const std::vector<RunRecord>& records) {
+  std::string json;
+  json += "{\n  \"schema\": \"hematch.run_metrics.v1\",\n  \"runs\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\n";
+    json += "      \"method\": \"" + obs::JsonEscape(r.method) + "\",\n";
+    json += std::string("      \"completed\": ") +
+            (r.completed ? "true" : "false") + ",\n";
+    if (!r.completed) {
+      json += "      \"failure\": \"" + obs::JsonEscape(r.failure) + "\",\n";
+    }
+    json += "      \"objective\": " + obs::JsonNumber(r.objective) + ",\n";
+    json += "      \"elapsed_ms\": " + obs::JsonNumber(r.elapsed_ms) + ",\n";
+    json += "      \"mappings_processed\": " +
+            std::to_string(r.mappings_processed) + ",\n";
+    json += "      \"nodes_visited\": " + std::to_string(r.nodes_visited) +
+            ",\n";
+    json += "      \"telemetry\": " + obs::TelemetryToJson(r.telemetry, 2, 3);
+    json += "\n    }";
+  }
+  json += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << json;
+  return static_cast<bool>(out);
 }
 
 Result<EventLog> LoadLog(const std::string& path) {
@@ -136,19 +181,34 @@ int main(int argc, char** argv) {
   bool mine = false;
   bool explain = false;
   bool extend = false;
+  bool progress = false;
   std::string output_path;
+  std::string metrics_path;
   double mine_support = 0.1;
   std::uint64_t budget = 50'000'000;
   std::vector<std::string> positional;
 
+  // Expand --flag=value into two tokens so both spellings parse the same.
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (StartsWith(arg, "--") && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
     auto next = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::cerr << flag << " requires a value\n";
         PrintUsageAndExit(2);
       }
-      return argv[++i];
+      return args[++i];
     };
     if (arg == "--help" || arg == "-h") {
       PrintUsageAndExit(0);
@@ -164,6 +224,10 @@ int main(int argc, char** argv) {
       extend = true;
     } else if (arg == "--output") {
       output_path = next("--output");
+    } else if (arg == "--metrics-out") {
+      metrics_path = next("--metrics-out");
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--mine-support") {
       mine_support = std::stod(next("--mine-support"));
     } else if (arg == "--budget") {
@@ -224,6 +288,10 @@ int main(int argc, char** argv) {
   const DependencyGraph g1 = DependencyGraph::Build(*log1);
   MatchingContext context(*log1, *log2,
                           BuildPatternSet(g1, complex));
+  obs::StreamProgressTracer progress_tracer(std::cerr);
+  if (progress) {
+    context.set_tracer(&progress_tracer);
+  }
   const auto matchers = MakeMatchers(method, budget);
   if (matchers.empty()) {
     std::cerr << "unknown --method '" << method << "'\n";
@@ -254,6 +322,14 @@ int main(int argc, char** argv) {
       best_objective = record.objective;
       best_mapping = &record.mapping;
     }
+  }
+
+  if (!metrics_path.empty()) {
+    if (!WriteRunMetrics(metrics_path, records)) {
+      std::cerr << "cannot write --metrics-out file " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics to " << metrics_path << "\n";
   }
 
   if (!output_path.empty() && best_mapping != nullptr) {
