@@ -24,8 +24,16 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     }
   }
   {
+    // Both modes: lenient salvage and strict rejection must be safe.
     std::istringstream in(text);
     (void)ReadXesLog(in);
+  }
+  {
+    XesReadOptions strict;
+    strict.strict = true;
+    strict.max_depth = 16;  // Exercise the depth ceiling too.
+    std::istringstream in(text);
+    (void)ReadXesLog(in, strict);
   }
   return 0;
 }

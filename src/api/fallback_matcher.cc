@@ -1,0 +1,123 @@
+#include "api/fallback_matcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "core/heuristic_advanced_matcher.h"
+#include "core/heuristic_simple_matcher.h"
+#include "core/matching_context.h"
+
+namespace hematch {
+
+FallbackMatcher::FallbackMatcher(std::vector<std::unique_ptr<Matcher>> ladder,
+                                 FallbackOptions options)
+    : ladder_(std::move(ladder)), options_(std::move(options)) {
+  HEMATCH_CHECK(!ladder_.empty(), "fallback ladder needs at least one rung");
+}
+
+std::unique_ptr<FallbackMatcher> FallbackMatcher::ExactWithHeuristicFallbacks(
+    const AStarOptions& astar, FallbackOptions options) {
+  std::vector<std::unique_ptr<Matcher>> ladder;
+  ladder.push_back(std::make_unique<AStarMatcher>(astar));
+  HeuristicAdvancedOptions advanced;
+  advanced.scorer = astar.scorer;
+  ladder.push_back(std::make_unique<HeuristicAdvancedMatcher>(advanced));
+  HeuristicSimpleOptions simple;
+  simple.scorer = astar.scorer;
+  ladder.push_back(std::make_unique<HeuristicSimpleMatcher>(simple));
+  return std::make_unique<FallbackMatcher>(std::move(ladder),
+                                           std::move(options));
+}
+
+std::string FallbackMatcher::name() const { return ladder_.front()->name(); }
+
+Result<MatchResult> FallbackMatcher::Match(MatchingContext& context) const {
+  exec::ExecutionGovernor& governor = context.governor();
+  obs::MetricsRegistry& metrics = context.metrics();
+
+  exec::RunBudget remaining = options_.budget;
+  exec::TerminationReason first_trip = exec::TerminationReason::kCompleted;
+  std::vector<StageAttempt> stages;
+  MatchResult best;
+  bool have_best = false;
+  double certified_upper = 0.0;
+  bool have_upper = false;
+  Status last_error = Status::Internal("fallback ladder ran no stage");
+
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    governor.Arm(remaining, options_.cancel);
+    Result<MatchResult> attempt = ladder_[i]->Match(context);
+    if (!attempt.ok()) {
+      // A hard failure (not budget — matchers return anytime results
+      // for those) still tries the next rung; it may not share the
+      // precondition that broke this one.
+      last_error = attempt.status();
+      remaining = governor.Remaining();
+      continue;
+    }
+    MatchResult stage_result = *std::move(attempt);
+    StageAttempt stage;
+    stage.method = ladder_[i]->name();
+    stage.termination = stage_result.termination;
+    stage.objective = stage_result.objective;
+    stage.elapsed_ms = stage_result.elapsed_ms;
+    stage.mappings_processed = stage_result.mappings_processed;
+    stages.push_back(stage);
+
+    if (stage_result.termination != exec::TerminationReason::kCompleted &&
+        first_trip == exec::TerminationReason::kCompleted) {
+      first_trip = stage_result.termination;
+    }
+    if (stage_result.bounds_certified) {
+      certified_upper = have_upper
+                            ? std::min(certified_upper,
+                                       stage_result.upper_bound)
+                            : stage_result.upper_bound;
+      have_upper = true;
+    }
+    if (!have_best || stage_result.objective > best.objective) {
+      best = std::move(stage_result);
+      have_best = true;
+    }
+    if (stage.termination == exec::TerminationReason::kCompleted) {
+      break;  // This rung finished its full answer; no need to degrade.
+    }
+    if (stage.termination == exec::TerminationReason::kCancelled) {
+      break;  // The caller asked out; do not start more work.
+    }
+    remaining = governor.Remaining();
+    if (i + 1 < ladder_.size()) {
+      metrics.GetCounter("pipeline.fallbacks")->Increment();
+    }
+  }
+  governor.Disarm();
+
+  if (!have_best) {
+    return last_error;
+  }
+  MatchResult result = std::move(best);
+  result.stages = std::move(stages);
+  if (first_trip != exec::TerminationReason::kCompleted) {
+    // The run degraded: termination names the limit that first fired,
+    // the objective is the best stage's, and the bound bracket combines
+    // the best achieved score with the tightest certified upper bound
+    // (from the exact stage) when one exists.
+    result.termination = first_trip;
+    result.lower_bound = result.objective;
+    if (have_upper) {
+      result.upper_bound = std::max(certified_upper, result.objective);
+      result.bounds_certified = true;
+    } else {
+      result.upper_bound = result.objective;
+      result.bounds_certified = false;
+    }
+    metrics
+        .GetCounter(std::string("pipeline.termination.") +
+                    exec::TerminationReasonToString(first_trip))
+        ->Increment();
+  }
+  return result;
+}
+
+}  // namespace hematch

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "api/fallback_matcher.h"
 #include "baselines/entropy_matcher.h"
 #include "baselines/iterative_matcher.h"
 #include "baselines/vertex_edge_matcher.h"
@@ -19,22 +20,27 @@ namespace hematch {
 
 namespace {
 
+std::unique_ptr<Matcher> MakeExactMatcher(const MatchPipelineOptions& options,
+                                          BoundKind bound) {
+  AStarOptions astar;
+  astar.scorer = options.scorer;
+  astar.scorer.bound = bound;
+  astar.max_expansions = options.max_expansions;
+  if (!options.degrade) {
+    return std::make_unique<AStarMatcher>(astar);
+  }
+  FallbackOptions fallback;
+  fallback.budget = options.budget;
+  fallback.cancel = options.cancel;
+  return FallbackMatcher::ExactWithHeuristicFallbacks(astar, fallback);
+}
+
 std::unique_ptr<Matcher> MakeMatcher(const MatchPipelineOptions& options) {
   switch (options.method) {
-    case MatchMethod::kPatternTight: {
-      AStarOptions astar;
-      astar.scorer = options.scorer;
-      astar.scorer.bound = BoundKind::kTight;
-      astar.max_expansions = options.max_expansions;
-      return std::make_unique<AStarMatcher>(astar);
-    }
-    case MatchMethod::kPatternSimple: {
-      AStarOptions astar;
-      astar.scorer = options.scorer;
-      astar.scorer.bound = BoundKind::kSimple;
-      astar.max_expansions = options.max_expansions;
-      return std::make_unique<AStarMatcher>(astar);
-    }
+    case MatchMethod::kPatternTight:
+      return MakeExactMatcher(options, BoundKind::kTight);
+    case MatchMethod::kPatternSimple:
+      return MakeExactMatcher(options, BoundKind::kSimple);
     case MatchMethod::kHeuristicSimple: {
       HeuristicSimpleOptions heuristic;
       heuristic.scorer = options.scorer;
@@ -99,7 +105,12 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
   if (matcher == nullptr) {
     return Status::InvalidArgument("unknown match method");
   }
+  // Arm the run budget; fallback ladders re-arm with their remaining
+  // slice per stage, everything else runs under this one.
+  context.ArmBudget(options.budget, options.cancel);
   HEMATCH_ASSIGN_OR_RETURN(outcome.result, matcher->Match(context));
+  outcome.termination = outcome.result.termination;
+  outcome.degraded = outcome.result.degraded();
   outcome.telemetry = context.SnapshotTelemetry();
   return outcome;
 }

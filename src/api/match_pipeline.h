@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/match_result.h"
 #include "core/mapping_scorer.h"
+#include "exec/budget.h"
 #include "log/event_log.h"
 #include "obs/search_tracer.h"
 #include "obs/telemetry.h"
@@ -39,6 +40,17 @@ struct MatchPipelineOptions {
   double mine_min_support = 0.10;
   /// Expansion budget for the exact methods.
   std::uint64_t max_expansions = 50'000'000;
+  /// Run-wide resource budget (deadline / expansions / memory). The
+  /// governor of the run's context is armed with it before matching;
+  /// a tripped budget yields an anytime result, not an error.
+  exec::RunBudget budget;
+  /// Optional cooperative cancellation; must outlive the call.
+  const exec::CancelToken* cancel = nullptr;
+  /// Graceful degradation for the exact methods: when their budget
+  /// trips, fall back to the advanced then the simple heuristic with
+  /// the remaining budget (recording the chain in the outcome). Set
+  /// false to get the exact matcher's own anytime result instead.
+  bool degrade = true;
   /// Bound / existence-check configuration.
   ScorerOptions scorer;
   /// Collect structured metrics for this run (`MatchPipelineOutcome::
@@ -57,6 +69,12 @@ struct MatchPipelineOutcome {
   /// True when the pipeline swapped the logs so that |V1| <= |V2|; the
   /// returned mapping is then from `log2`'s events to `log1`'s.
   bool swapped = false;
+  /// Convenience mirror of `result.termination`: how the run stopped.
+  exec::TerminationReason termination = exec::TerminationReason::kCompleted;
+  /// True when the fallback ladder had to run more than one stage
+  /// (`result.stages` then records the chain with per-stage termination
+  /// reasons).
+  bool degraded = false;
   /// The patterns actually used (textual, over the source vocabulary) —
   /// provided plus mined.
   std::vector<std::string> used_patterns;

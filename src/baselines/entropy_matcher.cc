@@ -29,8 +29,14 @@ Result<MatchResult> EntropyMatcher::Match(MatchingContext& context) const {
   // neutral: Hungarian only compares totals over perfect matchings, and
   // every perfect matching matches all real rows, so a constant offset
   // per row changes nothing. We therefore use the raw -|ΔH|.
+  // Budget trips leave the remaining rows at weight zero: the
+  // assignment solve still yields a complete (anytime) mapping.
+  exec::ExecutionGovernor& governor = context.governor();
+  std::uint64_t rows_filled = 0;
   std::vector<std::vector<double>> weights(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n1; ++i) {
+    if (!governor.CheckExpansions(n2)) break;
+    ++rows_filled;
     for (std::size_t j = 0; j < n2; ++j) {
       weights[i][j] =
           -std::fabs(stats1.occurrence_entropy[i] -
@@ -40,6 +46,9 @@ Result<MatchResult> EntropyMatcher::Match(MatchingContext& context) const {
   const AssignmentResult assignment = SolveMaxWeightAssignment(weights);
 
   MatchResult result;
+  if (governor.exhausted()) {
+    result.termination = governor.reason();
+  }
   result.mapping = Mapping(n1, n2);
   result.objective = 0.0;
   for (std::size_t i = 0; i < n1; ++i) {
@@ -49,8 +58,8 @@ Result<MatchResult> EntropyMatcher::Match(MatchingContext& context) const {
       result.objective += weights[i][j];
     }
   }
-  // One assignment solve over the full entropy-difference matrix.
-  result.mappings_processed = static_cast<std::uint64_t>(n1) * n2;
+  // One assignment solve over the (possibly truncated) matrix.
+  result.mappings_processed = rows_filled * n2;
   FinalizeMatchTelemetry(context, name(), watch, result);
   return result;
 }

@@ -61,10 +61,19 @@ std::vector<std::vector<double>> IterativeMatcher::ConvergedSimilarities(
 
   obs::Counter* iterations =
       context.metrics().GetCounter("iterative.propagation_iterations");
-  for (std::uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+  // Budget trips end propagation early; the similarities converged so
+  // far still feed the assignment solve (anytime).
+  exec::ExecutionGovernor& governor = context.governor();
+  for (std::uint32_t iter = 0;
+       iter < options_.max_iterations && governor.Poll(); ++iter) {
     iterations->Increment();
     double delta = 0.0;
-    for (EventId u = 0; u < n1; ++u) {
+    bool tripped = false;
+    for (EventId u = 0; u < n1 && !tripped; ++u) {
+      if (!governor.CheckExpansions(n2)) {
+        tripped = true;
+        break;
+      }
       for (EventId v = 0; v < n2; ++v) {
         const double succ = propagate(g1.OutNeighbors(u), g2.OutNeighbors(v),
                                       seed[u][v]);
@@ -73,6 +82,9 @@ std::vector<std::vector<double>> IterativeMatcher::ConvergedSimilarities(
         next[u][v] = (1.0 - w) * seed[u][v] + w * 0.5 * (succ + pred);
         delta = std::max(delta, std::fabs(next[u][v] - sim[u][v]));
       }
+    }
+    if (tripped) {
+      break;  // `next` is half-updated; keep the last full iteration.
     }
     sim.swap(next);
     if (delta < options_.convergence_epsilon) {
@@ -102,6 +114,9 @@ Result<MatchResult> IterativeMatcher::Match(MatchingContext& context) const {
   const AssignmentResult assignment = SolveMaxWeightAssignment(weights);
 
   MatchResult result;
+  if (context.governor().exhausted()) {
+    result.termination = context.governor().reason();
+  }
   result.mapping = Mapping(n1, n2);
   for (std::size_t i = 0; i < n1; ++i) {
     const std::size_t j = assignment.assignment[i];

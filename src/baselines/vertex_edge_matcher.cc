@@ -19,6 +19,7 @@ Result<MatchResult> VertexEdgeMatcher::Match(MatchingContext& context) const {
   ContextTelemetryOptions telemetry;
   telemetry.shared_registry = &context.metrics();
   telemetry.tracer = context.tracer();
+  telemetry.shared_governor = &context.governor();
   MatchingContext restricted(
       context.log1(), context.log2(),
       BuildPatternSet(context.graph1(), /*complex_patterns=*/{}, set_options),

@@ -21,8 +21,14 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
   const std::size_t n = std::max(n1, n2);
 
   // Pairwise vertex-frequency similarities, zero-padded to square.
+  // Budget trips leave the remaining rows at weight zero: the
+  // assignment solve still yields a complete (anytime) mapping.
+  exec::ExecutionGovernor& governor = context.governor();
+  std::uint64_t rows_filled = 0;
   std::vector<std::vector<double>> weights(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n1; ++i) {
+    if (!governor.CheckExpansions(n2)) break;
+    ++rows_filled;
     for (std::size_t j = 0; j < n2; ++j) {
       weights[i][j] = FrequencySimilarity(
           context.graph1().VertexFrequency(static_cast<EventId>(i)),
@@ -32,6 +38,9 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
   const AssignmentResult assignment = SolveMaxWeightAssignment(weights);
 
   MatchResult result;
+  if (governor.exhausted()) {
+    result.termination = governor.reason();
+  }
   result.mapping = Mapping(n1, n2);
   for (std::size_t i = 0; i < n1; ++i) {
     const std::size_t j = assignment.assignment[i];
@@ -39,8 +48,8 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
       result.mapping.Set(static_cast<EventId>(i), static_cast<EventId>(j));
     }
   }
-  // One assignment solve over the full weight matrix.
-  result.mappings_processed = static_cast<std::uint64_t>(n1) * n2;
+  // One assignment solve over the (possibly truncated) weight matrix.
+  result.mappings_processed = rows_filled * n2;
   result.objective = VertexNormalDistance(context.graph1(), context.graph2(),
                                           result.mapping);
   FinalizeMatchTelemetry(context, name(), watch, result);

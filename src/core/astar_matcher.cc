@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/match_telemetry.h"
+#include "exec/budget.h"
 #include "obs/stopwatch.h"
 
 namespace hematch {
@@ -55,6 +57,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
   }
 
   MappingScorer scorer(context, options_.scorer);
+  exec::ExecutionGovernor& governor = context.governor();
   const std::string method = name();
   const std::string slug = obs::MetricSlug(method);
   obs::MetricsRegistry& metrics = context.metrics();
@@ -69,6 +72,11 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       options_.progress_interval == 0 ? 8192 : options_.progress_interval;
   std::uint64_t next_report = interval;
   const std::uint64_t prune_hits_at_start = context.existence_prune_hits();
+
+  // Approximate resident size of one open-list node: the struct, the
+  // mapping's two id vectors, and container slack.
+  const std::size_t node_bytes =
+      sizeof(Node) + (n1 + n2) * sizeof(EventId) + 32;
 
   // Fixed expansion order: source events by decreasing number of
   // involving patterns (Ip list length), then by id for determinism.
@@ -125,14 +133,112 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     return p;
   };
 
+  auto trace_completion = [&](std::size_t open_size) {
+    if (tracer == nullptr) return;
+    obs::SearchProgress done;
+    done.method = method;
+    done.epoch = epoch;
+    done.nodes_visited = result.nodes_visited;
+    done.mappings_processed = result.mappings_processed;
+    done.open_list_size = open_size;
+    done.depth = result.mapping.size();
+    done.max_depth = n1;
+    done.best_f = result.upper_bound;
+    done.best_g = result.objective;
+    done.bound_gap = result.upper_bound - result.lower_bound;
+    done.existence_prune_hits =
+        context.existence_prune_hits() - prune_hits_at_start;
+    done.elapsed_ms = result.elapsed_ms;
+    tracer->OnComplete(done);
+  };
+
   std::priority_queue<Node, std::vector<Node>, NodeLess> queue;
+
+  // Anytime return path: the budget tripped, so greedily complete the
+  // best node in hand and certify bounds around the true optimum.  The
+  // returned objective is the mapping's exact score (a valid lower
+  // bound); the largest f still on the frontier is a valid upper bound
+  // because h never underestimates.
+  auto anytime_result = [&](Node node, std::size_t open_size,
+                            exec::TerminationReason reason) {
+    double upper = node.f();
+    if (!queue.empty()) upper = std::max(upper, queue.top().f());
+    Mapping m = std::move(node.mapping);
+    double g = node.g;
+    // Greedy completion: per remaining depth take the target with the
+    // best incremental contribution (exact, since `completed_at` makes
+    // g incremental).  If that would badly overshoot an already-blown
+    // deadline, degrade to first-fit for the rest and rescore exactly
+    // (one evaluation per remaining pattern).
+    const double deadline = governor.budget().deadline_ms;
+    const double grace_ms = deadline > 0.0 ? deadline * 1.5 + 25.0 : -1.0;
+    std::size_t depth = m.size();
+    for (; depth < n1; ++depth) {
+      if (grace_ms > 0.0 && watch.ElapsedMs() > grace_ms) break;
+      const EventId source = order[depth];
+      bool have = false;
+      double best_gain = 0.0;
+      EventId best_target = 0;
+      for (EventId target = 0; target < n2; ++target) {
+        if (m.IsTargetUsed(target)) continue;
+        ++result.mappings_processed;
+        m.Set(source, target);
+        double gain = 0.0;
+        for (std::uint32_t pid : completed_at[depth + 1]) {
+          gain += scorer.CompletedContribution(pid, m);
+        }
+        m.Erase(source);
+        if (!have || gain > best_gain) {
+          have = true;
+          best_gain = gain;
+          best_target = target;
+        }
+      }
+      m.Set(source, best_target);
+      g += best_gain;
+    }
+    if (depth < n1) {
+      const std::size_t scored_upto = depth;
+      for (; depth < n1; ++depth) {
+        const EventId source = order[depth];
+        for (EventId target = 0; target < n2; ++target) {
+          if (!m.IsTargetUsed(target)) {
+            m.Set(source, target);
+            break;
+          }
+        }
+      }
+      for (std::size_t d = scored_upto; d < n1; ++d) {
+        for (std::uint32_t pid : completed_at[d + 1]) {
+          g += scorer.CompletedContribution(pid, m);
+        }
+      }
+    }
+    result.mapping = std::move(m);
+    result.objective = g;
+    result.termination = reason;
+    result.lower_bound = g;
+    result.upper_bound = std::max(upper, g);
+    // A cancelled run may have aborted frequency scans mid-stream, so
+    // its numbers are best-effort only.
+    result.bounds_certified = reason != exec::TerminationReason::kCancelled;
+    best_f_gauge->Set(result.objective);
+    bound_gap_gauge->Set(result.upper_bound - result.lower_bound);
+    open_list_peak->SetMax(static_cast<double>(open_size));
+    FinalizeMatchTelemetry(context, method, watch, result);
+    trace_completion(open_size);
+    return result;
+  };
+
   Node root{Mapping(n1, n2), 0.0, 0.0, sequence++};
   root.h = scorer.ComputeHForRemaining(root.mapping, remaining_after[0]);
+  governor.ChargeMemory(node_bytes);
   queue.push(std::move(root));
 
   while (!queue.empty()) {
     Node node = queue.top();
     queue.pop();
+    governor.ReleaseMemory(node_bytes);
     ++result.nodes_visited;
     best_g_seen = std::max(best_g_seen, node.g);
     depth_hist->Observe(static_cast<double>(node.mapping.size()));
@@ -146,28 +252,19 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       // First complete pop: optimal, since h is an upper bound.
       result.mapping = std::move(node.mapping);
       result.objective = node.g;
+      result.lower_bound = node.g;
+      result.upper_bound = node.g;
+      result.bounds_certified = true;
       best_f_gauge->Set(node.g);
       bound_gap_gauge->Set(0.0);
       open_list_peak->SetMax(static_cast<double>(queue.size()));
       FinalizeMatchTelemetry(context, method, watch, result);
-      if (tracer != nullptr) {
-        obs::SearchProgress done;
-        done.method = method;
-        done.epoch = epoch;
-        done.nodes_visited = result.nodes_visited;
-        done.mappings_processed = result.mappings_processed;
-        done.open_list_size = queue.size();
-        done.depth = n1;
-        done.max_depth = n1;
-        done.best_f = result.objective;
-        done.best_g = result.objective;
-        done.bound_gap = 0.0;
-        done.existence_prune_hits =
-            context.existence_prune_hits() - prune_hits_at_start;
-        done.elapsed_ms = result.elapsed_ms;
-        tracer->OnComplete(done);
-      }
+      trace_completion(queue.size());
       return result;
+    }
+    if (!governor.Poll()) {
+      return anytime_result(std::move(node), queue.size() + 1,
+                            governor.reason());
     }
     best_f_gauge->Set(node.f());
     bound_gap_gauge->Set(node.f() - best_g_seen);
@@ -178,13 +275,12 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
         continue;
       }
       if (result.mappings_processed >= options_.max_expansions) {
-        PublishAbortedMatchTelemetry(context, method, watch, result);
-        if (tracer != nullptr) {
-          tracer->OnComplete(sample(node, queue.size() + 1));
-        }
-        return Status::ResourceExhausted(
-            name() + " exceeded the expansion budget of " +
-            std::to_string(options_.max_expansions) + " mappings");
+        return anytime_result(std::move(node), queue.size() + 1,
+                              exec::TerminationReason::kExpansionCap);
+      }
+      if (!governor.CheckExpansions(1)) {
+        return anytime_result(std::move(node), queue.size() + 1,
+                              governor.reason());
       }
       ++result.mappings_processed;
 
@@ -195,6 +291,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       }
       child.h = scorer.ComputeHForRemaining(child.mapping,
                                             remaining_after[depth + 1]);
+      governor.ChargeMemory(node_bytes);
       queue.push(std::move(child));
     }
     open_list_peak->SetMax(static_cast<double>(queue.size()));

@@ -15,8 +15,12 @@ struct AStarOptions {
   ScorerOptions scorer;
 
   /// Budget on processed child mappings `M'` (Line 7 of Algorithm 1).
-  /// When exceeded, Match returns ResourceExhausted — the condition the
-  /// paper reports as the exact method "cannot return results".
+  /// When exceeded, Match returns an *anytime* result: the best partial
+  /// mapping greedily completed, `termination == kExpansionCap`, and
+  /// certified lower/upper bounds on the true optimum — the condition
+  /// the paper reports as the exact method "cannot return results".
+  /// The context's ExecutionGovernor (deadline / expansion / memory /
+  /// cancellation budgets) triggers the same anytime path.
   std::uint64_t max_expansions = 50'000'000;
 
   /// Emit one `SearchProgress` sample to the context's tracer every this

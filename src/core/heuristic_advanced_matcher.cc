@@ -44,6 +44,7 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
   const std::size_t n = std::max(n1, n2);
 
   MappingScorer scorer(context, options_.scorer);
+  exec::ExecutionGovernor& governor = context.governor();
   const std::string method = name();
   const std::string slug = obs::MetricSlug(method);
   obs::Counter* augmentations =
@@ -73,7 +74,12 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
   std::vector<std::int32_t> match2(n, kUnmatchedVertex);
 
   MatchResult result;
-  for (std::size_t iteration = 0; iteration < n; ++iteration) {
+  bool tripped = false;
+  for (std::size_t iteration = 0; iteration < n && !tripped; ++iteration) {
+    if (!governor.Poll()) {
+      tripped = true;
+      break;
+    }
     // Candidate generation: a maximal alternating tree per unmatched
     // source, scored per augmenting path (Lines 3-7 of Algorithm 3).
     double best_score = -1.0;
@@ -81,7 +87,7 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
     std::int32_t best_root = kUnmatchedVertex;
     std::int32_t best_endpoint = kUnmatchedVertex;
 
-    for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t u = 0; u < n && !tripped; ++u) {
       if (match1[u] != kUnmatchedVertex) {
         continue;
       }
@@ -89,6 +95,10 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
           theta, label1, label2, match1, match2, static_cast<std::int32_t>(u));
       trees_built->Increment();
       for (std::int32_t endpoint : tree.unmatched_targets) {
+        if (!governor.CheckExpansions(1)) {
+          tripped = true;
+          break;
+        }
         ++result.mappings_processed;
         std::vector<std::int32_t> candidate1 = match1;
         std::vector<std::int32_t> candidate2 = match2;
@@ -103,6 +113,9 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
           best_endpoint = endpoint;
         }
       }
+    }
+    if (tripped && best_root == kUnmatchedVertex) {
+      break;  // Budget gone before any candidate; complete greedily below.
     }
     HEMATCH_CHECK(best_root != kUnmatchedVertex,
                   "no augmenting path found (violates Proposition 5)");
@@ -131,6 +144,21 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
   }
 
   Mapping mapping = ToMapping(match1, n1, n2);
+  if (tripped) {
+    // Anytime: first-fit the sources the truncated augmentation loop
+    // left unmatched so the returned mapping is still complete.
+    for (std::size_t i = 0; i < n1; ++i) {
+      const EventId source = static_cast<EventId>(i);
+      if (mapping.IsSourceMapped(source)) continue;
+      for (EventId target = 0; target < n2; ++target) {
+        if (!mapping.IsTargetUsed(target)) {
+          mapping.Set(source, target);
+          break;
+        }
+      }
+    }
+    result.termination = governor.reason();
+  }
   HEMATCH_CHECK(mapping.IsComplete(), "advanced heuristic left V1 unmapped");
   result.objective = scorer.ComputeG(mapping);
   result.mapping = std::move(mapping);

@@ -22,6 +22,7 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
   }
 
   MappingScorer scorer(context, options_.scorer);
+  exec::ExecutionGovernor& governor = context.governor();
   const std::string method = name();
   obs::Counter* steps =
       context.metrics().GetCounter(obs::MetricSlug(method) + ".steps");
@@ -39,13 +40,22 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
 
   MatchResult result;
   Mapping mapping(n1, n2);
-  for (std::size_t depth = 0; depth < n1; ++depth) {
+  bool tripped = false;
+  for (std::size_t depth = 0; depth < n1 && !tripped; ++depth) {
+    if (!governor.Poll()) {
+      tripped = true;
+      break;
+    }
     const EventId source = order[depth];
     double best_score = -1.0;
     EventId best_target = kInvalidEventId;
     for (EventId target = 0; target < n2; ++target) {
       if (mapping.IsTargetUsed(target)) {
         continue;
+      }
+      if (!governor.CheckExpansions(1)) {
+        tripped = true;
+        break;
       }
       ++result.mappings_processed;
       mapping.Set(source, target);
@@ -55,6 +65,9 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
         best_score = score;
         best_target = target;
       }
+    }
+    if (tripped && best_target == kInvalidEventId) {
+      break;  // Nothing scored at this depth; first-fit it below.
     }
     HEMATCH_CHECK(best_target != kInvalidEventId,
                   "no unused target available");
@@ -81,6 +94,21 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
     }
   }
 
+  if (tripped) {
+    // Anytime: first-fit the remaining sources so the mapping is still
+    // complete, and report how the run was cut short.
+    for (std::size_t depth = 0; depth < n1; ++depth) {
+      const EventId source = order[depth];
+      if (mapping.IsSourceMapped(source)) continue;
+      for (EventId target = 0; target < n2; ++target) {
+        if (!mapping.IsTargetUsed(target)) {
+          mapping.Set(source, target);
+          break;
+        }
+      }
+    }
+    result.termination = governor.reason();
+  }
   result.objective = scorer.ComputeG(mapping);
   result.mapping = std::move(mapping);
   FinalizeMatchTelemetry(context, method, watch, result);

@@ -3,14 +3,28 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/mapping.h"
+#include "exec/budget.h"
 
 namespace hematch {
 
+/// One rung of a fallback ladder (see api/fallback_matcher.h): which
+/// matcher ran, how it stopped, and what it produced.
+struct StageAttempt {
+  std::string method;
+  exec::TerminationReason termination = exec::TerminationReason::kCompleted;
+  double objective = 0.0;
+  double elapsed_ms = 0.0;
+  std::uint64_t mappings_processed = 0;
+};
+
 /// Outcome of one matcher run.
 struct MatchResult {
-  /// The returned event mapping (complete on V1 unless the run failed).
+  /// The returned event mapping. Complete on V1 even for truncated
+  /// runs: matchers are anytime and greedily complete their best
+  /// partial mapping when the budget trips (see docs/ROBUSTNESS.md).
   Mapping mapping{0, 0};
 
   /// The objective value the method maximized (pattern normal distance
@@ -32,6 +46,29 @@ struct MatchResult {
   /// uniformly by every matcher via `FinalizeMatchTelemetry` (the same
   /// stopwatch the registry's `<method>.elapsed_ms` gauge records).
   double elapsed_ms = 0.0;
+
+  /// How the run stopped. kCompleted means the method's full answer;
+  /// anything else marks an anytime result truncated by the budget.
+  exec::TerminationReason termination = exec::TerminationReason::kCompleted;
+
+  /// Bracket on the true optimum when `bounds_certified`:
+  /// `lower_bound` is the score of the returned mapping (achievable),
+  /// `upper_bound` dominates every mapping the search had not ruled
+  /// out.  A completed exact run has lower == upper == objective.
+  /// Heuristic runs certify nothing (bounds_certified == false).
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  bool bounds_certified = false;
+
+  /// Fallback ladder trace: one entry per stage that ran, in order.
+  /// Empty for plain single-matcher runs (no ladder involved).
+  std::vector<StageAttempt> stages;
+
+  bool completed() const {
+    return termination == exec::TerminationReason::kCompleted;
+  }
+  /// True when a fallback ladder had to run more than one stage.
+  bool degraded() const { return stages.size() > 1; }
 };
 
 }  // namespace hematch

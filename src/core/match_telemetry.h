@@ -10,6 +10,7 @@
 
 #include "core/match_result.h"
 #include "core/matching_context.h"
+#include "exec/budget.h"
 #include "obs/metrics.h"
 #include "obs/search_tracer.h"
 #include "obs/stopwatch.h"
@@ -18,12 +19,19 @@ namespace hematch {
 
 /// Stamps `result.elapsed_ms` from `watch` and publishes the result's
 /// universal tallies under `<MetricSlug(method)>.` in the context's
-/// registry. Call exactly once per successful `Match`.
+/// registry. Call exactly once per `Match`, completed or truncated:
+/// anytime runs record their termination reason and a
+/// `.budget_exhausted` event alongside the partial tallies.
 inline void FinalizeMatchTelemetry(MatchingContext& context,
                                    const std::string& method,
                                    const obs::Stopwatch& watch,
                                    MatchResult& result) {
   result.elapsed_ms = watch.ElapsedMs();
+  if (!result.bounds_certified) {
+    // Uncertified runs still report a trivially-valid achievable bound.
+    result.lower_bound = result.objective;
+    result.upper_bound = result.objective;
+  }
   obs::MetricsRegistry& metrics = context.metrics();
   const std::string slug = obs::MetricSlug(method);
   metrics.GetCounter(slug + ".runs")->Increment();
@@ -32,23 +40,13 @@ inline void FinalizeMatchTelemetry(MatchingContext& context,
   metrics.GetCounter(slug + ".nodes_visited")->Increment(result.nodes_visited);
   metrics.GetGauge(slug + ".elapsed_ms")->Set(result.elapsed_ms);
   metrics.GetGauge(slug + ".objective")->Set(result.objective);
-}
-
-/// Failure-path sibling: records the partial tallies of a run that ran
-/// out of budget, plus a `.budget_exhausted` event.
-inline void PublishAbortedMatchTelemetry(MatchingContext& context,
-                                         const std::string& method,
-                                         const obs::Stopwatch& watch,
-                                         const MatchResult& partial) {
-  obs::MetricsRegistry& metrics = context.metrics();
-  const std::string slug = obs::MetricSlug(method);
-  metrics.GetCounter(slug + ".runs")->Increment();
-  metrics.GetCounter(slug + ".budget_exhausted")->Increment();
-  metrics.GetCounter(slug + ".mappings_processed")
-      ->Increment(partial.mappings_processed);
-  metrics.GetCounter(slug + ".nodes_visited")
-      ->Increment(partial.nodes_visited);
-  metrics.GetGauge(slug + ".elapsed_ms")->Set(watch.ElapsedMs());
+  metrics
+      .GetCounter(slug + ".termination." +
+                  exec::TerminationReasonToString(result.termination))
+      ->Increment();
+  if (!result.completed()) {
+    metrics.GetCounter(slug + ".budget_exhausted")->Increment();
+  }
 }
 
 }  // namespace hematch

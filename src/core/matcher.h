@@ -14,10 +14,13 @@ namespace hematch {
 /// adapted from prior work (Vertex, Vertex+Edge, Iterative, Entropy-only).
 ///
 /// A matcher is a stateless strategy object; the problem instance lives in
-/// the `MatchingContext`. `Match` returns `ResourceExhausted` when a
-/// configured budget ran out before an answer was found — the condition
-/// the paper reports as "cannot return results" for Exact and Vertex+Edge
-/// beyond 20 events.
+/// the `MatchingContext`. Matchers are *anytime*: when the context's
+/// budget (see exec/budget.h) runs out, `Match` still succeeds and
+/// returns the best complete mapping found so far, with
+/// `MatchResult::termination` naming the limit that fired — the
+/// condition the paper reports as "cannot return results" for Exact and
+/// Vertex+Edge beyond 20 events. Errors are reserved for invalid
+/// instances or broken preconditions.
 class Matcher {
  public:
   virtual ~Matcher() = default;

@@ -34,8 +34,17 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
       metrics_(telemetry.shared_registry != nullptr ? telemetry.shared_registry
                                                     : owned_metrics_.get()),
       tracer_(telemetry.tracer),
+      owned_governor_(telemetry.shared_governor != nullptr
+                          ? nullptr
+                          : std::make_unique<exec::ExecutionGovernor>()),
+      governor_(telemetry.shared_governor != nullptr
+                    ? telemetry.shared_governor
+                    : owned_governor_.get()),
       existence_checks_(metrics_->GetCounter("existence.checks")),
       existence_pruned_(metrics_->GetCounter("existence.pruned")) {
+  obs::Counter* evictions = metrics_->GetCounter("freq.cache_evictions");
+  eval1_->set_eviction_counter(evictions);
+  eval2_->set_eviction_counter(evictions);
   f1_.reserve(patterns_.size());
   for (const Pattern& p : patterns_) {
     if (p.IsVertexPattern()) {
@@ -45,6 +54,20 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
     } else {
       f1_.push_back(eval1_->Frequency(p));
     }
+  }
+}
+
+void MatchingContext::ArmBudget(const exec::RunBudget& budget,
+                                const exec::CancelToken* cancel) {
+  governor_->Arm(budget, cancel);
+  eval1_->set_cancel_token(cancel);
+  eval2_->set_cancel_token(cancel);
+  if (budget.max_memory_bytes > 0) {
+    // Leave half the ceiling to the search frontier; split the rest
+    // between the two memo caches.
+    const std::size_t per_cache = budget.max_memory_bytes / 4;
+    eval1_->set_max_cache_bytes(per_cache > 0 ? per_cache : 1);
+    eval2_->set_max_cache_bytes(per_cache > 0 ? per_cache : 1);
   }
 }
 
@@ -77,6 +100,7 @@ void ExportEvaluatorStats(const FrequencyEvaluator& eval,
   snapshot.counters[prefix + "cache_evictions"] = s.cache_evictions;
   snapshot.counters[prefix + "traces_scanned"] = s.traces_scanned;
   snapshot.counters[prefix + "windows_tested"] = s.windows_tested;
+  snapshot.counters[prefix + "scan_aborts"] = s.scan_aborts;
   const TraceIndex::Stats& ix = eval.trace_index().stats();
   snapshot.counters[prefix + "index.candidate_queries"] = ix.candidate_queries;
   snapshot.counters[prefix + "index.postings_scanned"] = ix.postings_scanned;

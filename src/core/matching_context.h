@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/budget.h"
 #include "freq/existence_pruner.h"
 #include "freq/frequency_evaluator.h"
 #include "freq/inverted_index.h"
@@ -29,6 +30,11 @@ struct ContextTelemetryOptions {
   /// Optional live progress receiver; may also be set later via
   /// `set_tracer`. Must outlive the context.
   obs::SearchTracer* tracer = nullptr;
+  /// Borrow an external execution governor instead of owning one (used
+  /// by matchers that build restricted sub-contexts, e.g. Vertex+Edge,
+  /// so the caller's budget also binds the inner search). Must outlive
+  /// the context.
+  exec::ExecutionGovernor* shared_governor = nullptr;
 };
 
 /// Everything the matching algorithms need about one (L1, L2, P) problem
@@ -90,6 +96,20 @@ class MatchingContext {
   obs::SearchTracer* tracer() const { return tracer_; }
   void set_tracer(obs::SearchTracer* tracer) { tracer_ = tracer; }
 
+  /// The execution governor every matcher run on this context polls.
+  /// Disarmed by default (never trips); see `ArmBudget`.
+  exec::ExecutionGovernor& governor() { return *governor_; }
+  const exec::ExecutionGovernor& governor() const { return *governor_; }
+
+  /// Arms the governor with `budget` (and optional cancellation token),
+  /// wires the token into both frequency evaluators so long scans abort
+  /// on cancellation, and — when the budget carries a memory ceiling —
+  /// caps each evaluator's memo cache at a quarter of it, leaving the
+  /// other half to the search frontier. Call before each budgeted run;
+  /// fallback ladders re-arm with the remaining budget themselves.
+  void ArmBudget(const exec::RunBudget& budget,
+                 const exec::CancelToken* cancel = nullptr);
+
   /// Cumulative Proposition-3 pruning hits (patterns whose frequency
   /// evaluation was skipped because they cannot occur in log2).
   std::uint64_t existence_prune_hits() const {
@@ -114,6 +134,8 @@ class MatchingContext {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
   obs::SearchTracer* tracer_;
+  std::unique_ptr<exec::ExecutionGovernor> owned_governor_;
+  exec::ExecutionGovernor* governor_;
   obs::Counter* existence_checks_;
   obs::Counter* existence_pruned_;
 };

@@ -66,7 +66,12 @@ Result<GroupMapping> ExtendToOneToN(const EventLog& log1,
       options.scorer);
   result.objective = result.base_objective;
 
-  while (result.merges < options.max_merges) {
+  bool tripped = false;
+  while (result.merges < options.max_merges && !tripped) {
+    if (options.governor != nullptr && !options.governor->Poll()) {
+      tripped = true;
+      break;
+    }
     // Candidates: targets that are neither matched nor absorbed.
     std::vector<EventId> free_targets;
     for (EventId e = 0; e < log2.num_events(); ++e) {
@@ -94,7 +99,13 @@ Result<GroupMapping> ExtendToOneToN(const EventLog& log1,
     EventId best_free = kInvalidEventId;
     EventId best_into = kInvalidEventId;
     for (EventId u : free_targets) {
+      if (tripped) break;
       for (EventId v1 = 0; v1 < base.num_sources(); ++v1) {
+        if (options.governor != nullptr &&
+            !options.governor->CheckExpansions(1)) {
+          tripped = true;
+          break;
+        }
         const EventId t = base.TargetOf(v1);
         representative[u] = t;
         const double score = ScoreAgainstMerged(
@@ -116,6 +127,9 @@ Result<GroupMapping> ExtendToOneToN(const EventLog& log1,
     ++result.merges;
   }
 
+  if (tripped) {
+    result.termination = options.governor->reason();
+  }
   result.merged_log2 = BuildMergedLog(log2, representative);
   result.groups.assign(base.num_sources(), {});
   for (EventId v1 = 0; v1 < base.num_sources(); ++v1) {

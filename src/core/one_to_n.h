@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/mapping.h"
 #include "core/mapping_scorer.h"
+#include "exec/budget.h"
 #include "log/event_log.h"
 #include "pattern/pattern.h"
 
@@ -21,6 +22,11 @@ struct OneToNOptions {
   double min_gain = 1e-9;
   /// Upper bound on accepted merges (default: until no merge helps).
   std::size_t max_merges = ~std::size_t{0};
+  /// Optional budget enforcement: each candidate merge scoring charges
+  /// one expansion. On exhaustion the extension stops early and returns
+  /// the groups accepted so far (`GroupMapping::termination` names the
+  /// tripped limit). Borrowed; must outlive the call.
+  exec::ExecutionGovernor* governor = nullptr;
 };
 
 /// The result of extending a 1-1 mapping to 1-to-n groups.
@@ -38,6 +44,9 @@ struct GroupMapping {
   double base_objective = 0.0;
   /// Number of accepted merges.
   std::size_t merges = 0;
+  /// kCompleted when the greedy loop converged; otherwise the budget
+  /// limit that cut it short (the groups so far are still returned).
+  exec::TerminationReason termination = exec::TerminationReason::kCompleted;
 };
 
 /// Extends a complete 1-1 mapping to 1-to-n matching — the direction the

@@ -17,8 +17,20 @@ RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
     return record;
   }
   MatchResult& result = outcome.value();
-  record.completed = true;
+  record.termination = result.termination;
+  record.completed = result.completed();
+  record.degraded = result.degraded();
+  record.stages = std::move(result.stages);
+  if (!record.completed) {
+    record.failure =
+        std::string("budget exhausted (") +
+        exec::TerminationReasonToString(record.termination) +
+        "); anytime result returned";
+  }
   record.objective = result.objective;
+  record.lower_bound = result.lower_bound;
+  record.upper_bound = result.upper_bound;
+  record.bounds_certified = result.bounds_certified;
   record.elapsed_ms = result.elapsed_ms;
   record.mappings_processed = result.mappings_processed;
   record.nodes_visited = result.nodes_visited;

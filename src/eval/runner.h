@@ -2,9 +2,11 @@
 #define HEMATCH_EVAL_RUNNER_H_
 
 #include <string>
+#include <vector>
 
 #include "core/matcher.h"
 #include "eval/metrics.h"
+#include "exec/budget.h"
 #include "gen/matching_task.h"
 #include "obs/telemetry.h"
 
@@ -13,12 +15,26 @@ namespace hematch {
 /// One matcher's outcome on one task, flattened for reporting.
 struct RunRecord {
   std::string method;
+  /// True only for a full (non-truncated) run: the paper's "the method
+  /// returned results" condition. Anytime results from tripped budgets
+  /// set this false but still populate mapping/objective below.
   bool completed = false;
-  std::string failure;  // Status string when !completed.
+  std::string failure;  // Status or budget description when !completed.
+  /// How the run stopped (kCompleted, or the budget limit that fired).
+  exec::TerminationReason termination = exec::TerminationReason::kCompleted;
+  /// True when a fallback ladder ran more than one stage; `stages` then
+  /// records the chain.
+  bool degraded = false;
+  std::vector<StageAttempt> stages;
   double f_measure = 0.0;
   double precision = 0.0;
   double recall = 0.0;
   double objective = 0.0;
+  /// Certified bracket on the optimum when `bounds_certified` (exact
+  /// anytime runs); otherwise both equal `objective`.
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  bool bounds_certified = false;
   double elapsed_ms = 0.0;
   std::uint64_t mappings_processed = 0;
   std::uint64_t nodes_visited = 0;
@@ -30,7 +46,8 @@ struct RunRecord {
 };
 
 /// Runs `matcher` on `context`, scoring against `truth` when provided.
-/// Budget exhaustion is reported (completed = false), not fatal.
+/// Budget exhaustion is reported (completed = false, with the anytime
+/// mapping and termination reason populated), not fatal.
 RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
                      const Mapping* truth);
 

@@ -1,0 +1,146 @@
+#include "exec/budget.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace hematch::exec {
+
+const char* TerminationReasonToString(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kExpansionCap:
+      return "expansion-cap";
+    case TerminationReason::kMemoryCap:
+      return "memory-cap";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::optional<TerminationReason> ParseTerminationReason(
+    const std::string& text) {
+  for (TerminationReason reason :
+       {TerminationReason::kCompleted, TerminationReason::kDeadline,
+        TerminationReason::kExpansionCap, TerminationReason::kMemoryCap,
+        TerminationReason::kCancelled}) {
+    if (text == TerminationReasonToString(reason)) return reason;
+  }
+  return std::nullopt;
+}
+
+FaultInjection FaultInjection::FromEnv() {
+  FaultInjection fault;
+  const char* count = std::getenv("HEMATCH_FAULT_EXHAUST_AFTER");
+  if (count == nullptr || *count == '\0') return fault;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(count, &end, 10);
+  if (end == count || (end != nullptr && *end != '\0')) return fault;
+  fault.exhaust_after = static_cast<std::uint64_t>(parsed);
+  if (const char* reason = std::getenv("HEMATCH_FAULT_REASON")) {
+    if (auto r = ParseTerminationReason(reason);
+        r.has_value() && *r != TerminationReason::kCompleted) {
+      fault.reason = *r;
+    }
+  }
+  return fault;
+}
+
+void ExecutionGovernor::Arm(const RunBudget& budget,
+                            const CancelToken* cancel) {
+  budget_ = budget;
+  cancel_ = cancel;
+  armed_ = true;
+  reason_ = TerminationReason::kCompleted;
+  expansions_ = 0;
+  next_clock_check_ = kClockStride;
+  memory_used_ = 0;
+  start_ = std::chrono::steady_clock::now();
+  started_ = true;
+}
+
+void ExecutionGovernor::Disarm() {
+  budget_ = RunBudget{};
+  cancel_ = nullptr;
+  armed_ = false;
+  reason_ = TerminationReason::kCompleted;
+}
+
+bool ExecutionGovernor::Trip(TerminationReason reason) {
+  if (reason_ == TerminationReason::kCompleted) reason_ = reason;
+  return false;
+}
+
+double ExecutionGovernor::ElapsedMs() const {
+  if (!started_) return 0.0;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+bool ExecutionGovernor::CheckClockAndToken() {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Trip(TerminationReason::kCancelled);
+  }
+  if (budget_.deadline_ms > 0.0 && ElapsedMs() > budget_.deadline_ms) {
+    return Trip(TerminationReason::kDeadline);
+  }
+  return true;
+}
+
+bool ExecutionGovernor::CheckExpansions(std::uint64_t n) {
+  if (exhausted()) return false;
+  if (!armed_ && !fault_.enabled()) return true;
+  expansions_ += n;
+  if (fault_.enabled() && expansions_ >= fault_.exhaust_after) {
+    const TerminationReason reason = fault_.reason;
+    fault_ = FaultInjection{};  // single-shot
+    return Trip(reason);
+  }
+  if (budget_.max_expansions != 0 && expansions_ > budget_.max_expansions) {
+    return Trip(TerminationReason::kExpansionCap);
+  }
+  if (budget_.max_memory_bytes != 0 &&
+      memory_used_ > budget_.max_memory_bytes) {
+    return Trip(TerminationReason::kMemoryCap);
+  }
+  if (expansions_ >= next_clock_check_) {
+    next_clock_check_ = expansions_ + kClockStride;
+    return CheckClockAndToken();
+  }
+  // Cancellation is a relaxed atomic load — cheap enough per call.
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Trip(TerminationReason::kCancelled);
+  }
+  return true;
+}
+
+bool ExecutionGovernor::Poll() {
+  if (exhausted()) return false;
+  if (!armed_) return true;
+  if (budget_.max_memory_bytes != 0 &&
+      memory_used_ > budget_.max_memory_bytes) {
+    return Trip(TerminationReason::kMemoryCap);
+  }
+  return CheckClockAndToken();
+}
+
+RunBudget ExecutionGovernor::Remaining() const {
+  RunBudget remaining;
+  if (budget_.deadline_ms > 0.0) {
+    // Clamp to a tiny positive value: zero would mean "no deadline".
+    const double left = budget_.deadline_ms - ElapsedMs();
+    remaining.deadline_ms = left > 0.01 ? left : 0.01;
+  }
+  if (budget_.max_expansions != 0) {
+    remaining.max_expansions = expansions_ < budget_.max_expansions
+                                   ? budget_.max_expansions - expansions_
+                                   : 1;
+  }
+  remaining.max_memory_bytes = budget_.max_memory_bytes;
+  return remaining;
+}
+
+}  // namespace hematch::exec

@@ -1,0 +1,207 @@
+#ifndef HEMATCH_EXEC_BUDGET_H_
+#define HEMATCH_EXEC_BUDGET_H_
+
+/// \file
+/// Budgeted execution: RunBudget limits, cooperative cancellation, and
+/// the ExecutionGovernor that matchers poll while searching.
+///
+/// Matching heterogeneous logs is NP-hard (Theorem 1), so every search
+/// in this library runs under a budget.  The pieces:
+///
+///  * `RunBudget` — declarative limits: wall-clock deadline, expansion
+///    cap, approximate memory ceiling.  Zero means "unlimited".
+///  * `CancelToken` — a thread-safe flag a caller flips to stop a run
+///    that is already in flight.
+///  * `ExecutionGovernor` — the per-context object matchers consult.
+///    Hot loops call `CheckExpansions()` (charges work units, strided
+///    clock checks); coarser loops call `Poll()` (charges nothing,
+///    always checks the clock).  Once any limit trips the governor is
+///    sticky-exhausted until re-armed, and `reason()` reports which
+///    limit fired.
+///  * `FaultInjection` — deterministic test hook forcing exhaustion at
+///    a chosen expansion count (env-gated via HEMATCH_FAULT_* so the
+///    CLI and tests can exercise every termination path).
+///
+/// Matchers are *anytime*: a tripped budget does not produce an error,
+/// it produces a `MatchResult` whose `termination` field names the
+/// limit and whose mapping is the best complete mapping found so far
+/// (see docs/ROBUSTNESS.md).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hematch::exec {
+
+/// Declarative resource limits for one matching run.  A zero value
+/// means that dimension is unlimited; the default budget never trips.
+struct RunBudget {
+  /// Wall-clock deadline in milliseconds.
+  double deadline_ms = 0.0;
+  /// Maximum number of candidate mappings processed (A* expansions,
+  /// heuristic candidate evaluations, ...).
+  std::uint64_t max_expansions = 0;
+  /// Approximate ceiling on bytes of search state (A* open list plus
+  /// frequency caches).  Accounting is best-effort, not an allocator
+  /// hook.
+  std::size_t max_memory_bytes = 0;
+
+  bool unlimited() const {
+    return deadline_ms <= 0.0 && max_expansions == 0 && max_memory_bytes == 0;
+  }
+};
+
+/// Why a run stopped.  `kCompleted` is the only value for which the
+/// result is the method's full answer; every other value marks an
+/// anytime (best-so-far) result.
+enum class TerminationReason : std::uint8_t {
+  kCompleted = 0,
+  kDeadline,
+  kExpansionCap,
+  kMemoryCap,
+  kCancelled,
+};
+
+/// Stable lowercase name: "completed", "deadline", "expansion-cap",
+/// "memory-cap", "cancelled".  Used in metric names, CLI JSON, and
+/// log lines.
+const char* TerminationReasonToString(TerminationReason reason);
+
+/// Inverse of TerminationReasonToString; std::nullopt on unknown text.
+std::optional<TerminationReason> ParseTerminationReason(
+    const std::string& text);
+
+/// Thread-safe cooperative cancellation flag.  The owner keeps the
+/// token alive for the duration of the run; matchers only read it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Deterministic budget-exhaustion hook for tests: after
+/// `exhaust_after` charged expansions the governor trips with
+/// `reason`, regardless of the armed budget.  Single-shot — once it
+/// fires it clears itself, so a fallback stage that re-arms the
+/// governor is not re-tripped.
+struct FaultInjection {
+  /// 0 disables the injection.
+  std::uint64_t exhaust_after = 0;
+  TerminationReason reason = TerminationReason::kExpansionCap;
+
+  bool enabled() const { return exhaust_after != 0; }
+
+  /// Reads HEMATCH_FAULT_EXHAUST_AFTER (count) and HEMATCH_FAULT_REASON
+  /// (a TerminationReasonToString name; default "expansion-cap").
+  /// Returns a disabled injection when the variables are unset or
+  /// malformed.
+  static FaultInjection FromEnv();
+};
+
+/// The object search loops consult.  One governor per MatchingContext;
+/// stages of a fallback ladder re-`Arm()` it with the remaining budget.
+///
+/// Not thread-safe: a governor belongs to the (single) thread running
+/// the match.  Cross-thread cancellation goes through CancelToken,
+/// which is atomic.
+class ExecutionGovernor {
+ public:
+  /// Clock checks happen once per this many charged expansions; in
+  /// between, CheckExpansions costs a few arithmetic ops.
+  static constexpr std::uint64_t kClockStride = 32;
+
+  /// Picks up HEMATCH_FAULT_* injection from the environment.
+  ExecutionGovernor() : fault_(FaultInjection::FromEnv()) {}
+
+  ExecutionGovernor(const ExecutionGovernor&) = delete;
+  ExecutionGovernor& operator=(const ExecutionGovernor&) = delete;
+
+  /// Starts (or restarts) a budgeted run: resets counters and the
+  /// sticky exhaustion state, stamps the start time.  `cancel` may be
+  /// nullptr and must outlive the run otherwise.  A pending
+  /// FaultInjection survives Arm — it belongs to the test, not the run.
+  void Arm(const RunBudget& budget, const CancelToken* cancel = nullptr);
+
+  /// Ends budgeted execution: clears limits and the sticky exhaustion
+  /// state.  A disarmed governor never trips (except via an armed
+  /// FaultInjection, which keeps counting expansions).
+  void Disarm();
+
+  bool armed() const { return armed_; }
+  const RunBudget& budget() const { return budget_; }
+
+  /// Charges `n` units of work and returns true while the run may
+  /// continue.  Returns false forever after any limit trips (sticky
+  /// until re-armed).
+  bool CheckExpansions(std::uint64_t n = 1);
+
+  /// Charges nothing; checks cancellation, the deadline, and the
+  /// memory ceiling.  For coarse loop heads (per node pop, per
+  /// propagation round) where an unconditional clock read is fine.
+  bool Poll();
+
+  /// True once any limit has tripped.
+  bool exhausted() const {
+    return reason_ != TerminationReason::kCompleted;
+  }
+  /// kCompleted while healthy; the first limit that tripped afterwards.
+  TerminationReason reason() const { return reason_; }
+
+  std::uint64_t expansions() const { return expansions_; }
+
+  /// Milliseconds since Arm (0 when never armed).
+  double ElapsedMs() const;
+
+  /// The budget left for a follow-up stage: elapsed time and charged
+  /// expansions are subtracted from the armed budget.  Exhausted
+  /// dimensions clamp to a tiny positive value (not zero — zero means
+  /// unlimited), so a fallback stage trips quickly instead of running
+  /// free.  Memory is reported in full: the previous stage's state is
+  /// released before the next stage runs.
+  RunBudget Remaining() const;
+
+  /// Best-effort memory accounting for search state.  Charge on
+  /// allocation (A* node push, cache insert), release on free.  The
+  /// ceiling is enforced by CheckExpansions/Poll, not here.
+  void ChargeMemory(std::size_t bytes) { memory_used_ += bytes; }
+  void ReleaseMemory(std::size_t bytes) {
+    memory_used_ -= bytes > memory_used_ ? memory_used_ : bytes;
+  }
+  std::size_t memory_used() const { return memory_used_; }
+
+  /// Installs a deterministic fault (replacing any env-derived one).
+  void InjectFault(const FaultInjection& fault) { fault_ = fault; }
+
+ private:
+  /// Records the first trip reason; always returns false.
+  bool Trip(TerminationReason reason);
+  bool CheckClockAndToken();
+
+  RunBudget budget_;
+  const CancelToken* cancel_ = nullptr;
+  FaultInjection fault_;
+  bool armed_ = false;
+  TerminationReason reason_ = TerminationReason::kCompleted;
+  std::uint64_t expansions_ = 0;
+  std::uint64_t next_clock_check_ = kClockStride;
+  std::size_t memory_used_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  bool started_ = false;
+};
+
+}  // namespace hematch::exec
+
+#endif  // HEMATCH_EXEC_BUDGET_H_

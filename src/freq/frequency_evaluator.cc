@@ -1,10 +1,38 @@
 #include "freq/frequency_evaluator.h"
 
+#include <utility>
+
 namespace hematch {
+
+namespace {
+
+/// Traces between cancellation polls. Cheap enough to keep small: a
+/// poll is one relaxed atomic load.
+constexpr std::size_t kCancelPollStride = 64;
+
+}  // namespace
 
 FrequencyEvaluator::FrequencyEvaluator(const EventLog& log,
                                        FrequencyEvaluatorOptions options)
     : log_(&log), options_(options), trace_index_(log) {}
+
+void FrequencyEvaluator::CacheInsert(std::string key, std::size_t support) {
+  const std::size_t entry_bytes = key.size() + kCacheEntryOverhead;
+  const bool over_entries = options_.max_cache_entries > 0 &&
+                            cache_.size() >= options_.max_cache_entries;
+  const bool over_bytes = options_.max_cache_bytes > 0 && !cache_.empty() &&
+                          cache_bytes_ + entry_bytes > options_.max_cache_bytes;
+  if (over_entries || over_bytes) {
+    stats_.cache_evictions += cache_.size();
+    if (evictions_metric_ != nullptr) {
+      evictions_metric_->Increment(cache_.size());
+    }
+    cache_.clear();
+    cache_bytes_ = 0;
+  }
+  cache_bytes_ += entry_bytes;
+  cache_.emplace(std::move(key), support);
+}
 
 std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   ++stats_.evaluations;
@@ -20,19 +48,36 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   }
 
   std::size_t support = 0;
+  bool aborted = false;
+  std::size_t since_poll = 0;
+  const auto should_stop = [&]() {
+    if (cancel_ == nullptr) return false;
+    if (++since_poll < kCancelPollStride) return false;
+    since_poll = 0;
+    return cancel_->cancelled();
+  };
+
   TraceMatchStats match_stats;
   if (options_.use_trace_index) {
     const std::vector<std::uint32_t> candidates =
         trace_index_.CandidateTraces(pattern.events());
-    stats_.traces_scanned += candidates.size();
     for (std::uint32_t t : candidates) {
+      if (should_stop()) {
+        aborted = true;
+        break;
+      }
+      ++stats_.traces_scanned;
       if (TraceMatchesPattern(log_->traces()[t], pattern, &match_stats)) {
         ++support;
       }
     }
   } else {
-    stats_.traces_scanned += log_->num_traces();
     for (const Trace& trace : log_->traces()) {
+      if (should_stop()) {
+        aborted = true;
+        break;
+      }
+      ++stats_.traces_scanned;
       if (TraceMatchesPattern(trace, pattern, &match_stats)) {
         ++support;
       }
@@ -40,13 +85,14 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   }
   stats_.windows_tested += match_stats.windows_tested;
 
+  if (aborted) {
+    // Partial count: usable as a best-effort answer for the caller that
+    // is itself unwinding, but never memoized.
+    ++stats_.scan_aborts;
+    return support;
+  }
   if (options_.use_cache) {
-    if (options_.max_cache_entries > 0 &&
-        cache_.size() >= options_.max_cache_entries) {
-      stats_.cache_evictions += cache_.size();
-      cache_.clear();
-    }
-    cache_.emplace(std::move(key), support);
+    CacheInsert(std::move(key), support);
   }
   return support;
 }

@@ -5,9 +5,11 @@
 #include <string>
 #include <unordered_map>
 
+#include "exec/budget.h"
 #include "freq/inverted_index.h"
 #include "freq/trace_matcher.h"
 #include "log/event_log.h"
+#include "obs/metrics.h"
 #include "pattern/pattern.h"
 
 namespace hematch {
@@ -29,6 +31,12 @@ struct FrequencyEvaluatorOptions {
   /// beats per-entry LRU bookkeeping) and `stats().cache_evictions`
   /// records how many entries were discarded.
   std::size_t max_cache_entries = 0;
+  /// Approximate byte ceiling for the memo table; 0 = unbounded. Uses
+  /// the same wholesale-reset policy as `max_cache_entries`. Set by
+  /// `MatchingContext::ArmBudget` from `RunBudget::max_memory_bytes` so
+  /// caches honor the run's memory ceiling instead of growing without
+  /// bound.
+  std::size_t max_cache_bytes = 0;
 };
 
 /// Computes normalized pattern frequencies `f(p)` over one event log
@@ -56,23 +64,58 @@ class FrequencyEvaluator {
   const EventLog& log() const { return *log_; }
   const TraceIndex& trace_index() const { return trace_index_; }
 
+  /// Cooperative cancellation: long scans poll `cancel` every few dozen
+  /// traces and return early (partial support, not cached) once it is
+  /// set. Pass nullptr to disable; the token must outlive the evaluator
+  /// otherwise. Only cancellation aborts scans — deadline/memory trips
+  /// let in-flight scans finish so anytime objectives stay exact.
+  void set_cancel_token(const exec::CancelToken* cancel) { cancel_ = cancel; }
+
+  /// Live eviction counter (e.g. `freq.cache_evictions` in the owning
+  /// context's MetricsRegistry); incremented by the number of entries
+  /// dropped at each wholesale reset. Null disables the export.
+  void set_eviction_counter(obs::Counter* counter) {
+    evictions_metric_ = counter;
+  }
+
+  /// Adjusts the byte ceiling after construction (used when a budget is
+  /// armed on an existing context). Takes effect on the next insert.
+  void set_max_cache_bytes(std::size_t bytes) {
+    options_.max_cache_bytes = bytes;
+  }
+
+  /// Approximate bytes currently held by the memo table.
+  std::size_t cache_bytes() const { return cache_bytes_; }
+
   /// Work counters (cumulative since construction). `MatchingContext`
   /// promotes these into its telemetry snapshot under `freq1.` / `freq2.`.
   struct Stats {
     std::uint64_t evaluations = 0;      ///< Support()/Frequency() calls.
     std::uint64_t cache_hits = 0;       ///< Served from the memo table.
     std::uint64_t cache_misses = 0;     ///< Memo lookups that missed.
-    std::uint64_t cache_evictions = 0;  ///< Entries dropped by the cap.
+    std::uint64_t cache_evictions = 0;  ///< Entries dropped by the caps.
     std::uint64_t traces_scanned = 0;   ///< Traces handed to the matcher.
     std::uint64_t windows_tested = 0;   ///< Full membership tests.
+    std::uint64_t scan_aborts = 0;      ///< Scans cut short by cancellation.
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Approximate resident size of one memo entry: key bytes plus node,
+  /// bucket, and value overhead of the unordered_map.
+  static constexpr std::size_t kCacheEntryOverhead = 64;
+
+  /// Evicts (wholesale) if inserting `key` would exceed either cap,
+  /// then inserts.
+  void CacheInsert(std::string key, std::size_t support);
+
   const EventLog* log_;
   FrequencyEvaluatorOptions options_;
   TraceIndex trace_index_;
   std::unordered_map<std::string, std::size_t> cache_;
+  std::size_t cache_bytes_ = 0;
+  const exec::CancelToken* cancel_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
   Stats stats_;
 };
 

@@ -14,6 +14,7 @@
 /// Prefer including the specific headers in production code; this header
 /// exists for exploratory use and examples.
 
+#include "api/fallback_matcher.h"
 #include "api/match_pipeline.h"
 #include "baselines/entropy_matcher.h"
 #include "baselines/iterative_matcher.h"
@@ -28,6 +29,7 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/runner.h"
+#include "exec/budget.h"
 #include "gen/pattern_miner.h"
 #include "graph/dependency_graph.h"
 #include "graph/incremental_dependency_graph.h"

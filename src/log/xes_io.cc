@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "log/xml_parser.h"
@@ -45,112 +46,226 @@ std::string EscapeXml(std::string_view raw) {
   return out;
 }
 
+bool HasAttribute(const XmlParser::Token& token, std::string_view key) {
+  for (const auto& [k, v] : token.attributes) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The reader proper: an explicit element stack plus the XES-level
+/// state (current trace / current event), so truncation and mismatched
+/// tags are detected positively instead of corrupting state.
+class XesReader {
+ public:
+  explicit XesReader(const XesReadOptions& options) : options_(options) {}
+
+  Result<EventLog> Read(std::string_view document) {
+    XmlParser parser(document);
+    for (;;) {
+      Result<XmlParser::Token> token = parser.Next();
+      if (!token.ok()) {
+        // Malformed XML mid-document (truncated tag, bad entity, ...).
+        if (options_.strict) {
+          return token.status();
+        }
+        break;  // Lenient: salvage what was completed.
+      }
+      if (token->kind == XmlParser::TokenKind::kEnd) {
+        if (!stack_.empty() && options_.strict) {
+          return Status::ParseError("truncated XES document: <" +
+                                    stack_.back() + "> never closed");
+        }
+        break;
+      }
+      if (token->kind == XmlParser::TokenKind::kText) {
+        continue;  // XES carries data in attributes, not text nodes.
+      }
+      Status handled = token->kind == XmlParser::TokenKind::kStartElement
+                           ? HandleStart(*token, parser.offset())
+                           : HandleEnd(*token);
+      if (!handled.ok()) {
+        return handled;
+      }
+      if (stopped_) {
+        break;  // Lenient depth overflow: keep the traces so far.
+      }
+    }
+    if (!saw_log_) {
+      return Status::ParseError("no <log> element found (not an XES file?)");
+    }
+    return std::move(log_);
+  }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  bool in_trace() const { return trace_depth_ != kNone; }
+  bool in_event() const { return event_depth_ != kNone; }
+
+  Status HandleStart(const XmlParser::Token& token, std::size_t offset) {
+    if (stack_.size() >= options_.max_depth) {
+      if (options_.strict) {
+        return Status::ParseError(
+            "XES nesting deeper than " + std::to_string(options_.max_depth) +
+            " elements at offset " + std::to_string(offset));
+      }
+      stopped_ = true;
+      return Status::OK();
+    }
+    if (token.name == "log") {
+      saw_log_ = true;
+    } else if (token.name == "trace") {
+      if (in_trace()) {
+        if (options_.strict) {
+          return Status::ParseError("nested <trace> elements");
+        }
+        // Lenient: treat the inner <trace> as an opaque container.
+      } else {
+        trace_depth_ = stack_.size();
+        trace_events_.clear();
+      }
+    } else if (token.name == "event") {
+      if (!in_trace()) {
+        return Status::ParseError("<event> outside a <trace>");
+      }
+      if (in_event()) {
+        if (options_.strict) {
+          return Status::ParseError("nested <event> elements");
+        }
+        // Lenient: opaque container; attributes inside won't be at the
+        // event's attribute depth, so they are ignored anyway.
+      } else {
+        event_depth_ = stack_.size();
+        current_event_ = XesEvent{};
+      }
+    } else if (in_event() && stack_.size() == event_depth_ + 1) {
+      // A direct child of the <event>: a candidate attribute. Container
+      // attributes nested deeper (lists etc.) are ignored.
+      const std::string_view key = token.Attribute("key");
+      if (token.name == "string" && key == "concept:name") {
+        if (options_.strict && !HasAttribute(token, "value")) {
+          return Status::ParseError(
+              "concept:name attribute without a value");
+        }
+        current_event_.name = std::string(token.Attribute("value"));
+      } else if (token.name == "date" && key == "time:timestamp") {
+        if (options_.strict && !HasAttribute(token, "value")) {
+          return Status::ParseError(
+              "time:timestamp attribute without a value");
+        }
+        current_event_.timestamp = std::string(token.Attribute("value"));
+      }
+    }
+    stack_.push_back(token.name);
+    return Status::OK();
+  }
+
+  Status HandleEnd(const XmlParser::Token& token) {
+    if (!stack_.empty() && stack_.back() == token.name) {
+      return CloseTop();
+    }
+    if (options_.strict) {
+      return Status::ParseError("mismatched end tag </" + token.name +
+                                "> (open element is <" +
+                                (stack_.empty() ? "none" : stack_.back()) +
+                                ">)");
+    }
+    // Lenient: close up to the matching open element if one exists;
+    // a stray end tag with no matching open is ignored.
+    const auto match =
+        std::find(stack_.rbegin(), stack_.rend(), token.name);
+    if (match == stack_.rend()) {
+      return Status::OK();
+    }
+    const std::size_t target = stack_.size() - 1 -
+                               (match - stack_.rbegin());
+    while (stack_.size() > target) {
+      Status closed = CloseTop();
+      if (!closed.ok()) {
+        return closed;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pops the innermost element and runs the XES semantics its closure
+  /// triggers (event finalized, trace finalized).
+  Status CloseTop() {
+    stack_.pop_back();
+    if (in_event() && stack_.size() == event_depth_) {
+      event_depth_ = kNone;
+      if (current_event_.name.empty()) {
+        if (options_.strict) {
+          return Status::ParseError("<event> without a concept:name");
+        }
+        return Status::OK();  // Lenient: skip unnamed events.
+      }
+      trace_events_.push_back(std::move(current_event_));
+    } else if (in_trace() && stack_.size() == trace_depth_) {
+      trace_depth_ = kNone;
+      FinalizeTrace();
+    }
+    return Status::OK();
+  }
+
+  void FinalizeTrace() {
+    if (trace_events_.empty()) {
+      return;  // Traces with no named events are dropped.
+    }
+    // Re-sort by timestamp only when every event carries one
+    // (stable: XES document order breaks ties).
+    const bool all_timestamped = std::all_of(
+        trace_events_.begin(), trace_events_.end(),
+        [](const XesEvent& e) { return !e.timestamp.empty(); });
+    if (all_timestamped) {
+      std::stable_sort(trace_events_.begin(), trace_events_.end(),
+                       [](const XesEvent& a, const XesEvent& b) {
+                         return a.timestamp < b.timestamp;
+                       });
+    }
+    std::vector<std::string> names;
+    names.reserve(trace_events_.size());
+    for (const XesEvent& e : trace_events_) {
+      names.push_back(e.name);
+    }
+    log_.AddTraceByNames(names);
+    trace_events_.clear();
+  }
+
+  const XesReadOptions options_;
+  EventLog log_;
+  std::vector<std::string> stack_;
+  bool saw_log_ = false;
+  bool stopped_ = false;
+  std::size_t trace_depth_ = kNone;
+  std::size_t event_depth_ = kNone;
+  std::vector<XesEvent> trace_events_;
+  XesEvent current_event_;
+};
+
 }  // namespace
 
-Result<EventLog> ReadXesLog(std::istream& input) {
+Result<EventLog> ReadXesLog(std::istream& input,
+                            const XesReadOptions& options) {
   std::ostringstream buffer;
   buffer << input.rdbuf();
   if (input.bad()) {
     return Status::ParseError("I/O failure while reading XES log");
   }
   const std::string document = buffer.str();
-  XmlParser parser(document);
-
-  EventLog log;
-  bool saw_log = false;
-  bool in_trace = false;
-  bool in_event = false;
-  std::vector<XesEvent> trace_events;
-  XesEvent current_event;
-  // Depth of nested container attributes inside an <event> (lists etc.);
-  // attribute elements nested deeper than the event level are ignored.
-  int event_attr_depth = 0;
-
-  for (;;) {
-    HEMATCH_ASSIGN_OR_RETURN(XmlParser::Token token, parser.Next());
-    if (token.kind == XmlParser::TokenKind::kEnd) {
-      break;
-    }
-    if (token.kind == XmlParser::TokenKind::kText) {
-      continue;  // XES carries data in attributes, not text nodes.
-    }
-    if (token.kind == XmlParser::TokenKind::kStartElement) {
-      if (token.name == "log") {
-        saw_log = true;
-      } else if (token.name == "trace") {
-        if (in_trace) {
-          return Status::ParseError("nested <trace> elements");
-        }
-        in_trace = true;
-        trace_events.clear();
-      } else if (token.name == "event") {
-        if (!in_trace) {
-          return Status::ParseError("<event> outside a <trace>");
-        }
-        if (in_event) {
-          return Status::ParseError("nested <event> elements");
-        }
-        in_event = true;
-        current_event = XesEvent{};
-        event_attr_depth = 0;
-      } else if (in_event) {
-        ++event_attr_depth;
-        if (event_attr_depth == 1) {
-          const std::string_view key = token.Attribute("key");
-          if (token.name == "string" && key == "concept:name") {
-            current_event.name = std::string(token.Attribute("value"));
-          } else if (token.name == "date" && key == "time:timestamp") {
-            current_event.timestamp = std::string(token.Attribute("value"));
-          }
-        }
-      }
-      continue;
-    }
-    // End element.
-    if (token.name == "event") {
-      in_event = false;
-      if (!current_event.name.empty()) {
-        trace_events.push_back(std::move(current_event));
-      }
-    } else if (token.name == "trace") {
-      in_trace = false;
-      if (!trace_events.empty()) {
-        // Re-sort by timestamp only when every event carries one
-        // (stable: XES document order breaks ties).
-        const bool all_timestamped = std::all_of(
-            trace_events.begin(), trace_events.end(),
-            [](const XesEvent& e) { return !e.timestamp.empty(); });
-        if (all_timestamped) {
-          std::stable_sort(trace_events.begin(), trace_events.end(),
-                           [](const XesEvent& a, const XesEvent& b) {
-                             return a.timestamp < b.timestamp;
-                           });
-        }
-        std::vector<std::string> names;
-        names.reserve(trace_events.size());
-        for (const XesEvent& e : trace_events) {
-          names.push_back(e.name);
-        }
-        log.AddTraceByNames(names);
-      }
-    } else if (in_event && token.name != "log") {
-      if (event_attr_depth > 0) {
-        --event_attr_depth;
-      }
-    }
-  }
-  if (!saw_log) {
-    return Status::ParseError("no <log> element found (not an XES file?)");
-  }
-  return log;
+  return XesReader(options).Read(document);
 }
 
-Result<EventLog> ReadXesLogFile(const std::string& path) {
+Result<EventLog> ReadXesLogFile(const std::string& path,
+                                const XesReadOptions& options) {
   std::ifstream file(path);
   if (!file) {
     return Status::NotFound("cannot open XES file: " + path);
   }
-  return ReadXesLog(file);
+  return ReadXesLog(file, options);
 }
 
 Status WriteXesLog(const EventLog& log, std::ostream& output) {

@@ -1,0 +1,362 @@
+// Tests for the budgeted execution layer: RunBudget, CancelToken,
+// ExecutionGovernor (every termination reason), the deterministic
+// FaultInjection hook, and the exact->heuristic fallback ladder wired
+// through MatchLogs.
+
+#include "exec/budget.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "api/fallback_matcher.h"
+#include "api/match_pipeline.h"
+#include "core/astar_matcher.h"
+#include "core/matching_context.h"
+#include "core/pattern_set.h"
+#include "graph/dependency_graph.h"
+#include "log/event_log.h"
+
+namespace hematch {
+namespace {
+
+using exec::CancelToken;
+using exec::ExecutionGovernor;
+using exec::FaultInjection;
+using exec::RunBudget;
+using exec::TerminationReason;
+
+// Restores the fault-injection environment around a test.
+class ScopedFaultEnv {
+ public:
+  ScopedFaultEnv(const char* count, const char* reason) {
+    setenv("HEMATCH_FAULT_EXHAUST_AFTER", count, 1);
+    if (reason != nullptr) {
+      setenv("HEMATCH_FAULT_REASON", reason, 1);
+    }
+  }
+  ~ScopedFaultEnv() {
+    unsetenv("HEMATCH_FAULT_EXHAUST_AFTER");
+    unsetenv("HEMATCH_FAULT_REASON");
+  }
+};
+
+TEST(TerminationReasonTest, StringsRoundTrip) {
+  for (TerminationReason reason :
+       {TerminationReason::kCompleted, TerminationReason::kDeadline,
+        TerminationReason::kExpansionCap, TerminationReason::kMemoryCap,
+        TerminationReason::kCancelled}) {
+    const std::string text = exec::TerminationReasonToString(reason);
+    const auto parsed = exec::ParseTerminationReason(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, reason);
+  }
+  EXPECT_FALSE(exec::ParseTerminationReason("no-such-reason").has_value());
+}
+
+TEST(RunBudgetTest, DefaultIsUnlimited) {
+  EXPECT_TRUE(RunBudget{}.unlimited());
+  RunBudget b;
+  b.deadline_ms = 1.0;
+  EXPECT_FALSE(b.unlimited());
+}
+
+TEST(ExecutionGovernorTest, UnarmedNeverTrips) {
+  ExecutionGovernor governor;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(governor.CheckExpansions());
+  }
+  EXPECT_TRUE(governor.Poll());
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_EQ(governor.reason(), TerminationReason::kCompleted);
+}
+
+TEST(ExecutionGovernorTest, ExpansionCapTripsAndSticks) {
+  ExecutionGovernor governor;
+  RunBudget budget;
+  budget.max_expansions = 10;
+  governor.Arm(budget);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(governor.CheckExpansions()) << i;
+  }
+  EXPECT_FALSE(governor.CheckExpansions());  // The 11th charge trips.
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.reason(), TerminationReason::kExpansionCap);
+  // Sticky until re-armed; the first reason wins.
+  EXPECT_FALSE(governor.CheckExpansions());
+  EXPECT_FALSE(governor.Poll());
+  governor.Arm(budget);
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_TRUE(governor.CheckExpansions());
+}
+
+TEST(ExecutionGovernorTest, DeadlineTripsViaPoll) {
+  ExecutionGovernor governor;
+  RunBudget budget;
+  budget.deadline_ms = 1.0;
+  governor.Arm(budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(governor.Poll());
+  EXPECT_EQ(governor.reason(), TerminationReason::kDeadline);
+}
+
+TEST(ExecutionGovernorTest, DeadlineTripsViaStridedCheck) {
+  ExecutionGovernor governor;
+  RunBudget budget;
+  budget.deadline_ms = 1.0;
+  governor.Arm(budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The clock is only read every kClockStride charges, so the trip
+  // happens within one stride, not necessarily on the first call.
+  bool tripped = false;
+  for (std::uint64_t i = 0; i <= ExecutionGovernor::kClockStride; ++i) {
+    if (!governor.CheckExpansions()) {
+      tripped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(governor.reason(), TerminationReason::kDeadline);
+}
+
+TEST(ExecutionGovernorTest, CancellationTripsImmediately) {
+  ExecutionGovernor governor;
+  CancelToken cancel;
+  governor.Arm(RunBudget{}, &cancel);
+  EXPECT_TRUE(governor.Poll());
+  cancel.Cancel();
+  EXPECT_FALSE(governor.CheckExpansions());
+  EXPECT_EQ(governor.reason(), TerminationReason::kCancelled);
+  cancel.Reset();
+  // Sticky: resetting the token does not un-trip the governor.
+  EXPECT_FALSE(governor.Poll());
+}
+
+TEST(ExecutionGovernorTest, MemoryCapTripsOnPollAndCharge) {
+  ExecutionGovernor governor;
+  RunBudget budget;
+  budget.max_memory_bytes = 1024;
+  governor.Arm(budget);
+  governor.ChargeMemory(512);
+  EXPECT_TRUE(governor.Poll());
+  governor.ReleaseMemory(256);
+  EXPECT_EQ(governor.memory_used(), 256u);
+  governor.ChargeMemory(1024);
+  EXPECT_FALSE(governor.Poll());
+  EXPECT_EQ(governor.reason(), TerminationReason::kMemoryCap);
+}
+
+TEST(ExecutionGovernorTest, RemainingSubtractsAndClamps) {
+  ExecutionGovernor governor;
+  RunBudget budget;
+  budget.max_expansions = 100;
+  budget.deadline_ms = 10'000.0;
+  budget.max_memory_bytes = 4096;
+  governor.Arm(budget);
+  ASSERT_TRUE(governor.CheckExpansions(30));
+  RunBudget remaining = governor.Remaining();
+  EXPECT_EQ(remaining.max_expansions, 70u);
+  EXPECT_GT(remaining.deadline_ms, 0.0);
+  EXPECT_LE(remaining.deadline_ms, 10'000.0);
+  // Memory is reported in full: the next stage starts from zero.
+  EXPECT_EQ(remaining.max_memory_bytes, 4096u);
+
+  // Exhausted dimensions clamp to tiny positive values, never to the
+  // zero that would mean "unlimited".
+  governor.CheckExpansions(500);
+  remaining = governor.Remaining();
+  EXPECT_EQ(remaining.max_expansions, 1u);
+  RunBudget expired;
+  expired.deadline_ms = 0.0001;
+  governor.Arm(expired);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(governor.Remaining().deadline_ms, 0.0);
+}
+
+TEST(FaultInjectionTest, FromEnvParsesCountAndReason) {
+  ScopedFaultEnv env("42", "deadline");
+  const FaultInjection fault = FaultInjection::FromEnv();
+  EXPECT_TRUE(fault.enabled());
+  EXPECT_EQ(fault.exhaust_after, 42u);
+  EXPECT_EQ(fault.reason, TerminationReason::kDeadline);
+}
+
+TEST(FaultInjectionTest, FromEnvRejectsMalformedAndCompleted) {
+  {
+    ScopedFaultEnv env("not-a-number", nullptr);
+    EXPECT_FALSE(FaultInjection::FromEnv().enabled());
+  }
+  {
+    // "completed" is not a failure; the reason falls back to the default.
+    ScopedFaultEnv env("7", "completed");
+    const FaultInjection fault = FaultInjection::FromEnv();
+    EXPECT_TRUE(fault.enabled());
+    EXPECT_EQ(fault.reason, TerminationReason::kExpansionCap);
+  }
+  unsetenv("HEMATCH_FAULT_EXHAUST_AFTER");
+  EXPECT_FALSE(FaultInjection::FromEnv().enabled());
+}
+
+TEST(FaultInjectionTest, InjectedFaultTripsOnceAtChosenCount) {
+  ExecutionGovernor governor;
+  FaultInjection fault;
+  fault.exhaust_after = 5;
+  fault.reason = TerminationReason::kMemoryCap;
+  governor.InjectFault(fault);
+  // Works even without an armed budget: the fault counts expansions.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(governor.CheckExpansions()) << i;
+  }
+  EXPECT_FALSE(governor.CheckExpansions());
+  EXPECT_EQ(governor.reason(), TerminationReason::kMemoryCap);
+  // Single-shot: a re-armed (fallback) stage runs unimpeded.
+  governor.Arm(RunBudget{});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(governor.CheckExpansions());
+  }
+}
+
+TEST(FaultInjectionTest, GovernorPicksUpEnvironmentAtConstruction) {
+  ScopedFaultEnv env("3", "cancelled");
+  ExecutionGovernor governor;
+  governor.Arm(RunBudget{});
+  EXPECT_TRUE(governor.CheckExpansions(2));
+  EXPECT_FALSE(governor.CheckExpansions());
+  EXPECT_EQ(governor.reason(), TerminationReason::kCancelled);
+}
+
+// ----------------- fallback ladder / pipeline degradation ------------
+
+EventLog MakeLog(std::initializer_list<std::vector<std::string>> traces) {
+  EventLog log;
+  for (const auto& trace : traces) {
+    log.AddTraceByNames(trace);
+  }
+  return log;
+}
+
+EventLog SourceLog() {
+  return MakeLog({{"a", "b", "c", "d"},
+                  {"a", "c", "b", "d"},
+                  {"b", "a", "c", "d"},
+                  {"a", "b", "d", "c"}});
+}
+
+EventLog TargetLog() {
+  return MakeLog({{"w", "x", "y", "z"},
+                  {"w", "y", "x", "z"},
+                  {"x", "w", "y", "z"},
+                  {"w", "x", "z", "y"}});
+}
+
+TEST(FallbackMatcherTest, CompletesWithoutDegradingWhenBudgetSuffices) {
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  MatchingContext context(
+      log1, log2, BuildPatternSet(DependencyGraph::Build(log1), {}));
+  auto ladder = FallbackMatcher::ExactWithHeuristicFallbacks(
+      AStarOptions{}, FallbackOptions{});
+  Result<MatchResult> result = ladder->Match(context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->termination, TerminationReason::kCompleted);
+  EXPECT_FALSE(result->degraded());
+  ASSERT_EQ(result->stages.size(), 1u);
+  EXPECT_EQ(result->stages[0].termination, TerminationReason::kCompleted);
+  EXPECT_TRUE(result->mapping.IsComplete());
+}
+
+TEST(FallbackMatcherTest, DegradesDownTheLadderOnExhaustion) {
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  MatchingContext context(
+      log1, log2, BuildPatternSet(DependencyGraph::Build(log1), {}));
+  // Trip the exact stage almost immediately; the heuristics finish.
+  FaultInjection fault;
+  fault.exhaust_after = 2;
+  context.governor().InjectFault(fault);
+  auto ladder = FallbackMatcher::ExactWithHeuristicFallbacks(
+      AStarOptions{}, FallbackOptions{});
+  Result<MatchResult> result = ladder->Match(context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->termination, TerminationReason::kExpansionCap);
+  EXPECT_TRUE(result->degraded());
+  ASSERT_GE(result->stages.size(), 2u);
+  EXPECT_EQ(result->stages[0].termination,
+            TerminationReason::kExpansionCap);
+  EXPECT_EQ(result->stages[1].termination, TerminationReason::kCompleted);
+  EXPECT_TRUE(result->mapping.IsComplete());
+  EXPECT_GE(result->objective, result->lower_bound - 1e-9);
+}
+
+TEST(FallbackMatcherTest, CancellationStopsTheLadder) {
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  MatchingContext context(
+      log1, log2, BuildPatternSet(DependencyGraph::Build(log1), {}));
+  CancelToken cancel;
+  cancel.Cancel();  // Cancelled before the run even starts.
+  FallbackOptions options;
+  options.cancel = &cancel;
+  auto ladder = FallbackMatcher::ExactWithHeuristicFallbacks(
+      AStarOptions{}, options);
+  Result<MatchResult> result = ladder->Match(context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->termination, TerminationReason::kCancelled);
+  // No rung after the cancelled one runs.
+  ASSERT_EQ(result->stages.size(), 1u);
+  EXPECT_EQ(result->stages[0].termination, TerminationReason::kCancelled);
+}
+
+TEST(MatchPipelineDegradationTest, EnvFaultForcesTheFallbackChain) {
+  ScopedFaultEnv env("1", "expansion-cap");
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  MatchPipelineOptions options;
+  Result<MatchPipelineOutcome> outcome = MatchLogs(log1, log2, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->termination, TerminationReason::kExpansionCap);
+  EXPECT_TRUE(outcome->degraded);
+  ASSERT_GE(outcome->result.stages.size(), 2u);
+  EXPECT_EQ(outcome->result.stages[0].termination,
+            TerminationReason::kExpansionCap);
+  EXPECT_TRUE(outcome->result.mapping.IsComplete());
+  // The degradation is visible in telemetry.
+  EXPECT_GE(outcome->telemetry.counter("pipeline.fallbacks"), 1u);
+  EXPECT_GE(outcome->telemetry.counter("pipeline.termination.expansion-cap"),
+            1u);
+}
+
+TEST(MatchPipelineDegradationTest, NoDegradeReturnsTheAnytimeResult) {
+  ScopedFaultEnv env("1", "deadline");
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  MatchPipelineOptions options;
+  options.degrade = false;
+  Result<MatchPipelineOutcome> outcome = MatchLogs(log1, log2, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->termination, TerminationReason::kDeadline);
+  EXPECT_FALSE(outcome->degraded);
+  EXPECT_TRUE(outcome->result.stages.empty());
+  // Anytime contract: a complete best-effort mapping with a certified
+  // bracket around the (unknown) optimum.
+  EXPECT_TRUE(outcome->result.mapping.IsComplete());
+  EXPECT_TRUE(outcome->result.bounds_certified);
+  EXPECT_LE(outcome->result.lower_bound,
+            outcome->result.upper_bound + 1e-9);
+}
+
+TEST(MatchPipelineDegradationTest, BudgetFieldReachesTheGovernor) {
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  MatchPipelineOptions options;
+  options.budget.max_expansions = 2;  // Trips the exact stage quickly.
+  Result<MatchPipelineOutcome> outcome = MatchLogs(log1, log2, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->termination, TerminationReason::kExpansionCap);
+  EXPECT_TRUE(outcome->result.mapping.IsComplete());
+}
+
+}  // namespace
+}  // namespace hematch

@@ -120,5 +120,66 @@ TEST_P(EvaluatorEquivalenceTest, ConfigurationsAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorEquivalenceTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+TEST(FrequencyEvaluatorTest, ByteCeilingEvictsInsteadOfGrowing) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluatorOptions options;
+  options.max_cache_bytes = 256;  // Room for only a couple of entries.
+  FrequencyEvaluator eval(log, options);
+  obs::Counter evictions;
+  eval.set_eviction_counter(&evictions);
+  const Pattern patterns[] = {
+      Pattern::SeqOfEvents({0, 1, 2}), Pattern::AndOfEvents({0, 1, 2}),
+      Pattern::SeqOfEvents({0, 2, 3}), Pattern::AndOfEvents({1, 2, 3}),
+      Pattern::SeqOfEvents({1, 2, 3}), Pattern::AndOfEvents({0, 2, 3}),
+  };
+  for (const Pattern& p : patterns) {
+    eval.Frequency(p);
+    EXPECT_LE(eval.cache_bytes(), options.max_cache_bytes);
+  }
+  EXPECT_GT(eval.stats().cache_evictions, 0u);
+  EXPECT_EQ(evictions.value(), eval.stats().cache_evictions);
+  // Results stay correct across evictions: SEQ(A,B,C) holds in the two
+  // traces that order B before C.
+  EXPECT_DOUBLE_EQ(eval.Frequency(Pattern::SeqOfEvents({0, 1, 2})), 0.5);
+}
+
+TEST(FrequencyEvaluatorTest, RaisingTheCeilingStopsEvictions) {
+  const EventLog log = Fig1StyleLog();
+  FrequencyEvaluatorOptions options;
+  options.max_cache_bytes = 1;  // Evict on every insert.
+  FrequencyEvaluator eval(log, options);
+  eval.Frequency(Pattern::SeqOfEvents({0, 1, 2}));
+  eval.Frequency(Pattern::AndOfEvents({0, 1, 2}));
+  const std::uint64_t evictions = eval.stats().cache_evictions;
+  eval.set_max_cache_bytes(1 << 20);
+  eval.Frequency(Pattern::SeqOfEvents({0, 2, 3}));
+  eval.Frequency(Pattern::AndOfEvents({1, 2, 3}));
+  EXPECT_EQ(eval.stats().cache_evictions, evictions);
+}
+
+TEST(FrequencyEvaluatorTest, CancellationAbortsScansUncached) {
+  // Cancellation is polled every few dozen traces, so the log must be
+  // long enough for the scan to hit a poll point.
+  EventLog log;
+  for (int t = 0; t < 200; ++t) {
+    log.AddTraceByNames({"A", "B", "C", "D"});
+  }
+  FrequencyEvaluatorOptions options;
+  options.use_trace_index = false;  // Force a full scan.
+  FrequencyEvaluator eval(log, options);
+  exec::CancelToken cancel;
+  eval.set_cancel_token(&cancel);
+  cancel.Cancel();
+  const Pattern p = Parse(log, "SEQ(A,AND(B,C),D)");
+  eval.Frequency(p);
+  EXPECT_GT(eval.stats().scan_aborts, 0u);
+  EXPECT_LT(eval.stats().traces_scanned, 200u);  // Cut short.
+  // The partial answer was not memoized: a retry after Reset rescans
+  // and gets the exact value.
+  cancel.Reset();
+  EXPECT_DOUBLE_EQ(eval.Frequency(p), 1.0);
+  EXPECT_EQ(eval.stats().cache_hits, 0u);
+}
+
 }  // namespace
 }  // namespace hematch

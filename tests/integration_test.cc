@@ -168,7 +168,7 @@ TEST(EndToEndTest, RandomLogsAlwaysYieldSomeMapping) {
   }
 }
 
-TEST(EndToEndTest, RunnerReportsFailuresGracefully) {
+TEST(EndToEndTest, RunnerReportsTruncatedRunsGracefully) {
   BusProcessOptions options;
   options.num_traces = 300;
   const MatchingTask task = MakeBusManufacturerTask(options);
@@ -177,7 +177,11 @@ TEST(EndToEndTest, RunnerReportsFailuresGracefully) {
   const RunRecord record =
       RunMatcherOnTask(AStarMatcher(tiny_budget), task);
   EXPECT_FALSE(record.completed);
-  EXPECT_NE(record.failure.find("ResourceExhausted"), std::string::npos);
+  EXPECT_EQ(record.termination, exec::TerminationReason::kExpansionCap);
+  EXPECT_NE(record.failure.find("expansion-cap"), std::string::npos);
+  // The anytime mapping is still usable and scored against the truth.
+  EXPECT_TRUE(record.mapping.IsComplete());
+  EXPECT_GE(record.objective, record.lower_bound - 1e-12);
 }
 
 TEST(EndToEndTest, SharedContextReusesCaches) {

@@ -1,13 +1,22 @@
-// Tests for event-log serialization: trace-per-line and CSV formats.
+// Tests for event-log serialization: trace-per-line and CSV formats,
+// plus ingestion hardening against the malformed-XES corpus in
+// data/corrupt/ (strict vs lenient modes).
 
 #include "log/log_io.h"
 
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "log/xes_io.h"
+
 namespace hematch {
 namespace {
+
+std::string CorruptPath(const std::string& name) {
+  return std::string(HEMATCH_DATA_DIR) + "/corrupt/" + name;
+}
 
 TEST(TraceLogTest, ParsesTracesAndComments) {
   std::istringstream in(
@@ -127,6 +136,110 @@ TEST(CsvLogTest, WriteThenReadRoundTrips) {
   ASSERT_TRUE(parsed.ok());
   ASSERT_EQ(parsed->num_traces(), 2u);
   EXPECT_EQ(parsed->TraceToString(parsed->traces()[1]), "B A A");
+}
+
+// ------------------- malformed-XES corpus (data/corrupt) -------------
+//
+// Lenient mode must never error on truncation/junk once a <log> element
+// was seen: it salvages the traces completed before the defect. Strict
+// mode must reject every file in the corpus with a ParseError.
+
+struct CorruptCase {
+  const char* file;
+  std::size_t lenient_traces;  // Traces salvaged in lenient mode.
+};
+
+class CorruptXesTest : public ::testing::TestWithParam<CorruptCase> {};
+
+TEST_P(CorruptXesTest, LenientSalvages) {
+  Result<EventLog> log = ReadXesLogFile(CorruptPath(GetParam().file));
+  ASSERT_TRUE(log.ok()) << GetParam().file << ": " << log.status();
+  EXPECT_EQ(log->num_traces(), GetParam().lenient_traces)
+      << GetParam().file;
+}
+
+TEST_P(CorruptXesTest, StrictRejects) {
+  XesReadOptions strict;
+  strict.strict = true;
+  Result<EventLog> log =
+      ReadXesLogFile(CorruptPath(GetParam().file), strict);
+  ASSERT_FALSE(log.ok()) << GetParam().file;
+  EXPECT_EQ(log.status().code(), StatusCode::kParseError)
+      << GetParam().file;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorruptXesTest,
+    ::testing::Values(
+        // Document ends mid-trace: the complete first trace survives.
+        CorruptCase{"truncated_trace.xes", 1},
+        // Document ends mid-attribute-tag: complete first trace survives.
+        CorruptCase{"truncated_event.xes", 1},
+        // Unterminated quoted value swallows the rest of the document.
+        CorruptCase{"unclosed_attr.xes", 1},
+        // </trace> closes while <event> is open; salvage closes both.
+        CorruptCase{"mismatched_tags.xes", 2},
+        // 100-deep attribute nesting trips the depth ceiling (64).
+        CorruptCase{"deep_nesting.xes", 0},
+        // Inner <trace> is treated as an opaque container in lenient
+        // mode, so both events land in the outer trace.
+        CorruptCase{"nested_trace.xes", 1},
+        // Entity error mid-document: the first trace survives.
+        CorruptCase{"bad_entity.xes", 1},
+        // Unnamed / valueless events are skipped; the named one stays.
+        CorruptCase{"missing_concept_name.xes", 1}),
+    [](const ::testing::TestParamInfo<CorruptCase>& info) {
+      std::string name = info.param.file;
+      for (char& c : name) {
+        if (c == '.' || c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(CorruptXesTest, BinaryJunkErrorsInBothModes) {
+  // No <log> element can be salvaged from non-XML bytes, so even the
+  // lenient reader reports a ParseError (and, critically, no crash).
+  Result<EventLog> lenient = ReadXesLogFile(CorruptPath("not_xml.bin"));
+  ASSERT_FALSE(lenient.ok());
+  EXPECT_EQ(lenient.status().code(), StatusCode::kParseError);
+  XesReadOptions strict_options;
+  strict_options.strict = true;
+  Result<EventLog> strict =
+      ReadXesLogFile(CorruptPath("not_xml.bin"), strict_options);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kParseError);
+}
+
+TEST(CorruptXesTest, EventOutsideTraceErrorsInBothModes) {
+  // Structural misuse (not truncation) stays an error even leniently.
+  for (bool strict : {false, true}) {
+    XesReadOptions options;
+    options.strict = strict;
+    Result<EventLog> log =
+        ReadXesLogFile(CorruptPath("event_outside_trace.xes"), options);
+    ASSERT_FALSE(log.ok()) << "strict=" << strict;
+    EXPECT_EQ(log.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(CorruptXesTest, SalvagedContentIsTheCompletedPrefix) {
+  Result<EventLog> log =
+      ReadXesLogFile(CorruptPath("truncated_trace.xes"));
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_EQ(log->num_traces(), 1u);
+  EXPECT_EQ(log->TraceToString(log->traces()[0]), "register ship");
+}
+
+TEST(CorruptXesTest, DepthCeilingIsConfigurable) {
+  XesReadOptions deep;
+  deep.max_depth = 256;  // Enough for the 100-deep corpus file.
+  Result<EventLog> log =
+      ReadXesLogFile(CorruptPath("deep_nesting.xes"), deep);
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_EQ(log->num_traces(), 1u);
+  EXPECT_EQ(log->TraceToString(log->traces()[0]), "deep");
 }
 
 }  // namespace

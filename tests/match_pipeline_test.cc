@@ -142,8 +142,15 @@ TEST(MatchPipelineTest, BudgetPropagates) {
   options.max_expansions = 1;
   Result<MatchPipelineOutcome> outcome =
       MatchLogs(task.log1, task.log2, options);
-  ASSERT_FALSE(outcome.ok());
-  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+  // The exact stage trips its expansion cap; the pipeline degrades down
+  // the heuristic ladder and still returns a complete mapping.
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->termination, exec::TerminationReason::kExpansionCap);
+  EXPECT_TRUE(outcome->degraded);
+  ASSERT_GE(outcome->result.stages.size(), 2u);
+  EXPECT_EQ(outcome->result.stages[0].termination,
+            exec::TerminationReason::kExpansionCap);
+  EXPECT_TRUE(outcome->result.mapping.IsComplete());
 }
 
 }  // namespace

@@ -17,6 +17,15 @@
 //   --mine            mine discriminative patterns from log1
 //   --mine-support F  miner support threshold (default 0.1)
 //   --budget N        search budget for the exact methods (expansions)
+//   --deadline-ms F   wall-clock budget per matcher run; on expiry the
+//                     run returns its best-so-far (anytime) mapping and
+//                     the exact methods degrade down the heuristic ladder
+//   --memory-mb F     approximate memory ceiling per run (search state +
+//                     frequency caches)
+//   --no-degrade      disable the exact->heuristic fallback ladder
+//   --fail-degraded   exit 3 when any run was truncated or degraded
+//   --xes-strict      strict XES parsing (reject truncated/malformed files
+//                     instead of salvaging completed traces)
 //   --explain         print per-pattern / per-pair evidence for the result
 //   --extend          extend the best 1-1 mapping to 1-to-n groups
 //   --output FILE     write the best mapping as tab-separated pairs
@@ -35,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "api/fallback_matcher.h"
 #include "baselines/entropy_matcher.h"
 #include "baselines/iterative_matcher.h"
 #include "baselines/vertex_edge_matcher.h"
@@ -49,6 +59,7 @@
 #include "eval/report.h"
 #include "eval/runner.h"
 #include "eval/table.h"
+#include "exec/budget.h"
 #include "gen/pattern_miner.h"
 #include "graph/dependency_graph.h"
 #include "log/log_io.h"
@@ -74,6 +85,11 @@ void PrintUsageAndExit(int code) {
       "  --mine            mine discriminative patterns from log1\n"
       "  --mine-support F  miner support threshold (default 0.1)\n"
       "  --budget N        expansion budget for exact methods\n"
+      "  --deadline-ms F   wall-clock budget per run (anytime results)\n"
+      "  --memory-mb F     approximate memory ceiling per run\n"
+      "  --no-degrade      disable the exact->heuristic fallback ladder\n"
+      "  --fail-degraded   exit 3 when any run was truncated or degraded\n"
+      "  --xes-strict      reject malformed XES instead of salvaging\n"
       "  --explain         print per-pattern / per-pair evidence\n"
       "  --extend          extend the best 1-1 mapping to 1-to-n groups\n"
       "  --output FILE     write the best mapping as tab-separated pairs\n"
@@ -97,8 +113,33 @@ bool WriteRunMetrics(const std::string& path,
     json += "      \"method\": \"" + obs::JsonEscape(r.method) + "\",\n";
     json += std::string("      \"completed\": ") +
             (r.completed ? "true" : "false") + ",\n";
+    json += std::string("      \"termination\": \"") +
+            exec::TerminationReasonToString(r.termination) + "\",\n";
+    json += std::string("      \"degraded\": ") +
+            (r.degraded ? "true" : "false") + ",\n";
     if (!r.completed) {
       json += "      \"failure\": \"" + obs::JsonEscape(r.failure) + "\",\n";
+      json += "      \"lower_bound\": " + obs::JsonNumber(r.lower_bound) +
+              ",\n";
+      json += "      \"upper_bound\": " + obs::JsonNumber(r.upper_bound) +
+              ",\n";
+      json += std::string("      \"bounds_certified\": ") +
+              (r.bounds_certified ? "true" : "false") + ",\n";
+    }
+    if (!r.stages.empty()) {
+      json += "      \"stages\": [";
+      for (std::size_t s = 0; s < r.stages.size(); ++s) {
+        const StageAttempt& stage = r.stages[s];
+        json += s == 0 ? "\n" : ",\n";
+        json += "        {\"method\": \"" + obs::JsonEscape(stage.method) +
+                "\", \"termination\": \"" +
+                exec::TerminationReasonToString(stage.termination) +
+                "\", \"objective\": " + obs::JsonNumber(stage.objective) +
+                ", \"elapsed_ms\": " + obs::JsonNumber(stage.elapsed_ms) +
+                ", \"mappings_processed\": " +
+                std::to_string(stage.mappings_processed) + "}";
+      }
+      json += "\n      ],\n";
     }
     json += "      \"objective\": " + obs::JsonNumber(r.objective) + ",\n";
     json += "      \"elapsed_ms\": " + obs::JsonNumber(r.elapsed_ms) + ",\n";
@@ -118,7 +159,7 @@ bool WriteRunMetrics(const std::string& path,
   return static_cast<bool>(out);
 }
 
-Result<EventLog> LoadLog(const std::string& path) {
+Result<EventLog> LoadLog(const std::string& path, bool xes_strict) {
   auto has_suffix = [&](std::string_view suffix) {
     return path.size() >= suffix.size() &&
            path.compare(path.size() - suffix.size(), suffix.size(),
@@ -128,13 +169,16 @@ Result<EventLog> LoadLog(const std::string& path) {
     return ReadCsvLogFile(path);
   }
   if (has_suffix(".xes")) {
-    return ReadXesLogFile(path);
+    XesReadOptions xes;
+    xes.strict = xes_strict;
+    return ReadXesLogFile(path, xes);
   }
   return ReadTraceLogFile(path);
 }
 
-std::vector<std::unique_ptr<Matcher>> MakeMatchers(const std::string& method,
-                                                   std::uint64_t budget) {
+std::vector<std::unique_ptr<Matcher>> MakeMatchers(
+    const std::string& method, std::uint64_t budget,
+    const exec::RunBudget& run_budget, bool degrade) {
   std::vector<std::unique_ptr<Matcher>> matchers;
   AStarOptions tight;
   tight.max_expansions = budget;
@@ -143,14 +187,25 @@ std::vector<std::unique_ptr<Matcher>> MakeMatchers(const std::string& method,
   VertexEdgeOptions ve;
   ve.max_expansions = budget;
 
+  // The exact methods degrade down the heuristic ladder when their
+  // budget trips (unless --no-degrade).
+  auto exact = [&](const AStarOptions& astar) -> std::unique_ptr<Matcher> {
+    if (!degrade) {
+      return std::make_unique<AStarMatcher>(astar);
+    }
+    FallbackOptions fallback;
+    fallback.budget = run_budget;
+    return FallbackMatcher::ExactWithHeuristicFallbacks(astar, fallback);
+  };
+
   auto want = [&](const char* name) {
     return method == "all" || method == name;
   };
   if (want("pattern-tight")) {
-    matchers.push_back(std::make_unique<AStarMatcher>(tight));
+    matchers.push_back(exact(tight));
   }
   if (want("pattern-simple")) {
-    matchers.push_back(std::make_unique<AStarMatcher>(simple));
+    matchers.push_back(exact(simple));
   }
   if (want("heuristic-simple")) {
     matchers.push_back(std::make_unique<HeuristicSimpleMatcher>());
@@ -186,6 +241,10 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   double mine_support = 0.1;
   std::uint64_t budget = 50'000'000;
+  exec::RunBudget run_budget;
+  bool degrade = true;
+  bool fail_degraded = false;
+  bool xes_strict = false;
   std::vector<std::string> positional;
 
   // Expand --flag=value into two tokens so both spellings parse the same.
@@ -232,6 +291,17 @@ int main(int argc, char** argv) {
       mine_support = std::stod(next("--mine-support"));
     } else if (arg == "--budget") {
       budget = std::stoull(next("--budget"));
+    } else if (arg == "--deadline-ms") {
+      run_budget.deadline_ms = std::stod(next("--deadline-ms"));
+    } else if (arg == "--memory-mb") {
+      run_budget.max_memory_bytes = static_cast<std::size_t>(
+          std::stod(next("--memory-mb")) * 1024.0 * 1024.0);
+    } else if (arg == "--no-degrade") {
+      degrade = false;
+    } else if (arg == "--fail-degraded") {
+      fail_degraded = true;
+    } else if (arg == "--xes-strict") {
+      xes_strict = true;
     } else if (StartsWith(arg, "--")) {
       std::cerr << "unknown option: " << arg << "\n";
       PrintUsageAndExit(2);
@@ -243,13 +313,13 @@ int main(int argc, char** argv) {
     PrintUsageAndExit(2);
   }
 
-  Result<EventLog> log1 = LoadLog(positional[0]);
+  Result<EventLog> log1 = LoadLog(positional[0], xes_strict);
   if (!log1.ok()) {
     std::cerr << "cannot load " << positional[0] << ": " << log1.status()
               << "\n";
     return 1;
   }
-  Result<EventLog> log2 = LoadLog(positional[1]);
+  Result<EventLog> log2 = LoadLog(positional[1], xes_strict);
   if (!log2.ok()) {
     std::cerr << "cannot load " << positional[1] << ": " << log2.status()
               << "\n";
@@ -292,33 +362,43 @@ int main(int argc, char** argv) {
   if (progress) {
     context.set_tracer(&progress_tracer);
   }
-  const auto matchers = MakeMatchers(method, budget);
+  const auto matchers = MakeMatchers(method, budget, run_budget, degrade);
   if (matchers.empty()) {
     std::cerr << "unknown --method '" << method << "'\n";
     PrintUsageAndExit(2);
   }
 
-  TextTable table({"method", "objective", "time(ms)", "mapping"});
+  TextTable table({"method", "objective", "time(ms)", "termination",
+                   "mapping"});
   const Mapping* best_mapping = nullptr;
   double best_objective = -1.0;
   std::vector<RunRecord> records;
   records.reserve(matchers.size());
   for (const auto& matcher : matchers) {
+    // Each run gets the full budget; fallback ladders slice their own.
+    context.ArmBudget(run_budget);
     records.push_back(RunMatcher(*matcher, context, nullptr));
     const RunRecord& record = records.back();
-    if (!record.completed) {
-      table.AddRow({matcher->name(), "-", "-", record.failure});
+    if (!record.failure.empty() && record.mapping.num_sources() == 0) {
+      // Hard failure: no result at all.
+      table.AddRow({matcher->name(), "-", "-", "error", record.failure});
       continue;
     }
+    std::string termination = exec::TerminationReasonToString(
+        record.termination);
+    if (record.degraded) {
+      termination += " (degraded)";
+    }
     table.AddRow({matcher->name(), TextTable::Num(record.objective),
-                  TextTable::Num(record.elapsed_ms, 1),
+                  TextTable::Num(record.elapsed_ms, 1), termination,
                   record.mapping.ToString(&log1->dictionary(),
                                           &log2->dictionary())});
   }
+  context.governor().Disarm();
   table.Print(std::cout);
   for (const RunRecord& record : records) {
-    if (record.completed && record.objective > best_objective &&
-        record.mapping.IsComplete()) {
+    // Anytime results count: any complete mapping is usable downstream.
+    if (record.mapping.IsComplete() && record.objective > best_objective) {
       best_objective = record.objective;
       best_mapping = &record.mapping;
     }
@@ -354,8 +434,12 @@ int main(int argc, char** argv) {
   if (extend && best_mapping != nullptr) {
     const std::vector<Pattern> pattern_set =
         BuildPatternSet(g1, complex);
+    OneToNOptions one_to_n;
+    context.ArmBudget(run_budget);
+    one_to_n.governor = &context.governor();
     Result<GroupMapping> groups =
-        ExtendToOneToN(*log1, *log2, pattern_set, *best_mapping);
+        ExtendToOneToN(*log1, *log2, pattern_set, *best_mapping, one_to_n);
+    context.governor().Disarm();
     if (!groups.ok()) {
       std::cerr << "1-to-n extension failed: " << groups.status() << "\n";
       return 1;
@@ -364,11 +448,26 @@ int main(int argc, char** argv) {
               << "merges: " << groups->merges << ", objective "
               << TextTable::Num(groups->base_objective) << " -> "
               << TextTable::Num(groups->objective) << "\n";
+    if (groups->termination != exec::TerminationReason::kCompleted) {
+      std::cout << "(stopped early: "
+                << exec::TerminationReasonToString(groups->termination)
+                << ")\n";
+    }
     const std::string extended =
         GroupsToString(*groups, *log1, *log2);
     std::cout << (extended.empty() ? std::string("no groups extended")
                                    : extended)
               << "\n";
+  }
+
+  if (fail_degraded) {
+    for (const RunRecord& record : records) {
+      if (!record.completed || record.degraded) {
+        std::cerr << "--fail-degraded: run '" << record.method
+                  << "' was truncated or degraded\n";
+        return 3;
+      }
+    }
   }
   return 0;
 }
