@@ -11,6 +11,7 @@
 #include "core/astar_matcher.h"
 #include "core/bounding.h"
 #include "core/pattern_set.h"
+#include "exec/portfolio.h"
 #include "freq/frequency_evaluator.h"
 #include "freq/trace_matcher.h"
 #include "pattern/pattern_language.h"
@@ -178,6 +179,28 @@ void BM_SubgraphIsomorphism(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubgraphIsomorphism);
+
+void BM_Portfolio(benchmark::State& state) {
+  // End-to-end hedged race (exact + both heuristics on worker threads)
+  // on a projected bus instance; the per-run cost includes the thread
+  // launches and the coordinator, i.e. the portfolio's overhead over a
+  // bare exact run at the same size.
+  const MatchingTask task =
+      ProjectTaskEvents(BusTask(), static_cast<std::size_t>(state.range(0)));
+  const std::vector<Pattern> patterns = BuildPatternSet(
+      DependencyGraph::Build(task.log1), task.complex_patterns);
+  for (auto _ : state) {
+    exec::PortfolioOptions options;
+    options.budget.deadline_ms = 2'000.0;
+    options.telemetry = false;
+    exec::PortfolioRunner runner(
+        exec::DefaultPortfolioStrategies(ScorerOptions{}, BoundKind::kTight,
+                                         50'000'000),
+        std::move(options));
+    benchmark::DoNotOptimize(runner.Run(task.log1, task.log2, patterns));
+  }
+}
+BENCHMARK(BM_Portfolio)->Arg(6)->Arg(9)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -55,4 +55,49 @@ for run in doc["runs"]:
 print(f"ok: {len(doc['runs'])} runs, per-run counters match MatchResult")
 EOF
 
+echo "== portfolio smoke"
+"$BUILD_DIR/tools/hematch_cli" --portfolio --deadline-ms=2000 \
+  --metrics-out="$tmp/portfolio.json" data/dept_a.tr data/dept_b.csv \
+  > "$tmp/portfolio.out"
+
+python3 - "$tmp/portfolio.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+run = doc["runs"][0]
+assert run["method"] == "portfolio", run["method"]
+assert run["stages"], "no per-strategy stages recorded"
+counters = run["telemetry"]["counters"]
+gauges = run["telemetry"]["gauges"]
+assert counters.get("portfolio.launched", 0) >= 1, counters
+assert gauges.get("portfolio.strategies") == len(run["stages"]), gauges
+assert gauges.get("portfolio.elapsed_ms", -1.0) >= 0.0, gauges
+print(f"ok: portfolio raced {len(run['stages'])} strategies")
+EOF
+
+# Crash drill: a persistent injected crash in the exact strategy must
+# leave the process alive and the race winning with a heuristic result
+# (docs/ROBUSTNESS.md, "Hedged portfolio execution").
+HEMATCH_FAULT_EXHAUST_AFTER=5 HEMATCH_FAULT_CRASH=1 \
+  HEMATCH_FAULT_STRATEGY=pattern-tight \
+  "$BUILD_DIR/tools/hematch_cli" --portfolio --deadline-ms=2000 \
+  --metrics-out="$tmp/portfolio_crash.json" data/dept_a.tr data/dept_b.csv \
+  > "$tmp/portfolio_crash.out"
+
+python3 - "$tmp/portfolio_crash.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+run = doc["runs"][0]
+by_method = {s["method"]: s["termination"] for s in run["stages"]}
+assert by_method.get("Pattern-Tight") == "failed", by_method
+assert "completed" in by_method.values(), by_method
+assert run["objective"] > 0.0, "no best-of-strategies result returned"
+print("ok: exact strategy crashed in isolation, heuristic result returned")
+EOF
+
 echo "all checks passed"

@@ -47,11 +47,31 @@ Result<MatchResult> FallbackMatcher::Match(MatchingContext& context) const {
 
   for (std::size_t i = 0; i < ladder_.size(); ++i) {
     governor.Arm(remaining, options_.cancel);
-    Result<MatchResult> attempt = ladder_[i]->Match(context);
+    Result<MatchResult> attempt = [&]() -> Result<MatchResult> {
+      // Isolation boundary: a rung that throws (a bug, or an injected
+      // crash fault) is recorded as a failed stage and the ladder moves
+      // on, instead of the exception unwinding through the pipeline.
+      try {
+        return ladder_[i]->Match(context);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("matcher crashed: ") + e.what());
+      } catch (...) {
+        return Status::Internal("matcher crashed: unknown exception");
+      }
+    }();
     if (!attempt.ok()) {
-      // A hard failure (not budget — matchers return anytime results
-      // for those) still tries the next rung; it may not share the
-      // precondition that broke this one.
+      StageAttempt stage;
+      stage.method = ladder_[i]->name();
+      stage.termination = exec::TerminationReason::kFailed;
+      stage.elapsed_ms = governor.ElapsedMs();
+      stages.push_back(std::move(stage));
+      metrics.GetCounter("pipeline.termination.failed")->Increment();
+      if (first_trip == exec::TerminationReason::kCompleted) {
+        first_trip = exec::TerminationReason::kFailed;
+      }
+      // A hard failure (error status or crash — not budget, matchers
+      // return anytime results for those) still tries the next rung;
+      // it may not share the precondition that broke this one.
       last_error = attempt.status();
       remaining = governor.Remaining();
       continue;

@@ -12,6 +12,7 @@
 #include "core/heuristic_simple_matcher.h"
 #include "core/matching_context.h"
 #include "core/pattern_set.h"
+#include "exec/portfolio.h"
 #include "gen/pattern_miner.h"
 #include "graph/dependency_graph.h"
 #include "pattern/pattern_parser.h"
@@ -96,6 +97,40 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
   }
 
   const DependencyGraph g1 = DependencyGraph::Build(source);
+
+  const bool exact_method = options.method == MatchMethod::kPatternTight ||
+                            options.method == MatchMethod::kPatternSimple;
+  if (options.portfolio && exact_method) {
+    // Hedged mode: race the exact matcher and both heuristics on worker
+    // threads instead of laddering them. The runner owns its own state
+    // (log copies, contexts, registry) so abandoned stragglers are
+    // safe; we just translate its outcome into the pipeline's shape.
+    exec::PortfolioOptions popts;
+    popts.budget = options.budget;
+    popts.threads = options.portfolio_threads;
+    popts.external_cancel = options.cancel;
+    popts.telemetry = options.telemetry;
+    const BoundKind bound = options.method == MatchMethod::kPatternTight
+                                ? BoundKind::kTight
+                                : BoundKind::kSimple;
+    exec::PortfolioRunner runner(
+        exec::DefaultPortfolioStrategies(options.scorer, bound,
+                                         options.max_expansions),
+        popts);
+    HEMATCH_ASSIGN_OR_RETURN(
+        exec::PortfolioOutcome portfolio,
+        runner.Run(source, target, BuildPatternSet(g1, complex)));
+    outcome.result = std::move(portfolio.result);
+    outcome.termination = outcome.result.termination;
+    // Every strategy always runs in a race, so the ladder's "more than
+    // one stage ran" degradation test is meaningless here; degraded
+    // means the race ended without a certified-complete answer.
+    outcome.degraded =
+        outcome.termination != exec::TerminationReason::kCompleted;
+    outcome.telemetry = std::move(portfolio.telemetry);
+    return outcome;
+  }
+
   ContextTelemetryOptions telemetry;
   telemetry.enabled = options.telemetry;
   telemetry.tracer = options.tracer;

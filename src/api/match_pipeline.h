@@ -51,6 +51,17 @@ struct MatchPipelineOptions {
   /// the remaining budget (recording the chain in the outcome). Set
   /// false to get the exact matcher's own anytime result instead.
   bool degrade = true;
+  /// Hedged portfolio mode for the exact methods (see exec/portfolio.h):
+  /// instead of the sequential exact→advanced→simple ladder, race all
+  /// three on worker threads under the shared budget and return the
+  /// first certified-optimal result or the best-by-objective at the
+  /// deadline. Per-strategy outcomes land in `result.stages` and
+  /// `portfolio.*` telemetry. Ignored for the heuristic/baseline
+  /// methods (nothing to hedge). Off by default — the single-threaded
+  /// paths are untouched when this is false.
+  bool portfolio = false;
+  /// Worker-thread cap for portfolio mode; 0 = one thread per strategy.
+  int portfolio_threads = 0;
   /// Bound / existence-check configuration.
   ScorerOptions scorer;
   /// Collect structured metrics for this run (`MatchPipelineOutcome::

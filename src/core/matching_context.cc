@@ -25,8 +25,8 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
       graph2_(DependencyGraph::Build(log2)),
       patterns_(std::move(patterns)),
       pattern_index_(log1.num_events(), PatternEventSets(patterns_)),
-      eval1_(std::make_unique<FrequencyEvaluator>(log1)),
-      eval2_(std::make_unique<FrequencyEvaluator>(log2)),
+      eval1_(std::make_shared<FrequencyEvaluator>(log1)),
+      eval2_(std::make_shared<FrequencyEvaluator>(log2)),
       owned_metrics_(telemetry.shared_registry != nullptr
                          ? nullptr
                          : std::make_unique<obs::MetricsRegistry>(
@@ -56,6 +56,25 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
     }
   }
 }
+
+MatchingContext::MatchingContext(const MatchingContext& base,
+                                 exec::ExecutionGovernor* governor)
+    : log1_(base.log1_),
+      log2_(base.log2_),
+      graph1_(base.graph1_),
+      graph2_(base.graph2_),
+      patterns_(base.patterns_),
+      pattern_index_(base.pattern_index_),
+      eval1_(base.eval1_),
+      eval2_(base.eval2_),
+      f1_(base.f1_),
+      owned_metrics_(nullptr),
+      metrics_(base.metrics_),
+      tracer_(nullptr),
+      owned_governor_(nullptr),
+      governor_(governor),
+      existence_checks_(base.existence_checks_),
+      existence_pruned_(base.existence_pruned_) {}
 
 void MatchingContext::ArmBudget(const exec::RunBudget& budget,
                                 const exec::CancelToken* cancel) {

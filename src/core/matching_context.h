@@ -53,6 +53,20 @@ class MatchingContext {
                   std::vector<Pattern> patterns,
                   ContextTelemetryOptions telemetry = {});
 
+  /// Sibling constructor for portfolio workers (see exec/portfolio.h):
+  /// copies `base`'s immutable precomputation (dependency graphs,
+  /// patterns, pattern index, f1), *shares* its thread-safe substrate
+  /// (frequency evaluators with their memo caches and trace indices,
+  /// the metric registry), and binds this context to the per-worker
+  /// `governor` so racing strategies trip their own budgets
+  /// independently. No tracer is attached — interleaved per-worker
+  /// progress would be unreadable. `base`'s logs, its evaluators, the
+  /// registry, and `governor` must outlive the sibling. `ArmBudget` on
+  /// a sibling arms only its own governor; pass every sibling the same
+  /// `CancelToken` (the shared evaluators hold a single token).
+  MatchingContext(const MatchingContext& base,
+                  exec::ExecutionGovernor* governor);
+
   MatchingContext(const MatchingContext&) = delete;
   MatchingContext& operator=(const MatchingContext&) = delete;
 
@@ -128,8 +142,10 @@ class MatchingContext {
   DependencyGraph graph2_;
   std::vector<Pattern> patterns_;
   PatternIndex pattern_index_;
-  std::unique_ptr<FrequencyEvaluator> eval1_;
-  std::unique_ptr<FrequencyEvaluator> eval2_;
+  // Shared (not unique): portfolio siblings reuse the base context's
+  // evaluators so the memo cache amortizes across racing strategies.
+  std::shared_ptr<FrequencyEvaluator> eval1_;
+  std::shared_ptr<FrequencyEvaluator> eval2_;
   std::vector<double> f1_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;

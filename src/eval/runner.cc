@@ -10,10 +10,21 @@ RunRecord RunMatcher(const Matcher& matcher, MatchingContext& context,
   RunRecord record;
   record.method = matcher.name();
   const obs::TelemetrySnapshot before = context.SnapshotTelemetry();
-  Result<MatchResult> outcome = matcher.Match(context);
+  Result<MatchResult> outcome = [&]() -> Result<MatchResult> {
+    // Isolation boundary: one crashing matcher must not take the whole
+    // evaluation sweep (or portfolio worker) down with it.
+    try {
+      return matcher.Match(context);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("matcher crashed: ") + e.what());
+    } catch (...) {
+      return Status::Internal("matcher crashed: unknown exception");
+    }
+  }();
   record.telemetry = obs::DiffSnapshots(before, context.SnapshotTelemetry());
   if (!outcome.ok()) {
     record.failure = outcome.status().ToString();
+    record.termination = exec::TerminationReason::kFailed;
     return record;
   }
   MatchResult& result = outcome.value();

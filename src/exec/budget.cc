@@ -1,6 +1,7 @@
 #include "exec/budget.h"
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace hematch::exec {
@@ -17,6 +18,8 @@ const char* TerminationReasonToString(TerminationReason reason) {
       return "memory-cap";
     case TerminationReason::kCancelled:
       return "cancelled";
+    case TerminationReason::kFailed:
+      return "failed";
   }
   return "unknown";
 }
@@ -26,7 +29,7 @@ std::optional<TerminationReason> ParseTerminationReason(
   for (TerminationReason reason :
        {TerminationReason::kCompleted, TerminationReason::kDeadline,
         TerminationReason::kExpansionCap, TerminationReason::kMemoryCap,
-        TerminationReason::kCancelled}) {
+        TerminationReason::kCancelled, TerminationReason::kFailed}) {
     if (text == TerminationReasonToString(reason)) return reason;
   }
   return std::nullopt;
@@ -45,6 +48,9 @@ FaultInjection FaultInjection::FromEnv() {
         r.has_value() && *r != TerminationReason::kCompleted) {
       fault.reason = *r;
     }
+  }
+  if (const char* crash = std::getenv("HEMATCH_FAULT_CRASH")) {
+    fault.crash = std::string(crash) == "1";
   }
   return fault;
 }
@@ -96,7 +102,14 @@ bool ExecutionGovernor::CheckExpansions(std::uint64_t n) {
   expansions_ += n;
   if (fault_.enabled() && expansions_ >= fault_.exhaust_after) {
     const TerminationReason reason = fault_.reason;
+    const bool crash = fault_.crash;
     fault_ = FaultInjection{};  // single-shot
+    if (crash) {
+      // Simulated matcher crash: unwinds out of the search loop.  The
+      // isolation boundaries (portfolio worker, fallback rung, eval
+      // runner) catch this and record the strategy as kFailed.
+      throw std::runtime_error("injected fault: simulated matcher crash");
+    }
     return Trip(reason);
   }
   if (budget_.max_expansions != 0 && expansions_ > budget_.max_expansions) {

@@ -63,11 +63,15 @@ enum class TerminationReason : std::uint8_t {
   kExpansionCap,
   kMemoryCap,
   kCancelled,
+  /// The strategy crashed (threw) and its isolation boundary absorbed
+  /// the failure — see exec/portfolio.h.  Never set by the governor's
+  /// own limit checks; only by code catching a matcher's exception.
+  kFailed,
 };
 
 /// Stable lowercase name: "completed", "deadline", "expansion-cap",
-/// "memory-cap", "cancelled".  Used in metric names, CLI JSON, and
-/// log lines.
+/// "memory-cap", "cancelled", "failed".  Used in metric names, CLI
+/// JSON, and log lines.
 const char* TerminationReasonToString(TerminationReason reason);
 
 /// Inverse of TerminationReasonToString; std::nullopt on unknown text.
@@ -101,13 +105,20 @@ struct FaultInjection {
   /// 0 disables the injection.
   std::uint64_t exhaust_after = 0;
   TerminationReason reason = TerminationReason::kExpansionCap;
+  /// When true the fault does not trip the governor — it *throws*
+  /// (std::runtime_error) from CheckExpansions, simulating a matcher
+  /// crash.  The portfolio's isolation boundary must turn this into a
+  /// per-strategy `kFailed` record instead of process death.
+  bool crash = false;
 
   bool enabled() const { return exhaust_after != 0; }
 
-  /// Reads HEMATCH_FAULT_EXHAUST_AFTER (count) and HEMATCH_FAULT_REASON
-  /// (a TerminationReasonToString name; default "expansion-cap").
+  /// Reads HEMATCH_FAULT_EXHAUST_AFTER (count), HEMATCH_FAULT_REASON
+  /// (a TerminationReasonToString name; default "expansion-cap"), and
+  /// HEMATCH_FAULT_CRASH ("1" makes the fault throw instead of trip).
   /// Returns a disabled injection when the variables are unset or
-  /// malformed.
+  /// malformed.  HEMATCH_FAULT_STRATEGY (read by exec/portfolio.cc,
+  /// not here) narrows the fault to one named portfolio strategy.
   static FaultInjection FromEnv();
 };
 

@@ -1,0 +1,43 @@
+#include "exec/watchdog.h"
+
+namespace hematch::exec {
+
+Watchdog::Watchdog(double deadline_ms, CancelToken* token) {
+  if (deadline_ms <= 0.0 || token == nullptr) {
+    disarmed_ = true;  // Nothing to enforce; stay threadless.
+    return;
+  }
+  thread_ = std::thread([this, deadline_ms, token] {
+    Wait(deadline_ms, token);
+  });
+}
+
+void Watchdog::Wait(double deadline_ms, CancelToken* token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  cv_.wait_until(lock, deadline, [this] { return disarmed_; });
+  if (!disarmed_) {
+    token->Cancel();
+    fired_.store(true, std::memory_order_release);
+  }
+}
+
+void Watchdog::Disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    disarmed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Watchdog::~Watchdog() {
+  Disarm();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace hematch::exec

@@ -1,0 +1,62 @@
+#ifndef HEMATCH_EXEC_WATCHDOG_H_
+#define HEMATCH_EXEC_WATCHDOG_H_
+
+/// \file
+/// Deadline watchdog: a helper thread that flips a CancelToken when a
+/// wall-clock deadline passes, whether or not the watched work is still
+/// polling its governor.
+///
+/// The governor's own deadline check (exec/budget.h) only fires when
+/// the search loop calls CheckExpansions/Poll — a matcher stuck in a
+/// long non-polling stretch (a pathological frequency scan, a bug, a
+/// deliberately hostile test double) would sail past the deadline.
+/// The watchdog closes that gap from the outside: cooperative code
+/// still stops via the token, and code that never polls is abandoned
+/// by its coordinator (see exec/portfolio.h) once the watchdog has
+/// fired, so the process meets its deadline either way.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "exec/budget.h"
+
+namespace hematch::exec {
+
+/// One-shot deadline enforcer.  Construction starts the timer thread;
+/// after `deadline_ms` it calls `token->Cancel()` unless `Disarm()` (or
+/// the destructor) ran first.  A non-positive deadline disables the
+/// watchdog entirely — no thread is started.
+///
+/// The token must outlive the watchdog.  The destructor disarms and
+/// joins, so a stack-allocated watchdog cannot outlive its scope.
+class Watchdog {
+ public:
+  Watchdog(double deadline_ms, CancelToken* token);
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog();
+
+  /// Stops the timer without cancelling (idempotent).  Call when the
+  /// watched work finished before the deadline.
+  void Disarm();
+
+  /// True once the deadline passed and the token was cancelled.
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  void Wait(double deadline_ms, CancelToken* token);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace hematch::exec
+
+#endif  // HEMATCH_EXEC_WATCHDOG_H_

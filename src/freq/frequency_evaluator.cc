@@ -18,43 +18,54 @@ FrequencyEvaluator::FrequencyEvaluator(const EventLog& log,
 
 void FrequencyEvaluator::CacheInsert(std::string key, std::size_t support) {
   const std::size_t entry_bytes = key.size() + kCacheEntryOverhead;
+  std::lock_guard<std::mutex> lock(cache_mu_);
   const bool over_entries = options_.max_cache_entries > 0 &&
                             cache_.size() >= options_.max_cache_entries;
   const bool over_bytes = options_.max_cache_bytes > 0 && !cache_.empty() &&
                           cache_bytes_ + entry_bytes > options_.max_cache_bytes;
   if (over_entries || over_bytes) {
-    stats_.cache_evictions += cache_.size();
-    if (evictions_metric_ != nullptr) {
-      evictions_metric_->Increment(cache_.size());
+    const std::size_t dropped = cache_.size();
+    stats_.cache_evictions.fetch_add(dropped, std::memory_order_relaxed);
+    if (obs::Counter* metric =
+            evictions_metric_.load(std::memory_order_acquire)) {
+      metric->Increment(dropped);
     }
     cache_.clear();
     cache_bytes_ = 0;
   }
-  cache_bytes_ += entry_bytes;
-  cache_.emplace(std::move(key), support);
+  // A racing worker may have finished the same scan first; only charge
+  // the bytes when this emplace actually lands, or `cache_bytes_` drifts
+  // away from the table's real footprint.
+  const auto [it, inserted] = cache_.emplace(std::move(key), support);
+  if (inserted) {
+    cache_bytes_ += entry_bytes;
+  }
 }
 
 std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
-  ++stats_.evaluations;
+  stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
   std::string key;
   if (options_.use_cache) {
     key = pattern.ToString();
+    std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
-      ++stats_.cache_hits;
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
-    ++stats_.cache_misses;
+    stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   std::size_t support = 0;
   bool aborted = false;
   std::size_t since_poll = 0;
+  std::uint64_t scanned = 0;
+  const exec::CancelToken* cancel = cancel_.load(std::memory_order_acquire);
   const auto should_stop = [&]() {
-    if (cancel_ == nullptr) return false;
+    if (cancel == nullptr) return false;
     if (++since_poll < kCancelPollStride) return false;
     since_poll = 0;
-    return cancel_->cancelled();
+    return cancel->cancelled();
   };
 
   TraceMatchStats match_stats;
@@ -66,7 +77,7 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
         aborted = true;
         break;
       }
-      ++stats_.traces_scanned;
+      ++scanned;
       if (TraceMatchesPattern(log_->traces()[t], pattern, &match_stats)) {
         ++support;
       }
@@ -77,18 +88,20 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
         aborted = true;
         break;
       }
-      ++stats_.traces_scanned;
+      ++scanned;
       if (TraceMatchesPattern(trace, pattern, &match_stats)) {
         ++support;
       }
     }
   }
-  stats_.windows_tested += match_stats.windows_tested;
+  stats_.traces_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  stats_.windows_tested.fetch_add(match_stats.windows_tested,
+                                  std::memory_order_relaxed);
 
   if (aborted) {
     // Partial count: usable as a best-effort answer for the caller that
     // is itself unwinding, but never memoized.
-    ++stats_.scan_aborts;
+    stats_.scan_aborts.fetch_add(1, std::memory_order_relaxed);
     return support;
   }
   if (options_.use_cache) {
@@ -106,3 +119,4 @@ double FrequencyEvaluator::Frequency(const Pattern& pattern) {
 }
 
 }  // namespace hematch
+

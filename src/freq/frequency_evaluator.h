@@ -1,7 +1,9 @@
 #ifndef HEMATCH_FREQ_FREQUENCY_EVALUATOR_H_
 #define HEMATCH_FREQ_FREQUENCY_EVALUATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -46,6 +48,14 @@ struct FrequencyEvaluatorOptions {
 /// keyed by the pattern's canonical string form (structure + event ids,
 /// which uniquely identifies the language since pattern events are
 /// distinct).
+///
+/// Thread-safe: portfolio workers (see exec/portfolio.h) share one
+/// evaluator, so the memo table is guarded by a mutex (held only for the
+/// lookup and the insert, never across a scan — concurrent scans proceed
+/// in parallel and the losing duplicate insert is dropped without
+/// perturbing the byte accounting), work counters are relaxed atomics,
+/// and `freq.cache_evictions` stays exact because eviction accounting
+/// happens under the same lock as the reset it describes.
 class FrequencyEvaluator {
  public:
   /// `log` must outlive the evaluator.
@@ -69,34 +79,42 @@ class FrequencyEvaluator {
   /// set. Pass nullptr to disable; the token must outlive the evaluator
   /// otherwise. Only cancellation aborts scans — deadline/memory trips
   /// let in-flight scans finish so anytime objectives stay exact.
-  void set_cancel_token(const exec::CancelToken* cancel) { cancel_ = cancel; }
+  void set_cancel_token(const exec::CancelToken* cancel) {
+    cancel_.store(cancel, std::memory_order_release);
+  }
 
   /// Live eviction counter (e.g. `freq.cache_evictions` in the owning
   /// context's MetricsRegistry); incremented by the number of entries
   /// dropped at each wholesale reset. Null disables the export.
   void set_eviction_counter(obs::Counter* counter) {
-    evictions_metric_ = counter;
+    evictions_metric_.store(counter, std::memory_order_release);
   }
 
   /// Adjusts the byte ceiling after construction (used when a budget is
   /// armed on an existing context). Takes effect on the next insert.
   void set_max_cache_bytes(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
     options_.max_cache_bytes = bytes;
   }
 
   /// Approximate bytes currently held by the memo table.
-  std::size_t cache_bytes() const { return cache_bytes_; }
+  std::size_t cache_bytes() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_bytes_;
+  }
 
-  /// Work counters (cumulative since construction). `MatchingContext`
+  /// Work counters (cumulative since construction; relaxed atomics so
+  /// concurrent evaluations never lose updates — read fields directly,
+  /// the implicit conversion is an atomic load). `MatchingContext`
   /// promotes these into its telemetry snapshot under `freq1.` / `freq2.`.
   struct Stats {
-    std::uint64_t evaluations = 0;      ///< Support()/Frequency() calls.
-    std::uint64_t cache_hits = 0;       ///< Served from the memo table.
-    std::uint64_t cache_misses = 0;     ///< Memo lookups that missed.
-    std::uint64_t cache_evictions = 0;  ///< Entries dropped by the caps.
-    std::uint64_t traces_scanned = 0;   ///< Traces handed to the matcher.
-    std::uint64_t windows_tested = 0;   ///< Full membership tests.
-    std::uint64_t scan_aborts = 0;      ///< Scans cut short by cancellation.
+    std::atomic<std::uint64_t> evaluations{0};      ///< Support() calls.
+    std::atomic<std::uint64_t> cache_hits{0};       ///< Memo-table hits.
+    std::atomic<std::uint64_t> cache_misses{0};     ///< Memo misses.
+    std::atomic<std::uint64_t> cache_evictions{0};  ///< Dropped by caps.
+    std::atomic<std::uint64_t> traces_scanned{0};   ///< Traces matched.
+    std::atomic<std::uint64_t> windows_tested{0};   ///< Membership tests.
+    std::atomic<std::uint64_t> scan_aborts{0};      ///< Cancelled scans.
   };
   const Stats& stats() const { return stats_; }
 
@@ -106,16 +124,21 @@ class FrequencyEvaluator {
   static constexpr std::size_t kCacheEntryOverhead = 64;
 
   /// Evicts (wholesale) if inserting `key` would exceed either cap,
-  /// then inserts.
+  /// then inserts. Takes `cache_mu_`; a racing duplicate insert (two
+  /// workers scanning the same pattern) leaves the first value in place
+  /// and does not double-count its bytes.
   void CacheInsert(std::string key, std::size_t support);
 
   const EventLog* log_;
   FrequencyEvaluatorOptions options_;
   TraceIndex trace_index_;
+  /// Guards `cache_`, `cache_bytes_`, and the cap fields of `options_`.
+  /// Never held across a trace scan.
+  mutable std::mutex cache_mu_;
   std::unordered_map<std::string, std::size_t> cache_;
   std::size_t cache_bytes_ = 0;
-  const exec::CancelToken* cancel_ = nullptr;
-  obs::Counter* evictions_metric_ = nullptr;
+  std::atomic<const exec::CancelToken*> cancel_{nullptr};
+  std::atomic<obs::Counter*> evictions_metric_{nullptr};
   Stats stats_;
 };
 

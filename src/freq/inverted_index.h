@@ -1,6 +1,7 @@
 #ifndef HEMATCH_FREQ_INVERTED_INDEX_H_
 #define HEMATCH_FREQ_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -31,12 +32,13 @@ class TraceIndex {
 
   /// Cumulative lookup-side work counters (`CandidateTraces` only; the
   /// one-off build cost is not counted). Mutable because lookups are
-  /// logically const; promoted into telemetry snapshots under
-  /// `freq{1,2}.index.`.
+  /// logically const; atomic because portfolio workers share one index
+  /// through a shared evaluator. Read fields directly (implicit relaxed
+  /// load); promoted into telemetry snapshots under `freq{1,2}.index.`.
   struct Stats {
-    std::uint64_t candidate_queries = 0;   ///< CandidateTraces() calls.
-    std::uint64_t postings_scanned = 0;    ///< Posting entries touched.
-    std::uint64_t candidates_yielded = 0;  ///< Trace ids returned.
+    std::atomic<std::uint64_t> candidate_queries{0};  ///< CandidateTraces().
+    std::atomic<std::uint64_t> postings_scanned{0};   ///< Entries touched.
+    std::atomic<std::uint64_t> candidates_yielded{0};  ///< Ids returned.
   };
   const Stats& stats() const { return stats_; }
 

@@ -4,78 +4,123 @@
 // Header-only metric primitives. The hot path is "resolve a handle once,
 // bump a 64-bit cell per event": matchers and evaluators obtain
 // Counter*/Gauge*/Histogram* from a `MetricsRegistry` at setup time and
-// touch only plain members afterwards — no locks, no lookups, no
-// allocation. A disabled registry hands out shared sink cells and
-// registers nothing, so instrumented code needs no `if (enabled)` guards
-// and a disabled run allocates no metric storage at all.
+// touch only plain members afterwards — no lookups, no allocation. A
+// disabled registry hands out shared sink cells and registers nothing,
+// so instrumented code needs no `if (enabled)` guards and a disabled run
+// allocates no metric storage at all.
+//
+// All primitives are safe for concurrent writers (the portfolio runner
+// races several matchers over one registry): counters and gauges are
+// relaxed atomics, histograms use per-bucket atomic cells, and metric
+// registration/visitation is serialized by a registry mutex. Handles
+// stay plain pointers — node-based map storage keeps them valid for the
+// registry's lifetime, including across concurrent registrations.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace hematch::obs {
 
-/// A monotonically increasing 64-bit event count.
+/// A monotonically increasing 64-bit event count. Concurrent increments
+/// never lose updates (relaxed atomic adds).
 class Counter {
  public:
-  void Increment(std::uint64_t n = 1) { value_ += n; }
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// Overwrites the count (used when promoting an externally maintained
   /// tally, e.g. `MatchResult::mappings_processed`, into the registry).
-  void Set(std::uint64_t v) { value_ = v; }
-  std::uint64_t value() const { return value_; }
+  void Set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// A last-written-wins scalar (objective values, sizes, milliseconds).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void SetMax(double v) { value_ = std::max(value_, v); }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void SetMax(double v) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
 /// first `bounds.size()` buckets; one overflow bucket catches the rest.
 /// Bucket layout is fixed at registration, so `Observe` is a short linear
-/// scan (bucket counts are small by design) with no allocation.
+/// scan (bucket counts are small by design) with no allocation; bucket
+/// cells and the running sum are atomics, so concurrent observers never
+/// lose counts.
 class Histogram {
  public:
-  Histogram() : counts_(1, 0) {}  // No bounds: a single catch-all bucket.
+  Histogram() : counts_(1) {}  // No bounds: a single catch-all bucket.
   explicit Histogram(std::vector<double> bounds)
-      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void Observe(double v) {
     std::size_t b = 0;
     while (b < bounds_.size() && v > bounds_[b]) {
       ++b;
     }
-    ++counts_[b];
-    sum_ += v;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + v,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  /// Copies the bucket cells out (atomic loads); the vector layout is
+  /// `bounds().size() + 1` entries, overflow last.
+  std::vector<std::uint64_t> counts() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(counts_.size());
+    for (const auto& c : counts_) {
+      out.push_back(c.load(std::memory_order_relaxed));
+    }
+    return out;
+  }
   std::uint64_t total_count() const {
     std::uint64_t total = 0;
-    for (std::uint64_t c : counts_) {
-      total += c;
+    for (const auto& c : counts_) {
+      total += c.load(std::memory_order_relaxed);
     }
     return total;
   }
-  double sum() const { return sum_; }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every bucket and the sum; bounds are kept.
+  void Reset() {
+    for (auto& c : counts_) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
 
  private:
   std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;
-  double sum_ = 0.0;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
 };
 
 /// Owns all metrics of one matching context (or one tool run). Metric
@@ -85,7 +130,10 @@ class Histogram {
 /// pointers returned by the accessors stay valid for the registry's
 /// lifetime (node-based map storage).
 ///
-/// Not thread-safe; one registry per worker, merge snapshots to combine.
+/// Thread-safe: registration and visitation take an internal mutex, and
+/// the handed-out cells are themselves atomic, so concurrent workers
+/// (see exec/portfolio.h) may resolve and bump metrics freely. Merge
+/// snapshots to combine registries across processes.
 class MetricsRegistry {
  public:
   explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
@@ -101,12 +149,14 @@ class MetricsRegistry {
     if (!enabled_) {
       return &sink_counter_;
     }
+    std::lock_guard<std::mutex> lock(mu_);
     return &counters_.try_emplace(std::string(name)).first->second;
   }
   Gauge* GetGauge(std::string_view name) {
     if (!enabled_) {
       return &sink_gauge_;
     }
+    std::lock_guard<std::mutex> lock(mu_);
     return &gauges_.try_emplace(std::string(name)).first->second;
   }
   Histogram* GetHistogram(std::string_view name,
@@ -114,18 +164,21 @@ class MetricsRegistry {
     if (!enabled_) {
       return &sink_histogram_;
     }
+    std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] =
         histograms_.try_emplace(std::string(name), std::move(bounds));
     return &it->second;
   }
 
   std::size_t num_metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
   /// Zeroes every registered value, keeping registrations (and therefore
   /// previously handed-out pointers) intact.
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, c] : counters_) {
       c.Set(0);
     }
@@ -133,22 +186,44 @@ class MetricsRegistry {
       g.Set(0.0);
     }
     for (auto& [name, h] : histograms_) {
-      h = Histogram(h.bounds());
+      h.Reset();
     }
   }
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const {
-    return histograms_;
+  /// Visits every registered metric of one kind, in name order, under
+  /// the registration lock — safe against concurrent `Get*` calls. This
+  /// is how snapshots are captured (see obs/telemetry.h); do not call
+  /// `Get*` on the same registry from inside the visitor (deadlock).
+  template <typename Fn>  // Fn(const std::string&, const Counter&)
+  void ForEachCounter(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      fn(name, c);
+    }
+  }
+  template <typename Fn>  // Fn(const std::string&, const Gauge&)
+  void ForEachGauge(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, g] : gauges_) {
+      fn(name, g);
+    }
+  }
+  template <typename Fn>  // Fn(const std::string&, const Histogram&)
+  void ForEachHistogram(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, h] : histograms_) {
+      fn(name, h);
+    }
   }
 
  private:
   bool enabled_;
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
-  // Shared write targets for the disabled mode.
+  // Shared write targets for the disabled mode (atomic, so concurrent
+  // disabled-mode workers scribble on them benignly).
   Counter sink_counter_;
   Gauge sink_gauge_;
   Histogram sink_histogram_;

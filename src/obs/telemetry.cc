@@ -52,19 +52,24 @@ bool operator==(const TelemetrySnapshot& a, const TelemetrySnapshot& b) {
 
 TelemetrySnapshot CaptureSnapshot(const MetricsRegistry& registry) {
   TelemetrySnapshot snapshot;
-  for (const auto& [name, counter] : registry.counters()) {
-    snapshot.counters.emplace(name, counter.value());
-  }
-  for (const auto& [name, gauge] : registry.gauges()) {
-    snapshot.gauges.emplace(name, gauge.value());
-  }
-  for (const auto& [name, histogram] : registry.histograms()) {
-    HistogramSnapshot h;
-    h.bounds = histogram.bounds();
-    h.counts = histogram.counts();
-    h.sum = histogram.sum();
-    snapshot.histograms.emplace(name, std::move(h));
-  }
+  // Visitation holds the registry's registration lock, so a snapshot is
+  // consistent against concurrent metric registration; individual cell
+  // reads are atomic (a racing worker's in-flight bump lands in the next
+  // snapshot).
+  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+    snapshot.counters.emplace(name, c.value());
+  });
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    snapshot.gauges.emplace(name, g.value());
+  });
+  registry.ForEachHistogram(
+      [&](const std::string& name, const Histogram& histogram) {
+        HistogramSnapshot h;
+        h.bounds = histogram.bounds();
+        h.counts = histogram.counts();
+        h.sum = histogram.sum();
+        snapshot.histograms.emplace(name, std::move(h));
+      });
   return snapshot;
 }
 

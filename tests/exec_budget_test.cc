@@ -1,13 +1,17 @@
 // Tests for the budgeted execution layer: RunBudget, CancelToken,
 // ExecutionGovernor (every termination reason), the deterministic
-// FaultInjection hook, and the exact->heuristic fallback ladder wired
-// through MatchLogs.
+// FaultInjection hook, the deadline watchdog, and the exact->heuristic
+// fallback ladder wired through MatchLogs.
 
 #include "exec/budget.h"
 
 #include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -15,7 +19,10 @@
 #include "api/match_pipeline.h"
 #include "core/astar_matcher.h"
 #include "core/matching_context.h"
+#include "core/heuristic_simple_matcher.h"
 #include "core/pattern_set.h"
+#include "exec/portfolio.h"
+#include "exec/watchdog.h"
 #include "graph/dependency_graph.h"
 #include "log/event_log.h"
 
@@ -27,6 +34,28 @@ using exec::ExecutionGovernor;
 using exec::FaultInjection;
 using exec::RunBudget;
 using exec::TerminationReason;
+
+EventLog MakeLog(std::initializer_list<std::vector<std::string>> traces) {
+  EventLog log;
+  for (const auto& trace : traces) {
+    log.AddTraceByNames(trace);
+  }
+  return log;
+}
+
+EventLog SourceLog() {
+  return MakeLog({{"a", "b", "c", "d"},
+                  {"a", "c", "b", "d"},
+                  {"b", "a", "c", "d"},
+                  {"a", "b", "d", "c"}});
+}
+
+EventLog TargetLog() {
+  return MakeLog({{"w", "x", "y", "z"},
+                  {"w", "y", "x", "z"},
+                  {"x", "w", "y", "z"},
+                  {"w", "x", "z", "y"}});
+}
 
 // Restores the fault-injection environment around a test.
 class ScopedFaultEnv {
@@ -47,7 +76,7 @@ TEST(TerminationReasonTest, StringsRoundTrip) {
   for (TerminationReason reason :
        {TerminationReason::kCompleted, TerminationReason::kDeadline,
         TerminationReason::kExpansionCap, TerminationReason::kMemoryCap,
-        TerminationReason::kCancelled}) {
+        TerminationReason::kCancelled, TerminationReason::kFailed}) {
     const std::string text = exec::TerminationReasonToString(reason);
     const auto parsed = exec::ParseTerminationReason(text);
     ASSERT_TRUE(parsed.has_value()) << text;
@@ -227,29 +256,116 @@ TEST(FaultInjectionTest, GovernorPicksUpEnvironmentAtConstruction) {
   EXPECT_EQ(governor.reason(), TerminationReason::kCancelled);
 }
 
-// ----------------- fallback ladder / pipeline degradation ------------
-
-EventLog MakeLog(std::initializer_list<std::vector<std::string>> traces) {
-  EventLog log;
-  for (const auto& trace : traces) {
-    log.AddTraceByNames(trace);
+TEST(FaultInjectionTest, CrashModeThrowsInsteadOfTripping) {
+  setenv("HEMATCH_FAULT_CRASH", "1", 1);
+  ScopedFaultEnv env("3", nullptr);
+  const FaultInjection fault = FaultInjection::FromEnv();
+  unsetenv("HEMATCH_FAULT_CRASH");
+  EXPECT_TRUE(fault.enabled());
+  EXPECT_TRUE(fault.crash);
+  ExecutionGovernor governor;
+  governor.InjectFault(fault);
+  EXPECT_TRUE(governor.CheckExpansions(2));
+  EXPECT_THROW(governor.CheckExpansions(), std::runtime_error);
+  // Single-shot: the fault cleared itself before throwing, so a retry
+  // on the same governor runs clean.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(governor.CheckExpansions());
   }
-  return log;
 }
 
-EventLog SourceLog() {
-  return MakeLog({{"a", "b", "c", "d"},
-                  {"a", "c", "b", "d"},
-                  {"b", "a", "c", "d"},
-                  {"a", "b", "d", "c"}});
+// ------------------------- deadline watchdog -------------------------
+
+TEST(WatchdogTest, CancelsTheTokenWhenTheDeadlinePasses) {
+  CancelToken token;
+  exec::Watchdog watchdog(20.0, &token);
+  const auto start = std::chrono::steady_clock::now();
+  // Poll only the token — the cooperative-but-clockless consumer the
+  // watchdog exists for.
+  while (!token.cancelled() &&
+         std::chrono::steady_clock::now() - start <
+             std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(watchdog.fired());
 }
 
-EventLog TargetLog() {
-  return MakeLog({{"w", "x", "y", "z"},
-                  {"w", "y", "x", "z"},
-                  {"x", "w", "y", "z"},
-                  {"w", "x", "z", "y"}});
+TEST(WatchdogTest, DisarmStopsTheTimer) {
+  CancelToken token;
+  {
+    exec::Watchdog watchdog(10.0, &token);
+    watchdog.Disarm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_FALSE(watchdog.fired());
+  }
+  EXPECT_FALSE(token.cancelled());
 }
+
+TEST(WatchdogTest, DestructorDisarmsWithoutFiring) {
+  CancelToken token;
+  { exec::Watchdog watchdog(5'000.0, &token); }
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(WatchdogTest, NonPositiveDeadlineNeverArms) {
+  CancelToken token;
+  exec::Watchdog watchdog(0.0, &token);
+  EXPECT_FALSE(watchdog.fired());
+  watchdog.Disarm();  // Safe even though no thread was started.
+  EXPECT_FALSE(token.cancelled());
+}
+
+// A hostile test double: never polls its governor, never checks the
+// cancel token, just sleeps.  Only the portfolio coordinator's hard
+// return bound can get rid of it.
+class NonPollingMatcher : public Matcher {
+ public:
+  std::string name() const override { return "Non-Polling"; }
+  Result<MatchResult> Match(MatchingContext& context) const override {
+    // Bounded so the abandoned detached thread eventually exits; far
+    // past any deadline the test below sets.
+    std::this_thread::sleep_for(std::chrono::seconds(8));
+    MatchResult result;
+    result.mapping = Mapping(context.graph1().num_vertices(),
+                             context.graph2().num_vertices());
+    return result;
+  }
+};
+
+TEST(WatchdogTest, PortfolioAbandonsANonPollingMatcherAtTheHardBound) {
+  const EventLog log1 = SourceLog();
+  const EventLog log2 = TargetLog();
+  std::vector<exec::PortfolioStrategy> strategies;
+  strategies.push_back({"non-polling", std::make_unique<NonPollingMatcher>()});
+  strategies.push_back(
+      {"heuristic-simple", std::make_unique<HeuristicSimpleMatcher>()});
+  exec::PortfolioOptions options;
+  options.budget.deadline_ms = 250.0;
+  options.grace_factor = 2.0;
+  exec::PortfolioRunner runner(std::move(strategies), std::move(options));
+  const auto start = std::chrono::steady_clock::now();
+  auto outcome = runner.Run(log1, log2, {});
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // Returned well before the sleeper's 8s nap: the hard bound is
+  // 2 x 250ms; allow a wide margin for a loaded CI box.
+  EXPECT_LT(elapsed_ms, 5'000.0);
+  EXPECT_EQ(outcome->winner_name, "heuristic-simple");
+  ASSERT_EQ(outcome->strategies.size(), 2u);
+  const auto& sleeper = outcome->strategies[0];
+  EXPECT_TRUE(sleeper.started);
+  EXPECT_TRUE(sleeper.abandoned);
+  EXPECT_EQ(sleeper.termination, TerminationReason::kDeadline);
+  EXPECT_FALSE(sleeper.produced_result);
+  EXPECT_EQ(outcome->strategies[1].termination,
+            TerminationReason::kCompleted);
+}
+
+// ----------------- fallback ladder / pipeline degradation ------------
 
 TEST(FallbackMatcherTest, CompletesWithoutDegradingWhenBudgetSuffices) {
   const EventLog log1 = SourceLog();

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "pattern/pattern_parser.h"
 
@@ -179,6 +183,78 @@ TEST(FrequencyEvaluatorTest, CancellationAbortsScansUncached) {
   cancel.Reset();
   EXPECT_DOUBLE_EQ(eval.Frequency(p), 1.0);
   EXPECT_EQ(eval.stats().cache_hits, 0u);
+}
+
+// Regression for the portfolio's shared-evaluator contract: concurrent
+// readers racing on the memo cache must see exactly the frequencies a
+// sequential evaluator computes, and the eviction counter must stay
+// exact while entries are dropped under contention. (The TSan CI job
+// runs this test too.)
+TEST(FrequencyEvaluatorTest, ConcurrentReadersAgreeWithSequential) {
+  Rng rng(4242);
+  EventLog log;
+  for (const char* n : {"a", "b", "c", "d", "e"}) log.InternEvent(n);
+  for (int t = 0; t < 80; ++t) {
+    Trace trace(2 + rng.NextBounded(8));
+    for (EventId& e : trace) e = static_cast<EventId>(rng.NextBounded(5));
+    log.AddTrace(std::move(trace));
+  }
+  std::vector<Pattern> patterns;
+  for (EventId a = 0; a < 5; ++a) {
+    patterns.push_back(Pattern::Event(a));
+    for (EventId b = 0; b < 5; ++b) {
+      if (a != b) patterns.push_back(Pattern::Edge(a, b));
+    }
+  }
+  patterns.push_back(Pattern::SeqOfEvents({0, 1, 2}));
+  patterns.push_back(Pattern::AndOfEvents({1, 2, 3}));
+  patterns.push_back(Pattern::SeqOfEvents({2, 3, 4}));
+
+  // Ground truth from an isolated sequential evaluator.
+  FrequencyEvaluator sequential(log);
+  std::vector<double> expected;
+  expected.reserve(patterns.size());
+  for (const Pattern& p : patterns) {
+    expected.push_back(sequential.Frequency(p));
+  }
+
+  // One shared evaluator with a tight byte ceiling so concurrent
+  // inserts also race the eviction path.
+  FrequencyEvaluatorOptions options;
+  options.max_cache_bytes = 512;
+  FrequencyEvaluator shared(log, options);
+  obs::Counter evictions;
+  shared.set_eviction_counter(&evictions);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  // gtest assertions are not thread-safe: collect, then compare.
+  std::vector<std::vector<double>> observed(
+      kThreads, std::vector<double>(patterns.size(), -1.0));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < patterns.size(); ++i) {
+          // Different starting offset per thread: maximal overlap of
+          // first-time scans, hits, and evictions.
+          const std::size_t j = (i + t) % patterns.size();
+          observed[t][j] = shared.Frequency(patterns[j]);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      EXPECT_DOUBLE_EQ(observed[t][i], expected[i])
+          << "thread " << t << ", pattern " << patterns[i].ToString();
+    }
+  }
+  EXPECT_LE(shared.cache_bytes(), options.max_cache_bytes);
+  EXPECT_EQ(evictions.value(), shared.stats().cache_evictions);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/pattern_set.h"
 #include "freq/frequency_evaluator.h"
 
@@ -58,7 +60,7 @@ TEST_F(MatchingContextTest, PruningShortCircuitsEvaluation) {
   // Z -> X never occur consecutively... actually craft an impossible
   // complex pattern: SEQ(Y, X) has frequency 0 and no Y->X edge.
   const Pattern impossible = Pattern::SeqOfEvents({1, 0, 2});
-  const auto before = ctx.evaluator2_stats().evaluations;
+  const std::uint64_t before = ctx.evaluator2_stats().evaluations;
   EXPECT_DOUBLE_EQ(ctx.PatternFrequency2(
                        impossible, ExistenceCheckMode::kLinearization),
                    0.0);

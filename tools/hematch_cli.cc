@@ -23,6 +23,13 @@
 //   --memory-mb F     approximate memory ceiling per run (search state +
 //                     frequency caches)
 //   --no-degrade      disable the exact->heuristic fallback ladder
+//   --portfolio       hedged execution: race the exact matcher and both
+//                     heuristics on worker threads under the shared
+//                     budget; first certified-optimal result (or best
+//                     objective at the deadline) wins. Exact methods
+//                     only.
+//   --threads N       worker-thread cap for --portfolio (0 = one per
+//                     strategy)
 //   --fail-degraded   exit 3 when any run was truncated or degraded
 //   --xes-strict      strict XES parsing (reject truncated/malformed files
 //                     instead of salvaging completed traces)
@@ -60,6 +67,7 @@
 #include "eval/runner.h"
 #include "eval/table.h"
 #include "exec/budget.h"
+#include "exec/portfolio.h"
 #include "gen/pattern_miner.h"
 #include "graph/dependency_graph.h"
 #include "log/log_io.h"
@@ -88,6 +96,8 @@ void PrintUsageAndExit(int code) {
       "  --deadline-ms F   wall-clock budget per run (anytime results)\n"
       "  --memory-mb F     approximate memory ceiling per run\n"
       "  --no-degrade      disable the exact->heuristic fallback ladder\n"
+      "  --portfolio       race exact + heuristics on worker threads\n"
+      "  --threads N       worker cap for --portfolio (0 = per strategy)\n"
       "  --fail-degraded   exit 3 when any run was truncated or degraded\n"
       "  --xes-strict      reject malformed XES instead of salvaging\n"
       "  --explain         print per-pattern / per-pair evidence\n"
@@ -243,6 +253,8 @@ int main(int argc, char** argv) {
   std::uint64_t budget = 50'000'000;
   exec::RunBudget run_budget;
   bool degrade = true;
+  bool portfolio = false;
+  int threads = 0;
   bool fail_degraded = false;
   bool xes_strict = false;
   std::vector<std::string> positional;
@@ -298,6 +310,10 @@ int main(int argc, char** argv) {
           std::stod(next("--memory-mb")) * 1024.0 * 1024.0);
     } else if (arg == "--no-degrade") {
       degrade = false;
+    } else if (arg == "--portfolio") {
+      portfolio = true;
+    } else if (arg == "--threads") {
+      threads = std::stoi(next("--threads"));
     } else if (arg == "--fail-degraded") {
       fail_degraded = true;
     } else if (arg == "--xes-strict") {
@@ -362,39 +378,102 @@ int main(int argc, char** argv) {
   if (progress) {
     context.set_tracer(&progress_tracer);
   }
-  const auto matchers = MakeMatchers(method, budget, run_budget, degrade);
-  if (matchers.empty()) {
-    std::cerr << "unknown --method '" << method << "'\n";
-    PrintUsageAndExit(2);
-  }
-
   TextTable table({"method", "objective", "time(ms)", "termination",
                    "mapping"});
   const Mapping* best_mapping = nullptr;
   double best_objective = -1.0;
   std::vector<RunRecord> records;
-  records.reserve(matchers.size());
-  for (const auto& matcher : matchers) {
-    // Each run gets the full budget; fallback ladders slice their own.
-    context.ArmBudget(run_budget);
-    records.push_back(RunMatcher(*matcher, context, nullptr));
-    const RunRecord& record = records.back();
-    if (!record.failure.empty() && record.mapping.num_sources() == 0) {
-      // Hard failure: no result at all.
-      table.AddRow({matcher->name(), "-", "-", "error", record.failure});
-      continue;
+
+  if (portfolio) {
+    if (method != "pattern-tight" && method != "pattern-simple") {
+      std::cerr << "--portfolio requires --method pattern-tight or "
+                   "pattern-simple (got '" << method << "')\n";
+      return 2;
     }
-    std::string termination = exec::TerminationReasonToString(
-        record.termination);
-    if (record.degraded) {
-      termination += " (degraded)";
+    ScorerOptions scorer;
+    const BoundKind bound = method == "pattern-simple" ? BoundKind::kSimple
+                                                       : BoundKind::kTight;
+    exec::PortfolioOptions popts;
+    popts.budget = run_budget;
+    popts.threads = threads;
+    exec::PortfolioRunner runner(
+        exec::DefaultPortfolioStrategies(scorer, bound, budget), popts);
+    Result<exec::PortfolioOutcome> raced =
+        runner.Run(*log1, *log2, BuildPatternSet(g1, complex));
+    if (!raced.ok()) {
+      std::cerr << "portfolio failed: " << raced.status() << "\n";
+      return 1;
     }
-    table.AddRow({matcher->name(), TextTable::Num(record.objective),
-                  TextTable::Num(record.elapsed_ms, 1), termination,
+    exec::PortfolioOutcome& p = *raced;
+    for (const exec::PortfolioStrategyOutcome& s : p.strategies) {
+      std::string termination =
+          exec::TerminationReasonToString(s.termination);
+      if (s.abandoned) {
+        termination += " (abandoned)";
+      }
+      if (!s.failure.empty()) {
+        termination += " (" + s.failure + ")";
+      }
+      table.AddRow({"  " + s.name,
+                    s.produced_result ? TextTable::Num(s.objective) : "-",
+                    TextTable::Num(s.elapsed_ms, 1), termination, "-"});
+    }
+    RunRecord record;
+    record.method = "portfolio";
+    record.termination = p.result.termination;
+    record.completed = p.result.completed();
+    record.degraded = !record.completed;
+    if (!record.completed) {
+      record.failure =
+          std::string("budget exhausted (") +
+          exec::TerminationReasonToString(record.termination) +
+          "); best-of-strategies result returned";
+    }
+    record.objective = p.result.objective;
+    record.lower_bound = p.result.lower_bound;
+    record.upper_bound = p.result.upper_bound;
+    record.bounds_certified = p.result.bounds_certified;
+    record.elapsed_ms = p.elapsed_ms;
+    record.mappings_processed = p.result.mappings_processed;
+    record.stages = p.result.stages;
+    record.telemetry = std::move(p.telemetry);
+    record.mapping = std::move(p.result.mapping);
+    table.AddRow({"portfolio(" + p.winner_name + ")",
+                  TextTable::Num(record.objective),
+                  TextTable::Num(record.elapsed_ms, 1),
+                  exec::TerminationReasonToString(record.termination),
                   record.mapping.ToString(&log1->dictionary(),
                                           &log2->dictionary())});
+    records.push_back(std::move(record));
+  } else {
+    const auto matchers = MakeMatchers(method, budget, run_budget, degrade);
+    if (matchers.empty()) {
+      std::cerr << "unknown --method '" << method << "'\n";
+      PrintUsageAndExit(2);
+    }
+    records.reserve(matchers.size());
+    for (const auto& matcher : matchers) {
+      // Each run gets the full budget; fallback ladders slice their own.
+      context.ArmBudget(run_budget);
+      records.push_back(RunMatcher(*matcher, context, nullptr));
+      const RunRecord& record = records.back();
+      if (!record.failure.empty() && record.mapping.num_sources() == 0) {
+        // Hard failure: no result at all.
+        table.AddRow({matcher->name(), "-", "-", "error", record.failure});
+        continue;
+      }
+      std::string termination = exec::TerminationReasonToString(
+          record.termination);
+      if (record.degraded) {
+        termination += " (degraded)";
+      }
+      table.AddRow({matcher->name(), TextTable::Num(record.objective),
+                    TextTable::Num(record.elapsed_ms, 1), termination,
+                    record.mapping.ToString(&log1->dictionary(),
+                                            &log2->dictionary())});
+    }
+    context.governor().Disarm();
   }
-  context.governor().Disarm();
   table.Print(std::cout);
   for (const RunRecord& record : records) {
     // Anytime results count: any complete mapping is usable downstream.
