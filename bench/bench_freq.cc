@@ -1,0 +1,170 @@
+// Frequency-engine ablation harness: measures the vectorized engine
+// (bitmap candidate generation + reused thread-local scratch) against
+// the pre-vectorization configuration (posting-list merge + per-call
+// hash-map matcher, retained verbatim as TraceMatchesPatternHashed) on
+// the synthetic workload, with a cold memo cache and warm indices — the
+// conditions the engine's speedup claim is stated under.
+// The two modes must produce identical support sums (a run-time
+// differential check mirroring tests/frequency_evaluator_test.cc), and
+// the batch precompute pass is timed sequential vs all-cores.
+//
+// Prints a human summary; when HEMATCH_BENCH_METRICS_DIR is set, also
+// writes BENCH_freq.json (schema hematch.bench_freq.v1) for
+// scripts/check.sh and the committed baseline in bench/baselines/.
+//
+// Usage: bench_freq [rounds]   (default 3 passes over the pattern set)
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "freq/frequency_evaluator.h"
+#include "gen/synthetic_process.h"
+#include "obs/metrics_json.h"
+
+namespace {
+
+using namespace hematch;
+
+struct ModeResult {
+  std::string name;
+  double elapsed_ms = 0.0;
+  unsigned long long support_sum = 0;
+  std::uint64_t traces_scanned = 0;
+  std::uint64_t windows_tested = 0;
+  std::uint64_t bitmap_scans = 0;
+  std::uint64_t postings_scans = 0;
+};
+
+ModeResult RunMode(const std::string& name, const EventLog& log,
+                   const std::vector<Pattern>& patterns,
+                   const FrequencyEvaluatorOptions& options, int rounds) {
+  FrequencyEvaluator eval(log, options);  // Index build is not timed.
+  ModeResult result;
+  result.name = name;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (const Pattern& p : patterns) {
+      result.support_sum += eval.Support(p);
+    }
+  }
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  result.traces_scanned = eval.stats().traces_scanned;
+  result.windows_tested = eval.stats().windows_tested;
+  result.bitmap_scans = eval.stats().bitmap_scans;
+  result.postings_scans = eval.stats().postings_scans;
+  return result;
+}
+
+std::string ModeJson(const ModeResult& r) {
+  std::string json = "{\n";
+  json += "      \"elapsed_ms\": " + obs::JsonNumber(r.elapsed_ms) + ",\n";
+  json += "      \"support_sum\": " + std::to_string(r.support_sum) + ",\n";
+  json +=
+      "      \"traces_scanned\": " + std::to_string(r.traces_scanned) + ",\n";
+  json +=
+      "      \"windows_tested\": " + std::to_string(r.windows_tested) + ",\n";
+  json += "      \"bitmap_scans\": " + std::to_string(r.bitmap_scans) + ",\n";
+  json += "      \"postings_scans\": " + std::to_string(r.postings_scans) +
+          "\n    }";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  SyntheticProcessOptions workload;
+  workload.num_units = 5;
+  workload.num_traces = 10000;
+  const MatchingTask task = MakeSyntheticTask(workload);
+  const std::vector<Pattern>& patterns = task.complex_patterns;
+  std::cout << "workload: " << task.log1.num_traces() << " traces, "
+            << task.log1.num_events() << " events, " << patterns.size()
+            << " complex patterns, " << rounds << " rounds\n";
+
+  FrequencyEvaluatorOptions legacy_opts;
+  legacy_opts.use_cache = false;  // Cold memo: every call is a full scan.
+  legacy_opts.use_bitmap_index = false;
+  legacy_opts.use_scratch = false;
+  const ModeResult legacy =
+      RunMode("legacy", task.log1, patterns, legacy_opts, rounds);
+
+  FrequencyEvaluatorOptions vectorized_opts;
+  vectorized_opts.use_cache = false;
+  const ModeResult vectorized =
+      RunMode("vectorized", task.log1, patterns, vectorized_opts, rounds);
+
+  const bool supports_match = legacy.support_sum == vectorized.support_sum;
+  const double speedup = vectorized.elapsed_ms > 0.0
+                             ? legacy.elapsed_ms / vectorized.elapsed_ms
+                             : 0.0;
+  for (const ModeResult* r : {&legacy, &vectorized}) {
+    std::cout << "  " << r->name << ": " << r->elapsed_ms << " ms, support sum "
+              << r->support_sum << ", " << r->traces_scanned
+              << " traces scanned\n";
+  }
+  std::cout << "  speedup: " << speedup << "x, supports "
+            << (supports_match ? "match" : "MISMATCH") << "\n";
+
+  // Batch precompute: same pattern set, fresh evaluator (cold memo) per
+  // mode; the parallel pass uses every core.
+  FrequencyEvaluator seq_eval(task.log1);
+  FrequencyEvaluator::PrecomputeOptions seq_opts;
+  seq_opts.threads = 1;
+  const FrequencyEvaluator::PrecomputeStats seq =
+      seq_eval.PrecomputeAll(patterns, seq_opts);
+  FrequencyEvaluator par_eval(task.log1);
+  FrequencyEvaluator::PrecomputeOptions par_opts;
+  par_opts.min_parallel_patterns = 1;
+  const FrequencyEvaluator::PrecomputeStats par =
+      par_eval.PrecomputeAll(patterns, par_opts);
+  std::cout << "  precompute: sequential " << seq.elapsed_ms << " ms, parallel "
+            << par.elapsed_ms << " ms on " << par.threads_used << " threads\n";
+
+  const char* dir = std::getenv("HEMATCH_BENCH_METRICS_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_freq.json";
+    std::string json;
+    json += "{\n  \"schema\": \"hematch.bench_freq.v1\",\n";
+    json += "  \"workload\": {\n";
+    json += "    \"num_traces\": " + std::to_string(task.log1.num_traces()) +
+            ",\n";
+    json += "    \"num_events\": " + std::to_string(task.log1.num_events()) +
+            ",\n";
+    json += "    \"patterns\": " + std::to_string(patterns.size()) + ",\n";
+    json += "    \"rounds\": " + std::to_string(rounds) + "\n  },\n";
+    json += "  \"modes\": {\n";
+    json += "    \"legacy\": " + ModeJson(legacy) + ",\n";
+    json += "    \"vectorized\": " + ModeJson(vectorized) + "\n  },\n";
+    json += "  \"speedup\": " + obs::JsonNumber(speedup) + ",\n";
+    json += std::string("  \"supports_match\": ") +
+            (supports_match ? "true" : "false") + ",\n";
+    json += "  \"precompute\": {\n";
+    json += "    \"patterns\": " + std::to_string(patterns.size()) + ",\n";
+    json +=
+        "    \"sequential_ms\": " + obs::JsonNumber(seq.elapsed_ms) + ",\n";
+    json += "    \"parallel_ms\": " + obs::JsonNumber(par.elapsed_ms) + ",\n";
+    json += "    \"parallel_threads\": " + std::to_string(par.threads_used) +
+            "\n  }\n}\n";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_freq: cannot write " << path << "\n";
+      return 2;
+    }
+    out << json;
+    std::cout << "wrote " << path << "\n";
+  }
+
+  if (!supports_match) {
+    std::cerr << "bench_freq: legacy and vectorized supports disagree\n";
+    return 1;
+  }
+  return 0;
+}

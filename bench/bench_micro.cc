@@ -12,6 +12,7 @@
 #include "core/bounding.h"
 #include "core/pattern_set.h"
 #include "exec/portfolio.h"
+#include "freq/bitmap_index.h"
 #include "freq/frequency_evaluator.h"
 #include "freq/trace_matcher.h"
 #include "pattern/pattern_language.h"
@@ -106,6 +107,78 @@ void BM_PatternFrequencyCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatternFrequencyCached);
+
+// The frequency engine end to end, cold memo cache, warm indices:
+// arg 0 = legacy (posting lists + throwaway per-trace scratch), arg 1 =
+// vectorized (bitmap candidates + reused thread-local scratch). The
+// ratio of the two is the headline speedup bench_freq gates on.
+void BM_Frequency(benchmark::State& state) {
+  const MatchingTask& task = SyntheticTask();
+  FrequencyEvaluatorOptions options;
+  options.use_cache = false;  // Every iteration pays the full scan.
+  if (state.range(0) == 0) {
+    options.use_bitmap_index = false;
+    options.use_scratch = false;
+  }
+  FrequencyEvaluator eval(task.log1, options);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Pattern& p =
+        task.complex_patterns[i++ % task.complex_patterns.size()];
+    benchmark::DoNotOptimize(eval.Support(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Frequency)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("vectorized")
+    ->Unit(benchmark::kMicrosecond);
+
+// Candidate generation alone: posting-list galloping intersection vs
+// bitmap row ANDs, same query.
+void BM_CandidateTraces(benchmark::State& state) {
+  const MatchingTask& task = SyntheticTask();
+  const std::vector<EventId>& events = task.complex_patterns[0].events();
+  if (state.range(0) == 0) {
+    const TraceIndex index(task.log1);
+    std::vector<std::uint32_t> out;
+    for (auto _ : state) {
+      index.CandidateTracesInto(events, out);
+      benchmark::DoNotOptimize(out);
+    }
+  } else {
+    const BitmapTraceIndex bitmap(task.log1);
+    std::vector<std::uint64_t> words;
+    for (auto _ : state) {
+      bitmap.IntersectInto(events, words);
+      benchmark::DoNotOptimize(words);
+    }
+  }
+}
+BENCHMARK(BM_CandidateTraces)->Arg(0)->Arg(1)->ArgName("bitmap");
+
+// Batch memo warm-up: sequential vs all-cores sharding of the synthetic
+// pattern set over a fresh evaluator (the MatchingContext build-time
+// path).
+void BM_PrecomputeAll(benchmark::State& state) {
+  const MatchingTask& task = SyntheticTask();
+  for (auto _ : state) {
+    state.PauseTiming();
+    FrequencyEvaluator eval(task.log1);
+    state.ResumeTiming();
+    FrequencyEvaluator::PrecomputeOptions options;
+    options.threads = static_cast<int>(state.range(0));
+    options.min_parallel_patterns = 1;
+    benchmark::DoNotOptimize(eval.PrecomputeAll(task.complex_patterns,
+                                                options));
+  }
+}
+BENCHMARK(BM_PrecomputeAll)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PatternGraphTranslation(benchmark::State& state) {
   const Pattern& p = BusTask().complex_patterns[0];

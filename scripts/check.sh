@@ -100,4 +100,27 @@ assert run["objective"] > 0.0, "no best-of-strategies result returned"
 print("ok: exact strategy crashed in isolation, heuristic result returned")
 EOF
 
+# Frequency-engine differential + speedup gate: legacy and vectorized
+# modes must agree on every support, and the vectorized engine must hold
+# a healthy lead (the committed Release baseline in bench/baselines/
+# shows >3x; 1.5x here absorbs debug builds and noisy CI machines).
+if [[ -x "$BUILD_DIR/bench/bench_freq" ]]; then
+  echo "== frequency engine"
+  HEMATCH_BENCH_METRICS_DIR="$tmp" "$BUILD_DIR/bench/bench_freq" 2
+
+  python3 - "$tmp/BENCH_freq.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hematch.bench_freq.v1", doc.get("schema")
+assert doc["supports_match"] is True, "legacy/vectorized supports disagree"
+assert doc["speedup"] >= 1.5, f"vectorized speedup only {doc['speedup']:.2f}x"
+pre = doc["precompute"]
+assert pre["sequential_ms"] >= 0.0 and pre["parallel_ms"] >= 0.0
+print(f"ok: vectorized {doc['speedup']:.1f}x over legacy, supports identical")
+EOF
+fi
+
 echo "all checks passed"

@@ -18,7 +18,8 @@ std::vector<std::vector<EventId>> PatternEventSets(
 
 MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
                                  std::vector<Pattern> patterns,
-                                 ContextTelemetryOptions telemetry)
+                                 ContextTelemetryOptions telemetry,
+                                 ContextPrecomputeOptions precompute)
     : log1_(&log1),
       log2_(&log2),
       graph1_(DependencyGraph::Build(log1)),
@@ -45,6 +46,31 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
   obs::Counter* evictions = metrics_->GetCounter("freq.cache_evictions");
   eval1_->set_eviction_counter(evictions);
   eval2_->set_eviction_counter(evictions);
+  if (precompute.enabled) {
+    // Warm the source-side memo in parallel: vertex and edge patterns
+    // resolve through dependency-graph labels below and need no scan, so
+    // only the complex patterns are sharded. The sequential f1 loop then
+    // runs entirely on cache hits (or finishes the tail on a cancelled
+    // pass).
+    std::vector<Pattern> complex_patterns;
+    for (const Pattern& p : patterns_) {
+      if (!p.IsVertexPattern() && !p.IsEdgePattern()) {
+        complex_patterns.push_back(p);
+      }
+    }
+    FrequencyEvaluator::PrecomputeOptions opts;
+    opts.threads = precompute.threads;
+    opts.min_parallel_patterns = precompute.min_parallel_patterns;
+    opts.cancel = precompute.cancel;
+    const FrequencyEvaluator::PrecomputeStats ps =
+        eval1_->PrecomputeAll(complex_patterns, opts);
+    metrics_->GetCounter("freq.precompute.patterns")
+        ->Increment(ps.patterns_evaluated);
+    metrics_->GetCounter("freq.precompute.threads")
+        ->Increment(static_cast<std::uint64_t>(ps.threads_used));
+    metrics_->GetCounter("freq.precompute.ms")
+        ->Increment(static_cast<std::uint64_t>(ps.elapsed_ms));
+  }
   f1_.reserve(patterns_.size());
   for (const Pattern& p : patterns_) {
     if (p.IsVertexPattern()) {
@@ -120,11 +146,20 @@ void ExportEvaluatorStats(const FrequencyEvaluator& eval,
   snapshot.counters[prefix + "traces_scanned"] = s.traces_scanned;
   snapshot.counters[prefix + "windows_tested"] = s.windows_tested;
   snapshot.counters[prefix + "scan_aborts"] = s.scan_aborts;
+  snapshot.counters[prefix + "empty_shortcuts"] = s.empty_shortcuts;
+  snapshot.counters[prefix + "path.bitmap"] = s.bitmap_scans;
+  snapshot.counters[prefix + "path.postings"] = s.postings_scans;
+  snapshot.counters[prefix + "path.fullscan"] = s.full_scans;
   const TraceIndex::Stats& ix = eval.trace_index().stats();
   snapshot.counters[prefix + "index.candidate_queries"] = ix.candidate_queries;
   snapshot.counters[prefix + "index.postings_scanned"] = ix.postings_scanned;
   snapshot.counters[prefix + "index.candidates_yielded"] =
       ix.candidates_yielded;
+  if (const BitmapTraceIndex* bitmap = eval.bitmap_index()) {
+    snapshot.counters[prefix + "bitmap.queries"] = bitmap->stats().queries;
+    snapshot.counters[prefix + "bitmap.words_anded"] =
+        bitmap->stats().words_anded;
+  }
 }
 
 }  // namespace

@@ -37,6 +37,25 @@ struct ContextTelemetryOptions {
   exec::ExecutionGovernor* shared_governor = nullptr;
 };
 
+/// How a `MatchingContext` warms the source-side frequency memo at build
+/// time. The f1 values of complex (non-vertex, non-edge) patterns each
+/// cost a log scan; precomputation shards those scans across worker
+/// threads via `FrequencyEvaluator::PrecomputeAll` so context
+/// construction scales with cores instead of pattern count.
+struct ContextPrecomputeOptions {
+  /// When false, f1 is computed sequentially (the pre-batch behavior).
+  bool enabled = true;
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+  /// Below this many complex patterns the pass runs inline — thread
+  /// spawn costs more than the scans for tiny pattern sets.
+  std::size_t min_parallel_patterns = 4;
+  /// Optional cooperative cancellation for the warm-up pass; a cancelled
+  /// pass leaves the remaining f1 values to the sequential loop (the
+  /// context is still fully usable). Must outlive construction.
+  const exec::CancelToken* cancel = nullptr;
+};
+
 /// Everything the matching algorithms need about one (L1, L2, P) problem
 /// instance, computed once and shared: dependency graphs, frequency
 /// evaluators with their inverted indices (`It`), the pattern inverted
@@ -51,7 +70,8 @@ class MatchingContext {
   /// is NOT required here; matchers that need it handle padding.
   MatchingContext(const EventLog& log1, const EventLog& log2,
                   std::vector<Pattern> patterns,
-                  ContextTelemetryOptions telemetry = {});
+                  ContextTelemetryOptions telemetry = {},
+                  ContextPrecomputeOptions precompute = {});
 
   /// Sibling constructor for portfolio workers (see exec/portfolio.h):
   /// copies `base`'s immutable precomputation (dependency graphs,

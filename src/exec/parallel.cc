@@ -1,0 +1,88 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hematch::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool PastDeadline(Clock::time_point start, double deadline_ms) {
+  if (deadline_ms <= 0.0) {
+    return false;
+  }
+  const double elapsed =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return elapsed >= deadline_ms;
+}
+
+}  // namespace
+
+ParallelForResult ParallelFor(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              const ParallelForOptions& options) {
+  ParallelForResult result;
+  if (n == 0) {
+    return result;
+  }
+  const Clock::time_point start = Clock::now();
+
+  std::size_t workers;
+  if (options.threads > 0) {
+    workers = static_cast<std::size_t>(options.threads);
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 1;
+  }
+  workers = std::min(workers, n);
+
+  if (workers <= 1 || n < options.min_parallel_items) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((options.cancel != nullptr && options.cancel->cancelled()) ||
+          PastDeadline(start, options.deadline_ms)) {
+        break;
+      }
+      body(i);
+      ++result.items_run;
+    }
+    result.threads_used = 1;
+    return result;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> items_run{0};
+  auto worker = [&] {
+    while (true) {
+      if ((options.cancel != nullptr && options.cancel->cancelled()) ||
+          PastDeadline(start, options.deadline_ms)) {
+        return;
+      }
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      body(i);
+      items_run.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(worker);
+  }
+  worker();  // The calling thread is worker 0.
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  result.items_run = items_run.load(std::memory_order_relaxed);
+  result.threads_used = static_cast<int>(workers);
+  return result;
+}
+
+}  // namespace hematch::exec

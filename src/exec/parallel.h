@@ -1,0 +1,65 @@
+#ifndef HEMATCH_EXEC_PARALLEL_H_
+#define HEMATCH_EXEC_PARALLEL_H_
+
+/// \file
+/// Minimal data-parallel helper for batch precomputation passes.
+///
+/// The portfolio runner (exec/portfolio.h) established the library's
+/// thread substrate: plain std::thread workers over thread-safe shared
+/// state, cooperative cancellation through CancelToken. `ParallelFor`
+/// packages that substrate for embarrassingly parallel index/cache
+/// warm-up work — currently the frequency engine's `PrecomputeAll`
+/// (freq/frequency_evaluator.h), which shards a pattern set across
+/// workers at MatchingContext build time.
+///
+/// Deliberately not a thread pool: callers are one-shot batch passes at
+/// setup time, so spawn/join per call is noise next to the work, and no
+/// idle threads linger to interfere with the portfolio's own workers.
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/budget.h"
+
+namespace hematch::exec {
+
+/// Tuning for one `ParallelFor` pass.
+struct ParallelForOptions {
+  /// Worker threads. 0 = auto: `std::thread::hardware_concurrency()`
+  /// clamped to the item count. 1 runs inline on the calling thread.
+  int threads = 0;
+  /// Below this many items the pass always runs inline — thread spawn
+  /// costs more than the work for tiny batches.
+  std::size_t min_parallel_items = 2;
+  /// Optional cooperative cancellation: checked before each item is
+  /// claimed; a cancelled pass stops claiming new items but lets
+  /// in-flight items finish (matching the budget layer's "let scans
+  /// finish" convention). Must outlive the call.
+  const CancelToken* cancel = nullptr;
+  /// Optional soft deadline in milliseconds from the start of the pass;
+  /// 0 = none. Like cancellation, enforced between items only — this is
+  /// a RunBudget-style courtesy bound for setup passes, not a hard
+  /// wall (the watchdog provides that).
+  double deadline_ms = 0.0;
+};
+
+/// Result of one pass.
+struct ParallelForResult {
+  std::size_t items_run = 0;  ///< Items executed (n unless cut short).
+  int threads_used = 1;       ///< Workers that ran (1 = inline).
+};
+
+/// Runs `body(i)` for every `i` in `[0, n)`, dynamically load-balanced
+/// across workers (items are claimed from a shared atomic cursor, so one
+/// expensive item cannot serialize a shard). `body` is called
+/// concurrently and must be thread-safe and noexcept in spirit: an
+/// exception escaping `body` terminates the process (std::thread
+/// semantics), matching the precompute contract that evaluation never
+/// throws.
+ParallelForResult ParallelFor(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              const ParallelForOptions& options = {});
+
+}  // namespace hematch::exec
+
+#endif  // HEMATCH_EXEC_PARALLEL_H_

@@ -1,6 +1,15 @@
 #include "freq/frequency_evaluator.h"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstddef>
 #include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/parallel.h"
+#include "freq/pattern_key.h"
 
 namespace hematch {
 
@@ -10,14 +19,40 @@ namespace {
 /// poll is one relaxed atomic load.
 constexpr std::size_t kCancelPollStride = 64;
 
+/// Per-thread reusable buffers for one Support() scan. Thread-local (and
+/// shared across evaluator instances on the same thread, which is safe
+/// because every scan re-Prepares before use): the evaluator is shared
+/// by portfolio workers, so per-evaluator scratch would need locking the
+/// hot loop, and per-call scratch would allocate — this does neither.
+struct EvalScratch {
+  PatternScratch pattern;
+  std::vector<std::uint32_t> candidates;  ///< Posting-list path output.
+  std::vector<std::uint64_t> words;       ///< Bitmap path intersection.
+};
+
+EvalScratch& ThreadScratch() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 FrequencyEvaluator::FrequencyEvaluator(const EventLog& log,
                                        FrequencyEvaluatorOptions options)
-    : log_(&log), options_(options), trace_index_(log) {}
+    : log_(&log), options_(options), trace_index_(log) {
+  if (options_.use_bitmap_index) {
+    bitmap_.emplace(log);
+  }
+}
 
-void FrequencyEvaluator::CacheInsert(std::string key, std::size_t support) {
-  const std::size_t entry_bytes = key.size() + kCacheEntryOverhead;
+void FrequencyEvaluator::CacheInsert(std::uint64_t key, std::size_t support,
+                                     const Pattern& pattern) {
+  CacheEntry entry;
+  entry.support = support;
+  if (options_.debug_check_key_collisions) {
+    entry.debug_form = pattern.ToString();
+  }
+  const std::size_t entry_bytes = kCacheEntryBytes + entry.debug_form.size();
   std::lock_guard<std::mutex> lock(cache_mu_);
   const bool over_entries = options_.max_cache_entries > 0 &&
                             cache_.size() >= options_.max_cache_entries;
@@ -36,7 +71,7 @@ void FrequencyEvaluator::CacheInsert(std::string key, std::size_t support) {
   // A racing worker may have finished the same scan first; only charge
   // the bytes when this emplace actually lands, or `cache_bytes_` drifts
   // away from the table's real footprint.
-  const auto [it, inserted] = cache_.emplace(std::move(key), support);
+  const auto [it, inserted] = cache_.emplace(key, std::move(entry));
   if (inserted) {
     cache_bytes_ += entry_bytes;
   }
@@ -44,16 +79,44 @@ void FrequencyEvaluator::CacheInsert(std::string key, std::size_t support) {
 
 std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
-  std::string key;
+  std::uint64_t key = 0;
   if (options_.use_cache) {
-    key = pattern.ToString();
+    key = MakePatternKey(pattern).value;
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
+      if (options_.debug_check_key_collisions) {
+        HEMATCH_CHECK(it->second.debug_form == pattern.ToString(),
+                      "PatternKey collision: two structurally different "
+                      "patterns share a memo key");
+      }
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return it->second.support;
     }
     stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<EventId>& events = pattern.events();
+
+  // Indexed paths only: a pattern event with an empty posting list
+  // occurs in no trace, so no window anywhere can be a permutation of
+  // V(p) — answer 0 without touching a single trace. The shortest list
+  // found on the way drives the bitmap-vs-postings choice below. The
+  // unindexed path skips this so it stays a genuinely independent
+  // brute-force oracle for the differential tests.
+  std::size_t shortest_len = 0;
+  if (options_.use_trace_index) {
+    shortest_len = log_->num_traces();
+    for (EventId v : events) {
+      shortest_len = std::min(shortest_len, trace_index_.Postings(v).size());
+    }
+    if (!events.empty() && shortest_len == 0) {
+      stats_.empty_shortcuts.fetch_add(1, std::memory_order_relaxed);
+      if (options_.use_cache) {
+        CacheInsert(key, 0, pattern);
+      }
+      return 0;
+    }
   }
 
   std::size_t support = 0;
@@ -69,28 +132,70 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   };
 
   TraceMatchStats match_stats;
-  if (options_.use_trace_index) {
-    const std::vector<std::uint32_t> candidates =
-        trace_index_.CandidateTraces(pattern.events());
-    for (std::uint32_t t : candidates) {
+  EvalScratch& scratch = ThreadScratch();
+  if (options_.use_scratch) {
+    scratch.pattern.Prepare(pattern);
+  }
+  const auto matches = [&](const Trace& trace) {
+    return options_.use_scratch
+               ? TraceMatchesPattern(trace, scratch.pattern, &match_stats)
+               : TraceMatchesPatternHashed(trace, pattern, &match_stats);
+  };
+  const std::vector<Trace>& traces = log_->traces();
+
+  if (!options_.use_trace_index) {
+    stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+    for (const Trace& trace : traces) {
       if (should_stop()) {
         aborted = true;
         break;
       }
       ++scanned;
-      if (TraceMatchesPattern(log_->traces()[t], pattern, &match_stats)) {
+      if (matches(trace)) {
         ++support;
       }
     }
   } else {
-    for (const Trace& trace : log_->traces()) {
-      if (should_stop()) {
-        aborted = true;
-        break;
+    // Bitmap unless the shortest posting list is so short that galloping
+    // intersection touches less memory than the row ANDs.
+    bool use_bitmap = bitmap_.has_value();
+    if (use_bitmap && options_.postings_fallback_ratio > 0 &&
+        shortest_len * options_.postings_fallback_ratio <
+            bitmap_->words_per_row()) {
+      use_bitmap = false;
+    }
+    if (use_bitmap) {
+      stats_.bitmap_scans.fetch_add(1, std::memory_order_relaxed);
+      bitmap_->IntersectInto(events, scratch.words);
+      for (std::size_t w = 0; w < scratch.words.size() && !aborted; ++w) {
+        std::uint64_t word = scratch.words[w];
+        while (word != 0) {
+          if (should_stop()) {
+            aborted = true;
+            break;
+          }
+          const std::uint32_t t =
+              static_cast<std::uint32_t>(w * 64) +
+              static_cast<std::uint32_t>(std::countr_zero(word));
+          word &= word - 1;  // Clear the lowest set bit.
+          ++scanned;
+          if (matches(traces[t])) {
+            ++support;
+          }
+        }
       }
-      ++scanned;
-      if (TraceMatchesPattern(trace, pattern, &match_stats)) {
-        ++support;
+    } else {
+      stats_.postings_scans.fetch_add(1, std::memory_order_relaxed);
+      trace_index_.CandidateTracesInto(events, scratch.candidates);
+      for (std::uint32_t t : scratch.candidates) {
+        if (should_stop()) {
+          aborted = true;
+          break;
+        }
+        ++scanned;
+        if (matches(traces[t])) {
+          ++support;
+        }
       }
     }
   }
@@ -105,9 +210,32 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
     return support;
   }
   if (options_.use_cache) {
-    CacheInsert(std::move(key), support);
+    CacheInsert(key, support, pattern);
   }
   return support;
+}
+
+FrequencyEvaluator::PrecomputeStats FrequencyEvaluator::PrecomputeAll(
+    std::span<const Pattern> patterns, const PrecomputeOptions& options) {
+  PrecomputeStats result;
+  result.patterns_requested = patterns.size();
+  if (!options_.use_cache || patterns.empty()) {
+    return result;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  exec::ParallelForOptions pf;
+  pf.threads = options.threads;
+  pf.min_parallel_items = options.min_parallel_patterns;
+  pf.cancel = options.cancel;
+  pf.deadline_ms = options.deadline_ms;
+  const exec::ParallelForResult run = exec::ParallelFor(
+      patterns.size(), [&](std::size_t i) { Support(patterns[i]); }, pf);
+  result.patterns_evaluated = run.items_run;
+  result.threads_used = run.threads_used;
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return result;
 }
 
 double FrequencyEvaluator::Frequency(const Pattern& pattern) {
@@ -119,4 +247,3 @@ double FrequencyEvaluator::Frequency(const Pattern& pattern) {
 }
 
 }  // namespace hematch
-

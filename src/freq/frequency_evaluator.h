@@ -4,10 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 
 #include "exec/budget.h"
+#include "freq/bitmap_index.h"
 #include "freq/inverted_index.h"
 #include "freq/trace_matcher.h"
 #include "log/event_log.h"
@@ -17,16 +20,41 @@
 namespace hematch {
 
 /// Options controlling `FrequencyEvaluator`; the defaults are what the
-/// paper's algorithms use, the off switches exist for the ablation bench.
+/// paper's algorithms use, the off switches exist for the ablation bench
+/// and for forcing a specific candidate path in the differential tests.
 struct FrequencyEvaluatorOptions {
   /// Use the trace inverted index `It` to restrict the scan to traces
   /// containing every pattern event (Section 3.2.3). When false, every
-  /// trace is scanned.
+  /// trace is scanned — the brute-force oracle of the differential tests.
   bool use_trace_index = true;
+  /// Generate candidates from the word-level `BitmapTraceIndex` (bitwise
+  /// row ANDs) instead of merging posting lists, except when the
+  /// sparse-pattern heuristic below picks the posting lists. When false
+  /// the bitmap is not even built and every indexed scan uses posting
+  /// lists.
+  bool use_bitmap_index = true;
+  /// Candidate scans below which the posting-list path wins: when the
+  /// shortest posting list times this ratio is smaller than the bitmap
+  /// row word count, galloping intersection touches less memory than the
+  /// row ANDs. 0 disables the fallback (every indexed scan uses the
+  /// bitmap — used by tests to force the path).
+  std::size_t postings_fallback_ratio = 4;
+  /// Reuse a per-thread `PatternScratch` across traces (zero allocations
+  /// in steady state). When false each trace runs the retained
+  /// pre-vectorization matcher (`TraceMatchesPatternHashed`) — the
+  /// honest "before" side of the ablation bench and an independent
+  /// implementation for the differential tests.
+  bool use_scratch = true;
   /// Memoize frequencies per structurally-distinct pattern. The A* search
   /// re-evaluates the same mapped pattern across many branches; caching
-  /// makes those lookups O(1).
+  /// makes those lookups O(1). Keys are 64-bit structural hashes
+  /// (freq/pattern_key.h), so entries are fixed-size.
   bool use_cache = true;
+  /// Retain the canonical string form beside each cached support and
+  /// cross-check it on every hit, turning a hash collision into a loud
+  /// check failure instead of a silently wrong frequency. Costs a string
+  /// build per evaluation — debug/differential-test use only.
+  bool debug_check_key_collisions = false;
   /// Upper bound on memo-table entries; 0 = unbounded. When an insert
   /// would exceed the cap the whole table is dropped (the access pattern
   /// is bursts of re-evaluations of a working set, so wholesale reset
@@ -44,18 +72,22 @@ struct FrequencyEvaluatorOptions {
 /// Computes normalized pattern frequencies `f(p)` over one event log
 /// (Definition 4 and Section 3.2.3).
 ///
-/// The evaluator owns a `TraceIndex` of the log and an optional cache
-/// keyed by the pattern's canonical string form (structure + event ids,
-/// which uniquely identifies the language since pattern events are
-/// distinct).
+/// The evaluator owns two forms of the trace index — bitmap rows for
+/// dense events, posting lists for sparse ones — and picks per query:
+/// an empty posting list short-circuits to support 0, a very short one
+/// routes through galloping posting-list intersection, everything else
+/// through word-level bitmap ANDs. Candidate traces are then matched by
+/// the zero-allocation sliding-window matcher using per-thread scratch.
+/// Results are memoized under 64-bit structural hashes of the pattern.
 ///
 /// Thread-safe: portfolio workers (see exec/portfolio.h) share one
 /// evaluator, so the memo table is guarded by a mutex (held only for the
 /// lookup and the insert, never across a scan — concurrent scans proceed
 /// in parallel and the losing duplicate insert is dropped without
-/// perturbing the byte accounting), work counters are relaxed atomics,
-/// and `freq.cache_evictions` stays exact because eviction accounting
-/// happens under the same lock as the reset it describes.
+/// perturbing the byte accounting), scratch is thread-local, work
+/// counters are relaxed atomics, and `freq.cache_evictions` stays exact
+/// because eviction accounting happens under the same lock as the reset
+/// it describes.
 class FrequencyEvaluator {
  public:
   /// `log` must outlive the evaluator.
@@ -71,8 +103,48 @@ class FrequencyEvaluator {
   /// Absolute number of traces matching `pattern`.
   std::size_t Support(const Pattern& pattern);
 
+  /// Tuning for one `PrecomputeAll` pass.
+  struct PrecomputeOptions {
+    /// Worker threads; 0 = hardware concurrency (see exec::ParallelFor).
+    int threads = 0;
+    /// Below this many patterns the pass runs inline on the caller.
+    std::size_t min_parallel_patterns = 4;
+    /// Optional cooperative cancellation, checked between patterns; a
+    /// cancelled pass stops claiming new patterns but lets in-flight
+    /// evaluations finish. Must outlive the call.
+    const exec::CancelToken* cancel = nullptr;
+    /// Soft deadline in milliseconds from the start of the pass; 0 =
+    /// none. Enforced between patterns only.
+    double deadline_ms = 0.0;
+  };
+
+  /// What one `PrecomputeAll` pass did.
+  struct PrecomputeStats {
+    std::size_t patterns_requested = 0;
+    std::size_t patterns_evaluated = 0;  ///< May be short on cancel/deadline.
+    int threads_used = 1;
+    double elapsed_ms = 0.0;
+  };
+
+  /// Evaluates (and memoizes) every pattern in `patterns`, sharded
+  /// across worker threads — the batch form of `Support` used by
+  /// `MatchingContext` to warm the memo table at build time so the
+  /// search loops hit a populated cache. Safe to call concurrently with
+  /// `Support`; duplicate patterns cost one scan (losers hit the memo).
+  /// A no-op (beyond the returned stats) when caching is disabled, since
+  /// nothing would be retained.
+  PrecomputeStats PrecomputeAll(std::span<const Pattern> patterns,
+                                const PrecomputeOptions& options);
+  PrecomputeStats PrecomputeAll(std::span<const Pattern> patterns) {
+    return PrecomputeAll(patterns, PrecomputeOptions());
+  }
+
   const EventLog& log() const { return *log_; }
   const TraceIndex& trace_index() const { return trace_index_; }
+  /// The bitmap index, or null when `use_bitmap_index` is off.
+  const BitmapTraceIndex* bitmap_index() const {
+    return bitmap_.has_value() ? &*bitmap_ : nullptr;
+  }
 
   /// Cooperative cancellation: long scans poll `cancel` every few dozen
   /// traces and return early (partial support, not cached) once it is
@@ -115,27 +187,42 @@ class FrequencyEvaluator {
     std::atomic<std::uint64_t> traces_scanned{0};   ///< Traces matched.
     std::atomic<std::uint64_t> windows_tested{0};   ///< Membership tests.
     std::atomic<std::uint64_t> scan_aborts{0};      ///< Cancelled scans.
+    /// Scans answered 0 because some pattern event occurs in no trace.
+    std::atomic<std::uint64_t> empty_shortcuts{0};
+    std::atomic<std::uint64_t> bitmap_scans{0};    ///< Bitmap-AND candidates.
+    std::atomic<std::uint64_t> postings_scans{0};  ///< Posting-list merges.
+    std::atomic<std::uint64_t> full_scans{0};      ///< Unindexed scans.
   };
   const Stats& stats() const { return stats_; }
 
  private:
-  /// Approximate resident size of one memo entry: key bytes plus node,
-  /// bucket, and value overhead of the unordered_map.
-  static constexpr std::size_t kCacheEntryOverhead = 64;
+  /// Approximate resident size of one memo entry: 8-byte key and value
+  /// plus node and bucket overhead of the unordered_map. Fixed — hashed
+  /// keys make every entry the same size, so the cache's byte accounting
+  /// is exact instead of tracking per-key string lengths.
+  static constexpr std::size_t kCacheEntryBytes = 64;
 
-  /// Evicts (wholesale) if inserting `key` would exceed either cap,
-  /// then inserts. Takes `cache_mu_`; a racing duplicate insert (two
-  /// workers scanning the same pattern) leaves the first value in place
-  /// and does not double-count its bytes.
-  void CacheInsert(std::string key, std::size_t support);
+  struct CacheEntry {
+    std::size_t support = 0;
+    /// Canonical form, retained only under `debug_check_key_collisions`.
+    std::string debug_form;
+  };
+
+  /// Evicts (wholesale) if inserting would exceed either cap, then
+  /// inserts. Takes `cache_mu_`; a racing duplicate insert (two workers
+  /// scanning the same pattern) leaves the first value in place and does
+  /// not double-count its bytes.
+  void CacheInsert(std::uint64_t key, std::size_t support,
+                   const Pattern& pattern);
 
   const EventLog* log_;
   FrequencyEvaluatorOptions options_;
   TraceIndex trace_index_;
+  std::optional<BitmapTraceIndex> bitmap_;
   /// Guards `cache_`, `cache_bytes_`, and the cap fields of `options_`.
   /// Never held across a trace scan.
   mutable std::mutex cache_mu_;
-  std::unordered_map<std::string, std::size_t> cache_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::size_t cache_bytes_ = 0;
   std::atomic<const exec::CancelToken*> cancel_{nullptr};
   std::atomic<obs::Counter*> evictions_metric_{nullptr};

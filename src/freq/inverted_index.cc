@@ -23,40 +23,92 @@ const std::vector<std::uint32_t>& TraceIndex::Postings(EventId v) const {
   return postings_[v];
 }
 
+namespace {
+
+/// First index in `[lo, list.size())` whose value is >= `target`:
+/// exponential probe from `lo`, then binary search over the bracketed
+/// range. `probes` counts list elements examined (for the index stats).
+std::size_t GallopTo(const std::vector<std::uint32_t>& list, std::size_t lo,
+                     std::uint32_t target, std::uint64_t& probes) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < list.size() && list[hi] < target) {
+    ++probes;
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, list.size());
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++probes;
+    if (list[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
 std::vector<std::uint32_t> TraceIndex::CandidateTraces(
     std::span<const EventId> events) const {
+  std::vector<std::uint32_t> result;
+  CandidateTracesInto(events, result);
+  return result;
+}
+
+void TraceIndex::CandidateTracesInto(std::span<const EventId> events,
+                                     std::vector<std::uint32_t>& out) const {
   ++stats_.candidate_queries;
+  out.clear();
   if (events.empty()) {
-    std::vector<std::uint32_t> all(num_traces_);
+    out.resize(num_traces_);
     for (std::uint32_t t = 0; t < num_traces_; ++t) {
-      all[t] = t;
+      out[t] = t;
     }
-    stats_.candidates_yielded += all.size();
-    return all;
+    stats_.candidates_yielded += out.size();
+    return;
   }
-  // Intersect starting from the shortest posting list.
-  std::size_t shortest = 0;
+  // The shortest posting list seeds the candidate set; every other list
+  // filters it with galloping advance. Each pass can only shrink the
+  // candidates, so the intersection cost is bounded by the shortest
+  // list's length times a logarithmic probe per longer list.
+  std::size_t shortest_idx = 0;
   for (std::size_t i = 1; i < events.size(); ++i) {
-    if (Postings(events[i]).size() < Postings(events[shortest]).size()) {
-      shortest = i;
+    if (Postings(events[i]).size() < Postings(events[shortest_idx]).size()) {
+      shortest_idx = i;
     }
   }
-  std::vector<std::uint32_t> result = Postings(events[shortest]);
-  stats_.postings_scanned += result.size();
-  for (std::size_t i = 0; i < events.size() && !result.empty(); ++i) {
-    if (i == shortest) {
+  const std::vector<std::uint32_t>& shortest = Postings(events[shortest_idx]);
+  out = shortest;
+  std::uint64_t probes = shortest.size();
+  for (std::size_t i = 0; i < events.size() && !out.empty(); ++i) {
+    if (i == shortest_idx) {
       continue;
     }
     const std::vector<std::uint32_t>& other = Postings(events[i]);
-    stats_.postings_scanned += other.size();
-    std::vector<std::uint32_t> next;
-    next.reserve(std::min(result.size(), other.size()));
-    std::set_intersection(result.begin(), result.end(), other.begin(),
-                          other.end(), std::back_inserter(next));
-    result = std::move(next);
+    // In-place filter: keep the candidates present in `other`, advancing
+    // a galloping cursor (both sequences are sorted, so the cursor only
+    // moves forward).
+    std::size_t kept = 0;
+    std::size_t pos = 0;
+    for (std::uint32_t candidate : out) {
+      pos = GallopTo(other, pos, candidate, probes);
+      if (pos == other.size()) {
+        break;
+      }
+      if (other[pos] == candidate) {
+        out[kept++] = candidate;
+        ++pos;
+      }
+    }
+    out.resize(kept);
   }
-  stats_.candidates_yielded += result.size();
-  return result;
+  stats_.postings_scanned += probes;
+  stats_.candidates_yielded += out.size();
 }
 
 PatternIndex::PatternIndex(

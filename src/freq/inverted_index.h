@@ -25,8 +25,20 @@ class TraceIndex {
 
   /// Trace ids containing *all* of `events` (sorted). An empty event set
   /// yields all trace ids.
+  ///
+  /// Intersection starts from the *shortest* posting list and advances
+  /// through the longer lists (in ascending length order) with galloping
+  /// (exponential probe + binary search), so a pattern with one rare
+  /// event costs O(min_len * k * log(max_len / min_len)) instead of the
+  /// sum of all list lengths a pairwise linear merge pays.
   std::vector<std::uint32_t> CandidateTraces(
       std::span<const EventId> events) const;
+
+  /// Allocation-free variant: writes the intersection into `out`
+  /// (cleared first; storage reused across calls). The frequency
+  /// evaluator's hot path uses this with a per-thread scratch buffer.
+  void CandidateTracesInto(std::span<const EventId> events,
+                           std::vector<std::uint32_t>& out) const;
 
   std::size_t num_traces() const { return num_traces_; }
 
@@ -37,7 +49,10 @@ class TraceIndex {
   /// load); promoted into telemetry snapshots under `freq{1,2}.index.`.
   struct Stats {
     std::atomic<std::uint64_t> candidate_queries{0};  ///< CandidateTraces().
-    std::atomic<std::uint64_t> postings_scanned{0};   ///< Entries touched.
+    /// Posting entries probed. With galloping advance this counts binary
+    /// search probes, not whole lists — the metric's drop versus a linear
+    /// merge is exactly the satellite win it exists to show.
+    std::atomic<std::uint64_t> postings_scanned{0};
     std::atomic<std::uint64_t> candidates_yielded{0};  ///< Ids returned.
   };
   const Stats& stats() const { return stats_; }

@@ -1,0 +1,74 @@
+#ifndef HEMATCH_FREQ_PATTERN_KEY_H_
+#define HEMATCH_FREQ_PATTERN_KEY_H_
+
+#include <cstdint>
+
+#include "pattern/pattern.h"
+
+namespace hematch {
+
+/// 64-bit structural hash of a pattern, used as the frequency memo key.
+///
+/// The previous memo key was the canonical string form
+/// (`Pattern::ToString()`), which costs a heap-allocated string build per
+/// evaluation plus string compares on every probe. The structural hash is
+/// one allocation-free preorder walk; memo entries become fixed-size, so
+/// the cache's byte accounting is exact and lookups never touch variable
+/// data.
+///
+/// Collision safety: the hash mixes a distinct token per node — event ids
+/// are tagged, composite nodes contribute kind-specific open markers and a
+/// close marker — through a splitmix64 finalizer, so two structurally
+/// different patterns collide with probability ~2^-64 per pair. Working
+/// sets are at most a few hundred thousand distinct patterns, putting the
+/// collision probability for a whole run below 10^-8. For belt-and-braces
+/// verification, `FrequencyEvaluatorOptions::debug_check_key_collisions`
+/// retains the canonical string per cached key and cross-checks it on
+/// every hit (used by the differential tests, not in production).
+struct PatternKey {
+  std::uint64_t value = 0;
+
+  friend bool operator==(PatternKey a, PatternKey b) {
+    return a.value == b.value;
+  }
+};
+
+namespace internal {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit token into
+/// the running hash.
+inline std::uint64_t MixBits(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t HashPatternNode(const Pattern& p, std::uint64_t h) {
+  // Token tags: event ids occupy the upper bits shifted past the tag, so
+  // an event node can never produce the same token as a marker.
+  switch (p.kind()) {
+    case Pattern::Kind::kEvent:
+      return MixBits(h ^ ((static_cast<std::uint64_t>(p.event()) << 3) | 1u));
+    case Pattern::Kind::kSeq:
+    case Pattern::Kind::kAnd: {
+      h = MixBits(h ^ (p.kind() == Pattern::Kind::kSeq ? 2u : 3u));
+      for (const Pattern& child : p.children()) {
+        h = HashPatternNode(child, h);
+      }
+      return MixBits(h ^ 4u);
+    }
+  }
+  return h;
+}
+
+}  // namespace internal
+
+/// Hashes `pattern` structurally: same shape and events => same key.
+inline PatternKey MakePatternKey(const Pattern& pattern) {
+  return PatternKey{internal::HashPatternNode(pattern, 0x243F6A8885A308D3ull)};
+}
+
+}  // namespace hematch
+
+#endif  // HEMATCH_FREQ_PATTERN_KEY_H_

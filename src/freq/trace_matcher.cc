@@ -1,14 +1,111 @@
 #include "freq/trace_matcher.h"
 
+#include <algorithm>
 #include <unordered_map>
-#include <vector>
 
 #include "pattern/pattern_language.h"
 
 namespace hematch {
 
+void PatternScratch::Prepare(const Pattern& pattern) {
+  // Sparse clear: only the previous pattern's slots are set; resetting
+  // them (instead of the whole table) keeps Prepare O(k). The stored
+  // copy is used, not `pattern_` — the previous pattern may be gone.
+  for (EventId e : prepared_events_) {
+    slot_[e] = -1;
+  }
+  pattern_ = &pattern;
+  const std::vector<EventId>& events = pattern.events();
+  EventId max_event = 0;
+  for (EventId e : events) {
+    max_event = std::max(max_event, e);
+  }
+  if (slot_.size() <= max_event) {
+    slot_.resize(max_event + 1, -1);
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    slot_[events[i]] = static_cast<std::int32_t>(i);
+  }
+  prepared_events_.assign(events.begin(), events.end());
+  counts_.assign(events.size(), 0);
+}
+
+bool TraceMatchesPattern(const Trace& trace, PatternScratch& scratch,
+                         TraceMatchStats* stats) {
+  const Pattern& pattern = *scratch.pattern_;
+  const std::size_t k = pattern.size();
+  if (k == 0 || trace.size() < k) {
+    return false;
+  }
+
+  const std::int32_t* slot = scratch.slot_.data();
+  const std::size_t table_size = scratch.slot_.size();
+  std::uint32_t* counts = scratch.counts_.data();
+  std::fill(counts, counts + k, 0u);
+
+  // Sliding-window state: counts[i] = occurrences of pattern event i in
+  // the current window; `matched` = number of pattern events with count
+  // exactly 1; `foreign` = number of non-pattern events in the window.
+  // The window is a permutation of V(p) iff matched == k and foreign == 0.
+  std::size_t matched = 0;
+  std::size_t foreign = 0;
+
+  auto add = [&](EventId e) {
+    const std::int32_t s = e < table_size ? slot[e] : -1;
+    if (s < 0) {
+      ++foreign;
+      return;
+    }
+    std::uint32_t& c = counts[s];
+    if (c == 0) {
+      ++matched;
+    } else if (c == 1) {
+      --matched;
+    }
+    ++c;
+  };
+  auto remove = [&](EventId e) {
+    const std::int32_t s = e < table_size ? slot[e] : -1;
+    if (s < 0) {
+      --foreign;
+      return;
+    }
+    std::uint32_t& c = counts[s];
+    if (c == 1) {
+      --matched;
+    } else if (c == 2) {
+      ++matched;
+    }
+    --c;
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    add(trace[i]);
+    if (i >= k) {
+      remove(trace[i - k]);
+    }
+    if (i + 1 >= k && matched == k && foreign == 0) {
+      if (stats != nullptr) {
+        ++stats->windows_tested;
+      }
+      const std::span<const EventId> window(trace.data() + (i + 1 - k), k);
+      if (WindowMatchesPattern(pattern, window)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 bool TraceMatchesPattern(const Trace& trace, const Pattern& pattern,
                          TraceMatchStats* stats) {
+  PatternScratch scratch;
+  scratch.Prepare(pattern);
+  return TraceMatchesPattern(trace, scratch, stats);
+}
+
+bool TraceMatchesPatternHashed(const Trace& trace, const Pattern& pattern,
+                               TraceMatchStats* stats) {
   const std::size_t k = pattern.size();
   if (k == 0 || trace.size() < k) {
     return false;
@@ -21,10 +118,6 @@ bool TraceMatchesPattern(const Trace& trace, const Pattern& pattern,
     pattern_index.emplace(pattern.events()[i], i);
   }
 
-  // Sliding-window state: counts[i] = occurrences of pattern event i in
-  // the current window; `matched` = number of pattern events with count
-  // exactly 1; `foreign` = number of non-pattern events in the window.
-  // The window is a permutation of V(p) iff matched == k and foreign == 0.
   std::vector<std::size_t> counts(k, 0);
   std::size_t matched = 0;
   std::size_t foreign = 0;

@@ -2,6 +2,7 @@
 #define HEMATCH_FREQ_TRACE_MATCHER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "log/trace.h"
 #include "pattern/pattern.h"
@@ -16,16 +17,70 @@ struct TraceMatchStats {
   std::uint64_t windows_tested = 0;
 };
 
-/// True when `trace` matches `pattern` (Definition 4): some contiguous
-/// substring of the trace is one of the pattern's allowed orders.
+/// Reusable per-pattern state for `TraceMatchesPattern`: a dense
+/// event -> slot table plus per-slot window counts, built once per
+/// pattern by `Prepare` and reused across every candidate trace. The
+/// frequency evaluator's inner loop scans thousands of traces per
+/// pattern; with a scratch the per-trace cost is a `k`-element count
+/// reset and array-indexed window updates — no hashing, no heap
+/// allocation (the pre-scratch implementation rebuilt an
+/// `unordered_map` per trace).
+///
+/// Storage grows to the largest event id seen and is never shrunk, so a
+/// long-lived scratch (the evaluator keeps one per thread) reaches a
+/// steady state with zero allocations. Not thread-safe: use one scratch
+/// per thread.
+class PatternScratch {
+ public:
+  /// Binds the scratch to `pattern`, which must stay alive (and
+  /// unchanged) until the next `Prepare`. Clears only the slots the
+  /// previous pattern touched.
+  void Prepare(const Pattern& pattern);
+
+  /// The currently prepared pattern (null before the first Prepare).
+  const Pattern* pattern() const { return pattern_; }
+
+ private:
+  friend bool TraceMatchesPattern(const Trace& trace, PatternScratch& scratch,
+                                  TraceMatchStats* stats);
+
+  /// event id -> pattern slot in [0, k), or -1 for foreign events. Sized
+  /// to the largest pattern event seen; trace events beyond the table
+  /// are foreign by definition.
+  std::vector<std::int32_t> slot_;
+  std::vector<std::uint32_t> counts_;  ///< Per-slot window occurrences.
+  /// Copy of the prepared pattern's events, kept so the next `Prepare`
+  /// can sparse-clear their slots without touching `pattern_` (which may
+  /// be dangling by then — callers routinely evaluate temporaries).
+  std::vector<EventId> prepared_events_;
+  const Pattern* pattern_ = nullptr;
+};
+
+/// True when `trace` matches the pattern prepared in `scratch`
+/// (Definition 4): some contiguous substring of the trace is one of the
+/// pattern's allowed orders.
 ///
 /// Implementation: slide a window of length `|p|` over the trace while
 /// maintaining multiset counts of pattern events; only windows that are a
 /// permutation of `V(p)` (a necessary condition, O(1) amortized to check)
 /// are tested for language membership. This makes the common case — a
 /// window that cannot possibly match — cost O(1) per position.
+bool TraceMatchesPattern(const Trace& trace, PatternScratch& scratch,
+                         TraceMatchStats* stats = nullptr);
+
+/// Convenience form building a throwaway scratch per call. Allocates;
+/// kept as the simple API for one-off callers and tests — hot loops
+/// prepare a `PatternScratch` once instead.
 bool TraceMatchesPattern(const Trace& trace, const Pattern& pattern,
                          TraceMatchStats* stats = nullptr);
+
+/// The pre-vectorization implementation, retained verbatim: builds an
+/// `unordered_map` event index per call and hashes every trace event
+/// through it. Serves as the independent differential oracle for the
+/// scratch-based matcher and as the honest "before" side of the
+/// frequency bench (`FrequencyEvaluatorOptions::use_scratch = false`).
+bool TraceMatchesPatternHashed(const Trace& trace, const Pattern& pattern,
+                               TraceMatchStats* stats = nullptr);
 
 }  // namespace hematch
 

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace hematch {
 namespace {
 
@@ -44,6 +49,69 @@ TEST(TraceIndexTest, SingleEvent) {
   const TraceIndex index(MakeLog());
   const std::vector<EventId> c = {2};
   EXPECT_EQ(index.CandidateTraces(c), index.Postings(2));
+}
+
+TEST(TraceIndexTest, CandidateTracesIntoReusesTheBuffer) {
+  const TraceIndex index(MakeLog());
+  std::vector<std::uint32_t> out = {7, 7, 7};  // Stale content is cleared.
+  const std::vector<EventId> ab = {0, 1};
+  index.CandidateTracesInto(ab, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  const std::vector<EventId> a = {0};
+  index.CandidateTracesInto(a, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2, 3}));
+}
+
+// Property: the galloping intersection (seeded from the shortest posting
+// list) equals std::set_intersection over all lists, on random logs with
+// deliberately skewed event frequencies so the lists differ in length by
+// orders of magnitude.
+class GallopingIntersectionTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GallopingIntersectionTest, AgreesWithSetIntersection) {
+  Rng rng(GetParam());
+  EventLog log;
+  for (const char* n : {"a", "b", "c", "d"}) log.InternEvent(n);
+  for (int t = 0; t < 300; ++t) {
+    Trace trace;
+    // Event e appears with probability ~2^-e: "a" in nearly every trace,
+    // "d" in roughly one in eight.
+    for (EventId e = 0; e < 4; ++e) {
+      if (rng.NextBounded(1u << e) == 0) {
+        trace.push_back(e);
+      }
+    }
+    if (trace.empty()) {
+      trace.push_back(0);
+    }
+    log.AddTrace(std::move(trace));
+  }
+  const TraceIndex index(log);
+  const std::vector<std::vector<EventId>> queries = {
+      {0, 3}, {3, 0}, {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3}, {2, 3, 0}};
+  for (const std::vector<EventId>& q : queries) {
+    std::vector<std::uint32_t> expected = index.Postings(q[0]);
+    for (std::size_t i = 1; i < q.size(); ++i) {
+      std::vector<std::uint32_t> next;
+      const std::vector<std::uint32_t>& other = index.Postings(q[i]);
+      std::set_intersection(expected.begin(), expected.end(), other.begin(),
+                            other.end(), std::back_inserter(next));
+      expected = std::move(next);
+    }
+    EXPECT_EQ(index.CandidateTraces(q), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GallopingIntersectionTest,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+TEST(TraceIndexTest, EmptyPostingListShortCircuitsIntersection) {
+  EventLog log = MakeLog();
+  log.InternEvent("GHOST");  // In the vocabulary, in no trace.
+  const TraceIndex index(log);
+  const std::vector<EventId> q = {0, 3};
+  EXPECT_TRUE(index.CandidateTraces(q).empty());
 }
 
 TEST(PatternIndexTest, MapsEventsToPatterns) {

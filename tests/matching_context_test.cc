@@ -80,6 +80,50 @@ TEST_F(MatchingContextTest, PatternIndexCoversAllPatterns) {
   EXPECT_EQ(ctx.pattern_index().PatternCount(2), 1u);
 }
 
+TEST_F(MatchingContextTest, ParallelPrecomputeMatchesSequentialF1) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::Event(0));
+  patterns.push_back(Pattern::Edge(0, 1));
+  patterns.push_back(Pattern::AndOfEvents({1, 2}));
+  patterns.push_back(Pattern::SeqOfEvents({0, 1, 2}));
+  patterns.push_back(Pattern::SeqOfEvents({0, 2, 1}));
+
+  ContextPrecomputeOptions sequential;
+  sequential.enabled = false;
+  MatchingContext baseline(log1_, log2_, patterns, {}, sequential);
+
+  ContextPrecomputeOptions parallel;
+  parallel.threads = 4;
+  parallel.min_parallel_patterns = 1;  // Force the threaded path.
+  MatchingContext precomputed(log1_, log2_, patterns, {}, parallel);
+
+  for (std::size_t pid = 0; pid < patterns.size(); ++pid) {
+    EXPECT_DOUBLE_EQ(precomputed.PatternFrequency1(pid),
+                     baseline.PatternFrequency1(pid))
+        << patterns[pid].ToString();
+  }
+  const obs::TelemetrySnapshot snapshot = precomputed.SnapshotTelemetry();
+  // Three complex patterns were sharded; vertex and edge resolve through
+  // graph labels and never reach the precompute pass.
+  EXPECT_EQ(snapshot.counter("freq.precompute.patterns"), 3u);
+  EXPECT_GT(snapshot.counter("freq.precompute.threads"), 0u);
+}
+
+TEST_F(MatchingContextTest, TelemetryExportsFrequencyPathCounters) {
+  std::vector<Pattern> patterns;
+  patterns.push_back(Pattern::AndOfEvents({0, 1, 2}));
+  MatchingContext ctx(log1_, log2_, std::move(patterns));
+  const obs::TelemetrySnapshot snapshot = ctx.SnapshotTelemetry();
+  // The f1 pass scanned at least one complex pattern through some
+  // candidate path, and the bitmap index rows exist on both sides.
+  EXPECT_GT(snapshot.counter("freq1.path.bitmap") +
+                snapshot.counter("freq1.path.postings"),
+            0u);
+  EXPECT_TRUE(snapshot.counters.count("freq1.bitmap.queries") > 0);
+  EXPECT_TRUE(snapshot.counters.count("freq2.bitmap.queries") > 0);
+  EXPECT_TRUE(snapshot.counters.count("freq2.empty_shortcuts") > 0);
+}
+
 TEST_F(MatchingContextTest, SizesReflectVocabularies) {
   MatchingContext ctx(log1_, log2_, {});
   EXPECT_EQ(ctx.num_sources(), 3u);

@@ -99,12 +99,65 @@ TEST_P(TraceMatcherPropertyTest, AgreesWithNaiveReference) {
       }
       EXPECT_EQ(TraceMatchesPattern(trace, p), naive)
           << "pattern=" << p.ToString() << " trace size=" << trace.size();
+      EXPECT_EQ(TraceMatchesPatternHashed(trace, p), naive)
+          << "pattern=" << p.ToString() << " trace size=" << trace.size();
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceMatcherPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(PatternScratchTest, ReusedScratchAgreesWithThrowawayForm) {
+  const Pattern patterns[] = {
+      Parse("SEQ(a,b)"),        Parse("AND(a,b)"),
+      Parse("SEQ(a,AND(b,c))"), Parse("AND(SEQ(a,b),c)"),
+      Parse("SEQ(a,AND(b,c),d)")};
+  const Trace traces[] = {
+      {0, 1, 2, 3, 4}, {4, 0, 1}, {0, 2, 1, 3}, {1, 0, 2}, {}, {0, 0, 1}};
+  // One scratch, re-Prepared across patterns in both directions so stale
+  // slots from every predecessor must be cleared correctly.
+  PatternScratch scratch;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Pattern& p : patterns) {
+      scratch.Prepare(p);
+      EXPECT_EQ(scratch.pattern(), &p);
+      for (const Trace& t : traces) {
+        EXPECT_EQ(TraceMatchesPattern(t, scratch), TraceMatchesPattern(t, p))
+            << p.ToString();
+      }
+    }
+  }
+}
+
+TEST(PatternScratchTest, SurvivesPreparedPatternDestruction) {
+  // Regression: Prepare must not touch the previously prepared pattern,
+  // which may have been destroyed (the evaluator prepares temporaries).
+  PatternScratch scratch;
+  {
+    const Pattern temp = Parse("SEQ(a,AND(b,c),d)");
+    scratch.Prepare(temp);
+    EXPECT_TRUE(TraceMatchesPattern({0, 1, 2, 3}, scratch));
+  }  // `temp` dies here.
+  const Pattern next = Parse("SEQ(d,e)");
+  scratch.Prepare(next);  // Must not read the dead pattern.
+  EXPECT_TRUE(TraceMatchesPattern({3, 4}, scratch));
+  EXPECT_FALSE(TraceMatchesPattern({0, 1, 2}, scratch));
+}
+
+TEST(PatternScratchTest, GrowsAcrossPatternsWithLargerEventIds) {
+  const Pattern small = Pattern::SeqOfEvents({0, 1});
+  const Pattern large = Pattern::SeqOfEvents({30, 35});
+  PatternScratch scratch;
+  scratch.Prepare(small);
+  EXPECT_TRUE(TraceMatchesPattern({0, 1}, scratch));
+  scratch.Prepare(large);  // Table grows; old slots cleared.
+  EXPECT_TRUE(TraceMatchesPattern({30, 35}, scratch));
+  EXPECT_FALSE(TraceMatchesPattern({0, 1}, scratch));
+  scratch.Prepare(small);  // Shrinking pattern on the grown table.
+  EXPECT_TRUE(TraceMatchesPattern({0, 1}, scratch));
+  EXPECT_FALSE(TraceMatchesPattern({30, 35}, scratch));
+}
 
 }  // namespace
 }  // namespace hematch
