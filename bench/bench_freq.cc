@@ -18,12 +18,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "freq/frequency_evaluator.h"
 #include "gen/synthetic_process.h"
+#include "obs/metrics.h"
 #include "obs/metrics_json.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -37,23 +41,37 @@ struct ModeResult {
   std::uint64_t windows_tested = 0;
   std::uint64_t bitmap_scans = 0;
   std::uint64_t postings_scans = 0;
+  /// Per-Support-call latency distribution (microseconds).
+  obs::HistogramSnapshot latency_us;
 };
 
 ModeResult RunMode(const std::string& name, const EventLog& log,
                    const std::vector<Pattern>& patterns,
-                   const FrequencyEvaluatorOptions& options, int rounds) {
+                   const FrequencyEvaluatorOptions& options, int rounds,
+                   obs::TraceRecorder* recorder) {
   FrequencyEvaluator eval(log, options);  // Index build is not timed.
+  eval.set_trace_recorder(recorder);
+  obs::ScopedSpan mode_span(recorder, "bench.mode." + name, "bench");
+  obs::Histogram latency({1, 2, 5, 10, 20, 50, 100, 200, 500, 1'000, 2'000,
+                          5'000, 10'000});
   ModeResult result;
   result.name = name;
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < rounds; ++r) {
     for (const Pattern& p : patterns) {
+      const auto call_start = std::chrono::steady_clock::now();
       result.support_sum += eval.Support(p);
+      latency.Observe(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - call_start)
+                          .count());
     }
   }
   result.elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+  result.latency_us.bounds = latency.bounds();
+  result.latency_us.counts = latency.counts();
+  result.latency_us.sum = latency.sum();
   result.traces_scanned = eval.stats().traces_scanned;
   result.windows_tested = eval.stats().windows_tested;
   result.bitmap_scans = eval.stats().bitmap_scans;
@@ -71,7 +89,13 @@ std::string ModeJson(const ModeResult& r) {
       "      \"windows_tested\": " + std::to_string(r.windows_tested) + ",\n";
   json += "      \"bitmap_scans\": " + std::to_string(r.bitmap_scans) + ",\n";
   json += "      \"postings_scans\": " + std::to_string(r.postings_scans) +
-          "\n    }";
+          ",\n";
+  json += "      \"support_p50_us\": " +
+          obs::JsonNumber(r.latency_us.Percentile(0.50)) + ",\n";
+  json += "      \"support_p95_us\": " +
+          obs::JsonNumber(r.latency_us.Percentile(0.95)) + ",\n";
+  json += "      \"support_p99_us\": " +
+          obs::JsonNumber(r.latency_us.Percentile(0.99)) + "\n    }";
   return json;
 }
 
@@ -79,6 +103,15 @@ std::string ModeJson(const ModeResult& r) {
 
 int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  // HEMATCH_TRACE_OUT: record spans (mode brackets, freq.scan instants,
+  // precompute workers) and write a Chrome/Perfetto trace at exit.
+  const char* trace_out = std::getenv("HEMATCH_TRACE_OUT");
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (trace_out != nullptr && *trace_out != '\0') {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->SetThreadName("bench-main");
+  }
 
   SyntheticProcessOptions workload;
   workload.num_units = 5;
@@ -94,12 +127,14 @@ int main(int argc, char** argv) {
   legacy_opts.use_bitmap_index = false;
   legacy_opts.use_scratch = false;
   const ModeResult legacy =
-      RunMode("legacy", task.log1, patterns, legacy_opts, rounds);
+      RunMode("legacy", task.log1, patterns, legacy_opts, rounds,
+              recorder.get());
 
   FrequencyEvaluatorOptions vectorized_opts;
   vectorized_opts.use_cache = false;
   const ModeResult vectorized =
-      RunMode("vectorized", task.log1, patterns, vectorized_opts, rounds);
+      RunMode("vectorized", task.log1, patterns, vectorized_opts, rounds,
+              recorder.get());
 
   const bool supports_match = legacy.support_sum == vectorized.support_sum;
   const double speedup = vectorized.elapsed_ms > 0.0
@@ -109,6 +144,9 @@ int main(int argc, char** argv) {
     std::cout << "  " << r->name << ": " << r->elapsed_ms << " ms, support sum "
               << r->support_sum << ", " << r->traces_scanned
               << " traces scanned\n";
+    std::cout << "    per-call latency: p50 " << r->latency_us.Percentile(0.50)
+              << " us, p95 " << r->latency_us.Percentile(0.95) << " us, p99 "
+              << r->latency_us.Percentile(0.99) << " us\n";
   }
   std::cout << "  speedup: " << speedup << "x, supports "
             << (supports_match ? "match" : "MISMATCH") << "\n";
@@ -116,11 +154,13 @@ int main(int argc, char** argv) {
   // Batch precompute: same pattern set, fresh evaluator (cold memo) per
   // mode; the parallel pass uses every core.
   FrequencyEvaluator seq_eval(task.log1);
+  seq_eval.set_trace_recorder(recorder.get());
   FrequencyEvaluator::PrecomputeOptions seq_opts;
   seq_opts.threads = 1;
   const FrequencyEvaluator::PrecomputeStats seq =
       seq_eval.PrecomputeAll(patterns, seq_opts);
   FrequencyEvaluator par_eval(task.log1);
+  par_eval.set_trace_recorder(recorder.get());
   FrequencyEvaluator::PrecomputeOptions par_opts;
   par_opts.min_parallel_patterns = 1;
   const FrequencyEvaluator::PrecomputeStats par =
@@ -160,6 +200,16 @@ int main(int argc, char** argv) {
     }
     out << json;
     std::cout << "wrote " << path << "\n";
+  }
+
+  if (recorder != nullptr) {
+    const Status written = recorder->WriteChromeJson(trace_out);
+    if (!written.ok()) {
+      std::cerr << "bench_freq: cannot write trace to " << trace_out << ": "
+                << written << "\n";
+      return 2;
+    }
+    std::cout << "wrote span trace to " << trace_out << "\n";
   }
 
   if (!supports_match) {

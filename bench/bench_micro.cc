@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "assignment/hungarian.h"
 #include "common/rng.h"
 #include "core/astar_matcher.h"
@@ -202,8 +204,10 @@ void BM_TightBound(benchmark::State& state) {
 }
 BENCHMARK(BM_TightBound);
 
-// Full A* match with telemetry on vs. off: the pair bounds the metric
-// subsystem's overhead on the search hot path (budget: <2 %).
+// Full A* match with observability off (0), metrics on (1), and
+// metrics + span recorder (2): the triple bounds the metric subsystem's
+// overhead on the search hot path (budget: <2 %) and checks that with
+// no recorder installed, tracing costs nothing beyond a null compare.
 void BM_AStarMatch(benchmark::State& state) {
   const MatchingTask& task = BusTask();
   const DependencyGraph g1 = DependencyGraph::Build(task.log1);
@@ -211,6 +215,11 @@ void BM_AStarMatch(benchmark::State& state) {
       BuildPatternSet(g1, task.complex_patterns);
   ContextTelemetryOptions telemetry;
   telemetry.enabled = state.range(0) != 0;
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (state.range(0) == 2) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    telemetry.trace_recorder = recorder.get();
+  }
   const AStarMatcher matcher;
   for (auto _ : state) {
     state.PauseTiming();
@@ -222,7 +231,8 @@ void BM_AStarMatch(benchmark::State& state) {
 BENCHMARK(BM_AStarMatch)
     ->Arg(0)
     ->Arg(1)
-    ->ArgName("telemetry")
+    ->Arg(2)
+    ->ArgName("obs")
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Hungarian(benchmark::State& state) {

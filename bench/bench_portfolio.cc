@@ -35,7 +35,11 @@ class PortfolioMatcher : public Matcher {
   Result<MatchResult> Match(MatchingContext& context) const override {
     exec::PortfolioOptions options;
     options.budget.deadline_ms = deadline_ms_;
-    options.telemetry = false;
+    // Telemetry stays on so the attribution histograms (branching
+    // factor, bound-gap trajectory) can be summarized as percentiles
+    // after the sweep; spans flow to HEMATCH_TRACE_OUT when set.
+    options.telemetry = true;
+    options.trace_recorder = bench::BenchTraceRecorder();
     exec::PortfolioRunner runner(
         exec::DefaultPortfolioStrategies(ScorerOptions{}, BoundKind::kTight,
                                          50'000'000),
@@ -43,11 +47,17 @@ class PortfolioMatcher : public Matcher {
     HEMATCH_ASSIGN_OR_RETURN(
         exec::PortfolioOutcome outcome,
         runner.Run(context.log1(), context.log2(), context.patterns()));
+    telemetry_.Merge(outcome.telemetry);
     return std::move(outcome.result);
   }
 
+  /// Accumulated across the sweep (Match is const; the harness reads
+  /// this after all rows ran).
+  const obs::TelemetrySnapshot& telemetry() const { return telemetry_; }
+
  private:
   double deadline_ms_;
+  mutable obs::TelemetrySnapshot telemetry_;
 };
 
 }  // namespace
@@ -73,5 +83,9 @@ int main() {
                    ProjectTaskEvents(full, events));
   }
   tables.Print("portfolio", "# events");
+
+  std::cout << "\n== portfolio histogram percentiles (interpolated) ==\n";
+  bench::PrintHistogramPercentiles(portfolio.telemetry(), std::cout);
+  bench::WriteBenchTrace();
   return 0;
 }

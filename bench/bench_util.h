@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,59 @@
 #include "eval/table.h"
 #include "gen/matching_task.h"
 #include "obs/metrics_json.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace hematch::bench {
+
+/// Process-wide span recorder, created iff HEMATCH_TRACE_OUT names a
+/// file. Harnesses pass it to portfolio options / evaluators and call
+/// `WriteBenchTrace()` once before exiting; null means tracing is off
+/// and records cost nothing.
+inline const std::shared_ptr<obs::TraceRecorder>& BenchTraceRecorder() {
+  static const std::shared_ptr<obs::TraceRecorder> recorder = [] {
+    const char* path = std::getenv("HEMATCH_TRACE_OUT");
+    std::shared_ptr<obs::TraceRecorder> r;
+    if (path != nullptr && *path != '\0') {
+      r = std::make_shared<obs::TraceRecorder>();
+      r->SetThreadName("bench-main");
+    }
+    return r;
+  }();
+  return recorder;
+}
+
+/// Writes the recorder's events to $HEMATCH_TRACE_OUT (no-op when the
+/// env var is unset).
+inline void WriteBenchTrace() {
+  const std::shared_ptr<obs::TraceRecorder>& recorder = BenchTraceRecorder();
+  if (recorder == nullptr) {
+    return;
+  }
+  const std::string path = std::getenv("HEMATCH_TRACE_OUT");
+  const Status written = recorder->WriteChromeJson(path);
+  if (!written.ok()) {
+    std::cerr << "bench: cannot write trace to " << path << ": " << written
+              << "\n";
+    return;
+  }
+  std::cout << "wrote span trace to " << path << "\n";
+}
+
+/// Prints one interpolated-percentile line per non-empty histogram in
+/// the snapshot (see HistogramSnapshot::Percentile).
+inline void PrintHistogramPercentiles(const obs::TelemetrySnapshot& snapshot,
+                                      std::ostream& out) {
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::uint64_t count = hist.total_count();
+    if (count == 0) {
+      continue;
+    }
+    out << "  " << name << ": p50 " << TextTable::Num(hist.Percentile(0.50))
+        << ", p95 " << TextTable::Num(hist.Percentile(0.95)) << ", p99 "
+        << TextTable::Num(hist.Percentile(0.99)) << "  (n=" << count << ")\n";
+  }
+}
 
 /// Runs every matcher on `task` and appends one row per metric table.
 /// A method that fails (budget exhausted) renders as "-", matching the

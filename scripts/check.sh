@@ -100,6 +100,43 @@ assert run["objective"] > 0.0, "no best-of-strategies result returned"
 print("ok: exact strategy crashed in isolation, heuristic result returned")
 EOF
 
+# Span-trace smoke: a traced portfolio run must produce a Perfetto-
+# loadable Chrome trace whose strategy spans hang under one run root on
+# distinct threads, and hematch_trace must profile it (self/total time,
+# critical path, thread utilization — docs/OBSERVABILITY.md, "Tracing").
+echo "== span trace smoke"
+"$BUILD_DIR/tools/hematch_cli" --portfolio --deadline-ms=2000 \
+  --trace-out="$tmp/trace.json" data/dept_a.tr data/dept_b.csv \
+  > "$tmp/trace.out"
+
+python3 - "$tmp/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["otherData"]["schema"] == "hematch.trace.v1", doc.get("otherData")
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+roots = [e for e in spans if e["name"] == "portfolio.run"]
+assert len(roots) == 1, f"expected one portfolio.run root, got {len(roots)}"
+root_id = roots[0]["args"]["span_id"]
+strategies = [e for e in spans if e["name"].startswith("portfolio.strategy.")]
+assert len(strategies) >= 3, [e["name"] for e in strategies]
+for s in strategies:
+    assert s["args"]["parent_id"] == root_id, s["name"]
+tids = {s["tid"] for s in strategies}
+assert len(tids) >= 3, f"strategies shared threads: {tids}"
+print(f"ok: {len(strategies)} strategy spans under one run root "
+      f"on {len(tids)} threads ({len(events)} events)")
+EOF
+
+"$BUILD_DIR/tools/hematch_trace" "$tmp/trace.json" > "$tmp/trace_report.out"
+grep -q "hottest spans" "$tmp/trace_report.out"
+grep -q "critical path" "$tmp/trace_report.out"
+grep -q "thread utilization" "$tmp/trace_report.out"
+echo "ok: hematch_trace profiled the run"
+
 # Frequency-engine differential + speedup gate: legacy and vectorized
 # modes must agree on every support, and the vectorized engine must hold
 # a healthy lead (the committed Release baseline in bench/baselines/

@@ -7,6 +7,7 @@
 #include "core/heuristic_advanced_matcher.h"
 #include "core/heuristic_simple_matcher.h"
 #include "core/matching_context.h"
+#include "obs/trace.h"
 
 namespace hematch {
 
@@ -35,6 +36,10 @@ std::string FallbackMatcher::name() const { return ladder_.front()->name(); }
 Result<MatchResult> FallbackMatcher::Match(MatchingContext& context) const {
   exec::ExecutionGovernor& governor = context.governor();
   obs::MetricsRegistry& metrics = context.metrics();
+  obs::TraceRecorder* recorder = context.trace_recorder();
+  // Brackets the whole ladder; the rungs' own `match.<slug>` spans nest
+  // inside it, and each degradation step leaves an instant marker.
+  obs::ScopedSpan ladder_span(recorder, "pipeline.ladder", "api");
 
   exec::RunBudget remaining = options_.budget;
   exec::TerminationReason first_trip = exec::TerminationReason::kCompleted;
@@ -65,6 +70,8 @@ Result<MatchResult> FallbackMatcher::Match(MatchingContext& context) const {
       stage.termination = exec::TerminationReason::kFailed;
       stage.elapsed_ms = governor.ElapsedMs();
       stages.push_back(std::move(stage));
+      obs::TraceInstant(recorder, "pipeline.stage_failed", "api",
+                        {{"rung", static_cast<double>(i)}});
       metrics.GetCounter("pipeline.termination.failed")->Increment();
       if (first_trip == exec::TerminationReason::kCompleted) {
         first_trip = exec::TerminationReason::kFailed;
@@ -109,9 +116,16 @@ Result<MatchResult> FallbackMatcher::Match(MatchingContext& context) const {
     remaining = governor.Remaining();
     if (i + 1 < ladder_.size()) {
       metrics.GetCounter("pipeline.fallbacks")->Increment();
+      obs::TraceInstant(recorder, "pipeline.fallback", "api",
+                        {{"to_rung", static_cast<double>(i + 1)},
+                         {"remaining_ms", remaining.deadline_ms}});
     }
   }
   governor.Disarm();
+  ladder_span.AddArg("stages", static_cast<double>(stages.size()));
+  ladder_span.AddArg("degraded",
+                     first_trip != exec::TerminationReason::kCompleted ? 1.0
+                                                                       : 0.0);
 
   if (!have_best) {
     return last_error;

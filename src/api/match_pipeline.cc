@@ -13,6 +13,7 @@
 #include "core/matching_context.h"
 #include "core/pattern_set.h"
 #include "exec/portfolio.h"
+#include "exec/watchdog.h"
 #include "gen/pattern_miner.h"
 #include "graph/dependency_graph.h"
 #include "pattern/pattern_parser.h"
@@ -80,20 +81,26 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
   const EventLog& source = swapped ? log2 : log1;
   const EventLog& target = swapped ? log1 : log2;
 
+  obs::TraceRecorder* recorder = options.trace_recorder.get();
   std::vector<Pattern> complex;
-  for (const std::string& text : options.patterns) {
-    HEMATCH_ASSIGN_OR_RETURN(Pattern p,
-                             ParsePattern(text, source.dictionary()));
-    outcome.used_patterns.push_back(p.ToString(&source.dictionary()));
-    complex.push_back(std::move(p));
-  }
-  if (options.mine_patterns) {
-    PatternMinerOptions miner;
-    miner.min_support = options.mine_min_support;
-    for (Pattern& p : MineDiscriminativePatterns(source, miner)) {
+  {
+    obs::ScopedSpan pattern_span(recorder, "pipeline.patterns", "api");
+    for (const std::string& text : options.patterns) {
+      HEMATCH_ASSIGN_OR_RETURN(Pattern p,
+                               ParsePattern(text, source.dictionary()));
       outcome.used_patterns.push_back(p.ToString(&source.dictionary()));
       complex.push_back(std::move(p));
     }
+    if (options.mine_patterns) {
+      PatternMinerOptions miner;
+      miner.min_support = options.mine_min_support;
+      for (Pattern& p : MineDiscriminativePatterns(source, miner)) {
+        outcome.used_patterns.push_back(p.ToString(&source.dictionary()));
+        complex.push_back(std::move(p));
+      }
+    }
+    pattern_span.AddArg("patterns", static_cast<double>(complex.size()));
+    pattern_span.AddArg("mined", options.mine_patterns ? 1.0 : 0.0);
   }
 
   const DependencyGraph g1 = DependencyGraph::Build(source);
@@ -110,6 +117,9 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
     popts.threads = options.portfolio_threads;
     popts.external_cancel = options.cancel;
     popts.telemetry = options.telemetry;
+    popts.trace_recorder = options.trace_recorder;
+    popts.heartbeat_ms = options.heartbeat_ms;
+    popts.heartbeat = options.heartbeat;
     const BoundKind bound = options.method == MatchMethod::kPatternTight
                                 ? BoundKind::kTight
                                 : BoundKind::kSimple;
@@ -134,16 +144,30 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
   ContextTelemetryOptions telemetry;
   telemetry.enabled = options.telemetry;
   telemetry.tracer = options.tracer;
+  telemetry.trace_recorder = recorder;
   MatchingContext context(source, target, BuildPatternSet(g1, complex),
                           telemetry);
   std::unique_ptr<Matcher> matcher = MakeMatcher(options);
   if (matcher == nullptr) {
     return Status::InvalidArgument("unknown match method");
   }
+  // Heartbeat clock for the sequential path (the portfolio path rides
+  // its own watchdog): deadline-less, beats only. Joined (reset) before
+  // the final snapshot so the last beat cannot race it.
+  std::unique_ptr<exec::Watchdog> heartbeat_clock;
+  if (options.heartbeat_ms > 0.0 && options.heartbeat) {
+    exec::WatchdogOptions wd;
+    wd.heartbeat_ms = options.heartbeat_ms;
+    wd.heartbeat = [&context, &options](std::uint64_t seq) {
+      options.heartbeat(seq, context.SnapshotTelemetry());
+    };
+    heartbeat_clock = std::make_unique<exec::Watchdog>(std::move(wd));
+  }
   // Arm the run budget; fallback ladders re-arm with their remaining
   // slice per stage, everything else runs under this one.
   context.ArmBudget(options.budget, options.cancel);
   HEMATCH_ASSIGN_OR_RETURN(outcome.result, matcher->Match(context));
+  heartbeat_clock.reset();
   outcome.termination = outcome.result.termination;
   outcome.degraded = outcome.result.degraded();
   outcome.telemetry = context.SnapshotTelemetry();

@@ -2,6 +2,8 @@
 #define HEMATCH_API_MATCH_PIPELINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "log/event_log.h"
 #include "obs/search_tracer.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 
 namespace hematch {
@@ -71,6 +74,20 @@ struct MatchPipelineOptions {
   /// Optional live progress receiver (see obs/search_tracer.h); must
   /// outlive the call. Null = no tracing.
   obs::SearchTracer* tracer = nullptr;
+  /// Optional span recorder (obs/trace.h): pattern prep, context build,
+  /// matcher / ladder / portfolio spans all land here, exportable as a
+  /// Chrome/Perfetto trace afterwards. Shared ownership because the
+  /// portfolio path hands it to detached workers that may outlive the
+  /// call. Null = zero tracing overhead.
+  std::shared_ptr<obs::TraceRecorder> trace_recorder;
+  /// Heartbeat: when positive (and `heartbeat` is set), a watchdog-
+  /// thread clock snapshots the run's telemetry every `heartbeat_ms`
+  /// and hands it to `heartbeat` with a 0-based sequence number —
+  /// periodic evidence from runs that hang or blow their budget. The
+  /// callback runs on that clock's thread and must not block for long.
+  double heartbeat_ms = 0.0;
+  std::function<void(std::uint64_t seq, const obs::TelemetrySnapshot&)>
+      heartbeat;
 };
 
 /// Outcome of the facade: the mapping plus the information callers

@@ -13,6 +13,8 @@ namespace hematch {
 
 Result<MatchResult> EntropyMatcher::Match(MatchingContext& context) const {
   const obs::Stopwatch watch;
+  obs::ScopedSpan match_span(context.trace_recorder(),
+                             "match." + obs::MetricSlug(name()), "baselines");
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
   if (n1 > n2) {

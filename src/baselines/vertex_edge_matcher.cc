@@ -20,6 +20,7 @@ Result<MatchResult> VertexEdgeMatcher::Match(MatchingContext& context) const {
   telemetry.shared_registry = &context.metrics();
   telemetry.tracer = context.tracer();
   telemetry.shared_governor = &context.governor();
+  telemetry.trace_recorder = context.trace_recorder();
   MatchingContext restricted(
       context.log1(), context.log2(),
       BuildPatternSet(context.graph1(), /*complex_patterns=*/{}, set_options),

@@ -66,8 +66,24 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
   obs::Gauge* bound_gap_gauge = metrics.GetGauge(slug + ".bound_gap");
   obs::Histogram* depth_hist = metrics.GetHistogram(
       slug + ".expansion_depth", {1, 2, 4, 8, 16, 32, 64, 128});
+  // Search-space attribution (ROADMAP item 3 wants these to decide what
+  // parallel A* must shard): children pushed per expansion, the f-to-
+  // incumbent gap trajectory, and per-rule pruning hits. Bound and
+  // dominance pruning rules are registered but stay zero until the
+  // parallel-A* work lands the rules themselves — the attribution
+  // pipeline (export, percentiles, trace analysis) is live now.
+  obs::Histogram* branching_hist = metrics.GetHistogram(
+      slug + ".branching_factor", {1, 2, 4, 8, 16, 32, 64, 128});
+  obs::Histogram* bound_gap_hist = metrics.GetHistogram(
+      slug + ".bound_gap_trajectory",
+      {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8});
+  obs::Counter* prune_existence = metrics.GetCounter(slug + ".prune.existence");
+  metrics.GetCounter(slug + ".prune.bound");
+  metrics.GetCounter(slug + ".prune.dominance");
 
   obs::SearchTracer* tracer = context.tracer();
+  obs::TraceRecorder* recorder = context.trace_recorder();
+  obs::ScopedSpan match_span(recorder, "match." + slug, "core");
   const std::uint64_t interval =
       options_.progress_interval == 0 ? 8192 : options_.progress_interval;
   std::uint64_t next_report = interval;
@@ -133,7 +149,42 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     return p;
   };
 
+  // Epoch counter samples for the timeline (the span-trace analogue of
+  // the SearchTracer progress stream): frontier shape, incumbent gap,
+  // pruning, and memo behavior, sampled every `interval` node pops.
+  auto trace_epoch_counters = [&](const Node& node, std::size_t open_size) {
+    if (recorder == nullptr) return;
+    recorder->RecordCounter(slug + ".open_list",
+                            static_cast<double>(open_size));
+    recorder->RecordCounter(slug + ".best_f", node.f());
+    recorder->RecordCounter(slug + ".bound_gap", node.f() - best_g_seen);
+    recorder->RecordCounter(
+        slug + ".prune.existence",
+        static_cast<double>(context.existence_prune_hits() -
+                            prune_hits_at_start));
+    const FrequencyEvaluator::Stats& fs = context.evaluator2_stats();
+    recorder->RecordCounter("freq2.cache_hits",
+                            static_cast<double>(fs.cache_hits.load(
+                                std::memory_order_relaxed)));
+    recorder->RecordCounter("freq2.cache_misses",
+                            static_cast<double>(fs.cache_misses.load(
+                                std::memory_order_relaxed)));
+  };
+
+  // Run summary attached to the match span at every exit.
+  auto finalize_attribution = [&] {
+    prune_existence->Increment(context.existence_prune_hits() -
+                               prune_hits_at_start);
+    match_span.AddArg("nodes_visited",
+                      static_cast<double>(result.nodes_visited));
+    match_span.AddArg("mappings_processed",
+                      static_cast<double>(result.mappings_processed));
+    match_span.AddArg("objective", result.objective);
+    match_span.AddArg("bound_gap", result.upper_bound - result.lower_bound);
+  };
+
   auto trace_completion = [&](std::size_t open_size) {
+    finalize_attribution();
     if (tracer == nullptr) return;
     obs::SearchProgress done;
     done.method = method;
@@ -242,8 +293,13 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     ++result.nodes_visited;
     best_g_seen = std::max(best_g_seen, node.g);
     depth_hist->Observe(static_cast<double>(node.mapping.size()));
-    if (tracer != nullptr && result.nodes_visited >= next_report) {
-      tracer->OnProgress(sample(node, queue.size() + 1));
+    bound_gap_hist->Observe(node.f() - best_g_seen);
+    if ((tracer != nullptr || recorder != nullptr) &&
+        result.nodes_visited >= next_report) {
+      if (tracer != nullptr) {
+        tracer->OnProgress(sample(node, queue.size() + 1));
+      }
+      trace_epoch_counters(node, queue.size() + 1);
       ++epoch;
       next_report += interval;
     }
@@ -270,6 +326,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     bound_gap_gauge->Set(node.f() - best_g_seen);
 
     const EventId source = order[depth];
+    std::uint64_t children_pushed = 0;
     for (EventId target = 0; target < n2; ++target) {
       if (node.mapping.IsTargetUsed(target)) {
         continue;
@@ -293,7 +350,9 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
                                             remaining_after[depth + 1]);
       governor.ChargeMemory(node_bytes);
       queue.push(std::move(child));
+      ++children_pushed;
     }
+    branching_hist->Observe(static_cast<double>(children_pushed));
     open_list_peak->SetMax(static_cast<double>(queue.size()));
   }
   return Status::Internal("A* queue exhausted without a complete mapping");

@@ -51,6 +51,8 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
       context.metrics().GetCounter(slug + ".augmentations");
   obs::Counter* trees_built = context.metrics().GetCounter(slug + ".trees_built");
   obs::SearchTracer* tracer = context.tracer();
+  obs::ScopedSpan match_span(context.trace_recorder(), "match." + slug,
+                             "core");
 
   // Padded theta: dummy sources (i >= n1) score 0 against every target,
   // the "artificial events" that equalize |V1| and |V2|.

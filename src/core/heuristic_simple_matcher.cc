@@ -27,6 +27,8 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
   obs::Counter* steps =
       context.metrics().GetCounter(obs::MetricSlug(method) + ".steps");
   obs::SearchTracer* tracer = context.tracer();
+  obs::ScopedSpan match_span(context.trace_recorder(),
+                             "match." + obs::MetricSlug(method), "core");
 
   // Same expansion order as the exact matcher.
   std::vector<EventId> order(n1);

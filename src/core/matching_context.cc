@@ -35,6 +35,7 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
       metrics_(telemetry.shared_registry != nullptr ? telemetry.shared_registry
                                                     : owned_metrics_.get()),
       tracer_(telemetry.tracer),
+      trace_recorder_(telemetry.trace_recorder),
       owned_governor_(telemetry.shared_governor != nullptr
                           ? nullptr
                           : std::make_unique<exec::ExecutionGovernor>()),
@@ -46,6 +47,10 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
   obs::Counter* evictions = metrics_->GetCounter("freq.cache_evictions");
   eval1_->set_eviction_counter(evictions);
   eval2_->set_eviction_counter(evictions);
+  eval1_->set_trace_recorder(trace_recorder_);
+  eval2_->set_trace_recorder(trace_recorder_);
+  obs::ScopedSpan build_span(trace_recorder_, "context.build", "core");
+  build_span.AddArg("patterns", static_cast<double>(patterns_.size()));
   if (precompute.enabled) {
     // Warm the source-side memo in parallel: vertex and edge patterns
     // resolve through dependency-graph labels below and need no scan, so
@@ -97,6 +102,7 @@ MatchingContext::MatchingContext(const MatchingContext& base,
       owned_metrics_(nullptr),
       metrics_(base.metrics_),
       tracer_(nullptr),
+      trace_recorder_(base.trace_recorder_),
       owned_governor_(nullptr),
       governor_(governor),
       existence_checks_(base.existence_checks_),

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/search_tracer.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 
 namespace hematch {
@@ -35,6 +36,12 @@ struct ContextTelemetryOptions {
   /// so the caller's budget also binds the inner search). Must outlive
   /// the context.
   exec::ExecutionGovernor* shared_governor = nullptr;
+  /// Optional span recorder: matchers and the frequency evaluators emit
+  /// timeline events into it (see obs/trace.h). Null = tracing off, the
+  /// default — every probe then costs one pointer compare. Must outlive
+  /// the context (and, for portfolio runs, any abandoned stragglers;
+  /// exec/portfolio.h takes shared ownership for exactly this reason).
+  obs::TraceRecorder* trace_recorder = nullptr;
 };
 
 /// How a `MatchingContext` warms the source-side frequency memo at build
@@ -130,6 +137,16 @@ class MatchingContext {
   obs::SearchTracer* tracer() const { return tracer_; }
   void set_tracer(obs::SearchTracer* tracer) { tracer_ = tracer; }
 
+  /// Span recorder shared by every matcher run on this context (null =
+  /// span tracing off). The setter also re-points both frequency
+  /// evaluators, so scan events land in the same timeline.
+  obs::TraceRecorder* trace_recorder() const { return trace_recorder_; }
+  void set_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_recorder_ = recorder;
+    eval1_->set_trace_recorder(recorder);
+    eval2_->set_trace_recorder(recorder);
+  }
+
   /// The execution governor every matcher run on this context polls.
   /// Disarmed by default (never trips); see `ArmBudget`.
   exec::ExecutionGovernor& governor() { return *governor_; }
@@ -170,6 +187,7 @@ class MatchingContext {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
   obs::SearchTracer* tracer_;
+  obs::TraceRecorder* trace_recorder_;
   std::unique_ptr<exec::ExecutionGovernor> owned_governor_;
   exec::ExecutionGovernor* governor_;
   obs::Counter* existence_checks_;

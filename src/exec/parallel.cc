@@ -57,18 +57,23 @@ ParallelForResult ParallelFor(std::size_t n,
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> items_run{0};
   auto worker = [&] {
+    obs::ScopedSpan span(options.trace_recorder, options.trace_label, "exec",
+                         options.trace_parent);
+    std::size_t claimed = 0;
     while (true) {
       if ((options.cancel != nullptr && options.cancel->cancelled()) ||
           PastDeadline(start, options.deadline_ms)) {
-        return;
+        break;
       }
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) {
-        return;
+        break;
       }
       body(i);
+      ++claimed;
       items_run.fetch_add(1, std::memory_order_relaxed);
     }
+    span.AddArg("items", static_cast<double>(claimed));
   };
 
   std::vector<std::thread> threads;

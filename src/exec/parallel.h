@@ -20,6 +20,7 @@
 #include <functional>
 
 #include "exec/budget.h"
+#include "obs/trace.h"
 
 namespace hematch::exec {
 
@@ -41,6 +42,14 @@ struct ParallelForOptions {
   /// a RunBudget-style courtesy bound for setup passes, not a hard
   /// wall (the watchdog provides that).
   double deadline_ms = 0.0;
+  /// Optional span recorder: each worker thread wraps its claim loop in
+  /// a `trace_label` span attached under `trace_parent` (spawned worker
+  /// threads cannot auto-parent — the caller's open span lives on a
+  /// different thread's stack). Null = no tracing. Must outlive the
+  /// call (workers join before return).
+  obs::TraceRecorder* trace_recorder = nullptr;
+  obs::SpanId trace_parent = 0;
+  const char* trace_label = "parallel.worker";
 };
 
 /// Result of one pass.

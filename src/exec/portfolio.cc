@@ -68,6 +68,9 @@ struct PortfolioState {
   std::unique_ptr<MatchingContext> base;
   CancelToken cancel;
   Clock::time_point start;
+  /// Root span of the race; strategy spans parent here *explicitly*
+  /// because they open on worker threads whose span stacks are empty.
+  obs::SpanId run_span_id = 0;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -123,9 +126,14 @@ void RunStrategy(const std::shared_ptr<PortfolioState>& state,
                  std::size_t i) {
   StrategySlot& slot = *state->slots[i];
   obs::MetricsRegistry& metrics = state->base->metrics();
+  obs::TraceRecorder* recorder = state->options.trace_recorder.get();
+  obs::ScopedSpan strategy_span(
+      recorder, "portfolio.strategy." + obs::MetricSlug(state->strategies[i].name),
+      "exec", state->run_span_id);
   PortfolioStrategyOutcome outcome;
   outcome.name = state->strategies[i].name;
   if (state->cancel.cancelled()) {
+    strategy_span.AddArg("started", 0.0);
     // Decided before this strategy got a turn (quality gate, deadline,
     // or a sequential predecessor's win): record it as never started.
     outcome.termination = TerminationReason::kCancelled;
@@ -185,6 +193,11 @@ void RunStrategy(const std::shared_ptr<PortfolioState>& state,
         state->options.retry_backoff_ms * attempts));
   }
   outcome.attempts = attempts;
+  strategy_span.AddArg("started", 1.0);
+  strategy_span.AddArg("attempts", static_cast<double>(attempts));
+  if (outcome.produced_result) {
+    strategy_span.AddArg("objective", outcome.objective);
+  }
   FinishStrategy(state, i, std::move(outcome), std::move(result));
 }
 
@@ -217,10 +230,19 @@ Result<PortfolioOutcome> PortfolioRunner::Run(const EventLog& log1,
       log1, log2, std::move(options_), std::move(strategies_));
   const std::size_t n = state->strategies.size();
 
+  // Root of the run timeline.  Opened before the base context so the
+  // `context.build` span (and its ParallelFor workers) nest under it;
+  // closed when this frame unwinds, i.e. after the outcome is
+  // assembled, so it brackets the whole race wall-clock.
+  obs::TraceRecorder* recorder = state->options.trace_recorder.get();
+  obs::ScopedSpan run_span(recorder, "portfolio.run", "exec");
+  state->run_span_id = run_span.id();
+
   // One precompute (graphs, pattern index, f1) shared by every worker
   // through sibling contexts over the thread-safe substrate.
   ContextTelemetryOptions telemetry;
   telemetry.enabled = state->options.telemetry;
+  telemetry.trace_recorder = recorder;
   state->base = std::make_unique<MatchingContext>(
       state->log1, state->log2, std::move(patterns), telemetry);
 
@@ -248,9 +270,22 @@ Result<PortfolioOutcome> PortfolioRunner::Run(const EventLog& log1,
   const double deadline_ms = state->options.budget.deadline_ms;
   // The watchdog fires a beat *after* the deadline so self-policing
   // governors trip kDeadline on their own clock first; the token then
-  // only has to stop matchers that lost track of time.
-  Watchdog watchdog(deadline_ms > 0.0 ? deadline_ms * 1.05 + 5.0 : 0.0,
-                    &state->cancel);
+  // only has to stop matchers that lost track of time.  The same
+  // thread carries the optional telemetry heartbeat: the callback
+  // captures the shared state (not this frame), and the watchdog is
+  // disarmed + joined before `state` could be released here.
+  WatchdogOptions wd;
+  wd.deadline_ms = deadline_ms > 0.0 ? deadline_ms * 1.05 + 5.0 : 0.0;
+  wd.token = &state->cancel;
+  wd.trace_recorder = recorder;
+  wd.trace_parent = state->run_span_id;
+  if (state->options.heartbeat_ms > 0.0 && state->options.heartbeat) {
+    wd.heartbeat_ms = state->options.heartbeat_ms;
+    wd.heartbeat = [state](std::uint64_t seq) {
+      state->options.heartbeat(seq, state->base->SnapshotTelemetry());
+    };
+  }
+  Watchdog watchdog(std::move(wd));
 
   // Round-robin strategy assignment over the worker cap; workers are
   // detached and own the state via shared_ptr, so abandoning them at
@@ -262,6 +297,9 @@ Result<PortfolioOutcome> PortfolioRunner::Run(const EventLog& log1,
   }
   for (std::size_t w = 0; w < workers; ++w) {
     std::thread([state, w, workers, n] {
+      if (obs::TraceRecorder* rec = state->options.trace_recorder.get()) {
+        rec->SetThreadName("portfolio-worker-" + std::to_string(w));
+      }
       for (std::size_t i = w; i < n; i += workers) {
         RunStrategy(state, i);
       }

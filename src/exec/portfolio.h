@@ -37,6 +37,7 @@
 /// ThreadSanitizer CI job keeps it that way.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,7 @@
 #include "exec/budget.h"
 #include "log/event_log.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 
 namespace hematch::exec {
@@ -91,6 +93,22 @@ struct PortfolioOptions {
   /// Collect metrics (`portfolio.*`, per-strategy slugs, `freq*.`) in
   /// the run's own registry and return them in the outcome snapshot.
   bool telemetry = true;
+  /// Optional span recorder for the run timeline: the race root, one
+  /// span per strategy attempt (explicitly parented under the root so
+  /// worker threads hang off it in Perfetto), watchdog firings, and
+  /// the matchers' own spans. Shared ownership is deliberate: detached
+  /// stragglers may still be recording after `Run` returns, and their
+  /// copy of the state keeps the recorder alive. Null = tracing off.
+  std::shared_ptr<obs::TraceRecorder> trace_recorder;
+  /// Heartbeat period; when positive (and `heartbeat` is set) the
+  /// watchdog thread snapshots the run's telemetry every
+  /// `heartbeat_ms` and hands it to `heartbeat` with a 0-based
+  /// sequence number — evidence for runs that hang or blow their
+  /// budget. Rides the existing watchdog thread (see exec/watchdog.h);
+  /// no extra thread is started.
+  double heartbeat_ms = 0.0;
+  std::function<void(std::uint64_t seq, const obs::TelemetrySnapshot&)>
+      heartbeat;
 };
 
 /// What one strategy did, as observed at return time.

@@ -1,27 +1,86 @@
 #include "exec/watchdog.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace hematch::exec {
 
-Watchdog::Watchdog(double deadline_ms, CancelToken* token) {
-  if (deadline_ms <= 0.0 || token == nullptr) {
-    disarmed_ = true;  // Nothing to enforce; stay threadless.
-    return;
-  }
-  thread_ = std::thread([this, deadline_ms, token] {
-    Wait(deadline_ms, token);
-  });
+namespace {
+
+std::chrono::steady_clock::duration MsDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
 }
 
-void Watchdog::Wait(double deadline_ms, CancelToken* token) {
+WatchdogOptions DeadlineOnly(double deadline_ms, CancelToken* token) {
+  WatchdogOptions options;
+  options.deadline_ms = deadline_ms;
+  options.token = token;
+  return options;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(double deadline_ms, CancelToken* token)
+    : Watchdog(DeadlineOnly(deadline_ms, token)) {}
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(std::move(options)) {
+  const bool enforce = options_.deadline_ms > 0.0 && options_.token != nullptr;
+  const bool beat = options_.heartbeat_ms > 0.0 && options_.heartbeat;
+  if (!enforce && !beat) {
+    disarmed_ = true;  // Nothing to do; stay threadless.
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Watchdog::Loop() {
+  const auto start = std::chrono::steady_clock::now();
+  const bool enforce = options_.deadline_ms > 0.0 && options_.token != nullptr;
+  const bool beat = options_.heartbeat_ms > 0.0 && options_.heartbeat;
+  const auto deadline = start + MsDuration(options_.deadline_ms);
+  const auto beat_period = MsDuration(options_.heartbeat_ms);
+  auto next_beat = start + beat_period;
+  std::uint64_t seq = 0;
+
   std::unique_lock<std::mutex> lock(mu_);
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double, std::milli>(deadline_ms));
-  cv_.wait_until(lock, deadline, [this] { return disarmed_; });
-  if (!disarmed_) {
-    token->Cancel();
-    fired_.store(true, std::memory_order_release);
+  while (!disarmed_) {
+    auto wake = std::chrono::steady_clock::time_point::max();
+    const bool deadline_pending = enforce && !fired_.load(std::memory_order_relaxed);
+    if (deadline_pending) {
+      wake = deadline;
+    }
+    if (beat) {
+      wake = std::min(wake, next_beat);
+    }
+    if (!deadline_pending && !beat) {
+      return;  // Fired, no heartbeats: the one-shot job is done.
+    }
+    cv_.wait_until(lock, wake, [this] { return disarmed_; });
+    if (disarmed_) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (deadline_pending && now >= deadline) {
+      options_.token->Cancel();
+      fired_.store(true, std::memory_order_release);
+      if (options_.trace_recorder != nullptr) {
+        options_.trace_recorder->RecordInstant(
+            "watchdog.fired", "exec",
+            {{"deadline_ms", options_.deadline_ms}}, options_.trace_parent);
+      }
+    }
+    if (beat && now >= next_beat) {
+      // Deliver outside the lock so the callback can snapshot shared
+      // state (or log) without holding up Disarm.
+      lock.unlock();
+      options_.heartbeat(seq++);
+      heartbeats_.fetch_add(1, std::memory_order_release);
+      lock.lock();
+      while (next_beat <= now) {
+        next_beat += beat_period;  // Skip missed beats, don't burst.
+      }
+    }
   }
 }
 

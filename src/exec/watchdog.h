@@ -14,46 +14,81 @@
 /// still stops via the token, and code that never polls is abandoned
 /// by its coordinator (see exec/portfolio.h) once the watchdog has
 /// fired, so the process meets its deadline either way.
+///
+/// The same thread doubles as the heartbeat clock: long runs can ask
+/// for a periodic callback (telemetry snapshots to a JSONL stream, see
+/// tools/hematch_cli.cc) without paying for a second timer thread.
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 
 #include "exec/budget.h"
+#include "obs/trace.h"
 
 namespace hematch::exec {
 
-/// One-shot deadline enforcer.  Construction starts the timer thread;
-/// after `deadline_ms` it calls `token->Cancel()` unless `Disarm()` (or
-/// the destructor) ran first.  A non-positive deadline disables the
-/// watchdog entirely — no thread is started.
+/// Everything one watchdog enforces and reports.
+struct WatchdogOptions {
+  /// Wall-clock deadline; non-positive = no deadline enforcement.
+  double deadline_ms = 0.0;
+  /// Cancelled when the deadline passes. Required for enforcement (a
+  /// deadline with a null token is ignored); must outlive the watchdog.
+  CancelToken* token = nullptr;
+  /// Heartbeat period; non-positive = no heartbeats.
+  double heartbeat_ms = 0.0;
+  /// Called on the watchdog thread every `heartbeat_ms` with a 0-based
+  /// sequence number, until disarm — including after the deadline fired,
+  /// so hung runs keep leaving evidence. Must not block for long and
+  /// must not touch the watchdog itself (Disarm from inside deadlocks).
+  std::function<void(std::uint64_t seq)> heartbeat;
+  /// Optional span recorder: firing emits a `watchdog.fired` instant
+  /// under `trace_parent`. Must outlive the watchdog.
+  obs::TraceRecorder* trace_recorder = nullptr;
+  obs::SpanId trace_parent = 0;
+};
+
+/// One-shot deadline enforcer (and heartbeat clock). Construction
+/// starts the timer thread when there is anything to do; after
+/// `deadline_ms` it calls `token->Cancel()` unless `Disarm()` (or the
+/// destructor) ran first.
 ///
 /// The token must outlive the watchdog.  The destructor disarms and
 /// joins, so a stack-allocated watchdog cannot outlive its scope.
 class Watchdog {
  public:
   Watchdog(double deadline_ms, CancelToken* token);
+  explicit Watchdog(WatchdogOptions options);
 
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
 
   ~Watchdog();
 
-  /// Stops the timer without cancelling (idempotent).  Call when the
-  /// watched work finished before the deadline.
+  /// Stops the timer (and heartbeats) without cancelling (idempotent).
+  /// Call when the watched work finished before the deadline.
   void Disarm();
 
   /// True once the deadline passed and the token was cancelled.
   bool fired() const { return fired_.load(std::memory_order_acquire); }
 
- private:
-  void Wait(double deadline_ms, CancelToken* token);
+  /// Heartbeat callbacks delivered so far.
+  std::uint64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_acquire);
+  }
 
+ private:
+  void Loop();
+
+  WatchdogOptions options_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool disarmed_ = false;
   std::atomic<bool> fired_{false};
+  std::atomic<std::uint64_t> heartbeats_{0};
   std::thread thread_;
 };
 

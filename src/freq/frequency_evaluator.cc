@@ -123,6 +123,9 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   bool aborted = false;
   std::size_t since_poll = 0;
   std::uint64_t scanned = 0;
+  // Trace-event path code, mirroring the stats_ path counters:
+  // 0 = full scan, 1 = bitmap AND, 2 = postings merge.
+  int path_code = 0;
   const exec::CancelToken* cancel = cancel_.load(std::memory_order_acquire);
   const auto should_stop = [&]() {
     if (cancel == nullptr) return false;
@@ -165,6 +168,7 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
       use_bitmap = false;
     }
     if (use_bitmap) {
+      path_code = 1;
       stats_.bitmap_scans.fetch_add(1, std::memory_order_relaxed);
       bitmap_->IntersectInto(events, scratch.words);
       for (std::size_t w = 0; w < scratch.words.size() && !aborted; ++w) {
@@ -185,6 +189,7 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
         }
       }
     } else {
+      path_code = 2;
       stats_.postings_scans.fetch_add(1, std::memory_order_relaxed);
       trace_index_.CandidateTracesInto(events, scratch.candidates);
       for (std::uint32_t t : scratch.candidates) {
@@ -202,6 +207,18 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
   stats_.traces_scanned.fetch_add(scanned, std::memory_order_relaxed);
   stats_.windows_tested.fetch_add(match_stats.windows_tested,
                                   std::memory_order_relaxed);
+
+  // Cache hits never reach here, so each instant marks one real scan —
+  // coarse enough to keep tracing overhead off the memoized fast path.
+  if (obs::TraceRecorder* recorder =
+          trace_recorder_.load(std::memory_order_acquire)) {
+    recorder->RecordInstant(
+        "freq.scan", "freq",
+        {{"path", static_cast<double>(path_code)},
+         {"traces_scanned", static_cast<double>(scanned)},
+         {"support", static_cast<double>(support)},
+         {"aborted", aborted ? 1.0 : 0.0}});
+  }
 
   if (aborted) {
     // Partial count: usable as a best-effort answer for the caller that
@@ -223,15 +240,23 @@ FrequencyEvaluator::PrecomputeStats FrequencyEvaluator::PrecomputeAll(
     return result;
   }
   const auto start = std::chrono::steady_clock::now();
+  obs::TraceRecorder* recorder =
+      trace_recorder_.load(std::memory_order_acquire);
+  obs::ScopedSpan span(recorder, "freq.precompute", "freq");
   exec::ParallelForOptions pf;
   pf.threads = options.threads;
   pf.min_parallel_items = options.min_parallel_patterns;
   pf.cancel = options.cancel;
   pf.deadline_ms = options.deadline_ms;
+  pf.trace_recorder = recorder;
+  pf.trace_parent = span.id();
+  pf.trace_label = "freq.precompute.worker";
   const exec::ParallelForResult run = exec::ParallelFor(
       patterns.size(), [&](std::size_t i) { Support(patterns[i]); }, pf);
   result.patterns_evaluated = run.items_run;
   result.threads_used = run.threads_used;
+  span.AddArg("patterns", static_cast<double>(run.items_run));
+  span.AddArg("threads", static_cast<double>(run.threads_used));
   result.elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();

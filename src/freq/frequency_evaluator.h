@@ -15,6 +15,7 @@
 #include "freq/trace_matcher.h"
 #include "log/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 
 namespace hematch {
@@ -162,6 +163,15 @@ class FrequencyEvaluator {
     evictions_metric_.store(counter, std::memory_order_release);
   }
 
+  /// Span recorder for scan-level trace events: each cache miss emits a
+  /// `freq.scan` instant carrying the path choice (bitmap / postings /
+  /// full) and the traces touched, and `PrecomputeAll` wraps itself and
+  /// its workers in spans. Null disables tracing (the default); the
+  /// recorder must outlive the evaluator's last scan.
+  void set_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_recorder_.store(recorder, std::memory_order_release);
+  }
+
   /// Adjusts the byte ceiling after construction (used when a budget is
   /// armed on an existing context). Takes effect on the next insert.
   void set_max_cache_bytes(std::size_t bytes) {
@@ -226,6 +236,7 @@ class FrequencyEvaluator {
   std::size_t cache_bytes_ = 0;
   std::atomic<const exec::CancelToken*> cancel_{nullptr};
   std::atomic<obs::Counter*> evictions_metric_{nullptr};
+  std::atomic<obs::TraceRecorder*> trace_recorder_{nullptr};
   Stats stats_;
 };
 

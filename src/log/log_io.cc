@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace hematch {
 
@@ -49,6 +50,9 @@ std::string LowerAscii(std::string_view s) {
 }  // namespace
 
 Result<EventLog> ReadTraceLog(std::istream& input) {
+  // Ingestion predates tracing, so the span recorder arrives ambiently
+  // (see obs/trace.h) instead of through a signature change.
+  obs::ScopedSpan span(obs::AmbientTraceRecorder(), "log.read_trace", "log");
   EventLog log;
   std::string line;
   std::size_t line_no = 0;
@@ -69,6 +73,8 @@ Result<EventLog> ReadTraceLog(std::istream& input) {
   if (input.bad()) {
     return Status::ParseError("I/O failure while reading trace log");
   }
+  span.AddArg("traces", static_cast<double>(log.num_traces()));
+  span.AddArg("events", static_cast<double>(log.num_events()));
   return log;
 }
 
@@ -93,6 +99,7 @@ Status WriteTraceLog(const EventLog& log, std::ostream& output) {
 }
 
 Result<EventLog> ReadCsvLog(std::istream& input) {
+  obs::ScopedSpan span(obs::AmbientTraceRecorder(), "log.read_csv", "log");
   std::string line;
   if (!std::getline(input, line)) {
     return Status::ParseError("CSV log is empty (missing header)");
@@ -173,6 +180,8 @@ Result<EventLog> ReadCsvLog(std::istream& input) {
     }
     log.AddTraceByNames(names);
   }
+  span.AddArg("traces", static_cast<double>(log.num_traces()));
+  span.AddArg("events", static_cast<double>(log.num_events()));
   return log;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "log/xml_parser.h"
+#include "obs/trace.h"
 
 namespace hematch {
 
@@ -250,13 +251,21 @@ class XesReader {
 
 Result<EventLog> ReadXesLog(std::istream& input,
                             const XesReadOptions& options) {
+  // Ambient recorder: ingestion signatures predate tracing (obs/trace.h).
+  obs::ScopedSpan span(obs::AmbientTraceRecorder(), "log.read_xes", "log");
   std::ostringstream buffer;
   buffer << input.rdbuf();
   if (input.bad()) {
     return Status::ParseError("I/O failure while reading XES log");
   }
   const std::string document = buffer.str();
-  return XesReader(options).Read(document);
+  span.AddArg("bytes", static_cast<double>(document.size()));
+  Result<EventLog> log = XesReader(options).Read(document);
+  if (log.ok()) {
+    span.AddArg("traces", static_cast<double>(log->num_traces()));
+    span.AddArg("events", static_cast<double>(log->num_events()));
+  }
+  return log;
 }
 
 Result<EventLog> ReadXesLogFile(const std::string& path,

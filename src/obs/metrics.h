@@ -83,10 +83,10 @@ class Histogram {
       ++b;
     }
     counts_[b].fetch_add(1, std::memory_order_relaxed);
-    double sum = sum_.load(std::memory_order_relaxed);
-    while (!sum_.compare_exchange_weak(sum, sum + v,
-                                       std::memory_order_relaxed)) {
-    }
+    // C++20 atomic<double>::fetch_add: a single RMW instead of the old
+    // CAS retry loop, which degraded under heavy multi-writer load
+    // (portfolio workers observing into one histogram).
+    sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
   const std::vector<double>& bounds() const { return bounds_; }

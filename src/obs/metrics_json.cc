@@ -152,6 +152,14 @@ std::string TelemetryToJson(const TelemetrySnapshot& snapshot, int indent,
               [](std::uint64_t v) { return std::to_string(v); });
     b.Key("sum", /*first=*/false);
     b.Raw(JsonNumber(h.sum));
+    // Derived percentile views; the parser skips them (unknown fields),
+    // so round-tripping reconstructs them from the buckets instead.
+    b.Key("p50", /*first=*/false);
+    b.Raw(JsonNumber(h.Percentile(0.50)));
+    b.Key("p95", /*first=*/false);
+    b.Raw(JsonNumber(h.Percentile(0.95)));
+    b.Key("p99", /*first=*/false);
+    b.Raw(JsonNumber(h.Percentile(0.99)));
     b.CloseObject(/*had_entries=*/true);
   }
   b.CloseObject(!snapshot.histograms.empty());
@@ -464,6 +472,46 @@ Result<TelemetrySnapshot> TelemetryFromJson(std::string_view json) {
   JsonParser parser(json);
   HEMATCH_RETURN_IF_ERROR(parser.Parse(&snapshot));
   return snapshot;
+}
+
+std::string TelemetryToHeartbeatLine(const TelemetrySnapshot& snapshot,
+                                     std::uint64_t seq, double elapsed_ms) {
+  std::string out;
+  out += "{\"schema\":\"hematch.heartbeat.v1\",\"seq\":" +
+         std::to_string(seq) + ",\"elapsed_ms\":" + JsonNumber(elapsed_ms);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonNumber(value);
+  }
+  out += "},\"percentiles\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(h.total_count()) +
+           ",\"p50\":" + JsonNumber(h.Percentile(0.50)) +
+           ",\"p95\":" + JsonNumber(h.Percentile(0.95)) +
+           ",\"p99\":" + JsonNumber(h.Percentile(0.99)) + '}';
+  }
+  out += "}}";
+  return out;
 }
 
 Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,

@@ -40,6 +40,18 @@ Result<TelemetrySnapshot> TelemetryFromJson(std::string_view json);
 Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,
                           const std::string& path);
 
+/// One heartbeat record as a single JSON line (no trailing newline),
+/// for JSONL streams emitted during long runs:
+///
+///   { "schema": "hematch.heartbeat.v1", "seq": <n>,
+///     "elapsed_ms": <double>, "counters": {..}, "gauges": {..},
+///     "percentiles": { "<hist>": {"p50":..,"p95":..,"p99":..}, .. } }
+///
+/// Histograms are reduced to their percentile views to keep lines
+/// short; the final full snapshot still carries the buckets.
+std::string TelemetryToHeartbeatLine(const TelemetrySnapshot& snapshot,
+                                     std::uint64_t seq, double elapsed_ms);
+
 /// JSON string escaping for the small exporter surface (quotes,
 /// backslashes, control characters).
 std::string JsonEscape(std::string_view text);

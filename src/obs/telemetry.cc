@@ -8,6 +8,38 @@ bool operator==(const HistogramSnapshot& a, const HistogramSnapshot& b) {
   return a.bounds == b.bounds && a.counts == b.counts && a.sum == b.sum;
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) {
+    return 0.0;
+  }
+  if (bounds.empty() || counts.size() != bounds.size() + 1) {
+    return sum / static_cast<double>(total);  // No buckets to interpolate.
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) {
+      continue;
+    }
+    const std::uint64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= target) {
+      if (b == bounds.size()) {
+        return bounds.back();  // Overflow bucket: clamp to the last edge.
+      }
+      const double lower = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double upper = bounds[b];
+      const double into_bucket =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lower + (upper - lower) * std::clamp(into_bucket, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
 std::uint64_t TelemetrySnapshot::counter(const std::string& name,
                                          std::uint64_t fallback) const {
   auto it = counters.find(name);

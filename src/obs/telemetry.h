@@ -27,6 +27,14 @@ struct HistogramSnapshot {
     }
     return total;
   }
+
+  /// Interpolated quantile estimate, `q` in [0, 1]. Assumes values are
+  /// uniform within each bucket (Prometheus-style linear interpolation
+  /// between the bucket's edges; the first bucket interpolates up from
+  /// min(0, its upper edge)). A quantile landing in the overflow bucket
+  /// clamps to the last bound — the histogram has no upper edge there.
+  /// An empty histogram (or one with no bounds) returns the mean.
+  double Percentile(double q) const;
 };
 
 bool operator==(const HistogramSnapshot& a, const HistogramSnapshot& b);

@@ -1,0 +1,363 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics_json.h"
+
+namespace hematch::obs {
+
+namespace {
+
+// Thread-local recorder plumbing. Entries are tagged with the owning
+// recorder's generation (globally unique per recorder instance), so a
+// cached pointer can never be mistaken for state of a newer recorder
+// that happens to reuse the same address.
+struct SpanStackEntry {
+  std::uint64_t generation = 0;
+  SpanId id = 0;
+};
+
+struct TlsState {
+  std::uint64_t buffer_generation = 0;
+  void* buffer = nullptr;  // TraceRecorder::ThreadBuffer*
+  std::vector<SpanStackEntry> span_stack;
+  TraceRecorder* ambient = nullptr;
+};
+
+TlsState& Tls() {
+  thread_local TlsState state;
+  return state;
+}
+
+std::atomic<std::uint64_t> g_recorder_generation{1};
+
+}  // namespace
+
+// Per-thread bounded ring. Each writer locks only its own buffer, so
+// recording never contends across threads; the snapshot path takes the
+// same lock briefly per buffer, which keeps export safe even while
+// abandoned portfolio stragglers are still recording.
+struct TraceRecorder::ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t thread_index, std::size_t capacity)
+      : tid(thread_index), capacity(capacity) {}
+
+  void Push(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (ring.size() < capacity) {
+      ring.push_back(std::move(event));
+      return;
+    }
+    ring[head] = std::move(event);
+    head = (head + 1) % capacity;
+    ++dropped;
+  }
+
+  mutable std::mutex mu;
+  const std::uint32_t tid;
+  const std::size_t capacity;
+  std::string thread_name;
+  std::vector<TraceEvent> ring;
+  std::size_t head = 0;  ///< Oldest entry once the ring wrapped.
+  std::uint64_t dropped = 0;
+};
+
+TraceRecorder::TraceRecorder(TraceRecorderOptions options)
+    : capacity_(options.per_thread_capacity > 0 ? options.per_thread_capacity
+                                                : 1),
+      generation_(g_recorder_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+double TraceRecorder::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  TlsState& tls = Tls();
+  if (tls.buffer_generation == generation_) {
+    return static_cast<ThreadBuffer*>(tls.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      static_cast<std::uint32_t>(buffers_.size()), capacity_));
+  ThreadBuffer* buffer = buffers_.back().get();
+  tls.buffer_generation = generation_;
+  tls.buffer = buffer;
+  return buffer;
+}
+
+void TraceRecorder::PushEvent(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  buffer->Push(std::move(event));
+}
+
+SpanId TraceRecorder::ResolveParent(SpanId requested) const {
+  if (requested != kAutoParent) {
+    return requested;
+  }
+  const auto& stack = Tls().span_stack;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->generation == generation_) {
+      return it->id;
+    }
+  }
+  return 0;
+}
+
+SpanId TraceRecorder::CurrentSpan() const { return ResolveParent(kAutoParent); }
+
+void TraceRecorder::RecordSpan(std::string name, std::string category,
+                               SpanId id, SpanId parent, double ts_us,
+                               double dur_us, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kSpan;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.id = id;
+  event.parent = parent;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  PushEvent(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(std::string name, std::string category,
+                                  std::vector<TraceArg> args, SpanId parent) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kInstant;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.parent = ResolveParent(parent);
+  event.ts_us = NowUs();
+  event.args = std::move(args);
+  PushEvent(std::move(event));
+}
+
+void TraceRecorder::RecordCounter(std::string name, double value) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kCounter;
+  event.name = std::move(name);
+  event.ts_us = NowUs();
+  event.value = value;
+  PushEvent(std::move(event));
+}
+
+void TraceRecorder::SetThreadName(std::string name) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->thread_name = std::move(name);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      const std::size_t n = buffer->ring.size();
+      const std::size_t start = n == buffer->capacity ? buffer->head : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        events.push_back(buffer->ring[(start + i) % n]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+std::map<std::uint32_t, std::string> TraceRecorder::ThreadNames() const {
+  std::map<std::uint32_t, std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (!buffer->thread_name.empty()) {
+      names.emplace(buffer->tid, buffer->thread_name);
+    }
+  }
+  return names;
+}
+
+std::uint64_t TraceRecorder::dropped_events() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+namespace {
+
+void AppendArgs(std::string& out, const std::vector<TraceArg>& args) {
+  for (const TraceArg& arg : args) {
+    out += ",\"";
+    out += JsonEscape(arg.key);
+    out += "\":";
+    out += JsonNumber(arg.value);
+  }
+}
+
+void AppendEventPrefix(std::string& out, const TraceEvent& event,
+                       const char* phase) {
+  out += "{\"ph\":\"";
+  out += phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(event.tid);
+  out += ",\"name\":\"";
+  out += JsonEscape(event.name);
+  out += '"';
+  if (!event.category.empty()) {
+    out += ",\"cat\":\"";
+    out += JsonEscape(event.category);
+    out += '"';
+  }
+  out += ",\"ts\":";
+  out += JsonNumber(event.ts_us);
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const std::map<std::uint32_t, std::string> names = ThreadNames();
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n";
+  out += "\"otherData\": {\"schema\": \"hematch.trace.v1\", ";
+  out += "\"dropped_events\": " + std::to_string(dropped_events()) + "},\n";
+  out += "\"traceEvents\": [\n";
+
+  bool first = true;
+  auto separator = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+
+  for (const auto& [tid, name] : names) {
+    separator();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           JsonEscape(name) + "\"}}";
+  }
+
+  for (const TraceEvent& event : events) {
+    separator();
+    switch (event.kind) {
+      case TraceEventKind::kSpan:
+        AppendEventPrefix(out, event, "X");
+        out += ",\"dur\":";
+        out += JsonNumber(event.dur_us);
+        out += ",\"args\":{\"span_id\":" + std::to_string(event.id) +
+               ",\"parent_id\":" + std::to_string(event.parent);
+        AppendArgs(out, event.args);
+        out += "}}";
+        break;
+      case TraceEventKind::kInstant:
+        AppendEventPrefix(out, event, "i");
+        out += ",\"s\":\"t\",\"args\":{\"parent_id\":" +
+               std::to_string(event.parent);
+        AppendArgs(out, event.args);
+        out += "}}";
+        break;
+      case TraceEventKind::kCounter:
+        AppendEventPrefix(out, event, "C");
+        out += ",\"args\":{\"value\":";
+        out += JsonNumber(event.value);
+        out += "}}";
+        break;
+    }
+  }
+
+  out += "\n]\n}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  out << ToChromeJson();
+  if (!out) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, std::string_view name,
+                       std::string_view category, SpanId parent)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  id_ = recorder_->NextSpanId();
+  parent_ = recorder_->ResolveParent(parent);
+  start_us_ = recorder_->NowUs();
+  name_.assign(name);
+  category_.assign(category);
+  Tls().span_stack.push_back({recorder_->generation_, id_});
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  const double end_us = recorder_->NowUs();
+  auto& stack = Tls().span_stack;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->id == id_ && it->generation == recorder_->generation_) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  recorder_->RecordSpan(std::move(name_), std::move(category_), id_, parent_,
+                        start_us_, end_us - start_us_, std::move(args_));
+}
+
+void ScopedSpan::AddArg(std::string_view key, double value) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  args_.push_back({std::string(key), value});
+}
+
+void TraceInstant(TraceRecorder* recorder, std::string_view name,
+                  std::string_view category, std::vector<TraceArg> args) {
+  if (recorder == nullptr) {
+    return;
+  }
+  recorder->RecordInstant(std::string(name), std::string(category),
+                          std::move(args));
+}
+
+void TraceCounter(TraceRecorder* recorder, std::string_view name,
+                  double value) {
+  if (recorder == nullptr) {
+    return;
+  }
+  recorder->RecordCounter(std::string(name), value);
+}
+
+TraceRecorder* AmbientTraceRecorder() { return Tls().ambient; }
+
+AmbientTraceScope::AmbientTraceScope(TraceRecorder* recorder)
+    : previous_(Tls().ambient) {
+  Tls().ambient = recorder;
+}
+
+AmbientTraceScope::~AmbientTraceScope() { Tls().ambient = previous_; }
+
+}  // namespace hematch::obs

@@ -1,0 +1,236 @@
+#ifndef HEMATCH_OBS_TRACE_H_
+#define HEMATCH_OBS_TRACE_H_
+
+/// \file
+/// Structured span tracing for single-run profiling.
+///
+/// Counters (obs/metrics.h) answer "how much, in aggregate"; spans
+/// answer "where did *this* run's wall-clock go". A `TraceRecorder`
+/// collects timestamped events into per-thread ring buffers and exports
+/// them as Chrome/Perfetto trace-event JSON, so a portfolio race — three
+/// strategy threads, a watchdog, ParallelFor precompute workers — shows
+/// up as a real timeline instead of a pile of counters.
+///
+/// Design points:
+///  - `ScopedSpan` is RAII: construction stamps the start, destruction
+///    records one complete event. With a null recorder the constructor
+///    stores a null pointer and the destructor does one compare — the
+///    same zero-cost-when-off contract as the null `SearchTracer`.
+///  - Each thread writes to its own bounded ring buffer (registered
+///    once under the recorder mutex, then reached via a thread-local
+///    cache), so recording is one uncontended lock per event, never a
+///    global choke point. Full rings overwrite their oldest events and
+///    count the drops.
+///  - Spans auto-parent under the innermost open span on the same
+///    thread. Cross-thread attachment (a portfolio strategy thread
+///    hanging under the run root) passes the parent span id explicitly.
+///  - Timestamps are steady-clock microseconds since the recorder was
+///    created, matching the `ts`/`dur` unit of the Chrome trace format.
+///
+/// The recorder is installed on `MatchingContext` (and passed through
+/// `PortfolioOptions` / `ParallelForOptions`); code that only has free
+/// functions in its signature — log ingestion — reads the thread-local
+/// ambient recorder installed by `AmbientTraceScope`.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hematch::obs {
+
+/// Span identifier. 0 means "no span" (a root); ids are unique within
+/// one recorder and never reused.
+using SpanId = std::uint64_t;
+
+/// Passed as the `parent` argument to mean "use the innermost open span
+/// on this thread" (the default). Pass 0 to force a root span, or a
+/// concrete id for an explicit cross-thread link.
+inline constexpr SpanId kAutoParent = std::numeric_limits<SpanId>::max();
+
+/// One numeric annotation on an event (rendered under `args` in the
+/// Chrome export). Numeric-only keeps recording allocation-light.
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+enum class TraceEventKind : std::uint8_t {
+  kSpan,     ///< Complete span: [ts_us, ts_us + dur_us).
+  kInstant,  ///< Point event (watchdog fired, degrade step, ...).
+  kCounter,  ///< Sampled value over time (open-list size, bound gap).
+};
+
+/// One recorded event. `tid` is the recorder's own dense thread index,
+/// not the OS thread id — stable across runs and compact in the export.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kSpan;
+  std::string name;
+  std::string category;
+  SpanId id = 0;      ///< Span id (spans only).
+  SpanId parent = 0;  ///< Enclosing span id, 0 for roots.
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< Spans only.
+  double value = 0.0;   ///< Counters only.
+  std::vector<TraceArg> args;
+};
+
+struct TraceRecorderOptions {
+  /// Events retained per thread before the ring overwrites its oldest
+  /// entry. Dropped (overwritten) events are counted.
+  std::size_t per_thread_capacity = 1 << 16;
+};
+
+/// Thread-safe event sink. Create one per run (or per process), hand
+/// out raw pointers; a null pointer everywhere means "tracing off".
+///
+/// Lifetime: the recorder must outlive every thread that records into
+/// it. The portfolio runner keeps abandoned strategy threads alive past
+/// `Run()`, so it takes `shared_ptr` ownership (see exec/portfolio.h);
+/// everything join-before-return can use a raw pointer.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceRecorderOptions options = {});
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since the recorder was created (steady clock).
+  double NowUs() const;
+
+  /// Fresh unique span id.
+  SpanId NextSpanId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records a finished span. Normally called by ~ScopedSpan.
+  void RecordSpan(std::string name, std::string category, SpanId id,
+                  SpanId parent, double ts_us, double dur_us,
+                  std::vector<TraceArg> args);
+
+  /// Records a point event, parented under the innermost open span on
+  /// this thread unless `parent` is given.
+  void RecordInstant(std::string name, std::string category,
+                     std::vector<TraceArg> args = {},
+                     SpanId parent = kAutoParent);
+
+  /// Records a counter sample (`name` tracks `value` over time).
+  void RecordCounter(std::string name, double value);
+
+  /// Names the calling thread in the export ("portfolio-worker-1").
+  void SetThreadName(std::string name);
+
+  /// Innermost open span on the calling thread, 0 if none.
+  SpanId CurrentSpan() const;
+
+  /// Copies out every buffered event, oldest first per thread, merged
+  /// and sorted by timestamp. Safe against concurrent recording.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Thread index -> name for threads that called SetThreadName.
+  std::map<std::uint32_t, std::string> ThreadNames() const;
+
+  /// Events lost to ring overwrite, across all threads.
+  std::uint64_t dropped_events() const;
+
+  /// Serializes the buffered events as Chrome trace-event JSON
+  /// (chrome://tracing and https://ui.perfetto.dev both load it).
+  std::string ToChromeJson() const;
+
+  /// Writes `ToChromeJson()` to `path`, creating or truncating.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  friend class ScopedSpan;
+  struct ThreadBuffer;
+
+  ThreadBuffer* BufferForThisThread();
+  void PushEvent(TraceEvent event);
+  /// Resolves kAutoParent against this thread's open-span stack.
+  SpanId ResolveParent(SpanId requested) const;
+
+  const std::size_t capacity_;
+  const std::uint64_t generation_;  ///< Guards thread-local caches.
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<SpanId> next_id_{1};
+
+  mutable std::mutex mu_;  ///< Guards buffer registration only.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Records one complete event on destruction; with a null
+/// recorder every member function is a no-op.
+///
+///   obs::ScopedSpan span(recorder, "match.astar_tight", "core");
+///   span.AddArg("nodes", visited);
+///
+/// Cross-thread attachment (the portfolio strategy thread pattern):
+///
+///   obs::ScopedSpan span(recorder, "portfolio.strategy.x", "exec",
+///                        run_root_id);
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string_view name,
+             std::string_view category = "", SpanId parent = kAutoParent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when a recorder is installed and the span will be recorded.
+  bool active() const { return recorder_ != nullptr; }
+
+  /// This span's id (0 when inactive) — pass to workers as their
+  /// explicit parent.
+  SpanId id() const { return id_; }
+
+  /// Attaches a numeric annotation, exported under `args`.
+  void AddArg(std::string_view key, double value);
+
+ private:
+  TraceRecorder* recorder_;
+  SpanId id_ = 0;
+  SpanId parent_ = 0;
+  double start_us_ = 0.0;
+  std::string name_;
+  std::string category_;
+  std::vector<TraceArg> args_;
+};
+
+/// Convenience wrappers that accept a null recorder.
+void TraceInstant(TraceRecorder* recorder, std::string_view name,
+                  std::string_view category = "",
+                  std::vector<TraceArg> args = {});
+void TraceCounter(TraceRecorder* recorder, std::string_view name,
+                  double value);
+
+/// Thread-local ambient recorder for code whose signatures predate
+/// tracing (log ingestion free functions). Null by default.
+TraceRecorder* AmbientTraceRecorder();
+
+/// Installs `recorder` as the calling thread's ambient recorder for the
+/// scope's lifetime, restoring the previous one on destruction.
+class AmbientTraceScope {
+ public:
+  explicit AmbientTraceScope(TraceRecorder* recorder);
+  ~AmbientTraceScope();
+
+  AmbientTraceScope(const AmbientTraceScope&) = delete;
+  AmbientTraceScope& operator=(const AmbientTraceScope&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_TRACE_H_

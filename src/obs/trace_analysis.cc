@@ -1,0 +1,529 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace hematch::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : fields) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent JSON parser, same dialect discipline as the
+// telemetry parser (obs/metrics_json.cc) but building a DOM: trace
+// analysis needs to walk arbitrary `args` objects, not a fixed schema.
+class DomParser {
+ public:
+  explicit DomParser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    HEMATCH_RETURN_IF_ERROR(ParseValue(out, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("trace JSON, offset " + std::to_string(pos_) +
+                              ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(char ch) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char ch) {
+    if (!TryConsume(ch)) {
+      return Error(std::string("expected '") + ch + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    HEMATCH_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') {
+        return Status::OK();
+      }
+      if (ch != '\\') {
+        out->push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [ptr, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
+            return Error("bad \\u escape");
+          }
+          pos_ += 4;
+          if (code > 0x7f) {
+            return Error("non-ASCII \\u escape unsupported");
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char ch = text_[pos_];
+    if (ch == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (ch == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      bool first = true;
+      while (true) {
+        if (TryConsume('}')) {
+          return Status::OK();
+        }
+        if (!first) {
+          HEMATCH_RETURN_IF_ERROR(Expect(','));
+        }
+        first = false;
+        SkipWhitespace();
+        std::string key;
+        HEMATCH_RETURN_IF_ERROR(ParseString(&key));
+        HEMATCH_RETURN_IF_ERROR(Expect(':'));
+        JsonValue value;
+        HEMATCH_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->fields.emplace_back(std::move(key), std::move(value));
+      }
+    }
+    if (ch == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      bool first = true;
+      while (true) {
+        if (TryConsume(']')) {
+          return Status::OK();
+        }
+        if (!first) {
+          HEMATCH_RETURN_IF_ERROR(Expect(','));
+        }
+        first = false;
+        JsonValue value;
+        HEMATCH_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+        out->items.push_back(std::move(value));
+      }
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double number = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, number);
+    if (ec != std::errc() || ptr == begin) {
+      return Error("expected a value");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = number;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void DecodeArgs(const JsonValue* args, TraceEvent* event) {
+  if (args == nullptr || args->kind != JsonValue::Kind::kObject) {
+    return;
+  }
+  for (const auto& [key, value] : args->fields) {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      continue;
+    }
+    if (key == "span_id") {
+      event->id = static_cast<SpanId>(value.number);
+    } else if (key == "parent_id") {
+      event->parent = static_cast<SpanId>(value.number);
+    } else if (key == "value") {
+      event->value = value.number;
+    } else {
+      event->args.push_back({key, value.number});
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  JsonValue value;
+  DomParser parser(text);
+  HEMATCH_RETURN_IF_ERROR(parser.Parse(&value));
+  return value;
+}
+
+Result<ParsedTrace> ParseChromeTrace(std::string_view json) {
+  JsonValue root;
+  {
+    auto parsed = ParseJson(json);
+    HEMATCH_RETURN_IF_ERROR(parsed.status());
+    root = std::move(parsed).value();
+  }
+
+  const JsonValue* events = nullptr;
+  ParsedTrace trace;
+  if (root.kind == JsonValue::Kind::kArray) {
+    events = &root;
+  } else if (root.kind == JsonValue::Kind::kObject) {
+    events = root.Find("traceEvents");
+    if (const JsonValue* other = root.Find("otherData")) {
+      if (const JsonValue* dropped = other->Find("dropped_events")) {
+        trace.dropped_events =
+            static_cast<std::uint64_t>(dropped->NumberOr(0.0));
+      }
+    }
+  }
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Status::ParseError("trace JSON: no traceEvents array");
+  }
+
+  static const std::string kEmpty;
+  for (const JsonValue& entry : events->items) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::ParseError("trace JSON: event is not an object");
+    }
+    const JsonValue* ph = entry.Find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      continue;
+    }
+    const std::uint32_t tid = static_cast<std::uint32_t>(
+        entry.Find("tid") ? entry.Find("tid")->NumberOr(0.0) : 0.0);
+    const std::string& name =
+        entry.Find("name") ? entry.Find("name")->TextOr(kEmpty) : kEmpty;
+
+    if (ph->text == "M") {
+      if (name == "thread_name") {
+        if (const JsonValue* args = entry.Find("args")) {
+          if (const JsonValue* tname = args->Find("name")) {
+            trace.thread_names[tid] = tname->TextOr(kEmpty);
+          }
+        }
+      }
+      continue;
+    }
+
+    TraceEvent event;
+    event.name = name;
+    event.tid = tid;
+    if (const JsonValue* cat = entry.Find("cat")) {
+      event.category = cat->TextOr(kEmpty);
+    }
+    if (const JsonValue* ts = entry.Find("ts")) {
+      event.ts_us = ts->NumberOr(0.0);
+    }
+    if (ph->text == "X") {
+      event.kind = TraceEventKind::kSpan;
+      if (const JsonValue* dur = entry.Find("dur")) {
+        event.dur_us = dur->NumberOr(0.0);
+      }
+    } else if (ph->text == "i" || ph->text == "I") {
+      event.kind = TraceEventKind::kInstant;
+    } else if (ph->text == "C") {
+      event.kind = TraceEventKind::kCounter;
+    } else {
+      continue;  // Unknown phase: tolerated, not modeled.
+    }
+    DecodeArgs(entry.Find("args"), &event);
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+TraceReport AnalyzeTrace(const ParsedTrace& trace) {
+  TraceReport report;
+  report.dropped_events = trace.dropped_events;
+
+  std::vector<const TraceEvent*> spans;
+  double min_ts = 0.0;
+  double max_end = 0.0;
+  bool any = false;
+  for (const TraceEvent& event : trace.events) {
+    const double end =
+        event.ts_us + (event.kind == TraceEventKind::kSpan ? event.dur_us : 0);
+    if (!any || event.ts_us < min_ts) {
+      min_ts = event.ts_us;
+    }
+    if (!any || end > max_end) {
+      max_end = end;
+    }
+    any = true;
+    switch (event.kind) {
+      case TraceEventKind::kSpan:
+        ++report.span_count;
+        spans.push_back(&event);
+        break;
+      case TraceEventKind::kInstant:
+        ++report.instant_count;
+        break;
+      case TraceEventKind::kCounter:
+        ++report.counter_count;
+        break;
+    }
+  }
+  report.wall_us = any ? max_end - min_ts : 0.0;
+
+  // Child time per parent span id; self = dur - child time (clamped:
+  // concurrent children, e.g. strategy threads under the run root, can
+  // sum past their parent's own duration).
+  std::unordered_map<SpanId, double> child_time;
+  std::unordered_map<SpanId, const TraceEvent*> by_id;
+  std::unordered_map<SpanId, std::vector<const TraceEvent*>> children;
+  for (const TraceEvent* span : spans) {
+    if (span->id != 0) {
+      by_id.emplace(span->id, span);
+    }
+  }
+  for (const TraceEvent* span : spans) {
+    if (span->parent != 0 && by_id.count(span->parent) > 0) {
+      child_time[span->parent] += span->dur_us;
+      children[span->parent].push_back(span);
+    }
+  }
+
+  std::map<std::string, SpanNameStats> by_name;
+  for (const TraceEvent* span : spans) {
+    SpanNameStats& stats = by_name[span->name];
+    stats.name = span->name;
+    ++stats.count;
+    stats.total_us += span->dur_us;
+    double self = span->dur_us;
+    auto it = child_time.find(span->id);
+    if (it != child_time.end()) {
+      self = std::max(0.0, self - it->second);
+    }
+    stats.self_us += self;
+    stats.max_us = std::max(stats.max_us, span->dur_us);
+  }
+  for (auto& [name, stats] : by_name) {
+    report.by_name.push_back(std::move(stats));
+  }
+  std::sort(report.by_name.begin(), report.by_name.end(),
+            [](const SpanNameStats& a, const SpanNameStats& b) {
+              return a.self_us > b.self_us;
+            });
+
+  // Critical path: longest root, then repeatedly the child that
+  // finishes last (with abandoned stragglers a child can outlive its
+  // parent; "finishes last" still names the chain that held up the
+  // run).
+  const TraceEvent* root = nullptr;
+  for (const TraceEvent* span : spans) {
+    const bool is_root = span->parent == 0 || by_id.count(span->parent) == 0;
+    if (is_root && (root == nullptr || span->dur_us > root->dur_us)) {
+      root = span;
+    }
+  }
+  const TraceEvent* cursor = root;
+  while (cursor != nullptr) {
+    report.critical_path.push_back({cursor->name, cursor->id, cursor->tid,
+                                    cursor->ts_us, cursor->dur_us});
+    const TraceEvent* next = nullptr;
+    auto it = children.find(cursor->id);
+    if (it != children.end()) {
+      for (const TraceEvent* child : it->second) {
+        if (next == nullptr ||
+            child->ts_us + child->dur_us > next->ts_us + next->dur_us) {
+          next = child;
+        }
+      }
+    }
+    cursor = next;
+    if (report.critical_path.size() > spans.size()) {
+      break;  // Defensive: a cyclic parent link in a foreign trace.
+    }
+  }
+
+  // Per-thread busy time: union of span intervals, so nesting is not
+  // double-counted.
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> intervals;
+  std::map<std::uint32_t, std::uint64_t> span_counts;
+  for (const TraceEvent* span : spans) {
+    intervals[span->tid].emplace_back(span->ts_us,
+                                      span->ts_us + span->dur_us);
+    ++span_counts[span->tid];
+  }
+  for (auto& [tid, ranges] : intervals) {
+    std::sort(ranges.begin(), ranges.end());
+    double busy = 0.0;
+    double open_start = 0.0;
+    double open_end = -1.0;
+    for (const auto& [start, end] : ranges) {
+      if (start > open_end) {
+        busy += std::max(0.0, open_end - open_start);
+        open_start = start;
+        open_end = end;
+      } else {
+        open_end = std::max(open_end, end);
+      }
+    }
+    busy += std::max(0.0, open_end - open_start);
+    ThreadUtilization util;
+    util.tid = tid;
+    auto name_it = trace.thread_names.find(tid);
+    if (name_it != trace.thread_names.end()) {
+      util.name = name_it->second;
+    }
+    util.spans = span_counts[tid];
+    util.busy_us = busy;
+    util.utilization = report.wall_us > 0.0 ? busy / report.wall_us : 0.0;
+    report.threads.push_back(std::move(util));
+  }
+  return report;
+}
+
+namespace {
+
+std::string FormatRow(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatTraceReport(const TraceReport& report, std::size_t top_n) {
+  std::string out;
+  out += FormatRow(
+      "trace: %llu spans, %llu instants, %llu counter samples, wall %.3f ms",
+      static_cast<unsigned long long>(report.span_count),
+      static_cast<unsigned long long>(report.instant_count),
+      static_cast<unsigned long long>(report.counter_count),
+      report.wall_us / 1000.0);
+  if (report.dropped_events > 0) {
+    out += FormatRow(" (%llu events dropped)",
+                     static_cast<unsigned long long>(report.dropped_events));
+  }
+  out += "\n\nhottest spans (by self time):\n";
+  out += FormatRow("  %10s %10s %6s %10s  %s\n", "self_ms", "total_ms",
+                   "count", "max_ms", "name");
+  std::size_t shown = 0;
+  for (const SpanNameStats& stats : report.by_name) {
+    if (shown++ >= top_n) {
+      out += FormatRow("  ... %zu more span names\n",
+                       report.by_name.size() - top_n);
+      break;
+    }
+    out += FormatRow("  %10.3f %10.3f %6llu %10.3f  %s\n",
+                     stats.self_us / 1000.0, stats.total_us / 1000.0,
+                     static_cast<unsigned long long>(stats.count),
+                     stats.max_us / 1000.0, stats.name.c_str());
+  }
+
+  out += "\ncritical path (root -> leaf):\n";
+  out += FormatRow("  %10s %10s %4s  %s\n", "start_ms", "dur_ms", "tid",
+                   "name");
+  for (const CriticalPathStep& step : report.critical_path) {
+    out += FormatRow("  %10.3f %10.3f %4u  %s\n", step.start_us / 1000.0,
+                     step.dur_us / 1000.0, step.tid, step.name.c_str());
+  }
+
+  out += "\nthread utilization:\n";
+  out += FormatRow("  %4s %6s %10s %6s  %s\n", "tid", "spans", "busy_ms",
+                   "util", "name");
+  for (const ThreadUtilization& util : report.threads) {
+    out += FormatRow("  %4u %6llu %10.3f %5.1f%%  %s\n", util.tid,
+                     static_cast<unsigned long long>(util.spans),
+                     util.busy_us / 1000.0, util.utilization * 100.0,
+                     util.name.c_str());
+  }
+  return out;
+}
+
+}  // namespace hematch::obs

@@ -38,16 +38,26 @@
 //   --output FILE     write the best mapping as tab-separated pairs
 //   --metrics-out F   write per-run telemetry as JSON (see
 //                     docs/OBSERVABILITY.md for the schema)
+//   --trace-out F     record a span timeline of the whole invocation
+//                     (log loading, context build, matcher runs,
+//                     portfolio workers) and write it as Chrome/Perfetto
+//                     trace-event JSON — load in ui.perfetto.dev or
+//                     summarize with hematch_trace
+//   --heartbeat-ms N  during the run, print one hematch.heartbeat.v1
+//                     JSON line to stderr every N ms (telemetry
+//                     percentiles + counters; evidence from hung runs)
 //   --progress        print live search progress lines to stderr
 //   --help            this text
 //
 // Every option also accepts the --flag=value spelling.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,8 +82,10 @@
 #include "graph/dependency_graph.h"
 #include "log/log_io.h"
 #include "log/xes_io.h"
+#include "exec/watchdog.h"
 #include "obs/metrics_json.h"
 #include "obs/search_tracer.h"
+#include "obs/trace.h"
 #include "pattern/pattern_parser.h"
 
 namespace {
@@ -104,6 +116,9 @@ void PrintUsageAndExit(int code) {
       "  --extend          extend the best 1-1 mapping to 1-to-n groups\n"
       "  --output FILE     write the best mapping as tab-separated pairs\n"
       "  --metrics-out F   write per-run telemetry as JSON\n"
+      "  --trace-out F     write a Chrome/Perfetto span timeline of the run\n"
+      "  --heartbeat-ms N  print a telemetry heartbeat line to stderr "
+      "every N ms\n"
       "  --progress        print live search progress lines to stderr\n"
       "options also accept the --flag=value spelling\n";
   std::exit(code);
@@ -249,6 +264,8 @@ int main(int argc, char** argv) {
   bool progress = false;
   std::string output_path;
   std::string metrics_path;
+  std::string trace_path;
+  double heartbeat_ms = 0.0;
   double mine_support = 0.1;
   std::uint64_t budget = 50'000'000;
   exec::RunBudget run_budget;
@@ -297,6 +314,10 @@ int main(int argc, char** argv) {
       output_path = next("--output");
     } else if (arg == "--metrics-out") {
       metrics_path = next("--metrics-out");
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
+    } else if (arg == "--heartbeat-ms") {
+      heartbeat_ms = std::stod(next("--heartbeat-ms"));
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--mine-support") {
@@ -328,6 +349,31 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     PrintUsageAndExit(2);
   }
+
+  // --trace-out: one recorder for the whole invocation. Shared because
+  // the portfolio path hands it to detached workers; the ambient scope
+  // routes the log readers' spans here; the root span brackets
+  // everything and is closed (reset) just before serialization.
+  std::shared_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_shared<obs::TraceRecorder>();
+    recorder->SetThreadName("main");
+  }
+  obs::AmbientTraceScope ambient(recorder.get());
+  std::optional<obs::ScopedSpan> root_span;
+  if (recorder != nullptr) {
+    root_span.emplace(recorder.get(), "run", "cli");
+  }
+  const auto run_start = std::chrono::steady_clock::now();
+  auto emit_heartbeat = [run_start](std::uint64_t seq,
+                                    const obs::TelemetrySnapshot& snapshot) {
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - run_start)
+            .count();
+    std::cerr << obs::TelemetryToHeartbeatLine(snapshot, seq, elapsed)
+              << "\n";
+  };
 
   Result<EventLog> log1 = LoadLog(positional[0], xes_strict);
   if (!log1.ok()) {
@@ -372,8 +418,10 @@ int main(int argc, char** argv) {
   }
 
   const DependencyGraph g1 = DependencyGraph::Build(*log1);
+  ContextTelemetryOptions context_telemetry;
+  context_telemetry.trace_recorder = recorder.get();
   MatchingContext context(*log1, *log2,
-                          BuildPatternSet(g1, complex));
+                          BuildPatternSet(g1, complex), context_telemetry);
   obs::StreamProgressTracer progress_tracer(std::cerr);
   if (progress) {
     context.set_tracer(&progress_tracer);
@@ -396,6 +444,11 @@ int main(int argc, char** argv) {
     exec::PortfolioOptions popts;
     popts.budget = run_budget;
     popts.threads = threads;
+    popts.trace_recorder = recorder;
+    if (heartbeat_ms > 0.0) {
+      popts.heartbeat_ms = heartbeat_ms;
+      popts.heartbeat = emit_heartbeat;
+    }
     exec::PortfolioRunner runner(
         exec::DefaultPortfolioStrategies(scorer, bound, budget), popts);
     Result<exec::PortfolioOutcome> raced =
@@ -452,6 +505,18 @@ int main(int argc, char** argv) {
       PrintUsageAndExit(2);
     }
     records.reserve(matchers.size());
+    // Heartbeat clock for the sequential path (the portfolio rides its
+    // own watchdog): beats only, no deadline. Joined before the final
+    // table so the last line cannot interleave with it.
+    std::unique_ptr<exec::Watchdog> heartbeat_clock;
+    if (heartbeat_ms > 0.0) {
+      exec::WatchdogOptions wd;
+      wd.heartbeat_ms = heartbeat_ms;
+      wd.heartbeat = [&context, &emit_heartbeat](std::uint64_t seq) {
+        emit_heartbeat(seq, context.SnapshotTelemetry());
+      };
+      heartbeat_clock = std::make_unique<exec::Watchdog>(std::move(wd));
+    }
     for (const auto& matcher : matchers) {
       // Each run gets the full budget; fallback ladders slice their own.
       context.ArmBudget(run_budget);
@@ -473,6 +538,7 @@ int main(int argc, char** argv) {
                                             &log2->dictionary())});
     }
     context.governor().Disarm();
+    heartbeat_clock.reset();
   }
   table.Print(std::cout);
   for (const RunRecord& record : records) {
@@ -537,6 +603,17 @@ int main(int argc, char** argv) {
     std::cout << (extended.empty() ? std::string("no groups extended")
                                    : extended)
               << "\n";
+  }
+
+  if (recorder != nullptr) {
+    root_span.reset();  // Close the root before serializing.
+    const Status written = recorder->WriteChromeJson(trace_path);
+    if (!written.ok()) {
+      std::cerr << "cannot write --trace-out file " << trace_path << ": "
+                << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace to " << trace_path << "\n";
   }
 
   if (fail_degraded) {

@@ -1,0 +1,94 @@
+// hematch_trace — summarize a span trace written by --trace-out.
+//
+// Usage:
+//   hematch_trace [--top N] <trace.json>
+//
+// Reads the Chrome/Perfetto trace-event JSON that hematch_cli (or the
+// bench harnesses) wrote and prints the profile: self/total time per
+// span name, the critical path from the run root, and per-thread
+// utilization. Accepts the general trace-event dialect (object with a
+// `traceEvents` array, or a bare event array), so traces touched up by
+// other tools still load.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/trace_analysis.h"
+
+namespace {
+
+using namespace hematch;
+
+void PrintUsageAndExit(int code) {
+  std::cerr << "usage: hematch_trace [--top N] <trace.json>\n"
+               "  --top N   show the N hottest span names (default 15)\n"
+               "options also accept the --flag=value spelling\n";
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t top_n = 15;
+  std::string path;
+
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (StartsWith(arg, "--") && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsageAndExit(0);
+    } else if (arg == "--top") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "--top requires a value\n";
+        PrintUsageAndExit(2);
+      }
+      top_n = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (StartsWith(arg, "--")) {
+      std::cerr << "unknown option: " << arg << "\n";
+      PrintUsageAndExit(2);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      PrintUsageAndExit(2);
+    }
+  }
+  if (path.empty()) {
+    PrintUsageAndExit(2);
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    std::cerr << "I/O failure while reading " << path << "\n";
+    return 1;
+  }
+
+  Result<obs::ParsedTrace> trace = obs::ParseChromeTrace(buffer.str());
+  if (!trace.ok()) {
+    std::cerr << "cannot parse " << path << ": " << trace.status() << "\n";
+    return 1;
+  }
+  const obs::TraceReport report = obs::AnalyzeTrace(*trace);
+  std::cout << obs::FormatTraceReport(report, top_n);
+  return 0;
+}
