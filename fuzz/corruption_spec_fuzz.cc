@@ -1,0 +1,46 @@
+// libFuzzer entry point for the corruption-spec parser: no input may
+// crash or hang, accepted specs must stay inside their documented
+// ranges, and the spec -> string -> spec round-trip must be a fixpoint.
+// Build with -DHEMATCH_BUILD_FUZZERS=ON (requires clang's libFuzzer).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "gen/log_corruptor.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace hematch;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  Result<CorruptionSpec> parsed = ParseCorruptionSpec(text);
+  if (!parsed.ok()) {
+    return 0;
+  }
+  const CorruptionSpec& spec = parsed.value();
+  // Accepted probabilities are in [0, 1] (NaN must never get through).
+  for (const double p :
+       {spec.drop_event, spec.duplicate_event, spec.swap_adjacent,
+        spec.relabel_class, spec.junk_rate, spec.drop_trace}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      __builtin_trap();
+    }
+  }
+  if (spec.inject_junk_classes > 4096) {
+    __builtin_trap();
+  }
+  // Printing and reparsing must reproduce the same spec.
+  Result<CorruptionSpec> reparsed =
+      ParseCorruptionSpec(CorruptionSpecToString(spec));
+  if (!reparsed.ok() || reparsed->drop_event != spec.drop_event ||
+      reparsed->duplicate_event != spec.duplicate_event ||
+      reparsed->swap_adjacent != spec.swap_adjacent ||
+      reparsed->relabel_class != spec.relabel_class ||
+      reparsed->inject_junk_classes != spec.inject_junk_classes ||
+      reparsed->junk_rate != spec.junk_rate ||
+      reparsed->drop_trace != spec.drop_trace ||
+      reparsed->seed != spec.seed) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -160,4 +160,68 @@ print(f"ok: vectorized {doc['speedup']:.1f}x over legacy, supports identical")
 EOF
 fi
 
+# Noise-recovery gate: sweep corruption rates on the bus workload and
+# hold the recovery floor (docs/ROBUSTNESS.md, "Dirty logs and partial
+# mappings"): perfect recovery on clean input, >= 0.9 through moderate
+# noise, and no cliff before the documented fallback point.
+if [[ -x "$BUILD_DIR/bench/bench_noise" ]]; then
+  echo "== noise recovery"
+  HEMATCH_BENCH_METRICS_DIR="$tmp" "$BUILD_DIR/bench/bench_noise" 400
+
+  python3 - "$tmp/BENCH_noise.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hematch.bench_noise.v1", doc.get("schema")
+points = doc["points"]
+assert points, "no sweep points recorded"
+assert points[0]["rate"] == 0.0, "first point must be the clean run"
+f = [p["pair_f"] for p in points]
+assert f[0] >= 0.9, f"clean-run recovery F only {f[0]:.3f}"
+for p in points:
+    if p["rate"] <= 0.3:
+        assert p["pair_f"] >= 0.9, (
+            f"recovery F {p['pair_f']:.3f} at low noise rate {p['rate']}")
+best = f[0]
+for prev, point in zip(points, points[1:]):
+    assert point["pair_f"] <= best + 0.1, (
+        f"recovery F rose from {prev['pair_f']:.3f} to "
+        f"{point['pair_f']:.3f} at rate {point['rate']} — "
+        "non-monotone degradation")
+    best = max(best, point["pair_f"])
+clean = points[0]
+assert clean["dropped_events"] == 0, "clean point was corrupted"
+assert clean["truth_unmapped"] == 0, "clean point planted nulls"
+print(f"ok: recovery F {f[0]:.2f} clean -> {f[-1]:.2f} at rate "
+      f"{points[-1]['rate']} across {len(points)} points")
+EOF
+fi
+
+# Noise-drill smoke: the CLI must survive a corrupted input end to end —
+# reproducible via --seed, salvaging the dirty CSV, matching under the
+# partial objective, and reporting the corruption in the noise.* metrics.
+echo "== noise drill"
+"$BUILD_DIR/tools/hematch_cli" --method=pattern-tight \
+  --corrupt='drop=0.3,dup=0.1,junk=2,junk_rate=0.2' --seed=7 \
+  --partial-penalty=0.35 \
+  --metrics-out="$tmp/noise_drill.json" data/dept_a.tr data/dept_b.csv \
+  > "$tmp/noise_drill.out"
+
+python3 - "$tmp/noise_drill.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+run = doc["runs"][0]
+counters = run["telemetry"]["counters"]
+noise = {k: v for k, v in counters.items() if k.startswith("noise.")}
+assert noise, "corruption drill recorded no noise.* counters"
+assert sum(noise.values()) > 0, noise
+assert run["elapsed_ms"] >= 0.0
+print(f"ok: noise drill survived ({len(noise)} noise counters recorded)")
+EOF
+
 echo "all checks passed"

@@ -53,11 +53,15 @@ std::unique_ptr<Matcher> MakeMatcher(const MatchPipelineOptions& options) {
       heuristic.scorer = options.scorer;
       return std::make_unique<HeuristicAdvancedMatcher>(heuristic);
     }
-    case MatchMethod::kVertex:
-      return std::make_unique<VertexMatcher>();
+    case MatchMethod::kVertex: {
+      VertexOptions vertex;
+      vertex.partial = options.scorer.partial;
+      return std::make_unique<VertexMatcher>(vertex);
+    }
     case MatchMethod::kVertexEdge: {
       VertexEdgeOptions ve;
       ve.max_expansions = options.max_expansions;
+      ve.partial = options.scorer.partial;
       return std::make_unique<VertexEdgeMatcher>(ve);
     }
     case MatchMethod::kIterative:

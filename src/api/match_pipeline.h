@@ -65,7 +65,11 @@ struct MatchPipelineOptions {
   bool portfolio = false;
   /// Worker-thread cap for portfolio mode; 0 = one thread per strategy.
   int portfolio_threads = 0;
-  /// Bound / existence-check configuration.
+  /// Bound / existence-check / partial-mapping configuration. Setting
+  /// `scorer.partial.unmapped_penalty` finite enables partial mappings
+  /// in every method that understands them (exact A*, both heuristics,
+  /// Vertex, Vertex+Edge, the fallback ladder, and the portfolio); the
+  /// Iterative/Entropy baselines always produce total mappings.
   ScorerOptions scorer;
   /// Collect structured metrics for this run (`MatchPipelineOutcome::
   /// telemetry`). When false the run pays no metric bookkeeping and the

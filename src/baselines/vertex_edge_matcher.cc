@@ -28,6 +28,7 @@ Result<MatchResult> VertexEdgeMatcher::Match(MatchingContext& context) const {
 
   AStarOptions astar_options;
   astar_options.scorer.bound = BoundKind::kTight;
+  astar_options.scorer.partial = options_.partial;
   astar_options.max_expansions = options_.max_expansions;
   astar_options.name_override = name();
   const AStarMatcher astar(astar_options);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/mapping_scorer.h"
 #include "core/matcher.h"
 
 namespace hematch {
@@ -13,6 +14,8 @@ struct VertexEdgeOptions {
   /// Expansion budget; like the exact pattern matcher, Vertex+Edge is a
   /// full search and "cannot return results" beyond ~20 events (Fig. 12).
   std::uint64_t max_expansions = 50'000'000;
+  /// Partial-mapping semantics, forwarded to the inner A* run.
+  PartialMappingOptions partial;
 };
 
 /// The **Vertex+Edge** baseline of Kang & Naughton [7]: maximize the

@@ -16,11 +16,16 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
                              "match." + obs::MetricSlug(name()), "baselines");
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
-  if (n1 > n2) {
+  const bool partial = options_.partial.enabled();
+  if (n1 > n2 && !partial) {
     return Status::InvalidArgument(
-        "Vertex matcher requires |V1| <= |V2|; swap the logs");
+        "Vertex matcher requires |V1| <= |V2|; swap the logs or enable "
+        "partial mappings");
   }
-  const std::size_t n = std::max(n1, n2);
+  // ⊥ columns (one per real source) make rectangular instances legal
+  // under partial mappings; assigning a source there pays the penalty.
+  const std::size_t num_cols = partial ? n2 + n1 : n2;
+  const std::size_t n = std::max(n1, num_cols);
 
   // Pairwise vertex-frequency similarities, zero-padded to square.
   // Budget trips leave the remaining rows at weight zero: the
@@ -29,6 +34,11 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
   std::uint64_t rows_filled = 0;
   std::vector<std::vector<double>> weights(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n1; ++i) {
+    if (partial) {
+      for (std::size_t j = n2; j < num_cols; ++j) {
+        weights[i][j] = -options_.partial.unmapped_penalty;
+      }
+    }
     if (!governor.CheckExpansions(n2)) break;
     ++rows_filled;
     for (std::size_t j = 0; j < n2; ++j) {
@@ -48,12 +58,20 @@ Result<MatchResult> VertexMatcher::Match(MatchingContext& context) const {
     const std::size_t j = assignment.assignment[i];
     if (j < n2) {
       result.mapping.Set(static_cast<EventId>(i), static_cast<EventId>(j));
+    } else if (partial) {
+      result.mapping.SetUnmapped(static_cast<EventId>(i));
     }
   }
   // One assignment solve over the (possibly truncated) weight matrix.
   result.mappings_processed = rows_filled * n2;
   result.objective = VertexNormalDistance(context.graph1(), context.graph2(),
                                           result.mapping);
+  if (partial && result.mapping.num_null_sources() > 0) {
+    result.objective -=
+        options_.partial.unmapped_penalty *
+        static_cast<double>(result.mapping.num_null_sources());
+  }
+  FinalizePartialMapping(context, name(), options_.partial, result);
   FinalizeMatchTelemetry(context, name(), watch, result);
   return result;
 }

@@ -3,9 +3,18 @@
 
 #include <string>
 
+#include "core/mapping_scorer.h"
 #include "core/matcher.h"
 
 namespace hematch {
+
+/// Options for the Vertex baseline.
+struct VertexOptions {
+  /// Partial-mapping semantics; with a finite penalty the assignment
+  /// matrix gains one ⊥ column per source (so |V1| > |V2| is legal) and
+  /// the objective subtracts the penalty per unmapped source.
+  PartialMappingOptions partial;
+};
 
 /// The **Vertex** baseline of Kang & Naughton [7]: find the mapping that
 /// maximizes the vertex-form normal distance (Definition 2 with v1 = v2),
@@ -17,8 +26,14 @@ namespace hematch {
 /// case — vertex patterns only). Dummy events pad rectangular instances.
 class VertexMatcher : public Matcher {
  public:
+  VertexMatcher() = default;
+  explicit VertexMatcher(VertexOptions options) : options_(options) {}
+
   std::string name() const override { return "Vertex"; }
   Result<MatchResult> Match(MatchingContext& context) const override;
+
+ private:
+  VertexOptions options_;
 };
 
 }  // namespace hematch

@@ -51,10 +51,18 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
   const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
-  if (n1 > n2) {
+  const bool partial = options_.scorer.partial.enabled();
+  const double unmapped_penalty = options_.scorer.partial.unmapped_penalty;
+  if (n1 > n2 && !partial) {
     return Status::InvalidArgument(
-        "A* matcher requires |V1| <= |V2|; swap the logs");
+        "A* matcher requires |V1| <= |V2|; swap the logs or enable "
+        "partial mappings");
   }
+  // Number of decided sources (mapped or ⊥) — the search depth. Equal
+  // to mapping.size() whenever partial mappings are off.
+  auto decided = [](const Mapping& m) {
+    return m.size() + m.num_null_sources();
+  };
 
   MappingScorer scorer(context, options_.scorer);
   exec::ExecutionGovernor& governor = context.governor();
@@ -138,7 +146,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     p.nodes_visited = result.nodes_visited;
     p.mappings_processed = result.mappings_processed;
     p.open_list_size = open_size;
-    p.depth = node.mapping.size();
+    p.depth = decided(node.mapping);
     p.max_depth = n1;
     p.best_f = node.f();
     p.best_g = best_g_seen;
@@ -223,7 +231,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     // (one evaluation per remaining pattern).
     const double deadline = governor.budget().deadline_ms;
     const double grace_ms = deadline > 0.0 ? deadline * 1.5 + 25.0 : -1.0;
-    std::size_t depth = m.size();
+    std::size_t depth = decided(m);
     for (; depth < n1; ++depth) {
       if (grace_ms > 0.0 && watch.ElapsedMs() > grace_ms) break;
       const EventId source = order[depth];
@@ -236,7 +244,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
         m.Set(source, target);
         double gain = 0.0;
         for (std::uint32_t pid : completed_at[depth + 1]) {
-          gain += scorer.CompletedContribution(pid, m);
+          gain += scorer.CompletedOrDeadContribution(pid, m);
         }
         m.Erase(source);
         if (!have || gain > best_gain) {
@@ -245,6 +253,14 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
           best_target = target;
         }
       }
+      if (partial && (!have || -unmapped_penalty > best_gain)) {
+        // Every pattern completing at this depth contains `source`, so
+        // ⊥ kills them all: the exact incremental gain is -penalty.
+        ++result.mappings_processed;
+        m.SetUnmapped(source);
+        g -= unmapped_penalty;
+        continue;
+      }
       m.Set(source, best_target);
       g += best_gain;
     }
@@ -252,16 +268,22 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       const std::size_t scored_upto = depth;
       for (; depth < n1; ++depth) {
         const EventId source = order[depth];
+        bool placed = false;
         for (EventId target = 0; target < n2; ++target) {
           if (!m.IsTargetUsed(target)) {
             m.Set(source, target);
+            placed = true;
             break;
           }
+        }
+        if (!placed) {
+          m.SetUnmapped(source);
+          g -= unmapped_penalty;
         }
       }
       for (std::size_t d = scored_upto; d < n1; ++d) {
         for (std::uint32_t pid : completed_at[d + 1]) {
-          g += scorer.CompletedContribution(pid, m);
+          g += scorer.CompletedOrDeadContribution(pid, m);
         }
       }
     }
@@ -276,6 +298,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     best_f_gauge->Set(result.objective);
     bound_gap_gauge->Set(result.upper_bound - result.lower_bound);
     open_list_peak->SetMax(static_cast<double>(open_size));
+    FinalizePartialMapping(context, method, options_.scorer.partial, result);
     FinalizeMatchTelemetry(context, method, watch, result);
     trace_completion(open_size);
     return result;
@@ -292,7 +315,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     governor.ReleaseMemory(node_bytes);
     ++result.nodes_visited;
     best_g_seen = std::max(best_g_seen, node.g);
-    depth_hist->Observe(static_cast<double>(node.mapping.size()));
+    depth_hist->Observe(static_cast<double>(decided(node.mapping)));
     bound_gap_hist->Observe(node.f() - best_g_seen);
     if ((tracer != nullptr || recorder != nullptr) &&
         result.nodes_visited >= next_report) {
@@ -303,7 +326,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       ++epoch;
       next_report += interval;
     }
-    const std::size_t depth = node.mapping.size();
+    const std::size_t depth = decided(node.mapping);
     if (depth == n1) {
       // First complete pop: optimal, since h is an upper bound.
       result.mapping = std::move(node.mapping);
@@ -314,6 +337,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       best_f_gauge->Set(node.g);
       bound_gap_gauge->Set(0.0);
       open_list_peak->SetMax(static_cast<double>(queue.size()));
+      FinalizePartialMapping(context, method, options_.scorer.partial, result);
       FinalizeMatchTelemetry(context, method, watch, result);
       trace_completion(queue.size());
       return result;
@@ -344,8 +368,31 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       Node child{node.mapping, node.g, 0.0, sequence++};
       child.mapping.Set(source, target);
       for (std::uint32_t pid : completed_at[depth + 1]) {
-        child.g += scorer.CompletedContribution(pid, child.mapping);
+        child.g += scorer.CompletedOrDeadContribution(pid, child.mapping);
       }
+      child.h = scorer.ComputeHForRemaining(child.mapping,
+                                            remaining_after[depth + 1]);
+      governor.ChargeMemory(node_bytes);
+      queue.push(std::move(child));
+      ++children_pushed;
+    }
+    if (partial) {
+      // The "unmap v1" branch: map `source` to ⊥. Every pattern that
+      // completes at this depth contains `source` and dies, so the
+      // incremental g is exactly -penalty; remaining dead patterns get
+      // Δ = 0 inside ComputeHForRemaining, keeping h admissible.
+      if (result.mappings_processed >= options_.max_expansions) {
+        return anytime_result(std::move(node), queue.size() + 1,
+                              exec::TerminationReason::kExpansionCap);
+      }
+      if (!governor.CheckExpansions(1)) {
+        return anytime_result(std::move(node), queue.size() + 1,
+                              governor.reason());
+      }
+      ++result.mappings_processed;
+
+      Node child{node.mapping, node.g - unmapped_penalty, 0.0, sequence++};
+      child.mapping.SetUnmapped(source);
       child.h = scorer.ComputeHForRemaining(child.mapping,
                                             remaining_after[depth + 1]);
       governor.ChargeMemory(node_bytes);

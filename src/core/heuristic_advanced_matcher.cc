@@ -1,6 +1,7 @@
 #include "core/heuristic_advanced_matcher.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/alternating_tree.h"
@@ -13,14 +14,21 @@ namespace hematch {
 namespace {
 
 // Converts padded match arrays into a Mapping over the real vocabularies,
-// dropping pairs that involve padding rows/columns.
+// dropping pairs that involve padding rows/columns. With partial
+// mappings, columns `j >= n2` are ⊥ slots: a real source matched there
+// is explicitly unmapped.
 Mapping ToMapping(const std::vector<std::int32_t>& match1, std::size_t n1,
-                  std::size_t n2) {
+                  std::size_t n2, bool partial) {
   Mapping mapping(n1, n2);
   for (std::size_t i = 0; i < n1; ++i) {
     const std::int32_t j = match1[i];
-    if (j != kUnmatchedVertex && static_cast<std::size_t>(j) < n2) {
+    if (j == kUnmatchedVertex) {
+      continue;
+    }
+    if (static_cast<std::size_t>(j) < n2) {
       mapping.Set(static_cast<EventId>(i), static_cast<EventId>(j));
+    } else if (partial) {
+      mapping.SetUnmapped(static_cast<EventId>(i));
     }
   }
   return mapping;
@@ -37,11 +45,17 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
   const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
-  if (n1 > n2) {
+  const bool partial = options_.scorer.partial.enabled();
+  if (n1 > n2 && !partial) {
     return Status::InvalidArgument(
-        "heuristic matcher requires |V1| <= |V2|; swap the logs");
+        "heuristic matcher requires |V1| <= |V2|; swap the logs or "
+        "enable partial mappings");
   }
-  const std::size_t n = std::max(n1, n2);
+  // With partial mappings the matrix gains one ⊥ column per real
+  // source, making the rectangle |V1| x (|V2| + |V1|) feasible for any
+  // vocabulary sizes.
+  const std::size_t num_cols = partial ? n2 + n1 : n2;
+  const std::size_t n = std::max(n1, num_cols);
 
   MappingScorer scorer(context, options_.scorer);
   exec::ExecutionGovernor& governor = context.governor();
@@ -55,13 +69,19 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
                              "core");
 
   // Padded theta: dummy sources (i >= n1) score 0 against every target,
-  // the "artificial events" that equalize |V1| and |V2|.
+  // the "artificial events" that equalize |V1| and |V2|. ⊥ columns cost
+  // the penalty for real sources and nothing for dummy rows.
   std::vector<std::vector<double>> theta(n, std::vector<double>(n, 0.0));
   {
     const std::vector<std::vector<double>> real =
         ComputeThetaScores(context, options_.theta_form);
     for (std::size_t i = 0; i < n1; ++i) {
       std::copy(real[i].begin(), real[i].end(), theta[i].begin());
+      if (partial) {
+        for (std::size_t j = n2; j < num_cols; ++j) {
+          theta[i][j] = -options_.scorer.partial.unmapped_penalty;
+        }
+      }
     }
   }
 
@@ -84,7 +104,7 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
     }
     // Candidate generation: a maximal alternating tree per unmatched
     // source, scored per augmenting path (Lines 3-7 of Algorithm 3).
-    double best_score = -1.0;
+    double best_score = -std::numeric_limits<double>::infinity();
     AlternatingTree best_tree;
     std::int32_t best_root = kUnmatchedVertex;
     std::int32_t best_endpoint = kUnmatchedVertex;
@@ -106,7 +126,7 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
         std::vector<std::int32_t> candidate2 = match2;
         AugmentAlongPath(tree, static_cast<std::int32_t>(u), endpoint,
                          candidate1, candidate2);
-        const Mapping candidate = ToMapping(candidate1, n1, n2);
+        const Mapping candidate = ToMapping(candidate1, n1, n2, partial);
         const double score = scorer.ComputeScore(candidate).total();
         if (score > best_score) {
           best_score = score;
@@ -145,18 +165,23 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
     }
   }
 
-  Mapping mapping = ToMapping(match1, n1, n2);
+  Mapping mapping = ToMapping(match1, n1, n2, partial);
   if (tripped) {
     // Anytime: first-fit the sources the truncated augmentation loop
     // left unmatched so the returned mapping is still complete.
     for (std::size_t i = 0; i < n1; ++i) {
       const EventId source = static_cast<EventId>(i);
-      if (mapping.IsSourceMapped(source)) continue;
+      if (mapping.IsSourceDecided(source)) continue;
+      bool placed = false;
       for (EventId target = 0; target < n2; ++target) {
         if (!mapping.IsTargetUsed(target)) {
           mapping.Set(source, target);
+          placed = true;
           break;
         }
+      }
+      if (!placed) {
+        mapping.SetUnmapped(source);  // Targets exhausted (|V1| > |V2|).
       }
     }
     result.termination = governor.reason();
@@ -164,6 +189,7 @@ Result<MatchResult> HeuristicAdvancedMatcher::Match(
   HEMATCH_CHECK(mapping.IsComplete(), "advanced heuristic left V1 unmapped");
   result.objective = scorer.ComputeG(mapping);
   result.mapping = std::move(mapping);
+  FinalizePartialMapping(context, method, options_.scorer.partial, result);
   FinalizeMatchTelemetry(context, method, watch, result);
   if (tracer != nullptr) {
     obs::SearchProgress done;

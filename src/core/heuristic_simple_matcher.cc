@@ -1,6 +1,7 @@
 #include "core/heuristic_simple_matcher.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "core/match_telemetry.h"
@@ -16,9 +17,11 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
   const obs::Stopwatch watch;
   const std::size_t n1 = context.num_sources();
   const std::size_t n2 = context.num_targets();
-  if (n1 > n2) {
+  const bool partial = options_.scorer.partial.enabled();
+  if (n1 > n2 && !partial) {
     return Status::InvalidArgument(
-        "heuristic matcher requires |V1| <= |V2|; swap the logs");
+        "heuristic matcher requires |V1| <= |V2|; swap the logs or "
+        "enable partial mappings");
   }
 
   MappingScorer scorer(context, options_.scorer);
@@ -49,8 +52,9 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
       break;
     }
     const EventId source = order[depth];
-    double best_score = -1.0;
+    double best_score = -std::numeric_limits<double>::infinity();
     EventId best_target = kInvalidEventId;
+    bool best_null = false;
     for (EventId target = 0; target < n2; ++target) {
       if (mapping.IsTargetUsed(target)) {
         continue;
@@ -66,14 +70,35 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
       if (score > best_score) {
         best_score = score;
         best_target = target;
+        best_null = false;
       }
     }
-    if (tripped && best_target == kInvalidEventId) {
+    if (partial && !tripped) {
+      // The ⊥ augmentation competes with every target on equal terms.
+      if (!governor.CheckExpansions(1)) {
+        tripped = true;
+      } else {
+        ++result.mappings_processed;
+        mapping.SetUnmapped(source);
+        const double score = scorer.ComputeScore(mapping).total();
+        mapping.ClearUnmapped(source);
+        if (score > best_score) {
+          best_score = score;
+          best_target = kInvalidEventId;
+          best_null = true;
+        }
+      }
+    }
+    if (tripped && best_target == kInvalidEventId && !best_null) {
       break;  // Nothing scored at this depth; first-fit it below.
     }
-    HEMATCH_CHECK(best_target != kInvalidEventId,
-                  "no unused target available");
-    mapping.Set(source, best_target);
+    if (best_null) {
+      mapping.SetUnmapped(source);
+    } else {
+      HEMATCH_CHECK(best_target != kInvalidEventId,
+                    "no unused target available");
+      mapping.Set(source, best_target);
+    }
     steps->Increment();
     ++result.nodes_visited;
     if (tracer != nullptr) {
@@ -101,18 +126,24 @@ Result<MatchResult> HeuristicSimpleMatcher::Match(
     // complete, and report how the run was cut short.
     for (std::size_t depth = 0; depth < n1; ++depth) {
       const EventId source = order[depth];
-      if (mapping.IsSourceMapped(source)) continue;
+      if (mapping.IsSourceDecided(source)) continue;
+      bool placed = false;
       for (EventId target = 0; target < n2; ++target) {
         if (!mapping.IsTargetUsed(target)) {
           mapping.Set(source, target);
+          placed = true;
           break;
         }
+      }
+      if (!placed) {
+        mapping.SetUnmapped(source);  // Targets exhausted (|V1| > |V2|).
       }
     }
     result.termination = governor.reason();
   }
   result.objective = scorer.ComputeG(mapping);
   result.mapping = std::move(mapping);
+  FinalizePartialMapping(context, method, options_.scorer.partial, result);
   FinalizeMatchTelemetry(context, method, watch, result);
   if (tracer != nullptr) {
     obs::SearchProgress done;

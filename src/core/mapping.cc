@@ -45,6 +45,7 @@ void Mapping::Set(EventId source, EventId target) {
   HEMATCH_CHECK(target < backward_.size(), "mapping target out of range");
   HEMATCH_CHECK(forward_[source] == kInvalidEventId,
                 "source already mapped");
+  HEMATCH_CHECK(!IsSourceNull(source), "source already mapped to ⊥");
   HEMATCH_CHECK(backward_[target] == kInvalidEventId,
                 "target already used (mapping must stay injective)");
   forward_[source] = target;
@@ -61,10 +62,39 @@ void Mapping::Erase(EventId source) {
   --size_;
 }
 
+void Mapping::SetUnmapped(EventId source) {
+  HEMATCH_CHECK(source < forward_.size(), "mapping source out of range");
+  HEMATCH_CHECK(forward_[source] == kInvalidEventId,
+                "source already mapped");
+  if (null_.empty()) {
+    null_.assign(forward_.size(), 0);
+  }
+  HEMATCH_CHECK(null_[source] == 0, "source already mapped to ⊥");
+  null_[source] = 1;
+  ++null_count_;
+}
+
+void Mapping::ClearUnmapped(EventId source) {
+  HEMATCH_CHECK(source < forward_.size(), "mapping source out of range");
+  HEMATCH_CHECK(IsSourceNull(source), "source not mapped to ⊥");
+  null_[source] = 0;
+  --null_count_;
+}
+
 std::vector<EventId> Mapping::UnmappedSources() const {
   std::vector<EventId> out;
   for (EventId v = 0; v < forward_.size(); ++v) {
-    if (forward_[v] == kInvalidEventId) {
+    if (forward_[v] == kInvalidEventId && !IsSourceNull(v)) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<EventId> Mapping::NullSources() const {
+  std::vector<EventId> out;
+  for (EventId v = 0; v < forward_.size(); ++v) {
+    if (IsSourceNull(v)) {
       out.push_back(v);
     }
   }
@@ -98,7 +128,7 @@ std::string Mapping::ToString(const EventDictionary* source_dict,
   };
   std::string out;
   for (EventId v = 0; v < forward_.size(); ++v) {
-    if (forward_[v] == kInvalidEventId) {
+    if (forward_[v] == kInvalidEventId && !IsSourceNull(v)) {
       continue;
     }
     if (!out.empty()) {
@@ -106,7 +136,11 @@ std::string Mapping::ToString(const EventDictionary* source_dict,
     }
     out += name(source_dict, v);
     out += "->";
-    out += name(target_dict, forward_[v]);
+    if (IsSourceNull(v)) {
+      out += "⊥";
+    } else {
+      out += name(target_dict, forward_[v]);
+    }
   }
   return out;
 }

@@ -30,6 +30,14 @@ class Mapping {
   /// Removes the pair for `source`. Requires `source` mapped.
   void Erase(EventId source);
 
+  /// Explicitly maps `source` to ⊥ (no counterpart in `V2`). Requires
+  /// `source` currently undecided. Null sources count toward
+  /// IsComplete() but consume no target.
+  void SetUnmapped(EventId source);
+
+  /// Reverts a SetUnmapped decision. Requires `source` null.
+  void ClearUnmapped(EventId source);
+
   /// Target of `source`, or `kInvalidEventId` when unmapped.
   EventId TargetOf(EventId source) const { return forward_[source]; }
 
@@ -43,20 +51,35 @@ class Mapping {
     return backward_[target] != kInvalidEventId;
   }
 
+  /// True when `source` has been explicitly mapped to ⊥.
+  bool IsSourceNull(EventId source) const {
+    return !null_.empty() && null_[source] != 0;
+  }
+  /// True when `source` is either mapped or explicitly ⊥.
+  bool IsSourceDecided(EventId source) const {
+    return IsSourceMapped(source) || IsSourceNull(source);
+  }
+
   std::size_t num_sources() const { return forward_.size(); }
   std::size_t num_targets() const { return backward_.size(); }
 
-  /// Number of mapped pairs.
+  /// Number of mapped pairs (null sources are not counted).
   std::size_t size() const { return size_; }
 
-  /// True when every source is mapped (the notion of "complete" used by
-  /// the matchers; requires num_sources() <= num_targets()).
-  bool IsComplete() const { return size_ == forward_.size(); }
+  /// Number of sources explicitly mapped to ⊥.
+  std::size_t num_null_sources() const { return null_count_; }
 
-  /// Unmapped sources (`U1`), ascending.
+  /// True when every source is decided: mapped to a target or
+  /// explicitly to ⊥. Without SetUnmapped this is the classic "every
+  /// source mapped" (which requires num_sources() <= num_targets()).
+  bool IsComplete() const { return size_ + null_count_ == forward_.size(); }
+
+  /// Undecided sources (`U1`: neither mapped nor ⊥), ascending.
   std::vector<EventId> UnmappedSources() const;
   /// Unused targets (`U2`), ascending.
   std::vector<EventId> UnusedTargets() const;
+  /// Sources explicitly mapped to ⊥, ascending.
+  std::vector<EventId> NullSources() const;
 
   /// Translates a pattern over `V1` into the corresponding pattern `M(p)`
   /// over `V2`. Returns nullopt when any event of `p` is unmapped.
@@ -67,13 +90,27 @@ class Mapping {
                        const EventDictionary* target_dict = nullptr) const;
 
   friend bool operator==(const Mapping& a, const Mapping& b) {
-    return a.forward_ == b.forward_;
+    if (a.forward_ != b.forward_ || a.null_count_ != b.null_count_) {
+      return false;
+    }
+    if (a.null_count_ == 0) {
+      return true;
+    }
+    for (EventId v = 0; v < a.forward_.size(); ++v) {
+      if (a.IsSourceNull(v) != b.IsSourceNull(v)) {
+        return false;
+      }
+    }
+    return true;
   }
 
  private:
   std::vector<EventId> forward_;
   std::vector<EventId> backward_;
+  // Lazily sized on first SetUnmapped; empty means "no null sources".
+  std::vector<unsigned char> null_;
   std::size_t size_ = 0;
+  std::size_t null_count_ = 0;
 };
 
 }  // namespace hematch

@@ -55,6 +55,49 @@ double MappingScorer::CompletedContribution(std::size_t pid,
   return FrequencySimilarity(f1, f2);
 }
 
+bool MappingScorer::IsPatternDead(std::size_t pid, const Mapping& m) const {
+  if (!options_.partial.enabled() || m.num_null_sources() == 0) {
+    return false;
+  }
+  const Pattern& p = context_->patterns()[pid];
+  for (EventId v : p.events()) {
+    if (m.IsSourceNull(v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double MappingScorer::CompletedOrDeadContribution(std::size_t pid,
+                                                  const Mapping& m) {
+  if (IsPatternDead(pid, m)) {
+    return 0.0;
+  }
+  return CompletedContribution(pid, m);
+}
+
+double MappingScorer::NullPenalty(const Mapping& m) const {
+  if (!options_.partial.enabled() || m.num_null_sources() == 0) {
+    return 0.0;
+  }
+  return options_.partial.unmapped_penalty *
+         static_cast<double>(m.num_null_sources());
+}
+
+double MappingScorer::ForcedNullPenalty(const Mapping& m,
+                                        std::size_t num_unused) const {
+  if (!options_.partial.enabled()) {
+    return 0.0;
+  }
+  const std::size_t undecided =
+      m.num_sources() - m.size() - m.num_null_sources();
+  if (undecided <= num_unused) {
+    return 0.0;
+  }
+  return options_.partial.unmapped_penalty *
+         static_cast<double>(undecided - num_unused);
+}
+
 double MappingScorer::ComputeG(const Mapping& m) {
   g_evals_->Increment();
   double g = 0.0;
@@ -64,7 +107,7 @@ double MappingScorer::ComputeG(const Mapping& m) {
       g += CompletedContribution(pid, m);
     }
   }
-  return g;
+  return g - NullPenalty(m);
 }
 
 double MappingScorer::IncompleteBound(std::size_t pid, const Mapping& m,
@@ -73,6 +116,12 @@ double MappingScorer::IncompleteBound(std::size_t pid, const Mapping& m,
                                       std::vector<char>& in_union) {
   const Pattern& p = context_->patterns()[pid];
   const double f1 = context_->PatternFrequency1(pid);
+  // A pattern with a ⊥ event contributes 0 to every completion; this is
+  // both required for admissibility bookkeeping and strictly tighter
+  // than either Δ estimate.
+  if (IsPatternDead(pid, m)) {
+    return 0.0;
+  }
   if (options_.bound == BoundKind::kSimple) {
     return 1.0;  // Section 3.3: each remaining pattern contributes <= 1.
   }
@@ -139,7 +188,7 @@ double MappingScorer::ComputeH(const Mapping& m) {
     }
     h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
   }
-  return h;
+  return h - ForcedNullPenalty(m, unused.size());
 }
 
 double MappingScorer::ComputeHForRemaining(
@@ -159,7 +208,7 @@ double MappingScorer::ComputeHForRemaining(
   for (std::uint32_t pid : remaining) {
     h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
   }
-  return h;
+  return h - ForcedNullPenalty(m, unused.size());
 }
 
 MappingScorer::Score MappingScorer::ComputeScore(const Mapping& m) {
@@ -184,6 +233,8 @@ MappingScorer::Score MappingScorer::ComputeScore(const Mapping& m) {
       score.h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
     }
   }
+  score.g -= NullPenalty(m);
+  score.h -= ForcedNullPenalty(m, unused.size());
   return score;
 }
 

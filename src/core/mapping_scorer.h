@@ -1,6 +1,7 @@
 #ifndef HEMATCH_CORE_MAPPING_SCORER_H_
 #define HEMATCH_CORE_MAPPING_SCORER_H_
 
+#include <limits>
 #include <vector>
 
 #include "core/bounding.h"
@@ -10,12 +11,35 @@
 
 namespace hematch {
 
+/// Partial-mapping objective: any `v1` may map to ⊥ at a fixed
+/// per-vertex penalty. The objective becomes
+///
+///   D^N_partial(M) = Σ_{p : V(p) fully mapped} d(p)
+///                    − unmapped_penalty · |{v1 : M(v1) = ⊥}|
+///
+/// where a pattern containing a ⊥ event ("dead") contributes 0. The
+/// default penalty of +∞ makes ⊥ never worthwhile and reproduces the
+/// classic total-mapping objective bit-for-bit (all ⊥ branches are
+/// disabled, not merely unattractive).
+struct PartialMappingOptions {
+  double unmapped_penalty = std::numeric_limits<double>::infinity();
+  bool enabled() const {
+    return unmapped_penalty < std::numeric_limits<double>::infinity();
+  }
+  friend bool operator==(const PartialMappingOptions& a,
+                         const PartialMappingOptions& b) {
+    return a.unmapped_penalty == b.unmapped_penalty;
+  }
+};
+
 /// Options shared by every pattern-framework matcher.
 struct ScorerOptions {
   /// Which `Δ(p, U2)` powers the `h` estimate.
   BoundKind bound = BoundKind::kTight;
   /// How Proposition 3 pruning is applied before frequency evaluation.
   ExistenceCheckMode existence = ExistenceCheckMode::kLinearization;
+  /// Partial-mapping semantics (off by default: penalty = ∞).
+  PartialMappingOptions partial;
 };
 
 /// Evaluates the two A* node values of Section 3 for arbitrary partial
@@ -40,6 +64,23 @@ class MappingScorer {
 
   /// `d(p)` for a pattern all of whose events are mapped under `m`.
   double CompletedContribution(std::size_t pid, const Mapping& m);
+
+  /// True when the pattern contains a ⊥ event under `m` (it can never
+  /// contribute again). Always false when partial mappings are off.
+  bool IsPatternDead(std::size_t pid, const Mapping& m) const;
+
+  /// `CompletedContribution` that tolerates dead patterns (returns 0 for
+  /// them). Use where every event of the pattern is *decided* — mapped
+  /// or ⊥ — rather than necessarily mapped.
+  double CompletedOrDeadContribution(std::size_t pid, const Mapping& m);
+
+  /// `unmapped_penalty · |null sources|` of `m` (0 when partial is off).
+  double NullPenalty(const Mapping& m) const;
+
+  /// Penalty already forced on every completion of `m`: with `u`
+  /// undecided sources and only `t` unused targets, at least `u - t`
+  /// sources must still go to ⊥. 0 when partial is off.
+  double ForcedNullPenalty(const Mapping& m, std::size_t num_unused) const;
 
   /// `g(M)`: sum of `d(p)` over fully-mapped patterns.
   double ComputeG(const Mapping& m);

@@ -60,6 +60,13 @@ struct MatchResult {
   double upper_bound = 0.0;
   bool bounds_certified = false;
 
+  /// Sources the mapping left at ⊥ and the total penalty charged for
+  /// them, when partial mappings are enabled (see PartialMappingOptions;
+  /// `objective` already includes `-penalty_paid`). Both stay empty/0
+  /// under the classic total-mapping objective.
+  std::vector<EventId> unmapped_sources;
+  double penalty_paid = 0.0;
+
   /// Fallback ladder trace: one entry per stage that ran, in order.
   /// Empty for plain single-matcher runs (no ladder involved).
   std::vector<StageAttempt> stages;

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "core/mapping_scorer.h"
 #include "core/match_result.h"
 #include "core/matching_context.h"
 #include "exec/budget.h"
@@ -47,6 +48,29 @@ inline void FinalizeMatchTelemetry(MatchingContext& context,
   if (!result.completed()) {
     metrics.GetCounter(slug + ".budget_exhausted")->Increment();
   }
+}
+
+/// Fills `result.unmapped_sources` / `result.penalty_paid` from the
+/// result's mapping and publishes `<slug>.unmapped_sources` /
+/// `<slug>.penalty_paid` gauges. No-op (and no registry traffic) when
+/// partial mappings are off. Call before FinalizeMatchTelemetry so the
+/// gauges land in the same snapshot.
+inline void FinalizePartialMapping(MatchingContext& context,
+                                   const std::string& method,
+                                   const PartialMappingOptions& partial,
+                                   MatchResult& result) {
+  if (!partial.enabled()) {
+    return;
+  }
+  result.unmapped_sources = result.mapping.NullSources();
+  result.penalty_paid =
+      partial.unmapped_penalty *
+      static_cast<double>(result.unmapped_sources.size());
+  obs::MetricsRegistry& metrics = context.metrics();
+  const std::string slug = obs::MetricSlug(method);
+  metrics.GetGauge(slug + ".unmapped_sources")
+      ->Set(static_cast<double>(result.unmapped_sources.size()));
+  metrics.GetGauge(slug + ".penalty_paid")->Set(result.penalty_paid);
 }
 
 }  // namespace hematch

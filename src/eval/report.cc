@@ -22,9 +22,22 @@ MatchReport ExplainMapping(MatchingContext& context, const Mapping& mapping,
   for (std::size_t pid = 0; pid < context.num_patterns(); ++pid) {
     const Pattern& p = context.patterns()[pid];
     std::optional<Pattern> translated = mapping.TranslatePattern(p);
-    HEMATCH_CHECK(translated.has_value(), "complete mapping covers pattern");
     PatternEvidence evidence;
     evidence.pattern = p.ToString(&dict1);
+    if (!translated.has_value()) {
+      // A complete mapping fails to translate only when some event of
+      // the pattern maps to ⊥ (partial objective): the pattern is dead
+      // and contributes nothing.
+      HEMATCH_CHECK(mapping.num_null_sources() > 0,
+                    "complete mapping covers pattern");
+      evidence.translated_pattern = "⊥ (contains an unmapped event)";
+      evidence.f1 = context.PatternFrequency1(pid);
+      evidence.f2 = 0.0;
+      evidence.contribution = 0.0;
+      contributions[pid] = 0.0;
+      report.patterns.push_back(std::move(evidence));
+      continue;
+    }
     evidence.translated_pattern = translated->ToString(&dict2);
     evidence.f1 = context.PatternFrequency1(pid);
     evidence.f2 = context.PatternFrequency2(*translated, options.existence);
@@ -41,7 +54,9 @@ MatchReport ExplainMapping(MatchingContext& context, const Mapping& mapping,
     pair.source = v;
     pair.target = t;
     pair.source_name = dict1.Name(v);
-    pair.target_name = t < dict2.size() ? dict2.Name(t) : "?";
+    pair.target_name = t < dict2.size()
+                           ? dict2.Name(t)
+                           : (mapping.IsSourceNull(v) ? "⊥" : "?");
     double total = 0.0;
     for (std::uint32_t pid : context.pattern_index().PatternsInvolving(v)) {
       ++pair.num_patterns;

@@ -1,0 +1,319 @@
+#include "gen/log_corruptor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace hematch {
+
+namespace {
+
+constexpr std::size_t kMaxJunkClasses = 4096;
+
+Result<double> ParseProbability(std::string_view key, std::string_view value) {
+  double parsed = 0.0;
+  try {
+    std::size_t consumed = 0;
+    parsed = std::stod(std::string(value), &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("corruption spec: bad value for '" +
+                                   std::string(key) + "': '" +
+                                   std::string(value) + "'");
+  }
+  if (!(parsed >= 0.0 && parsed <= 1.0)) {
+    return Status::InvalidArgument("corruption spec: '" + std::string(key) +
+                                   "' must be a probability in [0, 1]");
+  }
+  return parsed;
+}
+
+Result<std::uint64_t> ParseUint(std::string_view key, std::string_view value,
+                                std::uint64_t max) {
+  std::uint64_t parsed = 0;
+  try {
+    std::size_t consumed = 0;
+    const std::string text(value);
+    if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+      throw std::invalid_argument("sign");
+    }
+    parsed = std::stoull(text, &consumed);
+    if (consumed != text.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("corruption spec: bad value for '" +
+                                   std::string(key) + "': '" +
+                                   std::string(value) + "'");
+  }
+  if (parsed > max) {
+    return Status::InvalidArgument("corruption spec: '" + std::string(key) +
+                                   "' exceeds the maximum of " +
+                                   std::to_string(max));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<CorruptionSpec> ParseCorruptionSpec(std::string_view text) {
+  CorruptionSpec spec;
+  const std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) {
+    return spec;
+  }
+  for (const std::string& field : SplitString(stripped, ',')) {
+    const std::string_view entry = StripWhitespace(field);
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "corruption spec: expected key=value, got '" + std::string(entry) +
+          "'");
+    }
+    const std::string_view key = StripWhitespace(entry.substr(0, eq));
+    const std::string_view value = StripWhitespace(entry.substr(eq + 1));
+    if (key == "drop") {
+      HEMATCH_ASSIGN_OR_RETURN(spec.drop_event, ParseProbability(key, value));
+    } else if (key == "dup") {
+      HEMATCH_ASSIGN_OR_RETURN(spec.duplicate_event,
+                               ParseProbability(key, value));
+    } else if (key == "swap") {
+      HEMATCH_ASSIGN_OR_RETURN(spec.swap_adjacent,
+                               ParseProbability(key, value));
+    } else if (key == "relabel") {
+      HEMATCH_ASSIGN_OR_RETURN(spec.relabel_class,
+                               ParseProbability(key, value));
+    } else if (key == "junk") {
+      HEMATCH_ASSIGN_OR_RETURN(std::uint64_t junk,
+                               ParseUint(key, value, kMaxJunkClasses));
+      spec.inject_junk_classes = static_cast<std::size_t>(junk);
+    } else if (key == "junk_rate") {
+      HEMATCH_ASSIGN_OR_RETURN(spec.junk_rate, ParseProbability(key, value));
+    } else if (key == "drop_trace") {
+      HEMATCH_ASSIGN_OR_RETURN(spec.drop_trace, ParseProbability(key, value));
+    } else if (key == "seed") {
+      HEMATCH_ASSIGN_OR_RETURN(
+          spec.seed, ParseUint(key, value, ~std::uint64_t{0}));
+    } else {
+      return Status::InvalidArgument("corruption spec: unknown key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+std::string CorruptionSpecToString(const CorruptionSpec& spec) {
+  std::ostringstream out;
+  // max_digits10 keeps the parse -> print -> parse round trip exact.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "drop=" << spec.drop_event << ",dup=" << spec.duplicate_event
+      << ",swap=" << spec.swap_adjacent << ",relabel=" << spec.relabel_class
+      << ",junk=" << spec.inject_junk_classes
+      << ",junk_rate=" << spec.junk_rate << ",drop_trace=" << spec.drop_trace
+      << ",seed=" << spec.seed;
+  return out.str();
+}
+
+CorruptionSpec ScaleCorruptionSpec(const CorruptionSpec& base, double rate) {
+  auto scale = [rate](double p) {
+    return std::clamp(p * rate, 0.0, 0.95);
+  };
+  CorruptionSpec out;
+  out.drop_event = scale(base.drop_event);
+  out.duplicate_event = scale(base.duplicate_event);
+  out.swap_adjacent = scale(base.swap_adjacent);
+  out.relabel_class = scale(base.relabel_class);
+  out.inject_junk_classes = static_cast<std::size_t>(
+      std::llround(static_cast<double>(base.inject_junk_classes) * rate));
+  out.junk_rate = scale(base.junk_rate);
+  out.drop_trace = scale(base.drop_trace);
+  out.seed = base.seed;
+  return out;
+}
+
+std::string CorruptionReport::ToString() const {
+  std::ostringstream out;
+  out << "dropped_events=" << dropped_events
+      << " duplicated_events=" << duplicated_events
+      << " swapped_pairs=" << swapped_pairs
+      << " relabeled_classes=" << relabeled_classes
+      << " injected_junk_classes=" << injected_junk_classes
+      << " injected_junk_events=" << injected_junk_events
+      << " dropped_traces=" << dropped_traces
+      << " vanished_classes=" << vanished_classes.size();
+  return out.str();
+}
+
+CorruptedLog CorruptLog(const EventLog& input, const CorruptionSpec& spec) {
+  Rng rng(spec.seed);
+  const std::size_t old_n = input.num_events();
+  // Junk classes live past the original id range while traces are
+  // rewritten; interning below maps everything to dense corrupted ids.
+  const std::size_t junk_base = old_n;
+
+  // Relabel channel: pick the renamed classes up front so the decision
+  // stream does not depend on trace content.
+  std::vector<char> relabeled(old_n, 0);
+  CorruptedLog out;
+  if (spec.relabel_class > 0.0) {
+    for (EventId c = 0; c < old_n; ++c) {
+      if (rng.NextBool(spec.relabel_class)) {
+        relabeled[c] = 1;
+        ++out.report.relabeled_classes;
+      }
+    }
+  }
+
+  // Rewrite traces in old-id space, one forked stream per trace so the
+  // noise in trace k does not depend on the lengths of traces before it.
+  std::vector<Trace> corrupted;
+  corrupted.reserve(input.num_traces());
+  std::vector<char> junk_seen(spec.inject_junk_classes, 0);
+  for (const Trace& trace : input.traces()) {
+    Rng trace_rng = rng.Fork();
+    if (spec.drop_trace > 0.0 && trace_rng.NextBool(spec.drop_trace)) {
+      ++out.report.dropped_traces;
+      continue;
+    }
+    Trace rewritten;
+    rewritten.reserve(trace.size() + 2);
+    for (EventId e : trace) {
+      if (spec.drop_event > 0.0 && trace_rng.NextBool(spec.drop_event)) {
+        ++out.report.dropped_events;
+        continue;
+      }
+      rewritten.push_back(e);
+      if (spec.duplicate_event > 0.0 &&
+          trace_rng.NextBool(spec.duplicate_event)) {
+        rewritten.push_back(e);
+        ++out.report.duplicated_events;
+      }
+    }
+    if (spec.swap_adjacent > 0.0 && rewritten.size() >= 2) {
+      for (std::size_t i = 0; i + 1 < rewritten.size(); ++i) {
+        if (trace_rng.NextBool(spec.swap_adjacent)) {
+          std::swap(rewritten[i], rewritten[i + 1]);
+          ++out.report.swapped_pairs;
+          ++i;  // Do not cascade a swapped event down the trace.
+        }
+      }
+    }
+    for (std::size_t k = 0; k < spec.inject_junk_classes; ++k) {
+      if (spec.junk_rate > 0.0 && trace_rng.NextBool(spec.junk_rate)) {
+        const std::size_t pos = static_cast<std::size_t>(
+            trace_rng.NextBounded(rewritten.size() + 1));
+        rewritten.insert(rewritten.begin() + static_cast<std::ptrdiff_t>(pos),
+                         static_cast<EventId>(junk_base + k));
+        ++out.report.injected_junk_events;
+        junk_seen[k] = 1;
+      }
+    }
+    corrupted.push_back(std::move(rewritten));
+  }
+
+  // Build the corrupted log: intern exactly the classes that survive,
+  // in original id order (then junk), so ids stay stable where possible
+  // and vanished classes genuinely leave the vocabulary.
+  std::vector<char> occurs(junk_base + spec.inject_junk_classes, 0);
+  for (const Trace& trace : corrupted) {
+    for (EventId e : trace) {
+      occurs[e] = 1;
+    }
+  }
+  out.class_map.assign(old_n, kInvalidEventId);
+  std::vector<EventId> rewrite(occurs.size(), kInvalidEventId);
+  for (EventId c = 0; c < old_n; ++c) {
+    if (occurs[c] == 0) {
+      out.report.vanished_classes.push_back(c);
+      continue;
+    }
+    const std::string name =
+        relabeled[c] != 0 ? "renamed_" + std::to_string(c)
+                          : input.dictionary().Name(c);
+    const EventId id = out.log.InternEvent(name);
+    out.class_map[c] = id;
+    rewrite[c] = id;
+  }
+  for (std::size_t k = 0; k < spec.inject_junk_classes; ++k) {
+    if (occurs[junk_base + k] == 0) {
+      continue;
+    }
+    rewrite[junk_base + k] = out.log.InternEvent("junk_" + std::to_string(k));
+    ++out.report.injected_junk_classes;
+  }
+  for (Trace& trace : corrupted) {
+    for (EventId& e : trace) {
+      e = rewrite[e];
+      HEMATCH_DCHECK(e != kInvalidEventId, "corrupted trace kept a dead id");
+    }
+    out.log.AddTrace(std::move(trace));
+  }
+  return out;
+}
+
+MatchingTask CorruptTask(const MatchingTask& task, const CorruptionSpec& spec,
+                         CorruptionReport* report) {
+  CorruptedLog corrupted = CorruptLog(task.log2, spec);
+  MatchingTask out;
+  out.name = task.name + "/corrupt(" + CorruptionSpecToString(spec) + ")";
+  out.log1 = task.log1;
+  out.log2 = std::move(corrupted.log);
+  out.complex_patterns = task.complex_patterns;
+
+  // Rebuild the planted truth over the corrupted vocabulary. A source
+  // whose true image vanished has no counterpart left: plant it as
+  // explicit ⊥ so recovery scoring can tell "should be unmapped" from
+  // "truth unknown".
+  out.ground_truth =
+      Mapping(out.log1.num_events(), out.log2.num_events());
+  const Mapping& truth = task.ground_truth;
+  for (EventId v = 0; v < truth.num_sources(); ++v) {
+    const EventId image = truth.TargetOf(v);
+    if (image == kInvalidEventId) {
+      if (truth.IsSourceNull(v)) {
+        out.ground_truth.SetUnmapped(v);
+      }
+      continue;
+    }
+    const EventId mapped = corrupted.class_map[image];
+    if (mapped == kInvalidEventId) {
+      out.ground_truth.SetUnmapped(v);
+    } else {
+      out.ground_truth.Set(v, mapped);
+    }
+  }
+  if (report != nullptr) {
+    *report = std::move(corrupted.report);
+  }
+  return out;
+}
+
+void RecordCorruptionMetrics(const CorruptionReport& report,
+                             obs::MetricsRegistry& metrics) {
+  metrics.GetCounter("noise.dropped_events")->Increment(report.dropped_events);
+  metrics.GetCounter("noise.duplicated_events")
+      ->Increment(report.duplicated_events);
+  metrics.GetCounter("noise.swapped_pairs")->Increment(report.swapped_pairs);
+  metrics.GetCounter("noise.relabeled_classes")
+      ->Increment(report.relabeled_classes);
+  metrics.GetCounter("noise.injected_junk_classes")
+      ->Increment(report.injected_junk_classes);
+  metrics.GetCounter("noise.injected_junk_events")
+      ->Increment(report.injected_junk_events);
+  metrics.GetCounter("noise.dropped_traces")->Increment(report.dropped_traces);
+  metrics.GetCounter("noise.vanished_classes")
+      ->Increment(report.vanished_classes.size());
+}
+
+}  // namespace hematch

@@ -1,0 +1,118 @@
+#ifndef HEMATCH_GEN_LOG_CORRUPTOR_H_
+#define HEMATCH_GEN_LOG_CORRUPTOR_H_
+
+// Dirty-log simulation: composable corruption channels applied to an
+// event log at controlled rates from the deterministic RNG, with a
+// planted ground-truth report of everything that was done. This is the
+// noise model behind the robustness evaluation (docs/ROBUSTNESS.md,
+// "Dirty logs and partial mappings"): corrupt log2 of a planted task,
+// match it back against the clean log1, and score how much of the true
+// correspondence survives as a function of the noise rate.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/matching_task.h"
+#include "log/event_log.h"
+#include "obs/metrics.h"
+
+namespace hematch {
+
+/// Per-channel corruption rates. All probabilities are in [0, 1]; the
+/// default spec is the identity (no corruption).
+struct CorruptionSpec {
+  /// Per-occurrence probability of deleting an event from its trace.
+  double drop_event = 0.0;
+  /// Per-occurrence probability of duplicating an event in place.
+  double duplicate_event = 0.0;
+  /// Per-position probability of swapping two adjacent events.
+  double swap_adjacent = 0.0;
+  /// Per-class probability of renaming the class to a fresh opaque name
+  /// (recoverable noise: frequencies are unchanged, only names lie).
+  double relabel_class = 0.0;
+  /// Number of junk event classes to add to the vocabulary.
+  std::size_t inject_junk_classes = 0;
+  /// Per-trace, per-junk-class probability of inserting one junk
+  /// occurrence at a random position.
+  double junk_rate = 0.0;
+  /// Per-trace probability of dropping the whole trace.
+  double drop_trace = 0.0;
+  /// Seed of the corruption stream; equal specs corrupt identically.
+  std::uint64_t seed = 1;
+
+  /// True when every channel is off (corruption is the identity).
+  bool IsIdentity() const {
+    return drop_event == 0.0 && duplicate_event == 0.0 &&
+           swap_adjacent == 0.0 && relabel_class == 0.0 &&
+           inject_junk_classes == 0 && drop_trace == 0.0;
+  }
+};
+
+/// Parses the textual spec format used by the CLI and the noise drills:
+/// comma-separated `key=value` pairs with keys `drop`, `dup`, `swap`,
+/// `relabel`, `junk`, `junk_rate`, `drop_trace`, `seed`, e.g.
+/// `"drop=0.1,dup=0.05,junk=2,junk_rate=0.1,seed=7"`. Omitted keys keep
+/// their defaults; an empty string is the identity spec. Probabilities
+/// must lie in [0, 1] and `junk` is capped at 4096 classes.
+Result<CorruptionSpec> ParseCorruptionSpec(std::string_view text);
+
+/// Inverse of ParseCorruptionSpec (round-trips through it).
+std::string CorruptionSpecToString(const CorruptionSpec& spec);
+
+/// Scales every probability channel of `base` by `rate` (clamped to
+/// [0, 0.95]) and the junk-class count by `rate` (rounded); the noise-
+/// sweep x-axis. `rate` 0 yields the identity spec, 1 yields `base`.
+CorruptionSpec ScaleCorruptionSpec(const CorruptionSpec& base, double rate);
+
+/// Planted ground truth of one corruption run: exactly what each
+/// channel did, so recovery can be scored against it.
+struct CorruptionReport {
+  std::size_t dropped_events = 0;     ///< Occurrences deleted.
+  std::size_t duplicated_events = 0;  ///< Occurrences duplicated.
+  std::size_t swapped_pairs = 0;      ///< Adjacent pairs swapped.
+  std::size_t relabeled_classes = 0;  ///< Classes renamed.
+  std::size_t injected_junk_classes = 0;  ///< Junk classes that occur.
+  std::size_t injected_junk_events = 0;   ///< Junk occurrences inserted.
+  std::size_t dropped_traces = 0;         ///< Whole traces deleted.
+  /// Original class ids with no surviving occurrence (their sources
+  /// have no counterpart left — the planted ⊥ set).
+  std::vector<EventId> vanished_classes;
+
+  std::string ToString() const;
+};
+
+/// A corrupted log plus the evidence needed to keep ground truth exact.
+struct CorruptedLog {
+  EventLog log;
+  CorruptionReport report;
+  /// `class_map[old_id]` = the class's id in the corrupted log, or
+  /// `kInvalidEventId` when it vanished. Junk classes have no preimage.
+  std::vector<EventId> class_map;
+};
+
+/// Applies `spec` to `input`. Deterministic in `spec.seed`: equal
+/// inputs and specs produce identical corrupted logs. The corrupted
+/// vocabulary contains exactly the classes that still occur (vanished
+/// classes shrink it, junk classes grow it), so |V| mismatches arise
+/// naturally.
+CorruptedLog CorruptLog(const EventLog& input, const CorruptionSpec& spec);
+
+/// Corrupts `task.log2` and rebuilds the planted ground truth over the
+/// corrupted vocabulary: sources whose true image vanished are planted
+/// as explicit ⊥ (Mapping::SetUnmapped). `report`, when non-null,
+/// receives the corruption evidence.
+MatchingTask CorruptTask(const MatchingTask& task, const CorruptionSpec& spec,
+                         CorruptionReport* report = nullptr);
+
+/// Publishes the report under the `noise.*` metric taxonomy
+/// (docs/OBSERVABILITY.md): one counter per channel plus
+/// `noise.vanished_classes`.
+void RecordCorruptionMetrics(const CorruptionReport& report,
+                             obs::MetricsRegistry& metrics);
+
+}  // namespace hematch
+
+#endif  // HEMATCH_GEN_LOG_CORRUPTOR_H_

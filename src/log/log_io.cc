@@ -98,12 +98,30 @@ Status WriteTraceLog(const EventLog& log, std::ostream& output) {
   return Status::OK();
 }
 
-Result<EventLog> ReadCsvLog(std::istream& input) {
+Result<EventLog> ReadCsvLog(std::istream& input, const CsvReadOptions& options,
+                            CsvReadStats* stats) {
   obs::ScopedSpan span(obs::AmbientTraceRecorder(), "log.read_csv", "log");
+  CsvReadStats local_stats;
+  if (stats == nullptr) {
+    stats = &local_stats;
+  }
+  *stats = CsvReadStats{};
   std::string line;
   if (!std::getline(input, line)) {
     return Status::ParseError("CSV log is empty (missing header)");
   }
+  // A UTF-8 byte-order mark on the header and CR line endings are valid
+  // encodings (Windows exports), not defects: strip them in both modes.
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+  auto strip_cr = [](std::string& text) {
+    if (!text.empty() && text.back() == '\r') {
+      text.pop_back();
+    }
+  };
+  strip_cr(line);
   const std::vector<std::string> header = SplitString(line, ',');
   int case_col = -1;
   int event_col = -1;
@@ -128,26 +146,47 @@ Result<EventLog> ReadCsvLog(std::istream& input) {
   std::size_t line_no = 1;
   while (std::getline(input, line)) {
     ++line_no;
+    strip_cr(line);
     if (StripWhitespace(line).empty()) {
       continue;
     }
     const std::vector<std::string> fields = SplitString(line, ',');
     const std::size_t needed = static_cast<std::size_t>(
         std::max({case_col, event_col, time_col}) + 1);
+    // A ragged row that still reaches the case and event columns only
+    // lost its timestamp: salvageable. Anything shorter is not a row.
+    const std::size_t required = static_cast<std::size_t>(
+        std::max(case_col, event_col) + 1);
+    bool defective = false;
     if (fields.size() < needed) {
-      return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                " has too few fields: " + line);
+      if (options.strict) {
+        return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                  " has too few fields: " + line);
+      }
+      defective = true;
+      if (fields.size() < required) {
+        ++stats->salvaged_rows;
+        continue;
+      }
     }
     CsvRow row;
     row.case_id = std::string(StripWhitespace(fields[case_col]));
     row.event = std::string(StripWhitespace(fields[event_col]));
-    if (time_col >= 0) {
+    if (time_col >= 0 &&
+        static_cast<std::size_t>(time_col) < fields.size()) {
       row.timestamp = std::string(StripWhitespace(fields[time_col]));
     }
     row.file_order = rows.size();
     if (row.case_id.empty() || row.event.empty()) {
-      return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                " has an empty case or event field");
+      if (options.strict) {
+        return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                  " has an empty case or event field");
+      }
+      ++stats->salvaged_rows;
+      continue;
+    }
+    if (defective) {
+      ++stats->salvaged_rows;
     }
     rows.push_back(std::move(row));
   }
@@ -182,15 +221,18 @@ Result<EventLog> ReadCsvLog(std::istream& input) {
   }
   span.AddArg("traces", static_cast<double>(log.num_traces()));
   span.AddArg("events", static_cast<double>(log.num_events()));
+  span.AddArg("salvaged", static_cast<double>(stats->salvaged_rows));
   return log;
 }
 
-Result<EventLog> ReadCsvLogFile(const std::string& path) {
+Result<EventLog> ReadCsvLogFile(const std::string& path,
+                                const CsvReadOptions& options,
+                                CsvReadStats* stats) {
   std::ifstream file(path);
   if (!file) {
     return Status::NotFound("cannot open CSV log file: " + path);
   }
-  return ReadCsvLog(file);
+  return ReadCsvLog(file, options, stats);
 }
 
 Status WriteCsvLog(const EventLog& log, std::ostream& output) {

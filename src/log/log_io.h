@@ -36,11 +36,40 @@ Result<EventLog> ReadTraceLogFile(const std::string& path);
 /// Writes `log` in trace-per-line format.
 Status WriteTraceLog(const EventLog& log, std::ostream& output);
 
+/// How forgiving the CSV reader is about malformed rows, mirroring
+/// XesReadOptions: real exports carry stray BOMs, CRLF line endings,
+/// ragged rows (a killed export writes half a line), and rows with an
+/// empty case or event cell. A UTF-8 BOM on the header and CR line
+/// endings are tolerated in both modes (they are valid encodings, not
+/// defects).
+struct CsvReadOptions {
+  /// Strict mode fails with ParseError on any defective row: too few
+  /// fields to reach the case/event columns, or an empty case or event
+  /// cell. Lenient mode (default) salvages instead — a ragged row that
+  /// still reaches both the case and event columns is kept (missing
+  /// timestamp treated as absent), any other defective row is skipped —
+  /// and counts every such row in CsvReadStats::salvaged_rows (surfaced
+  /// as the `log.csv_salvaged` telemetry counter and a `salvaged` span
+  /// arg).
+  bool strict = false;
+};
+
+/// What the lenient CSV reader had to forgive.
+struct CsvReadStats {
+  /// Defective data rows that were salvaged (kept without a timestamp)
+  /// or skipped instead of failing the parse. Always 0 in strict mode.
+  std::size_t salvaged_rows = 0;
+};
+
 /// Parses an event-per-row CSV log from `input`.
-Result<EventLog> ReadCsvLog(std::istream& input);
+Result<EventLog> ReadCsvLog(std::istream& input,
+                            const CsvReadOptions& options = {},
+                            CsvReadStats* stats = nullptr);
 
 /// Parses an event-per-row CSV log from the file at `path`.
-Result<EventLog> ReadCsvLogFile(const std::string& path);
+Result<EventLog> ReadCsvLogFile(const std::string& path,
+                                const CsvReadOptions& options = {},
+                                CsvReadStats* stats = nullptr);
 
 /// Writes `log` as event-per-row CSV with synthetic increasing timestamps.
 Status WriteCsvLog(const EventLog& log, std::ostream& output);

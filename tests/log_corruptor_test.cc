@@ -1,0 +1,275 @@
+// Tests for the log corruptor: spec parsing/round-trips, determinism,
+// per-channel accounting against the planted CorruptionReport, class
+// mapping / vanished-class consistency, and ground-truth rebuilding in
+// CorruptTask (vanished images become explicit planted ⊥).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/log_corruptor.h"
+#include "gen/matching_task.h"
+#include "log/event_log.h"
+#include "obs/metrics.h"
+
+namespace hematch {
+namespace {
+
+EventLog SmallLog() {
+  EventLog log;
+  log.AddTraceByNames({"A", "B", "C", "D"});
+  log.AddTraceByNames({"A", "C", "B", "D"});
+  log.AddTraceByNames({"A", "B", "D"});
+  log.AddTraceByNames({"B", "C", "A", "D"});
+  return log;
+}
+
+std::size_t TotalEvents(const EventLog& log) {
+  std::size_t n = 0;
+  for (const Trace& trace : log.traces()) {
+    n += trace.size();
+  }
+  return n;
+}
+
+TEST(CorruptionSpecTest, EmptyTextIsIdentity) {
+  Result<CorruptionSpec> spec = ParseCorruptionSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->IsIdentity());
+  ASSERT_TRUE(ParseCorruptionSpec("  \t ").ok());
+}
+
+TEST(CorruptionSpecTest, ParsesAllChannels) {
+  Result<CorruptionSpec> spec = ParseCorruptionSpec(
+      "drop=0.1, dup=0.05, swap=0.2, relabel=0.3, junk=4, junk_rate=0.5, "
+      "drop_trace=0.01, seed=99");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_DOUBLE_EQ(spec->drop_event, 0.1);
+  EXPECT_DOUBLE_EQ(spec->duplicate_event, 0.05);
+  EXPECT_DOUBLE_EQ(spec->swap_adjacent, 0.2);
+  EXPECT_DOUBLE_EQ(spec->relabel_class, 0.3);
+  EXPECT_EQ(spec->inject_junk_classes, 4u);
+  EXPECT_DOUBLE_EQ(spec->junk_rate, 0.5);
+  EXPECT_DOUBLE_EQ(spec->drop_trace, 0.01);
+  EXPECT_EQ(spec->seed, 99u);
+  EXPECT_FALSE(spec->IsIdentity());
+}
+
+TEST(CorruptionSpecTest, RoundTripsThroughToString) {
+  Result<CorruptionSpec> spec =
+      ParseCorruptionSpec("drop=0.25,junk=2,junk_rate=0.125,seed=7");
+  ASSERT_TRUE(spec.ok());
+  Result<CorruptionSpec> reparsed =
+      ParseCorruptionSpec(CorruptionSpecToString(*spec));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_DOUBLE_EQ(reparsed->drop_event, spec->drop_event);
+  EXPECT_EQ(reparsed->inject_junk_classes, spec->inject_junk_classes);
+  EXPECT_DOUBLE_EQ(reparsed->junk_rate, spec->junk_rate);
+  EXPECT_EQ(reparsed->seed, spec->seed);
+}
+
+TEST(CorruptionSpecTest, RejectsMalformedInput) {
+  for (const char* text :
+       {"drop", "drop=", "drop=abc", "drop=1.5", "drop=-0.1", "junk=-1",
+        "junk=1e9999", "bogus=1", "drop=0.1junk", "seed=-3"}) {
+    Result<CorruptionSpec> spec = ParseCorruptionSpec(text);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(CorruptionSpecTest, ScaleMultipliesChannels) {
+  CorruptionSpec base;
+  base.drop_event = 0.5;
+  base.inject_junk_classes = 10;
+  base.junk_rate = 0.4;
+  base.seed = 3;
+  const CorruptionSpec half = ScaleCorruptionSpec(base, 0.5);
+  EXPECT_DOUBLE_EQ(half.drop_event, 0.25);
+  EXPECT_EQ(half.inject_junk_classes, 5u);
+  EXPECT_DOUBLE_EQ(half.junk_rate, 0.2);
+  EXPECT_EQ(half.seed, 3u);
+  const CorruptionSpec zero = ScaleCorruptionSpec(base, 0.0);
+  EXPECT_TRUE(zero.IsIdentity());
+}
+
+TEST(LogCorruptorTest, IdentitySpecPreservesTheLog) {
+  const EventLog log = SmallLog();
+  const CorruptedLog out = CorruptLog(log, CorruptionSpec{});
+  EXPECT_EQ(out.log.num_traces(), log.num_traces());
+  EXPECT_EQ(out.log.num_events(), log.num_events());
+  EXPECT_EQ(TotalEvents(out.log), TotalEvents(log));
+  EXPECT_EQ(out.report.dropped_events, 0u);
+  EXPECT_TRUE(out.report.vanished_classes.empty());
+  for (EventId c = 0; c < log.num_events(); ++c) {
+    EXPECT_EQ(out.class_map[c], c);
+    EXPECT_EQ(out.log.dictionary().Name(c), log.dictionary().Name(c));
+  }
+}
+
+TEST(LogCorruptorTest, SameSeedIsDeterministicDifferentSeedIsNot) {
+  const EventLog log = SmallLog();
+  CorruptionSpec spec;
+  spec.drop_event = 0.3;
+  spec.duplicate_event = 0.2;
+  spec.swap_adjacent = 0.2;
+  spec.seed = 11;
+  const CorruptedLog a = CorruptLog(log, spec);
+  const CorruptedLog b = CorruptLog(log, spec);
+  EXPECT_EQ(a.log.num_traces(), b.log.num_traces());
+  EXPECT_EQ(TotalEvents(a.log), TotalEvents(b.log));
+  EXPECT_EQ(a.report.dropped_events, b.report.dropped_events);
+  EXPECT_EQ(a.report.duplicated_events, b.report.duplicated_events);
+  EXPECT_EQ(a.report.swapped_pairs, b.report.swapped_pairs);
+  for (std::size_t t = 0; t < a.log.num_traces(); ++t) {
+    EXPECT_EQ(a.log.traces()[t], b.log.traces()[t]) << "trace " << t;
+  }
+  // A different seed draws a different noise stream (overwhelmingly).
+  spec.seed = 12;
+  const CorruptedLog c = CorruptLog(log, spec);
+  EXPECT_TRUE(TotalEvents(c.log) != TotalEvents(a.log) ||
+              c.report.dropped_events != a.report.dropped_events ||
+              c.log.traces() != a.log.traces());
+}
+
+TEST(LogCorruptorTest, ChannelAccountingMatchesEventCounts) {
+  const EventLog log = SmallLog();
+  CorruptionSpec spec;
+  spec.drop_event = 0.4;
+  spec.duplicate_event = 0.3;
+  spec.inject_junk_classes = 2;
+  spec.junk_rate = 0.5;
+  spec.seed = 5;
+  const CorruptedLog out = CorruptLog(log, spec);
+  // Every event is accounted for: survivors = original - dropped
+  // + duplicated + injected junk occurrences.
+  EXPECT_EQ(TotalEvents(out.log),
+            TotalEvents(log) - out.report.dropped_events +
+                out.report.duplicated_events +
+                out.report.injected_junk_events);
+  // Junk classes that occur are interned with junk_ names.
+  std::size_t junk_classes = 0;
+  for (EventId c = 0; c < out.log.num_events(); ++c) {
+    if (out.log.dictionary().Name(c).rfind("junk_", 0) == 0) {
+      ++junk_classes;
+    }
+  }
+  EXPECT_EQ(junk_classes, out.report.injected_junk_classes);
+}
+
+TEST(LogCorruptorTest, DropTraceChannelRemovesWholeTraces) {
+  const EventLog log = SmallLog();
+  CorruptionSpec spec;
+  spec.drop_trace = 0.99;
+  spec.seed = 4;
+  const CorruptedLog out = CorruptLog(log, spec);
+  EXPECT_EQ(out.log.num_traces(),
+            log.num_traces() - out.report.dropped_traces);
+  EXPECT_GT(out.report.dropped_traces, 0u);
+}
+
+TEST(LogCorruptorTest, RelabelRenamesButKeepsIdentityStructure) {
+  const EventLog log = SmallLog();
+  CorruptionSpec spec;
+  spec.relabel_class = 1.0;  // Rename everything.
+  spec.seed = 2;
+  const CorruptedLog out = CorruptLog(log, spec);
+  EXPECT_EQ(out.report.relabeled_classes, log.num_events());
+  EXPECT_EQ(out.log.num_events(), log.num_events());
+  EXPECT_EQ(TotalEvents(out.log), TotalEvents(log));
+  for (EventId c = 0; c < log.num_events(); ++c) {
+    EXPECT_EQ(out.class_map[c], c);  // Structure untouched.
+    EXPECT_EQ(out.log.dictionary().Name(c),
+              "renamed_" + std::to_string(c));
+  }
+}
+
+TEST(LogCorruptorTest, VanishedClassesLeaveTheVocabulary) {
+  // A class that occurs exactly once vanishes when that occurrence is
+  // dropped; build a log where "D" appears once and drop aggressively
+  // until a seed kills it.
+  EventLog log;
+  log.AddTraceByNames({"A", "B"});
+  log.AddTraceByNames({"A", "B", "D"});
+  CorruptionSpec spec;
+  spec.drop_event = 0.9;
+  bool saw_vanish = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !saw_vanish; ++seed) {
+    spec.seed = seed;
+    const CorruptedLog out = CorruptLog(log, spec);
+    for (EventId gone : out.report.vanished_classes) {
+      saw_vanish = true;
+      EXPECT_EQ(out.class_map[gone], kInvalidEventId);
+      for (EventId c = 0; c < out.log.num_events(); ++c) {
+        EXPECT_NE(out.log.dictionary().Name(c),
+                  log.dictionary().Name(gone));
+      }
+    }
+    // Surviving classes keep a valid, injective image.
+    std::vector<char> used(out.log.num_events(), 0);
+    for (EventId c = 0; c < log.num_events(); ++c) {
+      const EventId image = out.class_map[c];
+      if (image == kInvalidEventId) {
+        continue;
+      }
+      ASSERT_LT(image, out.log.num_events());
+      EXPECT_EQ(used[image], 0);
+      used[image] = 1;
+    }
+  }
+  EXPECT_TRUE(saw_vanish) << "no seed in 1..20 vanished a class";
+}
+
+TEST(CorruptTaskTest, RebuildsTruthWithPlantedNulls) {
+  MatchingTask task;
+  task.name = "tiny";
+  task.log1.AddTraceByNames({"a1", "a2", "a3"});
+  task.log2.AddTraceByNames({"b1", "b2"});
+  task.log2.AddTraceByNames({"b1", "b2", "b3"});
+  task.ground_truth = Mapping(3, 3);
+  task.ground_truth.Set(0, 0);
+  task.ground_truth.Set(1, 1);
+  task.ground_truth.Set(2, 2);  // b3 occurs once: droppable.
+
+  CorruptionSpec spec;
+  spec.drop_event = 0.85;
+  CorruptionReport report;
+  bool saw_planted_null = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !saw_planted_null; ++seed) {
+    spec.seed = seed;
+    const MatchingTask corrupted = CorruptTask(task, spec, &report);
+    EXPECT_EQ(corrupted.log1.num_events(), task.log1.num_events());
+    EXPECT_EQ(corrupted.ground_truth.num_sources(), 3u);
+    EXPECT_EQ(corrupted.ground_truth.num_targets(),
+              corrupted.log2.num_events());
+    for (EventId v = 0; v < 3; ++v) {
+      // Every source is decided: mapped to a surviving image or ⊥.
+      EXPECT_TRUE(corrupted.ground_truth.IsSourceDecided(v));
+      if (corrupted.ground_truth.IsSourceNull(v)) {
+        saw_planted_null = true;
+        EXPECT_TRUE(std::find(report.vanished_classes.begin(),
+                              report.vanished_classes.end(),
+                              task.ground_truth.TargetOf(v)) !=
+                    report.vanished_classes.end());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_planted_null) << "no seed in 1..30 vanished an image";
+}
+
+TEST(CorruptionMetricsTest, RecordsNoiseCounters) {
+  CorruptionReport report;
+  report.dropped_events = 3;
+  report.injected_junk_events = 2;
+  report.vanished_classes = {1, 4};
+  obs::MetricsRegistry metrics;
+  RecordCorruptionMetrics(report, metrics);
+  EXPECT_EQ(metrics.GetCounter("noise.dropped_events")->value(), 3u);
+  EXPECT_EQ(metrics.GetCounter("noise.injected_junk_events")->value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("noise.vanished_classes")->value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("noise.dropped_traces")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace hematch

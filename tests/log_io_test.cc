@@ -104,20 +104,84 @@ TEST(CsvLogTest, RejectsMissingColumns) {
   EXPECT_EQ(log.status().code(), StatusCode::kParseError);
 }
 
-TEST(CsvLogTest, RejectsShortRows) {
+TEST(CsvLogTest, LenientSkipsShortRowsAndCountsThem) {
+  std::istringstream in(
+      "case,event,timestamp\n"
+      "t1\n"
+      "t1,A,1\n");
+  CsvReadStats stats;
+  Result<EventLog> log = ReadCsvLog(in, {}, &stats);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 1u);
+  EXPECT_EQ(stats.salvaged_rows, 1u);
+}
+
+TEST(CsvLogTest, StrictRejectsShortRows) {
   std::istringstream in(
       "case,event,timestamp\n"
       "t1\n");
-  Result<EventLog> log = ReadCsvLog(in);
+  CsvReadOptions strict;
+  strict.strict = true;
+  Result<EventLog> log = ReadCsvLog(in, strict);
   ASSERT_FALSE(log.ok());
   EXPECT_EQ(log.status().code(), StatusCode::kParseError);
 }
 
-TEST(CsvLogTest, RejectsEmptyFields) {
+TEST(CsvLogTest, RaggedRowKeepsCaseAndEventWithoutTimestamp) {
+  // The row lost only its timestamp cell: salvage keeps it (ordered as
+  // an empty timestamp) instead of dropping the event.
+  std::istringstream in(
+      "case,event,timestamp\n"
+      "t1,B\n"
+      "t1,A,1\n");
+  CsvReadStats stats;
+  Result<EventLog> log = ReadCsvLog(in, {}, &stats);
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_EQ(log->num_traces(), 1u);
+  EXPECT_EQ(log->traces()[0].size(), 2u);
+  EXPECT_EQ(stats.salvaged_rows, 1u);
+}
+
+TEST(CsvLogTest, LenientSkipsEmptyFields) {
+  std::istringstream in(
+      "case,event\n"
+      "t1,\n"
+      ",A\n"
+      "t2,B\n");
+  CsvReadStats stats;
+  Result<EventLog> log = ReadCsvLog(in, {}, &stats);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 1u);
+  EXPECT_EQ(stats.salvaged_rows, 2u);
+}
+
+TEST(CsvLogTest, StrictRejectsEmptyFields) {
   std::istringstream in(
       "case,event\n"
       "t1,\n");
-  ASSERT_FALSE(ReadCsvLog(in).ok());
+  CsvReadOptions strict;
+  strict.strict = true;
+  ASSERT_FALSE(ReadCsvLog(in, strict).ok());
+}
+
+TEST(CsvLogTest, BomAndCrlfAreToleratedInBothModes) {
+  const std::string text =
+      "\xEF\xBB\xBF"
+      "case,event,timestamp\r\n"
+      "t1,A,1\r\n"
+      "t1,B,2\r\n";
+  for (const bool strict : {false, true}) {
+    std::istringstream in(text);
+    CsvReadOptions options;
+    options.strict = strict;
+    CsvReadStats stats;
+    Result<EventLog> log = ReadCsvLog(in, options, &stats);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_EQ(log->num_traces(), 1u);
+    EXPECT_EQ(log->traces()[0].size(), 2u);
+    EXPECT_EQ(log->dictionary().Name(log->traces()[0][0]), "A");
+    EXPECT_EQ(stats.salvaged_rows, 0u);
+  }
 }
 
 TEST(CsvLogTest, RejectsEmptyInput) {
@@ -240,6 +304,58 @@ TEST(CorruptXesTest, DepthCeilingIsConfigurable) {
   ASSERT_TRUE(log.ok()) << log.status();
   ASSERT_EQ(log->num_traces(), 1u);
   EXPECT_EQ(log->TraceToString(log->traces()[0]), "deep");
+}
+
+// ------------------- malformed-CSV corpus (data/corrupt) -------------
+//
+// Lenient mode salvages what each defective row still carries and
+// counts it; strict mode rejects every file with defects, but both
+// modes accept pure encoding artifacts (BOM, CRLF).
+
+TEST(CorruptCsvTest, BomCrlfFixtureParsesCleanlyInBothModes) {
+  for (const bool strict : {false, true}) {
+    CsvReadOptions options;
+    options.strict = strict;
+    CsvReadStats stats;
+    Result<EventLog> log =
+        ReadCsvLogFile(CorruptPath("bom_crlf.csv"), options, &stats);
+    ASSERT_TRUE(log.ok()) << log.status();
+    EXPECT_EQ(log->num_traces(), 2u);
+    EXPECT_EQ(stats.salvaged_rows, 0u);
+  }
+}
+
+TEST(CorruptCsvTest, RaggedFixtureSalvagesLenientlyAndRejectsStrictly) {
+  CsvReadStats stats;
+  Result<EventLog> log =
+      ReadCsvLogFile(CorruptPath("ragged.csv"), {}, &stats);
+  ASSERT_TRUE(log.ok()) << log.status();
+  // Kept: t1 {A, B (timestamp lost)}, t2 {A}; skipped: bare "t1", empty
+  // case, empty event.
+  ASSERT_EQ(log->num_traces(), 2u);
+  EXPECT_EQ(log->traces()[0].size(), 2u);
+  EXPECT_EQ(log->traces()[1].size(), 1u);
+  EXPECT_EQ(stats.salvaged_rows, 4u);
+
+  CsvReadOptions strict;
+  strict.strict = true;
+  Result<EventLog> rejected =
+      ReadCsvLogFile(CorruptPath("ragged.csv"), strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kParseError);
+}
+
+TEST(CorruptCsvTest, EmptyCaseFixtureSkipsAnonymousRows) {
+  CsvReadStats stats;
+  Result<EventLog> log =
+      ReadCsvLogFile(CorruptPath("empty_case.csv"), {}, &stats);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->num_traces(), 2u);
+  EXPECT_EQ(stats.salvaged_rows, 2u);
+
+  CsvReadOptions strict;
+  strict.strict = true;
+  ASSERT_FALSE(ReadCsvLogFile(CorruptPath("empty_case.csv"), strict).ok());
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+// Tests for the recovery evaluator: EvaluateRecovery's pair and ⊥
+// classification semantics on hand-built mappings, and a small
+// end-to-end noise sweep on the bus workload asserting that the clean
+// point recovers the planted truth perfectly and that the telemetry
+// taxonomy (noise.* counters, eval.recovery.* gauges) is populated.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/recovery.h"
+#include "gen/bus_process.h"
+#include "gen/matching_task.h"
+
+namespace hematch {
+namespace {
+
+TEST(EvaluateRecoveryTest, PerfectRecoveryScoresOne) {
+  Mapping truth(3, 3);
+  truth.Set(0, 2);
+  truth.Set(1, 0);
+  truth.Set(2, 1);
+  const RecoveryQuality q = EvaluateRecovery(truth, truth);
+  EXPECT_EQ(q.pairs.correct_pairs, 3u);
+  EXPECT_DOUBLE_EQ(q.pairs.f_measure, 1.0);
+  EXPECT_EQ(q.truth_unmapped, 0u);
+  EXPECT_EQ(q.predicted_unmapped, 0u);
+  EXPECT_DOUBLE_EQ(q.unmapped_f, 0.0);  // Nothing to classify.
+}
+
+TEST(EvaluateRecoveryTest, ClassifiesPlantedNulls) {
+  // Truth: 0 -> 1, 1 -> ⊥, 2 -> 0. Found: 0 -> 1, 1 -> ⊥, 2 -> ⊥.
+  Mapping truth(3, 2);
+  truth.Set(0, 1);
+  truth.SetUnmapped(1);
+  truth.Set(2, 0);
+  Mapping found(3, 2);
+  found.Set(0, 1);
+  found.SetUnmapped(1);
+  found.SetUnmapped(2);
+  const RecoveryQuality q = EvaluateRecovery(found, truth);
+  EXPECT_EQ(q.pairs.correct_pairs, 1u);
+  EXPECT_EQ(q.pairs.found_pairs, 1u);
+  EXPECT_EQ(q.pairs.truth_pairs, 2u);
+  EXPECT_EQ(q.truth_unmapped, 1u);
+  EXPECT_EQ(q.predicted_unmapped, 2u);
+  EXPECT_EQ(q.correct_unmapped, 1u);
+  EXPECT_DOUBLE_EQ(q.unmapped_precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.unmapped_recall, 1.0);
+  EXPECT_NEAR(q.unmapped_f, 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateRecoveryTest, UndecidedSourcesCountAsPredictedNull) {
+  // A source the matcher never placed is a predicted ⊥ whether it said
+  // so explicitly or not; an undecided TRUTH source is excluded from
+  // the ⊥ tallies (unknown, not planted).
+  Mapping truth(2, 2);
+  truth.Set(0, 0);  // Source 1 left undecided in the truth.
+  Mapping found(2, 2);
+  found.Set(0, 0);  // Source 1 left undecided by the matcher.
+  const RecoveryQuality q = EvaluateRecovery(found, truth);
+  EXPECT_EQ(q.predicted_unmapped, 1u);
+  EXPECT_EQ(q.truth_unmapped, 0u);
+  EXPECT_EQ(q.correct_unmapped, 0u);
+  EXPECT_DOUBLE_EQ(q.unmapped_recall, 0.0);
+}
+
+TEST(NoiseSweepTest, CleanPointRecoversPlantedTruthPerfectly) {
+  BusProcessOptions workload;
+  workload.num_traces = 150;
+  const MatchingTask task = MakeBusManufacturerTask(workload);
+
+  NoiseSweepOptions sweep;
+  sweep.rates = {0.0, 0.2};
+  sweep.base.drop_event = 0.4;
+  sweep.base.duplicate_event = 0.2;
+  sweep.base.relabel_class = 0.5;
+  sweep.base.inject_junk_classes = 4;
+  sweep.base.junk_rate = 0.2;
+  sweep.base.seed = 7;
+
+  const std::vector<NoiseSweepPoint> points = RunNoiseSweep(task, sweep);
+  ASSERT_EQ(points.size(), 2u);
+
+  // Rate 0 is the clean point: identity corruption, perfect recovery.
+  const NoiseSweepPoint& clean = points[0];
+  EXPECT_DOUBLE_EQ(clean.rate, 0.0);
+  EXPECT_TRUE(clean.spec.IsIdentity());
+  EXPECT_EQ(clean.report.dropped_events, 0u);
+  EXPECT_EQ(clean.num_targets, task.log2.num_events());
+  EXPECT_DOUBLE_EQ(clean.recovery.pairs.f_measure, 1.0);
+  EXPECT_EQ(clean.recovery.truth_unmapped, 0u);
+  EXPECT_TRUE(clean.record.completed);
+
+  // The noisy point actually corrupted something and still produced a
+  // complete (possibly partial) mapping over the corrupted vocabulary.
+  const NoiseSweepPoint& noisy = points[1];
+  EXPECT_GT(noisy.report.dropped_events, 0u);
+  EXPECT_TRUE(noisy.record.mapping.IsComplete());
+  EXPECT_EQ(noisy.record.mapping.num_sources(), task.log1.num_events());
+
+  // Telemetry taxonomy rides along with each point.
+  EXPECT_DOUBLE_EQ(noisy.record.telemetry.gauge("eval.recovery.pair_f", -1.0),
+                   noisy.recovery.pairs.f_measure);
+  EXPECT_DOUBLE_EQ(noisy.record.telemetry.gauge("eval.recovery.noise_rate"),
+                   0.2);
+  EXPECT_EQ(noisy.record.telemetry.counter("noise.dropped_events"),
+            noisy.report.dropped_events);
+}
+
+TEST(NoiseSweepTest, TableHasOneRowPerRate) {
+  BusProcessOptions workload;
+  workload.num_traces = 60;
+  const MatchingTask task = MakeBusManufacturerTask(workload);
+  NoiseSweepOptions sweep;
+  sweep.rates = {0.0};
+  sweep.base.drop_event = 0.3;
+  const std::vector<NoiseSweepPoint> points = RunNoiseSweep(task, sweep);
+  const TextTable table = NoiseSweepTable(points);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("rate"), std::string::npos);
+  EXPECT_NE(os.str().find("0.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hematch

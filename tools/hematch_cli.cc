@@ -33,6 +33,19 @@
 //   --fail-degraded   exit 3 when any run was truncated or degraded
 //   --xes-strict      strict XES parsing (reject truncated/malformed files
 //                     instead of salvaging completed traces)
+//   --strict          strict parsing for every format (XES + CSV); the
+//                     lenient default salvages ragged/malformed rows and
+//                     counts them in log.csv_salvaged
+//   --partial-penalty F  allow partial mappings: any source event may stay
+//                     unmapped (⊥) at cost F per unmapped event; enables
+//                     |V1| != |V2| inputs (default: off / infinite)
+//   --corrupt SPEC    corruption drill: corrupt log2 in memory before
+//                     matching. SPEC is comma-separated key=value with
+//                     keys drop, dup, swap, relabel (probabilities),
+//                     junk (class count), junk_rate, drop_trace, seed —
+//                     e.g. 'drop=0.1,dup=0.05,junk=2,junk_rate=0.2'
+//   --seed N          seed for the deterministic corruption RNG
+//                     (overrides any seed= in --corrupt)
 //   --explain         print per-pattern / per-pair evidence for the result
 //   --extend          extend the best 1-1 mapping to 1-to-n groups
 //   --output FILE     write the best mapping as tab-separated pairs
@@ -56,6 +69,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +92,7 @@
 #include "eval/table.h"
 #include "exec/budget.h"
 #include "exec/portfolio.h"
+#include "gen/log_corruptor.h"
 #include "gen/pattern_miner.h"
 #include "graph/dependency_graph.h"
 #include "log/log_io.h"
@@ -112,6 +127,11 @@ void PrintUsageAndExit(int code) {
       "  --threads N       worker cap for --portfolio (0 = per strategy)\n"
       "  --fail-degraded   exit 3 when any run was truncated or degraded\n"
       "  --xes-strict      reject malformed XES instead of salvaging\n"
+      "  --strict          strict parsing for every format (XES + CSV)\n"
+      "  --partial-penalty F  allow unmapped sources (⊥) at cost F each\n"
+      "  --corrupt SPEC    corrupt log2 before matching, e.g. "
+      "'drop=0.1,junk=2,junk_rate=0.2'\n"
+      "  --seed N          seed for the corruption RNG\n"
       "  --explain         print per-pattern / per-pair evidence\n"
       "  --extend          extend the best 1-1 mapping to 1-to-n groups\n"
       "  --output FILE     write the best mapping as tab-separated pairs\n"
@@ -184,14 +204,17 @@ bool WriteRunMetrics(const std::string& path,
   return static_cast<bool>(out);
 }
 
-Result<EventLog> LoadLog(const std::string& path, bool xes_strict) {
+Result<EventLog> LoadLog(const std::string& path, bool xes_strict,
+                         bool csv_strict, CsvReadStats* csv_stats) {
   auto has_suffix = [&](std::string_view suffix) {
     return path.size() >= suffix.size() &&
            path.compare(path.size() - suffix.size(), suffix.size(),
                         suffix) == 0;
   };
   if (has_suffix(".csv")) {
-    return ReadCsvLogFile(path);
+    CsvReadOptions csv;
+    csv.strict = csv_strict;
+    return ReadCsvLogFile(path, csv, csv_stats);
   }
   if (has_suffix(".xes")) {
     XesReadOptions xes;
@@ -203,13 +226,22 @@ Result<EventLog> LoadLog(const std::string& path, bool xes_strict) {
 
 std::vector<std::unique_ptr<Matcher>> MakeMatchers(
     const std::string& method, std::uint64_t budget,
-    const exec::RunBudget& run_budget, bool degrade) {
+    const exec::RunBudget& run_budget, bool degrade,
+    const ScorerOptions& scorer) {
   std::vector<std::unique_ptr<Matcher>> matchers;
   AStarOptions tight;
+  tight.scorer = scorer;
   tight.max_expansions = budget;
   AStarOptions simple = tight;
   simple.scorer.bound = BoundKind::kSimple;
+  HeuristicSimpleOptions hs;
+  hs.scorer = scorer;
+  HeuristicAdvancedOptions ha;
+  ha.scorer = scorer;
+  VertexOptions vx;
+  vx.partial = scorer.partial;
   VertexEdgeOptions ve;
+  ve.partial = scorer.partial;
   ve.max_expansions = budget;
 
   // The exact methods degrade down the heuristic ladder when their
@@ -233,13 +265,13 @@ std::vector<std::unique_ptr<Matcher>> MakeMatchers(
     matchers.push_back(exact(simple));
   }
   if (want("heuristic-simple")) {
-    matchers.push_back(std::make_unique<HeuristicSimpleMatcher>());
+    matchers.push_back(std::make_unique<HeuristicSimpleMatcher>(hs));
   }
   if (want("heuristic-advanced")) {
-    matchers.push_back(std::make_unique<HeuristicAdvancedMatcher>());
+    matchers.push_back(std::make_unique<HeuristicAdvancedMatcher>(ha));
   }
   if (want("vertex")) {
-    matchers.push_back(std::make_unique<VertexMatcher>());
+    matchers.push_back(std::make_unique<VertexMatcher>(vx));
   }
   if (want("vertex-edge")) {
     matchers.push_back(std::make_unique<VertexEdgeMatcher>(ve));
@@ -274,6 +306,10 @@ int main(int argc, char** argv) {
   int threads = 0;
   bool fail_degraded = false;
   bool xes_strict = false;
+  bool strict_all = false;
+  double partial_penalty = std::numeric_limits<double>::infinity();
+  std::string corrupt_spec_text;
+  std::optional<std::uint64_t> corrupt_seed;
   std::vector<std::string> positional;
 
   // Expand --flag=value into two tokens so both spellings parse the same.
@@ -339,6 +375,18 @@ int main(int argc, char** argv) {
       fail_degraded = true;
     } else if (arg == "--xes-strict") {
       xes_strict = true;
+    } else if (arg == "--strict") {
+      strict_all = true;
+    } else if (arg == "--partial-penalty") {
+      partial_penalty = std::stod(next("--partial-penalty"));
+      if (!(partial_penalty >= 0.0)) {
+        std::cerr << "--partial-penalty must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--corrupt") {
+      corrupt_spec_text = next("--corrupt");
+    } else if (arg == "--seed") {
+      corrupt_seed = std::stoull(next("--seed"));
     } else if (StartsWith(arg, "--")) {
       std::cerr << "unknown option: " << arg << "\n";
       PrintUsageAndExit(2);
@@ -375,21 +423,59 @@ int main(int argc, char** argv) {
               << "\n";
   };
 
-  Result<EventLog> log1 = LoadLog(positional[0], xes_strict);
+  const bool partial = partial_penalty < std::numeric_limits<double>::infinity();
+  CsvReadStats csv_stats1;
+  CsvReadStats csv_stats2;
+  Result<EventLog> log1 =
+      LoadLog(positional[0], xes_strict || strict_all, strict_all,
+              &csv_stats1);
   if (!log1.ok()) {
     std::cerr << "cannot load " << positional[0] << ": " << log1.status()
               << "\n";
     return 1;
   }
-  Result<EventLog> log2 = LoadLog(positional[1], xes_strict);
+  Result<EventLog> log2 =
+      LoadLog(positional[1], xes_strict || strict_all, strict_all,
+              &csv_stats2);
   if (!log2.ok()) {
     std::cerr << "cannot load " << positional[1] << ": " << log2.status()
               << "\n";
     return 1;
   }
-  if (log1->num_events() > log2->num_events()) {
+  const std::size_t csv_salvaged =
+      csv_stats1.salvaged_rows + csv_stats2.salvaged_rows;
+  if (csv_salvaged > 0) {
+    std::cerr << "note: salvaged " << csv_salvaged
+              << " malformed CSV row(s); use --strict to reject instead\n";
+  }
+
+  // --corrupt: the drill corrupts the *second* log in memory, before
+  // the side swap below so the spec always targets the log named second
+  // on the command line.
+  CorruptionReport corruption;
+  bool corrupted = false;
+  if (!corrupt_spec_text.empty()) {
+    Result<CorruptionSpec> spec = ParseCorruptionSpec(corrupt_spec_text);
+    if (!spec.ok()) {
+      std::cerr << "bad --corrupt '" << corrupt_spec_text
+                << "': " << spec.status() << "\n";
+      return 2;
+    }
+    if (corrupt_seed.has_value()) {
+      spec->seed = *corrupt_seed;
+    }
+    CorruptedLog dirty = CorruptLog(*log2, *spec);
+    corruption = std::move(dirty.report);
+    corrupted = true;
+    std::cout << "corruption drill (" << CorruptionSpecToString(*spec)
+              << "):\n  " << corruption.ToString() << "\n";
+    *log2 = std::move(dirty.log);
+  }
+
+  if (log1->num_events() > log2->num_events() && !partial) {
     std::cerr << "note: log1 has more events than log2; swapping sides so "
-                 "the mapping stays injective\n";
+                 "the mapping stays injective (use --partial-penalty to "
+                 "match as-is)\n";
     std::swap(*log1, *log2);
   }
 
@@ -422,6 +508,12 @@ int main(int argc, char** argv) {
   context_telemetry.trace_recorder = recorder.get();
   MatchingContext context(*log1, *log2,
                           BuildPatternSet(g1, complex), context_telemetry);
+  if (corrupted) {
+    RecordCorruptionMetrics(corruption, context.metrics());
+  }
+  if (csv_salvaged > 0) {
+    context.metrics().GetCounter("log.csv_salvaged")->Increment(csv_salvaged);
+  }
   obs::StreamProgressTracer progress_tracer(std::cerr);
   if (progress) {
     context.set_tracer(&progress_tracer);
@@ -439,6 +531,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     ScorerOptions scorer;
+    scorer.partial.unmapped_penalty = partial_penalty;
     const BoundKind bound = method == "pattern-simple" ? BoundKind::kSimple
                                                        : BoundKind::kTight;
     exec::PortfolioOptions popts;
@@ -499,7 +592,10 @@ int main(int argc, char** argv) {
                                           &log2->dictionary())});
     records.push_back(std::move(record));
   } else {
-    const auto matchers = MakeMatchers(method, budget, run_budget, degrade);
+    ScorerOptions scorer;
+    scorer.partial.unmapped_penalty = partial_penalty;
+    const auto matchers =
+        MakeMatchers(method, budget, run_budget, degrade, scorer);
     if (matchers.empty()) {
       std::cerr << "unknown --method '" << method << "'\n";
       PrintUsageAndExit(2);
@@ -548,6 +644,34 @@ int main(int argc, char** argv) {
       best_mapping = &record.mapping;
     }
   }
+  if (best_mapping != nullptr && best_mapping->num_null_sources() > 0) {
+    std::cout << "unmapped (⊥) sources:";
+    for (EventId v : best_mapping->NullSources()) {
+      std::cout << ' ' << log1->dictionary().Name(v);
+    }
+    std::cout << "  (penalty "
+              << TextTable::Num(partial_penalty *
+                                static_cast<double>(
+                                    best_mapping->num_null_sources()))
+              << ")\n";
+  }
+
+  if ((corrupted || csv_salvaged > 0) && !records.empty()) {
+    // Input-level counters (noise.*, log.csv_salvaged) predate every run,
+    // so the per-run telemetry deltas flatten them to zero; fold the real
+    // values into each record so --metrics-out reports the drill.
+    obs::MetricsRegistry drill_metrics;
+    if (corrupted) {
+      RecordCorruptionMetrics(corruption, drill_metrics);
+    }
+    if (csv_salvaged > 0) {
+      drill_metrics.GetCounter("log.csv_salvaged")->Increment(csv_salvaged);
+    }
+    const obs::TelemetrySnapshot drill = obs::CaptureSnapshot(drill_metrics);
+    for (RunRecord& record : records) {
+      record.telemetry.Merge(drill);
+    }
+  }
 
   if (!metrics_path.empty()) {
     if (!WriteRunMetrics(metrics_path, records)) {
@@ -575,6 +699,12 @@ int main(int argc, char** argv) {
   if (explain && best_mapping != nullptr) {
     std::cout << "\n--- evidence for the best mapping ---\n";
     PrintMatchReport(ExplainMapping(context, *best_mapping), std::cout);
+  }
+  if (extend && best_mapping != nullptr &&
+      best_mapping->num_null_sources() > 0) {
+    std::cerr << "--extend: 1-to-n extension needs a total base mapping; "
+                 "the best mapping leaves sources unmapped — skipping\n";
+    extend = false;
   }
   if (extend && best_mapping != nullptr) {
     const std::vector<Pattern> pattern_set =
