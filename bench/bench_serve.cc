@@ -1,0 +1,239 @@
+// Overload benchmark for the match server: an in-process MatchServer on
+// an ephemeral loopback port, hammered by closed-loop clients at twice
+// the admission capacity (workers + queue depth).  The robustness
+// contract under test: zero transport failures or crashes, every
+// non-served request rejected explicitly (REJECTED_OVERLOAD), and p99
+// client latency bounded by the queue-depth × per-request budget
+// envelope — overload degrades answers, never liveness.
+//
+// Prints a human summary; when HEMATCH_BENCH_METRICS_DIR is set, also
+// writes BENCH_serve.json (schema hematch.bench_serve.v1) for
+// scripts/check.sh to gate on.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/bus_process.h"
+#include "obs/metrics_json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace hematch;
+
+struct ClientTally {
+  int ok = 0;
+  int overload = 0;
+  int other_reject = 0;
+  int transport_fail = 0;
+  std::vector<double> latencies_ms;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kWorkers = 2;
+  constexpr std::size_t kQueueDepth = 8;
+  constexpr double kDeadlineMs = 200.0;
+  constexpr int kRequestsPerClient = 12;
+  // 2x admission capacity: capacity is one executing request per worker
+  // plus the queue; each closed-loop client keeps exactly one request
+  // outstanding.
+  constexpr int kClients = 2 * (kWorkers + static_cast<int>(kQueueDepth));
+
+  serve::ServerOptions options;
+  options.workers = kWorkers;
+  options.max_queue_depth = kQueueDepth;
+  options.service.default_deadline_ms = kDeadlineMs;
+  options.service.max_deadline_ms = kDeadlineMs;
+  serve::MatchServer server(options);
+  if (const Status started = server.Start(); !started.ok()) {
+    std::cerr << "bench_serve: cannot start server: " << started << "\n";
+    return 2;
+  }
+
+  const MatchingTask task = MakeBusManufacturerTask();
+  {
+    serve::ClientOptions copts;
+    copts.port = server.port();
+    serve::ServeClient registrar(std::move(copts));
+    const auto reg1 = registrar.RegisterLog("log1", task.log1);
+    const auto reg2 = registrar.RegisterLog("log2", task.log2);
+    if (!reg1.ok() || !reg1->ok || !reg2.ok() || !reg2->ok) {
+      std::cerr << "bench_serve: log registration failed\n";
+      return 2;
+    }
+    // Warm the context so the measured phase is steady-state serving,
+    // not the one-time build.
+    serve::MatchRequestSpec warm;
+    warm.log1 = "log1";
+    warm.log2 = "log2";
+    if (const auto resp = registrar.Match(warm); !resp.ok() || !resp->ok) {
+      std::cerr << "bench_serve: warmup match failed\n";
+      return 2;
+    }
+  }
+
+  std::cout << "bench_serve: " << kClients << " closed-loop clients ("
+            << "capacity " << kWorkers + static_cast<int>(kQueueDepth)
+            << "), " << kRequestsPerClient << " requests each, deadline "
+            << kDeadlineMs << " ms\n";
+
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(kClients));
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &tallies, c] {
+      serve::ClientOptions copts;
+      copts.port = server.port();
+      copts.max_retries = 0;  // Closed loop measures rejection, not retry.
+      serve::ServeClient client(std::move(copts));
+      ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+      serve::MatchRequestSpec spec;
+      spec.log1 = "log1";
+      spec.log2 = "log2";
+      spec.tenant = "tenant-" + std::to_string(c % 4);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        const Result<serve::ServeResponse> resp = client.Match(spec);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (!resp.ok()) {
+          ++tally.transport_fail;
+        } else if (resp->ok) {
+          ++tally.ok;
+          tally.latencies_ms.push_back(ms);
+        } else if (resp->error_code == "REJECTED_OVERLOAD") {
+          ++tally.overload;
+        } else {
+          ++tally.other_reject;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - bench_start)
+                                .count();
+
+  ClientTally total;
+  for (const ClientTally& t : tallies) {
+    total.ok += t.ok;
+    total.overload += t.overload;
+    total.other_reject += t.other_reject;
+    total.transport_fail += t.transport_fail;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              t.latencies_ms.begin(), t.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const double p50 = Percentile(total.latencies_ms, 0.5);
+  const double p99 = Percentile(total.latencies_ms, 0.99);
+  const double qps = total.ok / (elapsed_ms / 1000.0);
+  const int sent = kClients * kRequestsPerClient;
+
+  // Worst-case served latency: wait behind a full queue draining into
+  // the workers, then run to the deadline (plus watchdog grace and
+  // scheduling slack).
+  const double latency_bound_ms =
+      (static_cast<double>(kQueueDepth) / kWorkers + 1.0) * kDeadlineMs *
+          options.service.watchdog_grace_factor +
+      250.0;
+  const bool p99_within_bound = p99 <= latency_bound_ms;
+  const bool all_accounted =
+      total.ok + total.overload + total.other_reject == sent &&
+      total.transport_fail == 0;
+
+  server.RequestDrain();
+  server.Wait();
+  const obs::TelemetrySnapshot snap = server.SnapshotTelemetry();
+
+  std::cout << "  served " << total.ok << "/" << sent << " ("
+            << total.overload << " overload-rejected, "
+            << total.other_reject << " other, " << total.transport_fail
+            << " transport failures)\n"
+            << "  p50 " << p50 << " ms, p99 " << p99 << " ms (bound "
+            << latency_bound_ms << " ms), " << qps << " qps\n"
+            << "  server: completed "
+            << snap.counter("serve.completed") << ", rejected_overload "
+            << snap.counter("serve.rejected_overload") << ", shed "
+            << snap.counter("serve.shed_soft") + snap.counter("serve.shed_hard")
+            << ", failed " << snap.counter("serve.failed") << "\n";
+
+  const char* dir = std::getenv("HEMATCH_BENCH_METRICS_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_serve.json";
+    std::string json;
+    json += "{\n  \"schema\": \"hematch.bench_serve.v1\",\n";
+    json += "  \"workload\": {\n";
+    json += "    \"clients\": " + std::to_string(kClients) + ",\n";
+    json += "    \"requests\": " + std::to_string(sent) + ",\n";
+    json += "    \"workers\": " + std::to_string(kWorkers) + ",\n";
+    json += "    \"queue_depth\": " + std::to_string(kQueueDepth) + ",\n";
+    json += "    \"deadline_ms\": " + obs::JsonNumber(kDeadlineMs) + "\n";
+    json += "  },\n";
+    json += "  \"served\": " + std::to_string(total.ok) + ",\n";
+    json += "  \"rejected_overload\": " + std::to_string(total.overload) +
+            ",\n";
+    json += "  \"other_rejects\": " + std::to_string(total.other_reject) +
+            ",\n";
+    json += "  \"transport_failures\": " +
+            std::to_string(total.transport_fail) + ",\n";
+    json += "  \"all_requests_accounted\": " +
+            std::string(all_accounted ? "true" : "false") + ",\n";
+    json += "  \"p50_ms\": " + obs::JsonNumber(p50) + ",\n";
+    json += "  \"p99_ms\": " + obs::JsonNumber(p99) + ",\n";
+    json += "  \"latency_bound_ms\": " + obs::JsonNumber(latency_bound_ms) +
+            ",\n";
+    json += "  \"p99_within_bound\": " +
+            std::string(p99_within_bound ? "true" : "false") + ",\n";
+    json += "  \"qps\": " + obs::JsonNumber(qps) + ",\n";
+    json += "  \"server_counters\": {\n";
+    json += "    \"completed\": " +
+            std::to_string(snap.counter("serve.completed")) + ",\n";
+    json += "    \"rejected_overload\": " +
+            std::to_string(snap.counter("serve.rejected_overload")) + ",\n";
+    json += "    \"shed_soft\": " +
+            std::to_string(snap.counter("serve.shed_soft")) + ",\n";
+    json += "    \"shed_hard\": " +
+            std::to_string(snap.counter("serve.shed_hard")) + ",\n";
+    json += "    \"failed\": " + std::to_string(snap.counter("serve.failed")) +
+            "\n  }\n}\n";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_serve: cannot write " << path << "\n";
+      return 2;
+    }
+    out << json;
+    std::cout << "  wrote " << path << "\n";
+  }
+
+  if (!all_accounted) {
+    std::cerr << "bench_serve: FAIL — requests lost or transport broke\n";
+    return 1;
+  }
+  if (!p99_within_bound) {
+    std::cerr << "bench_serve: FAIL — p99 exceeded the latency bound\n";
+    return 1;
+  }
+  return 0;
+}

@@ -199,6 +199,104 @@ print(f"ok: recovery F {f[0]:.2f} clean -> {f[-1]:.2f} at rate "
 EOF
 fi
 
+# Serve overload gate: closed-loop clients at 2x admission capacity
+# must lose nothing — every request served or explicitly
+# overload-rejected, zero transport failures, p99 inside the
+# queue-envelope bound (docs/ROBUSTNESS.md, "Serving and overload").
+if [[ -x "$BUILD_DIR/bench/bench_serve" ]]; then
+  echo "== serve overload"
+  HEMATCH_BENCH_METRICS_DIR="$tmp" "$BUILD_DIR/bench/bench_serve"
+
+  python3 - "$tmp/BENCH_serve.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hematch.bench_serve.v1", doc.get("schema")
+assert doc["all_requests_accounted"] is True, doc
+assert doc["transport_failures"] == 0, doc["transport_failures"]
+assert doc["rejected_overload"] > 0, "overload was never exercised"
+assert doc["p99_within_bound"] is True, (
+    f"p99 {doc['p99_ms']:.1f} ms > bound {doc['latency_bound_ms']:.1f} ms")
+sc = doc["server_counters"]
+assert sc["rejected_overload"] == doc["rejected_overload"], sc
+print(f"ok: {doc['served']}/{doc['workload']['requests']} served, "
+      f"{doc['rejected_overload']} explicit rejections, "
+      f"p99 {doc['p99_ms']:.1f} ms")
+EOF
+fi
+
+# Serve fault drill: a real hematch_serve process with injected crashes
+# must answer every request (ok-degraded or INTERNAL, never a hang or
+# dropped connection), then drain cleanly on SIGTERM with a final
+# telemetry snapshot (docs/ROBUSTNESS.md, "Serving and overload").
+echo "== serve fault drill"
+HEMATCH_FAULT_EXHAUST_AFTER=5 HEMATCH_FAULT_CRASH=1 \
+  "$BUILD_DIR/tools/hematch_serve" --port=0 --workers=2 \
+  --port-file="$tmp/serve.port" --final-snapshot="$tmp/serve_final.json" \
+  > "$tmp/serve.out" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [[ -s "$tmp/serve.port" ]] && break
+  sleep 0.1
+done
+[[ -s "$tmp/serve.port" ]] || { echo "server never wrote its port"; exit 1; }
+SERVE_PORT="$(cat "$tmp/serve.port")"
+
+"$BUILD_DIR/tools/hematch_client" --port="$SERVE_PORT" \
+  register log_a data/dept_a.tr > /dev/null
+"$BUILD_DIR/tools/hematch_client" --port="$SERVE_PORT" \
+  register log_b data/dept_b.csv > /dev/null
+MATCH_PIDS=()
+for i in 1 2 3 4; do
+  "$BUILD_DIR/tools/hematch_client" --port="$SERVE_PORT" \
+    --deadline-ms=2000 match log_a log_b > "$tmp/serve_match_$i.json" &
+  MATCH_PIDS+=($!)
+done
+for pid in "${MATCH_PIDS[@]}"; do
+  wait "$pid" || true  # Exit 4 = server-side rejection; still an answer.
+done
+
+python3 - "$tmp"/serve_match_*.json <<'EOF'
+import json
+import sys
+
+answered = crashed_isolated = 0
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.loads(f.read().strip())
+    answered += 1
+    if doc["ok"]:
+        assert doc["termination"], doc
+    else:
+        assert doc["error"]["code"] == "INTERNAL", doc
+        crashed_isolated += 1
+assert answered == 4, f"only {answered}/4 requests answered"
+print(f"ok: 4/4 answered under fault injection "
+      f"({crashed_isolated} isolated crashes)")
+EOF
+
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then SERVE_EXIT=0; else SERVE_EXIT=$?; fi
+[[ "$SERVE_EXIT" -eq 0 ]] || { echo "serve exit $SERVE_EXIT"; exit 1; }
+grep -q "drained cleanly" "$tmp/serve.out"
+
+python3 - "$tmp/serve_final.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+counters = doc["counters"]
+serve = {k: v for k, v in counters.items() if k.startswith("serve.")}
+assert serve, "final snapshot has no serve.* counters"
+assert counters.get("serve.accepted", 0) >= 4, serve
+assert counters.get("serve.connections", 0) >= 6, serve
+print(f"ok: drained on SIGTERM, final snapshot has "
+      f"{len(serve)} serve counters")
+EOF
+
 # Noise-drill smoke: the CLI must survive a corrupted input end to end —
 # reproducible via --seed, salvaging the dirty CSV, matching under the
 # partial objective, and reporting the corruption in the noise.* metrics.

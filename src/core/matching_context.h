@@ -161,6 +161,17 @@ class MatchingContext {
   void ArmBudget(const exec::RunBudget& budget,
                  const exec::CancelToken* cancel = nullptr);
 
+  /// Wires `cancel` into both frequency evaluators *without* arming the
+  /// governor. For long-lived shared contexts (see serve/registry.h)
+  /// whose evaluators need a drain token that outlives any single
+  /// request — per-request budgets must arm each sibling's governor
+  /// directly instead of calling `ArmBudget` here, because the
+  /// evaluators are shared across all siblings and hold only one token.
+  void SetEvaluatorCancel(const exec::CancelToken* cancel) {
+    eval1_->set_cancel_token(cancel);
+    eval2_->set_cancel_token(cancel);
+  }
+
   /// Cumulative Proposition-3 pruning hits (patterns whose frequency
   /// evaluation was skipped because they cannot occur in log2).
   std::uint64_t existence_prune_hits() const {

@@ -1,6 +1,9 @@
 #include "exec/budget.h"
 
+#include <cctype>
 #include <cstdlib>
+#include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -35,24 +38,85 @@ std::optional<TerminationReason> ParseTerminationReason(
   return std::nullopt;
 }
 
-FaultInjection FaultInjection::FromEnv() {
+Result<FaultInjection> FaultInjection::Parse(const char* exhaust_after,
+                                             const char* reason,
+                                             const char* crash) {
   FaultInjection fault;
-  const char* count = std::getenv("HEMATCH_FAULT_EXHAUST_AFTER");
-  if (count == nullptr || *count == '\0') return fault;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(count, &end, 10);
-  if (end == count || (end != nullptr && *end != '\0')) return fault;
-  fault.exhaust_after = static_cast<std::uint64_t>(parsed);
-  if (const char* reason = std::getenv("HEMATCH_FAULT_REASON")) {
-    if (auto r = ParseTerminationReason(reason);
-        r.has_value() && *r != TerminationReason::kCompleted) {
-      fault.reason = *r;
+  const bool have_count = exhaust_after != nullptr && *exhaust_after != '\0';
+  if (!have_count) {
+    if (reason != nullptr && *reason != '\0') {
+      return Status::InvalidArgument(
+          "HEMATCH_FAULT_REASON is set but HEMATCH_FAULT_EXHAUST_AFTER is "
+          "not — the fault would never fire");
+    }
+    if (crash != nullptr && *crash != '\0') {
+      return Status::InvalidArgument(
+          "HEMATCH_FAULT_CRASH is set but HEMATCH_FAULT_EXHAUST_AFTER is "
+          "not — the fault would never fire");
+    }
+    return fault;
+  }
+  for (const char* p = exhaust_after; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      return Status::InvalidArgument(
+          std::string("HEMATCH_FAULT_EXHAUST_AFTER must be a non-negative "
+                      "decimal count, got '") +
+          exhaust_after + "'");
     }
   }
-  if (const char* crash = std::getenv("HEMATCH_FAULT_CRASH")) {
-    fault.crash = std::string(crash) == "1";
+  char* end = nullptr;
+  fault.exhaust_after =
+      static_cast<std::uint64_t>(std::strtoull(exhaust_after, &end, 10));
+  if (reason != nullptr && *reason != '\0') {
+    const auto parsed = ParseTerminationReason(reason);
+    if (!parsed.has_value()) {
+      return Status::InvalidArgument(
+          std::string("HEMATCH_FAULT_REASON must be a termination reason "
+                      "(deadline, expansion-cap, memory-cap, cancelled, "
+                      "failed), got '") +
+          reason + "'");
+    }
+    if (*parsed == TerminationReason::kCompleted) {
+      return Status::InvalidArgument(
+          "HEMATCH_FAULT_REASON 'completed' cannot be injected — a fault "
+          "must name a failure reason");
+    }
+    fault.reason = *parsed;
+  }
+  if (crash != nullptr && *crash != '\0') {
+    const std::string value = crash;
+    if (value != "0" && value != "1") {
+      return Status::InvalidArgument(
+          "HEMATCH_FAULT_CRASH must be '0' or '1', got '" + value + "'");
+    }
+    fault.crash = value == "1";
   }
   return fault;
+}
+
+Status FaultInjection::ValidateEnv() {
+  return Parse(std::getenv("HEMATCH_FAULT_EXHAUST_AFTER"),
+               std::getenv("HEMATCH_FAULT_REASON"),
+               std::getenv("HEMATCH_FAULT_CRASH"))
+      .status();
+}
+
+FaultInjection FaultInjection::FromEnv() {
+  Result<FaultInjection> parsed =
+      Parse(std::getenv("HEMATCH_FAULT_EXHAUST_AFTER"),
+            std::getenv("HEMATCH_FAULT_REASON"),
+            std::getenv("HEMATCH_FAULT_CRASH"));
+  if (parsed.ok()) {
+    return *parsed;
+  }
+  // Library context (no main to abort): warn once, run without the
+  // fault.  Entry points call ValidateEnv() and refuse to start.
+  static std::once_flag warned;
+  std::call_once(warned, [&parsed] {
+    std::cerr << "warning: ignoring malformed fault injection: "
+              << parsed.status() << "\n";
+  });
+  return FaultInjection{};
 }
 
 void ExecutionGovernor::Arm(const RunBudget& budget,

@@ -34,6 +34,8 @@
 #include <optional>
 #include <string>
 
+#include "common/result.h"
+
 namespace hematch::exec {
 
 /// Declarative resource limits for one matching run.  A zero value
@@ -116,10 +118,28 @@ struct FaultInjection {
   /// Reads HEMATCH_FAULT_EXHAUST_AFTER (count), HEMATCH_FAULT_REASON
   /// (a TerminationReasonToString name; default "expansion-cap"), and
   /// HEMATCH_FAULT_CRASH ("1" makes the fault throw instead of trip).
-  /// Returns a disabled injection when the variables are unset or
-  /// malformed.  HEMATCH_FAULT_STRATEGY (read by exec/portfolio.cc,
-  /// not here) narrows the fault to one named portfolio strategy.
+  /// Returns a disabled injection when the variables are unset;
+  /// malformed values warn to stderr (once per process) and disable
+  /// the injection — tool mains should call `ValidateEnv()` first to
+  /// turn the warning into a startup error.  HEMATCH_FAULT_STRATEGY
+  /// (read by exec/portfolio.cc, not here) narrows the fault to one
+  /// named portfolio strategy.
   static FaultInjection FromEnv();
+
+  /// Strict parse of the three variables' raw values (nullptr = unset).
+  /// Rejects: a count that is not a plain non-negative decimal; a
+  /// reason that is not a TerminationReason name (or is "completed",
+  /// which cannot be injected); a crash flag other than "0"/"1"; and
+  /// REASON/CRASH set while EXHAUST_AFTER is unset — a drill that
+  /// silently does nothing is worse than one that fails loudly.
+  static Result<FaultInjection> Parse(const char* exhaust_after,
+                                      const char* reason, const char* crash);
+
+  /// Validates the current HEMATCH_FAULT_* environment.  Call from
+  /// long-lived entry points (CLI, server) before doing work so a
+  /// mistyped drill aborts startup with a clear message instead of
+  /// running without the fault.
+  static Status ValidateEnv();
 };
 
 /// The object search loops consult.  One governor per MatchingContext;

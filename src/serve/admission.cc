@@ -1,0 +1,160 @@
+#include "serve/admission.h"
+
+#include <limits>
+#include <utility>
+
+namespace hematch::serve {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point then,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options) {}
+
+AdmissionQueue::PushResult AdmissionQueue::Push(Item item) {
+  item.enqueued = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return PushResult::kDraining;
+  }
+  if (depth_ >= options_.max_depth) {
+    return PushResult::kOverloadDepth;
+  }
+  if (options_.max_backlog_ms > 0.0 &&
+      backlog_ms_ + item.deadline_ms > options_.max_backlog_ms &&
+      depth_ > 0) {
+    // An empty queue always admits one item: a single request whose
+    // deadline exceeds the backlog bound must still be servable.
+    return PushResult::kOverloadBacklog;
+  }
+  TenantLane& lane = lanes_[item.tenant];
+  if (lane.items.empty()) {
+    // A (re)appearing tenant starts at the current minimum pass so it
+    // neither banks credit while idle nor owes debt from past bursts.
+    double min_pass = std::numeric_limits<double>::infinity();
+    for (const auto& [name, other] : lanes_) {
+      if (!other.items.empty()) {
+        min_pass = std::min(min_pass, other.pass);
+      }
+    }
+    if (min_pass != std::numeric_limits<double>::infinity()) {
+      lane.pass = std::max(lane.pass, min_pass);
+    }
+  }
+  backlog_ms_ += item.deadline_ms;
+  ++depth_;
+  lane.items.push_back(std::move(item));
+  cv_.notify_one();
+  return PushResult::kAdmitted;
+}
+
+std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
+  if (depth_ == 0) {
+    return std::nullopt;  // Closed and fully drained.
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  TenantLane* pick = nullptr;
+
+  // Starvation backstop: the globally oldest item wins outright once it
+  // has aged past the threshold, whatever its tenant's pass says.
+  if (options_.aging_ms > 0.0) {
+    TenantLane* oldest_lane = nullptr;
+    std::chrono::steady_clock::time_point oldest{};
+    for (auto& [name, lane] : lanes_) {
+      if (!lane.items.empty() &&
+          (oldest_lane == nullptr || lane.items.front().enqueued < oldest)) {
+        oldest_lane = &lane;
+        oldest = lane.items.front().enqueued;
+      }
+    }
+    if (oldest_lane != nullptr &&
+        MsSince(oldest, now) >= options_.aging_ms) {
+      pick = oldest_lane;
+    }
+  }
+
+  if (pick == nullptr) {
+    // Stride fair share: smallest virtual pass among non-empty lanes;
+    // FIFO arrival breaks ties so equal-pass tenants alternate.
+    std::chrono::steady_clock::time_point pick_front{};
+    for (auto& [name, lane] : lanes_) {
+      if (lane.items.empty()) {
+        continue;
+      }
+      if (pick == nullptr || lane.pass < pick->pass ||
+          (lane.pass == pick->pass &&
+           lane.items.front().enqueued < pick_front)) {
+        pick = &lane;
+        pick_front = lane.items.front().enqueued;
+      }
+    }
+  }
+
+  Item item = std::move(pick->items.front());
+  pick->items.pop_front();
+  pick->pass += 1.0;
+  --depth_;
+  backlog_ms_ -= item.deadline_ms;
+  if (backlog_ms_ < 0.0) {
+    backlog_ms_ = 0.0;
+  }
+  return item;
+}
+
+void AdmissionQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+double AdmissionQueue::backlog_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backlog_ms_;
+}
+
+double AdmissionQueue::oldest_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  double oldest = 0.0;
+  for (const auto& [name, lane] : lanes_) {
+    if (!lane.items.empty()) {
+      oldest = std::max(oldest, MsSince(lane.items.front().enqueued, now));
+    }
+  }
+  return oldest;
+}
+
+const char* PushResultToString(AdmissionQueue::PushResult result) {
+  switch (result) {
+    case AdmissionQueue::PushResult::kAdmitted:
+      return "admitted";
+    case AdmissionQueue::PushResult::kOverloadDepth:
+      return "overload-depth";
+    case AdmissionQueue::PushResult::kOverloadBacklog:
+      return "overload-backlog";
+    case AdmissionQueue::PushResult::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+}  // namespace hematch::serve

@@ -1,0 +1,112 @@
+#ifndef HEMATCH_SERVE_ADMISSION_H_
+#define HEMATCH_SERVE_ADMISSION_H_
+
+/// \file
+/// Admission control and fair-share scheduling for the match server.
+///
+/// The queue enforces two ceilings at enqueue time — a depth bound and
+/// a backlog-milliseconds bound (the sum of queued requests' deadline
+/// estimates, i.e. depth × deadline worth of promised work) — and
+/// rejects loudly with a distinct overload verdict when either trips.
+/// Rejection is the contract: a client always learns its request was
+/// refused (`REJECTED_OVERLOAD` + retry hint), never a silent drop or
+/// an unbounded wait.
+///
+/// Scheduling across tenants is stride-based fair share: each tenant
+/// holds a FIFO of its own requests and a virtual "pass"; Pop serves
+/// the non-empty tenant with the smallest pass and advances it, so a
+/// tenant flooding the queue cannot starve a light one. A starvation
+/// backstop overrides the stride pick when the globally oldest queued
+/// item has aged past `aging_ms` — fairness never delays anyone
+/// indefinitely.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace hematch::serve {
+
+/// Admission-control limits; see ServerOptions for the serving context.
+struct AdmissionOptions {
+  /// Maximum queued (not yet executing) requests.
+  std::size_t max_depth = 64;
+  /// Ceiling on the deadline-mass of queued work, in milliseconds;
+  /// 0 = only the depth bound applies.
+  double max_backlog_ms = 0.0;
+  /// A queued item older than this preempts the fair-share pick.
+  /// Non-positive disables the backstop.
+  double aging_ms = 500.0;
+};
+
+/// Bounded, tenant-fair, closable work queue.  Thread-safe.
+class AdmissionQueue {
+ public:
+  /// One admitted request: scheduling metadata plus the closure the
+  /// worker runs.
+  struct Item {
+    std::string tenant = "default";
+    /// The request's effective deadline — its contribution to the
+    /// backlog estimate.
+    double deadline_ms = 0.0;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::function<void()> work;
+  };
+
+  /// Why a Push was (not) admitted.
+  enum class PushResult : std::uint8_t {
+    kAdmitted = 0,
+    kOverloadDepth,    ///< Depth bound hit.
+    kOverloadBacklog,  ///< Backlog-milliseconds bound hit.
+    kDraining,         ///< Queue closed; server is draining.
+  };
+
+  explicit AdmissionQueue(AdmissionOptions options);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Stamps `item.enqueued` and admits or rejects it. Never blocks.
+  PushResult Push(Item item);
+
+  /// Blocks for the next item by fair-share order; std::nullopt once
+  /// the queue is closed *and* empty (workers then exit). Closing does
+  /// not discard queued items — drain executes every admitted request.
+  std::optional<Item> Pop();
+
+  /// Stops admission (Push returns kDraining) and wakes blocked
+  /// poppers. Idempotent.
+  void Close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  /// Current deadline-mass of queued work.
+  double backlog_ms() const;
+  /// Milliseconds the oldest queued item has waited (0 when empty).
+  double oldest_wait_ms() const;
+
+ private:
+  struct TenantLane {
+    std::deque<Item> items;
+    double pass = 0.0;  ///< Stride-scheduler virtual time.
+  };
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, TenantLane> lanes_;
+  std::size_t depth_ = 0;
+  double backlog_ms_ = 0.0;
+  bool closed_ = false;
+};
+
+const char* PushResultToString(AdmissionQueue::PushResult result);
+
+}  // namespace hematch::serve
+
+#endif  // HEMATCH_SERVE_ADMISSION_H_

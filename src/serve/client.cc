@@ -1,0 +1,232 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "log/log_io.h"
+
+namespace hematch::serve {
+
+namespace {
+
+void SleepMs(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace
+
+ServeClient::ServeClient(ClientOptions options)
+    : options_(std::move(options)) {}
+
+ServeClient::~ServeClient() { Close(); }
+
+Status ServeClient::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address '" + options_.host + "'");
+  }
+
+  // Non-blocking connect so the timeout is enforceable.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+    if (rc <= 0) {
+      Close();
+      return Status::Internal("connect timeout to " + options_.host + ":" +
+                              std::to_string(options_.port));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Close();
+      return Status::Internal("connect failed: " +
+                              std::string(std::strerror(err)));
+    }
+  } else if (rc < 0) {
+    const int err = errno;
+    Close();
+    return Status::Internal("connect failed: " +
+                            std::string(std::strerror(err)));
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  return Status::OK();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status ServeClient::SendLine(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::Internal("send failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ServeClient::ReadLine() {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double, std::milli>(options_.read_timeout_ms);
+  for (;;) {
+    const std::size_t nl = read_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = read_buffer_.substr(0, nl);
+      read_buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return line;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::ResourceExhausted("read timeout after " +
+                                       std::to_string(options_.read_timeout_ms) +
+                                       " ms");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Internal("poll failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (rc == 0) {
+      continue;  // Loop re-checks the deadline.
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::Internal("connection closed by server");
+    }
+    if (n < 0) {
+      return Status::Internal("recv failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    read_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<ServeResponse> ServeClient::Call(const std::string& request_line) {
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      SleepMs(options_.backoff_ms * attempt);
+    }
+    if (fd_ < 0) {
+      Status connect = Connect();
+      if (!connect.ok()) {
+        last_error = connect;
+        continue;
+      }
+    }
+    Status sent = SendLine(request_line);
+    if (!sent.ok()) {
+      last_error = sent;
+      Close();  // Transport broke; next attempt reconnects.
+      continue;
+    }
+    Result<std::string> line = ReadLine();
+    if (!line.ok()) {
+      last_error = line.status();
+      if (line.status().code() == StatusCode::kResourceExhausted) {
+        // Read timeout: the response may still arrive later and would
+        // desynchronize the stream — drop the connection.
+        Close();
+        return last_error;
+      }
+      Close();
+      continue;
+    }
+    Result<ServeResponse> resp = ParseResponse(*line);
+    if (!resp.ok()) {
+      return resp.status();
+    }
+    if (!resp->ok && resp->error_code == "REJECTED_OVERLOAD" &&
+        options_.retry_overload && attempt < options_.max_retries) {
+      SleepMs(resp->retry_after_ms > 0.0 ? resp->retry_after_ms
+                                         : options_.backoff_ms * (attempt + 1));
+      continue;
+    }
+    return resp;
+  }
+  return last_error.ok()
+             ? Status::Internal("call failed after retries")
+             : last_error;
+}
+
+Result<ServeResponse> ServeClient::Ping() {
+  return Call(BuildPingRequest(next_id_++));
+}
+
+Result<ServeResponse> ServeClient::RegisterLog(const std::string& name,
+                                               const EventLog& log) {
+  std::ostringstream content;
+  HEMATCH_RETURN_IF_ERROR(WriteTraceLog(log, content));
+  return RegisterLogText(name, "tr", content.str());
+}
+
+Result<ServeResponse> ServeClient::RegisterLogText(const std::string& name,
+                                                   const std::string& format,
+                                                   const std::string& content) {
+  RegisterLogSpec spec;
+  spec.name = name;
+  spec.format = format;
+  spec.content = content;
+  return Call(BuildRegisterLogRequest(next_id_++, spec));
+}
+
+Result<ServeResponse> ServeClient::Match(const MatchRequestSpec& spec) {
+  return Call(BuildMatchRequest(next_id_++, spec));
+}
+
+Result<ServeResponse> ServeClient::Stats() {
+  return Call(BuildStatsRequest(next_id_++));
+}
+
+Result<ServeResponse> ServeClient::Drain() {
+  return Call(BuildDrainRequest(next_id_++));
+}
+
+}  // namespace hematch::serve

@@ -1,0 +1,88 @@
+#ifndef HEMATCH_SERVE_CLIENT_H_
+#define HEMATCH_SERVE_CLIENT_H_
+
+/// \file
+/// Bundled client for the `hematch.serve.v1` protocol: one TCP
+/// connection, synchronous call/response, with the robustness knobs a
+/// caller needs against a server under stress — per-call read
+/// timeouts, bounded reconnect-with-backoff on connection failures,
+/// and optional automatic retry of `REJECTED_OVERLOAD` honoring the
+/// server's `retry_after_ms` hint. Concurrency is by connection: open
+/// one `ServeClient` per in-flight stream (see bench/bench_serve.cc).
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "log/event_log.h"
+#include "serve/protocol.h"
+
+namespace hematch::serve {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// TCP connect timeout.
+  double connect_timeout_ms = 2000.0;
+  /// Per-call ceiling on waiting for the response line. Should exceed
+  /// the request deadline — the server answers budget-exhausted
+  /// requests at their deadline, so a shorter read timeout gives up on
+  /// answers that were coming.
+  double read_timeout_ms = 30000.0;
+  /// Reconnect attempts after a connection-level failure (refused,
+  /// reset, EOF mid-call). The failing call is retried after each
+  /// reconnect; 0 = fail fast.
+  int max_retries = 2;
+  /// Backoff before retry `k` is `backoff_ms * k` (linear).
+  double backoff_ms = 100.0;
+  /// When true, `REJECTED_OVERLOAD` responses are retried (up to
+  /// `max_retries`) after sleeping the server's `retry_after_ms` hint
+  /// (or the backoff when absent). Off by default: under overload,
+  /// backing off to the caller is usually the right default.
+  bool retry_overload = false;
+};
+
+class ServeClient {
+ public:
+  explicit ServeClient(ClientOptions options);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Explicit connect (Call connects lazily otherwise).
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and waits for its response line, applying
+  /// the retry policy. The returned response may still be an
+  /// application error (`!resp.ok`) — retries cover transport failures
+  /// and (optionally) overload rejections only.
+  Result<ServeResponse> Call(const std::string& request_line);
+
+  /// Typed wrappers.
+  Result<ServeResponse> Ping();
+  Result<ServeResponse> RegisterLog(const std::string& name,
+                                    const EventLog& log);
+  /// Registers raw log text (already in `format`).
+  Result<ServeResponse> RegisterLogText(const std::string& name,
+                                        const std::string& format,
+                                        const std::string& content);
+  Result<ServeResponse> Match(const MatchRequestSpec& spec);
+  Result<ServeResponse> Stats();
+  Result<ServeResponse> Drain();
+
+ private:
+  Status SendLine(const std::string& line);
+  Result<std::string> ReadLine();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string read_buffer_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hematch::serve
+
+#endif  // HEMATCH_SERVE_CLIENT_H_

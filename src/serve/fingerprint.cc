@@ -1,0 +1,61 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+
+#include "freq/pattern_key.h"
+
+namespace hematch::serve {
+
+namespace {
+
+std::uint64_t MixString(std::uint64_t h, const std::string& s) {
+  // FNV-1a over the bytes, then a full-avalanche fold into the running
+  // hash; the explicit length token keeps ["ab","c"] != ["a","bc"].
+  std::uint64_t sh = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    sh = (sh ^ c) * 1099511628211ull;
+  }
+  h = hematch::internal::MixBits(h ^ sh);
+  return hematch::internal::MixBits(h ^ s.size());
+}
+
+}  // namespace
+
+std::uint64_t FingerprintLog(const EventLog& log) {
+  std::uint64_t h = 0x8e7d3a2c5b1f9e04ull;
+  const EventDictionary& dict = log.dictionary();
+  h = hematch::internal::MixBits(h ^ dict.size());
+  for (EventId id = 0; id < dict.size(); ++id) {
+    h = MixString(h, dict.Name(id));
+  }
+  h = hematch::internal::MixBits(h ^ log.num_traces());
+  for (const Trace& trace : log.traces()) {
+    h = hematch::internal::MixBits(h ^ trace.size());
+    for (EventId id : trace) {
+      h = hematch::internal::MixBits(h ^ (id + 0x9e3779b97f4a7c15ull));
+    }
+  }
+  return h;
+}
+
+std::uint64_t FingerprintPatternTexts(std::vector<std::string> texts) {
+  std::sort(texts.begin(), texts.end());
+  std::uint64_t h = 0x51b8c3a9d47e2f06ull;
+  h = hematch::internal::MixBits(h ^ texts.size());
+  for (const std::string& t : texts) {
+    h = MixString(h, t);
+  }
+  return h;
+}
+
+std::string FingerprintHex(std::uint64_t fp) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[fp & 0xF];
+    fp >>= 4;
+  }
+  return out;
+}
+
+}  // namespace hematch::serve

@@ -1,0 +1,37 @@
+#ifndef HEMATCH_SERVE_FINGERPRINT_H_
+#define HEMATCH_SERVE_FINGERPRINT_H_
+
+/// \file
+/// Content fingerprints for the match server's registries.
+///
+/// A registered log is addressed by the 64-bit fingerprint of its
+/// content (dictionary in id order, then traces in file order), so the
+/// same log registered twice — or by two tenants — lands on one entry
+/// and one warm `MatchingContext`. Pattern sets hash the same way, so
+/// the context-registry key `(fp(log1), fp(log2), fp(patterns))` is
+/// stable across connections and server restarts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace hematch::serve {
+
+/// Order-sensitive content hash: dictionary names in id order, then
+/// every trace's event ids. Two logs with the same vocabulary order and
+/// trace order collide only as a 64-bit hash accident.
+std::uint64_t FingerprintLog(const EventLog& log);
+
+/// Order-insensitive hash of a pattern-text set (sorted before mixing,
+/// so request JSON listing the same patterns in any order shares a warm
+/// context).
+std::uint64_t FingerprintPatternTexts(std::vector<std::string> texts);
+
+/// 16-hex-digit lowercase rendering, the wire form of a fingerprint.
+std::string FingerprintHex(std::uint64_t fp);
+
+}  // namespace hematch::serve
+
+#endif  // HEMATCH_SERVE_FINGERPRINT_H_

@@ -1,0 +1,610 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "log/log_io.h"
+
+namespace hematch::serve {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point then) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - then)
+      .count();
+}
+
+/// Latency buckets sized for millisecond-scale request deadlines.
+std::vector<double> LatencyBounds() {
+  return {1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+}
+
+ErrorCode ErrorCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kUnimplemented:
+      return ErrorCode::kBadRequest;
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::kRejectedOverload;
+    default:
+      return ErrorCode::kInternal;
+  }
+}
+
+}  // namespace
+
+MatchServer::MatchServer(ServerOptions options)
+    : options_(std::move(options)),
+      metrics_(std::make_unique<obs::MetricsRegistry>(options_.telemetry)),
+      logs_(options_.max_logs),
+      contexts_(options_.max_contexts, metrics_.get()),
+      queue_(AdmissionOptions{options_.max_queue_depth,
+                              options_.max_backlog_ms, options_.aging_ms}),
+      accepted_(metrics_->GetCounter("serve.accepted")),
+      rejected_overload_(metrics_->GetCounter("serve.rejected_overload")),
+      rejected_draining_(metrics_->GetCounter("serve.rejected_draining")),
+      bad_requests_(metrics_->GetCounter("serve.bad_requests")),
+      not_found_(metrics_->GetCounter("serve.not_found")),
+      completed_(metrics_->GetCounter("serve.completed")),
+      failed_(metrics_->GetCounter("serve.failed")),
+      cancelled_drain_(metrics_->GetCounter("serve.cancelled_by_drain")),
+      shed_soft_(metrics_->GetCounter("serve.shed_soft")),
+      shed_hard_(metrics_->GetCounter("serve.shed_hard")),
+      connections_(metrics_->GetCounter("serve.connections")),
+      connections_rejected_(
+          metrics_->GetCounter("serve.connections_rejected")),
+      queue_depth_gauge_(metrics_->GetGauge("serve.queue_depth")),
+      backlog_gauge_(metrics_->GetGauge("serve.backlog_ms")),
+      in_flight_gauge_(metrics_->GetGauge("serve.in_flight")),
+      draining_gauge_(metrics_->GetGauge("serve.draining")),
+      drain_ms_gauge_(metrics_->GetGauge("serve.drain_ms")),
+      queue_wait_ms_(
+          metrics_->GetHistogram("serve.queue_wait_ms", LatencyBounds())),
+      latency_ms_(metrics_->GetHistogram("serve.latency_ms", LatencyBounds())) {
+  if (options_.workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.workers = hw > 0 ? static_cast<int>(hw) : 2;
+  }
+  if (options_.shed_depth == 0) {
+    options_.shed_depth = static_cast<std::size_t>(options_.workers) * 2;
+  }
+  if (options_.shed_hard_depth == 0) {
+    options_.shed_hard_depth = static_cast<std::size_t>(options_.workers) * 4;
+  }
+}
+
+MatchServer::~MatchServer() {
+  if (!stopped_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
+    RequestDrain();
+    Wait();
+  }
+}
+
+Status MatchServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+
+  started_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void MatchServer::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        draining_.load(std::memory_order_acquire)) {
+      break;  // Drain: stop accepting.
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    std::size_t live = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      // Reap finished sessions so the connection cap tracks live ones.
+      // A session with open == false is on (or past) its exit path, so
+      // the join below is brief.
+      for (auto& s : sessions_) {
+        if (!s->open.load(std::memory_order_acquire) && s->thread.joinable()) {
+          s->thread.join();
+        }
+      }
+      sessions_.erase(
+          std::remove_if(sessions_.begin(), sessions_.end(),
+                         [](const std::shared_ptr<Session>& s) {
+                           return !s->open.load(std::memory_order_acquire) &&
+                                  !s->thread.joinable();
+                         }),
+          sessions_.end());
+      for (const auto& s : sessions_) {
+        if (s->open.load(std::memory_order_acquire)) {
+          ++live;
+        }
+      }
+    }
+    if (live >= static_cast<std::size_t>(options_.max_connections)) {
+      connections_rejected_->Increment();
+      const std::string line =
+          BuildErrorResponse(0, RequestOp::kPing, ErrorCode::kRejectedOverload,
+                             "too many connections") +
+          "\n";
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    connections_->Increment();
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(session);
+    }
+    session->thread = std::thread([this, session] { SessionLoop(session); });
+  }
+}
+
+void MatchServer::SessionLoop(const std::shared_ptr<Session>& session) {
+  obs::ScopedSpan span(options_.trace_recorder, "serve.session", "serve");
+  session->span_id = span.id();
+  std::string buffer;
+  char chunk[4096];
+  std::uint64_t lines = 0;
+  while (session->open.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;  // EOF, error, or shutdown() from Wait.
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) {
+        break;
+      }
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (!line.empty()) {
+        ++lines;
+        HandleLine(session, line);
+      }
+    }
+    buffer.erase(0, start);
+  }
+  session->open.store(false, std::memory_order_release);
+  {
+    // Close under the write lock: a worker mid-Send finishes first, and
+    // no Send can ever touch a reused descriptor number.
+    std::lock_guard<std::mutex> lock(session->write_mu);
+    ::close(session->fd);
+    session->fd = -1;
+  }
+  span.AddArg("requests", static_cast<double>(lines));
+}
+
+void MatchServer::Send(Session& session, const std::string& line) {
+  std::lock_guard<std::mutex> lock(session.write_mu);
+  if (!session.open.load(std::memory_order_acquire) || session.fd < 0) {
+    return;  // Client went away; the work was still accounted.
+  }
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(session.fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      session.open.store(false, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void MatchServer::SendError(const std::shared_ptr<Session>& session,
+                            std::uint64_t id, RequestOp op,
+                            const Status& status) {
+  const ErrorCode code = ErrorCodeForStatus(status);
+  if (code == ErrorCode::kNotFound) {
+    not_found_->Increment();
+  } else if (code == ErrorCode::kBadRequest) {
+    bad_requests_->Increment();
+  }
+  Send(*session, BuildErrorResponse(id, op, code, status.message()));
+}
+
+void MatchServer::HandleLine(const std::shared_ptr<Session>& session,
+                             const std::string& line) {
+  Result<ServeRequest> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    bad_requests_->Increment();
+    Send(*session,
+         BuildErrorResponse(0, RequestOp::kPing, ErrorCode::kBadRequest,
+                            parsed.status().message()));
+    return;
+  }
+  ServeRequest req = std::move(parsed).value();
+  switch (req.op) {
+    case RequestOp::kPing:
+      Send(*session, BuildPingResponse(req.id));
+      return;
+    case RequestOp::kStats:
+      Send(*session, BuildStatsResponse(req.id, SnapshotTelemetry(),
+                                        MsSince(started_)));
+      return;
+    case RequestOp::kDrain:
+      RequestDrain();
+      Send(*session,
+           BuildDrainResponse(req.id, in_flight_.load(), queue_.depth()));
+      return;
+    case RequestOp::kRegisterLog:
+      HandleRegisterLog(session, req);
+      return;
+    case RequestOp::kMatch:
+      HandleMatch(session, std::move(req));
+      return;
+  }
+}
+
+void MatchServer::HandleRegisterLog(const std::shared_ptr<Session>& session,
+                                    const ServeRequest& req) {
+  if (draining_.load(std::memory_order_acquire)) {
+    rejected_draining_->Increment();
+    Send(*session, BuildErrorResponse(req.id, RequestOp::kRegisterLog,
+                                      ErrorCode::kRejectedDraining,
+                                      "server is draining"));
+    return;
+  }
+  std::istringstream input(req.register_log.content);
+  Result<EventLog> log = req.register_log.format == "csv"
+                             ? ReadCsvLog(input)
+                             : ReadTraceLog(input);
+  if (!log.ok()) {
+    SendError(session, req.id, RequestOp::kRegisterLog, log.status());
+    return;
+  }
+  if (log->empty() || log->num_events() == 0) {
+    SendError(session, req.id, RequestOp::kRegisterLog,
+              Status::InvalidArgument("log has no traces/events"));
+    return;
+  }
+  Result<RegisteredLog> entry =
+      logs_.Register(req.register_log.name, std::move(log).value());
+  if (!entry.ok()) {
+    if (entry.status().code() == StatusCode::kResourceExhausted) {
+      rejected_overload_->Increment();
+    }
+    SendError(session, req.id, RequestOp::kRegisterLog, entry.status());
+    return;
+  }
+  Send(*session,
+       BuildRegisterLogResponse(req.id, entry->name, entry->fingerprint_hex,
+                                entry->log->num_traces(),
+                                entry->log->num_events()));
+}
+
+void MatchServer::UpdateQueueGauges() {
+  queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+  backlog_gauge_->Set(queue_.backlog_ms());
+}
+
+void MatchServer::HandleMatch(const std::shared_ptr<Session>& session,
+                              ServeRequest req) {
+  const std::uint64_t id = req.id;
+  const double deadline_ms = EffectiveDeadlineMs(req.match, options_.service);
+
+  AdmissionQueue::Item item;
+  item.tenant = req.match.tenant;
+  item.deadline_ms = deadline_ms;
+  // The closure owns the request and a shared_ptr to the session, so a
+  // connection closing while the item waits in the queue cannot dangle.
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto owned = std::make_shared<ServeRequest>(std::move(req));
+  item.work = [this, session, owned, enqueued] {
+    RunMatch(session, *owned, enqueued);
+  };
+
+  const AdmissionQueue::PushResult verdict = queue_.Push(std::move(item));
+  UpdateQueueGauges();
+  switch (verdict) {
+    case AdmissionQueue::PushResult::kAdmitted:
+      accepted_->Increment();
+      return;
+    case AdmissionQueue::PushResult::kOverloadDepth:
+    case AdmissionQueue::PushResult::kOverloadBacklog: {
+      rejected_overload_->Increment();
+      // Retry hint: roughly one queue's worth of work per worker, and
+      // never less than one request deadline.
+      const double retry_ms = std::max(
+          deadline_ms,
+          queue_.backlog_ms() / std::max(options_.workers, 1));
+      Send(*session,
+           BuildErrorResponse(
+               id, RequestOp::kMatch, ErrorCode::kRejectedOverload,
+               std::string("admission rejected: ") +
+                   PushResultToString(verdict),
+               retry_ms));
+      return;
+    }
+    case AdmissionQueue::PushResult::kDraining:
+      rejected_draining_->Increment();
+      Send(*session,
+           BuildErrorResponse(id, RequestOp::kMatch,
+                              ErrorCode::kRejectedDraining,
+                              "server is draining"));
+      return;
+  }
+}
+
+int MatchServer::CurrentShedLevel() {
+  const std::size_t depth = queue_.depth();
+  if (depth >= options_.shed_hard_depth) {
+    return 2;
+  }
+  if (depth >= options_.shed_depth) {
+    return 1;
+  }
+  return 0;
+}
+
+void MatchServer::RunMatch(const std::shared_ptr<Session>& session,
+                           const ServeRequest& req,
+                           std::chrono::steady_clock::time_point enqueued) {
+  const double queue_ms = MsSince(enqueued);
+  queue_wait_ms_->Observe(queue_ms);
+  const MatchRequestSpec& spec = req.match;
+
+  // Request span, explicitly parented to its session's span even though
+  // it runs on a worker thread.
+  obs::ScopedSpan span(options_.trace_recorder, "serve.request", "serve",
+                       session->span_id != 0 ? session->span_id
+                                             : obs::kAutoParent);
+  span.AddArg("queue_ms", queue_ms);
+
+  Result<RegisteredLog> r1 = logs_.Lookup(spec.log1);
+  if (!r1.ok()) {
+    failed_->Increment();
+    SendError(session, req.id, RequestOp::kMatch, r1.status());
+    return;
+  }
+  Result<RegisteredLog> r2 = logs_.Lookup(spec.log2);
+  if (!r2.ok()) {
+    failed_->Increment();
+    SendError(session, req.id, RequestOp::kMatch, r2.status());
+    return;
+  }
+
+  // Orientation: matchers require |V1| <= |V2| unless partial mappings
+  // price the overflow as explicit nulls (the CLI applies the same
+  // rule). Patterns are interpreted over the oriented source log.
+  const bool partial = std::isfinite(spec.partial_penalty);
+  RegisteredLog log1 = std::move(r1).value();
+  RegisteredLog log2 = std::move(r2).value();
+  bool swapped = false;
+  if (!partial && log1.log->num_events() > log2.log->num_events()) {
+    std::swap(log1, log2);
+    swapped = true;
+  }
+
+  bool warm_hit = false;
+  Result<std::shared_ptr<WarmContext>> warm =
+      contexts_.Acquire(log1, log2, spec.patterns, &warm_hit);
+  if (!warm.ok()) {
+    failed_->Increment();
+    SendError(session, req.id, RequestOp::kMatch, warm.status());
+    return;
+  }
+
+  const int shed_level = CurrentShedLevel();
+  if (shed_level >= 2) {
+    shed_hard_->Increment();
+  } else if (shed_level == 1 && spec.method != "heuristic") {
+    shed_soft_->Increment();
+  }
+
+  exec::CancelToken token;
+  if (drain_hard_.load(std::memory_order_acquire)) {
+    // Past the drain grace: the request still runs, but pre-cancelled,
+    // so it resolves instantly through the anytime path with whatever
+    // bounds are certifiable from zero work.
+    token.Cancel();
+    cancelled_drain_->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_.insert(&token);
+  }
+  MatchOutcome outcome =
+      ExecuteMatch(*warm.value(), swapped, spec, shed_level, queue_ms,
+                   warm_hit, options_.service, token);
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_.erase(&token);
+  }
+
+  if (!outcome.ok) {
+    failed_->Increment();
+    SendError(session, req.id, RequestOp::kMatch, outcome.error);
+  } else {
+    completed_->Increment();
+    Send(*session, BuildMatchResponse(req.id, outcome.reply));
+  }
+  const double total_ms = MsSince(enqueued);
+  latency_ms_->Observe(total_ms);
+  span.AddArg("total_ms", total_ms);
+  span.AddArg("shed_level", shed_level);
+}
+
+void MatchServer::WorkerLoop() {
+  while (std::optional<AdmissionQueue::Item> item = queue_.Pop()) {
+    in_flight_gauge_->Set(
+        static_cast<double>(in_flight_.fetch_add(1) + 1));
+    UpdateQueueGauges();
+    item->work();
+    in_flight_gauge_->Set(
+        static_cast<double>(in_flight_.fetch_sub(1) - 1));
+  }
+}
+
+void MatchServer::RequestDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    return;  // Already draining.
+  }
+  drain_started_ = std::chrono::steady_clock::now();
+  draining_gauge_->Set(1.0);
+  queue_.Close();
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  drain_thread_ = std::thread([this] { DrainCoordinator(); });
+}
+
+void MatchServer::DrainCoordinator() {
+  // Phase 1: give admitted work the grace period to finish on its own
+  // budgets.
+  while (MsSince(drain_started_) < options_.drain_grace_ms) {
+    if (queue_.depth() == 0 &&
+        in_flight_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Phase 2: budget out the stragglers. Every active request token is
+  // cancelled (its match returns anytime bounds), the warm contexts'
+  // evaluator drain tokens stop long frequency scans, and requests
+  // still queued start pre-cancelled (see RunMatch).
+  drain_hard_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    for (exec::CancelToken* token : active_tokens_) {
+      token->Cancel();
+      cancelled_drain_->Increment();
+    }
+  }
+  contexts_.CancelAll();
+}
+
+void MatchServer::Wait() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  if (drain_thread_.joinable()) {
+    drain_thread_.join();
+  }
+  // All responses are out; unblock and join the session readers.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions = sessions_;
+  }
+  for (const auto& session : sessions) {
+    std::lock_guard<std::mutex> lock(session->write_mu);
+    if (session->fd >= 0) {
+      ::shutdown(session->fd, SHUT_RDWR);
+    }
+  }
+  for (const auto& session : sessions) {
+    if (session->thread.joinable()) {
+      session->thread.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+  if (drain_started_ != std::chrono::steady_clock::time_point{}) {
+    drain_ms_gauge_->Set(MsSince(drain_started_));
+  }
+  draining_gauge_->Set(2.0);  // 0 = serving, 1 = draining, 2 = stopped.
+  in_flight_gauge_->Set(0.0);
+  UpdateQueueGauges();
+}
+
+obs::TelemetrySnapshot MatchServer::SnapshotTelemetry() const {
+  return obs::CaptureSnapshot(*metrics_);
+}
+
+}  // namespace hematch::serve

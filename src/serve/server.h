@@ -1,0 +1,208 @@
+#ifndef HEMATCH_SERVE_SERVER_H_
+#define HEMATCH_SERVE_SERVER_H_
+
+/// \file
+/// The long-lived match server (`hematch.serve.v1` over TCP).
+///
+/// Architecture: one accept thread (poll on the listen socket plus a
+/// self-pipe for shutdown), one reader thread per connection parsing
+/// newline-delimited requests, and a fixed worker pool executing match
+/// requests popped from the tenant-fair `AdmissionQueue`. Cheap verbs
+/// (ping, stats, register_log, drain) are answered on the session
+/// thread; match requests go through admission control. Responses are
+/// written under a per-session mutex, so pipelined requests on one
+/// connection may complete out of order — the `id` field correlates.
+///
+/// Overload behavior (the robustness contract, docs/ROBUSTNESS.md):
+///  * admission rejects with explicit `REJECTED_OVERLOAD` + retry hint
+///    once queue depth or deadline-backlog exceeds capacity — never a
+///    silent drop, never an unbounded queue;
+///  * under saturation the scheduler sheds load by downgrading the
+///    method ladder (exact → heuristic → simple-only) instead of
+///    failing requests;
+///  * every request runs under its own budget + watchdog, so worst-case
+///    latency is deadline × grace, and a crashing strategy fails that
+///    request alone (`INTERNAL`), not the process;
+///  * `RequestDrain` (SIGTERM path) stops accepting, lets queued and
+///    in-flight requests finish, then past `drain_grace_ms` cancels
+///    stragglers — which budget out through the anytime path with
+///    certified bounds. `Wait` returns once everything is joined; the
+///    final telemetry snapshot remains readable.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/budget.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace hematch::serve {
+
+/// Everything one server enforces. Zeros mean "derive a sane default"
+/// where documented.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 = ephemeral (read back via
+  /// `port()`).
+  int port = 0;
+  /// Match-execution worker threads; <= 0 = hardware concurrency.
+  int workers = 4;
+  /// Admission: maximum queued match requests.
+  std::size_t max_queue_depth = 64;
+  /// Admission: ceiling on queued deadline-mass (ms); 0 = depth only.
+  double max_backlog_ms = 0.0;
+  /// Fair-share starvation backstop (see AdmissionOptions).
+  double aging_ms = 500.0;
+  /// Queue depth at which exact requests shed to the heuristic ladder;
+  /// 0 = 2 × workers.
+  std::size_t shed_depth = 0;
+  /// Queue depth at which requests shed to simple-only; 0 = 4 × workers.
+  std::size_t shed_hard_depth = 0;
+  /// Per-request budgets and the watchdog grace factor.
+  ServiceOptions service;
+  /// LRU capacity of warm `MatchingContext`s.
+  std::size_t max_contexts = 8;
+  /// Registered-log capacity.
+  std::size_t max_logs = 64;
+  /// Concurrent connections; excess connects are turned away with an
+  /// explicit overload error.
+  int max_connections = 128;
+  /// Drain: how long in-flight/queued work may keep running after
+  /// `RequestDrain` before stragglers are cancelled (budgeted out).
+  double drain_grace_ms = 5000.0;
+  /// Metrics registry enabled/disabled.
+  bool telemetry = true;
+  /// Optional span recorder for `serve.session` / `serve.request`
+  /// timelines (request spans are parented to their session across
+  /// worker threads). Must outlive the server.
+  obs::TraceRecorder* trace_recorder = nullptr;
+};
+
+class MatchServer {
+ public:
+  explicit MatchServer(ServerOptions options);
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread and worker pool.
+  Status Start();
+
+  /// The bound port (after Start; meaningful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Begins graceful drain: stop accepting connections and admissions,
+  /// finish (or, past the grace, budget out) everything already
+  /// admitted. Idempotent; callable from any thread, including a
+  /// session thread handling the `drain` op.
+  void RequestDrain();
+
+  /// Blocks until the server has fully drained and every thread is
+  /// joined. Requires a prior (or concurrent) RequestDrain — a server
+  /// nobody drains serves forever, which is the point.
+  void Wait();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Current metric values (also valid after Wait — the final
+  /// snapshot).
+  obs::TelemetrySnapshot SnapshotTelemetry() const;
+
+  /// Queue depth + executing requests, for tests and the drain reply.
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    std::thread thread;
+    obs::SpanId span_id = 0;  ///< serve.session span, parent of requests.
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void SessionLoop(const std::shared_ptr<Session>& session);
+  void HandleLine(const std::shared_ptr<Session>& session,
+                  const std::string& line);
+  void HandleRegisterLog(const std::shared_ptr<Session>& session,
+                         const ServeRequest& req);
+  void HandleMatch(const std::shared_ptr<Session>& session, ServeRequest req);
+  void RunMatch(const std::shared_ptr<Session>& session,
+                const ServeRequest& req,
+                std::chrono::steady_clock::time_point enqueued);
+  void Send(Session& session, const std::string& line);
+  void SendError(const std::shared_ptr<Session>& session, std::uint64_t id,
+                 RequestOp op, const Status& status);
+  void DrainCoordinator();
+  int CurrentShedLevel();
+  void UpdateQueueGauges();
+
+  ServerOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  LogRegistry logs_;
+  ContextRegistry contexts_;
+  AdmissionQueue queue_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::chrono::steady_clock::time_point started_{};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drain_hard_{false};
+  std::atomic<bool> stopped_{false};
+  std::chrono::steady_clock::time_point drain_started_{};
+  std::thread drain_thread_;
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::mutex tokens_mu_;
+  std::set<exec::CancelToken*> active_tokens_;
+
+  // serve.* metric handles (resolved once in the constructor).
+  obs::Counter* accepted_;
+  obs::Counter* rejected_overload_;
+  obs::Counter* rejected_draining_;
+  obs::Counter* bad_requests_;
+  obs::Counter* not_found_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* cancelled_drain_;
+  obs::Counter* shed_soft_;
+  obs::Counter* shed_hard_;
+  obs::Counter* connections_;
+  obs::Counter* connections_rejected_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* backlog_gauge_;
+  obs::Gauge* in_flight_gauge_;
+  obs::Gauge* draining_gauge_;
+  obs::Gauge* drain_ms_gauge_;
+  obs::Histogram* queue_wait_ms_;
+  obs::Histogram* latency_ms_;
+};
+
+}  // namespace hematch::serve
+
+#endif  // HEMATCH_SERVE_SERVER_H_

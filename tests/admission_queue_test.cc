@@ -1,0 +1,221 @@
+// Admission control and fair-share scheduling: bounded depth/backlog
+// with explicit overload verdicts, stride scheduling across tenants,
+// the aging backstop, and drain semantics (Close).
+
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hematch::serve {
+namespace {
+
+AdmissionQueue::Item MakeItem(const std::string& tenant,
+                              double deadline_ms = 100.0) {
+  AdmissionQueue::Item item;
+  item.tenant = tenant;
+  item.deadline_ms = deadline_ms;
+  item.work = [] {};
+  return item;
+}
+
+TEST(AdmissionQueueTest, DepthBoundRejectsExplicitly) {
+  AdmissionOptions options;
+  options.max_depth = 2;
+  AdmissionQueue queue(options);
+  EXPECT_EQ(queue.Push(MakeItem("t")), AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_EQ(queue.Push(MakeItem("t")), AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_EQ(queue.Push(MakeItem("t")),
+            AdmissionQueue::PushResult::kOverloadDepth);
+  EXPECT_EQ(queue.depth(), 2u);
+  // Popping frees a slot.
+  ASSERT_TRUE(queue.Pop().has_value());
+  EXPECT_EQ(queue.Push(MakeItem("t")), AdmissionQueue::PushResult::kAdmitted);
+}
+
+TEST(AdmissionQueueTest, BacklogBoundCountsDeadlineMass) {
+  AdmissionOptions options;
+  options.max_depth = 100;
+  options.max_backlog_ms = 1000.0;
+  AdmissionQueue queue(options);
+  EXPECT_EQ(queue.Push(MakeItem("t", 800.0)),
+            AdmissionQueue::PushResult::kAdmitted);
+  // 800 + 600 > 1000: the queue already holds more promised work than
+  // the ceiling allows.
+  EXPECT_EQ(queue.Push(MakeItem("t", 600.0)),
+            AdmissionQueue::PushResult::kOverloadBacklog);
+  // A small request still fits.
+  EXPECT_EQ(queue.Push(MakeItem("t", 100.0)),
+            AdmissionQueue::PushResult::kAdmitted);
+}
+
+TEST(AdmissionQueueTest, EmptyQueueAlwaysAdmitsOne) {
+  // Even a request whose deadline alone exceeds the backlog ceiling is
+  // admitted when the queue is empty — rejecting it would make the
+  // ceiling a request-size limit, which it is not.
+  AdmissionOptions options;
+  options.max_backlog_ms = 10.0;
+  AdmissionQueue queue(options);
+  EXPECT_EQ(queue.Push(MakeItem("t", 50000.0)),
+            AdmissionQueue::PushResult::kAdmitted);
+}
+
+TEST(AdmissionQueueTest, ClosedQueueReportsDraining) {
+  AdmissionQueue queue(AdmissionOptions{});
+  queue.Close();
+  EXPECT_EQ(queue.Push(MakeItem("t")),
+            AdmissionQueue::PushResult::kDraining);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(AdmissionQueueTest, CloseReleasesBlockedPoppers) {
+  AdmissionQueue queue(AdmissionOptions{});
+  std::atomic<int> released{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 3; ++i) {
+    poppers.emplace_back([&] {
+      while (queue.Pop().has_value()) {
+      }
+      released.fetch_add(1);
+    });
+  }
+  ASSERT_EQ(queue.Push(MakeItem("t")), AdmissionQueue::PushResult::kAdmitted);
+  queue.Close();
+  for (std::thread& t : poppers) {
+    t.join();
+  }
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(AdmissionQueueTest, DrainsRemainingItemsAfterClose) {
+  // Close stops admissions but already-admitted items must still pop —
+  // the drain contract is "finish what was admitted".
+  AdmissionQueue queue(AdmissionOptions{});
+  ASSERT_EQ(queue.Push(MakeItem("a")), AdmissionQueue::PushResult::kAdmitted);
+  ASSERT_EQ(queue.Push(MakeItem("b")), AdmissionQueue::PushResult::kAdmitted);
+  queue.Close();
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(AdmissionQueueTest, FairShareInterleavesTenants) {
+  // Tenant "hog" enqueues 6 requests before "mouse" enqueues 2; stride
+  // scheduling must not make mouse wait for all of hog's queue.
+  AdmissionOptions options;
+  options.max_depth = 100;
+  AdmissionQueue queue(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(queue.Push(MakeItem("hog")),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(queue.Push(MakeItem("mouse")),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  std::vector<std::string> order;
+  while (queue.depth() > 0) {
+    order.push_back(queue.Pop()->tenant);
+  }
+  ASSERT_EQ(order.size(), 8u);
+  // Both of mouse's requests must be served within the first four pops:
+  // with equal strides the schedule alternates while both lanes are
+  // non-empty.
+  int mouse_served = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    mouse_served += order[i] == "mouse" ? 1 : 0;
+  }
+  EXPECT_EQ(mouse_served, 2) << "mouse was starved behind hog's backlog";
+}
+
+TEST(AdmissionQueueTest, NewTenantJoinsAtCurrentPassNotZero) {
+  // A tenant that arrives late must not get a huge credit from starting
+  // at pass 0 — it joins at the current minimum.
+  AdmissionOptions options;
+  options.max_depth = 100;
+  AdmissionQueue queue(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.Push(MakeItem("old")),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  // Pop twice: old's pass advances to 2.
+  ASSERT_TRUE(queue.Pop().has_value());
+  ASSERT_TRUE(queue.Pop().has_value());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.Push(MakeItem("new")),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  std::vector<std::string> order;
+  while (queue.depth() > 0) {
+    order.push_back(queue.Pop()->tenant);
+  }
+  // "new" joined at old's current pass, so old's remaining 2 requests
+  // interleave with new's first 2 — both must be served within the
+  // first 4 pops, not after new's whole backlog.
+  ASSERT_EQ(order.size(), 6u);
+  int old_in_first_four = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    old_in_first_four += order[i] == "old" ? 1 : 0;
+  }
+  EXPECT_EQ(old_in_first_four, 2);
+  EXPECT_EQ(order[0], "old") << "new must not start with stale-pass credit";
+}
+
+TEST(AdmissionQueueTest, AgingBackstopPrefersOldestWhenStarved) {
+  AdmissionOptions options;
+  options.max_depth = 100;
+  options.aging_ms = 20.0;
+  AdmissionQueue queue(options);
+  ASSERT_EQ(queue.Push(MakeItem("starved")),
+            AdmissionQueue::PushResult::kAdmitted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Fresh items from another tenant; stride might favor either lane,
+  // but the aged item must win once it has waited past aging_ms.
+  ASSERT_EQ(queue.Push(MakeItem("fresh")),
+            AdmissionQueue::PushResult::kAdmitted);
+  const auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->tenant, "starved");
+}
+
+TEST(AdmissionQueueTest, ConcurrentPushPopKeepsCount) {
+  AdmissionOptions options;
+  options.max_depth = 10000;
+  AdmissionQueue queue(options);
+  constexpr int kPerProducer = 200;
+  constexpr int kProducers = 4;
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(queue.Push(MakeItem("tenant-" + std::to_string(p))),
+                  AdmissionQueue::PushResult::kAdmitted);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&queue, &popped] {
+      while (queue.Pop().has_value()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<std::size_t>(p)].join();
+  }
+  queue.Close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(popped.load(), kPerProducer * kProducers);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace hematch::serve

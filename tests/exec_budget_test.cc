@@ -218,11 +218,11 @@ TEST(FaultInjectionTest, FromEnvRejectsMalformedAndCompleted) {
     EXPECT_FALSE(FaultInjection::FromEnv().enabled());
   }
   {
-    // "completed" is not a failure; the reason falls back to the default.
+    // "completed" is not a failure; the strict parser rejects it, and
+    // FromEnv falls back to disabled (see FaultInjection::Parse).
     ScopedFaultEnv env("7", "completed");
-    const FaultInjection fault = FaultInjection::FromEnv();
-    EXPECT_TRUE(fault.enabled());
-    EXPECT_EQ(fault.reason, TerminationReason::kExpansionCap);
+    EXPECT_FALSE(FaultInjection::FromEnv().enabled());
+    EXPECT_FALSE(FaultInjection::ValidateEnv().ok());
   }
   unsetenv("HEMATCH_FAULT_EXHAUST_AFTER");
   EXPECT_FALSE(FaultInjection::FromEnv().enabled());

@@ -1,0 +1,114 @@
+// Strict parsing of the HEMATCH_FAULT_* drill variables: a mistyped
+// drill must fail loudly (ValidateEnv) instead of silently running
+// without the fault.
+
+#include "exec/budget.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace hematch::exec {
+namespace {
+
+TEST(FaultEnvTest, UnsetIsDisabled) {
+  const Result<FaultInjection> fault =
+      FaultInjection::Parse(nullptr, nullptr, nullptr);
+  ASSERT_TRUE(fault.ok());
+  EXPECT_FALSE(fault->enabled());
+}
+
+TEST(FaultEnvTest, CountAloneEnables) {
+  const Result<FaultInjection> fault =
+      FaultInjection::Parse("128", nullptr, nullptr);
+  ASSERT_TRUE(fault.ok());
+  EXPECT_TRUE(fault->enabled());
+  EXPECT_EQ(fault->exhaust_after, 128u);
+  EXPECT_EQ(fault->reason, TerminationReason::kExpansionCap);
+  EXPECT_FALSE(fault->crash);
+}
+
+TEST(FaultEnvTest, FullSpecParses) {
+  const Result<FaultInjection> fault =
+      FaultInjection::Parse("5", "deadline", "1");
+  ASSERT_TRUE(fault.ok());
+  EXPECT_EQ(fault->exhaust_after, 5u);
+  EXPECT_EQ(fault->reason, TerminationReason::kDeadline);
+  EXPECT_TRUE(fault->crash);
+}
+
+TEST(FaultEnvTest, ZeroCountDisables) {
+  // "0" is a valid spelling of "off" — REASON/CRASH may ride along.
+  const Result<FaultInjection> fault =
+      FaultInjection::Parse("0", "deadline", "0");
+  ASSERT_TRUE(fault.ok());
+  EXPECT_FALSE(fault->enabled());
+}
+
+TEST(FaultEnvTest, MalformedCountRejected) {
+  for (const char* bad : {"abc", "12x", "-3", "1.5", " 7", "7 ", "0x10"}) {
+    const Result<FaultInjection> fault =
+        FaultInjection::Parse(bad, nullptr, nullptr);
+    EXPECT_FALSE(fault.ok()) << "count '" << bad << "' should be rejected";
+    EXPECT_EQ(fault.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FaultEnvTest, UnknownReasonRejected) {
+  const Result<FaultInjection> fault =
+      FaultInjection::Parse("5", "dedline", nullptr);
+  ASSERT_FALSE(fault.ok());
+  EXPECT_NE(fault.status().message().find("dedline"), std::string::npos);
+}
+
+TEST(FaultEnvTest, CompletedReasonRejected) {
+  // "completed" is a termination reason but not an injectable fault.
+  const Result<FaultInjection> fault =
+      FaultInjection::Parse("5", "completed", nullptr);
+  EXPECT_FALSE(fault.ok());
+}
+
+TEST(FaultEnvTest, MalformedCrashRejected) {
+  for (const char* bad : {"true", "yes", "2", "on"}) {
+    const Result<FaultInjection> fault =
+        FaultInjection::Parse("5", nullptr, bad);
+    EXPECT_FALSE(fault.ok()) << "crash '" << bad << "' should be rejected";
+  }
+}
+
+TEST(FaultEnvTest, DanglingReasonRejected) {
+  // REASON/CRASH without EXHAUST_AFTER: the drill would never fire —
+  // reject instead of silently doing nothing.
+  EXPECT_FALSE(FaultInjection::Parse(nullptr, "deadline", nullptr).ok());
+  EXPECT_FALSE(FaultInjection::Parse("", nullptr, "1").ok());
+}
+
+TEST(FaultEnvTest, ValidateEnvReadsEnvironment) {
+  ::setenv("HEMATCH_FAULT_EXHAUST_AFTER", "banana", 1);
+  EXPECT_FALSE(FaultInjection::ValidateEnv().ok());
+  ::setenv("HEMATCH_FAULT_EXHAUST_AFTER", "10", 1);
+  EXPECT_TRUE(FaultInjection::ValidateEnv().ok());
+  ::unsetenv("HEMATCH_FAULT_EXHAUST_AFTER");
+  EXPECT_TRUE(FaultInjection::ValidateEnv().ok());
+}
+
+TEST(FaultEnvTest, FromEnvFallsBackToDisabledOnMalformedInput) {
+  ::setenv("HEMATCH_FAULT_EXHAUST_AFTER", "not-a-number", 1);
+  const FaultInjection fault = FaultInjection::FromEnv();
+  EXPECT_FALSE(fault.enabled());
+  ::unsetenv("HEMATCH_FAULT_EXHAUST_AFTER");
+}
+
+TEST(FaultEnvTest, FromEnvParsesWellFormedDrill) {
+  ::setenv("HEMATCH_FAULT_EXHAUST_AFTER", "42", 1);
+  ::setenv("HEMATCH_FAULT_REASON", "memory-cap", 1);
+  const FaultInjection fault = FaultInjection::FromEnv();
+  EXPECT_TRUE(fault.enabled());
+  EXPECT_EQ(fault.exhaust_after, 42u);
+  EXPECT_EQ(fault.reason, TerminationReason::kMemoryCap);
+  ::unsetenv("HEMATCH_FAULT_EXHAUST_AFTER");
+  ::unsetenv("HEMATCH_FAULT_REASON");
+}
+
+}  // namespace
+}  // namespace hematch::exec

@@ -1,0 +1,176 @@
+// Round-trips and strict validation of the hematch.serve.v1 wire
+// protocol: every builder's output must parse back, and malformed
+// requests must be rejected with a reason, never half-parsed.
+
+#include "serve/protocol.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace hematch::serve {
+namespace {
+
+TEST(ServeProtocolTest, PingRoundTrip) {
+  const Result<ServeRequest> req = ParseRequest(BuildPingRequest(7));
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->op, RequestOp::kPing);
+  EXPECT_EQ(req->id, 7u);
+}
+
+TEST(ServeProtocolTest, RegisterLogRoundTrip) {
+  RegisterLogSpec spec;
+  spec.name = "ward \"A\"";  // Quotes must survive escaping.
+  spec.format = "csv";
+  spec.content = "case,event\n1,admit\n1,treat\n";
+  const Result<ServeRequest> req =
+      ParseRequest(BuildRegisterLogRequest(3, spec));
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->op, RequestOp::kRegisterLog);
+  EXPECT_EQ(req->register_log.name, spec.name);
+  EXPECT_EQ(req->register_log.format, "csv");
+  EXPECT_EQ(req->register_log.content, spec.content);
+}
+
+TEST(ServeProtocolTest, MatchRoundTrip) {
+  MatchRequestSpec spec;
+  spec.log1 = "a";
+  spec.log2 = "b";
+  spec.patterns = {"SEQ(x,y)", "AND(p,q)"};
+  spec.tenant = "team-1";
+  spec.deadline_ms = 250.0;
+  spec.max_expansions = 1000;
+  spec.partial_penalty = 2.5;
+  spec.method = "heuristic";
+  const Result<ServeRequest> req = ParseRequest(BuildMatchRequest(9, spec));
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->op, RequestOp::kMatch);
+  EXPECT_EQ(req->match.log1, "a");
+  EXPECT_EQ(req->match.log2, "b");
+  EXPECT_EQ(req->match.patterns, spec.patterns);
+  EXPECT_EQ(req->match.tenant, "team-1");
+  EXPECT_DOUBLE_EQ(req->match.deadline_ms, 250.0);
+  EXPECT_EQ(req->match.max_expansions, 1000u);
+  EXPECT_DOUBLE_EQ(req->match.partial_penalty, 2.5);
+  EXPECT_EQ(req->match.method, "heuristic");
+}
+
+TEST(ServeProtocolTest, MatchDefaultsOmitted) {
+  MatchRequestSpec spec;
+  spec.log1 = "a";
+  spec.log2 = "b";
+  const Result<ServeRequest> req = ParseRequest(BuildMatchRequest(1, spec));
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->match.tenant, "default");
+  EXPECT_DOUBLE_EQ(req->match.deadline_ms, 0.0);
+  EXPECT_FALSE(req->match.partial_penalty <
+               std::numeric_limits<double>::infinity());
+  EXPECT_EQ(req->match.method, "auto");
+}
+
+TEST(ServeProtocolTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("42").ok());
+  EXPECT_FALSE(ParseRequest("{}").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"match"})").ok());  // No schema.
+  EXPECT_FALSE(
+      ParseRequest(R"({"schema":"hematch.serve.v0","op":"ping","id":1})")
+          .ok());
+}
+
+TEST(ServeProtocolTest, RejectsBadFields) {
+  // Unknown op.
+  EXPECT_FALSE(
+      ParseRequest(R"({"schema":"hematch.serve.v1","op":"evict","id":1})")
+          .ok());
+  // Negative deadline.
+  EXPECT_FALSE(ParseRequest(
+                   R"({"schema":"hematch.serve.v1","op":"match","id":1,)"
+                   R"("log1":"a","log2":"b","deadline_ms":-5})")
+                   .ok());
+  // Bad method.
+  EXPECT_FALSE(ParseRequest(
+                   R"({"schema":"hematch.serve.v1","op":"match","id":1,)"
+                   R"("log1":"a","log2":"b","method":"psychic"})")
+                   .ok());
+  // Patterns must be an array of strings.
+  EXPECT_FALSE(ParseRequest(
+                   R"js({"schema":"hematch.serve.v1","op":"match","id":1,)js"
+                   R"js("log1":"a","log2":"b","patterns":"SEQ(x,y)"})js")
+                   .ok());
+  // Missing log names.
+  EXPECT_FALSE(ParseRequest(
+                   R"({"schema":"hematch.serve.v1","op":"match","id":1})")
+                   .ok());
+  // register_log needs a known format.
+  EXPECT_FALSE(ParseRequest(
+                   R"({"schema":"hematch.serve.v1","op":"register_log",)"
+                   R"("id":1,"name":"a","format":"xml","content":"x"})")
+                   .ok());
+}
+
+TEST(ServeProtocolTest, MatchResponseRoundTrip) {
+  MatchReplyData reply;
+  reply.termination = "deadline";
+  reply.degraded = true;
+  reply.shed_level = 1;
+  reply.swapped = true;
+  reply.context_warm = true;
+  reply.objective = 12.5;
+  reply.lower_bound = 12.5;
+  reply.upper_bound = 14.0;
+  reply.bounds_certified = true;
+  reply.elapsed_ms = 99.0;
+  reply.queue_ms = 3.0;
+  reply.mappings_processed = 777;
+  reply.mapping = {{"a", "x"}, {"b", "y"}};
+  reply.unmapped = {"c"};
+  reply.stages = {{"Pattern-Tight", "deadline"},
+                  {"Heuristic-Advanced", "completed"}};
+  const std::string line = BuildMatchResponse(4, reply);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "response must be 1 line";
+
+  const Result<ServeResponse> resp = ParseResponse(line);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_TRUE(resp->ok);
+  EXPECT_EQ(resp->id, 4u);
+  EXPECT_EQ(resp->op, "match");
+  EXPECT_EQ(resp->body.Find("termination")->TextOr(""), "deadline");
+  EXPECT_EQ(resp->body.Find("mapping")->items.size(), 2u);
+  EXPECT_EQ(resp->body.Find("stages")->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(resp->body.Find("objective")->NumberOr(0.0), 12.5);
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTrip) {
+  const std::string line =
+      BuildErrorResponse(11, RequestOp::kMatch, ErrorCode::kRejectedOverload,
+                         "queue full (depth 64)", 250.0);
+  const Result<ServeResponse> resp = ParseResponse(line);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->error_code, "REJECTED_OVERLOAD");
+  EXPECT_EQ(resp->error_message, "queue full (depth 64)");
+  EXPECT_DOUBLE_EQ(resp->retry_after_ms, 250.0);
+}
+
+TEST(ServeProtocolTest, StatsResponseIsSingleLineWithTelemetry) {
+  obs::MetricsRegistry metrics(true);
+  metrics.GetCounter("serve.accepted")->Increment(3);
+  const std::string line =
+      BuildStatsResponse(2, obs::CaptureSnapshot(metrics), 1234.0);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const Result<ServeResponse> resp = ParseResponse(line);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_TRUE(resp->ok);
+  const obs::JsonValue* telemetry = resp->body.Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const obs::JsonValue* counters = telemetry->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.accepted")->NumberOr(0.0), 3.0);
+}
+
+}  // namespace
+}  // namespace hematch::serve

@@ -1,0 +1,202 @@
+// Log registration (idempotence, collision, capacity) and the warm
+// MatchingContext cache (hit/miss, LRU eviction, concurrent build,
+// drain cancellation).
+
+#include "serve/registry.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/telemetry.h"
+#include "serve/fingerprint.h"
+
+namespace hematch::serve {
+namespace {
+
+EventLog MakeLog(const std::vector<std::vector<std::string>>& traces) {
+  EventLog log;
+  for (const auto& t : traces) {
+    log.AddTraceByNames(t);
+  }
+  return log;
+}
+
+EventLog LogA() { return MakeLog({{"a", "b", "c"}, {"a", "c", "b"}}); }
+EventLog LogB() { return MakeLog({{"x", "y", "z"}, {"x", "z", "y"}}); }
+
+TEST(LogRegistryTest, RegisterAndLookupByNameAndFingerprint) {
+  LogRegistry registry(8);
+  const Result<RegisteredLog> reg = registry.Register("a", LogA());
+  ASSERT_TRUE(reg.ok()) << reg.status();
+  EXPECT_EQ(reg->name, "a");
+  EXPECT_EQ(reg->fingerprint_hex.size(), 16u);
+
+  const Result<RegisteredLog> by_name = registry.Lookup("a");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->fingerprint, reg->fingerprint);
+
+  const Result<RegisteredLog> by_fp = registry.Lookup(reg->fingerprint_hex);
+  ASSERT_TRUE(by_fp.ok());
+  EXPECT_EQ(by_fp->name, "a");
+
+  EXPECT_FALSE(registry.Lookup("nope").ok());
+}
+
+TEST(LogRegistryTest, IdempotentSameContentCollisionOtherwise) {
+  LogRegistry registry(8);
+  ASSERT_TRUE(registry.Register("a", LogA()).ok());
+  // Same name, same content: fine (idempotent re-registration).
+  EXPECT_TRUE(registry.Register("a", LogA()).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  // Same name, different content: explicit error, original wins.
+  const Result<RegisteredLog> clash = registry.Register("a", LogB());
+  ASSERT_FALSE(clash.ok());
+  EXPECT_EQ(clash.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LogRegistryTest, FullRegistryRejectsInsteadOfEvicting) {
+  LogRegistry registry(1);
+  ASSERT_TRUE(registry.Register("a", LogA()).ok());
+  const Result<RegisteredLog> full = registry.Register("b", LogB());
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(registry.Lookup("a").ok());
+}
+
+TEST(FingerprintTest, ContentIdentityNotNameIdentity) {
+  // Same content fingerprints equal; different content differs; the
+  // pattern fingerprint ignores order.
+  EXPECT_EQ(FingerprintLog(LogA()), FingerprintLog(LogA()));
+  EXPECT_NE(FingerprintLog(LogA()), FingerprintLog(LogB()));
+  EXPECT_EQ(FingerprintPatternTexts({"SEQ(a,b)", "AND(b,c)"}),
+            FingerprintPatternTexts({"AND(b,c)", "SEQ(a,b)"}));
+  EXPECT_NE(FingerprintPatternTexts({"SEQ(a,b)"}),
+            FingerprintPatternTexts({"SEQ(a,c)"}));
+}
+
+class ContextRegistryTest : public ::testing::Test {
+ protected:
+  ContextRegistryTest() : metrics_(true), logs_(16) {}
+
+  RegisteredLog Reg(const std::string& name, EventLog log) {
+    Result<RegisteredLog> reg = logs_.Register(name, std::move(log));
+    EXPECT_TRUE(reg.ok()) << reg.status();
+    return *reg;
+  }
+
+  obs::MetricsRegistry metrics_;
+  LogRegistry logs_;
+};
+
+TEST_F(ContextRegistryTest, MissThenHit) {
+  ContextRegistry contexts(4, &metrics_);
+  const RegisteredLog a = Reg("a", LogA());
+  const RegisteredLog b = Reg("b", LogB());
+
+  bool warm = true;
+  Result<std::shared_ptr<WarmContext>> first =
+      contexts.Acquire(a, b, {}, &warm);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(warm);
+  ASSERT_NE(first->get()->base, nullptr);
+
+  Result<std::shared_ptr<WarmContext>> second =
+      contexts.Acquire(a, b, {}, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(warm);
+  EXPECT_EQ(first->get(), second->get()) << "hit must share the instance";
+
+  // Different patterns → different key → fresh build.
+  Result<std::shared_ptr<WarmContext>> third =
+      contexts.Acquire(a, b, {"SEQ(a,b)"}, &warm);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_FALSE(warm);
+  EXPECT_NE(first->get(), third->get());
+}
+
+TEST_F(ContextRegistryTest, BadPatternIsCachedError) {
+  ContextRegistry contexts(4, &metrics_);
+  const RegisteredLog a = Reg("a", LogA());
+  const RegisteredLog b = Reg("b", LogB());
+  for (int i = 0; i < 2; ++i) {
+    const Result<std::shared_ptr<WarmContext>> bad =
+        contexts.Acquire(a, b, {"SEQ(a,doesnotexist)"}, nullptr);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ContextRegistryTest, LruEvictsOldestButInFlightSurvives) {
+  ContextRegistry contexts(2, &metrics_);
+  const RegisteredLog a = Reg("a", LogA());
+  const RegisteredLog b = Reg("b", LogB());
+  const RegisteredLog c = Reg("c", MakeLog({{"p", "q"}, {"q", "p"}}));
+
+  Result<std::shared_ptr<WarmContext>> ab =
+      contexts.Acquire(a, b, {}, nullptr);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(contexts.Acquire(a, c, {}, nullptr).ok());
+  EXPECT_EQ(contexts.size(), 2u);
+
+  // Third key evicts the LRU entry (a,b) — but our shared_ptr keeps the
+  // evicted context alive and usable.
+  ASSERT_TRUE(contexts.Acquire(b, c, {}, nullptr).ok());
+  EXPECT_EQ(contexts.size(), 2u);
+  EXPECT_NE(ab->get()->base, nullptr);
+
+  bool warm = true;
+  ASSERT_TRUE(contexts.Acquire(a, b, {}, &warm).ok());
+  EXPECT_FALSE(warm) << "(a,b) was evicted; reacquire must rebuild";
+}
+
+TEST_F(ContextRegistryTest, ConcurrentAcquireSameKeyBuildsOnce) {
+  ContextRegistry contexts(4, &metrics_);
+  const RegisteredLog a = Reg("a", LogA());
+  const RegisteredLog b = Reg("b", LogB());
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<WarmContext>> acquired(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<std::shared_ptr<WarmContext>> ctx =
+          contexts.Acquire(a, b, {}, nullptr);
+      ASSERT_TRUE(ctx.ok());
+      acquired[static_cast<std::size_t>(t)] = *ctx;
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(acquired[0].get(), acquired[static_cast<std::size_t>(t)].get());
+  }
+  const obs::TelemetrySnapshot snap = obs::CaptureSnapshot(metrics_);
+  EXPECT_EQ(snap.counter("serve.context_misses"), 1u)
+      << "same key must build exactly once";
+}
+
+TEST_F(ContextRegistryTest, CancelAllReachesLiveAndEvicted) {
+  ContextRegistry contexts(1, &metrics_);
+  const RegisteredLog a = Reg("a", LogA());
+  const RegisteredLog b = Reg("b", LogB());
+  const RegisteredLog c = Reg("c", MakeLog({{"p", "q"}, {"q", "p"}}));
+
+  Result<std::shared_ptr<WarmContext>> ab =
+      contexts.Acquire(a, b, {}, nullptr);
+  ASSERT_TRUE(ab.ok());
+  // Evicts (a,b) while we still hold it.
+  Result<std::shared_ptr<WarmContext>> ac =
+      contexts.Acquire(a, c, {}, nullptr);
+  ASSERT_TRUE(ac.ok());
+
+  contexts.CancelAll();
+  EXPECT_TRUE(ab->get()->drain.cancelled())
+      << "hard drain must reach evicted-but-in-flight contexts";
+  EXPECT_TRUE(ac->get()->drain.cancelled());
+}
+
+}  // namespace
+}  // namespace hematch::serve

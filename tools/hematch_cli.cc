@@ -64,6 +64,8 @@
 //
 // Every option also accepts the --flag=value spelling.
 
+#include <csignal>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -106,6 +108,26 @@
 namespace {
 
 using namespace hematch;
+
+// SIGINT/SIGTERM trip the run's cancel token, so an interrupted search
+// exits through the anytime path: the matcher returns its best-so-far
+// mapping with termination "cancelled", every output file still gets
+// written, and main exits 128+signal.  A second signal falls through to
+// the default disposition (the handler resets itself) and kills the
+// process — the escape hatch when the run is wedged before a poll.
+exec::CancelToken g_interrupt;
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void HandleInterrupt(int sig) {
+  g_signal = sig;
+  g_interrupt.Cancel();  // Lock-free atomic store: async-signal-safe.
+  std::signal(sig, SIG_DFL);
+}
+
+void InstallInterruptHandlers() {
+  std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
+}
 
 void PrintUsageAndExit(int code) {
   std::cerr <<
@@ -288,6 +310,12 @@ std::vector<std::unique_ptr<Matcher>> MakeMatchers(
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const Status fault_env = exec::FaultInjection::ValidateEnv();
+      !fault_env.ok()) {
+    std::cerr << "bad fault-injection environment: " << fault_env << "\n";
+    return 2;
+  }
+  InstallInterruptHandlers();
   std::string method = "pattern-tight";
   std::vector<std::string> pattern_texts;
   bool mine = false;
@@ -537,6 +565,7 @@ int main(int argc, char** argv) {
     exec::PortfolioOptions popts;
     popts.budget = run_budget;
     popts.threads = threads;
+    popts.external_cancel = &g_interrupt;
     popts.trace_recorder = recorder;
     if (heartbeat_ms > 0.0) {
       popts.heartbeat_ms = heartbeat_ms;
@@ -614,8 +643,11 @@ int main(int argc, char** argv) {
       heartbeat_clock = std::make_unique<exec::Watchdog>(std::move(wd));
     }
     for (const auto& matcher : matchers) {
+      if (g_signal != 0) {
+        break;  // Interrupted: stop starting runs, keep what we have.
+      }
       // Each run gets the full budget; fallback ladders slice their own.
-      context.ArmBudget(run_budget);
+      context.ArmBudget(run_budget, &g_interrupt);
       records.push_back(RunMatcher(*matcher, context, nullptr));
       const RunRecord& record = records.back();
       if (!record.failure.empty() && record.mapping.num_sources() == 0) {
@@ -710,7 +742,7 @@ int main(int argc, char** argv) {
     const std::vector<Pattern> pattern_set =
         BuildPatternSet(g1, complex);
     OneToNOptions one_to_n;
-    context.ArmBudget(run_budget);
+    context.ArmBudget(run_budget, &g_interrupt);
     one_to_n.governor = &context.governor();
     Result<GroupMapping> groups =
         ExtendToOneToN(*log1, *log2, pattern_set, *best_mapping, one_to_n);
@@ -744,6 +776,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote trace to " << trace_path << "\n";
+  }
+
+  if (g_signal != 0) {
+    // Outputs above are already flushed; report the interruption the
+    // way shells expect.
+    std::cerr << "interrupted by signal " << g_signal
+              << "; partial (anytime) results were written\n";
+    return 128 + g_signal;
   }
 
   if (fail_degraded) {

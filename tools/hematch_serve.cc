@@ -1,0 +1,249 @@
+// hematch_serve — long-lived match server speaking hematch.serve.v1
+// (newline-delimited JSON over TCP, loopback only).
+//
+// Usage:
+//   hematch_serve [options]
+//
+// Options:
+//   --port N            TCP port on 127.0.0.1 (default 0 = ephemeral)
+//   --port-file PATH    write the bound port to PATH (for scripts that
+//                       start with --port 0)
+//   --workers N         match worker threads (default: hardware)
+//   --queue-depth N     admission: max queued match requests (default 64)
+//   --backlog-ms F      admission: max queued deadline-mass; 0 = depth only
+//   --aging-ms F        fair-share starvation backstop (default 500)
+//   --shed-depth N      queue depth where exact sheds to heuristic
+//                       (default 2 x workers)
+//   --shed-hard-depth N queue depth where requests shed to simple-only
+//                       (default 4 x workers)
+//   --deadline-ms F     default per-request deadline (default 1000)
+//   --max-deadline-ms F ceiling on client-requested deadlines (default 30000)
+//   --max-contexts N    warm MatchingContext LRU capacity (default 8)
+//   --max-logs N        registered-log capacity (default 64)
+//   --max-connections N concurrent connections (default 128)
+//   --drain-grace-ms F  drain: grace before stragglers are cancelled
+//                       (default 5000)
+//   --final-snapshot F  write the final telemetry snapshot as JSON on exit
+//   --trace-out F       write a Chrome/Perfetto span timeline on exit
+//   --help              this text
+//
+// SIGTERM / SIGINT begin a graceful drain: the server stops accepting,
+// finishes (or, past the grace, budgets out) every admitted request,
+// writes the final snapshot, and exits 0.  Malformed HEMATCH_FAULT_*
+// variables abort startup with exit 2 — a fault drill that silently
+// does nothing is not a drill.
+
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "exec/budget.h"
+#include "obs/metrics_json.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace hematch;
+
+void PrintUsageAndExit(int code) {
+  std::cerr <<
+      "usage: hematch_serve [options]\n"
+      "  --port N            port on 127.0.0.1 (0 = ephemeral)\n"
+      "  --port-file PATH    write the bound port to PATH\n"
+      "  --workers N         match worker threads (default: hardware)\n"
+      "  --queue-depth N     max queued match requests (default 64)\n"
+      "  --backlog-ms F      max queued deadline-mass (0 = depth only)\n"
+      "  --aging-ms F        fair-share starvation backstop (default 500)\n"
+      "  --shed-depth N      depth where exact sheds to heuristic\n"
+      "  --shed-hard-depth N depth where requests shed to simple-only\n"
+      "  --deadline-ms F     default per-request deadline (default 1000)\n"
+      "  --max-deadline-ms F ceiling on requested deadlines (default 30000)\n"
+      "  --max-contexts N    warm context LRU capacity (default 8)\n"
+      "  --max-logs N        registered-log capacity (default 64)\n"
+      "  --max-connections N concurrent connections (default 128)\n"
+      "  --drain-grace-ms F  drain grace before cancelling (default 5000)\n"
+      "  --final-snapshot F  write final telemetry JSON on exit\n"
+      "  --trace-out F       write a Perfetto span timeline on exit\n"
+      "SIGTERM/SIGINT drain gracefully and exit 0\n"
+      "options also accept the --flag=value spelling\n";
+  std::exit(code);
+}
+
+// The signal handler writes one byte into a self-pipe; main blocks on
+// the read end and turns the byte into RequestDrain.  Only
+// async-signal-safe calls in the handler.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleSignal(int sig) {
+  const unsigned char byte = static_cast<unsigned char>(sig);
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  std::signal(sig, SIG_DFL);  // Second signal: die immediately.
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const Status fault_env = exec::FaultInjection::ValidateEnv();
+      !fault_env.ok()) {
+    std::cerr << "bad fault-injection environment: " << fault_env << "\n";
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  std::string port_file;
+  std::string snapshot_path;
+  std::string trace_path;
+
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (StartsWith(arg, "--") && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << flag << " requires a value\n";
+        PrintUsageAndExit(2);
+      }
+      return args[++i];
+    };
+    try {
+      if (arg == "--help" || arg == "-h") {
+        PrintUsageAndExit(0);
+      } else if (arg == "--port") {
+        options.port = std::stoi(next("--port"));
+      } else if (arg == "--port-file") {
+        port_file = next("--port-file");
+      } else if (arg == "--workers") {
+        options.workers = std::stoi(next("--workers"));
+      } else if (arg == "--queue-depth") {
+        options.max_queue_depth =
+            static_cast<std::size_t>(std::stoull(next("--queue-depth")));
+      } else if (arg == "--backlog-ms") {
+        options.max_backlog_ms = std::stod(next("--backlog-ms"));
+      } else if (arg == "--aging-ms") {
+        options.aging_ms = std::stod(next("--aging-ms"));
+      } else if (arg == "--shed-depth") {
+        options.shed_depth =
+            static_cast<std::size_t>(std::stoull(next("--shed-depth")));
+      } else if (arg == "--shed-hard-depth") {
+        options.shed_hard_depth =
+            static_cast<std::size_t>(std::stoull(next("--shed-hard-depth")));
+      } else if (arg == "--deadline-ms") {
+        options.service.default_deadline_ms = std::stod(next("--deadline-ms"));
+      } else if (arg == "--max-deadline-ms") {
+        options.service.max_deadline_ms =
+            std::stod(next("--max-deadline-ms"));
+      } else if (arg == "--max-contexts") {
+        options.max_contexts =
+            static_cast<std::size_t>(std::stoull(next("--max-contexts")));
+      } else if (arg == "--max-logs") {
+        options.max_logs =
+            static_cast<std::size_t>(std::stoull(next("--max-logs")));
+      } else if (arg == "--max-connections") {
+        options.max_connections = std::stoi(next("--max-connections"));
+      } else if (arg == "--drain-grace-ms") {
+        options.drain_grace_ms = std::stod(next("--drain-grace-ms"));
+      } else if (arg == "--final-snapshot") {
+        snapshot_path = next("--final-snapshot");
+      } else if (arg == "--trace-out") {
+        trace_path = next("--trace-out");
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        PrintUsageAndExit(2);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty()) {
+    recorder.SetThreadName("main");
+    options.trace_recorder = &recorder;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "cannot create signal pipe\n";
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  serve::MatchServer server(options);
+  if (const Status started = server.Start(); !started.ok()) {
+    std::cerr << "cannot start server: " << started << "\n";
+    return 1;
+  }
+  std::cout << "hematch_serve listening on 127.0.0.1:" << server.port()
+            << "\n" << std::flush;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out) {
+      std::cerr << "cannot write --port-file " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  // Block until a signal arrives or a client issues the `drain` op
+  // (which flips draining() without touching the pipe — hence the poll
+  // timeout).
+  unsigned char sig_byte = 0;
+  while (!server.draining()) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (rc > 0 && ::read(g_signal_pipe[0], &sig_byte, 1) == 1) {
+      std::cout << "signal " << static_cast<int>(sig_byte)
+                << ": draining\n" << std::flush;
+      server.RequestDrain();
+      break;
+    }
+  }
+  server.Wait();
+
+  const obs::TelemetrySnapshot final_snapshot = server.SnapshotTelemetry();
+  if (!snapshot_path.empty()) {
+    if (const Status written =
+            obs::WriteTelemetryJson(final_snapshot, snapshot_path);
+        !written.ok()) {
+      std::cerr << "cannot write --final-snapshot " << snapshot_path << ": "
+                << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote final snapshot to " << snapshot_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    if (const Status written = recorder.WriteChromeJson(trace_path);
+        !written.ok()) {
+      std::cerr << "cannot write --trace-out " << trace_path << ": "
+                << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace to " << trace_path << "\n";
+  }
+  std::cout << "drained cleanly\n";
+  return 0;
+}
