@@ -104,12 +104,17 @@ EOF
 # loadable Chrome trace whose strategy spans hang under one run root on
 # distinct threads, and hematch_trace must profile it (self/total time,
 # critical path, thread utilization — docs/OBSERVABILITY.md, "Tracing").
+# On a loaded (or single-core) machine a cancelled straggler strategy
+# may not be scheduled again before the trace exports, dropping its
+# span — that is abandonment working as designed, not a trace bug, so
+# the smoke retries a few times rather than flaking.
 echo "== span trace smoke"
-"$BUILD_DIR/tools/hematch_cli" --portfolio --deadline-ms=2000 \
-  --trace-out="$tmp/trace.json" data/dept_a.tr data/dept_b.csv \
-  > "$tmp/trace.out"
-
-python3 - "$tmp/trace.json" <<'EOF'
+span_ok=0
+for attempt in 1 2 3; do
+  "$BUILD_DIR/tools/hematch_cli" --portfolio --deadline-ms=2000 \
+    --trace-out="$tmp/trace.json" data/dept_a.tr data/dept_b.csv \
+    > "$tmp/trace.out"
+  if python3 - "$tmp/trace.json" <<'EOF'
 import json
 import sys
 
@@ -130,6 +135,13 @@ assert len(tids) >= 3, f"strategies shared threads: {tids}"
 print(f"ok: {len(strategies)} strategy spans under one run root "
       f"on {len(tids)} threads ({len(events)} events)")
 EOF
+  then
+    span_ok=1
+    break
+  fi
+  echo "span trace smoke: straggler span abandoned (attempt $attempt), retrying"
+done
+[[ "$span_ok" -eq 1 ]]
 
 "$BUILD_DIR/tools/hematch_trace" "$tmp/trace.json" > "$tmp/trace_report.out"
 grep -q "hottest spans" "$tmp/trace_report.out"

@@ -62,52 +62,68 @@ std::optional<AdmissionQueue::Item> AdmissionQueue::Pop() {
   }
 
   const auto now = std::chrono::steady_clock::now();
-  TenantLane* pick = nullptr;
+  auto pick = lanes_.end();
 
   // Starvation backstop: the globally oldest item wins outright once it
   // has aged past the threshold, whatever its tenant's pass says.
   if (options_.aging_ms > 0.0) {
-    TenantLane* oldest_lane = nullptr;
+    auto oldest_lane = lanes_.end();
     std::chrono::steady_clock::time_point oldest{};
-    for (auto& [name, lane] : lanes_) {
-      if (!lane.items.empty() &&
-          (oldest_lane == nullptr || lane.items.front().enqueued < oldest)) {
-        oldest_lane = &lane;
-        oldest = lane.items.front().enqueued;
+    for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+      if (!it->second.items.empty() &&
+          (oldest_lane == lanes_.end() ||
+           it->second.items.front().enqueued < oldest)) {
+        oldest_lane = it;
+        oldest = it->second.items.front().enqueued;
       }
     }
-    if (oldest_lane != nullptr &&
+    if (oldest_lane != lanes_.end() &&
         MsSince(oldest, now) >= options_.aging_ms) {
       pick = oldest_lane;
     }
   }
 
-  if (pick == nullptr) {
+  if (pick == lanes_.end()) {
     // Stride fair share: smallest virtual pass among non-empty lanes;
     // FIFO arrival breaks ties so equal-pass tenants alternate.
     std::chrono::steady_clock::time_point pick_front{};
-    for (auto& [name, lane] : lanes_) {
+    for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+      TenantLane& lane = it->second;
       if (lane.items.empty()) {
         continue;
       }
-      if (pick == nullptr || lane.pass < pick->pass ||
-          (lane.pass == pick->pass &&
+      if (pick == lanes_.end() || lane.pass < pick->second.pass ||
+          (lane.pass == pick->second.pass &&
            lane.items.front().enqueued < pick_front)) {
-        pick = &lane;
+        pick = it;
         pick_front = lane.items.front().enqueued;
       }
     }
   }
 
-  Item item = std::move(pick->items.front());
-  pick->items.pop_front();
-  pick->pass += 1.0;
+  Item item = std::move(pick->second.items.front());
+  pick->second.items.pop_front();
+  pick->second.pass += 1.0;
+  if (pick->second.items.empty()) {
+    // Drop the emptied lane so lanes_ stays bounded by queue depth; a
+    // returning tenant re-seeds its pass via the join-at-current-pass
+    // logic in Push, so no credit or debt is lost with the lane.
+    lanes_.erase(pick);
+  }
   --depth_;
+  ++executing_;
   backlog_ms_ -= item.deadline_ms;
   if (backlog_ms_ < 0.0) {
     backlog_ms_ = 0.0;
   }
   return item;
+}
+
+void AdmissionQueue::MarkDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (executing_ > 0) {
+    --executing_;
+  }
 }
 
 void AdmissionQueue::Close() {
@@ -124,6 +140,21 @@ bool AdmissionQueue::closed() const {
 std::size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return depth_;
+}
+
+std::size_t AdmissionQueue::lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
+}
+
+std::size_t AdmissionQueue::executing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executing_;
+}
+
+bool AdmissionQueue::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_ == 0 && executing_ == 0;
 }
 
 double AdmissionQueue::backlog_ms() const {

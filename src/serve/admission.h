@@ -77,7 +77,14 @@ class AdmissionQueue {
   /// Blocks for the next item by fair-share order; std::nullopt once
   /// the queue is closed *and* empty (workers then exit). Closing does
   /// not discard queued items — drain executes every admitted request.
+  /// A popped item counts as executing until the caller pairs it with
+  /// MarkDone(), so Idle() can never observe the popped-but-not-yet-
+  /// running window as "nothing left to do".
   std::optional<Item> Pop();
+
+  /// Marks one previously popped item finished. Every successful Pop
+  /// must be paired with exactly one MarkDone.
+  void MarkDone();
 
   /// Stops admission (Push returns kDraining) and wakes blocked
   /// poppers. Idempotent.
@@ -85,6 +92,15 @@ class AdmissionQueue {
 
   bool closed() const;
   std::size_t depth() const;
+  /// Tenant lanes currently held — bounded by depth(), since a lane is
+  /// erased as soon as its last item is popped.
+  std::size_t lanes() const;
+  /// Items popped but not yet MarkDone'd.
+  std::size_t executing() const;
+  /// True when nothing is queued *and* nothing popped is still running.
+  /// Evaluated under one lock, so the depth/executing pair is a single
+  /// consistent observation (no popped-item blind spot).
+  bool Idle() const;
   /// Current deadline-mass of queued work.
   double backlog_ms() const;
   /// Milliseconds the oldest queued item has waited (0 when empty).
@@ -99,8 +115,13 @@ class AdmissionQueue {
   AdmissionOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Only tenants with queued items: a lane is erased the moment its
+  /// deque empties (re-admission re-seeds pass at the current minimum),
+  /// so lanes_ is bounded by queue depth, not by every tenant string a
+  /// client ever sent.
   std::map<std::string, TenantLane> lanes_;
   std::size_t depth_ = 0;
+  std::size_t executing_ = 0;
   double backlog_ms_ = 0.0;
   bool closed_ = false;
 };

@@ -3,7 +3,10 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <algorithm>
 #include <cmath>
@@ -198,6 +201,15 @@ void MatchServer::AcceptLoop() {
       continue;
     }
     connections_->Increment();
+    if (options_.send_timeout_ms > 0.0) {
+      // A client that stops reading must time a worker out of send, not
+      // block it forever while it holds the session write mutex.
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.send_timeout_ms / 1000.0);
+      tv.tv_usec = static_cast<suseconds_t>(
+          std::fmod(options_.send_timeout_ms, 1000.0) * 1000.0);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     auto session = std::make_shared<Session>();
     session->fd = fd;
     {
@@ -237,6 +249,17 @@ void MatchServer::SessionLoop(const std::shared_ptr<Session>& session) {
       }
     }
     buffer.erase(0, start);
+    if (options_.max_request_bytes > 0 &&
+        buffer.size() > options_.max_request_bytes) {
+      // A line this long without a newline is a broken or hostile
+      // client; reject and hang up — framing past this point is
+      // unrecoverable, and the buffer must stay bounded.
+      bad_requests_->Increment();
+      Send(*session,
+           BuildErrorResponse(0, RequestOp::kPing, ErrorCode::kBadRequest,
+                              "request line exceeds max_request_bytes"));
+      break;
+    }
   }
   session->open.store(false, std::memory_order_release);
   {
@@ -256,15 +279,35 @@ void MatchServer::Send(Session& session, const std::string& line) {
   }
   std::string out = line;
   out += '\n';
+  // SO_SNDTIMEO bounds each ::send; the overall deadline bounds a
+  // client trickle-reading one byte per timeout, so a response write
+  // can never hold write_mu for more than ~2× send_timeout_ms.
+  const bool bounded = options_.send_timeout_ms > 0.0;
+  const auto give_up =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(options_.send_timeout_ms));
   std::size_t sent = 0;
   while (sent < out.size()) {
     const ssize_t n = ::send(session.fd, out.data() + sent, out.size() - sent,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
-      session.open.store(false, std::memory_order_release);
-      return;
+      break;  // Error, or SO_SNDTIMEO expired (EAGAIN): dead client.
     }
     sent += static_cast<std::size_t>(n);
+    if (bounded && std::chrono::steady_clock::now() >= give_up) {
+      break;
+    }
+  }
+  if (sent < out.size()) {
+    // Treat the stalled/broken client as gone: drop the response, and
+    // shutdown() so the session's blocked recv unblocks and the reader
+    // thread exits (it owns the close).
+    session.open.store(false, std::memory_order_release);
+    ::shutdown(session.fd, SHUT_RDWR);
   }
 }
 
@@ -470,16 +513,20 @@ void MatchServer::RunMatch(const std::shared_ptr<Session>& session,
   }
 
   exec::CancelToken token;
-  if (drain_hard_.load(std::memory_order_acquire)) {
-    // Past the drain grace: the request still runs, but pre-cancelled,
-    // so it resolves instantly through the anytime path with whatever
-    // bounds are certifiable from zero work.
-    token.Cancel();
-    cancelled_drain_->Increment();
-  }
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
     active_tokens_.insert(&token);
+    // Checked only *after* the insert, under tokens_mu_: either this
+    // load sees drain_hard_ and pre-cancels, or the phase-2 sweep
+    // (which sets drain_hard_ before taking tokens_mu_) finds the
+    // token in the set — the request can't slip between the two.
+    if (drain_hard_.load(std::memory_order_acquire)) {
+      // Past the drain grace: the request still runs, but
+      // pre-cancelled, so it resolves instantly through the anytime
+      // path with whatever bounds are certifiable from zero work.
+      token.Cancel();
+      cancelled_drain_->Increment();
+    }
   }
   MatchOutcome outcome =
       ExecuteMatch(*warm.value(), swapped, spec, shed_level, queue_ms,
@@ -508,6 +555,9 @@ void MatchServer::WorkerLoop() {
         static_cast<double>(in_flight_.fetch_add(1) + 1));
     UpdateQueueGauges();
     item->work();
+    // MarkDone before the gauge update: the queue's executing count is
+    // what DrainCoordinator trusts, and it must never undercount.
+    queue_.MarkDone();
     in_flight_gauge_->Set(
         static_cast<double>(in_flight_.fetch_sub(1) - 1));
   }
@@ -530,10 +580,12 @@ void MatchServer::RequestDrain() {
 
 void MatchServer::DrainCoordinator() {
   // Phase 1: give admitted work the grace period to finish on its own
-  // budgets.
+  // budgets. Idle() observes depth and executing under one lock, and a
+  // popped item counts as executing until MarkDone, so a request in
+  // the window between Pop and its first instruction cannot make the
+  // queue look drained and skip the phase-2 cancel backstop.
   while (MsSince(drain_started_) < options_.drain_grace_ms) {
-    if (queue_.depth() == 0 &&
-        in_flight_.load(std::memory_order_acquire) == 0) {
+    if (queue_.Idle()) {
       return;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -546,8 +598,10 @@ void MatchServer::DrainCoordinator() {
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
     for (exec::CancelToken* token : active_tokens_) {
-      token->Cancel();
-      cancelled_drain_->Increment();
+      if (!token->cancelled()) {  // Pre-cancelled ones already counted.
+        token->Cancel();
+        cancelled_drain_->Increment();
+      }
     }
   }
   contexts_.CancelAll();

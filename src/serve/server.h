@@ -79,6 +79,18 @@ struct ServerOptions {
   /// Concurrent connections; excess connects are turned away with an
   /// explicit overload error.
   int max_connections = 128;
+  /// Bound on how long a response write may block on a client that has
+  /// stopped reading (SO_SNDTIMEO plus an overall per-response
+  /// deadline). On expiry the client is treated as dead: the session is
+  /// closed and the response dropped, so one stalled reader can never
+  /// wedge a worker (or, through the per-session write mutex, the whole
+  /// pool). Non-positive disables the bound.
+  double send_timeout_ms = 5000.0;
+  /// Maximum bytes a single request line may occupy before a newline
+  /// arrives. Sized for register_log payloads (a JSON-escaped whole
+  /// log); a client exceeding it gets BAD_REQUEST and the connection is
+  /// closed, since framing is unrecoverable. 0 disables the cap.
+  std::size_t max_request_bytes = 64u << 20;
   /// Drain: how long in-flight/queued work may keep running after
   /// `RequestDrain` before stragglers are cancelled (budgeted out).
   double drain_grace_ms = 5000.0;

@@ -183,6 +183,75 @@ TEST(AdmissionQueueTest, AgingBackstopPrefersOldestWhenStarved) {
   EXPECT_EQ(item->tenant, "starved");
 }
 
+TEST(AdmissionQueueTest, EmptiedLanesAreErased) {
+  // A long-lived server sees an unbounded stream of distinct tenant
+  // strings; lanes must be garbage-collected with their last item or
+  // memory (and every Pop scan) grows forever.
+  AdmissionOptions options;
+  options.max_depth = 100;
+  AdmissionQueue queue(options);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(queue.Push(MakeItem("tenant-" + std::to_string(i))),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  EXPECT_EQ(queue.lanes(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(queue.Pop().has_value());
+    queue.MarkDone();
+  }
+  EXPECT_EQ(queue.lanes(), 0u);
+  // Lanes never exceed the number of queued tenants, no matter how many
+  // distinct tenants came before.
+  ASSERT_EQ(queue.Push(MakeItem("tenant-9999")),
+            AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_EQ(queue.lanes(), 1u);
+}
+
+TEST(AdmissionQueueTest, ReturningTenantJoinsAtCurrentPassAfterLaneErase) {
+  // Erasing an emptied lane forgets its pass; re-admission must re-seed
+  // at the current minimum so the returning tenant neither banks credit
+  // nor inherits debt.
+  AdmissionOptions options;
+  options.max_depth = 100;
+  options.aging_ms = 0.0;  // Pure stride order for this test.
+  AdmissionQueue queue(options);
+  ASSERT_EQ(queue.Push(MakeItem("gone")), AdmissionQueue::PushResult::kAdmitted);
+  ASSERT_TRUE(queue.Pop().has_value());  // "gone" lane erased here.
+  queue.MarkDone();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.Push(MakeItem("busy")),
+              AdmissionQueue::PushResult::kAdmitted);
+  }
+  ASSERT_TRUE(queue.Pop().has_value());  // busy pass -> 1.
+  queue.MarkDone();
+  ASSERT_EQ(queue.Push(MakeItem("gone")), AdmissionQueue::PushResult::kAdmitted);
+  // "gone" rejoined at busy's pass, so the next pops interleave instead
+  // of letting the returner jump the whole backlog on stale pass 0...
+  EXPECT_EQ(queue.Pop()->tenant, "busy");
+  queue.MarkDone();
+  // ...but it is served within one stride round, not starved.
+  EXPECT_EQ(queue.Pop()->tenant, "gone");
+  queue.MarkDone();
+}
+
+TEST(AdmissionQueueTest, PoppedItemCountsAsExecutingUntilMarkDone) {
+  // The drain coordinator trusts Idle(); an item between Pop and its
+  // first instruction must still register as work in flight.
+  AdmissionOptions options;
+  options.max_depth = 10;
+  AdmissionQueue queue(options);
+  EXPECT_TRUE(queue.Idle());
+  ASSERT_EQ(queue.Push(MakeItem("t")), AdmissionQueue::PushResult::kAdmitted);
+  EXPECT_FALSE(queue.Idle());
+  ASSERT_TRUE(queue.Pop().has_value());
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.executing(), 1u);
+  EXPECT_FALSE(queue.Idle()) << "popped-but-not-done must not look drained";
+  queue.MarkDone();
+  EXPECT_EQ(queue.executing(), 0u);
+  EXPECT_TRUE(queue.Idle());
+}
+
 TEST(AdmissionQueueTest, ConcurrentPushPopKeepsCount) {
   AdmissionOptions options;
   options.max_depth = 10000;

@@ -127,6 +127,25 @@ TEST(ServeServerTest, MalformedLineIsBadRequestNotDisconnect) {
   ASSERT_TRUE(pong.ok() && pong->ok);
 }
 
+TEST(ServeServerTest, OversizedLineIsRejectedAndBounded) {
+  // A client streaming bytes without a newline must not grow the
+  // session buffer without bound: past max_request_bytes the server
+  // answers BAD_REQUEST and hangs up (framing is unrecoverable).
+  ServerOptions options;
+  options.max_request_bytes = 1024;
+  ServerFixture fixture(options);
+  ServeClient client = fixture.NewClient();
+  // 8 KiB with no interior newline: exceeds the cap mid-line.
+  Result<ServeResponse> resp = client.Call(std::string(8192, 'x'));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->error_code, "BAD_REQUEST");
+  // The server is still healthy for well-behaved clients.
+  ServeClient fresh = fixture.NewClient();
+  Result<ServeResponse> pong = fresh.Ping();
+  ASSERT_TRUE(pong.ok() && pong->ok) << pong.status();
+}
+
 TEST(ServeServerTest, ConcurrentClientsAllComplete) {
   ServerOptions options;
   options.workers = 4;

@@ -21,6 +21,11 @@
 //   --max-contexts N    warm MatchingContext LRU capacity (default 8)
 //   --max-logs N        registered-log capacity (default 64)
 //   --max-connections N concurrent connections (default 128)
+//   --send-timeout-ms F bound on a response write to a stalled client;
+//                       past it the client is treated as dead
+//                       (default 5000, <= 0 disables)
+//   --max-request-bytes N max bytes one request line may reach before
+//                       its newline (default 64 MiB, 0 disables)
 //   --drain-grace-ms F  drain: grace before stragglers are cancelled
 //                       (default 5000)
 //   --final-snapshot F  write the final telemetry snapshot as JSON on exit
@@ -71,6 +76,8 @@ void PrintUsageAndExit(int code) {
       "  --max-contexts N    warm context LRU capacity (default 8)\n"
       "  --max-logs N        registered-log capacity (default 64)\n"
       "  --max-connections N concurrent connections (default 128)\n"
+      "  --send-timeout-ms F response-write bound to a stalled client\n"
+      "  --max-request-bytes N max request-line size (default 64 MiB)\n"
       "  --drain-grace-ms F  drain grace before cancelling (default 5000)\n"
       "  --final-snapshot F  write final telemetry JSON on exit\n"
       "  --trace-out F       write a Perfetto span timeline on exit\n"
@@ -159,6 +166,11 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::stoull(next("--max-logs")));
       } else if (arg == "--max-connections") {
         options.max_connections = std::stoi(next("--max-connections"));
+      } else if (arg == "--send-timeout-ms") {
+        options.send_timeout_ms = std::stod(next("--send-timeout-ms"));
+      } else if (arg == "--max-request-bytes") {
+        options.max_request_bytes =
+            static_cast<std::size_t>(std::stoull(next("--max-request-bytes")));
       } else if (arg == "--drain-grace-ms") {
         options.drain_grace_ms = std::stod(next("--drain-grace-ms"));
       } else if (arg == "--final-snapshot") {
