@@ -172,6 +172,31 @@ print(f"ok: vectorized {doc['speedup']:.1f}x over legacy, supports identical")
 EOF
 fi
 
+# Exact-search differential + speedup gate: the parallel matcher and
+# its reductions must certify the sequential baseline's exact objective
+# and hold a healthy lead on the Fig. 9/10 bus workload with decoy
+# vocabulary (the committed Release baseline in bench/baselines/ shows
+# >4x; 1.5x here absorbs noisy and single-core machines).
+if [[ -x "$BUILD_DIR/bench/bench_search" ]]; then
+  echo "== parallel search"
+  HEMATCH_BENCH_METRICS_DIR="$tmp" "$BUILD_DIR/bench/bench_search" 11 8 24
+
+  python3 - "$tmp/BENCH_search.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "hematch.bench_search.v1", doc.get("schema")
+assert doc["objectives_match"] is True, "certified objectives disagree"
+for mode in ("sequential", "reduced", "parallel"):
+    assert doc["modes"][mode]["certified"] is True, f"{mode} not certified"
+assert doc["speedup"] >= 1.5, f"parallel speedup only {doc['speedup']:.2f}x"
+print(f"ok: parallel exact search {doc['speedup']:.1f}x over sequential "
+      f"(reductions alone {doc['reduction_speedup']:.1f}x), objectives match")
+EOF
+fi
+
 # Noise-recovery gate: sweep corruption rates on the bus workload and
 # hold the recovery floor (docs/ROBUSTNESS.md, "Dirty logs and partial
 # mappings"): perfect recovery on clean input, >= 0.9 through moderate

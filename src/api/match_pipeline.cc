@@ -12,6 +12,7 @@
 #include "core/heuristic_simple_matcher.h"
 #include "core/matching_context.h"
 #include "core/pattern_set.h"
+#include "exec/parallel_astar.h"
 #include "exec/portfolio.h"
 #include "exec/watchdog.h"
 #include "gen/pattern_miner.h"
@@ -37,12 +38,41 @@ std::unique_ptr<Matcher> MakeExactMatcher(const MatchPipelineOptions& options,
   return FallbackMatcher::ExactWithHeuristicFallbacks(astar, fallback);
 }
 
+// The parallel exact matcher, optionally wrapped in the same
+// heuristic fallback ladder the sequential exact methods get.
+std::unique_ptr<Matcher> MakeParallelMatcher(
+    const MatchPipelineOptions& options) {
+  exec::ParallelAStarOptions popts;
+  popts.scorer = options.scorer;
+  popts.scorer.bound = BoundKind::kBitmapTight;
+  popts.threads = options.search_threads;
+  popts.max_expansions = options.max_expansions;
+  auto parallel = std::make_unique<exec::ParallelAStarMatcher>(popts);
+  if (!options.degrade) {
+    return parallel;
+  }
+  std::vector<std::unique_ptr<Matcher>> ladder;
+  ladder.push_back(std::move(parallel));
+  HeuristicAdvancedOptions advanced;
+  advanced.scorer = options.scorer;
+  ladder.push_back(std::make_unique<HeuristicAdvancedMatcher>(advanced));
+  HeuristicSimpleOptions simple;
+  simple.scorer = options.scorer;
+  ladder.push_back(std::make_unique<HeuristicSimpleMatcher>(simple));
+  FallbackOptions fallback;
+  fallback.budget = options.budget;
+  fallback.cancel = options.cancel;
+  return std::make_unique<FallbackMatcher>(std::move(ladder), fallback);
+}
+
 std::unique_ptr<Matcher> MakeMatcher(const MatchPipelineOptions& options) {
   switch (options.method) {
     case MatchMethod::kPatternTight:
       return MakeExactMatcher(options, BoundKind::kTight);
     case MatchMethod::kPatternSimple:
       return MakeExactMatcher(options, BoundKind::kSimple);
+    case MatchMethod::kParallelAStar:
+      return MakeParallelMatcher(options);
     case MatchMethod::kHeuristicSimple: {
       HeuristicSimpleOptions heuristic;
       heuristic.scorer = options.scorer;
@@ -110,7 +140,8 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
   const DependencyGraph g1 = DependencyGraph::Build(source);
 
   const bool exact_method = options.method == MatchMethod::kPatternTight ||
-                            options.method == MatchMethod::kPatternSimple;
+                            options.method == MatchMethod::kPatternSimple ||
+                            options.method == MatchMethod::kParallelAStar;
   if (options.portfolio && exact_method) {
     // Hedged mode: race the exact matcher and both heuristics on worker
     // threads instead of laddering them. The runner owns its own state
@@ -124,12 +155,18 @@ Result<MatchPipelineOutcome> MatchLogs(const EventLog& log1,
     popts.trace_recorder = options.trace_recorder;
     popts.heartbeat_ms = options.heartbeat_ms;
     popts.heartbeat = options.heartbeat;
-    const BoundKind bound = options.method == MatchMethod::kPatternTight
-                                ? BoundKind::kTight
-                                : BoundKind::kSimple;
+    const BoundKind bound =
+        options.method == MatchMethod::kPatternSimple ? BoundKind::kSimple
+                                                      : BoundKind::kTight;
+    // For the parallel method the race card leads with the parallel
+    // matcher; the sequential exact entry stays as a hedge.
+    const int parallel_threads = options.method == MatchMethod::kParallelAStar
+                                     ? options.search_threads
+                                     : -1;
     exec::PortfolioRunner runner(
         exec::DefaultPortfolioStrategies(options.scorer, bound,
-                                         options.max_expansions),
+                                         options.max_expansions,
+                                         parallel_threads),
         popts);
     HEMATCH_ASSIGN_OR_RETURN(
         exec::PortfolioOutcome portfolio,

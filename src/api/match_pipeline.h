@@ -23,6 +23,7 @@ namespace hematch {
 enum class MatchMethod : std::uint8_t {
   kPatternTight,        ///< Exact A*, tight bound (default).
   kPatternSimple,       ///< Exact A*, simple bound.
+  kParallelAStar,       ///< Parallel exact A* (HDA*), bitmap-tight bound.
   kHeuristicSimple,     ///< Greedy expansion.
   kHeuristicAdvanced,   ///< Algorithms 3 & 4.
   kVertex,              ///< Kang & Naughton, vertex form.
@@ -65,6 +66,9 @@ struct MatchPipelineOptions {
   bool portfolio = false;
   /// Worker-thread cap for portfolio mode; 0 = one thread per strategy.
   int portfolio_threads = 0;
+  /// Search threads for `kParallelAStar` (0 = hardware concurrency).
+  /// Ignored by every other method.
+  int search_threads = 0;
   /// Bound / existence-check / partial-mapping configuration. Setting
   /// `scorer.partial.unmapped_penalty` finite enables partial mappings
   /// in every method that understands them (exact A*, both heuristics,

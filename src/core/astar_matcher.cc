@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/match_telemetry.h"
+#include "core/search_common.h"
 #include "exec/budget.h"
 #include "obs/stopwatch.h"
 
@@ -17,19 +18,25 @@ struct Node {
   Mapping mapping;
   double g = 0.0;
   double h = 0.0;
-  std::uint64_t sequence = 0;  // Creation order, for deterministic ties.
+  std::uint64_t sequence = 0;  // Creation order; final fallback tie key.
+  std::uint64_t signature = 0;  // Dominance signature (reductions only).
 
   double f() const { return g + h; }
 };
 
-// Max-heap on f; ties prefer deeper (closer-to-complete) nodes, then
-// earlier creation. Deterministic across runs.
+// Max-heap on f; ties prefer deeper (closer-to-complete) nodes, then the
+// lexicographically smallest mapping — a stable key independent of node
+// creation history, so reruns (and the parallel matcher at any thread
+// count) certify the same canonical optimum. Creation order is only the
+// final fallback for identical mappings.
 struct NodeLess {
   bool operator()(const Node& a, const Node& b) const {
     if (a.f() != b.f()) return a.f() < b.f();
     if (a.mapping.size() != b.mapping.size()) {
       return a.mapping.size() < b.mapping.size();
     }
+    const int lex = Mapping::LexCompare(a.mapping, b.mapping);
+    if (lex != 0) return lex > 0;
     return a.sequence > b.sequence;
   }
 };
@@ -43,8 +50,15 @@ std::string AStarMatcher::name() const {
   if (!options_.name_override.empty()) {
     return options_.name_override;
   }
-  return options_.scorer.bound == BoundKind::kTight ? "Pattern-Tight"
-                                                    : "Pattern-Simple";
+  switch (options_.scorer.bound) {
+    case BoundKind::kSimple:
+      return "Pattern-Simple";
+    case BoundKind::kTight:
+      return "Pattern-Tight";
+    case BoundKind::kBitmapTight:
+      return "Pattern-Bitmap";
+  }
+  return "Pattern-Tight";
 }
 
 Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
@@ -69,25 +83,7 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
   const std::string method = name();
   const std::string slug = obs::MetricSlug(method);
   obs::MetricsRegistry& metrics = context.metrics();
-  obs::Gauge* open_list_peak = metrics.GetGauge(slug + ".open_list_peak");
-  obs::Gauge* best_f_gauge = metrics.GetGauge(slug + ".best_f");
-  obs::Gauge* bound_gap_gauge = metrics.GetGauge(slug + ".bound_gap");
-  obs::Histogram* depth_hist = metrics.GetHistogram(
-      slug + ".expansion_depth", {1, 2, 4, 8, 16, 32, 64, 128});
-  // Search-space attribution (ROADMAP item 3 wants these to decide what
-  // parallel A* must shard): children pushed per expansion, the f-to-
-  // incumbent gap trajectory, and per-rule pruning hits. Bound and
-  // dominance pruning rules are registered but stay zero until the
-  // parallel-A* work lands the rules themselves — the attribution
-  // pipeline (export, percentiles, trace analysis) is live now.
-  obs::Histogram* branching_hist = metrics.GetHistogram(
-      slug + ".branching_factor", {1, 2, 4, 8, 16, 32, 64, 128});
-  obs::Histogram* bound_gap_hist = metrics.GetHistogram(
-      slug + ".bound_gap_trajectory",
-      {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8});
-  obs::Counter* prune_existence = metrics.GetCounter(slug + ".prune.existence");
-  metrics.GetCounter(slug + ".prune.bound");
-  metrics.GetCounter(slug + ".prune.dominance");
+  SearchTelemetry telem = SearchTelemetry::Register(metrics, slug);
 
   obs::SearchTracer* tracer = context.tracer();
   obs::TraceRecorder* recorder = context.trace_recorder();
@@ -102,35 +98,13 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
   const std::size_t node_bytes =
       sizeof(Node) + (n1 + n2) * sizeof(EventId) + 32;
 
-  // Fixed expansion order: source events by decreasing number of
-  // involving patterns (Ip list length), then by id for determinism.
-  std::vector<EventId> order(n1);
-  for (EventId v = 0; v < n1; ++v) {
-    order[v] = v;
-  }
-  const PatternIndex& ip = context.pattern_index();
-  std::stable_sort(order.begin(), order.end(), [&](EventId a, EventId b) {
-    return ip.PatternCount(a) > ip.PatternCount(b);
-  });
-  std::vector<std::size_t> position(n1);
-  for (std::size_t d = 0; d < n1; ++d) {
-    position[order[d]] = d;
-  }
-
-  // completed_at[d]: patterns whose last event (in expansion order) is
-  // mapped at depth d; remaining_after[d]: patterns still incomplete
-  // after depth d (contribute to h).
-  std::vector<std::vector<std::uint32_t>> completed_at(n1 + 1);
-  std::vector<std::vector<std::uint32_t>> remaining_after(n1 + 1);
-  for (std::uint32_t pid = 0; pid < context.num_patterns(); ++pid) {
-    std::size_t last = 0;
-    for (EventId v : context.patterns()[pid].events()) {
-      last = std::max(last, position[v] + 1);
-    }
-    completed_at[last].push_back(pid);
-    for (std::size_t d = 0; d < last; ++d) {
-      remaining_after[d].push_back(pid);
-    }
+  const SearchPlan plan = BuildSearchPlan(context);
+  const bool use_dominance = options_.reductions.dominance_pruning;
+  const bool use_symmetry = options_.reductions.symmetry_breaking;
+  DominanceTable dominance;
+  TargetSymmetry symmetry;
+  if (use_symmetry) {
+    symmetry = ComputeTargetSymmetry(context.log2());
   }
 
   MatchResult result;
@@ -181,8 +155,8 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
 
   // Run summary attached to the match span at every exit.
   auto finalize_attribution = [&] {
-    prune_existence->Increment(context.existence_prune_hits() -
-                               prune_hits_at_start);
+    telem.prune_existence->Increment(context.existence_prune_hits() -
+                                     prune_hits_at_start);
     match_span.AddArg("nodes_visited",
                       static_cast<double>(result.nodes_visited));
     match_span.AddArg("mappings_processed",
@@ -223,70 +197,10 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     double upper = node.f();
     if (!queue.empty()) upper = std::max(upper, queue.top().f());
     Mapping m = std::move(node.mapping);
-    double g = node.g;
-    // Greedy completion: per remaining depth take the target with the
-    // best incremental contribution (exact, since `completed_at` makes
-    // g incremental).  If that would badly overshoot an already-blown
-    // deadline, degrade to first-fit for the rest and rescore exactly
-    // (one evaluation per remaining pattern).
     const double deadline = governor.budget().deadline_ms;
     const double grace_ms = deadline > 0.0 ? deadline * 1.5 + 25.0 : -1.0;
-    std::size_t depth = decided(m);
-    for (; depth < n1; ++depth) {
-      if (grace_ms > 0.0 && watch.ElapsedMs() > grace_ms) break;
-      const EventId source = order[depth];
-      bool have = false;
-      double best_gain = 0.0;
-      EventId best_target = 0;
-      for (EventId target = 0; target < n2; ++target) {
-        if (m.IsTargetUsed(target)) continue;
-        ++result.mappings_processed;
-        m.Set(source, target);
-        double gain = 0.0;
-        for (std::uint32_t pid : completed_at[depth + 1]) {
-          gain += scorer.CompletedOrDeadContribution(pid, m);
-        }
-        m.Erase(source);
-        if (!have || gain > best_gain) {
-          have = true;
-          best_gain = gain;
-          best_target = target;
-        }
-      }
-      if (partial && (!have || -unmapped_penalty > best_gain)) {
-        // Every pattern completing at this depth contains `source`, so
-        // ⊥ kills them all: the exact incremental gain is -penalty.
-        ++result.mappings_processed;
-        m.SetUnmapped(source);
-        g -= unmapped_penalty;
-        continue;
-      }
-      m.Set(source, best_target);
-      g += best_gain;
-    }
-    if (depth < n1) {
-      const std::size_t scored_upto = depth;
-      for (; depth < n1; ++depth) {
-        const EventId source = order[depth];
-        bool placed = false;
-        for (EventId target = 0; target < n2; ++target) {
-          if (!m.IsTargetUsed(target)) {
-            m.Set(source, target);
-            placed = true;
-            break;
-          }
-        }
-        if (!placed) {
-          m.SetUnmapped(source);
-          g -= unmapped_penalty;
-        }
-      }
-      for (std::size_t d = scored_upto; d < n1; ++d) {
-        for (std::uint32_t pid : completed_at[d + 1]) {
-          g += scorer.CompletedOrDeadContribution(pid, m);
-        }
-      }
-    }
+    const double g = GreedyComplete(scorer, plan, m, node.g, watch, grace_ms,
+                                    result.mappings_processed);
     result.mapping = std::move(m);
     result.objective = g;
     result.termination = reason;
@@ -295,17 +209,17 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     // A cancelled run may have aborted frequency scans mid-stream, so
     // its numbers are best-effort only.
     result.bounds_certified = reason != exec::TerminationReason::kCancelled;
-    best_f_gauge->Set(result.objective);
-    bound_gap_gauge->Set(result.upper_bound - result.lower_bound);
-    open_list_peak->SetMax(static_cast<double>(open_size));
+    telem.best_f->Set(result.objective);
+    telem.bound_gap->Set(result.upper_bound - result.lower_bound);
+    telem.RecordOpenPeak(open_size);
     FinalizePartialMapping(context, method, options_.scorer.partial, result);
     FinalizeMatchTelemetry(context, method, watch, result);
     trace_completion(open_size);
     return result;
   };
 
-  Node root{Mapping(n1, n2), 0.0, 0.0, sequence++};
-  root.h = scorer.ComputeHForRemaining(root.mapping, remaining_after[0]);
+  Node root{Mapping(n1, n2), 0.0, 0.0, sequence++, 0};
+  root.h = scorer.ComputeHForRemaining(root.mapping, plan.remaining_after[0]);
   governor.ChargeMemory(node_bytes);
   queue.push(std::move(root));
 
@@ -315,8 +229,8 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
     governor.ReleaseMemory(node_bytes);
     ++result.nodes_visited;
     best_g_seen = std::max(best_g_seen, node.g);
-    depth_hist->Observe(static_cast<double>(decided(node.mapping)));
-    bound_gap_hist->Observe(node.f() - best_g_seen);
+    telem.expansion_depth->Observe(static_cast<double>(decided(node.mapping)));
+    telem.bound_gap_trajectory->Observe(node.f() - best_g_seen);
     if ((tracer != nullptr || recorder != nullptr) &&
         result.nodes_visited >= next_report) {
       if (tracer != nullptr) {
@@ -334,25 +248,38 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       result.lower_bound = node.g;
       result.upper_bound = node.g;
       result.bounds_certified = true;
-      best_f_gauge->Set(node.g);
-      bound_gap_gauge->Set(0.0);
-      open_list_peak->SetMax(static_cast<double>(queue.size()));
+      telem.best_f->Set(node.g);
+      telem.bound_gap->Set(0.0);
+      telem.RecordOpenPeak(queue.size());
       FinalizePartialMapping(context, method, options_.scorer.partial, result);
       FinalizeMatchTelemetry(context, method, watch, result);
       trace_completion(queue.size());
       return result;
     }
+    // Stale representative: a strictly better same-signature node was
+    // admitted after this one was pushed; its subtree covers this one.
+    if (use_dominance && depth > 0 &&
+        dominance.IsStale(node.signature, node.g)) {
+      telem.prune_dominance->Increment();
+      continue;
+    }
     if (!governor.Poll()) {
       return anytime_result(std::move(node), queue.size() + 1,
                             governor.reason());
     }
-    best_f_gauge->Set(node.f());
-    bound_gap_gauge->Set(node.f() - best_g_seen);
+    telem.best_f->Set(node.f());
+    telem.bound_gap->Set(node.f() - best_g_seen);
 
-    const EventId source = order[depth];
+    const EventId source = plan.order[depth];
     std::uint64_t children_pushed = 0;
     for (EventId target = 0; target < n2; ++target) {
       if (node.mapping.IsTargetUsed(target)) {
+        continue;
+      }
+      if (use_symmetry && symmetry.Skips(node.mapping, target)) {
+        // A smaller-id interchangeable target is still unused; the
+        // canonical subtree assigns that one instead.
+        telem.prune_symmetry->Increment();
         continue;
       }
       if (result.mappings_processed >= options_.max_expansions) {
@@ -365,13 +292,22 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       }
       ++result.mappings_processed;
 
-      Node child{node.mapping, node.g, 0.0, sequence++};
+      Node child{node.mapping, node.g, 0.0, sequence++, 0};
       child.mapping.Set(source, target);
-      for (std::uint32_t pid : completed_at[depth + 1]) {
+      for (std::uint32_t pid : plan.completed_at[depth + 1]) {
         child.g += scorer.CompletedOrDeadContribution(pid, child.mapping);
       }
+      if (use_dominance) {
+        child.signature =
+            DominanceSignature(plan, depth + 1, child.mapping);
+        if (dominance.IsDominated(child.signature, child.g)) {
+          telem.prune_dominance->Increment();
+          continue;  // An equal-future node with >= g was already kept.
+        }
+        governor.ChargeMemory(DominanceTable::kBytesPerEntry);
+      }
       child.h = scorer.ComputeHForRemaining(child.mapping,
-                                            remaining_after[depth + 1]);
+                                            plan.remaining_after[depth + 1]);
       governor.ChargeMemory(node_bytes);
       queue.push(std::move(child));
       ++children_pushed;
@@ -391,16 +327,29 @@ Result<MatchResult> AStarMatcher::Match(MatchingContext& context) const {
       }
       ++result.mappings_processed;
 
-      Node child{node.mapping, node.g - unmapped_penalty, 0.0, sequence++};
+      Node child{node.mapping, node.g - unmapped_penalty, 0.0, sequence++, 0};
       child.mapping.SetUnmapped(source);
-      child.h = scorer.ComputeHForRemaining(child.mapping,
-                                            remaining_after[depth + 1]);
-      governor.ChargeMemory(node_bytes);
-      queue.push(std::move(child));
-      ++children_pushed;
+      bool keep = true;
+      if (use_dominance) {
+        child.signature =
+            DominanceSignature(plan, depth + 1, child.mapping);
+        if (dominance.IsDominated(child.signature, child.g)) {
+          telem.prune_dominance->Increment();
+          keep = false;
+        } else {
+          governor.ChargeMemory(DominanceTable::kBytesPerEntry);
+        }
+      }
+      if (keep) {
+        child.h = scorer.ComputeHForRemaining(
+            child.mapping, plan.remaining_after[depth + 1]);
+        governor.ChargeMemory(node_bytes);
+        queue.push(std::move(child));
+        ++children_pushed;
+      }
     }
-    branching_hist->Observe(static_cast<double>(children_pushed));
-    open_list_peak->SetMax(static_cast<double>(queue.size()));
+    telem.branching_factor->Observe(static_cast<double>(children_pushed));
+    telem.RecordOpenPeak(queue.size());
   }
   return Status::Internal("A* queue exhausted without a complete mapping");
 }

@@ -6,13 +6,21 @@
 
 #include "core/mapping_scorer.h"
 #include "core/matcher.h"
+#include "core/search_common.h"
 
 namespace hematch {
 
 /// Options for the exact A* matcher.
 struct AStarOptions {
-  /// Bound kind (Pattern-Simple vs Pattern-Tight) and existence pruning.
+  /// Bound kind (Pattern-Simple vs Pattern-Tight vs Pattern-Bitmap) and
+  /// existence pruning.
   ScorerOptions scorer;
+
+  /// Exactness-preserving search-space reductions (dominance pruning,
+  /// symmetry breaking; see core/search_common.h). Both default off
+  /// here, preserving the classic Algorithm 1 node counts; the parallel
+  /// matcher (exec/parallel_astar.h) enables them by default.
+  SearchReductions reductions;
 
   /// Budget on processed child mappings `M'` (Line 7 of Algorithm 1).
   /// When exceeded, Match returns an *anytime* result: the best partial

@@ -13,7 +13,7 @@ FrequencyCeilings ComputeCeilings(const DependencyGraph& g2,
 }
 
 double TightUpperBound(const Pattern& pattern, double f1,
-                       const FrequencyCeilings& ceilings) {
+                       const FrequencyCeilings& ceilings, double f2_cap) {
   if (f1 <= 0.0) {
     return 0.0;  // d(p) is 0 for any f2 under the zero-frequency convention.
   }
@@ -24,6 +24,7 @@ double TightUpperBound(const Pattern& pattern, double f1,
     const double omega = static_cast<double>(pattern.NumLinearizations());
     f_min = std::min(f_min, omega * ceilings.max_edge);
   }
+  f_min = std::min(f_min, f2_cap);
   if (f_min < f1) {
     return 1.0 - (f1 - f_min) / (f1 + f_min);
   }

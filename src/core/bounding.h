@@ -2,6 +2,7 @@
 #define HEMATCH_CORE_BOUNDING_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "graph/dependency_graph.h"
@@ -20,7 +21,21 @@ enum class BoundKind : std::uint8_t {
   /// frequency `fe` among the events the pattern can still be mapped to —
   /// the paper's "Pattern-Tight".
   kTight,
+  /// kTight further capped by pairwise trace co-occurrence ceilings from
+  /// the bitmap index (freq/cooccurrence.h): a trace matches a pattern
+  /// only if it contains every pattern event, so `f2` can never exceed
+  /// the co-occurrence fraction of any event pair the translated pattern
+  /// is forced to include. Strictly tighter than kTight (each extra cap
+  /// is a true upper bound on the reachable `f2`), hence still
+  /// admissible.
+  kBitmapTight,
 };
+
+/// True for the bound kinds that need per-node frequency ceilings over
+/// `U2` (everything except the Section 3.3 constant bound).
+inline bool BoundUsesCeilings(BoundKind kind) {
+  return kind != BoundKind::kSimple;
+}
 
 /// Frequency ceilings over a set of candidate target events: the largest
 /// vertex frequency and the largest edge frequency of the induced
@@ -48,8 +63,13 @@ FrequencyCeilings ComputeCeilings(const DependencyGraph& g2,
 /// the wrong way around (as printed it would return a value above 1.0);
 /// this implements the evidently intended direction, which is also the
 /// direction that makes the bound admissible. See DESIGN.md.
+///
+/// `f2_cap` is an optional additional upper bound on the reachable
+/// target frequency (kBitmapTight's co-occurrence ceiling); pass
+/// +infinity to disable. `f_min` becomes `min(f_min, f2_cap)`.
 double TightUpperBound(const Pattern& pattern, double f1,
-                       const FrequencyCeilings& ceilings);
+                       const FrequencyCeilings& ceilings,
+                       double f2_cap = std::numeric_limits<double>::infinity());
 
 /// Full `Δ(p, U2)` (Problem 2): 0 when `|V(p)| > |targets|` (the pattern
 /// no longer fits), otherwise `TightUpperBound` over the ceilings of

@@ -1,5 +1,8 @@
 #include "core/mapping.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/check.h"
 
 namespace hematch {
@@ -114,6 +117,28 @@ std::vector<EventId> Mapping::UnusedTargets() const {
 std::optional<Pattern> Mapping::TranslatePattern(
     const Pattern& pattern) const {
   return TranslateNode(pattern, forward_);
+}
+
+int Mapping::LexCompare(const Mapping& a, const Mapping& b) {
+  const std::size_t n = std::min(a.forward_.size(), b.forward_.size());
+  for (EventId v = 0; v < n; ++v) {
+    // Rank per source: 0 undecided, 1 ⊥, 2 + target otherwise.
+    const auto rank = [](const Mapping& m, EventId source) -> std::uint64_t {
+      if (m.forward_[source] != kInvalidEventId) {
+        return 2ull + m.forward_[source];
+      }
+      return m.IsSourceNull(source) ? 1ull : 0ull;
+    };
+    const std::uint64_t ra = rank(a, v);
+    const std::uint64_t rb = rank(b, v);
+    if (ra != rb) {
+      return ra < rb ? -1 : 1;
+    }
+  }
+  if (a.forward_.size() != b.forward_.size()) {
+    return a.forward_.size() < b.forward_.size() ? -1 : 1;
+  }
+  return 0;
 }
 
 std::string Mapping::ToString(const EventDictionary* source_dict,

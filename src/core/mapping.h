@@ -89,6 +89,14 @@ class Mapping {
   std::string ToString(const EventDictionary* source_dict = nullptr,
                        const EventDictionary* target_dict = nullptr) const;
 
+  /// Stable total order over equal-shape mappings: compares the decided
+  /// state of each source in id order (undecided < ⊥ < target 0 < target
+  /// 1 < ...). Returns <0, 0, >0 like strcmp. Used as the final A*
+  /// tie-break key so equal-f frontiers pop in an order independent of
+  /// node-creation history — sequential reruns and every parallel-A*
+  /// thread count then certify the same canonical optimum.
+  static int LexCompare(const Mapping& a, const Mapping& b);
+
   friend bool operator==(const Mapping& a, const Mapping& b) {
     if (a.forward_ != b.forward_ || a.null_count_ != b.null_count_) {
       return false;

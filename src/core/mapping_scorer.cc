@@ -13,7 +13,11 @@ MappingScorer::MappingScorer(MatchingContext& context,
       g_evals_(context.metrics().GetCounter("scorer.g_evaluations")),
       h_evals_(context.metrics().GetCounter("scorer.h_evaluations")),
       completed_contributions_(
-          context.metrics().GetCounter("scorer.completed_contributions")) {}
+          context.metrics().GetCounter("scorer.completed_contributions")) {
+  if (options_.bound == BoundKind::kBitmapTight) {
+    cooc_ = &context.cooccurrence2();
+  }
+}
 
 std::size_t MappingScorer::MappedEventCount(std::size_t pid,
                                             const Mapping& m) const {
@@ -110,10 +114,24 @@ double MappingScorer::ComputeG(const Mapping& m) {
   return g - NullPenalty(m);
 }
 
+void MappingScorer::FillCoocCaps(const std::vector<EventId>& unused,
+                                 CoocCaps& caps) const {
+  caps.max_unused_pair = cooc_->MaxPairAmong(unused);
+  caps.best_with_unused.assign(context_->num_targets(), 0.0);
+  for (EventId t = 0; t < caps.best_with_unused.size(); ++t) {
+    double best = 0.0;
+    for (EventId u : unused) {
+      best = std::max(best, cooc_->At(t, u));
+    }
+    caps.best_with_unused[t] = best;
+  }
+}
+
 double MappingScorer::IncompleteBound(std::size_t pid, const Mapping& m,
                                       const FrequencyCeilings& u2_ceilings,
                                       std::size_t num_unused,
-                                      std::vector<char>& in_union) {
+                                      std::vector<char>& in_union,
+                                      const CoocCaps* caps) {
   const Pattern& p = context_->patterns()[pid];
   const double f1 = context_->PatternFrequency1(pid);
   // A pattern with a ⊥ event contributes 0 to every completion; this is
@@ -165,7 +183,35 @@ double MappingScorer::IncompleteBound(std::size_t pid, const Mapping& m,
   for (EventId t : fixed) {
     in_union[t] = 0;  // Restore scratch state.
   }
-  return TightUpperBound(p, f1, ceilings);
+
+  // kBitmapTight: cap the reachable f2 by pairwise trace co-occurrence.
+  // Every completion translates the pattern to `fixed ∪ (free events
+  // drawn from U2)`, and a trace matches only if it contains all of
+  // them — so each forced pair yields a valid ceiling, and the minimum
+  // over the pair families below stays a true upper bound (Δ remains
+  // admissible).
+  double f2_cap = std::numeric_limits<double>::infinity();
+  if (caps != nullptr && p.size() >= 2) {
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+      for (std::size_t j = i + 1; j < fixed.size(); ++j) {
+        f2_cap = std::min(f2_cap, cooc_->At(fixed[i], fixed[j]));
+      }
+    }
+    const std::size_t free_slots = p.size() - fixed.size();
+    if (free_slots >= 1 && !fixed.empty()) {
+      // Each fixed target must co-occur with at least one unused target.
+      double worst = std::numeric_limits<double>::infinity();
+      for (EventId t : fixed) {
+        worst = std::min(worst, caps->best_with_unused[t]);
+      }
+      f2_cap = std::min(f2_cap, worst);
+    }
+    if (free_slots >= 2) {
+      // At least one pair lies entirely inside the unused targets.
+      f2_cap = std::min(f2_cap, caps->max_unused_pair);
+    }
+  }
+  return TightUpperBound(p, f1, ceilings, f2_cap);
 }
 
 double MappingScorer::ComputeH(const Mapping& m) {
@@ -174,11 +220,16 @@ double MappingScorer::ComputeH(const Mapping& m) {
   const std::vector<EventId> unused = m.UnusedTargets();
   FrequencyCeilings u2_ceilings;
   std::vector<char> in_union;
-  if (options_.bound == BoundKind::kTight) {
+  CoocCaps caps;
+  const bool use_cooc = options_.bound == BoundKind::kBitmapTight;
+  if (BoundUsesCeilings(options_.bound)) {
     u2_ceilings = ComputeCeilings(context_->graph2(), unused);
     in_union.assign(context_->num_targets(), 0);
     for (EventId t : unused) {
       in_union[t] = 1;
+    }
+    if (use_cooc) {
+      FillCoocCaps(unused, caps);
     }
   }
   for (std::size_t pid = 0; pid < context_->num_patterns(); ++pid) {
@@ -186,7 +237,8 @@ double MappingScorer::ComputeH(const Mapping& m) {
     if (MappedEventCount(pid, m) == p.size()) {
       continue;  // Contributes to g, not h.
     }
-    h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
+    h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union,
+                          use_cooc ? &caps : nullptr);
   }
   return h - ForcedNullPenalty(m, unused.size());
 }
@@ -198,15 +250,21 @@ double MappingScorer::ComputeHForRemaining(
   const std::vector<EventId> unused = m.UnusedTargets();
   FrequencyCeilings u2_ceilings;
   std::vector<char> in_union;
-  if (options_.bound == BoundKind::kTight) {
+  CoocCaps caps;
+  const bool use_cooc = options_.bound == BoundKind::kBitmapTight;
+  if (BoundUsesCeilings(options_.bound)) {
     u2_ceilings = ComputeCeilings(context_->graph2(), unused);
     in_union.assign(context_->num_targets(), 0);
     for (EventId t : unused) {
       in_union[t] = 1;
     }
+    if (use_cooc) {
+      FillCoocCaps(unused, caps);
+    }
   }
   for (std::uint32_t pid : remaining) {
-    h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
+    h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union,
+                          use_cooc ? &caps : nullptr);
   }
   return h - ForcedNullPenalty(m, unused.size());
 }
@@ -218,11 +276,16 @@ MappingScorer::Score MappingScorer::ComputeScore(const Mapping& m) {
   const std::vector<EventId> unused = m.UnusedTargets();
   FrequencyCeilings u2_ceilings;
   std::vector<char> in_union;
-  if (options_.bound == BoundKind::kTight) {
+  CoocCaps caps;
+  const bool use_cooc = options_.bound == BoundKind::kBitmapTight;
+  if (BoundUsesCeilings(options_.bound)) {
     u2_ceilings = ComputeCeilings(context_->graph2(), unused);
     in_union.assign(context_->num_targets(), 0);
     for (EventId t : unused) {
       in_union[t] = 1;
+    }
+    if (use_cooc) {
+      FillCoocCaps(unused, caps);
     }
   }
   for (std::size_t pid = 0; pid < context_->num_patterns(); ++pid) {
@@ -230,7 +293,8 @@ MappingScorer::Score MappingScorer::ComputeScore(const Mapping& m) {
     if (MappedEventCount(pid, m) == p.size()) {
       score.g += CompletedContribution(pid, m);
     } else {
-      score.h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union);
+      score.h += IncompleteBound(pid, m, u2_ceilings, unused.size(), in_union,
+                          use_cooc ? &caps : nullptr);
     }
   }
   score.g -= NullPenalty(m);

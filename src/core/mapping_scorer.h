@@ -111,15 +111,29 @@ class MappingScorer {
   std::uint64_t h_evaluations() const { return h_evals_->value(); }
 
  private:
+  // Per-h-evaluation co-occurrence ceilings (kBitmapTight only): the
+  // best pair among the unused targets, and for every target the best
+  // co-occurrence with any unused target. Computed once per node in
+  // O(num_targets * |U2|), consumed per pattern in O(|fixed|).
+  struct CoocCaps {
+    double max_unused_pair = 0.0;
+    std::vector<double> best_with_unused;
+  };
+  void FillCoocCaps(const std::vector<EventId>& unused, CoocCaps& caps) const;
+
   // Δ for one incomplete pattern given the precomputed ceilings of U2 and
   // a scratch membership bitmap of (U2 ∪ mapped targets of the pattern).
+  // `caps` is null unless the bound is kBitmapTight.
   double IncompleteBound(std::size_t pid, const Mapping& m,
                          const FrequencyCeilings& u2_ceilings,
-                         std::size_t num_unused,
-                         std::vector<char>& in_union);
+                         std::size_t num_unused, std::vector<char>& in_union,
+                         const CoocCaps* caps);
 
   MatchingContext* context_;
   ScorerOptions options_;
+  // Pairwise co-occurrence ceilings, bound at construction when the
+  // bound kind is kBitmapTight (pays the context's one-time build).
+  const CooccurrenceIndex* cooc_ = nullptr;
   obs::Counter* g_evals_;
   obs::Counter* h_evals_;
   obs::Counter* completed_contributions_;

@@ -28,6 +28,7 @@ MatchingContext::MatchingContext(const EventLog& log1, const EventLog& log2,
       pattern_index_(log1.num_events(), PatternEventSets(patterns_)),
       eval1_(std::make_shared<FrequencyEvaluator>(log1)),
       eval2_(std::make_shared<FrequencyEvaluator>(log2)),
+      cooc2_(std::make_shared<CooccurrenceIndex>(log2)),
       owned_metrics_(telemetry.shared_registry != nullptr
                          ? nullptr
                          : std::make_unique<obs::MetricsRegistry>(
@@ -98,6 +99,7 @@ MatchingContext::MatchingContext(const MatchingContext& base,
       pattern_index_(base.pattern_index_),
       eval1_(base.eval1_),
       eval2_(base.eval2_),
+      cooc2_(base.cooc2_),
       f1_(base.f1_),
       owned_metrics_(nullptr),
       metrics_(base.metrics_),
@@ -120,6 +122,15 @@ void MatchingContext::ArmBudget(const exec::RunBudget& budget,
     eval1_->set_max_cache_bytes(per_cache > 0 ? per_cache : 1);
     eval2_->set_max_cache_bytes(per_cache > 0 ? per_cache : 1);
   }
+}
+
+const CooccurrenceIndex& MatchingContext::cooccurrence2() {
+  if (!cooc2_->built()) {
+    cooc2_->EnsureBuilt();
+    metrics_->GetCounter("freq2.cooc.builds")->Increment();
+    metrics_->GetGauge("freq2.cooc.build_ms")->Set(cooc2_->build_ms());
+  }
+  return *cooc2_;
 }
 
 double MatchingContext::PatternFrequency2(const Pattern& translated,

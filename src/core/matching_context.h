@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/budget.h"
+#include "freq/cooccurrence.h"
 #include "freq/existence_pruner.h"
 #include "freq/frequency_evaluator.h"
 #include "freq/inverted_index.h"
@@ -172,6 +173,12 @@ class MatchingContext {
     eval2_->set_cancel_token(cancel);
   }
 
+  /// Pairwise target-side co-occurrence ceilings (freq/cooccurrence.h),
+  /// built on first call and shared with sibling contexts — the
+  /// substrate of `BoundKind::kBitmapTight`. Thread-safe; after the
+  /// one-time build every access is a lock-free read.
+  const CooccurrenceIndex& cooccurrence2();
+
   /// Cumulative Proposition-3 pruning hits (patterns whose frequency
   /// evaluation was skipped because they cannot occur in log2).
   std::uint64_t existence_prune_hits() const {
@@ -194,6 +201,9 @@ class MatchingContext {
   // evaluators so the memo cache amortizes across racing strategies.
   std::shared_ptr<FrequencyEvaluator> eval1_;
   std::shared_ptr<FrequencyEvaluator> eval2_;
+  // Shared for the same reason as the evaluators: the lazily-built
+  // matrix amortizes across racing strategies and parallel workers.
+  std::shared_ptr<CooccurrenceIndex> cooc2_;
   std::vector<double> f1_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;

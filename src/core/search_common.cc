@@ -1,0 +1,291 @@
+#include "core/search_common.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "freq/pattern_key.h"
+
+namespace hematch {
+
+using internal::MixBits;
+
+SearchPlan BuildSearchPlan(const MatchingContext& context) {
+  SearchPlan plan;
+  plan.num_sources = context.num_sources();
+  plan.num_targets = context.num_targets();
+  const std::size_t n1 = plan.num_sources;
+
+  // Fixed expansion order: source events by decreasing number of
+  // involving patterns (Ip list length), then by id for determinism.
+  plan.order.resize(n1);
+  for (EventId v = 0; v < n1; ++v) {
+    plan.order[v] = v;
+  }
+  const PatternIndex& ip = context.pattern_index();
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&](EventId a, EventId b) {
+                     return ip.PatternCount(a) > ip.PatternCount(b);
+                   });
+  plan.position.resize(n1);
+  for (std::size_t d = 0; d < n1; ++d) {
+    plan.position[plan.order[d]] = d;
+  }
+
+  plan.completed_at.assign(n1 + 1, {});
+  plan.remaining_after.assign(n1 + 1, {});
+  for (std::uint32_t pid = 0; pid < context.num_patterns(); ++pid) {
+    std::size_t last = 0;
+    for (EventId v : context.patterns()[pid].events()) {
+      last = std::max(last, plan.position[v] + 1);
+    }
+    plan.completed_at[last].push_back(pid);
+    for (std::size_t d = 0; d < last; ++d) {
+      plan.remaining_after[d].push_back(pid);
+    }
+  }
+
+  // signature_sources[d]: decided sources read by some still-incomplete
+  // pattern. Mark pattern events with position < d.
+  plan.signature_sources.assign(n1 + 1, {});
+  std::vector<char> relevant(n1, 0);
+  for (std::size_t d = 0; d <= n1; ++d) {
+    std::fill(relevant.begin(), relevant.end(), 0);
+    for (std::uint32_t pid : plan.remaining_after[d]) {
+      for (EventId v : context.patterns()[pid].events()) {
+        if (plan.position[v] < d) {
+          relevant[v] = 1;
+        }
+      }
+    }
+    for (EventId v = 0; v < n1; ++v) {
+      if (relevant[v] != 0) {
+        plan.signature_sources[d].push_back(v);
+      }
+    }
+  }
+  return plan;
+}
+
+std::uint64_t DominanceSignature(const SearchPlan& plan, std::size_t depth,
+                                 const Mapping& mapping) {
+  std::uint64_t sig = MixBits(0x7061737461727369ull ^ depth);
+  // Used-target *set*, order-independently: nodes that routed their
+  // future-irrelevant sources to the same targets in different ways
+  // must collide.
+  std::uint64_t target_set = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    const EventId target = mapping.TargetOf(plan.order[d]);
+    if (target != kInvalidEventId) {
+      target_set += MixBits(0x2bull + target);
+    }
+  }
+  sig = MixBits(sig ^ target_set);
+  // Exact assignments of the future-relevant sources, in fixed order.
+  for (EventId v : plan.signature_sources[depth]) {
+    const EventId target = mapping.TargetOf(v);
+    const std::uint64_t code =
+        target != kInvalidEventId
+            ? 2ull + target
+            : 1ull;  // ⊥ — the source is decided, so never "unassigned".
+    sig = MixBits(sig ^ ((static_cast<std::uint64_t>(v) << 24) | code));
+  }
+  return sig;
+}
+
+namespace {
+
+// Hash of log2's trace multiset with labels `x` and `y` swapped
+// (x == y computes the identity hash). Multiset semantics: per-trace
+// hashes are sorted before folding, so trace order never matters.
+std::uint64_t TraceMultisetHash(const EventLog& log, EventId x, EventId y,
+                                std::vector<std::uint64_t>& scratch) {
+  scratch.clear();
+  scratch.reserve(log.num_traces());
+  for (const Trace& trace : log.traces()) {
+    std::uint64_t h = MixBits(0x74726163ull ^ trace.size());
+    for (EventId e : trace) {
+      EventId r = e;
+      if (e == x) {
+        r = y;
+      } else if (e == y) {
+        r = x;
+      }
+      h = MixBits(h ^ (static_cast<std::uint64_t>(r) + 0x9E3779B9ull));
+    }
+    scratch.push_back(h);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  std::uint64_t acc = 0x6D756C746973ull;
+  for (std::uint64_t h : scratch) {
+    acc = MixBits(acc ^ h);
+  }
+  return acc;
+}
+
+}  // namespace
+
+TargetSymmetry ComputeTargetSymmetry(const EventLog& log2) {
+  TargetSymmetry sym;
+  const std::size_t n = log2.num_events();
+  sym.class_of.assign(n, 0);
+
+  // Positional fingerprint per event: the multiset over traces of
+  // (trace length, occurrence positions). Invariant under any swap
+  // automorphism, so equal fingerprints are a necessary condition for
+  // interchangeability — a cheap exact filter before verification.
+  std::vector<std::uint64_t> fp(n, 0);
+  std::vector<std::uint64_t> trace_pos_hash(n);
+  for (const Trace& trace : log2.traces()) {
+    std::fill(trace_pos_hash.begin(), trace_pos_hash.end(),
+              MixBits(0x706F73ull ^ trace.size()));
+    bool any = false;
+    std::vector<char> seen(n, 0);
+    for (std::size_t pos = 0; pos < trace.size(); ++pos) {
+      const EventId e = trace[pos];
+      if (e < n) {
+        trace_pos_hash[e] = MixBits(trace_pos_hash[e] ^ (pos + 1));
+        seen[e] = 1;
+        any = true;
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    for (EventId e = 0; e < n; ++e) {
+      if (seen[e] != 0) {
+        fp[e] += MixBits(trace_pos_hash[e]);  // Commutative across traces.
+      }
+    }
+  }
+
+  // Group candidates by fingerprint, then verify each member against
+  // its group's representative with the full swapped-multiset hash.
+  std::unordered_map<std::uint64_t, std::vector<EventId>> groups;
+  for (EventId t = 0; t < n; ++t) {
+    groups[fp[t]].push_back(t);
+  }
+  std::vector<std::uint64_t> scratch;
+  const std::uint64_t identity = TraceMultisetHash(log2, 0, 0, scratch);
+  std::vector<std::uint32_t> cls(n, 0);
+  std::uint32_t next_class = 0;
+  std::vector<char> assigned(n, 0);
+  for (EventId t = 0; t < n; ++t) {
+    if (assigned[t] != 0) {
+      continue;
+    }
+    const std::uint32_t c = next_class++;
+    cls[t] = c;
+    assigned[t] = 1;
+    sym.members.push_back({t});
+    for (EventId u : groups[fp[t]]) {
+      if (u <= t || assigned[u] != 0) {
+        continue;
+      }
+      if (TraceMultisetHash(log2, t, u, scratch) == identity) {
+        cls[u] = c;
+        assigned[u] = 1;
+        sym.members[c].push_back(u);
+      }
+    }
+  }
+  sym.class_of = std::move(cls);
+  for (const std::vector<EventId>& m : sym.members) {
+    if (m.size() > 1) {
+      sym.interchangeable_targets += m.size();
+    }
+  }
+  return sym;
+}
+
+SearchTelemetry SearchTelemetry::Register(obs::MetricsRegistry& metrics,
+                                          const std::string& slug) {
+  SearchTelemetry t;
+  t.open_list_peak = metrics.GetGauge(slug + ".open_list_peak");
+  t.best_f = metrics.GetGauge(slug + ".best_f");
+  t.bound_gap = metrics.GetGauge(slug + ".bound_gap");
+  t.expansion_depth = metrics.GetHistogram(slug + ".expansion_depth",
+                                           {1, 2, 4, 8, 16, 32, 64, 128});
+  t.branching_factor = metrics.GetHistogram(slug + ".branching_factor",
+                                            {1, 2, 4, 8, 16, 32, 64, 128});
+  t.bound_gap_trajectory =
+      metrics.GetHistogram(slug + ".bound_gap_trajectory",
+                           {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8});
+  t.prune_existence = metrics.GetCounter(slug + ".prune.existence");
+  t.prune_bound = metrics.GetCounter(slug + ".prune.bound");
+  t.prune_dominance = metrics.GetCounter(slug + ".prune.dominance");
+  t.prune_symmetry = metrics.GetCounter(slug + ".prune.symmetry");
+  return t;
+}
+
+double GreedyComplete(MappingScorer& scorer, const SearchPlan& plan,
+                      Mapping& m, double g, const obs::Stopwatch& watch,
+                      double grace_ms, std::uint64_t& mappings_processed) {
+  const std::size_t n1 = plan.num_sources;
+  const std::size_t n2 = plan.num_targets;
+  const bool partial = scorer.options().partial.enabled();
+  const double unmapped_penalty = scorer.options().partial.unmapped_penalty;
+  // Greedy phase: per remaining depth take the target with the best
+  // incremental contribution (exact, since `completed_at` makes g
+  // incremental). If that would badly overshoot an already-blown
+  // deadline, degrade to first-fit for the rest and rescore exactly
+  // (one evaluation per remaining pattern).
+  std::size_t depth = m.size() + m.num_null_sources();
+  for (; depth < n1; ++depth) {
+    if (grace_ms > 0.0 && watch.ElapsedMs() > grace_ms) break;
+    const EventId source = plan.order[depth];
+    bool have = false;
+    double best_gain = 0.0;
+    EventId best_target = 0;
+    for (EventId target = 0; target < n2; ++target) {
+      if (m.IsTargetUsed(target)) continue;
+      ++mappings_processed;
+      m.Set(source, target);
+      double gain = 0.0;
+      for (std::uint32_t pid : plan.completed_at[depth + 1]) {
+        gain += scorer.CompletedOrDeadContribution(pid, m);
+      }
+      m.Erase(source);
+      if (!have || gain > best_gain) {
+        have = true;
+        best_gain = gain;
+        best_target = target;
+      }
+    }
+    if (partial && (!have || -unmapped_penalty > best_gain)) {
+      // Every pattern completing at this depth contains `source`, so
+      // ⊥ kills them all: the exact incremental gain is -penalty.
+      ++mappings_processed;
+      m.SetUnmapped(source);
+      g -= unmapped_penalty;
+      continue;
+    }
+    m.Set(source, best_target);
+    g += best_gain;
+  }
+  if (depth < n1) {
+    const std::size_t scored_upto = depth;
+    for (; depth < n1; ++depth) {
+      const EventId source = plan.order[depth];
+      bool placed = false;
+      for (EventId target = 0; target < n2; ++target) {
+        if (!m.IsTargetUsed(target)) {
+          m.Set(source, target);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        m.SetUnmapped(source);
+        g -= unmapped_penalty;
+      }
+    }
+    for (std::size_t d = scored_upto; d < n1; ++d) {
+      for (std::uint32_t pid : plan.completed_at[d + 1]) {
+        g += scorer.CompletedOrDeadContribution(pid, m);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hematch

@@ -13,6 +13,7 @@
 #include "core/heuristic_advanced_matcher.h"
 #include "core/heuristic_simple_matcher.h"
 #include "core/matching_context.h"
+#include "exec/parallel_astar.h"
 #include "exec/watchdog.h"
 #include "obs/metrics.h"
 
@@ -436,8 +437,17 @@ Result<PortfolioOutcome> PortfolioRunner::Run(const EventLog& log1,
 
 std::vector<PortfolioStrategy> DefaultPortfolioStrategies(
     const ScorerOptions& scorer, BoundKind bound,
-    std::uint64_t max_expansions) {
+    std::uint64_t max_expansions, int parallel_search_threads) {
   std::vector<PortfolioStrategy> strategies;
+  if (parallel_search_threads >= 0) {
+    ParallelAStarOptions popts;
+    popts.scorer = scorer;
+    popts.scorer.bound = BoundKind::kBitmapTight;
+    popts.threads = parallel_search_threads;
+    popts.max_expansions = max_expansions;
+    auto parallel = std::make_unique<ParallelAStarMatcher>(popts);
+    strategies.push_back({parallel->name(), std::move(parallel)});
+  }
   AStarOptions astar;
   astar.scorer = scorer;
   astar.scorer.bound = bound;

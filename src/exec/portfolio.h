@@ -182,10 +182,13 @@ class PortfolioRunner {
 /// The standard race card: the exact A* matcher (with `bound`) plus the
 /// advanced and simple heuristics, in that order — the same rungs as
 /// `FallbackMatcher::ExactWithHeuristicFallbacks`, but raced instead of
-/// laddered.
+/// laddered. When `parallel_search_threads >= 0` the parallel exact
+/// matcher (exec/parallel_astar.h) leads the card with that
+/// `ParallelAStarOptions::threads` value (0 = hardware concurrency);
+/// -1, the default, leaves the card unchanged.
 std::vector<PortfolioStrategy> DefaultPortfolioStrategies(
     const ScorerOptions& scorer, BoundKind bound,
-    std::uint64_t max_expansions);
+    std::uint64_t max_expansions, int parallel_search_threads = -1);
 
 }  // namespace hematch::exec
 

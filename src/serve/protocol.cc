@@ -180,11 +180,20 @@ Result<ServeRequest> ParseRequest(std::string_view line) {
     if (const JsonValue* method = doc.Find("method"); method != nullptr) {
       if (method->kind != JsonValue::Kind::kString ||
           (method->text != "auto" && method->text != "exact" &&
-           method->text != "heuristic")) {
+           method->text != "heuristic" && method->text != "parallel")) {
         return Status::InvalidArgument(
-            "method must be \"auto\", \"exact\", or \"heuristic\"");
+            "method must be \"auto\", \"exact\", \"heuristic\", or "
+            "\"parallel\"");
       }
       req.match.method = method->text;
+    }
+    if (const JsonValue* st = doc.Find("search_threads"); st != nullptr) {
+      if (st->kind != JsonValue::Kind::kNumber || st->number < 0 ||
+          st->number > 1024) {
+        return Status::InvalidArgument(
+            "search_threads must be a number in [0, 1024]");
+      }
+      req.match.search_threads = static_cast<int>(st->number);
     }
     return req;
   }
@@ -228,6 +237,9 @@ std::string BuildMatchRequest(std::uint64_t id, const MatchRequestSpec& spec) {
   }
   if (std::isfinite(spec.partial_penalty)) {
     os << ",\"partial_penalty\":" << JsonNumber(spec.partial_penalty);
+  }
+  if (spec.search_threads > 0) {
+    os << ",\"search_threads\":" << spec.search_threads;
   }
   os << ",\"method\":" << Quoted(spec.method) << "}";
   return os.str();

@@ -85,7 +85,13 @@ struct MatchRequestSpec {
   std::uint64_t max_expansions = 0;   ///< 0 = server default.
   /// Per-⊥ penalty; infinity = classic total mappings.
   double partial_penalty = std::numeric_limits<double>::infinity();
-  std::string method = "auto";        ///< "auto" | "exact" | "heuristic".
+  /// "auto" | "exact" | "heuristic" | "parallel". "parallel" runs the
+  /// multi-threaded exact matcher (exec/parallel_astar.h) as the
+  /// primary ladder rung; load shedding degrades it exactly like
+  /// "exact"/"auto".
+  std::string method = "auto";
+  /// Worker threads for method "parallel" (0 = hardware concurrency).
+  int search_threads = 0;
 };
 
 /// One parsed request line.

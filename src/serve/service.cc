@@ -10,6 +10,7 @@
 #include "core/astar_matcher.h"
 #include "core/heuristic_advanced_matcher.h"
 #include "core/heuristic_simple_matcher.h"
+#include "exec/parallel_astar.h"
 #include "exec/watchdog.h"
 
 namespace hematch::serve {
@@ -24,6 +25,23 @@ std::unique_ptr<FallbackMatcher> BuildLadder(const MatchRequestSpec& spec,
 
   const bool heuristic_only = shed_level >= 1 || spec.method == "heuristic";
   if (!heuristic_only) {
+    if (spec.method == "parallel") {
+      // Multi-threaded exact rung; degrades through the same heuristic
+      // pair as the sequential exact ladder when its budget trips.
+      exec::ParallelAStarOptions popts;
+      popts.scorer = scorer;
+      popts.scorer.bound = BoundKind::kBitmapTight;
+      popts.threads = spec.search_threads;
+      std::vector<std::unique_ptr<Matcher>> ladder;
+      ladder.push_back(std::make_unique<exec::ParallelAStarMatcher>(popts));
+      HeuristicAdvancedOptions advanced;
+      advanced.scorer = scorer;
+      ladder.push_back(std::make_unique<HeuristicAdvancedMatcher>(advanced));
+      HeuristicSimpleOptions simple;
+      simple.scorer = scorer;
+      ladder.push_back(std::make_unique<HeuristicSimpleMatcher>(simple));
+      return std::make_unique<FallbackMatcher>(std::move(ladder), fopts);
+    }
     AStarOptions astar;
     astar.scorer = scorer;
     return FallbackMatcher::ExactWithHeuristicFallbacks(astar, fopts);

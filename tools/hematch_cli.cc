@@ -11,8 +11,15 @@
 //
 // Options:
 //   --method NAME     pattern-tight (default) | pattern-simple |
-//                     heuristic-simple | heuristic-advanced | vertex |
-//                     vertex-edge | iterative | entropy | all
+//                     pattern-parallel | heuristic-simple |
+//                     heuristic-advanced | vertex | vertex-edge |
+//                     iterative | entropy | all
+//   --parallel-astar  shorthand for --method pattern-parallel: exact A*
+//                     sharded over worker threads (HDA*) with the
+//                     bitmap-tight bound, dominance pruning, and
+//                     symmetry breaking — same certified optimum
+//   --search-threads N  worker threads for pattern-parallel (0 = all
+//                     hardware threads)
 //   --pattern EXPR    add a complex pattern (repeatable)
 //   --mine            mine discriminative patterns from log1
 //   --mine-support F  miner support threshold (default 0.1)
@@ -93,6 +100,7 @@
 #include "eval/runner.h"
 #include "eval/table.h"
 #include "exec/budget.h"
+#include "exec/parallel_astar.h"
 #include "exec/portfolio.h"
 #include "gen/log_corruptor.h"
 #include "gen/pattern_miner.h"
@@ -133,10 +141,12 @@ void PrintUsageAndExit(int code) {
   std::cerr <<
       "usage: hematch_cli [options] <log1> <log2>\n"
       "  --method NAME     pattern-tight | pattern-simple | "
-      "heuristic-simple |\n"
-      "                    heuristic-advanced | vertex | vertex-edge | "
-      "iterative |\n"
-      "                    entropy | all        (default: pattern-tight)\n"
+      "pattern-parallel |\n"
+      "                    heuristic-simple | heuristic-advanced | vertex |\n"
+      "                    vertex-edge | iterative | entropy | all\n"
+      "                    (default: pattern-tight)\n"
+      "  --parallel-astar  shorthand for --method pattern-parallel\n"
+      "  --search-threads N  workers for pattern-parallel (0 = hardware)\n"
       "  --pattern EXPR    add a complex pattern over log1, e.g. "
       "'SEQ(A,AND(B,C),D)'\n"
       "  --mine            mine discriminative patterns from log1\n"
@@ -249,7 +259,7 @@ Result<EventLog> LoadLog(const std::string& path, bool xes_strict,
 std::vector<std::unique_ptr<Matcher>> MakeMatchers(
     const std::string& method, std::uint64_t budget,
     const exec::RunBudget& run_budget, bool degrade,
-    const ScorerOptions& scorer) {
+    const ScorerOptions& scorer, int search_threads) {
   std::vector<std::unique_ptr<Matcher>> matchers;
   AStarOptions tight;
   tight.scorer = scorer;
@@ -285,6 +295,26 @@ std::vector<std::unique_ptr<Matcher>> MakeMatchers(
   }
   if (want("pattern-simple")) {
     matchers.push_back(exact(simple));
+  }
+  if (want("pattern-parallel")) {
+    exec::ParallelAStarOptions popts;
+    popts.scorer = scorer;
+    popts.scorer.bound = BoundKind::kBitmapTight;
+    popts.threads = search_threads;
+    popts.max_expansions = budget;
+    auto parallel = std::make_unique<exec::ParallelAStarMatcher>(popts);
+    if (!degrade) {
+      matchers.push_back(std::move(parallel));
+    } else {
+      std::vector<std::unique_ptr<Matcher>> ladder;
+      ladder.push_back(std::move(parallel));
+      ladder.push_back(std::make_unique<HeuristicAdvancedMatcher>(ha));
+      ladder.push_back(std::make_unique<HeuristicSimpleMatcher>(hs));
+      FallbackOptions fallback;
+      fallback.budget = run_budget;
+      matchers.push_back(
+          std::make_unique<FallbackMatcher>(std::move(ladder), fallback));
+    }
   }
   if (want("heuristic-simple")) {
     matchers.push_back(std::make_unique<HeuristicSimpleMatcher>(hs));
@@ -332,6 +362,7 @@ int main(int argc, char** argv) {
   bool degrade = true;
   bool portfolio = false;
   int threads = 0;
+  int search_threads = 0;
   bool fail_degraded = false;
   bool xes_strict = false;
   bool strict_all = false;
@@ -399,6 +430,10 @@ int main(int argc, char** argv) {
       portfolio = true;
     } else if (arg == "--threads") {
       threads = std::stoi(next("--threads"));
+    } else if (arg == "--parallel-astar") {
+      method = "pattern-parallel";
+    } else if (arg == "--search-threads") {
+      search_threads = std::stoi(next("--search-threads"));
     } else if (arg == "--fail-degraded") {
       fail_degraded = true;
     } else if (arg == "--xes-strict") {
@@ -553,15 +588,19 @@ int main(int argc, char** argv) {
   std::vector<RunRecord> records;
 
   if (portfolio) {
-    if (method != "pattern-tight" && method != "pattern-simple") {
-      std::cerr << "--portfolio requires --method pattern-tight or "
-                   "pattern-simple (got '" << method << "')\n";
+    if (method != "pattern-tight" && method != "pattern-simple" &&
+        method != "pattern-parallel") {
+      std::cerr << "--portfolio requires --method pattern-tight, "
+                   "pattern-simple, or pattern-parallel (got '"
+                << method << "')\n";
       return 2;
     }
     ScorerOptions scorer;
     scorer.partial.unmapped_penalty = partial_penalty;
     const BoundKind bound = method == "pattern-simple" ? BoundKind::kSimple
                                                        : BoundKind::kTight;
+    const int parallel_threads =
+        method == "pattern-parallel" ? search_threads : -1;
     exec::PortfolioOptions popts;
     popts.budget = run_budget;
     popts.threads = threads;
@@ -572,7 +611,9 @@ int main(int argc, char** argv) {
       popts.heartbeat = emit_heartbeat;
     }
     exec::PortfolioRunner runner(
-        exec::DefaultPortfolioStrategies(scorer, bound, budget), popts);
+        exec::DefaultPortfolioStrategies(scorer, bound, budget,
+                                         parallel_threads),
+        popts);
     Result<exec::PortfolioOutcome> raced =
         runner.Run(*log1, *log2, BuildPatternSet(g1, complex));
     if (!raced.ok()) {
@@ -624,7 +665,8 @@ int main(int argc, char** argv) {
     ScorerOptions scorer;
     scorer.partial.unmapped_penalty = partial_penalty;
     const auto matchers =
-        MakeMatchers(method, budget, run_budget, degrade, scorer);
+        MakeMatchers(method, budget, run_budget, degrade, scorer,
+                     search_threads);
     if (matchers.empty()) {
       std::cerr << "unknown --method '" << method << "'\n";
       PrintUsageAndExit(2);

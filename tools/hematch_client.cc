@@ -22,7 +22,8 @@
 //   --deadline-ms F    per-request deadline (server default otherwise)
 //   --max-expansions N per-request expansion cap
 //   --partial-penalty F  allow unmapped sources at cost F each
-//   --method NAME      auto | exact | heuristic (default auto)
+//   --method NAME      auto | exact | heuristic | parallel (default auto)
+//   --search-threads N worker threads for --method parallel (0 = auto)
 //   --requests N       load: total match requests (default 32)
 //   --concurrency N    load: concurrent connections (default 4)
 //   --retries N        transport retries per call (default 2)
@@ -61,7 +62,8 @@ void PrintUsageAndExit(int code) {
       "  load LOG1 LOG2 [PATTERN...]\n"
       "options:\n"
       "  --host H --tenant NAME --deadline-ms F --max-expansions N\n"
-      "  --partial-penalty F --method auto|exact|heuristic\n"
+      "  --partial-penalty F --method auto|exact|heuristic|parallel\n"
+      "  --search-threads N (method parallel)\n"
       "  --requests N --concurrency N (load)\n"
       "  --retries N --retry-overload --timeout-ms F\n";
   std::exit(code);
@@ -134,6 +136,8 @@ int main(int argc, char** argv) {
         spec.partial_penalty = std::stod(next("--partial-penalty"));
       } else if (arg == "--method") {
         spec.method = next("--method");
+      } else if (arg == "--search-threads") {
+        spec.search_threads = std::stoi(next("--search-threads"));
       } else if (arg == "--requests") {
         requests = std::stoi(next("--requests"));
       } else if (arg == "--concurrency") {
