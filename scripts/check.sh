@@ -264,6 +264,15 @@ print(f"ok: {doc['served']}/{doc['workload']['requests']} served, "
 EOF
 fi
 
+# Bench trajectory: append this run's headline numbers to
+# bench/history.jsonl and fail on a >30% regression against the
+# committed baselines (override via HEMATCH_BENCH_TOLERANCE for noisy
+# machines). Only gates the benches that actually ran above.
+if compgen -G "$tmp/BENCH_*.json" > /dev/null; then
+  echo "== bench history"
+  python3 scripts/bench_history.py --bench-dir "$tmp" --label check
+fi
+
 # Serve fault drill: a real hematch_serve process with injected crashes
 # must answer every request (ok-degraded or INTERNAL, never a hang or
 # dropped connection), then drain cleanly on SIGTERM with a final
@@ -333,6 +342,170 @@ assert counters.get("serve.connections", 0) >= 6, serve
 print(f"ok: drained on SIGTERM, final snapshot has "
       f"{len(serve)} serve counters")
 EOF
+
+# Request-scoped observability drill (docs/OBSERVABILITY.md): a live
+# server with trace sampling, a structured access log, and a Prometheus
+# endpoint under mixed load. Then: recover one request's span tree from
+# the trace ring by request id, scrape the endpoint and validate the
+# exposition format, and check the sampler kept roughly the configured
+# fraction while force-capturing every degraded request.
+echo "== serve observability drill"
+"$BUILD_DIR/tools/hematch_serve" --port=0 --workers=2 \
+  --port-file="$tmp/obs.port" \
+  --trace-dir="$tmp/obs_traces" --trace-sample-rate=0.5 \
+  --access-log="$tmp/obs_access.jsonl" \
+  --metrics-port=0 --metrics-port-file="$tmp/obs.mport" \
+  > "$tmp/obs_serve.out" 2>&1 &
+OBS_PID=$!
+for _ in $(seq 1 50); do
+  [[ -s "$tmp/obs.port" && -s "$tmp/obs.mport" ]] && break
+  sleep 0.1
+done
+[[ -s "$tmp/obs.port" && -s "$tmp/obs.mport" ]] || {
+  echo "obs server never wrote its ports"; exit 1; }
+OBS_PORT="$(cat "$tmp/obs.port")"
+OBS_MPORT="$(cat "$tmp/obs.mport")"
+
+"$BUILD_DIR/tools/hematch_client" --port="$OBS_PORT" \
+  register log_a data/dept_a.tr > /dev/null
+"$BUILD_DIR/tools/hematch_client" --port="$OBS_PORT" \
+  register log_b data/dept_b.csv > /dev/null
+# Mixed load: 40 clean matches (the sampling population), 4 that budget
+# out on a one-expansion cap (degraded, so force-captured), one tagged
+# with a correlation id.
+"$BUILD_DIR/tools/hematch_client" --port="$OBS_PORT" \
+  load log_a log_b --requests=40 --concurrency=4 > "$tmp/obs_load.out"
+"$BUILD_DIR/tools/hematch_client" --port="$OBS_PORT" --max-expansions=1 \
+  load log_a log_b --requests=4 --concurrency=2 > /dev/null
+"$BUILD_DIR/tools/hematch_client" --port="$OBS_PORT" \
+  --correlation-id=obs-drill match log_a log_b > "$tmp/obs_match.json"
+grep -q '"correlation_id":"obs-drill"' "$tmp/obs_match.json"
+
+python3 - "$tmp/obs_access.jsonl" <<'EOF' > "$tmp/obs_pick"
+import json
+import os
+import sys
+
+entries = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        entry = json.loads(line)
+        assert entry["schema"] == "hematch.access.v1", entry
+        entries.append(entry)
+
+ids = [e["request_id"] for e in entries]
+assert len(ids) == len(set(ids)), "request ids are not unique"
+tagged = [e for e in entries
+          if e["op"] == "match" and e["correlation_id"] == "obs-drill"]
+assert len(tagged) == 1, f"{len(tagged)} entries carry the correlation id"
+
+matches = [e for e in entries
+           if e["op"] == "match" and e["admission"] == "admitted"]
+clean = [m for m in matches if m["ok"] and m["termination"] == "completed"]
+degraded = [m for m in matches
+            if not m["ok"] or m["termination"] != "completed"]
+
+# Force capture: every degraded request has a trace on disk.
+assert len(degraded) >= 4, f"only {len(degraded)} degraded requests"
+for m in degraded:
+    assert m["sampled"] and m["trace_file"], m
+    assert os.path.exists(m["trace_file"]), m["trace_file"]
+
+# Sampling: ~half the clean requests kept (rate 0.5; the bound is
+# > 4 sigma for n = 41, deterministic in the server-assigned ids).
+sampled = [m for m in clean if m["sampled"]]
+fraction = len(sampled) / len(clean)
+assert 0.15 <= fraction <= 0.85, (
+    f"sampling rate 0.5 produced {len(sampled)}/{len(clean)}")
+for m in sampled:
+    assert m["trace_file"] and os.path.exists(m["trace_file"]), m
+
+pick = sampled[0] if sampled else degraded[0]
+print(pick["request_id"], pick["trace_file"])
+print(f"ok: access log parsed ({len(entries)} entries), "
+      f"{len(sampled)}/{len(clean)} clean sampled, "
+      f"{len(degraded)} degraded force-captured", file=sys.stderr)
+EOF
+read -r OBS_REQ OBS_TRACE < "$tmp/obs_pick"
+
+"$BUILD_DIR/tools/hematch_trace" --request "$OBS_REQ" "$OBS_TRACE" \
+  > "$tmp/obs_tree.txt"
+grep -q "serve.request" "$tmp/obs_tree.txt"
+grep -Eq "match\.|pipeline\." "$tmp/obs_tree.txt"
+echo "ok: recovered request $OBS_REQ span tree from the trace ring"
+
+# Scrape the live endpoint and validate the exposition text: metric
+# name charset, monotone cumulative buckets with a +Inf bucket equal
+# to _count, and the windowed p99 / shed-rate series.
+python3 - "$OBS_MPORT" <<'EOF'
+import re
+import sys
+import urllib.request
+
+with urllib.request.urlopen(
+        f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    assert resp.headers["Content-Type"].startswith("text/plain"), (
+        resp.headers["Content-Type"])
+    text = resp.read().decode()
+
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+samples = {}   # name -> value (last wins; no duplicates expected)
+buckets = {}   # base -> list of (le, count) in document order
+histograms = set()
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("#"):
+        parts = line.split()
+        assert parts[:2] == ["#", "TYPE"] and len(parts) == 4, line
+        assert NAME.match(parts[2]), line
+        if parts[3] == "histogram":
+            histograms.add(parts[2])
+        continue
+    m = SAMPLE.match(line)
+    assert m, f"unparseable sample line: {line!r}"
+    name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+    assert name.startswith("hematch_"), name
+    if name.endswith("_bucket"):
+        le = re.match(r'^\{le="([^"]+)"\}$', labels)
+        assert le, line
+        bound = float("inf") if le.group(1) == "+Inf" else float(le.group(1))
+        buckets.setdefault(name[:-len("_bucket")], []).append(
+            (bound, int(value)))
+    else:
+        assert not labels, f"unexpected labels: {line!r}"
+        samples[name] = float(value)
+
+assert histograms, "no histogram series"
+for base in histograms:
+    series = buckets.get(base)
+    assert series, f"{base}: TYPE histogram but no _bucket samples"
+    les = [le for le, _ in series]
+    counts = [c for _, c in series]
+    assert les == sorted(les), f"{base}: le not ascending"
+    assert counts == sorted(counts), f"{base}: buckets not cumulative"
+    assert les[-1] == float("inf"), f"{base}: missing +Inf bucket"
+    assert samples[base + "_count"] == counts[-1], (
+        f"{base}: _count {samples[base + '_count']} != +Inf {counts[-1]}")
+    assert base + "_sum" in samples, f"{base}: missing _sum"
+
+assert samples.get("hematch_serve_completed_w60_total", 0) > 0
+p99 = samples["hematch_serve_latency_ms_w60_p99"]
+assert p99 > 0, "windowed p99 is zero after a 40-request load"
+shed_rate = samples["hematch_serve_shed_rate_w60"]
+assert 0.0 <= shed_rate <= 1.0, shed_rate
+assert "hematch_serve_latency_ms_w60" in histograms
+print(f"ok: exposition valid ({len(samples)} samples, "
+      f"{len(histograms)} histograms), windowed p99 {p99:.2f} ms, "
+      f"shed rate {shed_rate:.2f}")
+EOF
+
+"$BUILD_DIR/tools/hematch_client" --port="$OBS_PORT" drain > /dev/null
+if wait "$OBS_PID"; then OBS_EXIT=0; else OBS_EXIT=$?; fi
+[[ "$OBS_EXIT" -eq 0 ]] || { echo "obs serve exit $OBS_EXIT"; exit 1; }
+echo "ok: observability drill drained cleanly"
 
 # Noise-drill smoke: the CLI must survive a corrupted input end to end —
 # reproducible via --seed, salvaging the dirty CSV, matching under the

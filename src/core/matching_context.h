@@ -148,6 +148,16 @@ class MatchingContext {
     eval2_->set_trace_recorder(recorder);
   }
 
+  /// Sets only this context's recorder, leaving the shared frequency
+  /// evaluators pointed wherever they were. For per-request recorders
+  /// on sibling contexts: the evaluators are shared across concurrent
+  /// requests, so re-pointing them would cross-wire timelines. Scan
+  /// events for such requests are picked up through the thread-local
+  /// ambient recorder instead (obs::AmbientTraceScope).
+  void set_local_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_recorder_ = recorder;
+  }
+
   /// The execution governor every matcher run on this context polls.
   /// Disarmed by default (never trips); see `ArmBudget`.
   exec::ExecutionGovernor& governor() { return *governor_; }

@@ -210,8 +210,14 @@ std::size_t FrequencyEvaluator::Support(const Pattern& pattern) {
 
   // Cache hits never reach here, so each instant marks one real scan —
   // coarse enough to keep tracing overhead off the memoized fast path.
-  if (obs::TraceRecorder* recorder =
-          trace_recorder_.load(std::memory_order_acquire)) {
+  // The thread-local ambient recorder wins over the installed one: a
+  // per-request recorder (serve sampling) is installed ambiently for
+  // the request's thread, while the evaluator itself stays shared.
+  obs::TraceRecorder* recorder = obs::AmbientTraceRecorder();
+  if (recorder == nullptr) {
+    recorder = trace_recorder_.load(std::memory_order_acquire);
+  }
+  if (recorder != nullptr) {
     recorder->RecordInstant(
         "freq.scan", "freq",
         {{"path", static_cast<double>(path_code)},

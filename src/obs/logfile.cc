@@ -1,0 +1,54 @@
+#include "obs/logfile.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace hematch::obs {
+
+RotatingLineFile::RotatingLineFile(std::string path, std::int64_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes) {
+  std::error_code ec;
+  const auto existing = std::filesystem::file_size(path_, ec);
+  if (!ec) {
+    bytes_ = static_cast<std::int64_t>(existing);
+  }
+  out_.open(path_, std::ios::app);
+}
+
+bool RotatingLineFile::ok() const { return out_.is_open(); }
+
+Status RotatingLineFile::RotateLocked() {
+  out_.close();
+  // rename() replaces an existing target atomically on POSIX, so the
+  // previous `.1` generation is dropped in the same step.
+  if (std::rename(path_.c_str(), rotated_path().c_str()) != 0) {
+    return Status::Internal("log rotation failed for " + path_);
+  }
+  out_.open(path_, std::ios::trunc);
+  bytes_ = 0;
+  if (!out_) {
+    return Status::Internal("cannot reopen log file " + path_);
+  }
+  return Status::OK();
+}
+
+Status RotatingLineFile::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) {
+    return Status::InvalidArgument("log file not open: " + path_);
+  }
+  const std::int64_t incoming = static_cast<std::int64_t>(line.size()) + 1;
+  if (max_bytes_ > 0 && bytes_ > 0 && bytes_ + incoming > max_bytes_) {
+    HEMATCH_RETURN_IF_ERROR(RotateLocked());
+  }
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    return Status::Internal("failed writing log file " + path_);
+  }
+  bytes_ += incoming;
+  return Status::OK();
+}
+
+}  // namespace hematch::obs

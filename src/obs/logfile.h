@@ -1,0 +1,57 @@
+#ifndef HEMATCH_OBS_LOGFILE_H_
+#define HEMATCH_OBS_LOGFILE_H_
+
+/// \file
+/// A size-rotated line-oriented log file for JSONL streams (access logs,
+/// heartbeats). One active file at `path`; when appending a line would
+/// push it past `max_bytes`, the current file is renamed to `path.1`
+/// (replacing any previous `path.1`) and a fresh file is started. Two
+/// generations bound disk usage at ~2x `max_bytes` without a cleaner
+/// thread.
+///
+/// Thread-safe: writes serialize on an internal mutex and each line is
+/// appended with a single flush, so concurrent writers never interleave
+/// within a line.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace hematch::obs {
+
+class RotatingLineFile {
+ public:
+  /// Opens (appending) `path`. `max_bytes <= 0` disables rotation.
+  RotatingLineFile(std::string path, std::int64_t max_bytes);
+
+  RotatingLineFile(const RotatingLineFile&) = delete;
+  RotatingLineFile& operator=(const RotatingLineFile&) = delete;
+
+  /// True when the file opened successfully.
+  bool ok() const;
+
+  /// Appends `line` plus a trailing newline, rotating first if the
+  /// write would exceed `max_bytes`.
+  Status WriteLine(const std::string& line);
+
+  const std::string& path() const { return path_; }
+
+  /// The rotated-generation path (`path.1`).
+  std::string rotated_path() const { return path_ + ".1"; }
+
+ private:
+  Status RotateLocked();
+
+  std::string path_;
+  std::int64_t max_bytes_;
+  std::mutex mu_;
+  std::ofstream out_;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_LOGFILE_H_

@@ -475,40 +475,62 @@ Result<TelemetrySnapshot> TelemetryFromJson(std::string_view json) {
 }
 
 std::string TelemetryToHeartbeatLine(const TelemetrySnapshot& snapshot,
-                                     std::uint64_t seq, double elapsed_ms) {
+                                     std::uint64_t seq, double elapsed_ms,
+                                     const TelemetrySnapshot* windowed) {
   std::string out;
   out += "{\"schema\":\"hematch.heartbeat.v1\",\"seq\":" +
          std::to_string(seq) + ",\"elapsed_ms\":" + JsonNumber(elapsed_ms);
   out += ",\"counters\":{";
   bool first = true;
-  for (const auto& [name, value] : snapshot.counters) {
-    if (!first) {
-      out += ',';
+  auto emit_counters = [&](const TelemetrySnapshot& s,
+                           const std::string& suffix) {
+    for (const auto& [name, value] : s.counters) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"' + JsonEscape(name + suffix) + "\":" + std::to_string(value);
     }
-    first = false;
-    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  };
+  emit_counters(snapshot, "");
+  if (windowed != nullptr) {
+    emit_counters(*windowed, "_w60");
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, value] : snapshot.gauges) {
-    if (!first) {
-      out += ',';
+  auto emit_gauges = [&](const TelemetrySnapshot& s,
+                         const std::string& suffix) {
+    for (const auto& [name, value] : s.gauges) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"' + JsonEscape(name + suffix) + "\":" + JsonNumber(value);
     }
-    first = false;
-    out += '"' + JsonEscape(name) + "\":" + JsonNumber(value);
+  };
+  emit_gauges(snapshot, "");
+  if (windowed != nullptr) {
+    emit_gauges(*windowed, "_w60");
   }
   out += "},\"percentiles\":{";
   first = true;
-  for (const auto& [name, h] : snapshot.histograms) {
-    if (!first) {
-      out += ',';
+  auto emit_percentiles = [&](const TelemetrySnapshot& s,
+                              const std::string& suffix) {
+    for (const auto& [name, h] : s.histograms) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"' + JsonEscape(name + suffix) + "\":{\"count\":" +
+             std::to_string(h.total_count()) +
+             ",\"p50\":" + JsonNumber(h.Percentile(0.50)) +
+             ",\"p95\":" + JsonNumber(h.Percentile(0.95)) +
+             ",\"p99\":" + JsonNumber(h.Percentile(0.99)) + '}';
     }
-    first = false;
-    out += '"' + JsonEscape(name) + "\":{\"count\":" +
-           std::to_string(h.total_count()) +
-           ",\"p50\":" + JsonNumber(h.Percentile(0.50)) +
-           ",\"p95\":" + JsonNumber(h.Percentile(0.95)) +
-           ",\"p99\":" + JsonNumber(h.Percentile(0.99)) + '}';
+  };
+  emit_percentiles(snapshot, "");
+  if (windowed != nullptr) {
+    emit_percentiles(*windowed, "_w60");
   }
   out += "}}";
   return out;

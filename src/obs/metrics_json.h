@@ -49,8 +49,15 @@ Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,
 ///
 /// Histograms are reduced to their percentile views to keep lines
 /// short; the final full snapshot still carries the buckets.
+///
+/// When `windowed` is non-null its entries are folded into the same
+/// maps with a `_w60` suffix (e.g. `serve.latency_ms_w60`), so a
+/// long-running server reports trailing-window percentiles alongside
+/// the frozen lifetime ones.
 std::string TelemetryToHeartbeatLine(const TelemetrySnapshot& snapshot,
-                                     std::uint64_t seq, double elapsed_ms);
+                                     std::uint64_t seq, double elapsed_ms,
+                                     const TelemetrySnapshot* windowed =
+                                         nullptr);
 
 /// JSON string escaping for the small exporter surface (quotes,
 /// backslashes, control characters).

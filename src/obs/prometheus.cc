@@ -1,0 +1,100 @@
+#include "obs/prometheus.h"
+
+#include <cstdint>
+
+#include "obs/metrics_json.h"
+
+namespace hematch::obs {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStartChar(c) || (c >= '0' && c <= '9'); }
+
+void AppendSample(std::string& out, const std::string& name,
+                  const std::string& labels, const std::string& value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void EmitCounter(std::string& out, const std::string& name,
+                 std::uint64_t value) {
+  out += "# TYPE " + name + "_total counter\n";
+  AppendSample(out, name + "_total", "", std::to_string(value));
+}
+
+void EmitGauge(std::string& out, const std::string& name, double value) {
+  out += "# TYPE " + name + " gauge\n";
+  AppendSample(out, name, "", JsonNumber(value));
+}
+
+void EmitHistogram(std::string& out, const std::string& name,
+                   const HistogramSnapshot& h) {
+  out += "# TYPE " + name + " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+    if (b < h.counts.size()) {
+      cumulative += h.counts[b];
+    }
+    AppendSample(out, name + "_bucket",
+                 "{le=\"" + JsonNumber(h.bounds[b]) + "\"}",
+                 std::to_string(cumulative));
+  }
+  if (h.bounds.size() < h.counts.size()) {
+    for (std::size_t b = h.bounds.size(); b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+    }
+  }
+  AppendSample(out, name + "_bucket", "{le=\"+Inf\"}",
+               std::to_string(cumulative));
+  AppendSample(out, name + "_sum", "", JsonNumber(h.sum));
+  AppendSample(out, name + "_count", "", std::to_string(cumulative));
+}
+
+void EmitSnapshot(std::string& out, const TelemetrySnapshot& snapshot,
+                  const std::string& suffix, bool percentile_gauges) {
+  for (const auto& [name, value] : snapshot.counters) {
+    EmitCounter(out, PrometheusMetricName(name + suffix), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    EmitGauge(out, PrometheusMetricName(name + suffix), value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string base = PrometheusMetricName(name + suffix);
+    EmitHistogram(out, base, h);
+    if (percentile_gauges) {
+      EmitGauge(out, base + "_p50", h.Percentile(0.50));
+      EmitGauge(out, base + "_p95", h.Percentile(0.95));
+      EmitGauge(out, base + "_p99", h.Percentile(0.99));
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "hematch_";
+  for (char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string TelemetryToPrometheusText(const TelemetrySnapshot& cumulative,
+                                      const TelemetrySnapshot* windowed) {
+  std::string out;
+  EmitSnapshot(out, cumulative, "", /*percentile_gauges=*/false);
+  if (windowed != nullptr) {
+    EmitSnapshot(out, *windowed, "_w60", /*percentile_gauges=*/true);
+  }
+  return out;
+}
+
+}  // namespace hematch::obs

@@ -1,0 +1,41 @@
+#ifndef HEMATCH_OBS_PROMETHEUS_H_
+#define HEMATCH_OBS_PROMETHEUS_H_
+
+/// \file
+/// Prometheus text exposition (format 0.0.4) of telemetry snapshots, so
+/// standard scrapers can pull serve metrics without a sidecar.
+///
+/// Mapping:
+///   - metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots and
+///     other punctuation become underscores) and prefixed `hematch_`;
+///   - counters render as `# TYPE ... counter` with a `_total` suffix;
+///   - gauges render as `# TYPE ... gauge`;
+///   - histograms render the full cumulative bucket series
+///     (`_bucket{le="..."}` ascending, a final `le="+Inf"` bucket equal
+///     to `_count`, plus `_sum` and `_count`).
+///
+/// When a windowed snapshot is supplied its series get a `_w60` infix
+/// (before any `_total`/`_bucket` suffix), and each windowed histogram
+/// additionally exports interpolated `_w60_p50/_p95/_p99` gauges so
+/// trailing-window percentiles are scrapeable directly.
+
+#include <string>
+
+#include "obs/telemetry.h"
+
+namespace hematch::obs {
+
+/// Sanitizes `name` into the Prometheus metric-name charset and applies
+/// the `hematch_` prefix. Exposed for tests.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Renders `cumulative` (and optionally `windowed`) as Prometheus text
+/// exposition. The result ends with a newline and is safe to serve as
+/// `text/plain; version=0.0.4`.
+std::string TelemetryToPrometheusText(const TelemetrySnapshot& cumulative,
+                                      const TelemetrySnapshot* windowed =
+                                          nullptr);
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_PROMETHEUS_H_

@@ -526,4 +526,138 @@ std::string FormatTraceReport(const TraceReport& report, std::size_t top_n) {
   return out;
 }
 
+ParsedTrace FilterTraceByRequest(const ParsedTrace& trace,
+                                 std::uint64_t request_id) {
+  // Seed: spans whose args tag them with this request id.
+  std::unordered_map<SpanId, bool> keep;  // span id -> kept
+  const double want = static_cast<double>(request_id);
+  for (const TraceEvent& event : trace.events) {
+    if (event.kind != TraceEventKind::kSpan) {
+      continue;
+    }
+    for (const TraceArg& arg : event.args) {
+      if (arg.key == "request_id" && arg.value == want) {
+        keep[event.id] = true;
+        break;
+      }
+    }
+  }
+
+  // Expand to transitive descendants. Parent ids are assigned before
+  // child ids but events are stored per thread, so a single pass in
+  // file order can miss cross-thread chains — iterate to fixpoint.
+  bool grew = !keep.empty();
+  while (grew) {
+    grew = false;
+    for (const TraceEvent& event : trace.events) {
+      if (event.kind != TraceEventKind::kSpan || keep.count(event.id) != 0) {
+        continue;
+      }
+      if (event.parent != 0 && keep.count(event.parent) != 0) {
+        keep[event.id] = true;
+        grew = true;
+      }
+    }
+  }
+
+  ParsedTrace filtered;
+  filtered.dropped_events = trace.dropped_events;
+  for (const TraceEvent& event : trace.events) {
+    if (event.kind == TraceEventKind::kSpan) {
+      if (keep.count(event.id) != 0) {
+        filtered.events.push_back(event);
+      }
+      continue;
+    }
+    // Instants/counters carry no span id; attribute them to the
+    // request when they fall inside a kept span's interval on the same
+    // thread (how `freq.scan` markers land inside matcher spans).
+    for (const TraceEvent& span : trace.events) {
+      if (span.kind != TraceEventKind::kSpan || keep.count(span.id) == 0 ||
+          span.tid != event.tid) {
+        continue;
+      }
+      if (event.ts_us >= span.ts_us &&
+          event.ts_us <= span.ts_us + span.dur_us) {
+        filtered.events.push_back(event);
+        break;
+      }
+    }
+  }
+  for (const TraceEvent& event : filtered.events) {
+    auto name = trace.thread_names.find(event.tid);
+    if (name != trace.thread_names.end()) {
+      filtered.thread_names.emplace(name->first, name->second);
+    }
+  }
+  return filtered;
+}
+
+std::string FormatSpanTree(const ParsedTrace& trace) {
+  std::vector<const TraceEvent*> spans;
+  for (const TraceEvent& event : trace.events) {
+    if (event.kind == TraceEventKind::kSpan) {
+      spans.push_back(&event);
+    }
+  }
+  if (spans.empty()) {
+    return "(no spans)\n";
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->ts_us != b->ts_us) {
+                return a->ts_us < b->ts_us;
+              }
+              return a->id < b->id;
+            });
+  const double origin = spans.front()->ts_us;
+
+  std::unordered_map<SpanId, std::vector<const TraceEvent*>> children;
+  std::unordered_map<SpanId, const TraceEvent*> by_id;
+  for (const TraceEvent* span : spans) {
+    by_id.emplace(span->id, span);
+  }
+  std::vector<const TraceEvent*> roots;
+  for (const TraceEvent* span : spans) {  // Sorted, so sibling lists are too.
+    if (span->parent != 0 && by_id.count(span->parent) != 0) {
+      children[span->parent].push_back(span);
+    } else {
+      roots.push_back(span);  // True root, or parent filtered away.
+    }
+  }
+
+  std::string out;
+  // Iterative DFS; a stack of (span, depth) with children pushed in
+  // reverse start order so they pop earliest-first.
+  std::vector<std::pair<const TraceEvent*, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [span, depth] = stack.back();
+    stack.pop_back();
+    out += FormatRow("%10.3f ms %+10.3f ms  ", (span->ts_us - origin) / 1000.0,
+                     span->dur_us / 1000.0);
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += span->name;
+    for (const TraceArg& arg : span->args) {
+      out += FormatRow("  %s=%g", arg.key.c_str(), arg.value);
+    }
+    auto name = trace.thread_names.find(span->tid);
+    if (name != trace.thread_names.end()) {
+      out += FormatRow("  [%s]", name->second.c_str());
+    } else {
+      out += FormatRow("  [tid %u]", span->tid);
+    }
+    out += '\n';
+    auto kids = children.find(span->id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.emplace_back(*it, depth + 1);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace hematch::obs

@@ -110,6 +110,23 @@ TraceReport AnalyzeTrace(const ParsedTrace& trace);
 std::string FormatTraceReport(const TraceReport& report,
                               std::size_t top_n = 15);
 
+/// Keeps the spans belonging to one served request: every span carrying
+/// a `request_id` arg equal to `request_id`, plus all their transitive
+/// descendants (via parent links), plus instants/counters that fall
+/// inside any kept span's interval on the same thread. Thread names and
+/// the dropped-event count carry over. An id nobody carries yields an
+/// empty event list — callers should treat that as "request not in this
+/// trace".
+ParsedTrace FilterTraceByRequest(const ParsedTrace& trace,
+                                 std::uint64_t request_id);
+
+/// Renders the request's spans as an indented tree (children under
+/// parents, siblings in start order), one line per span with start
+/// offset and duration — the drill-down view for
+/// `hematch_trace --request`. Orphaned spans (parent outside the
+/// filtered set) root the tree alongside true roots.
+std::string FormatSpanTree(const ParsedTrace& trace);
+
 }  // namespace hematch::obs
 
 #endif  // HEMATCH_OBS_TRACE_ANALYSIS_H_

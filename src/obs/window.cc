@@ -1,0 +1,121 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+namespace hematch::obs {
+
+namespace {
+
+std::int64_t SliceIndexFor(std::chrono::steady_clock::time_point start,
+                           double slice_ms,
+                           std::chrono::steady_clock::time_point now) {
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(now - start).count();
+  if (elapsed_ms <= 0.0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>(elapsed_ms / slice_ms);
+}
+
+}  // namespace
+
+WindowedCounter::WindowedCounter(WindowOptions options, TimePoint start)
+    : options_(options), start_(start) {
+  options_.slices = std::max(1, options_.slices);
+  options_.window_ms = std::max(1.0, options_.window_ms);
+  slice_ms_ = options_.window_ms / options_.slices;
+  slices_.assign(static_cast<std::size_t>(options_.slices), 0);
+}
+
+void WindowedCounter::RotateLocked(TimePoint now) const {
+  const std::int64_t target = SliceIndexFor(start_, slice_ms_, now);
+  if (target <= current_index_) {
+    return;  // Same slice, or a clock observed out of order: no-op.
+  }
+  const std::int64_t steps =
+      std::min<std::int64_t>(target - current_index_, options_.slices);
+  for (std::int64_t s = 1; s <= steps; ++s) {
+    slices_[static_cast<std::size_t>((current_index_ + s) % options_.slices)] =
+        0;
+  }
+  current_index_ = target;
+}
+
+void WindowedCounter::Add(std::uint64_t n, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  slices_[static_cast<std::size_t>(current_index_ % options_.slices)] += n;
+}
+
+std::uint64_t WindowedCounter::WindowTotal(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  std::uint64_t total = 0;
+  for (std::uint64_t v : slices_) {
+    total += v;
+  }
+  return total;
+}
+
+double WindowedCounter::WindowRatePerSec(TimePoint now) const {
+  return static_cast<double>(WindowTotal(now)) /
+         (options_.window_ms / 1000.0);
+}
+
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds,
+                                     WindowOptions options, TimePoint start)
+    : bounds_(std::move(bounds)), options_(options), start_(start) {
+  options_.slices = std::max(1, options_.slices);
+  options_.window_ms = std::max(1.0, options_.window_ms);
+  slice_ms_ = options_.window_ms / options_.slices;
+  slices_.resize(static_cast<std::size_t>(options_.slices));
+  for (Slice& slice : slices_) {
+    slice.counts.assign(bounds_.size() + 1, 0);
+  }
+}
+
+void WindowedHistogram::RotateLocked(TimePoint now) const {
+  const std::int64_t target = SliceIndexFor(start_, slice_ms_, now);
+  if (target <= current_index_) {
+    return;
+  }
+  const std::int64_t steps =
+      std::min<std::int64_t>(target - current_index_, options_.slices);
+  for (std::int64_t s = 1; s <= steps; ++s) {
+    Slice& slice = slices_[static_cast<std::size_t>((current_index_ + s) %
+                                                    options_.slices)];
+    std::fill(slice.counts.begin(), slice.counts.end(), 0);
+    slice.sum = 0.0;
+  }
+  current_index_ = target;
+}
+
+void WindowedHistogram::Observe(double v, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  Slice& slice =
+      slices_[static_cast<std::size_t>(current_index_ % options_.slices)];
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) {
+    ++b;
+  }
+  ++slice.counts[b];
+  slice.sum += v;
+}
+
+HistogramSnapshot WindowedHistogram::WindowSnapshot(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RotateLocked(now);
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const Slice& slice : slices_) {
+    for (std::size_t b = 0; b < slice.counts.size(); ++b) {
+      out.counts[b] += slice.counts[b];
+    }
+    out.sum += slice.sum;
+  }
+  return out;
+}
+
+}  // namespace hematch::obs

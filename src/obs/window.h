@@ -1,0 +1,134 @@
+#ifndef HEMATCH_OBS_WINDOW_H_
+#define HEMATCH_OBS_WINDOW_H_
+
+/// \file
+/// Windowed metric aggregation: "what is p99 *right now*", not "since
+/// process start".
+///
+/// The cumulative primitives in obs/metrics.h are the right shape for a
+/// single run, but a long-lived server's lifetime histogram freezes —
+/// after a day of traffic, an hour of bad latency barely moves the
+/// cumulative p99. `WindowedCounter` and `WindowedHistogram` fix that
+/// with the standard rotating-bucket construction: the window is split
+/// into `slices` equal time slices, each slice accumulates its own
+/// cumulative cells, and a read merges the slices that fall inside the
+/// window. Rotation happens lazily on write *and* read, so an idle
+/// stretch correctly decays to zero without a timer thread.
+///
+/// The merged view covers between `(slices-1)/slices` and a full
+/// window's worth of wall-clock (the current slice is partial) — the
+/// usual tradeoff; more slices mean a smoother edge. All operations
+/// take an explicit `now` so tests can drive the clock; the defaulted
+/// overloads read the steady clock.
+///
+/// Thread-safety: a mutex per instance. These sit on request
+/// boundaries (one observe per served request), never in matcher inner
+/// loops, so a lock per event is fine — and rotation makes lock-free
+/// cells much less attractive than in the cumulative primitives.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace hematch::obs {
+
+/// Shape of one rotating window.
+struct WindowOptions {
+  /// Total window span. The merged read covers roughly the trailing
+  /// `window_ms` (the current slice is partial).
+  double window_ms = 60000.0;
+  /// Number of rotating slices; more slices = finer expiry granularity.
+  int slices = 6;
+};
+
+/// Event count over a trailing window.
+class WindowedCounter {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit WindowedCounter(WindowOptions options = {},
+                           TimePoint start = std::chrono::steady_clock::now());
+
+  WindowedCounter(const WindowedCounter&) = delete;
+  WindowedCounter& operator=(const WindowedCounter&) = delete;
+
+  void Add(std::uint64_t n, TimePoint now);
+  void Add(std::uint64_t n = 1) { Add(n, std::chrono::steady_clock::now()); }
+
+  /// Events in the trailing window.
+  std::uint64_t WindowTotal(TimePoint now) const;
+  std::uint64_t WindowTotal() const {
+    return WindowTotal(std::chrono::steady_clock::now());
+  }
+
+  /// Events per second over the window span.
+  double WindowRatePerSec(TimePoint now) const;
+  double WindowRatePerSec() const {
+    return WindowRatePerSec(std::chrono::steady_clock::now());
+  }
+
+  double window_ms() const { return options_.window_ms; }
+
+ private:
+  /// Advances the ring so `now` falls in the current slice, zeroing
+  /// slices skipped over. Caller holds `mu_`.
+  void RotateLocked(TimePoint now) const;
+
+  WindowOptions options_;
+  TimePoint start_;
+  double slice_ms_;
+  mutable std::mutex mu_;
+  mutable std::vector<std::uint64_t> slices_;
+  mutable std::int64_t current_index_ = 0;  ///< Absolute slice number.
+};
+
+/// Fixed-bucket histogram over a trailing window. Bucket layout matches
+/// obs::Histogram (inclusive upper edges + one overflow bucket), and the
+/// merged read comes back as a `HistogramSnapshot`, so the existing
+/// percentile interpolation and exporters apply unchanged.
+class WindowedHistogram {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit WindowedHistogram(
+      std::vector<double> bounds, WindowOptions options = {},
+      TimePoint start = std::chrono::steady_clock::now());
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Observe(double v, TimePoint now);
+  void Observe(double v) { Observe(v, std::chrono::steady_clock::now()); }
+
+  /// Counts and sum merged over the trailing window.
+  HistogramSnapshot WindowSnapshot(TimePoint now) const;
+  HistogramSnapshot WindowSnapshot() const {
+    return WindowSnapshot(std::chrono::steady_clock::now());
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  double window_ms() const { return options_.window_ms; }
+
+ private:
+  struct Slice {
+    std::vector<std::uint64_t> counts;
+    double sum = 0.0;
+  };
+
+  void RotateLocked(TimePoint now) const;
+
+  std::vector<double> bounds_;
+  WindowOptions options_;
+  TimePoint start_;
+  double slice_ms_;
+  mutable std::mutex mu_;
+  mutable std::vector<Slice> slices_;
+  mutable std::int64_t current_index_ = 0;
+};
+
+}  // namespace hematch::obs
+
+#endif  // HEMATCH_OBS_WINDOW_H_

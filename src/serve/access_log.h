@@ -1,0 +1,79 @@
+#ifndef HEMATCH_SERVE_ACCESS_LOG_H_
+#define HEMATCH_SERVE_ACCESS_LOG_H_
+
+/// \file
+/// The structured access log: one `hematch.access.v1` JSON line per
+/// request the server answered, written to a size-rotated JSONL file.
+/// This is the "what happened to *this* request" record — request and
+/// correlation ids, admission verdict, shed level, queue wait, run
+/// time, termination reason, objective bounds, bytes moved, and (when
+/// the request's trace was sampled) the trace file it landed in.
+///
+/// `FormatAccessLogEntry`/`ParseAccessLogLine` round-trip, and the
+/// round-trip is pinned by tests so external consumers can rely on the
+/// schema.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/logfile.h"
+
+namespace hematch::serve {
+
+inline constexpr std::string_view kAccessLogSchema = "hematch.access.v1";
+
+/// One served request, as recorded after its response was written.
+struct AccessLogEntry {
+  double ts_ms = 0.0;            ///< Milliseconds since server start.
+  std::uint64_t request_id = 0;  ///< Server-assigned, unique per line.
+  std::string correlation_id;    ///< Client-supplied; may be empty.
+  std::string op;                ///< Protocol verb ("match", "ping", ...).
+  std::string tenant;            ///< Fair-share key (match only).
+  std::string method;            ///< Requested method (match only).
+  /// "admitted" | "rejected_depth" | "rejected_backlog" | "draining" |
+  /// "inline" (ops answered without queueing).
+  std::string admission = "inline";
+  int shed_level = 0;
+  double queue_ms = 0.0;
+  double run_ms = 0.0;          ///< Matcher wall-clock (match only).
+  double total_ms = 0.0;        ///< Parse-to-response-written.
+  std::string termination;      ///< Run termination reason (match only).
+  bool ok = false;              ///< Response `ok` flag.
+  std::string error_code;       ///< Machine-readable code when !ok.
+  double objective = 0.0;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  std::uint64_t bytes_in = 0;   ///< Request line length.
+  std::uint64_t bytes_out = 0;  ///< Response line length.
+  bool sampled = false;         ///< A per-request trace was written.
+  std::string trace_file;       ///< Path of that trace; empty otherwise.
+};
+
+/// Renders one entry as a single JSON line (no trailing newline).
+std::string FormatAccessLogEntry(const AccessLogEntry& entry);
+
+/// Parses a line produced by `FormatAccessLogEntry`; rejects lines with
+/// the wrong schema tag.
+Result<AccessLogEntry> ParseAccessLogLine(std::string_view line);
+
+/// Serializes entries to a `RotatingLineFile`. Thread-safe (the
+/// underlying file serializes writers).
+class AccessLog {
+ public:
+  /// Opens `path` for appending; rotates to `path.1` at `max_bytes`.
+  AccessLog(std::string path, std::int64_t max_bytes);
+
+  bool ok() const { return file_.ok(); }
+  const std::string& path() const { return file_.path(); }
+
+  Status Write(const AccessLogEntry& entry);
+
+ private:
+  obs::RotatingLineFile file_;
+};
+
+}  // namespace hematch::serve
+
+#endif  // HEMATCH_SERVE_ACCESS_LOG_H_

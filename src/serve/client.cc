@@ -197,7 +197,7 @@ Result<ServeResponse> ServeClient::Call(const std::string& request_line) {
 }
 
 Result<ServeResponse> ServeClient::Ping() {
-  return Call(BuildPingRequest(next_id_++));
+  return Call(BuildPingRequest(next_id_++, options_.correlation_id));
 }
 
 Result<ServeResponse> ServeClient::RegisterLog(const std::string& name,
@@ -214,19 +214,24 @@ Result<ServeResponse> ServeClient::RegisterLogText(const std::string& name,
   spec.name = name;
   spec.format = format;
   spec.content = content;
-  return Call(BuildRegisterLogRequest(next_id_++, spec));
+  return Call(BuildRegisterLogRequest(next_id_++, spec,
+                                      options_.correlation_id));
 }
 
 Result<ServeResponse> ServeClient::Match(const MatchRequestSpec& spec) {
-  return Call(BuildMatchRequest(next_id_++, spec));
+  return Call(BuildMatchRequest(next_id_++, spec, options_.correlation_id));
 }
 
 Result<ServeResponse> ServeClient::Stats() {
-  return Call(BuildStatsRequest(next_id_++));
+  return Call(BuildStatsRequest(next_id_++, options_.correlation_id));
 }
 
 Result<ServeResponse> ServeClient::Drain() {
-  return Call(BuildDrainRequest(next_id_++));
+  return Call(BuildDrainRequest(next_id_++, options_.correlation_id));
+}
+
+Result<ServeResponse> ServeClient::Metrics() {
+  return Call(BuildMetricsRequest(next_id_++, options_.correlation_id));
 }
 
 }  // namespace hematch::serve

@@ -40,6 +40,10 @@ struct ClientOptions {
   /// (or the backoff when absent). Off by default: under overload,
   /// backing off to the caller is usually the right default.
   bool retry_overload = false;
+  /// Opaque correlation id attached to every request this client
+  /// sends; the server echoes it in responses and its access log.
+  /// Empty = none.
+  std::string correlation_id;
 };
 
 class ServeClient {
@@ -72,6 +76,8 @@ class ServeClient {
   Result<ServeResponse> Match(const MatchRequestSpec& spec);
   Result<ServeResponse> Stats();
   Result<ServeResponse> Drain();
+  /// The Prometheus exposition text (response body key "exposition").
+  Result<ServeResponse> Metrics();
 
  private:
   Status SendLine(const std::string& line);

@@ -23,17 +23,27 @@ std::string Quoted(std::string_view text) {
 }
 
 /// Envelope opener shared by every request builder.
-void OpenRequest(std::ostringstream& os, std::uint64_t id,
-                 std::string_view op) {
+void OpenRequest(std::ostringstream& os, std::uint64_t id, std::string_view op,
+                 std::string_view correlation_id = {}) {
   os << "{\"schema\":" << Quoted(kServeSchema) << ",\"op\":" << Quoted(op)
      << ",\"id\":" << id;
+  if (!correlation_id.empty()) {
+    os << ",\"correlation_id\":" << Quoted(correlation_id);
+  }
 }
 
 /// Envelope opener shared by every response builder.
 void OpenResponse(std::ostringstream& os, std::uint64_t id,
-                  std::string_view op, bool ok) {
+                  std::string_view op, bool ok,
+                  const RequestContext& ctx = {}) {
   os << "{\"schema\":" << Quoted(kServeSchema) << ",\"id\":" << id
      << ",\"op\":" << Quoted(op) << ",\"ok\":" << (ok ? "true" : "false");
+  if (ctx.request_id != 0) {
+    os << ",\"request_id\":" << ctx.request_id;
+  }
+  if (!ctx.correlation_id.empty()) {
+    os << ",\"correlation_id\":" << Quoted(ctx.correlation_id);
+  }
 }
 
 const JsonValue* RequireField(const JsonValue& obj, std::string_view key) {
@@ -64,6 +74,8 @@ const char* RequestOpToString(RequestOp op) {
       return "stats";
     case RequestOp::kDrain:
       return "drain";
+    case RequestOp::kMetrics:
+      return "metrics";
   }
   return "unknown";
 }
@@ -101,6 +113,12 @@ Result<ServeRequest> ParseRequest(std::string_view line) {
       id->number >= 0) {
     req.id = static_cast<std::uint64_t>(id->number);
   }
+  if (const JsonValue* corr = doc.Find("correlation_id"); corr != nullptr) {
+    if (corr->kind != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("correlation_id must be a string");
+    }
+    req.correlation_id = corr->text;
+  }
 
   HEMATCH_ASSIGN_OR_RETURN(std::string op, RequireString(doc, "op"));
   if (op == "ping") {
@@ -113,6 +131,10 @@ Result<ServeRequest> ParseRequest(std::string_view line) {
   }
   if (op == "drain") {
     req.op = RequestOp::kDrain;
+    return req;
+  }
+  if (op == "metrics") {
+    req.op = RequestOp::kMetrics;
     return req;
   }
   if (op == "register_log") {
@@ -200,26 +222,29 @@ Result<ServeRequest> ParseRequest(std::string_view line) {
   return Status::InvalidArgument("unknown op '" + op + "'");
 }
 
-std::string BuildPingRequest(std::uint64_t id) {
+std::string BuildPingRequest(std::uint64_t id,
+                             std::string_view correlation_id) {
   std::ostringstream os;
-  OpenRequest(os, id, "ping");
+  OpenRequest(os, id, "ping", correlation_id);
   os << "}";
   return os.str();
 }
 
 std::string BuildRegisterLogRequest(std::uint64_t id,
-                                    const RegisterLogSpec& spec) {
+                                    const RegisterLogSpec& spec,
+                                    std::string_view correlation_id) {
   std::ostringstream os;
-  OpenRequest(os, id, "register_log");
+  OpenRequest(os, id, "register_log", correlation_id);
   os << ",\"name\":" << Quoted(spec.name)
      << ",\"format\":" << Quoted(spec.format)
      << ",\"content\":" << Quoted(spec.content) << "}";
   return os.str();
 }
 
-std::string BuildMatchRequest(std::uint64_t id, const MatchRequestSpec& spec) {
+std::string BuildMatchRequest(std::uint64_t id, const MatchRequestSpec& spec,
+                              std::string_view correlation_id) {
   std::ostringstream os;
-  OpenRequest(os, id, "match");
+  OpenRequest(os, id, "match", correlation_id);
   os << ",\"log1\":" << Quoted(spec.log1)
      << ",\"log2\":" << Quoted(spec.log2) << ",\"patterns\":[";
   for (std::size_t i = 0; i < spec.patterns.size(); ++i) {
@@ -245,23 +270,33 @@ std::string BuildMatchRequest(std::uint64_t id, const MatchRequestSpec& spec) {
   return os.str();
 }
 
-std::string BuildStatsRequest(std::uint64_t id) {
+std::string BuildStatsRequest(std::uint64_t id,
+                              std::string_view correlation_id) {
   std::ostringstream os;
-  OpenRequest(os, id, "stats");
+  OpenRequest(os, id, "stats", correlation_id);
   os << "}";
   return os.str();
 }
 
-std::string BuildDrainRequest(std::uint64_t id) {
+std::string BuildDrainRequest(std::uint64_t id,
+                              std::string_view correlation_id) {
   std::ostringstream os;
-  OpenRequest(os, id, "drain");
+  OpenRequest(os, id, "drain", correlation_id);
   os << "}";
   return os.str();
 }
 
-std::string BuildPingResponse(std::uint64_t id) {
+std::string BuildMetricsRequest(std::uint64_t id,
+                                std::string_view correlation_id) {
   std::ostringstream os;
-  OpenResponse(os, id, "ping", /*ok=*/true);
+  OpenRequest(os, id, "metrics", correlation_id);
+  os << "}";
+  return os.str();
+}
+
+std::string BuildPingResponse(std::uint64_t id, const RequestContext& ctx) {
+  std::ostringstream os;
+  OpenResponse(os, id, "ping", /*ok=*/true, ctx);
   os << "}";
   return os.str();
 }
@@ -269,9 +304,10 @@ std::string BuildPingResponse(std::uint64_t id) {
 std::string BuildRegisterLogResponse(std::uint64_t id, std::string_view name,
                                      std::string_view fingerprint,
                                      std::size_t num_traces,
-                                     std::size_t num_events) {
+                                     std::size_t num_events,
+                                     const RequestContext& ctx) {
   std::ostringstream os;
-  OpenResponse(os, id, "register_log", /*ok=*/true);
+  OpenResponse(os, id, "register_log", /*ok=*/true, ctx);
   os << ",\"name\":" << Quoted(name)
      << ",\"fingerprint\":" << Quoted(fingerprint)
      << ",\"num_traces\":" << num_traces << ",\"num_events\":" << num_events
@@ -279,9 +315,10 @@ std::string BuildRegisterLogResponse(std::uint64_t id, std::string_view name,
   return os.str();
 }
 
-std::string BuildMatchResponse(std::uint64_t id, const MatchReplyData& data) {
+std::string BuildMatchResponse(std::uint64_t id, const MatchReplyData& data,
+                               const RequestContext& ctx) {
   std::ostringstream os;
-  OpenResponse(os, id, "match", /*ok=*/true);
+  OpenResponse(os, id, "match", /*ok=*/true, ctx);
   os << ",\"termination\":" << Quoted(data.termination)
      << ",\"degraded\":" << (data.degraded ? "true" : "false")
      << ",\"shed_level\":" << data.shed_level
@@ -323,30 +360,41 @@ std::string BuildMatchResponse(std::uint64_t id, const MatchReplyData& data) {
 
 std::string BuildStatsResponse(std::uint64_t id,
                                const obs::TelemetrySnapshot& snapshot,
-                               double uptime_ms) {
+                               double uptime_ms, const RequestContext& ctx,
+                               const obs::TelemetrySnapshot* windowed) {
   std::ostringstream os;
-  OpenResponse(os, id, "stats", /*ok=*/true);
+  OpenResponse(os, id, "stats", /*ok=*/true, ctx);
   // TelemetryToHeartbeatLine is the single-line reduction of a snapshot
   // (histograms become percentiles), which is exactly what a line
   // protocol needs — the final full snapshot still goes to disk.
   os << ",\"telemetry\":"
-     << obs::TelemetryToHeartbeatLine(snapshot, /*seq=*/0, uptime_ms) << "}";
+     << obs::TelemetryToHeartbeatLine(snapshot, /*seq=*/0, uptime_ms, windowed)
+     << "}";
   return os.str();
 }
 
 std::string BuildDrainResponse(std::uint64_t id, std::size_t in_flight,
-                               std::size_t queued) {
+                               std::size_t queued, const RequestContext& ctx) {
   std::ostringstream os;
-  OpenResponse(os, id, "drain", /*ok=*/true);
+  OpenResponse(os, id, "drain", /*ok=*/true, ctx);
   os << ",\"in_flight\":" << in_flight << ",\"queued\":" << queued << "}";
   return os.str();
 }
 
-std::string BuildErrorResponse(std::uint64_t id, RequestOp op, ErrorCode code,
-                               std::string_view message,
-                               double retry_after_ms) {
+std::string BuildMetricsResponse(std::uint64_t id, std::string_view exposition,
+                                 const RequestContext& ctx) {
   std::ostringstream os;
-  OpenResponse(os, id, RequestOpToString(op), /*ok=*/false);
+  OpenResponse(os, id, "metrics", /*ok=*/true, ctx);
+  os << ",\"content_type\":" << Quoted("text/plain; version=0.0.4")
+     << ",\"exposition\":" << Quoted(exposition) << "}";
+  return os.str();
+}
+
+std::string BuildErrorResponse(std::uint64_t id, RequestOp op, ErrorCode code,
+                               std::string_view message, double retry_after_ms,
+                               const RequestContext& ctx) {
+  std::ostringstream os;
+  OpenResponse(os, id, RequestOpToString(op), /*ok=*/false, ctx);
   os << ",\"error\":{\"code\":" << Quoted(ErrorCodeToString(code))
      << ",\"message\":" << Quoted(message);
   if (retry_after_ms > 0.0) {
@@ -378,6 +426,14 @@ Result<ServeResponse> ParseResponse(std::string_view line) {
   if (const JsonValue* ok = doc.Find("ok");
       ok != nullptr && ok->kind == JsonValue::Kind::kBool) {
     resp.ok = ok->boolean;
+  }
+  if (const JsonValue* rid = doc.Find("request_id");
+      rid != nullptr && rid->kind == JsonValue::Kind::kNumber &&
+      rid->number >= 0) {
+    resp.request_id = static_cast<std::uint64_t>(rid->number);
+  }
+  if (const JsonValue* corr = doc.Find("correlation_id"); corr != nullptr) {
+    resp.correlation_id = corr->TextOr("");
   }
   if (const JsonValue* err = doc.Find("error");
       err != nullptr && err->kind == JsonValue::Kind::kObject) {

@@ -18,6 +18,11 @@
 ///    "method":"auto"}
 ///   {"op":"stats","id":4}
 ///   {"op":"drain","id":5}
+///   {"op":"metrics","id":6}
+///
+/// Any request may carry an opaque `"correlation_id"` string; the
+/// server echoes it (plus its own numeric `"request_id"`) in the
+/// response, its access log, and the request's sampled trace.
 ///
 /// Responses always carry `schema`, `id`, `op`, and `ok`. Failures put
 /// a machine-readable code in `error.code` — overload rejections are
@@ -46,9 +51,21 @@ enum class RequestOp : std::uint8_t {
   kMatch,
   kStats,
   kDrain,
+  kMetrics,
 };
 
 const char* RequestOpToString(RequestOp op);
+
+/// Request-scoped identity, echoed in every response so a client (or an
+/// operator grepping the access log) can line responses up with server
+/// records. `request_id` is server-assigned and unique per accepted
+/// line; `correlation_id` is whatever opaque string the client sent
+/// (empty when the client sent none). The same `request_id` tags the
+/// request's spans, its access-log entry, and its sampled trace file.
+struct RequestContext {
+  std::uint64_t request_id = 0;
+  std::string correlation_id;
+};
 
 /// Machine-readable failure classes. The first two are client errors;
 /// the REJECTED_* pair is the server protecting itself (resend later,
@@ -98,6 +115,7 @@ struct MatchRequestSpec {
 struct ServeRequest {
   RequestOp op = RequestOp::kPing;
   std::uint64_t id = 0;
+  std::string correlation_id;    ///< Optional, any op; echoed back.
   RegisterLogSpec register_log;  ///< Valid when op == kRegisterLog.
   MatchRequestSpec match;        ///< Valid when op == kMatch.
 };
@@ -108,13 +126,22 @@ struct ServeRequest {
 Result<ServeRequest> ParseRequest(std::string_view line);
 
 /// --- Request builders (client side; each returns one line, no '\n').
+/// `correlation_id` is optional; when non-empty it rides along and the
+/// server echoes it in the response and its access log.
 
-std::string BuildPingRequest(std::uint64_t id);
+std::string BuildPingRequest(std::uint64_t id,
+                             std::string_view correlation_id = {});
 std::string BuildRegisterLogRequest(std::uint64_t id,
-                                    const RegisterLogSpec& spec);
-std::string BuildMatchRequest(std::uint64_t id, const MatchRequestSpec& spec);
-std::string BuildStatsRequest(std::uint64_t id);
-std::string BuildDrainRequest(std::uint64_t id);
+                                    const RegisterLogSpec& spec,
+                                    std::string_view correlation_id = {});
+std::string BuildMatchRequest(std::uint64_t id, const MatchRequestSpec& spec,
+                              std::string_view correlation_id = {});
+std::string BuildStatsRequest(std::uint64_t id,
+                              std::string_view correlation_id = {});
+std::string BuildDrainRequest(std::uint64_t id,
+                              std::string_view correlation_id = {});
+std::string BuildMetricsRequest(std::uint64_t id,
+                                std::string_view correlation_id = {});
 
 /// --- Response builders (server side; each returns one line, no '\n').
 
@@ -140,23 +167,41 @@ struct MatchReplyData {
   std::vector<std::pair<std::string, std::string>> stages;
 };
 
-std::string BuildPingResponse(std::uint64_t id);
+/// Every response builder takes the request's `RequestContext`; a
+/// non-zero `request_id` and a non-empty `correlation_id` are echoed in
+/// the envelope. The default (zero / empty) context emits neither, so
+/// existing callers and golden lines are unchanged.
+
+std::string BuildPingResponse(std::uint64_t id,
+                              const RequestContext& ctx = {});
 std::string BuildRegisterLogResponse(std::uint64_t id, std::string_view name,
                                      std::string_view fingerprint,
                                      std::size_t num_traces,
-                                     std::size_t num_events);
-std::string BuildMatchResponse(std::uint64_t id, const MatchReplyData& data);
+                                     std::size_t num_events,
+                                     const RequestContext& ctx = {});
+std::string BuildMatchResponse(std::uint64_t id, const MatchReplyData& data,
+                               const RequestContext& ctx = {});
 /// Telemetry rides as a heartbeat-style single-line object under
 /// `"telemetry"` (histograms reduced to percentiles, so the response
-/// stays one line).
+/// stays one line). When `windowed` is non-null its series are folded
+/// in with a `_w60` suffix — see TelemetryToHeartbeatLine.
 std::string BuildStatsResponse(std::uint64_t id,
                                const obs::TelemetrySnapshot& snapshot,
-                               double uptime_ms);
+                               double uptime_ms,
+                               const RequestContext& ctx = {},
+                               const obs::TelemetrySnapshot* windowed =
+                                   nullptr);
 std::string BuildDrainResponse(std::uint64_t id, std::size_t in_flight,
-                               std::size_t queued);
+                               std::size_t queued,
+                               const RequestContext& ctx = {});
+/// The Prometheus exposition text travels JSON-escaped under
+/// `"exposition"` (it is multi-line; the response line stays one line).
+std::string BuildMetricsResponse(std::uint64_t id, std::string_view exposition,
+                                 const RequestContext& ctx = {});
 std::string BuildErrorResponse(std::uint64_t id, RequestOp op, ErrorCode code,
                                std::string_view message,
-                               double retry_after_ms = 0.0);
+                               double retry_after_ms = 0.0,
+                               const RequestContext& ctx = {});
 
 /// Client-side view of one response line (`ParseResponse` of whatever
 /// builder produced it). Fields beyond the envelope stay in `body` for
@@ -164,6 +209,8 @@ std::string BuildErrorResponse(std::uint64_t id, RequestOp op, ErrorCode code,
 struct ServeResponse {
   std::uint64_t id = 0;
   std::string op;
+  std::uint64_t request_id = 0;  ///< Server-assigned; 0 when absent.
+  std::string correlation_id;    ///< Echo of the client's, if any.
   bool ok = false;
   std::string error_code;     ///< Empty when ok.
   std::string error_message;  ///< Empty when ok.

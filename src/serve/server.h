@@ -44,10 +44,13 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/window.h"
+#include "serve/access_log.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "serve/trace_ring.h"
 
 namespace hematch::serve {
 
@@ -100,6 +103,29 @@ struct ServerOptions {
   /// timelines (request spans are parented to their session across
   /// worker threads). Must outlive the server.
   obs::TraceRecorder* trace_recorder = nullptr;
+
+  // --- Request-scoped observability (docs/OBSERVABILITY.md).
+
+  /// Directory for the per-request trace ring; empty = per-request
+  /// tracing off (the knobs below are then inert).
+  std::string trace_dir;
+  /// Probability in [0, 1] that a match request's trace is kept.
+  /// Deterministic in the request id, so a given load is reproducible.
+  double trace_sample_rate = 0.0;
+  /// Requests slower than this (parse-to-response total) are captured
+  /// regardless of the sample rate; <= 0 disables the latency trigger.
+  /// Failed and non-"completed" runs (overload degradation, crashes)
+  /// are always captured.
+  double trace_slow_ms = 0.0;
+  /// Bound on trace files kept in the ring (oldest evicted first).
+  int trace_ring_files = 64;
+  /// Structured access log (`hematch.access.v1` JSONL); empty = off.
+  std::string access_log_path;
+  /// Access log rotates to `.1` past this size; <= 0 = no rotation.
+  std::int64_t access_log_max_bytes = 8 << 20;
+  /// Plaintext Prometheus endpoint on 127.0.0.1: 0 = ephemeral (read
+  /// back via `metrics_port()`), < 0 = no endpoint.
+  int metrics_port = -1;
 };
 
 class MatchServer {
@@ -115,6 +141,9 @@ class MatchServer {
 
   /// The bound port (after Start; meaningful with options.port == 0).
   int port() const { return port_; }
+
+  /// The bound metrics-endpoint port (after Start; -1 when disabled).
+  int metrics_port() const { return metrics_port_; }
 
   /// Begins graceful drain: stop accepting connections and admissions,
   /// finish (or, past the grace, budget out) everything already
@@ -134,6 +163,15 @@ class MatchServer {
   /// Current metric values (also valid after Wait — the final
   /// snapshot).
   obs::TelemetrySnapshot SnapshotTelemetry() const;
+
+  /// Trailing-60s view: windowed counters, latency/queue histograms,
+  /// and derived `serve.goodput_rps` / `serve.shed_rate` gauges. Keys
+  /// match their cumulative counterparts; consumers suffix `_w60`.
+  obs::TelemetrySnapshot WindowedSnapshot() const;
+
+  /// Prometheus text exposition of the cumulative + windowed metrics —
+  /// what the `--metrics-port` endpoint and the `metrics` op serve.
+  std::string PrometheusText() const;
 
   /// Queue depth + executing requests, for tests and the drain reply.
   std::size_t in_flight() const {
@@ -155,17 +193,31 @@ class MatchServer {
   void HandleLine(const std::shared_ptr<Session>& session,
                   const std::string& line);
   void HandleRegisterLog(const std::shared_ptr<Session>& session,
-                         const ServeRequest& req);
-  void HandleMatch(const std::shared_ptr<Session>& session, ServeRequest req);
+                         const ServeRequest& req, const RequestContext& ctx,
+                         std::size_t bytes_in);
+  void HandleMatch(const std::shared_ptr<Session>& session, ServeRequest req,
+                   const RequestContext& ctx, std::size_t bytes_in);
   void RunMatch(const std::shared_ptr<Session>& session,
-                const ServeRequest& req,
+                const ServeRequest& req, const RequestContext& ctx,
+                std::size_t bytes_in,
                 std::chrono::steady_clock::time_point enqueued);
-  void Send(Session& session, const std::string& line);
-  void SendError(const std::shared_ptr<Session>& session, std::uint64_t id,
-                 RequestOp op, const Status& status);
+  /// Returns the bytes actually written (0 when the client is gone).
+  std::size_t Send(Session& session, const std::string& line);
+  std::size_t SendError(const std::shared_ptr<Session>& session,
+                        std::uint64_t id, RequestOp op, const Status& status,
+                        const RequestContext& ctx = {});
   void DrainCoordinator();
   int CurrentShedLevel();
   void UpdateQueueGauges();
+
+  /// Stamps `ts_ms` and appends to the access log (no-op when off).
+  void LogAccess(AccessLogEntry entry);
+  /// Deterministic sampling verdict for `request_id` at
+  /// `options_.trace_sample_rate`.
+  bool SampledByRate(std::uint64_t request_id) const;
+  Status StartMetricsEndpoint();
+  void MetricsLoop();
+  void ServeMetricsConnection(int fd);
 
   ServerOptions options_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
@@ -213,6 +265,26 @@ class MatchServer {
   obs::Gauge* drain_ms_gauge_;
   obs::Histogram* queue_wait_ms_;
   obs::Histogram* latency_ms_;
+
+  // Request-scoped observability.
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::unique_ptr<AccessLog> access_log_;
+  std::unique_ptr<TraceRing> trace_ring_;
+
+  // Trailing-window twins of the key cumulative metrics.
+  obs::WindowedCounter win_matches_;    ///< Match requests resolved.
+  obs::WindowedCounter win_completed_;
+  obs::WindowedCounter win_failed_;
+  obs::WindowedCounter win_rejected_overload_;
+  obs::WindowedCounter win_shed_;       ///< Requests run at shed > 0.
+  obs::WindowedHistogram win_queue_wait_ms_;
+  obs::WindowedHistogram win_latency_ms_;
+
+  // Prometheus scrape endpoint (own thread + wake pipe).
+  int metrics_fd_ = -1;
+  int metrics_wake_[2] = {-1, -1};
+  int metrics_port_ = -1;
+  std::thread metrics_thread_;
 };
 
 }  // namespace hematch::serve

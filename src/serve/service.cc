@@ -75,7 +75,8 @@ MatchOutcome ExecuteMatch(WarmContext& warm, bool swapped,
                           const MatchRequestSpec& spec, int shed_level,
                           double queue_ms, bool context_warm,
                           const ServiceOptions& options,
-                          exec::CancelToken& token) {
+                          exec::CancelToken& token,
+                          obs::TraceRecorder* request_recorder) {
   MatchOutcome outcome;
 
   exec::RunBudget budget;
@@ -89,6 +90,14 @@ MatchOutcome ExecuteMatch(WarmContext& warm, bool swapped,
   // drills exercise the isolation boundary request after request.
   exec::ExecutionGovernor governor;
   MatchingContext sibling(*warm.base, &governor);
+  // Per-request sampling: the sibling (which dies with this call) gets
+  // the recorder, and the ambient TLS slot routes shared-evaluator scan
+  // events here without touching the evaluators' own pointer.
+  std::unique_ptr<obs::AmbientTraceScope> ambient;
+  if (request_recorder != nullptr) {
+    sibling.set_local_trace_recorder(request_recorder);
+    ambient = std::make_unique<obs::AmbientTraceScope>(request_recorder);
+  }
 
   FallbackOptions fopts;
   fopts.budget = budget;

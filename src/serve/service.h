@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "exec/budget.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 
@@ -52,11 +53,18 @@ struct MatchOutcome {
 /// 2 = simple only. `token` is the request's cancel token — the server
 /// owns it, registers it for drain, and this function wires it into
 /// the governor and watchdog.
+///
+/// `request_recorder`, when non-null, captures this request's matcher
+/// and frequency spans: it is installed on the sibling context only
+/// (never the shared evaluators) and as the worker thread's ambient
+/// recorder for the duration of the run, so concurrent requests'
+/// timelines never cross-wire.
 MatchOutcome ExecuteMatch(WarmContext& warm, bool swapped,
                           const MatchRequestSpec& spec, int shed_level,
                           double queue_ms, bool context_warm,
                           const ServiceOptions& options,
-                          exec::CancelToken& token);
+                          exec::CancelToken& token,
+                          obs::TraceRecorder* request_recorder = nullptr);
 
 /// The deadline `ExecuteMatch` will run `spec` under (request value
 /// clamped to the ceiling, default when absent). The admission queue

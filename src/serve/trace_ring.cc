@@ -1,0 +1,66 @@
+#include "serve/trace_ring.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+namespace hematch::serve {
+
+namespace fs = std::filesystem;
+
+TraceRing::TraceRing(std::string dir, int max_files)
+    : dir_(std::move(dir)), max_files_(max_files) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  ok_ = fs::is_directory(dir_, ec);
+  if (!ok_) {
+    return;
+  }
+  // Adopt traces from a previous incarnation; zero-padded names make
+  // lexicographic order chronological.
+  std::vector<std::string> existing;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("req-", 0) == 0 && name.size() > 9 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      existing.push_back(entry.path().string());
+    }
+  }
+  std::sort(existing.begin(), existing.end());
+  files_.assign(existing.begin(), existing.end());
+}
+
+std::string TraceRing::PathFor(std::uint64_t request_id) const {
+  std::string digits = std::to_string(request_id);
+  if (digits.size() < 20) {
+    digits.insert(0, 20 - digits.size(), '0');
+  }
+  return dir_ + "/req-" + digits + ".json";
+}
+
+Result<std::string> TraceRing::WriteRequestTrace(
+    std::uint64_t request_id, const obs::TraceRecorder& recorder) {
+  if (!ok_) {
+    return Status::InvalidArgument("trace ring directory unavailable: " +
+                                   dir_);
+  }
+  const std::string path = PathFor(request_id);
+  HEMATCH_RETURN_IF_ERROR(recorder.WriteChromeJson(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.push_back(path);
+  while (max_files_ > 0 &&
+         files_.size() > static_cast<std::size_t>(max_files_)) {
+    std::remove(files_.front().c_str());
+    files_.pop_front();
+  }
+  return path;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+}  // namespace hematch::serve

@@ -1,0 +1,54 @@
+#ifndef HEMATCH_SERVE_TRACE_RING_H_
+#define HEMATCH_SERVE_TRACE_RING_H_
+
+/// \file
+/// A bounded on-disk ring of per-request trace files. Each sampled
+/// request's `TraceRecorder` is serialized to
+/// `<dir>/req-<zero-padded id>.json`; once the directory holds
+/// `max_files` traces the oldest is deleted before the next is written,
+/// so sampling every slow request can never fill the disk. Ids are
+/// zero-padded so lexicographic order is chronological order — the ring
+/// survives a server restart by rescanning the directory.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "obs/trace.h"
+
+namespace hematch::serve {
+
+class TraceRing {
+ public:
+  /// Creates `dir` if needed and adopts any `req-*.json` files already
+  /// there (oldest evicted first). `max_files <= 0` means unbounded.
+  TraceRing(std::string dir, int max_files);
+
+  /// True when the directory exists (or was created).
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+
+  /// The path a given request's trace would be written to.
+  std::string PathFor(std::uint64_t request_id) const;
+
+  /// Serializes `recorder` to `PathFor(request_id)`, evicting the
+  /// oldest trace first when the ring is full. Returns the path.
+  Result<std::string> WriteRequestTrace(std::uint64_t request_id,
+                                        const obs::TraceRecorder& recorder);
+
+  /// Trace files currently tracked (after the startup scan + writes).
+  std::size_t size() const;
+
+ private:
+  std::string dir_;
+  int max_files_;
+  bool ok_ = false;
+  mutable std::mutex mu_;
+  std::deque<std::string> files_;  ///< Paths, oldest first.
+};
+
+}  // namespace hematch::serve
+
+#endif  // HEMATCH_SERVE_TRACE_RING_H_

@@ -1,0 +1,176 @@
+// Tests for obs/window.h: rotating-slice windowed counters and
+// histograms. Everything drives the clock explicitly through the
+// TimePoint overloads — the defaulted steady-clock entry points are
+// the same code path with `now` filled in.
+//
+// The boundary contract under test: a window of `slices` slices, each
+// `window_ms / slices` wide; an observation in absolute slice k is
+// merged into reads until the ring rotates onto slot k % slices again,
+// i.e. until `now` reaches slice k + slices. Observations exactly on a
+// slice boundary belong to the *later* slice (floor of elapsed /
+// slice_ms).
+
+#include "obs/window.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace hematch::obs {
+namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+TimePoint Epoch() { return TimePoint{}; }
+
+TimePoint AtMs(double ms) {
+  return Epoch() + std::chrono::duration_cast<TimePoint::duration>(
+                       std::chrono::duration<double, std::milli>(ms));
+}
+
+WindowOptions SixByTen() {
+  WindowOptions options;
+  options.window_ms = 60000.0;  // Six slices of 10 s.
+  options.slices = 6;
+  return options;
+}
+
+TEST(WindowedCounterTest, AccumulatesWithinWindow) {
+  WindowedCounter counter(SixByTen(), Epoch());
+  counter.Add(1, AtMs(100));
+  counter.Add(2, AtMs(15000));
+  counter.Add(4, AtMs(42000));
+  EXPECT_EQ(counter.WindowTotal(AtMs(59000)), 7u);
+}
+
+TEST(WindowedCounterTest, OldSlicesExpireOneAtATime) {
+  WindowedCounter counter(SixByTen(), Epoch());
+  counter.Add(5, AtMs(1000));    // Absolute slice 0.
+  counter.Add(3, AtMs(31000));   // Absolute slice 3.
+  EXPECT_EQ(counter.WindowTotal(AtMs(59999)), 8u);
+  // Slice 0 is overwritten once the ring reaches absolute slice 6.
+  EXPECT_EQ(counter.WindowTotal(AtMs(60000)), 3u);
+  // Slice 3 survives until absolute slice 9.
+  EXPECT_EQ(counter.WindowTotal(AtMs(89999)), 3u);
+  EXPECT_EQ(counter.WindowTotal(AtMs(90000)), 0u);
+}
+
+TEST(WindowedCounterTest, BoundaryObservationBelongsToLaterSlice) {
+  WindowedCounter counter(SixByTen(), Epoch());
+  // Exactly on the slice-0/slice-1 boundary: lands in slice 1, so it
+  // must survive the expiry of slice 0 and die with slice 1.
+  counter.Add(1, AtMs(10000));
+  EXPECT_EQ(counter.WindowTotal(AtMs(60000)), 1u);
+  EXPECT_EQ(counter.WindowTotal(AtMs(69999)), 1u);
+  EXPECT_EQ(counter.WindowTotal(AtMs(70000)), 0u);
+}
+
+TEST(WindowedCounterTest, ReadsRotateTooAndIdleGapDecaysToZero) {
+  WindowedCounter counter(SixByTen(), Epoch());
+  counter.Add(9, AtMs(500));
+  // A read long after the last write must see the decay (rotation is
+  // lazy on read as well as write), including gaps far larger than the
+  // ring itself.
+  EXPECT_EQ(counter.WindowTotal(AtMs(100 * 60000.0)), 0u);
+  // And the ring still works afterwards.
+  counter.Add(2, AtMs(100 * 60000.0 + 10));
+  EXPECT_EQ(counter.WindowTotal(AtMs(100 * 60000.0 + 20)), 2u);
+}
+
+TEST(WindowedCounterTest, StaleNowDoesNotRewindTheRing) {
+  WindowedCounter counter(SixByTen(), Epoch());
+  counter.Add(1, AtMs(45000));
+  // A write with an earlier timestamp (threads race on "now") lands in
+  // the current slice rather than resurrecting an expired one.
+  counter.Add(1, AtMs(5000));
+  EXPECT_EQ(counter.WindowTotal(AtMs(45000)), 2u);
+}
+
+TEST(WindowedCounterTest, RateIsWindowTotalOverWindowSpan) {
+  WindowedCounter counter(SixByTen(), Epoch());
+  counter.Add(30, AtMs(1000));
+  EXPECT_DOUBLE_EQ(counter.WindowRatePerSec(AtMs(2000)), 30.0 / 60.0);
+  EXPECT_DOUBLE_EQ(counter.WindowRatePerSec(AtMs(90000)), 0.0);
+}
+
+std::vector<double> Bounds() { return {1.0, 10.0, 100.0}; }
+
+TEST(WindowedHistogramTest, MergesCountsAndSumAcrossSlices) {
+  WindowedHistogram hist(Bounds(), SixByTen(), Epoch());
+  hist.Observe(0.5, AtMs(100));     // Bucket 0, slice 0.
+  hist.Observe(5.0, AtMs(15000));   // Bucket 1, slice 1.
+  hist.Observe(50.0, AtMs(25000));  // Bucket 2, slice 2.
+  hist.Observe(500.0, AtMs(25001)); // Overflow bucket, slice 2.
+
+  const HistogramSnapshot merged = hist.WindowSnapshot(AtMs(30000));
+  ASSERT_EQ(merged.bounds, Bounds());
+  ASSERT_EQ(merged.counts.size(), 4u);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 1u);
+  EXPECT_EQ(merged.counts[2], 1u);
+  EXPECT_EQ(merged.counts[3], 1u);
+  EXPECT_DOUBLE_EQ(merged.sum, 555.5);
+  EXPECT_EQ(merged.total_count(), 4u);
+}
+
+TEST(WindowedHistogramTest, BucketEdgesAreInclusive) {
+  WindowedHistogram hist(Bounds(), SixByTen(), Epoch());
+  hist.Observe(1.0, AtMs(10));   // Exactly on the first edge: bucket 0.
+  hist.Observe(10.0, AtMs(20));  // Bucket 1.
+  const HistogramSnapshot merged = hist.WindowSnapshot(AtMs(30));
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 1u);
+  EXPECT_EQ(merged.counts[2], 0u);
+}
+
+TEST(WindowedHistogramTest, ObservationsStraddlingRotationExpireSeparately) {
+  WindowedHistogram hist(Bounds(), SixByTen(), Epoch());
+  // Two observations 2 ms apart, straddling the slice-2/slice-3
+  // rotation at t = 30 s. They sit in adjacent slices, so their
+  // expiries are a full slice apart even though they were nearly
+  // simultaneous.
+  hist.Observe(5.0, AtMs(29999));
+  hist.Observe(7.0, AtMs(30001));
+  EXPECT_EQ(hist.WindowSnapshot(AtMs(31000)).total_count(), 2u);
+  // t = 80 s: the merged view spans absolute slices 3..8, so slice 2
+  // (the 29999 ms observation) has expired and slice 3 is still live.
+  const HistogramSnapshot after = hist.WindowSnapshot(AtMs(80000));
+  EXPECT_EQ(after.total_count(), 1u);
+  EXPECT_DOUBLE_EQ(after.sum, 7.0);
+  // t = 90 s: slice 3's slot is reclaimed as the new current slice.
+  EXPECT_EQ(hist.WindowSnapshot(AtMs(90000)).total_count(), 0u);
+}
+
+TEST(WindowedHistogramTest, PercentileMachineryAppliesToTheMergedView) {
+  WindowedHistogram hist({10.0, 20.0, 40.0}, SixByTen(), Epoch());
+  for (int i = 0; i < 98; ++i) {
+    hist.Observe(5.0, AtMs(100 + i));
+  }
+  hist.Observe(35.0, AtMs(500));
+  hist.Observe(35.0, AtMs(501));
+  const HistogramSnapshot merged = hist.WindowSnapshot(AtMs(1000));
+  EXPECT_LE(merged.Percentile(0.50), 10.0);
+  EXPECT_GT(merged.Percentile(0.99), 20.0);
+}
+
+TEST(WindowedHistogramTest, IdleWindowComesBackEmpty) {
+  WindowedHistogram hist(Bounds(), SixByTen(), Epoch());
+  hist.Observe(3.0, AtMs(100));
+  const HistogramSnapshot empty = hist.WindowSnapshot(AtMs(200000));
+  EXPECT_EQ(empty.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+}
+
+TEST(WindowedHistogramTest, DegenerateOptionsAreClamped) {
+  WindowOptions tiny;
+  tiny.window_ms = 0.0;  // Clamped to >= 1 ms.
+  tiny.slices = 0;       // Clamped to >= 1.
+  WindowedHistogram hist(Bounds(), tiny, Epoch());
+  hist.Observe(2.0, AtMs(0.25));
+  EXPECT_EQ(hist.WindowSnapshot(AtMs(0.5)).total_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hematch::obs

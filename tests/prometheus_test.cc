@@ -1,0 +1,170 @@
+// Tests for obs/prometheus.h: the text-exposition rendering of a
+// telemetry snapshot. The invariants a scraper relies on — metric-name
+// charset, counters carrying `_total`, cumulative ascending histogram
+// buckets whose `+Inf` bucket equals `_count` — are checked by parsing
+// the emitted text back, the same discipline the check.sh drill
+// applies to the live endpoint.
+
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace hematch::obs {
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!start(name[0])) {
+    return false;
+  }
+  for (char c : name) {
+    if (!start(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Minimal sample-line splitter: "name{labels} value" or "name value".
+struct Sample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+std::vector<Sample> ParseSamples(const std::string& text) {
+  std::vector<Sample> samples;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    Sample s;
+    const std::size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    s.value = std::stod(line.substr(space + 1));
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      s.labels = name.substr(brace);
+      name = name.substr(0, brace);
+    }
+    s.name = name;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+TEST(PrometheusNameTest, SanitizesToLegalCharset) {
+  EXPECT_EQ(PrometheusMetricName("serve.latency_ms"),
+            "hematch_serve_latency_ms");
+  EXPECT_EQ(PrometheusMetricName("a-b/c d%"), "hematch_a_b_c_d_");
+  EXPECT_TRUE(ValidMetricName(PrometheusMetricName("freq.cache#hits")));
+  EXPECT_TRUE(ValidMetricName(PrometheusMetricName("9starts.with.digit")));
+}
+
+TEST(PrometheusTextTest, CountersCarryTotalSuffixAndTypeLine) {
+  TelemetrySnapshot snapshot;
+  snapshot.counters["serve.completed"] = 42;
+  const std::string text = TelemetryToPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE hematch_serve_completed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hematch_serve_completed_total 42\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, EveryEmittedNameIsLegal) {
+  TelemetrySnapshot snapshot;
+  snapshot.counters["weird-counter.name"] = 1;
+  snapshot.gauges["other/gauge name"] = 2.5;
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {1, 2, 3};
+  h.sum = 10.0;
+  snapshot.histograms["odd histo.name"] = h;
+  for (const Sample& s : ParseSamples(TelemetryToPrometheusText(snapshot))) {
+    EXPECT_TRUE(ValidMetricName(s.name)) << s.name;
+    EXPECT_EQ(s.name.rfind("hematch_", 0), 0u) << s.name;
+  }
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeWithInfEqualCount) {
+  TelemetrySnapshot snapshot;
+  HistogramSnapshot h;
+  h.bounds = {1.0, 5.0, 25.0};
+  h.counts = {4, 3, 2, 1};  // Per-bucket (last = overflow).
+  h.sum = 40.0;
+  snapshot.histograms["serve.latency_ms"] = h;
+
+  std::map<std::string, double> flat;
+  std::vector<double> bucket_counts;
+  std::vector<std::string> bucket_les;
+  for (const Sample& s :
+       ParseSamples(TelemetryToPrometheusText(snapshot))) {
+    if (s.name == "hematch_serve_latency_ms_bucket") {
+      bucket_les.push_back(s.labels);
+      bucket_counts.push_back(s.value);
+    } else {
+      flat[s.name] = s.value;
+    }
+  }
+  ASSERT_EQ(bucket_counts.size(), 4u);
+  EXPECT_EQ(bucket_counts[0], 4.0);
+  EXPECT_EQ(bucket_counts[1], 7.0);
+  EXPECT_EQ(bucket_counts[2], 9.0);
+  EXPECT_EQ(bucket_counts[3], 10.0);  // +Inf.
+  EXPECT_EQ(bucket_les.back(), "{le=\"+Inf\"}");
+  for (std::size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]);
+  }
+  EXPECT_EQ(flat.at("hematch_serve_latency_ms_count"), 10.0);
+  EXPECT_EQ(flat.at("hematch_serve_latency_ms_sum"), 40.0);
+}
+
+TEST(PrometheusTextTest, WindowedSnapshotGetsSuffixAndPercentileGauges) {
+  TelemetrySnapshot cumulative;
+  cumulative.counters["serve.completed"] = 100;
+  HistogramSnapshot h;
+  h.bounds = {1.0, 10.0};
+  h.counts = {5, 5, 0};
+  h.sum = 30.0;
+  cumulative.histograms["serve.latency_ms"] = h;
+
+  TelemetrySnapshot windowed;
+  windowed.counters["serve.completed"] = 7;
+  windowed.gauges["serve.shed_rate"] = 0.25;
+  windowed.histograms["serve.latency_ms"] = h;
+
+  const std::string text = TelemetryToPrometheusText(cumulative, &windowed);
+  EXPECT_NE(text.find("hematch_serve_completed_total 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hematch_serve_completed_w60_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hematch_serve_shed_rate_w60 0.25\n"),
+            std::string::npos);
+  // Percentile gauges exist for the windowed histogram only — the
+  // cumulative one keeps the raw buckets, percentiles there mislead.
+  EXPECT_NE(text.find("hematch_serve_latency_ms_w60_p99"),
+            std::string::npos);
+  EXPECT_EQ(text.find("hematch_serve_latency_ms_p99"), std::string::npos);
+  EXPECT_NE(text.find("hematch_serve_latency_ms_w60_bucket"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hematch::obs

@@ -172,5 +172,87 @@ TEST(ServeProtocolTest, StatsResponseIsSingleLineWithTelemetry) {
   EXPECT_DOUBLE_EQ(counters->Find("serve.accepted")->NumberOr(0.0), 3.0);
 }
 
+TEST(ServeProtocolTest, CorrelationIdRidesRequestsAndEchoesInResponses) {
+  const std::string line = BuildPingRequest(7, "run-42/a");
+  const Result<ServeRequest> req = ParseRequest(line);
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->correlation_id, "run-42/a");
+
+  // Requests without one parse to an empty id, and the field must be a
+  // string when present.
+  EXPECT_EQ(ParseRequest(BuildPingRequest(7))->correlation_id, "");
+  EXPECT_FALSE(ParseRequest("{\"schema\":\"hematch.serve.v1\",\"id\":1,"
+                            "\"op\":\"ping\",\"correlation_id\":5}")
+                   .ok());
+
+  RequestContext ctx;
+  ctx.request_id = 31;
+  ctx.correlation_id = "run-42/a";
+  const Result<ServeResponse> resp = ParseResponse(BuildPingResponse(7, ctx));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->request_id, 31u);
+  EXPECT_EQ(resp->correlation_id, "run-42/a");
+
+  // A default context emits neither field — pre-observability golden
+  // lines stay byte-stable.
+  const std::string bare = BuildPingResponse(7);
+  EXPECT_EQ(bare.find("request_id"), std::string::npos);
+  EXPECT_EQ(bare.find("correlation_id"), std::string::npos);
+  EXPECT_EQ(ParseResponse(bare)->request_id, 0u);
+}
+
+TEST(ServeProtocolTest, ErrorResponsesCarryTheRequestContextToo) {
+  RequestContext ctx;
+  ctx.request_id = 9;
+  ctx.correlation_id = "cid";
+  const Result<ServeResponse> resp = ParseResponse(
+      BuildErrorResponse(11, RequestOp::kMatch, ErrorCode::kRejectedOverload,
+                         "queue full", 250.0, ctx));
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->request_id, 9u);
+  EXPECT_EQ(resp->correlation_id, "cid");
+}
+
+TEST(ServeProtocolTest, MetricsRoundTrip) {
+  const Result<ServeRequest> req = ParseRequest(BuildMetricsRequest(3));
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->op, RequestOp::kMetrics);
+
+  RequestContext ctx;
+  ctx.request_id = 12;
+  const std::string exposition =
+      "# TYPE hematch_serve_completed_total counter\n"
+      "hematch_serve_completed_total 42\n";
+  const std::string line = BuildMetricsResponse(3, exposition, ctx);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const Result<ServeResponse> resp = ParseResponse(line);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_TRUE(resp->ok);
+  EXPECT_EQ(resp->request_id, 12u);
+  const obs::JsonValue* body = resp->body.Find("exposition");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->TextOr(""), exposition);
+  EXPECT_EQ(resp->body.Find("content_type")->TextOr(""),
+            "text/plain; version=0.0.4");
+}
+
+TEST(ServeProtocolTest, StatsResponseFoldsInWindowedTelemetry) {
+  obs::MetricsRegistry metrics(true);
+  metrics.GetCounter("serve.accepted")->Increment(3);
+  obs::TelemetrySnapshot windowed;
+  windowed.counters["serve.completed"] = 2;
+  const std::string line =
+      BuildStatsResponse(2, obs::CaptureSnapshot(metrics), 1234.0,
+                         RequestContext{}, &windowed);
+  const Result<ServeResponse> resp = ParseResponse(line);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  const obs::JsonValue* telemetry = resp->body.Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const obs::JsonValue* counters = telemetry->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.completed_w60")->NumberOr(0.0), 2.0);
+}
+
 }  // namespace
 }  // namespace hematch::serve

@@ -5,8 +5,16 @@
 
 #include "serve/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -14,6 +22,8 @@
 #include <gtest/gtest.h>
 
 #include "log/log_io.h"
+#include "obs/trace_analysis.h"
+#include "serve/access_log.h"
 #include "serve/client.h"
 
 namespace hematch::serve {
@@ -389,6 +399,165 @@ TEST(ServeServerTest, StatsExposesServeCounters) {
   const obs::JsonValue* counters = telemetry->Find("counters");
   ASSERT_NE(counters, nullptr);
   EXPECT_GE(counters->Find("serve.completed")->NumberOr(0.0), 1.0);
+}
+
+TEST(ServeServerTest, RequestAndCorrelationIdsEchoEndToEnd) {
+  ServerFixture fixture(ServerOptions{});
+  fixture.RegisterDefaultLogs();
+
+  ClientOptions copts;
+  copts.port = fixture.server().port();
+  copts.correlation_id = "e2e-echo-1";
+  ServeClient client(std::move(copts));
+
+  Result<ServeResponse> pong = client.Ping();
+  ASSERT_TRUE(pong.ok() && pong->ok) << pong.status();
+  EXPECT_GT(pong->request_id, 0u);
+  EXPECT_EQ(pong->correlation_id, "e2e-echo-1");
+
+  Result<ServeResponse> match = client.Match(DefaultSpec());
+  ASSERT_TRUE(match.ok() && match->ok) << match.status();
+  EXPECT_EQ(match->correlation_id, "e2e-echo-1");
+  // Server-assigned ids are unique and increase across requests, even
+  // on one connection.
+  EXPECT_GT(match->request_id, pong->request_id);
+
+  // A client without a correlation id gets none back.
+  ServeClient plain = fixture.NewClient();
+  Result<ServeResponse> bare = plain.Ping();
+  ASSERT_TRUE(bare.ok() && bare->ok);
+  EXPECT_EQ(bare->correlation_id, "");
+  EXPECT_GT(bare->request_id, match->request_id);
+}
+
+TEST(ServeServerTest, ObservabilityPipelineEndToEnd) {
+  const std::string dir =
+      ::testing::TempDir() + "serve_obs_e2e_" +
+      std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServerOptions options;
+  options.trace_dir = dir + "/traces";
+  options.trace_sample_rate = 1.0;  // Keep every trace.
+  options.access_log_path = dir + "/access.jsonl";
+  options.metrics_port = 0;
+
+  std::uint64_t match_request_id = 0;
+  {
+    ServerFixture fixture(options);
+    ASSERT_GT(fixture.server().metrics_port(), 0);
+    fixture.RegisterDefaultLogs();
+
+    ClientOptions copts;
+    copts.port = fixture.server().port();
+    copts.correlation_id = "obs-e2e";
+    ServeClient client(std::move(copts));
+    Result<ServeResponse> match = client.Match(DefaultSpec());
+    ASSERT_TRUE(match.ok() && match->ok) << match.status();
+    match_request_id = match->request_id;
+  }
+  // Fixture drained; the access log and trace ring are complete.
+
+  std::ifstream access(dir + "/access.jsonl");
+  ASSERT_TRUE(access.good());
+  std::string line;
+  bool saw_match = false;
+  while (std::getline(access, line)) {
+    Result<AccessLogEntry> entry = ParseAccessLogLine(line);
+    ASSERT_TRUE(entry.ok()) << entry.status() << ": " << line;
+    if (entry->op == "match" && entry->request_id == match_request_id) {
+      saw_match = true;
+      EXPECT_EQ(entry->correlation_id, "obs-e2e");
+      EXPECT_EQ(entry->admission, "admitted");
+      EXPECT_EQ(entry->termination, "completed");
+      EXPECT_TRUE(entry->ok);
+      EXPECT_TRUE(entry->sampled);  // Rate 1.0 keeps everything.
+      ASSERT_FALSE(entry->trace_file.empty());
+      EXPECT_TRUE(std::filesystem::exists(entry->trace_file));
+
+      // The trace file contains this request's spans, recoverable by
+      // request id.
+      std::ifstream trace_in(entry->trace_file);
+      std::stringstream buffer;
+      buffer << trace_in.rdbuf();
+      Result<obs::ParsedTrace> trace = obs::ParseChromeTrace(buffer.str());
+      ASSERT_TRUE(trace.ok()) << trace.status();
+      const obs::ParsedTrace filtered =
+          obs::FilterTraceByRequest(*trace, match_request_id);
+      ASSERT_FALSE(filtered.events.empty());
+      const std::string tree = obs::FormatSpanTree(filtered);
+      EXPECT_NE(tree.find("serve.request"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_match);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeServerTest, MetricsOpAndEndpointServeTheSameExposition) {
+  ServerOptions options;
+  options.metrics_port = 0;
+  ServerFixture fixture(options);
+  fixture.RegisterDefaultLogs();
+  ServeClient client = fixture.NewClient();
+  ASSERT_TRUE(client.Match(DefaultSpec()).ok());
+
+  Result<ServeResponse> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok() && metrics->ok) << metrics.status();
+  const obs::JsonValue* exposition = metrics->body.Find("exposition");
+  ASSERT_NE(exposition, nullptr);
+  const std::string via_op = exposition->TextOr("");
+  EXPECT_NE(via_op.find("hematch_serve_completed_total"), std::string::npos);
+  EXPECT_NE(via_op.find("hematch_serve_latency_ms_w60_p99"),
+            std::string::npos);
+  EXPECT_NE(via_op.find("hematch_serve_shed_rate_w60"), std::string::npos);
+
+  // The HTTP endpoint answers a plain GET with the same body shape.
+  const int port = fixture.server().metrics_port();
+  ASSERT_GT(port, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, get.data(), get.size(), 0),
+            static_cast<ssize_t>(get.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("hematch_serve_completed_total"),
+            std::string::npos);
+  EXPECT_NE(response.find("hematch_serve_latency_ms_w60_p99"),
+            std::string::npos);
+}
+
+TEST(ServeServerTest, WindowedSnapshotTracksRecentRequests) {
+  ServerFixture fixture(ServerOptions{});
+  fixture.RegisterDefaultLogs();
+  ServeClient client = fixture.NewClient();
+  for (int i = 0; i < 3; ++i) {
+    Result<ServeResponse> match = client.Match(DefaultSpec());
+    ASSERT_TRUE(match.ok() && match->ok);
+  }
+  const obs::TelemetrySnapshot windowed = fixture.server().WindowedSnapshot();
+  EXPECT_EQ(windowed.counter("serve.completed", 0), 3u);
+  EXPECT_EQ(windowed.counter("serve.matches", 0), 3u);
+  const auto latency = windowed.histograms.find("serve.latency_ms");
+  ASSERT_NE(latency, windowed.histograms.end());
+  EXPECT_EQ(latency->second.total_count(), 3u);
+  EXPECT_GT(windowed.gauges.at("serve.goodput_rps"), 0.0);
+  EXPECT_DOUBLE_EQ(windowed.gauges.at("serve.shed_rate"), 0.0);
 }
 
 }  // namespace

@@ -394,6 +394,163 @@ TEST(HeartbeatLineTest, EmitsParseableSingleLineJson) {
   EXPECT_GT(latency->Find("p95")->NumberOr(-1), 0.0);
 }
 
+TEST(HeartbeatLineTest, WindowedSnapshotFoldsInWithW60Suffix) {
+  obs::TelemetrySnapshot snapshot;
+  snapshot.counters["serve.completed"] = 100;
+  obs::HistogramSnapshot hist;
+  hist.bounds = {1.0, 10.0};
+  hist.counts = {5, 5, 0};
+  hist.sum = 30.0;
+  snapshot.histograms["serve.latency_ms"] = hist;
+
+  obs::TelemetrySnapshot windowed;
+  windowed.counters["serve.completed"] = 9;
+  windowed.gauges["serve.goodput_rps"] = 0.15;
+  obs::HistogramSnapshot recent;
+  recent.bounds = {1.0, 10.0};
+  recent.counts = {1, 1, 0};
+  recent.sum = 8.0;
+  windowed.histograms["serve.latency_ms"] = recent;
+
+  const std::string line =
+      obs::TelemetryToHeartbeatLine(snapshot, 1, 500.0, &windowed);
+  Result<obs::JsonValue> doc = obs::ParseJson(line);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+
+  const obs::JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.completed")->NumberOr(-1), 100.0);
+  EXPECT_DOUBLE_EQ(counters->Find("serve.completed_w60")->NumberOr(-1), 9.0);
+
+  const obs::JsonValue* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("serve.goodput_rps_w60")->NumberOr(-1), 0.15);
+
+  // Windowed percentiles ride alongside the cumulative ones, so a
+  // long-lived server's heartbeat p99 cannot freeze.
+  const obs::JsonValue* percentiles = doc->Find("percentiles");
+  ASSERT_NE(percentiles, nullptr);
+  const obs::JsonValue* recent_latency =
+      percentiles->Find("serve.latency_ms_w60");
+  ASSERT_NE(recent_latency, nullptr);
+  EXPECT_DOUBLE_EQ(recent_latency->Find("count")->NumberOr(-1), 2.0);
+  ASSERT_NE(percentiles->Find("serve.latency_ms"), nullptr);
+}
+
+// --- FilterTraceByRequest / FormatSpanTree (the --request drill-down).
+
+obs::TraceEvent Span(obs::SpanId id, obs::SpanId parent, std::uint32_t tid,
+                     double ts_us, double dur_us, const std::string& name,
+                     std::vector<obs::TraceArg> args = {}) {
+  obs::TraceEvent event;
+  event.kind = obs::TraceEventKind::kSpan;
+  event.id = id;
+  event.parent = parent;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.name = name;
+  event.args = std::move(args);
+  return event;
+}
+
+obs::TraceEvent Instant(std::uint32_t tid, double ts_us,
+                        const std::string& name) {
+  obs::TraceEvent event;
+  event.kind = obs::TraceEventKind::kInstant;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.name = name;
+  return event;
+}
+
+// Two interleaved requests plus an untagged background span: request 7
+// has a root on tid 1 with a child span on tid 2 (cross-thread link)
+// and a grandchild; request 8 runs concurrently on tid 3.
+obs::ParsedTrace TwoRequestTrace() {
+  obs::ParsedTrace trace;
+  trace.events.push_back(
+      Span(1, 0, 1, 0.0, 1000.0, "serve.request", {{"request_id", 7.0}}));
+  trace.events.push_back(Span(2, 1, 2, 100.0, 700.0, "pipeline.ladder"));
+  trace.events.push_back(Span(3, 2, 2, 150.0, 500.0, "match.exact"));
+  trace.events.push_back(
+      Span(4, 0, 3, 50.0, 400.0, "serve.request", {{"request_id", 8.0}}));
+  trace.events.push_back(Span(5, 4, 3, 60.0, 200.0, "match.simple"));
+  trace.events.push_back(Span(6, 0, 1, 2000.0, 50.0, "background.flush"));
+  trace.events.push_back(Instant(2, 200.0, "freq.scan"));   // Inside id 3.
+  trace.events.push_back(Instant(2, 5000.0, "late.marker")); // Outside.
+  trace.events.push_back(Instant(1, 300.0, "inside.root"));  // Inside id 1.
+  trace.thread_names[1] = "session-0";
+  trace.thread_names[2] = "worker-1";
+  trace.dropped_events = 3;
+  return trace;
+}
+
+TEST(FilterTraceByRequestTest, KeepsTaggedSpansAndDescendants) {
+  const obs::ParsedTrace filtered =
+      obs::FilterTraceByRequest(TwoRequestTrace(), 7);
+  std::vector<obs::SpanId> span_ids;
+  std::vector<std::string> instants;
+  for (const obs::TraceEvent& event : filtered.events) {
+    if (event.kind == obs::TraceEventKind::kSpan) {
+      span_ids.push_back(event.id);
+    } else {
+      instants.push_back(event.name);
+    }
+  }
+  EXPECT_EQ(span_ids, (std::vector<obs::SpanId>{1, 2, 3}));
+  // Instants inside a kept span's interval on the same thread come
+  // along; the one outside every kept interval does not.
+  EXPECT_EQ(instants,
+            (std::vector<std::string>{"freq.scan", "inside.root"}));
+  EXPECT_EQ(filtered.dropped_events, 3u);
+  EXPECT_EQ(filtered.thread_names.count(1), 1u);
+}
+
+TEST(FilterTraceByRequestTest, UnknownIdYieldsEmptyTrace) {
+  EXPECT_TRUE(obs::FilterTraceByRequest(TwoRequestTrace(), 999).events.empty());
+}
+
+TEST(FilterTraceByRequestTest, ConcurrentRequestsDoNotBleed) {
+  const obs::ParsedTrace filtered =
+      obs::FilterTraceByRequest(TwoRequestTrace(), 8);
+  ASSERT_EQ(filtered.events.size(), 2u);
+  for (const obs::TraceEvent& event : filtered.events) {
+    EXPECT_EQ(event.tid, 3u) << event.name;
+  }
+}
+
+TEST(FormatSpanTreeTest, IndentsChildrenUnderParentsInStartOrder) {
+  const std::string tree =
+      obs::FormatSpanTree(obs::FilterTraceByRequest(TwoRequestTrace(), 7));
+  const std::size_t root = tree.find("serve.request");
+  const std::size_t ladder = tree.find("pipeline.ladder");
+  const std::size_t exact = tree.find("match.exact");
+  ASSERT_NE(root, std::string::npos);
+  ASSERT_NE(ladder, std::string::npos);
+  ASSERT_NE(exact, std::string::npos);
+  EXPECT_LT(root, ladder);
+  EXPECT_LT(ladder, exact);
+  EXPECT_NE(tree.find("request_id=7"), std::string::npos);
+  EXPECT_NE(tree.find("[session-0]"), std::string::npos);
+  // Child lines are indented deeper than the root line.
+  const std::size_t root_line_start = tree.rfind('\n', root);
+  const std::size_t ladder_line_start = tree.rfind('\n', ladder);
+  const auto indent = [&](std::size_t name_pos, std::size_t line_start) {
+    return name_pos - (line_start == std::string::npos ? 0 : line_start);
+  };
+  EXPECT_GT(indent(ladder, ladder_line_start), indent(root, root_line_start));
+}
+
+TEST(FormatSpanTreeTest, OrphanedSpansRootTheTree) {
+  obs::ParsedTrace trace;
+  // Parent id 42 is not in the trace (filtered away or dropped).
+  trace.events.push_back(Span(2, 42, 1, 10.0, 100.0, "orphan.child"));
+  const std::string tree = obs::FormatSpanTree(trace);
+  EXPECT_NE(tree.find("orphan.child"), std::string::npos);
+  EXPECT_EQ(obs::FormatSpanTree(obs::ParsedTrace{}), "(no spans)\n");
+}
+
 // The S3 regression test: Histogram::Observe uses atomic fetch_add for
 // both the bucket cell and the running sum, so a multi-writer hammer
 // must account for every observation exactly. Integer-valued

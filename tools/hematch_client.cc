@@ -13,12 +13,14 @@
 //   load LOG1 LOG2 [PATTERN...]   closed-loop load: --requests total
 //                              requests over --concurrency connections
 //   stats                      print the server's telemetry snapshot line
+//   metrics                    print the server's Prometheus exposition text
 //   drain                      begin graceful drain
 //
 // Options:
 //   --port N           server port (required)
 //   --host H           server host (default 127.0.0.1)
 //   --tenant NAME      tenant id for fair-share scheduling
+//   --correlation-id S opaque id echoed in responses and the access log
 //   --deadline-ms F    per-request deadline (server default otherwise)
 //   --max-expansions N per-request expansion cap
 //   --partial-penalty F  allow unmapped sources at cost F each
@@ -56,12 +58,13 @@ void PrintUsageAndExit(int code) {
   std::cerr <<
       "usage: hematch_client --port N [options] <command> [args]\n"
       "commands:\n"
-      "  ping | stats | drain\n"
+      "  ping | stats | metrics | drain\n"
       "  register NAME FILE\n"
       "  match LOG1 LOG2 [PATTERN...]\n"
       "  load LOG1 LOG2 [PATTERN...]\n"
       "options:\n"
-      "  --host H --tenant NAME --deadline-ms F --max-expansions N\n"
+      "  --host H --tenant NAME --correlation-id S\n"
+      "  --deadline-ms F --max-expansions N\n"
       "  --partial-penalty F --method auto|exact|heuristic|parallel\n"
       "  --search-threads N (method parallel)\n"
       "  --requests N --concurrency N (load)\n"
@@ -128,6 +131,8 @@ int main(int argc, char** argv) {
         copts.host = next("--host");
       } else if (arg == "--tenant") {
         spec.tenant = next("--tenant");
+      } else if (arg == "--correlation-id") {
+        copts.correlation_id = next("--correlation-id");
       } else if (arg == "--deadline-ms") {
         spec.deadline_ms = std::stod(next("--deadline-ms"));
       } else if (arg == "--max-expansions") {
@@ -169,6 +174,30 @@ int main(int argc, char** argv) {
     if (command == "ping") return PrintResponse(client.Ping());
     if (command == "stats") return PrintResponse(client.Stats());
     return PrintResponse(client.Drain());
+  }
+
+  if (command == "metrics") {
+    serve::ServeClient client(copts);
+    Result<serve::ServeResponse> resp = client.Metrics();
+    if (!resp.ok()) {
+      std::cerr << "call failed: " << resp.status() << "\n";
+      return 1;
+    }
+    if (!resp->ok) {
+      std::cerr << "server rejected: " << resp->error_code << ": "
+                << resp->error_message << "\n";
+      return 4;
+    }
+    // Print the decoded exposition body, not the JSON envelope — the
+    // output is then byte-identical to a GET on --metrics-port.
+    const obs::JsonValue* exposition = resp->body.Find("exposition");
+    if (exposition == nullptr ||
+        exposition->kind != obs::JsonValue::Kind::kString) {
+      std::cerr << "response carries no exposition text\n";
+      return 1;
+    }
+    std::cout << exposition->text;
+    return 0;
   }
 
   if (command == "register") {

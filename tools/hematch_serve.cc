@@ -30,6 +30,17 @@
 //                       (default 5000)
 //   --final-snapshot F  write the final telemetry snapshot as JSON on exit
 //   --trace-out F       write a Chrome/Perfetto span timeline on exit
+//   --trace-dir D       per-request trace ring directory (default: off)
+//   --trace-sample-rate F  probability a request trace is kept (default 0)
+//   --trace-slow-ms F   always capture requests slower than this
+//   --trace-ring-files N  trace files kept before eviction (default 64)
+//   --access-log F      structured hematch.access.v1 JSONL (default: off)
+//   --access-log-max-bytes N  rotate to .1 past this size (default 8 MiB)
+//   --metrics-port N    Prometheus endpoint on 127.0.0.1 (0 = ephemeral,
+//                       default: off)
+//   --metrics-port-file PATH  write the bound metrics port to PATH
+//   --heartbeat-ms F    emit a heartbeat line (cumulative + _w60 windowed
+//                       fields) to stderr every F ms (default: off)
 //   --help              this text
 //
 // SIGTERM / SIGINT begin a graceful drain: the server stops accepting,
@@ -44,6 +55,8 @@
 
 #include <cerrno>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -81,6 +94,15 @@ void PrintUsageAndExit(int code) {
       "  --drain-grace-ms F  drain grace before cancelling (default 5000)\n"
       "  --final-snapshot F  write final telemetry JSON on exit\n"
       "  --trace-out F       write a Perfetto span timeline on exit\n"
+      "  --trace-dir D       per-request trace ring directory (off)\n"
+      "  --trace-sample-rate F  trace sampling probability (default 0)\n"
+      "  --trace-slow-ms F   always capture requests slower than this\n"
+      "  --trace-ring-files N  trace-ring capacity (default 64)\n"
+      "  --access-log F      hematch.access.v1 JSONL access log (off)\n"
+      "  --access-log-max-bytes N  rotation threshold (default 8 MiB)\n"
+      "  --metrics-port N    Prometheus endpoint port (0 = ephemeral; off)\n"
+      "  --metrics-port-file PATH  write bound metrics port to PATH\n"
+      "  --heartbeat-ms F    heartbeat cadence to stderr (off)\n"
       "SIGTERM/SIGINT drain gracefully and exit 0\n"
       "options also accept the --flag=value spelling\n";
   std::exit(code);
@@ -110,6 +132,8 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string snapshot_path;
   std::string trace_path;
+  std::string metrics_port_file;
+  double heartbeat_ms = 0.0;
 
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -177,6 +201,25 @@ int main(int argc, char** argv) {
         snapshot_path = next("--final-snapshot");
       } else if (arg == "--trace-out") {
         trace_path = next("--trace-out");
+      } else if (arg == "--trace-dir") {
+        options.trace_dir = next("--trace-dir");
+      } else if (arg == "--trace-sample-rate") {
+        options.trace_sample_rate = std::stod(next("--trace-sample-rate"));
+      } else if (arg == "--trace-slow-ms") {
+        options.trace_slow_ms = std::stod(next("--trace-slow-ms"));
+      } else if (arg == "--trace-ring-files") {
+        options.trace_ring_files = std::stoi(next("--trace-ring-files"));
+      } else if (arg == "--access-log") {
+        options.access_log_path = next("--access-log");
+      } else if (arg == "--access-log-max-bytes") {
+        options.access_log_max_bytes =
+            static_cast<std::int64_t>(std::stoll(next("--access-log-max-bytes")));
+      } else if (arg == "--metrics-port") {
+        options.metrics_port = std::stoi(next("--metrics-port"));
+      } else if (arg == "--metrics-port-file") {
+        metrics_port_file = next("--metrics-port-file");
+      } else if (arg == "--heartbeat-ms") {
+        heartbeat_ms = std::stod(next("--heartbeat-ms"));
       } else {
         std::cerr << "unknown option: " << arg << "\n";
         PrintUsageAndExit(2);
@@ -208,6 +251,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "hematch_serve listening on 127.0.0.1:" << server.port()
             << "\n" << std::flush;
+  if (server.metrics_port() >= 0) {
+    std::cout << "metrics endpoint on 127.0.0.1:" << server.metrics_port()
+              << "/metrics\n" << std::flush;
+  }
   if (!port_file.empty()) {
     std::ofstream out(port_file);
     out << server.port() << "\n";
@@ -216,10 +263,23 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!metrics_port_file.empty()) {
+    std::ofstream out(metrics_port_file);
+    out << server.metrics_port() << "\n";
+    if (!out) {
+      std::cerr << "cannot write --metrics-port-file " << metrics_port_file
+                << "\n";
+      return 1;
+    }
+  }
 
   // Block until a signal arrives or a client issues the `drain` op
   // (which flips draining() without touching the pipe — hence the poll
   // timeout).
+  const auto start = std::chrono::steady_clock::now();
+  auto next_heartbeat =
+      start + std::chrono::duration<double, std::milli>(heartbeat_ms);
+  std::uint64_t heartbeat_seq = 0;
   unsigned char sig_byte = 0;
   while (!server.draining()) {
     pollfd pfd{g_signal_pipe[0], POLLIN, 0};
@@ -232,6 +292,20 @@ int main(int argc, char** argv) {
                 << ": draining\n" << std::flush;
       server.RequestDrain();
       break;
+    }
+    if (heartbeat_ms > 0.0 &&
+        std::chrono::steady_clock::now() >= next_heartbeat) {
+      const double elapsed =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const obs::TelemetrySnapshot snapshot = server.SnapshotTelemetry();
+      const obs::TelemetrySnapshot windowed = server.WindowedSnapshot();
+      std::cerr << obs::TelemetryToHeartbeatLine(snapshot, ++heartbeat_seq,
+                                                 elapsed, &windowed)
+                << "\n";
+      next_heartbeat +=
+          std::chrono::duration<double, std::milli>(heartbeat_ms);
     }
   }
   server.Wait();
